@@ -1,0 +1,28 @@
+# Convenience targets for the repro toolchain.
+
+.PHONY: install test bench figures examples all clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	python -m pytest tests/
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper figure/table with the printed artifacts.
+figures:
+	python -m pytest benchmarks/ --benchmark-disable -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		python $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+all: test bench examples
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info

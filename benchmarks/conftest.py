@@ -1,0 +1,39 @@
+"""Shared benchmark helpers: row formatting for the paper-style tables.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+regenerated figures/tables alongside the timing numbers.  Every bench
+asserts its experiment's claims, so a plain ``pytest benchmarks/`` run
+doubles as a reproduction check.
+"""
+
+from typing import Dict, List
+
+import pytest
+
+
+def format_table(title: str, rows: List[Dict[str, object]]) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "{}\n(no rows)".format(title)
+    headers = list(rows[0])
+    widths = {
+        h: max(len(str(h)), max(len(str(r[h])) for r in rows))
+        for h in headers
+    }
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).ljust(widths[h]) for h in headers))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row[h]).ljust(widths[h]) for h in headers)
+        )
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def emit():
+    """Print a paper-style table (visible with ``-s``)."""
+
+    def _emit(title: str, rows: List[Dict[str, object]]) -> None:
+        print("\n" + format_table(title, rows) + "\n")
+
+    return _emit

@@ -1,0 +1,100 @@
+"""E10 — machine-width sweep: how the machine shapes the graph.
+
+The framework's register demand is machine-dependent by construction:
+"the more edges are present in [E_t] the better the results will be" —
+a narrower machine has more contention edges, hence fewer false edges,
+hence a sparser parallelizable interference graph and fewer registers.
+On a single-issue machine E_f is empty and chi(PIG) = chi(IG).
+
+This sweep measures |E_f|, the PIG edge count, the registers the
+combined allocator actually uses, and the scheduled cycles for each
+kernel across four machine widths.
+"""
+
+import pytest
+
+from repro.core import PinterAllocator, build_parallel_interference_graph
+from repro.deps import block_false_dependence_graph
+from repro.machine.presets import (
+    rs6000,
+    single_issue,
+    two_unit_superscalar,
+    wide_issue,
+)
+from repro.workloads import ALL_KERNELS
+
+MACHINES = [
+    ("single-issue", single_issue),
+    ("two-unit", two_unit_superscalar),
+    ("rs6000", rs6000),
+    ("wide-2x", lambda: wide_issue(fixed=2, floats=2, memory=2, issue_width=6)),
+]
+
+KERNELS = ("dot4", "stencil3", "estrin7")
+
+
+def sweep_rows():
+    rows = []
+    for kernel in KERNELS:
+        for label, factory in MACHINES:
+            fn = ALL_KERNELS[kernel]()
+            machine = factory()
+            fdg = block_false_dependence_graph(fn.entry, machine)
+            pig = build_parallel_interference_graph(fn, machine)
+            outcome = PinterAllocator(
+                machine, num_registers=16, preschedule=False
+            ).run(fn)
+            rows.append({
+                "kernel": kernel,
+                "machine": label,
+                "|E_f|": len(fdg.ef_pairs),
+                "PIG edges": pig.graph.number_of_edges(),
+                "registers": outcome.registers_used,
+                "cycles": outcome.total_cycles,
+                "false_deps": len(outcome.false_dependences),
+            })
+    return rows
+
+
+def test_e10_machine_width_sweep(benchmark, emit):
+    rows = benchmark.pedantic(sweep_rows, rounds=1, iterations=1)
+    emit("E10: machine-width sweep (r=16, input order)", rows)
+
+    by_kernel = {}
+    for row in rows:
+        by_kernel.setdefault(row["kernel"], {})[row["machine"]] = row
+    for kernel, machines in by_kernel.items():
+        narrow = machines["single-issue"]
+        wide = machines["wide-2x"]
+        # E_f grows monotonically from single-issue (empty) to wide.
+        assert narrow["|E_f|"] == 0, kernel
+        assert wide["|E_f|"] >= machines["two-unit"]["|E_f|"], kernel
+        # Register demand never shrinks as the machine widens.
+        assert wide["registers"] >= narrow["registers"], kernel
+        # Cycles never grow as the machine widens.
+        assert wide["cycles"] <= narrow["cycles"], kernel
+        # Theorem 1 holds on every machine.
+        assert all(m["false_deps"] == 0 for m in machines.values()), kernel
+
+
+def test_e10_single_issue_pig_equals_ig(benchmark, emit):
+    """Degenerate case: on a single-issue machine the PIG adds nothing
+    over the interference graph — the framework collapses to Chaitin."""
+    machine = single_issue()
+
+    def measure():
+        rows = []
+        for kernel in KERNELS:
+            fn = ALL_KERNELS[kernel]()
+            pig = build_parallel_interference_graph(fn, machine)
+            rows.append({
+                "kernel": kernel,
+                "PIG edges": pig.graph.number_of_edges(),
+                "IG edges": pig.interference.graph.number_of_edges(),
+            })
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit("E10b: single-issue degenerate case", rows)
+    for row in rows:
+        assert row["PIG edges"] == row["IG edges"]

@@ -1,0 +1,87 @@
+"""E3 — register-pressure sweep: the Section 4 regime.
+
+As r shrinks below chi(PIG) the combined coloring first sheds false
+edges (trading parallelism, no memory traffic), and only below chi(IG)
+does it spill.  The sweep records registers, sacrificed edges, spill
+operations, false dependences and cycles per r.
+"""
+
+import pytest
+
+from repro.core.allocator import PinterAllocator
+from repro.core.parallel_interference import build_parallel_interference_graph
+from repro.machine.presets import two_unit_superscalar
+from repro.regalloc.chaitin import greedy_chromatic_upper_bound
+from repro.utils.errors import AllocationError
+from repro.workloads import dot_product, fir_filter
+
+MACHINE = two_unit_superscalar()
+
+
+def sweep(fn, r_values):
+    rows = []
+    for r in r_values:
+        try:
+            outcome = PinterAllocator(MACHINE, num_registers=r).run(fn)
+        except AllocationError:
+            rows.append({
+                "r": r, "registers": "-", "edges_sacrificed": "-",
+                "spill_ops": "-", "false_deps": "-", "cycles": "infeasible",
+            })
+            continue
+        rows.append({
+            "r": r,
+            "registers": outcome.registers_used,
+            "edges_sacrificed": outcome.parallelism_sacrificed,
+            "spill_ops": outcome.spill_operations,
+            "false_deps": len(outcome.false_dependences),
+            "cycles": outcome.total_cycles,
+        })
+    return rows
+
+
+def test_e3_pressure_sweep_dot(benchmark, emit):
+    fn = dot_product(6)
+    pig = build_parallel_interference_graph(fn, MACHINE)
+    chi_hint = greedy_chromatic_upper_bound(pig.graph)
+
+    rows = benchmark.pedantic(
+        sweep, args=(fn, list(range(3, 13))), rounds=1, iterations=1
+    )
+
+    emit(
+        "E3: pressure sweep on dot6 (greedy chi(PIG) = {})".format(chi_hint),
+        rows,
+    )
+    feasible = [r for r in rows if r["cycles"] != "infeasible"]
+    assert feasible
+    # With plenty of registers: clean allocation.
+    top = feasible[-1]
+    assert top["edges_sacrificed"] == 0
+    assert top["false_deps"] == 0
+    # Somewhere in the sweep pressure bites: edges get sacrificed or
+    # spills appear.
+    assert any(
+        row["edges_sacrificed"] not in (0, "-") or row["spill_ops"] not in (0, "-")
+        for row in feasible
+    )
+    # Cycles are monotone-ish: the most constrained feasible point is
+    # no faster than the unconstrained one.
+    assert feasible[0]["cycles"] >= top["cycles"]
+
+
+def test_e3_pressure_sweep_fir(benchmark, emit):
+    fn = fir_filter(6)
+
+    rows = benchmark.pedantic(
+        sweep, args=(fn, [4, 6, 8, 10, 12, 14]), rounds=1, iterations=1
+    )
+
+    emit("E3: pressure sweep on fir6", rows)
+    feasible = [r for r in rows if r["cycles"] != "infeasible"]
+    # fir6 keeps 12 values live: low r must spill.
+    low = feasible[0]
+    assert low["spill_ops"] > 0
+    high = feasible[-1]
+    assert high["spill_ops"] == 0 and high["false_deps"] == 0
+    assert low["cycles"] >= high["cycles"]

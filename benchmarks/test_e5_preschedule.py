@@ -1,0 +1,102 @@
+"""E5 — ablation of the EP pre-scheduling pass.
+
+"Since the interference graph of the code uses the sequential ordering
+of the instructions we will add a preliminary scheduling heuristic for
+selecting one such order."  On adversarially-ordered inputs (all loads
+first, maximizing simultaneous live ranges), the allocator with
+pre-scheduling should need no more registers/spills than without, at
+equal or better cycles.
+"""
+
+import pytest
+
+from repro.core.allocator import PinterAllocator
+from repro.machine.presets import two_unit_superscalar
+from repro.utils.errors import AllocationError
+from repro.workloads import RandomBlockConfig, adversarial_serial_order
+
+MACHINE = two_unit_superscalar()
+
+
+def run_pair(fn, r):
+    results = {}
+    for label, flag in (("ep-preschedule", True), ("input-order", False)):
+        try:
+            outcome = PinterAllocator(
+                MACHINE, num_registers=r, preschedule=flag
+            ).run(fn)
+            results[label] = {
+                "order": label,
+                "registers": outcome.registers_used,
+                "spill_ops": outcome.spill_operations,
+                "false_deps": len(outcome.false_dependences),
+                "cycles": outcome.total_cycles,
+            }
+        except AllocationError:
+            results[label] = {
+                "order": label, "registers": "-", "spill_ops": "-",
+                "false_deps": "-", "cycles": "infeasible",
+            }
+    return results
+
+
+def test_e5_preschedule_ablation(benchmark, emit):
+    seeds = (3, 5, 8, 13)
+    r = 8
+
+    def run_sweep():
+        rows = []
+        for seed in seeds:
+            fn = adversarial_serial_order(
+                RandomBlockConfig(size=20, window=10, seed=seed)
+            )
+            results = run_pair(fn, r)
+            for label in ("ep-preschedule", "input-order"):
+                row = {"seed": seed}
+                row.update(results[label])
+                rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit("E5: EP pre-scheduling ablation on adversarial orders (r=8)", rows)
+
+    total = {"ep-preschedule": 0, "input-order": 0}
+    for row in rows:
+        if row["cycles"] != "infeasible":
+            total[row["order"]] += row["cycles"]
+    # Aggregate cycles with pre-scheduling are competitive (within 10%).
+    assert total["ep-preschedule"] <= total["input-order"] * 1.10
+
+
+def test_e5_ep_order_is_schedulable_order(benchmark, emit):
+    """The EP linear order itself is already a near-greedy schedule:
+    simulating the prescheduled code in strict program order should be
+    close to the list scheduler's makespan."""
+    from repro.sched.prescheduler import preschedule_function
+    from repro.sched.simulator import simulate_function
+
+    fn = adversarial_serial_order(RandomBlockConfig(size=24, window=12, seed=2))
+
+    def measure():
+        work = fn.copy()
+        preschedule_function(work, MACHINE)
+        inorder = simulate_function(work, MACHINE, reorder=False).total_cycles
+        reordered = simulate_function(work, MACHINE, reorder=True).total_cycles
+        original_inorder = simulate_function(
+            fn, MACHINE, reorder=False
+        ).total_cycles
+        return inorder, reordered, original_inorder
+
+    inorder, reordered, original_inorder = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    emit(
+        "E5b: EP order quality (in-order issue of the EP order)",
+        [{
+            "original in-order": original_inorder,
+            "EP-order in-order": inorder,
+            "list-scheduled": reordered,
+        }],
+    )
+    assert inorder <= original_inorder
+    assert reordered <= inorder

@@ -1,0 +1,83 @@
+"""E7 — construction-cost scaling.
+
+The parallelizable interference graph costs a transitive closure plus a
+complement — O(n^2)-ish per block.  This bench measures PIG
+construction and the full allocator across block sizes, confirming the
+approach stays practical at realistic block sizes.
+"""
+
+import time
+
+import pytest
+
+from repro.core.allocator import PinterAllocator
+from repro.core.parallel_interference import build_parallel_interference_graph
+from repro.machine.presets import two_unit_superscalar
+from repro.workloads import RandomBlockConfig, random_block
+
+MACHINE = two_unit_superscalar()
+
+SIZES = (8, 16, 32, 64, 128)
+
+
+def test_e7_pig_construction_scaling(benchmark, emit):
+    functions = {
+        size: random_block(RandomBlockConfig(size=size, window=8, seed=size))
+        for size in SIZES
+    }
+
+    def build_all():
+        timings = []
+        for size, fn in functions.items():
+            start = time.perf_counter()
+            pig = build_parallel_interference_graph(fn, MACHINE)
+            elapsed = time.perf_counter() - start
+            timings.append({
+                "block size": size,
+                "webs": len(pig.webs),
+                "edges": pig.graph.number_of_edges(),
+                "ms": round(elapsed * 1000, 2),
+            })
+        return timings
+
+    rows = benchmark.pedantic(build_all, rounds=3, iterations=1)
+    emit("E7: PIG construction scaling", rows)
+    assert [row["block size"] for row in rows] == list(SIZES)
+    # Edge count grows with block size (complement structure).
+    assert rows[-1]["edges"] > rows[0]["edges"]
+
+
+@pytest.mark.parametrize("size", [16, 64])
+def test_e7_allocator_scaling(benchmark, size, emit):
+    fn = random_block(RandomBlockConfig(size=size, window=8, seed=99))
+    allocator = PinterAllocator(MACHINE, num_registers=16)
+
+    outcome = benchmark(allocator.run, fn)
+
+    emit(
+        "E7b: full allocator at block size {}".format(size),
+        [{
+            "registers": outcome.registers_used,
+            "cycles": outcome.total_cycles,
+            "false_deps": len(outcome.false_dependences),
+        }],
+    )
+    assert outcome.registers_used <= 16
+
+
+def test_e7_largest_block(benchmark, emit):
+    fn = random_block(RandomBlockConfig(size=128, window=10, seed=7))
+
+    pig = benchmark(build_parallel_interference_graph, fn, MACHINE)
+
+    emit(
+        "E7c: 128-instruction block PIG",
+        [{
+            "webs": len(pig.webs),
+            "edges": pig.graph.number_of_edges(),
+            "parallelism degree": round(
+                pig.false_graphs[0].parallelism_degree, 3
+            ),
+        }],
+    )
+    assert len(pig.webs) > 0

@@ -1,0 +1,101 @@
+"""E8 — coloring-engine ablation: pessimistic Chaitin vs. Briggs
+optimistic coloring, on interference graphs and on the parallelizable
+interference graph, across tight register counts.
+
+Also compares the Goodman–Hsu IPS baseline ([10]) against the three
+main strategies under pressure — the regime where the related-work
+tradeoffs actually differ.
+"""
+
+import pytest
+
+from repro.core.parallel_interference import build_parallel_interference_graph
+from repro.machine.presets import two_unit_superscalar
+from repro.pipeline.strategies import extended_strategies
+from repro.regalloc.briggs import briggs_color
+from repro.regalloc.chaitin import chaitin_color
+from repro.regalloc.interference import build_interference_graph
+from repro.utils.errors import AllocationError
+from repro.workloads import (
+    ALL_KERNELS,
+    RandomBlockConfig,
+    random_block,
+)
+
+MACHINE = two_unit_superscalar()
+
+
+def spill_counts(graph, r_values):
+    rows = []
+    for r in r_values:
+        try:
+            chaitin_spills = len(chaitin_color(graph, r).spilled)
+        except AllocationError:
+            chaitin_spills = "-"
+        try:
+            briggs_spills = len(briggs_color(graph, r).spilled)
+        except AllocationError:
+            briggs_spills = "-"
+        rows.append({
+            "r": r,
+            "chaitin spills": chaitin_spills,
+            "briggs spills": briggs_spills,
+        })
+    return rows
+
+
+def test_e8_briggs_vs_chaitin_on_ig(benchmark, emit):
+    fn = random_block(RandomBlockConfig(size=30, window=14, seed=21))
+    ig = build_interference_graph(fn)
+
+    rows = benchmark.pedantic(
+        spill_counts, args=(ig.graph, range(2, 9)), rounds=1, iterations=1
+    )
+    emit("E8: Chaitin vs. Briggs spill candidates (interference graph)", rows)
+    for row in rows:
+        if row["chaitin spills"] != "-" and row["briggs spills"] != "-":
+            assert row["briggs spills"] <= row["chaitin spills"]
+
+
+def test_e8_briggs_vs_chaitin_on_pig(benchmark, emit):
+    fn = random_block(RandomBlockConfig(size=30, window=14, seed=22))
+    pig = build_parallel_interference_graph(fn, MACHINE)
+
+    rows = benchmark.pedantic(
+        spill_counts, args=(pig.graph, range(3, 10)), rounds=1, iterations=1
+    )
+    emit("E8b: Chaitin vs. Briggs on the PIG", rows)
+    gains = sum(
+        1
+        for row in rows
+        if row["chaitin spills"] != "-"
+        and row["briggs spills"] != "-"
+        and row["briggs spills"] < row["chaitin spills"]
+    )
+    # optimism should win at least once across the sweep
+    assert gains >= 1
+
+
+def test_e8_four_way_strategy_pressure(benchmark, emit):
+    """All four strategies (incl. IPS) under pressure (r=8)."""
+    workloads = [(name, ALL_KERNELS[name]()) for name in ("dot4", "mm2", "estrin7")]
+
+    def run():
+        rows = []
+        for label, fn in workloads:
+            for strategy in extended_strategies():
+                try:
+                    result = strategy.run(fn, MACHINE, num_registers=8)
+                except AllocationError:
+                    continue
+                row = {"workload": label}
+                row.update(result.as_row())
+                rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("E8c: four-way comparison under pressure (r=8)", rows)
+    strategies = {row["strategy"] for row in rows}
+    assert "goodman-hsu-ips" in strategies
+    # all strategies completed on all three workloads
+    assert len(rows) == 12

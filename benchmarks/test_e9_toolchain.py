@@ -1,0 +1,131 @@
+"""E9 — toolchain extensions: optimizer (LVN/copy-prop/DCE) and mov
+coalescing, measured end to end on frontend-compiled programs.
+
+Beyond the paper's scope, but exactly what a production adoption of
+the framework would run: source → optimize → combined allocator
+(+ coalescing) → cycles.
+"""
+
+import pytest
+
+from repro.core import PinterAllocator
+from repro.frontend import compile_source
+from repro.ir import run_function
+from repro.machine.presets import two_unit_superscalar
+from repro.opt import optimize
+from repro.utils.errors import AllocationError
+from repro.workloads import SourceFuzzConfig, random_input_memory, random_source
+
+MACHINE = two_unit_superscalar()
+
+PROGRAMS = {
+    "poly": (
+        "input x;"
+        "y = ((x * x) * x) + 3 * (x * x) + 3 * x + 1;"
+        "output y;"
+    ),
+    "redundant": (
+        "input a, b;"
+        "p = (a + b) * (a + b);"
+        "q = (a + b) * (a + b);"
+        "r = p + q + 0;"
+        "s = r * 1;"
+        "output s;"
+    ),
+    "loopsum": (
+        "input n;"
+        "s = 0; i = 0;"
+        "while (i < n) { s = s + i * 4; i = i + 1; }"
+        "output s;"
+    ),
+    "branchy": (
+        "input a, b;"
+        "if (a > b) { m = a; } else { m = b; }"
+        "if (m > 10) { m = m - 10; } else { m = m + 1; }"
+        "output m;"
+    ),
+}
+
+
+def run_toolchain(source, do_optimize, do_coalesce, registers=10):
+    fn = compile_source(source)
+    if do_optimize:
+        optimize(fn)
+    outcome = PinterAllocator(
+        MACHINE, num_registers=registers, coalesce=do_coalesce
+    ).run(fn)
+    instructions = sum(
+        len(b) for b in outcome.allocated_function.blocks()
+    )
+    return {
+        "instructions": instructions,
+        "cycles": outcome.total_cycles,
+        "registers": outcome.registers_used,
+        "movs_removed": outcome.identity_moves_removed,
+        "false_deps": len(outcome.false_dependences),
+    }
+
+
+def test_e9_optimizer_and_coalescing(benchmark, emit):
+    def run_matrix():
+        rows = []
+        for name, source in PROGRAMS.items():
+            baseline = run_toolchain(source, False, False)
+            full = run_toolchain(source, True, True)
+            rows.append({
+                "program": name,
+                "instrs (raw)": baseline["instructions"],
+                "instrs (opt+coalesce)": full["instructions"],
+                "cycles (raw)": baseline["cycles"],
+                "cycles (opt+coalesce)": full["cycles"],
+                "movs removed": full["movs_removed"],
+            })
+        return rows
+
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    emit("E9: optimizer + coalescing, end to end", rows)
+    for row in rows:
+        assert row["instrs (opt+coalesce)"] <= row["instrs (raw)"]
+        assert row["cycles (opt+coalesce)"] <= row["cycles (raw)"]
+    # the redundancy-heavy program shrinks strictly.
+    redundant = next(r for r in rows if r["program"] == "redundant")
+    assert redundant["instrs (opt+coalesce)"] < redundant["instrs (raw)"]
+
+
+def test_e9_correctness_on_fuzzed_sources(benchmark, emit):
+    """The toolchain computes identical outputs with and without the
+    extensions, over a seeded fuzz corpus."""
+    configs = [SourceFuzzConfig(seed=s, num_statements=8) for s in range(8)]
+
+    def run_corpus():
+        checked = 0
+        for config in configs:
+            source = random_source(config)
+            fn_plain = compile_source(source)
+            reference = fn_plain.copy()
+            try:
+                plain = PinterAllocator(MACHINE, num_registers=12).run(fn_plain)
+                fn_full = compile_source(source)
+                optimize(fn_full)
+                full = PinterAllocator(
+                    MACHINE, num_registers=12, coalesce=True
+                ).run(fn_full)
+            except AllocationError:
+                continue
+            memory = random_input_memory(config, 0)
+            expected = run_function(reference, dict(memory)).live_out_values
+            assert run_function(
+                plain.allocated_function, dict(memory)
+            ).live_out_values == expected
+            assert run_function(
+                full.allocated_function, dict(memory)
+            ).live_out_values == expected
+            checked += 1
+        return checked
+
+    checked = benchmark.pedantic(run_corpus, rounds=1, iterations=1)
+    emit(
+        "E9b: fuzz corpus equivalence",
+        [{"programs checked": checked, "of": len(configs)}],
+    )
+    assert checked >= len(configs) - 1

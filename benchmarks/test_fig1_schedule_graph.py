@@ -1,0 +1,37 @@
+"""F1 — Figure 1: the dependence edges of Example 2's schedule graph.
+
+Regenerates the exact edge list the paper draws and benchmarks schedule
+graph construction.
+"""
+
+from repro.deps.schedule_graph import block_schedule_graph
+from repro.workloads import example2, example2_machine_model
+
+#: Figure 1's edges, as drawn in the paper.
+FIGURE1_EDGES = sorted([
+    ("s1", "s3"), ("s2", "s3"),
+    ("s1", "s4"), ("s2", "s4"),
+    ("s3", "s5"), ("s4", "s5"),
+    ("s6", "s8"), ("s7", "s8"),
+    ("s5", "s9"), ("s8", "s9"),
+])
+
+
+def test_figure1_schedule_graph(benchmark, emit):
+    fn = example2()
+    machine = example2_machine_model()
+
+    sg = benchmark(block_schedule_graph, fn.entry, machine)
+
+    names = {i: str(i.dest) for i in fn.entry}
+    edge_rows = sorted(
+        ((names[u], names[v]), sg.delay(u, v)) for u, v in sg.edges()
+    )
+    emit(
+        "Figure 1: dependence edges of the schedule graph of Example 2",
+        [
+            {"edge": "{} -> {}".format(a, b), "delay": delay}
+            for (a, b), delay in edge_rows
+        ],
+    )
+    assert [edge for edge, _delay in edge_rows] == FIGURE1_EDGES

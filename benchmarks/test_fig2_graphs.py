@@ -1,0 +1,70 @@
+"""F2 — Figure 2: (a) the data-dependence edges of Example 1's schedule
+graph, (b) the constraint set E_t, and (c) the interference graph G_r.
+"""
+
+from repro.deps.datadeps import DependenceKind, register_dependences
+from repro.deps.false_dependence import block_false_dependence_graph
+from repro.regalloc.interference import build_interference_graph
+from repro.workloads import example1, example1_machine_model
+
+FIG2A_DATA_DEPS = sorted([("s1", "s4"), ("s1", "s5"), ("s2", "s3"), ("s3", "s5")])
+FIG2B_ET = sorted([
+    ("s1", "s3"), ("s1", "s4"), ("s1", "s5"), ("s2", "s3"),
+    ("s2", "s5"), ("s3", "s5"), ("s4", "s5"),
+])
+FIG2B_EF = sorted([("s1", "s2"), ("s2", "s4"), ("s3", "s4")])
+FIG2C_INTERFERENCE = sorted([
+    ("s1", "s2"), ("s1", "s3"), ("s1", "s4"), ("s3", "s4"), ("s4", "s5"),
+])
+
+
+def _pair_names(fn, pairs):
+    names = {i: str(i.dest) for i in fn.entry}
+    return sorted(
+        tuple(sorted((names[a], names[b]))) for a, b in pairs
+    )
+
+
+def test_figure2a_data_dependences(benchmark, emit):
+    fn = example1()
+    deps = benchmark(register_dependences, fn.entry.instructions)
+    names = {i.uid: str(i.dest) for i in fn.entry}
+    edges = sorted(
+        (names[d.source.uid], names[d.target.uid])
+        for d in deps
+        if d.kind is DependenceKind.FLOW
+    )
+    emit(
+        "Figure 2(a): data dependence edges of G_s, Example 1",
+        [{"edge": "{} -> {}".format(a, b)} for a, b in edges],
+    )
+    assert edges == FIG2A_DATA_DEPS
+
+
+def test_figure2b_et_set(benchmark, emit):
+    fn = example1()
+    machine = example1_machine_model()
+    fdg = benchmark(block_false_dependence_graph, fn.entry, machine)
+    et = _pair_names(fn, fdg.et_pairs)
+    ef = _pair_names(fn, fdg.ef_pairs)
+    emit(
+        "Figure 2(b): the edges in the set E_t (machine edges "
+        "{s1,s3} and {s4,s5} included)",
+        [{"pair": "{{{}, {}}}".format(a, b)} for a, b in et],
+    )
+    assert et == FIG2B_ET
+    assert ef == FIG2B_EF
+
+
+def test_figure2c_interference_graph(benchmark, emit):
+    fn = example1()
+    ig = benchmark(build_interference_graph, fn)
+    edges = sorted(
+        tuple(sorted((str(a.register), str(b.register))))
+        for a, b in ig.edge_list()
+    )
+    emit(
+        "Figure 2(c): the interference graph G_r of Example 1",
+        [{"edge": "{{{}, {}}}".format(a, b)} for a, b in edges],
+    )
+    assert edges == FIG2C_INTERFERENCE

@@ -1,0 +1,56 @@
+"""F4 — Figure 4: the interference graph of Example 2 needs only three
+registers — but a 3-register coloring necessarily destroys co-issue
+options the machine offers (the paper: "there is no restriction to
+assign the same register, for example, to operations S8 and S3 ...
+thus preventing the possible parallel scheduling").
+"""
+
+from repro.pipeline.verify import count_false_dependences
+from repro.regalloc.assignment import apply_assignment, make_assignment
+from repro.regalloc.chaitin import chaitin_color, exact_chromatic_number
+from repro.regalloc.interference import build_interference_graph
+from repro.workloads import example2, example2_machine_model
+
+FIG4_EDGES = sorted([
+    ("s1", "s2"), ("s1", "s3"), ("s2", "s3"), ("s3", "s4"),
+    ("s5", "s6"), ("s5", "s7"), ("s5", "s8"), ("s6", "s7"),
+])
+
+
+def test_figure4_interference_graph(benchmark, emit):
+    fn = example2()
+    ig = benchmark(build_interference_graph, fn)
+    edges = sorted(
+        tuple(sorted((str(a.register), str(b.register))))
+        for a, b in ig.edge_list()
+    )
+    emit(
+        "Figure 4: the interference graph of Example 2 (chi = 3)",
+        [{"edge": "{{{}, {}}}".format(a, b)} for a, b in edges],
+    )
+    assert edges == FIG4_EDGES
+    assert exact_chromatic_number(ig.graph) == 3
+
+
+def test_figure4_three_register_coloring_costs_parallelism(benchmark, emit):
+    """Every 3-register Chaitin allocation of Example 2 introduces at
+    least one false dependence on the two-arithmetic-unit machine."""
+    fn = example2()
+    machine = example2_machine_model()
+
+    def three_register_allocation():
+        ig = build_interference_graph(fn)
+        result = chaitin_color(ig.graph, 3)
+        assert not result.has_spills
+        assignment = make_assignment(ig, result.coloring)
+        return apply_assignment(assignment)
+
+    allocated = benchmark(three_register_allocation)
+    violations = count_false_dependences(fn, allocated, machine)
+    emit(
+        "Figure 4 consequence: 3-register coloring of Example 2",
+        [
+            {"registers": 3, "false_dependences": violations}
+        ],
+    )
+    assert violations >= 1

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: build a block, allocate with the combined framework,
+inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BlockBuilder, presets
+from repro.core import PinterAllocator
+from repro.ir import format_function
+
+
+def main() -> None:
+    # 1. Write a small symbolic-register program (one value per
+    #    register, like a compiler front end would emit).
+    b = BlockBuilder()
+    a = b.fload("a")
+    x = b.fload("x")
+    y = b.fload("y")
+    ax = b.fmul(a, x)
+    result = b.fadd(ax, y)       # result = a*x + y
+    scale = b.load("k")
+    idx = b.add(scale, 1)
+    b.store(idx, "k")
+    fn = b.function("axpy", live_out=[result])
+
+    print("Input program (symbolic registers):")
+    print(format_function(fn))
+    print()
+
+    # 2. Pick a machine: one fixed-point, one floating-point and one
+    #    fetch unit, triple issue — the paper's Example 2 processor.
+    machine = presets.two_unit_superscalar()
+    print(machine.describe())
+    print()
+
+    # 3. Run the combined register allocator / scheduler.
+    allocator = PinterAllocator(machine, num_registers=4)
+    outcome = allocator.run(fn)
+
+    print("Allocated program:")
+    print(format_function(outcome.allocated_function))
+    print()
+    print(outcome.summary())
+    print()
+
+    # 4. The guarantee: no false dependences were introduced — every
+    #    co-issue opportunity of the symbolic program survives.
+    assert outcome.false_dependences == []
+    print("cycle-by-cycle schedule of the allocated code:")
+    print(outcome.timing.blocks[0].schedule.format_timeline())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The Section 4 regime: what happens as registers get scarce.
+
+Sweeps r for one kernel and prints how the combined coloring first
+sacrifices false-dependence edges (giving up co-issue options, costing
+no memory traffic) and only then spills — the ordering the paper's
+two-level simplify loop guarantees.
+
+Run:  python examples/register_pressure.py [kernel]
+"""
+
+import sys
+
+from repro.core import PinterAllocator
+from repro.machine import presets
+from repro.utils import AllocationError
+from repro.workloads import ALL_KERNELS
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "dot4"
+    if kernel not in ALL_KERNELS:
+        print("unknown kernel {!r}; pick one of {}".format(
+            kernel, ", ".join(sorted(ALL_KERNELS))))
+        raise SystemExit(1)
+
+    machine = presets.two_unit_superscalar()
+    fn = ALL_KERNELS[kernel]()
+    print("kernel: {} ({} instructions) on {}".format(
+        kernel, len(fn.entry.instructions), machine.name))
+    print()
+
+    header = "{:>3} {:>10} {:>16} {:>10} {:>11} {:>8}".format(
+        "r", "registers", "edges sacrificed", "spill ops",
+        "false deps", "cycles",
+    )
+    print(header)
+    print("-" * len(header))
+
+    for r in range(2, 17):
+        try:
+            outcome = PinterAllocator(machine, num_registers=r).run(fn)
+        except AllocationError as exc:
+            print("{:>3} {:>10}".format(r, "infeasible"), " ({})".format(exc))
+            continue
+        print("{:>3} {:>10} {:>16} {:>10} {:>11} {:>8}".format(
+            r,
+            outcome.registers_used,
+            outcome.parallelism_sacrificed,
+            outcome.spill_operations,
+            len(outcome.false_dependences),
+            outcome.total_cycles,
+        ))
+
+    print()
+    print("reading the table bottom-up: with ample registers the")
+    print("allocation is clean (no sacrificed edges, no spills, no false")
+    print("dependences); shrinking r first trades parallelism, then")
+    print("spills — never the reverse.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""A generic iterative dataflow framework.
+
+Liveness and reaching definitions are both instances of the classic
+worklist scheme: pick a direction, a meet (union for *may* problems),
+and per-block transfer functions, then iterate to a fixpoint.  Keeping
+the engine generic lets the two analyses (and tests that cross-check
+them) share one carefully-tested solver.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Generic, Hashable, TypeVar
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.utils.orderedset import OrderedSet
+
+Fact = TypeVar("Fact", bound=Hashable)
+
+
+class Direction(enum.Enum):
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+@dataclass
+class GenKillTransfer(Generic[Fact]):
+    """A transfer function of the form ``out = gen ∪ (in − kill)``.
+
+    Both liveness and reaching definitions fit this shape, so block
+    transfer functions are represented as (gen, kill) pairs computed
+    once per block.
+    """
+
+    gen: FrozenSet[Fact]
+    kill: FrozenSet[Fact]
+
+    def apply(self, facts: FrozenSet[Fact]) -> FrozenSet[Fact]:
+        return self.gen | (facts - self.kill)
+
+
+@dataclass
+class DataflowSolution(Generic[Fact]):
+    """Per-block input/output fact sets.
+
+    For a FORWARD problem ``inputs[b]`` holds at block entry and
+    ``outputs[b]`` at block exit; for a BACKWARD problem the roles are
+    mirrored (``inputs[b]`` is the fact set at block *exit*, i.e. the
+    set flowing into the backward transfer).
+    """
+
+    inputs: Dict[str, FrozenSet[Fact]]
+    outputs: Dict[str, FrozenSet[Fact]]
+    iterations: int
+
+
+def solve_gen_kill(
+    fn: Function,
+    direction: Direction,
+    transfer: Callable[[BasicBlock], GenKillTransfer[Fact]],
+    boundary: Callable[[BasicBlock], FrozenSet[Fact]],
+) -> DataflowSolution[Fact]:
+    """Solve a union-meet (may) gen/kill problem to fixpoint.
+
+    Args:
+        fn: The function to analyze.
+        direction: FORWARD propagates along CFG edges, BACKWARD against
+            them.
+        transfer: Per-block gen/kill sets.
+        boundary: Extra facts injected at the flow boundary of each
+            block — e.g. a function's ``live_out`` registers at exit
+            blocks for liveness.  Blocks with no boundary contribution
+            should return the empty frozenset.
+
+    Returns:
+        A :class:`DataflowSolution`; the worklist is seeded in layout
+        order so the result (and iteration count) is deterministic.
+    """
+    transfers: Dict[str, GenKillTransfer[Fact]] = {
+        block.name: transfer(block) for block in fn.blocks()
+    }
+    empty: FrozenSet[Fact] = frozenset()
+    inputs: Dict[str, FrozenSet[Fact]] = {b.name: empty for b in fn.blocks()}
+    outputs: Dict[str, FrozenSet[Fact]] = {b.name: empty for b in fn.blocks()}
+
+    if direction is Direction.FORWARD:
+        flow_preds = fn.predecessors
+        flow_succs = fn.successors
+        order = fn.blocks()
+    else:
+        flow_preds = fn.successors
+        flow_succs = fn.predecessors
+        order = list(reversed(fn.blocks()))
+
+    worklist: OrderedSet = OrderedSet(block.name for block in order)
+    block_by_name = {block.name: block for block in fn.blocks()}
+    iterations = 0
+
+    while worklist:
+        iterations += 1
+        name = worklist.pop_first()
+        block = block_by_name[name]
+        incoming = boundary(block)
+        for neighbor in flow_preds(block):
+            incoming = incoming | outputs[neighbor.name]
+        inputs[name] = incoming
+        new_output = transfers[name].apply(incoming)
+        if new_output != outputs[name]:
+            outputs[name] = new_output
+            for neighbor in flow_succs(block):
+                worklist.add(neighbor.name)
+
+    return DataflowSolution(inputs=inputs, outputs=outputs, iterations=iterations)

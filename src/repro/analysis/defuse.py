@@ -1,0 +1,84 @@
+"""Def-use chains built on reaching definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List
+
+from repro.analysis.reaching import DefPoint, UseSite, reaching_at_uses
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+
+
+@dataclass
+class DefUseChains:
+    """Bidirectional def↔use maps for a function.
+
+    ``uses_of[def_point]`` lists every use site the definition may
+    flow into; ``defs_of[use_site]`` lists every definition that may
+    reach the use (several when control-flow paths join — the paper's
+    Figure 6 situation).
+    """
+
+    uses_of: Dict[DefPoint, List[UseSite]] = field(default_factory=dict)
+    defs_of: Dict[UseSite, FrozenSet[DefPoint]] = field(default_factory=dict)
+
+    def multi_def_uses(self) -> List[UseSite]:
+        """Use sites reached by more than one definition — exactly the
+        places where the right-number-of-names analysis must combine
+        live intervals into one web."""
+        return [use for use, defs in self.defs_of.items() if len(defs) > 1]
+
+    def dead_definitions(self) -> List[DefPoint]:
+        """Definitions with no reachable use (spill/DCE candidates)."""
+        return [point for point, uses in self.uses_of.items() if not uses]
+
+
+def def_use_chains(fn: Function) -> DefUseChains:
+    """Compute def-use chains for *fn*.
+
+    Registers listed in ``fn.live_out`` get a synthetic use at function
+    exit so their final definitions are not reported dead: the synthetic
+    use site pairs the defining instruction's own terminator position
+    with the register (represented as ``(None, register)`` is avoided —
+    instead, live-out defs simply keep an empty use list but are
+    excluded from :meth:`DefUseChains.dead_definitions`).
+    """
+    chains = DefUseChains()
+    reach = reaching_at_uses(fn)
+    chains.defs_of = dict(reach)
+
+    for instr in fn.instructions():
+        for reg in instr.defs():
+            chains.uses_of.setdefault(DefPoint(instr, reg), [])
+    for use_site, defs in reach.items():
+        for point in defs:
+            chains.uses_of.setdefault(point, []).append(use_site)
+
+    # Live-out registers are consumed by the environment: model that as
+    # ONE synthetic use site per register (an out-of-program USE pseudo
+    # instruction).  Sharing the site is essential — all definitions
+    # reaching any exit must merge into one web, exactly like the
+    # paper's Figure 6 join; a value that leaves through two exit
+    # blocks is still one value to the caller.
+    if fn.live_out:
+        from repro.analysis.reaching import reaching_definitions
+        from repro.ir.instructions import Instruction
+        from repro.ir.opcodes import Opcode
+
+        info = reaching_definitions(fn)
+        for reg in fn.live_out:
+            reaching = {
+                point
+                for block in fn.exit_blocks()
+                for point in info.reach_out[block.name]
+                if point.register == reg
+            }
+            if not reaching:
+                continue
+            anchor = Instruction(Opcode.USE, (), (reg,))
+            marker: UseSite = (anchor, reg)
+            chains.defs_of[marker] = frozenset(reaching)
+            for point in sorted(reaching, key=lambda p: p.instruction.uid):
+                chains.uses_of.setdefault(point, []).append(marker)
+    return chains

@@ -1,0 +1,170 @@
+"""Dominator and postdominator trees.
+
+Used by the region machinery: the paper selects block pairs "plausible
+for being scheduled together ... when one block dominates the other and
+the second one postdominates the first, and can be verified by
+observing the dominators tree and the postdominators tree (constructed
+like a dominators tree when the edges in the program flow graph are
+reversed)".
+
+The implementation is the standard iterative set-intersection fixpoint
+(Aho–Sethi–Ullman), adequate for the CFG sizes compilers see per
+function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.ir.function import Function
+from repro.utils.errors import IRError
+
+
+@dataclass
+class DominatorInfo:
+    """Dominator sets and the immediate-dominator tree.
+
+    ``dominators[b]`` contains every block name dominating ``b``
+    (including ``b`` itself); ``idom[b]`` is the immediate dominator,
+    absent for the root.
+    """
+
+    root: str
+    dominators: Dict[str, FrozenSet[str]]
+    idom: Dict[str, Optional[str]]
+
+    def dominates(self, a: str, b: str) -> bool:
+        """Does block *a* dominate block *b*?"""
+        return a in self.dominators[b]
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def children(self, a: str) -> List[str]:
+        """Blocks whose immediate dominator is *a* (tree children)."""
+        return [name for name, parent in self.idom.items() if parent == a]
+
+    def depth(self, a: str) -> int:
+        """Distance from the tree root (root has depth 0)."""
+        depth = 0
+        current: Optional[str] = a
+        while self.idom.get(current) is not None:
+            current = self.idom[current]
+            depth += 1
+        return depth
+
+
+def _solve_dominators(
+    names: List[str],
+    root: str,
+    predecessors: Dict[str, List[str]],
+) -> DominatorInfo:
+    all_names = frozenset(names)
+    dom: Dict[str, Set[str]] = {name: set(all_names) for name in names}
+    dom[root] = {root}
+
+    changed = True
+    while changed:
+        changed = False
+        for name in names:
+            if name == root:
+                continue
+            preds = predecessors[name]
+            reachable_preds = [p for p in preds if p in dom]
+            if reachable_preds:
+                new_dom = set(all_names)
+                for pred in reachable_preds:
+                    new_dom &= dom[pred]
+            else:
+                new_dom = set()
+            new_dom.add(name)
+            if new_dom != dom[name]:
+                dom[name] = new_dom
+                changed = True
+
+    idom: Dict[str, Optional[str]] = {root: None}
+    for name in names:
+        if name == root:
+            continue
+        strict = dom[name] - {name}
+        # The immediate dominator is the strict dominator dominated by
+        # all other strict dominators.
+        candidate: Optional[str] = None
+        for d in strict:
+            if all(other == d or other in dom[d] for other in strict):
+                candidate = d
+                break
+        idom[name] = candidate
+
+    return DominatorInfo(
+        root=root,
+        dominators={name: frozenset(s) for name, s in dom.items()},
+        idom=idom,
+    )
+
+
+def dominator_tree(fn: Function) -> DominatorInfo:
+    """Dominators of *fn* rooted at its entry block."""
+    names = fn.block_names()
+    if not names:
+        raise IRError("cannot compute dominators of an empty function")
+    preds = {
+        block.name: [p.name for p in fn.predecessors(block)]
+        for block in fn.blocks()
+    }
+    return _solve_dominators(names, fn.entry.name, preds)
+
+
+_VIRTUAL_EXIT = "<exit>"
+
+
+def postdominator_tree(fn: Function) -> DominatorInfo:
+    """Postdominators of *fn*: dominators of the reversed CFG.
+
+    Functions with several exit blocks are handled by a virtual exit
+    node (named ``"<exit>"`` in the result) that every real exit block
+    flows to.
+    """
+    names = fn.block_names()
+    if not names:
+        raise IRError("cannot compute postdominators of an empty function")
+    exits = [b.name for b in fn.exit_blocks()]
+    if not exits:
+        raise IRError(
+            "function {!r} has no exit block (irreducible or cyclic CFG "
+            "without exit)".format(fn.name)
+        )
+    # Reverse edges; successors become predecessors.
+    rev_preds: Dict[str, List[str]] = {name: [] for name in names}
+    for block in fn.blocks():
+        for succ in fn.successors(block):
+            rev_preds[block.name].append(succ.name)
+
+    if len(exits) == 1:
+        return _solve_dominators(names, exits[0], rev_preds)
+
+    # The virtual exit is the root of the reversed graph: every real
+    # exit block has it as its (reversed-graph) predecessor.
+    rev_preds[_VIRTUAL_EXIT] = []
+    for exit_name in exits:
+        rev_preds[exit_name].append(_VIRTUAL_EXIT)
+    return _solve_dominators(names + [_VIRTUAL_EXIT], _VIRTUAL_EXIT, rev_preds)
+
+
+def control_equivalent_pairs(fn: Function) -> List[tuple]:
+    """Block pairs (a, b) where a dominates b and b postdominates a —
+    the paper's criterion for blocks that execute iff the other does
+    ("one block is executed if and only if the other one is also
+    executed")."""
+    dom = dominator_tree(fn)
+    pdom = postdominator_tree(fn)
+    pairs = []
+    names = fn.block_names()
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if dom.dominates(a, b) and pdom.dominates(b, a):
+                pairs.append((a, b))
+            elif dom.dominates(b, a) and pdom.dominates(a, b):
+                pairs.append((b, a))
+    return pairs

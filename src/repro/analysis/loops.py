@@ -1,0 +1,70 @@
+"""Natural-loop detection and nesting depth.
+
+Spill costs in both the classic heuristic ``h(v) = cost(v)/deg(v)`` and
+the paper's ``h*`` variant are "a function of the instruction's nesting
+level"; this module supplies that nesting level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.dominators import dominator_tree
+from repro.ir.function import Function
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """A natural loop: header block plus body (includes the header)."""
+
+    header: str
+    body: FrozenSet[str]
+
+    def __contains__(self, block_name: str) -> bool:
+        return block_name in self.body
+
+
+def back_edges(fn: Function) -> List[Tuple[str, str]]:
+    """CFG edges (tail, head) where head dominates tail."""
+    dom = dominator_tree(fn)
+    edges = []
+    for block in fn.blocks():
+        for succ in fn.successors(block):
+            if dom.dominates(succ.name, block.name):
+                edges.append((block.name, succ.name))
+    return edges
+
+
+def natural_loops(fn: Function) -> List[NaturalLoop]:
+    """All natural loops, one per back edge (loops sharing a header are
+    kept separate, matching the textbook construction)."""
+    loops: List[NaturalLoop] = []
+    preds = {
+        block.name: [p.name for p in fn.predecessors(block)]
+        for block in fn.blocks()
+    }
+    for tail, head in back_edges(fn):
+        body: Set[str] = {head, tail}
+        stack = [tail]
+        while stack:
+            name = stack.pop()
+            for pred in preds[name]:
+                if pred not in body:
+                    body.add(pred)
+                    stack.append(pred)
+        loops.append(NaturalLoop(header=head, body=frozenset(body)))
+    return loops
+
+
+def loop_nesting_depth(fn: Function) -> Dict[str, int]:
+    """Nesting depth per block: number of natural loops containing it.
+
+    Straight-line blocks have depth 0; a block inside two nested loops
+    has depth 2.  Used to weight spill costs by ``10 ** depth``.
+    """
+    depth = {name: 0 for name in fn.block_names()}
+    for loop in natural_loops(fn):
+        for name in loop.body:
+            depth[name] += 1
+    return depth

@@ -1,0 +1,103 @@
+"""Reaching-definitions analysis.
+
+A *definition point* is an (instruction, register) pair.  The forward
+may-dataflow computes, for each block, the set of definition points
+that reach its entry/exit; :func:`reaching_at_uses` refines that to the
+def set reaching each individual use, which is what def-use chains and
+web construction consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.dataflow import Direction, GenKillTransfer, solve_gen_kill
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.operands import Register
+
+
+@dataclass(frozen=True)
+class DefPoint:
+    """One register definition: instruction (by uid) plus the register."""
+
+    instruction: Instruction
+    register: Register
+
+    def __str__(self) -> str:
+        return "def({} @ #{})".format(self.register, self.instruction.uid)
+
+
+def all_definitions(fn: Function) -> List[DefPoint]:
+    """Every definition point in layout order."""
+    points: List[DefPoint] = []
+    for instr in fn.instructions():
+        for reg in instr.defs():
+            points.append(DefPoint(instr, reg))
+    return points
+
+
+def _block_gen_kill(
+    block: BasicBlock, defs_of: Dict[Register, FrozenSet[DefPoint]]
+) -> GenKillTransfer[DefPoint]:
+    gen: Set[DefPoint] = set()
+    kill: Set[DefPoint] = set()
+    for instr in block:
+        for reg in instr.defs():
+            point = DefPoint(instr, reg)
+            kill |= defs_of[reg] - {point}
+            gen -= defs_of[reg]
+            gen.add(point)
+    return GenKillTransfer(gen=frozenset(gen), kill=frozenset(kill))
+
+
+@dataclass
+class ReachingInfo:
+    """Definition points reaching each block boundary."""
+
+    reach_in: Dict[str, FrozenSet[DefPoint]]
+    reach_out: Dict[str, FrozenSet[DefPoint]]
+
+
+def reaching_definitions(fn: Function) -> ReachingInfo:
+    """Solve reaching definitions over the CFG."""
+    defs_of: Dict[Register, Set[DefPoint]] = {}
+    for point in all_definitions(fn):
+        defs_of.setdefault(point.register, set()).add(point)
+    frozen_defs_of: Dict[Register, FrozenSet[DefPoint]] = {
+        reg: frozenset(points) for reg, points in defs_of.items()
+    }
+
+    def transfer(block: BasicBlock) -> GenKillTransfer[DefPoint]:
+        return _block_gen_kill(block, frozen_defs_of)
+
+    def boundary(block: BasicBlock) -> FrozenSet[DefPoint]:
+        return frozenset()
+
+    solution = solve_gen_kill(fn, Direction.FORWARD, transfer, boundary)
+    return ReachingInfo(reach_in=solution.inputs, reach_out=solution.outputs)
+
+
+UseSite = Tuple[Instruction, Register]
+
+
+def reaching_at_uses(fn: Function) -> Dict[UseSite, FrozenSet[DefPoint]]:
+    """For every use site, the definition points that may flow into it.
+
+    Walks each block forward from its reach-in set, updating the
+    per-register reaching set at each definition.
+    """
+    info = reaching_definitions(fn)
+    result: Dict[UseSite, FrozenSet[DefPoint]] = {}
+    for block in fn.blocks():
+        current: Dict[Register, Set[DefPoint]] = {}
+        for point in info.reach_in[block.name]:
+            current.setdefault(point.register, set()).add(point)
+        for instr in block:
+            for reg in instr.uses():
+                result[(instr, reg)] = frozenset(current.get(reg, set()))
+            for reg in instr.defs():
+                current[reg] = {DefPoint(instr, reg)}
+    return result

@@ -1,0 +1,126 @@
+"""Web construction — the paper's "right number of names" analysis.
+
+"When generating the global interference graph, the right number of
+names analysis is used to combine live intervals in those cases in
+which there is a use whose value depends on more than one definition
+(i.e., several def-use chains reach a single use; e.g., when coming
+from different branches of an if-then-else statement)."
+
+A :class:`Web` is a maximal set of definitions and uses of one register
+name connected through shared def-use chains; it is the allocation
+unit of the *global* interference graph ("we may view a node v in G_r
+as representing all the live intervals of the definitions v_i which
+comprise the combined non-linear interval").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.analysis.defuse import DefUseChains, def_use_chains
+from repro.analysis.reaching import DefPoint, UseSite
+from repro.ir.function import Function
+from repro.ir.operands import Register
+
+
+class _UnionFind:
+    """Path-compressing union-find keyed on arbitrary hashables."""
+
+    def __init__(self) -> None:
+        self._parent: Dict = {}
+
+    def find(self, item):
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            root = self.find(parent)
+            self._parent[item] = root
+            return root
+        return item
+
+    def union(self, a, b) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+
+@dataclass(frozen=True)
+class Web:
+    """A combined (possibly non-linear) live range.
+
+    Attributes:
+        register: The register name all members share.
+        definitions: The definition points merged into this web.
+        uses: The use sites the definitions flow into.
+        index: Dense id assigned in deterministic order.
+    """
+
+    register: Register
+    definitions: FrozenSet[DefPoint]
+    uses: FrozenSet[UseSite]
+    index: int
+
+    @property
+    def name(self) -> str:
+        uids = sorted(d.instruction.uid for d in self.definitions)
+        return "web{}({}:{})".format(
+            self.index, self.register, ",".join(str(u) for u in uids)
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def build_webs(fn: Function, chains: DefUseChains = None) -> List[Web]:
+    """Partition all definitions of *fn* into webs.
+
+    Two definitions of the same register land in one web when some use
+    is reached by both (directly or transitively through other shared
+    uses).  Definitions of different registers never merge — symbolic
+    registers are distinct values by construction.
+
+    Returns:
+        Webs in deterministic order (by first defining instruction uid).
+    """
+    if chains is None:
+        chains = def_use_chains(fn)
+
+    uf = _UnionFind()
+    for use_site, defs in chains.defs_of.items():
+        defs_list = sorted(defs, key=lambda d: d.instruction.uid)
+        for other in defs_list[1:]:
+            uf.union(defs_list[0], other)
+
+    groups: Dict[DefPoint, List[DefPoint]] = {}
+    for point in chains.uses_of:
+        groups.setdefault(uf.find(point), []).append(point)
+
+    web_list: List[Tuple[int, Register, List[DefPoint]]] = []
+    for members in groups.values():
+        members.sort(key=lambda d: d.instruction.uid)
+        web_list.append((members[0].instruction.uid, members[0].register, members))
+    web_list.sort()
+
+    webs: List[Web] = []
+    for index, (_, register, members) in enumerate(web_list):
+        use_sites: List[UseSite] = []
+        for point in members:
+            use_sites.extend(chains.uses_of.get(point, []))
+        webs.append(
+            Web(
+                register=register,
+                definitions=frozenset(members),
+                uses=frozenset(use_sites),
+                index=index,
+            )
+        )
+    return webs
+
+
+def web_of_definition(webs: Sequence[Web]) -> Dict[DefPoint, Web]:
+    """Reverse map: definition point → owning web."""
+    mapping: Dict[DefPoint, Web] = {}
+    for web in webs:
+        for point in web.definitions:
+            mapping[point] = web
+    return mapping

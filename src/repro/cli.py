@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+::
+
+    python -m repro compile program.src --machine rs6000 -r 8
+    python -m repro compile program.src --strategy all --optimize
+    python -m repro graph program.src --kind pig -o pig.dot
+    python -m repro kernels
+
+``compile`` accepts either frontend source (default) or textual IR
+(``--ir``), runs a phase-ordering strategy, and prints the allocated
+program, the metric row, and optionally the cycle timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.frontend import compile_source
+from repro.ir import format_function, parse_function
+from repro.machine.presets import ALL_PRESETS
+from repro.pipeline.strategies import (
+    AllocateThenSchedule,
+    CombinedPinter,
+    GoodmanHsuIPS,
+    ScheduleThenAllocate,
+    Strategy,
+)
+
+STRATEGIES = {
+    "alloc-first": AllocateThenSchedule,
+    "sched-first": ScheduleThenAllocate,
+    "pinter": CombinedPinter,
+    "ips": GoodmanHsuIPS,
+}
+
+
+def _load_function(path: str, is_ir: bool):
+    with open(path) as handle:
+        text = handle.read()
+    if is_ir:
+        return parse_function(text)
+    return compile_source(text, name=path.rsplit("/", 1)[-1].split(".")[0])
+
+
+def _machine(name: str, registers: Optional[int]):
+    if name not in ALL_PRESETS:
+        raise SystemExit(
+            "unknown machine {!r}; choose from: {}".format(
+                name, ", ".join(sorted(ALL_PRESETS))
+            )
+        )
+    machine = ALL_PRESETS[name]()
+    return machine
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    fn = _load_function(args.file, args.ir)
+    machine = _machine(args.machine, args.registers)
+    registers = args.registers or machine.num_registers
+
+    if args.optimize:
+        from repro.opt import optimize
+
+        report = optimize(fn)
+        print("; {}".format(report))
+
+    names = (
+        list(STRATEGIES) if args.strategy == "all" else [args.strategy]
+    )
+    for name in names:
+        if name not in STRATEGIES:
+            raise SystemExit(
+                "unknown strategy {!r}; choose from: {} or 'all'".format(
+                    name, ", ".join(STRATEGIES)
+                )
+            )
+        strategy: Strategy = STRATEGIES[name]()
+        result = strategy.run(fn, machine, num_registers=registers)
+        print("; strategy={} machine={} r={}".format(
+            result.strategy, machine.name, registers))
+        print("; registers={} spill_ops={} false_deps={} cycles={}".format(
+            result.registers_used,
+            result.spill_operations,
+            result.false_dependences,
+            result.cycles,
+        ))
+        if len(names) == 1 or args.verbose:
+            print(format_function(result.allocated_function))
+        if args.timeline:
+            from repro.deps import block_schedule_graph
+            from repro.sched import list_schedule
+            from repro.viz import schedule_to_ascii
+
+            for block in result.allocated_function.blocks():
+                if not block.instructions:
+                    continue
+                sg = block_schedule_graph(block, machine=machine)
+                schedule = list_schedule(sg, machine)
+                print("; timeline of block {}:".format(block.name))
+                print(schedule_to_ascii(schedule))
+        print()
+    return 0
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    fn = _load_function(args.file, args.ir)
+    machine = _machine(args.machine, None)
+
+    if args.kind == "cfg":
+        from repro.viz import cfg_to_dot
+
+        dot = cfg_to_dot(fn)
+    elif args.kind == "gs":
+        from repro.deps import block_schedule_graph
+        from repro.viz import schedule_graph_to_dot
+
+        dot = schedule_graph_to_dot(
+            block_schedule_graph(fn.entry, machine=machine)
+        )
+    elif args.kind == "fdg":
+        from repro.deps import block_false_dependence_graph
+        from repro.viz import false_dependence_to_dot
+
+        dot = false_dependence_to_dot(
+            block_false_dependence_graph(fn.entry, machine)
+        )
+    elif args.kind == "ig":
+        from repro.regalloc import build_interference_graph
+        from repro.viz import interference_to_dot
+
+        dot = interference_to_dot(build_interference_graph(fn))
+    elif args.kind == "pig":
+        from repro.core import build_parallel_interference_graph
+        from repro.viz import pig_to_dot
+
+        dot = pig_to_dot(build_parallel_interference_graph(fn, machine))
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit("unknown graph kind {!r}".format(args.kind))
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(dot + "\n")
+        print("wrote {}".format(args.output))
+    else:
+        print(dot)
+    return 0
+
+
+def cmd_kernels(_args: argparse.Namespace) -> int:
+    from repro.workloads import ALL_KERNELS
+
+    for name in sorted(ALL_KERNELS):
+        fn = ALL_KERNELS[name]()
+        print("{:<12} {:>3} instructions, live-out: {}".format(
+            name,
+            sum(len(b) for b in fn.blocks()),
+            ", ".join(str(r) for r in fn.live_out) or "(none)",
+        ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Register allocation with instruction scheduling "
+        "(Pinter, PLDI 1993)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile source/IR through a strategy"
+    )
+    p_compile.add_argument("file")
+    p_compile.add_argument(
+        "--machine", default="two-unit-superscalar",
+        help="machine preset ({})".format(", ".join(sorted(ALL_PRESETS))),
+    )
+    p_compile.add_argument("-r", "--registers", type=int, default=None)
+    p_compile.add_argument(
+        "--strategy", default="pinter",
+        help="one of {} or 'all'".format(", ".join(STRATEGIES)),
+    )
+    p_compile.add_argument(
+        "--ir", action="store_true", help="input is textual IR, not source"
+    )
+    p_compile.add_argument("--optimize", action="store_true")
+    p_compile.add_argument("--timeline", action="store_true")
+    p_compile.add_argument("-v", "--verbose", action="store_true")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_graph = sub.add_parser("graph", help="emit a DOT graph")
+    p_graph.add_argument("file")
+    p_graph.add_argument(
+        "--kind", choices=("cfg", "gs", "fdg", "ig", "pig"), default="pig"
+    )
+    p_graph.add_argument("--machine", default="two-unit-superscalar")
+    p_graph.add_argument("--ir", action="store_true")
+    p_graph.add_argument("-o", "--output", default=None)
+    p_graph.set_defaults(func=cmd_graph)
+
+    p_kernels = sub.add_parser("kernels", help="list built-in kernels")
+    p_kernels.set_defaults(func=cmd_kernels)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,408 @@
+"""The paper's coloring procedure on the parallelizable interference
+graph (Section 4, "Coloring procedure").
+
+Structure, following the pseudo-code:
+
+1. **Simplify** — repeatedly delete nodes of degree < r (pushing them
+   on the selection stack).
+2. **Sacrifice parallelism** — while some remaining node has degree < r
+   *when only interference edges are considered*, remove one false-
+   dependence edge not in E_r, chosen by scheduling considerations (the
+   edge whose co-issue "contributes the least"), from both the working
+   graph and the output graph; then simplify again.  "The second while
+   loop guarantees that the convergence property of the algorithm will
+   be similar to the one proved for the original algorithm" — pressure
+   caused purely by false edges is always relieved before any spill.
+3. **Spill** — if still stuck, choose v minimizing
+   ``h*(v) = cost(v)/Σ w({u,v})`` and put it on the spill list.
+4. **Select** — color in reverse deletion order on the (edge-reduced)
+   graph; if the spill list is non-empty the caller inserts spill code
+   and repeats the whole procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Literal, Optional, Tuple
+
+import networkx as nx
+
+from repro.analysis.webs import Web
+from repro.core.edge_weights import (
+    DEFAULT_CONFIG,
+    EdgeWeightConfig,
+    h_star_metric,
+)
+from repro.core.parallel_interference import (
+    EdgeOrigin,
+    ParallelInterferenceGraph,
+)
+from repro.core.scheduling_value import SchedulingValueModel
+from repro.utils.errors import AllocationError
+
+EdgePolicy = Literal["node", "global", "lazy"]
+
+
+@dataclass
+class PinterColoringResult:
+    """Outcome of one run of the combined coloring procedure.
+
+    Attributes:
+        coloring: web → color for every non-spilled web.
+        spilled: Spill victims in choice order.
+        selection_order: Deletion order (colored in reverse).
+        removed_false_edges: Parallelism given up under pressure, in
+            removal order — each entry is a (web, web) pair.
+        reduced_graph: The output graph after false-edge removals (the
+            graph the selection phase colored against).
+    """
+
+    coloring: Dict[Web, int]
+    spilled: List[Web]
+    selection_order: List[Web]
+    removed_false_edges: List[Tuple[Web, Web]]
+    reduced_graph: nx.Graph
+
+    @property
+    def num_colors_used(self) -> int:
+        return len(set(self.coloring.values())) if self.coloring else 0
+
+    @property
+    def has_spills(self) -> bool:
+        return bool(self.spilled)
+
+    @property
+    def parallelism_sacrificed(self) -> int:
+        return len(self.removed_false_edges)
+
+
+def _false_only_edges_at(graph: nx.Graph, node: Web) -> List[Tuple[Web, Web]]:
+    return [
+        (node, nbr)
+        for nbr in sorted(graph.neighbors(node), key=lambda w: w.index)
+        if graph.edges[node, nbr]["origin"] == EdgeOrigin.FALSE
+    ]
+
+
+def pinter_color(
+    pig: ParallelInterferenceGraph,
+    num_registers: int,
+    cost: Optional[Callable[[Web], float]] = None,
+    weight_config: EdgeWeightConfig = DEFAULT_CONFIG,
+    edge_policy: EdgePolicy = "node",
+    value_model: Optional[SchedulingValueModel] = None,
+    optimistic: bool = False,
+    bias: Optional[Dict[Web, List[Web]]] = None,
+) -> PinterColoringResult:
+    """Run the combined coloring procedure.
+
+    Args:
+        pig: The parallelizable interference graph (not mutated; the
+            procedure works on copies).
+        num_registers: r, the machine's register count.
+        cost: Spill cost per web; defaults to uniform cost 1.
+        weight_config: Edge prices for the h* denominator.
+        edge_policy: How to pick the sacrificed false edge — ``"node"``
+            removes the least-valuable false edge at a node that would
+            become simplifiable ("with respect to a selected node");
+            ``"global"`` removes the globally least-valuable false edge;
+            ``"lazy"`` (extension) removes nothing up front — nodes
+            blocked by false edges are pushed optimistically, and only
+            a node that finds no color at selection time falls back to
+            interference-only constraints, sacrificing exactly the
+            false edges its color then violates.
+        value_model: Precomputed scheduling values (built on demand).
+        optimistic: Briggs-style optimism — push the h*-chosen victim
+            on the selection stack and spill only nodes that actually
+            find no color.  The PIG's false edges make it much denser
+            than the interference graph, so pessimistic degree counting
+            over-spills badly; optimism recovers most of it (extension
+            beyond the paper's Chaitin-based procedure).
+        bias: Optional mov-coalescing bias (web → mov partners); when
+            several colors are legal, a partner's color is preferred so
+            the mov becomes an identity move.  Never affects
+            colorability (see :mod:`repro.regalloc.coalesce`).
+
+    Returns:
+        A :class:`PinterColoringResult`.  When ``spilled`` is non-empty
+        the caller must insert spill code and re-run on the rewritten
+        program.
+    """
+    if cost is None:
+        cost = lambda _web: 1.0  # noqa: E731 - simple default
+    if value_model is None:
+        value_model = SchedulingValueModel.build(pig)
+
+    # The output graph: false-edge removals apply here and to the
+    # working copy; selection colors against this graph.
+    reduced = pig.graph.copy()
+    work = pig.graph.copy()
+    stack: List[Web] = []
+    spilled: List[Web] = []
+    removed: List[Tuple[Web, Web]] = []
+
+    # h* is evaluated against the *current* working graph: in(v) is the
+    # live neighbor set at spill time.
+    reduced_pig = pig.copy()
+    reduced_pig.graph = work
+    metric = h_star_metric(reduced_pig, cost, weight_config)
+
+    # Incremental degree bookkeeping: ideg counts edges carrying the
+    # INTERFERENCE flag, fdeg counts false-only edges; total degree is
+    # their sum.  Maintaining counters (instead of rescanning neighbor
+    # edge attributes) is what keeps large blocks tractable.
+    ideg: Dict[Web, int] = {node: 0 for node in work.nodes()}
+    fdeg: Dict[Web, int] = {node: 0 for node in work.nodes()}
+    for a, b, data in work.edges(data=True):
+        if data["origin"] & EdgeOrigin.INTERFERENCE:
+            ideg[a] += 1
+            ideg[b] += 1
+        else:
+            fdeg[a] += 1
+            fdeg[b] += 1
+
+    def remove_node(node: Web) -> None:
+        for nbr in work.neighbors(node):
+            if work.edges[node, nbr]["origin"] & EdgeOrigin.INTERFERENCE:
+                ideg[nbr] -= 1
+            else:
+                fdeg[nbr] -= 1
+        work.remove_node(node)
+        del ideg[node]
+        del fdeg[node]
+
+    def simplify() -> None:
+        progress = True
+        while progress:
+            progress = False
+            for node in sorted(work.nodes(), key=lambda w: w.index):
+                if ideg[node] + fdeg[node] < num_registers:
+                    stack.append(node)
+                    remove_node(node)
+                    progress = True
+
+    def sacrificial_candidates() -> List[Web]:
+        """Nodes blocked only by false edges: interference degree < r
+        but total degree >= r."""
+        return [
+            node
+            for node in sorted(work.nodes(), key=lambda w: w.index)
+            if ideg[node] < num_registers <= ideg[node] + fdeg[node]
+        ]
+
+    def remove_one_false_edge() -> bool:
+        if edge_policy == "global":
+            candidates = [
+                (a, b)
+                for a, b, data in work.edges(data=True)
+                if data["origin"] == EdgeOrigin.FALSE
+            ]
+        else:
+            # "with respect to a selected node": pick the first blocked
+            # node and shed its least valuable false edge.
+            nodes = sacrificial_candidates()
+            candidates = []
+            if nodes:
+                candidates = _false_only_edges_at(work, nodes[0])
+        if not candidates:
+            return False
+        victim = min(
+            candidates,
+            key=lambda edge: (
+                value_model.edge_value(edge[0], edge[1]),
+                edge[0].index,
+                edge[1].index,
+            ),
+        )
+        work.remove_edge(*victim)
+        fdeg[victim[0]] -= 1
+        fdeg[victim[1]] -= 1
+        if reduced.has_edge(*victim):
+            reduced.remove_edge(*victim)
+        removed.append(victim)
+        return True
+
+    lazy = edge_policy == "lazy"
+    while work.number_of_nodes():
+        simplify()
+        if not work.number_of_nodes():
+            break
+        if lazy:
+            # Lazy mode: nodes whose pressure comes from false edges
+            # are pushed optimistically; selection decides whether any
+            # parallelism must actually be given up.
+            lazy_candidates = sacrificial_candidates()
+            if lazy_candidates:
+                node = lazy_candidates[0]
+                stack.append(node)
+                remove_node(node)
+                continue
+        else:
+            # Second loop: relieve pressure that is due to false edges
+            # only — a sacrificial candidate always owns a removable
+            # false edge, so this loop is guaranteed to progress.
+            while work.number_of_nodes() and sacrificial_candidates():
+                if not remove_one_false_edge():
+                    break
+                simplify()
+        if not work.number_of_nodes():
+            break
+        # Every remaining node now has interference degree >= r: the
+        # pressure is real, spill the node minimizing h*.  Nodes with
+        # infinite metric (spill temporaries) are never victims —
+        # re-spilling a one-statement range cannot reduce pressure.
+        candidates = [
+            node
+            for node in sorted(work.nodes(), key=lambda w: w.index)
+            if metric(node) != float("inf")
+        ]
+        if not candidates:
+            raise AllocationError(
+                "irreducible register pressure: {} values including "
+                "spill temporaries exceed r={}".format(
+                    work.number_of_nodes(), num_registers
+                )
+            )
+        victim = min(candidates, key=metric)
+        if optimistic or lazy:
+            stack.append(victim)  # may still find a color at select time
+        else:
+            spilled.append(victim)
+        remove_node(victim)
+
+    from repro.regalloc.coalesce import choose_biased_color
+
+    if optimistic or lazy:
+        coloring = {}
+        for node in reversed(stack):
+            used = {
+                coloring[nbr]
+                for nbr in reduced.neighbors(node)
+                if nbr in coloring
+            }
+            free = [c for c in range(num_registers) if c not in used]
+            color = choose_biased_color(free, node, coloring, bias)
+            if color is None and lazy:
+                # Fall back to interference-only constraints: give up
+                # exactly the false edges the chosen color violates.
+                hard = {
+                    coloring[nbr]
+                    for nbr in reduced.neighbors(node)
+                    if nbr in coloring
+                    and reduced.edges[node, nbr]["origin"]
+                    & EdgeOrigin.INTERFERENCE
+                }
+                color = next(
+                    (c for c in range(num_registers) if c not in hard),
+                    None,
+                )
+                if color is not None:
+                    for nbr in sorted(
+                        reduced.neighbors(node), key=lambda w: w.index
+                    ):
+                        if (
+                            nbr in coloring
+                            and coloring[nbr] == color
+                            and reduced.edges[node, nbr]["origin"]
+                            == EdgeOrigin.FALSE
+                        ):
+                            removed.append(
+                                (node, nbr)
+                                if node.index <= nbr.index
+                                else (nbr, node)
+                            )
+            if color is None:
+                spilled.append(node)
+            else:
+                coloring[node] = color
+        for a, b in removed:
+            if reduced.has_edge(a, b):
+                reduced.remove_edge(a, b)
+    else:
+        colorable = reduced.subgraph(stack)
+        coloring = {}
+        for node in reversed(stack):
+            used = {
+                coloring[nbr]
+                for nbr in colorable.neighbors(node)
+                if nbr in coloring
+            }
+            free = [c for c in range(num_registers) if c not in used]
+            color = choose_biased_color(free, node, coloring, bias)
+            if color is None:
+                raise AllocationError(
+                    "no free color for {} among {}".format(
+                        node, num_registers
+                    )
+                )
+            coloring[node] = color
+    return PinterColoringResult(
+        coloring=coloring,
+        spilled=spilled,
+        selection_order=list(stack),
+        removed_false_edges=removed,
+        reduced_graph=reduced,
+    )
+
+
+def banked_pinter_color(
+    pig: ParallelInterferenceGraph,
+    budget,
+    cost: Optional[Callable[[Web], float]] = None,
+    weight_config: EdgeWeightConfig = DEFAULT_CONFIG,
+    edge_policy: EdgePolicy = "node",
+    optimistic: bool = False,
+    bias: Optional[Dict[Web, List[Web]]] = None,
+) -> Dict[str, PinterColoringResult]:
+    """Run the combined procedure once per register class.
+
+    For machines with split fixed/floating-point files
+    (:class:`~repro.regalloc.classes.BankedBudget`), each class-induced
+    subgraph of G is colored independently against its own budget —
+    cross-class edges cannot be violated (two files never share a
+    register), so dropping them loses nothing.
+
+    Returns:
+        class name → :class:`PinterColoringResult`.
+    """
+    from repro.regalloc.classes import class_subgraph, split_webs_by_class
+
+    value_model = SchedulingValueModel.build(pig)
+    groups = split_webs_by_class(pig.webs, chains=pig.interference.chains)
+    results: Dict[str, PinterColoringResult] = {}
+    for register_class in ("int", "float"):
+        sub = pig.copy()
+        sub.graph = class_subgraph(pig.graph, groups[register_class])
+        results[register_class] = pinter_color(
+            sub,
+            budget.of(register_class),
+            cost=cost,
+            weight_config=weight_config,
+            edge_policy=edge_policy,
+            value_model=value_model,
+            optimistic=optimistic,
+            bias=bias,
+        )
+    return results
+
+
+def optimal_pig_coloring(
+    pig: ParallelInterferenceGraph,
+    max_nodes: int = 40,
+) -> Dict[Web, int]:
+    """An *optimal* (minimum-color) coloring of G by exact search —
+    the object of Theorems 1 and 2, practical for the worked examples
+    and property tests.
+
+    Raises:
+        AllocationError: when the graph exceeds *max_nodes*.
+    """
+    from repro.regalloc.chaitin import exact_chromatic_number
+
+    chi = exact_chromatic_number(pig.graph, node_limit=max_nodes)
+    result = pinter_color(pig, num_registers=chi)
+    if result.has_spills or result.removed_false_edges:
+        raise AllocationError(
+            "internal error: coloring with chi={} colors spilled".format(chi)
+        )
+    return result.coloring

@@ -1,0 +1,274 @@
+"""The parallelizable interference graph G = (V, E) — the paper's core
+construction.
+
+Basic-block form (Section 3): ``V = V_r`` and
+``E = E_r ∪ {{u, v} : {u, v} ∈ E_f and u, v ∈ V}`` — the classic
+interference edges plus the false-dependence edges projected onto the
+defining instructions' value nodes.  Theorem 1: every coloring of G is
+a spill-free allocation whose scheduling graph has no false dependence.
+Theorem 2: G is minimal with that property.
+
+Global form: ``V`` is the web set of the global interference graph and
+``E = E_Gr ∪ {{u, v} : {u_i, v_j} ∈ E_Gf, u_i ∈ u, v_j ∈ v}`` — a false
+edge between any constituent definitions of two webs connects the webs
+(Claim 2 guarantees constituents of one web never execute in parallel,
+so no self-edge is lost).  False-dependence graphs are built per
+scheduling region; instructions of different regions are never
+co-issued, so no cross-region false edges exist.
+
+Every edge records which side(s) contributed it — ``E_r`` only,
+``E_f`` only, or both — because the spill/parallelism tradeoff
+heuristics (Lemmas 2 and 3) key on exactly that distinction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.analysis.reaching import DefPoint
+from repro.analysis.regions import Region, schedule_regions
+from repro.analysis.webs import Web, web_of_definition
+from repro.deps.false_dependence import (
+    FalseDependenceGraph,
+    false_dependence_graph,
+)
+from repro.deps.schedule_graph import region_schedule_graph
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.machine.model import MachineDescription
+from repro.regalloc.interference import (
+    InterferenceGraph,
+    build_interference_graph,
+)
+from repro.utils.errors import AllocationError
+
+
+class EdgeOrigin(enum.Flag):
+    """Which constituent graph(s) an edge of G came from."""
+
+    INTERFERENCE = enum.auto()
+    FALSE = enum.auto()
+    BOTH = INTERFERENCE | FALSE
+
+
+@dataclass
+class ParallelInterferenceGraph:
+    """G together with its provenance.
+
+    Attributes:
+        graph: Undirected graph over webs; each edge carries an
+            ``origin`` :class:`EdgeOrigin` attribute.
+        interference: The underlying G_r.
+        false_graphs: Per-region false-dependence graphs (region index
+            order).
+        regions: The scheduling regions used.
+        function: The analyzed (symbolic-register) function.
+        machine: The machine whose constraints shaped E_t.
+    """
+
+    graph: nx.Graph
+    interference: InterferenceGraph
+    false_graphs: List[FalseDependenceGraph]
+    regions: List[Region]
+    function: Function
+    machine: MachineDescription
+
+    # ------------------------------------------------------------------
+    # Edge views
+    # ------------------------------------------------------------------
+
+    @property
+    def webs(self) -> List[Web]:
+        return self.interference.webs
+
+    def origin(self, a: Web, b: Web) -> EdgeOrigin:
+        return self.graph.edges[a, b]["origin"]
+
+    def _edges_with_origin(self, predicate) -> List[Tuple[Web, Web]]:
+        result = [
+            (a, b) if a.index <= b.index else (b, a)
+            for a, b, data in self.graph.edges(data=True)
+            if predicate(data["origin"])
+        ]
+        result.sort(key=lambda pair: (pair[0].index, pair[1].index))
+        return result
+
+    def interference_edges(self) -> List[Tuple[Web, Web]]:
+        """Edges present in E_r (possibly also in E_f)."""
+        return self._edges_with_origin(lambda o: bool(o & EdgeOrigin.INTERFERENCE))
+
+    def false_only_edges(self) -> List[Tuple[Web, Web]]:
+        """Edges in E − E_r: removable without risking a spill (Lemma 2)
+        at the cost of parallelism."""
+        return self._edges_with_origin(lambda o: o == EdgeOrigin.FALSE)
+
+    def shared_edges(self) -> List[Tuple[Web, Web]]:
+        """Edges in E_f ∩ E_r: "used by both the scheduler and the
+        allocator" — keeping them distinct both prevents a spill and
+        enables parallelism (Lemma 3)."""
+        return self._edges_with_origin(lambda o: o == EdgeOrigin.BOTH)
+
+    def all_edges(self) -> List[Tuple[Web, Web]]:
+        return self._edges_with_origin(lambda o: True)
+
+    def interference_degree(self, web: Web) -> int:
+        """Degree counting only E_r edges — the quantity the paper's
+        second simplify loop compares against r."""
+        return sum(
+            1
+            for nbr in self.graph.neighbors(web)
+            if self.graph.edges[web, nbr]["origin"] & EdgeOrigin.INTERFERENCE
+        )
+
+    def remove_false_edge(self, a: Web, b: Web) -> None:
+        """Give up the parallelism between *a* and *b* (heuristic move
+        under register pressure).  Only E_f − E_r edges may go.
+
+        Raises:
+            AllocationError: when the edge is absent or not false-only.
+        """
+        if not self.graph.has_edge(a, b):
+            raise AllocationError("no edge between {} and {}".format(a, b))
+        if self.graph.edges[a, b]["origin"] != EdgeOrigin.FALSE:
+            raise AllocationError(
+                "edge {}-{} is an interference edge; removing it risks "
+                "a spill".format(a, b)
+            )
+        self.graph.remove_edge(a, b)
+
+    # ------------------------------------------------------------------
+    # Scheduling-side queries
+    # ------------------------------------------------------------------
+
+    def false_graph_of_instruction(
+        self, instr: Instruction
+    ) -> Optional[FalseDependenceGraph]:
+        for fdg in self.false_graphs:
+            if any(i.uid == instr.uid for i in fdg.instructions):
+                return fdg
+        return None
+
+    def copy(self) -> "ParallelInterferenceGraph":
+        clone = ParallelInterferenceGraph(
+            graph=self.graph.copy(),
+            interference=self.interference,
+            false_graphs=self.false_graphs,
+            regions=self.regions,
+            function=self.function,
+            machine=self.machine,
+        )
+        return clone
+
+
+def _project_false_pairs_to_webs(
+    fdg: FalseDependenceGraph,
+    def_to_web: Dict[DefPoint, Web],
+) -> Set[Tuple[Web, Web]]:
+    """Map instruction-level E_f pairs to web pairs (defs only; nodes
+    like stores and branches have no value to allocate and only appear
+    in the augmented graph)."""
+    pairs: Set[Tuple[Web, Web]] = set()
+    for u, v in fdg.ef_pairs:
+        for reg_u in u.defs():
+            web_u = def_to_web.get(DefPoint(u, reg_u))
+            if web_u is None:
+                continue
+            for reg_v in v.defs():
+                web_v = def_to_web.get(DefPoint(v, reg_v))
+                if web_v is None or web_v is web_u:
+                    continue
+                pair = (
+                    (web_u, web_v)
+                    if web_u.index <= web_v.index
+                    else (web_v, web_u)
+                )
+                pairs.add(pair)
+    return pairs
+
+
+def build_parallel_interference_graph(
+    fn: Function,
+    machine: MachineDescription,
+    use_regions: bool = True,
+) -> ParallelInterferenceGraph:
+    """Build G for *fn* on *machine*.
+
+    Args:
+        fn: Symbolic-register function (single- or multi-block).
+        machine: Supplies latencies and the contention constraints that
+            enter E_t.
+        use_regions: Group control-equivalent blocks into scheduling
+            regions before deriving false-dependence graphs (the global
+            extension).  With False, each block is its own region
+            (classic per-basic-block operation).
+    """
+    interference = build_interference_graph(fn)
+    def_to_web = web_of_definition(interference.webs)
+
+    if use_regions:
+        regions = schedule_regions(fn)
+    else:
+        regions = [
+            Region(blocks=(name,), index=i)
+            for i, name in enumerate(fn.block_names())
+        ]
+
+    graph = nx.Graph()
+    for web in interference.webs:
+        graph.add_node(web)
+    for a, b in interference.graph.edges():
+        graph.add_edge(a, b, origin=EdgeOrigin.INTERFERENCE)
+
+    false_graphs: List[FalseDependenceGraph] = []
+    for region in regions:
+        sg = region_schedule_graph(fn, region.blocks, machine=machine)
+        if not sg.instructions:
+            continue
+        fdg = false_dependence_graph(sg, machine)
+        false_graphs.append(fdg)
+        for web_a, web_b in _project_false_pairs_to_webs(fdg, def_to_web):
+            if graph.has_edge(web_a, web_b):
+                graph.edges[web_a, web_b]["origin"] |= EdgeOrigin.FALSE
+            else:
+                graph.add_edge(web_a, web_b, origin=EdgeOrigin.FALSE)
+
+    return ParallelInterferenceGraph(
+        graph=graph,
+        interference=interference,
+        false_graphs=false_graphs,
+        regions=regions,
+        function=fn,
+        machine=machine,
+    )
+
+
+def augmented_parallel_interference_graph(
+    pig: ParallelInterferenceGraph,
+) -> nx.Graph:
+    """The paper's augmented variant: ``V = V_s`` (every instruction,
+    including stores and branches), ``E = E_s ∪ E_f`` projected onto
+    instructions.
+
+    "In this graph an edge between two nodes means that the two
+    operations may be scheduled at the same cycle or the two nodes
+    represent live ranges that are not disjoint.  Thus, at each node v
+    the edges {v, u} ∈ E_f ∩ E provide the list of available
+    instructions (with v) as used in list scheduling algorithms."
+
+    Edges carry ``kind`` = ``"false"`` or ``"schedule"``; the augmented
+    graph informs the scheduler and takes no part in coloring.
+    """
+    graph = nx.Graph()
+    for fdg in pig.false_graphs:
+        for instr in fdg.instructions:
+            graph.add_node(instr)
+        for u, v in fdg.schedule_graph.edges():
+            graph.add_edge(u, v, kind="schedule")
+        for u, v in fdg.ef_pairs:
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v, kind="false")
+    return graph

@@ -1,0 +1,116 @@
+"""Scheduling value of false-dependence edges.
+
+When register pressure forces the coloring procedure to give up
+parallelism, it should "remove from both G and G' a false dependence
+edge not in E_r (e.g. an edge {v, u} for which scheduling u with v
+contributes the least)".  This module quantifies that contribution:
+
+* pairs whose (delay-weighted) earliest start times coincide are the
+  ones a scheduler would actually co-issue — large EP distance means
+  the parallelism was unlikely to materialize anyway;
+* pairs on long critical chains matter more — "early scheduling of an
+  instruction which is last on a critical path" is the paper's own
+  example priority.
+
+``value = (1 + max(height_u, height_v)) / (1 + |EP(u) − EP(v)|)``;
+the procedure removes the edge of minimum value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.webs import Web
+from repro.core.parallel_interference import ParallelInterferenceGraph
+from repro.deps.false_dependence import FalseDependenceGraph
+from repro.deps.transitive import earliest_start_times, ordered_pair
+from repro.ir.instructions import Instruction
+
+
+@dataclass
+class SchedulingValueModel:
+    """Precomputed EP numbers and critical heights for every region."""
+
+    pig: ParallelInterferenceGraph
+    _ep: Dict[int, int]
+    _height: Dict[int, float]
+    _fdg_of: Dict[int, FalseDependenceGraph]
+
+    @classmethod
+    def build(cls, pig: ParallelInterferenceGraph) -> "SchedulingValueModel":
+        ep: Dict[int, int] = {}
+        height: Dict[int, float] = {}
+        fdg_of: Dict[int, FalseDependenceGraph] = {}
+        for fdg in pig.false_graphs:
+            sg = fdg.schedule_graph
+            start = earliest_start_times(sg)
+            local_height: Dict[Instruction, float] = {}
+            for instr in reversed(sg.topological_order()):
+                best = float(
+                    sg.machine.latency_of(instr) if sg.machine else instr.latency
+                )
+                for succ in sg.graph.successors(instr):
+                    best = max(best, sg.delay(instr, succ) + local_height[succ])
+                local_height[instr] = best
+            for instr in sg.instructions:
+                ep[instr.uid] = start[instr]
+                height[instr.uid] = local_height[instr]
+                fdg_of[instr.uid] = fdg
+        return cls(pig=pig, _ep=ep, _height=height, _fdg_of=fdg_of)
+
+    # ------------------------------------------------------------------
+    # Pair- and edge-level values
+    # ------------------------------------------------------------------
+
+    def pair_value(self, u: Instruction, v: Instruction) -> float:
+        """Value of co-scheduling instructions *u* and *v*."""
+        ep_u, ep_v = self._ep.get(u.uid, 0), self._ep.get(v.uid, 0)
+        h_u, h_v = self._height.get(u.uid, 1.0), self._height.get(v.uid, 1.0)
+        return (1.0 + max(h_u, h_v)) / (1.0 + abs(ep_u - ep_v))
+
+    def _contributing_pairs(
+        self, web_a: Web, web_b: Web
+    ) -> List[Tuple[Instruction, Instruction]]:
+        """Instruction pairs whose E_f membership created this web edge."""
+        pairs = []
+        defs_a = sorted(web_a.definitions, key=lambda d: d.instruction.uid)
+        defs_b = sorted(web_b.definitions, key=lambda d: d.instruction.uid)
+        for point_a in defs_a:
+            fdg = self._fdg_of.get(point_a.instruction.uid)
+            if fdg is None:
+                continue
+            for point_b in defs_b:
+                pair = ordered_pair(point_a.instruction, point_b.instruction)
+                if pair in fdg.ef_pairs:
+                    pairs.append(pair)
+        return pairs
+
+    def edge_value(self, web_a: Web, web_b: Web) -> float:
+        """Scheduling value of the false edge {web_a, web_b}: the best
+        co-issue opportunity among its contributing instruction pairs.
+        Edges with no surviving pair (possible after spilling rounds)
+        are worthless.
+
+        Values depend only on the (fixed) EP numbers and heights, so
+        they are memoized — the coloring procedure queries the same
+        edges many times.
+        """
+        cache = getattr(self, "_edge_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_edge_cache", cache)
+        key = (
+            (web_a.index, web_b.index)
+            if web_a.index <= web_b.index
+            else (web_b.index, web_a.index)
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        pairs = self._contributing_pairs(web_a, web_b)
+        value = (
+            max(self.pair_value(u, v) for u, v in pairs) if pairs else 0.0
+        )
+        cache[key] = value
+        return value

@@ -1,0 +1,157 @@
+"""Data-dependence detection over instruction sequences.
+
+The paper's definition: "Let u and v be two instructions.  A data
+dependence from u to v exists if one of the following holds:
+*data flow dependence* — the register defined in u is used in v;
+*data anti-dependence* — a register used in u is later redefined in v;
+*data output dependence* — the register defined in u is redefined in v."
+
+With symbolic registers ("one symbolic register per value") no register
+is redefined, so a symbolic block has only flow dependences — "the set
+E_t contains exactly the real constraints on the scheduler".  After
+register allocation the same detector reports the anti/output
+dependences that reuse introduced; comparing the two is how false
+dependences are found.
+
+Memory dependences (store/load ordering through may-aliasing symbols)
+are detected alongside, since they also constrain the scheduler.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.ir.instructions import Instruction
+from repro.ir.operands import Register
+
+
+class DependenceKind(enum.Enum):
+    FLOW = "flow"
+    ANTI = "anti"
+    OUTPUT = "output"
+    MEMORY = "memory"
+    CONTROL = "control"
+    MACHINE = "machine"
+
+    def __repr__(self) -> str:
+        return "DependenceKind.{}".format(self.name)
+
+
+#: Dependence kinds introduced (only) by register reuse.
+FALSE_CANDIDATE_KINDS = (DependenceKind.ANTI, DependenceKind.OUTPUT)
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A directed dependence: *source* must execute before *target*."""
+
+    source: Instruction
+    target: Instruction
+    kind: DependenceKind
+    register: Optional[Register] = None
+
+    def __str__(self) -> str:
+        what = "" if self.register is None else " on {}".format(self.register)
+        return "{} --{}{}-> {}".format(
+            self.source, self.kind.value, what, self.target
+        )
+
+
+def _may_alias(a: Instruction, b: Instruction) -> bool:
+    """Conservative memory aliasing: two accesses may touch the same
+    location when they share a base symbol, or when either uses a
+    register-computed address with no symbol at all."""
+    symbols_a = set(a.memory_symbols())
+    symbols_b = set(b.memory_symbols())
+    if not symbols_a or not symbols_b:
+        # A memory access with no symbol is through an arbitrary
+        # register address: assume it can alias anything.
+        return True
+    return bool(symbols_a & symbols_b)
+
+
+def register_dependences(
+    instructions: Sequence[Instruction],
+) -> List[Dependence]:
+    """Flow/anti/output dependences of a straight-line sequence.
+
+    Edges connect each access to the *nearest* conflicting access (the
+    transitive closure recovers the rest): a use depends on the most
+    recent def; a redef is anti-dependent on uses since the previous
+    def and output-dependent on the previous def.
+    """
+    deps: List[Dependence] = []
+    seen = set()
+    last_def: Dict[Register, Instruction] = {}
+    uses_since_def: Dict[Register, List[Instruction]] = {}
+
+    def emit(source: Instruction, target: Instruction,
+             kind: DependenceKind, reg: Register) -> None:
+        key = (source.uid, target.uid, kind, reg)
+        if key not in seen:  # an operand used twice yields one edge
+            seen.add(key)
+            deps.append(Dependence(source, target, kind, reg))
+
+    for instr in instructions:
+        for reg in instr.uses():
+            producer = last_def.get(reg)
+            if producer is not None and producer is not instr:
+                emit(producer, instr, DependenceKind.FLOW, reg)
+            uses_since_def.setdefault(reg, []).append(instr)
+        for reg in instr.defs():
+            previous = last_def.get(reg)
+            if previous is not None and previous is not instr:
+                emit(previous, instr, DependenceKind.OUTPUT, reg)
+            for user in uses_since_def.get(reg, []):
+                if user is not instr:
+                    emit(user, instr, DependenceKind.ANTI, reg)
+            last_def[reg] = instr
+            uses_since_def[reg] = []
+    return deps
+
+
+def memory_dependences(
+    instructions: Sequence[Instruction],
+) -> List[Dependence]:
+    """Store/load ordering dependences (read-read pairs are free).
+
+    Calls act as full memory barriers: they may read and write any
+    location, so they order against every memory access and other
+    calls.
+    """
+    deps: List[Dependence] = []
+    memory_ops: List[Instruction] = []
+    for instr in instructions:
+        if not (instr.is_memory_access or instr.opcode.is_call):
+            continue
+        writes = instr.opcode.is_store or instr.opcode.is_call
+        for earlier in memory_ops:
+            earlier_writes = earlier.opcode.is_store or earlier.opcode.is_call
+            if not (writes or earlier_writes):
+                continue  # load-load: no ordering needed
+            if instr.opcode.is_call or earlier.opcode.is_call or _may_alias(
+                earlier, instr
+            ):
+                deps.append(Dependence(earlier, instr, DependenceKind.MEMORY))
+        memory_ops.append(instr)
+    return deps
+
+
+def all_dependences(instructions: Sequence[Instruction]) -> List[Dependence]:
+    """Register plus memory dependences of a straight-line sequence."""
+    return register_dependences(instructions) + memory_dependences(instructions)
+
+
+def false_dependence_candidates(
+    instructions: Sequence[Instruction],
+) -> List[Dependence]:
+    """The anti/output register dependences of the sequence — the only
+    dependences register allocation can *introduce* (Lemma 1 tests each
+    against the symbolic-register false-dependence graph)."""
+    return [
+        dep
+        for dep in register_dependences(instructions)
+        if dep.kind in FALSE_CANDIDATE_KINDS
+    ]

@@ -1,0 +1,109 @@
+"""The false-dependence graph G_f = (V_f, E_f).
+
+Construction, verbatim from the paper (Section 3):
+
+* ``V_f = V_s`` — the instructions, presented with symbolic registers;
+* ``E_t`` — the undirected transitive closure of G_s, plus "all the
+  non-precedence based constraints that describe the restrictions on
+  the machine capabilities" (pairs that may not share a cycle);
+* ``E_f`` — the complement: ``{u, v}`` with ``u ≠ v`` and
+  ``{u, v} ∉ E_t``.
+
+Lemma 1: an edge (u, v) of a post-allocation scheduling graph is a
+*false dependence* iff ``{u, v} ∈ E_f``.  "The edges in the complement
+graph present the actual parallelism available to our machine for the
+given program"; "the more edges are present in [E_t] the better the
+results will be" — i.e. missing machine constraints only make the
+allocator more conservative about sharing registers, never incorrect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from repro.deps.schedule_graph import ScheduleGraph, build_schedule_graph
+from repro.deps.transitive import Pair, ordered_pair, transitive_closure_pairs
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Instruction
+from repro.machine.model import MachineDescription
+from repro.machine.resources import contention_pairs
+
+
+@dataclass
+class FalseDependenceGraph:
+    """G_f plus the intermediate E_t it was derived from.
+
+    Attributes:
+        instructions: V_f in program order.
+        et_pairs: The constraint set E_t (undirected, uid-normalized).
+        ef_pairs: The false-dependence edge set E_f (the complement).
+        schedule_graph: The symbolic-register G_s the closure came from.
+    """
+
+    instructions: List[Instruction]
+    et_pairs: Set[Pair]
+    ef_pairs: Set[Pair]
+    schedule_graph: ScheduleGraph
+
+    def has_false_edge(self, a: Instruction, b: Instruction) -> bool:
+        """Lemma 1 test: could *a* and *b* issue in the same cycle when
+        the code is presented with symbolic registers?"""
+        return ordered_pair(a, b) in self.ef_pairs
+
+    def false_neighbors(self, instr: Instruction) -> List[Instruction]:
+        """Instructions co-schedulable with *instr* (its E_f neighbors,
+        "the list of available instructions" for list scheduling)."""
+        result = []
+        for a, b in self.ef_pairs:
+            if a is instr:
+                result.append(b)
+            elif b is instr:
+                result.append(a)
+        result.sort(key=lambda i: i.uid)
+        return result
+
+    @property
+    def parallelism_degree(self) -> float:
+        """|E_f| over all pairs: 1.0 means fully parallel, 0.0 serial."""
+        n = len(self.instructions)
+        total = n * (n - 1) // 2
+        return len(self.ef_pairs) / total if total else 0.0
+
+
+def false_dependence_graph(
+    sg: ScheduleGraph,
+    machine: MachineDescription,
+) -> FalseDependenceGraph:
+    """Derive G_f from a symbolic-register schedule graph and machine.
+
+    Follows the paper's recipe: transitive closure of G_s, directions
+    removed, machine contention pairs added, then complemented.
+    """
+    et: Set[Pair] = set(transitive_closure_pairs(sg))
+    for a, b in contention_pairs(sg.instructions, machine):
+        et.add(ordered_pair(a, b))
+
+    ef: Set[Pair] = set()
+    instructions = sg.instructions
+    for i, a in enumerate(instructions):
+        for b in instructions[i + 1:]:
+            pair = ordered_pair(a, b)
+            if pair not in et:
+                ef.add(pair)
+
+    return FalseDependenceGraph(
+        instructions=list(instructions),
+        et_pairs=et,
+        ef_pairs=ef,
+        schedule_graph=sg,
+    )
+
+
+def block_false_dependence_graph(
+    block: BasicBlock,
+    machine: MachineDescription,
+) -> FalseDependenceGraph:
+    """G_f of one basic block presented with symbolic registers."""
+    sg = build_schedule_graph(block.instructions, machine=machine)
+    return false_dependence_graph(sg, machine)

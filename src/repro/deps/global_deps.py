@@ -1,0 +1,107 @@
+"""Whole-function dependence reachability.
+
+Region schedule graphs concatenate only the region's own instructions,
+but a dependence between two region instructions may *transit* other
+blocks — e.g. a value loaded before an if, copied in one arm, and
+consumed after the join: load → (arm mov) → use.  Ignoring the transit
+would let the region's E_f claim the load and the use are
+co-schedulable, which they never are.
+
+:func:`function_dependence_graph` builds a conservative directed
+dependence graph over every instruction of the function:
+
+* all block-local dependences (register flow/anti/output, memory
+  ordering, branch-last control edges);
+* cross-block register flow from reaching definitions (def-use
+  chains);
+* cross-block memory ordering between may-aliasing accesses in
+  CFG-ordered blocks.
+
+:func:`transit_dependence_pairs` then reports, for a given instruction
+subset, the (layout-ordered) pairs connected through the global graph —
+exactly the edges a region schedule graph must add to stay sound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.analysis.defuse import def_use_chains
+from repro.deps.datadeps import all_dependences, _may_alias
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+
+
+def function_dependence_graph(fn: Function) -> nx.DiGraph:
+    """The conservative whole-function dependence digraph."""
+    graph = nx.DiGraph()
+    for instr in fn.instructions():
+        graph.add_node(instr)
+
+    # Block-local dependences (including branch-last ordering).
+    for block in fn.blocks():
+        for dep in all_dependences(block.instructions):
+            graph.add_edge(dep.source, dep.target)
+        terminator = block.terminator
+        if terminator is not None:
+            for instr in block.instructions[:-1]:
+                graph.add_edge(instr, terminator)
+
+    # Cross-block register flow: def -> use for every reaching def.
+    chains = def_use_chains(fn)
+    in_graph = set(graph.nodes())
+    for (instr, _reg), defs in chains.defs_of.items():
+        if instr not in in_graph:
+            continue  # synthetic live-out anchors
+        for point in defs:
+            if point.instruction is not instr:
+                graph.add_edge(point.instruction, instr)
+
+    # Cross-block memory ordering (conservative, layout order between
+    # distinct blocks: a write in an earlier block orders against
+    # later-block aliasing accesses and vice versa).
+    memory_ops: List[Tuple[int, Instruction]] = []
+    for block_index, block in enumerate(fn.blocks()):
+        for instr in block:
+            if instr.is_memory_access or instr.opcode.is_call:
+                memory_ops.append((block_index, instr))
+    for i, (block_a, a) in enumerate(memory_ops):
+        writes_a = a.opcode.is_store or a.opcode.is_call
+        for block_b, b in memory_ops[i + 1:]:
+            if block_a == block_b:
+                continue  # block-local pass covered it
+            writes_b = b.opcode.is_store or b.opcode.is_call
+            if not (writes_a or writes_b):
+                continue
+            if a.opcode.is_call or b.opcode.is_call or _may_alias(a, b):
+                graph.add_edge(a, b)
+    return graph
+
+
+def transit_dependence_pairs(
+    fn: Function,
+    instructions: Sequence[Instruction],
+    dependence_graph: nx.DiGraph = None,
+) -> List[Tuple[Instruction, Instruction]]:
+    """Pairs (u, v) of *instructions* (u before v in the given order)
+    connected through the whole-function dependence graph.
+
+    Only forward (order-respecting) pairs are returned, so adding them
+    as edges keeps the region schedule graph acyclic even when the
+    global graph has loop-carried cycles.
+    """
+    if dependence_graph is None:
+        dependence_graph = function_dependence_graph(fn)
+    position = {instr: idx for idx, instr in enumerate(instructions)}
+    members = set(instructions)
+    pairs: List[Tuple[Instruction, Instruction]] = []
+    for u in instructions:
+        if u not in dependence_graph:
+            continue
+        reachable = nx.descendants(dependence_graph, u)
+        for v in reachable:
+            if v in members and position[u] < position[v]:
+                pairs.append((u, v))
+    return pairs

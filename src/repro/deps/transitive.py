@@ -1,0 +1,88 @@
+"""Transitive closure of the schedule graph.
+
+The construction of E_t starts from "the set of edges in the transitive
+closure of G_s ... after the removal of the directions of the edges".
+The closure is computed by a reverse-topological reachability DP —
+O(V·E/word) with Python sets, deterministic, and independent of
+networkx version quirks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.deps.schedule_graph import ScheduleGraph
+from repro.ir.instructions import Instruction
+
+#: An undirected instruction pair, order-normalized by uid.
+Pair = Tuple[Instruction, Instruction]
+
+
+def ordered_pair(a: Instruction, b: Instruction) -> Pair:
+    """Normalize an unordered pair deterministically by uid."""
+    return (a, b) if a.uid <= b.uid else (b, a)
+
+
+def reachability(sg: ScheduleGraph) -> Dict[Instruction, Set[Instruction]]:
+    """For each instruction, the set of instructions reachable from it
+    through schedule-graph edges (excluding itself)."""
+    reach: Dict[Instruction, Set[Instruction]] = {}
+    for instr in reversed(sg.topological_order()):
+        result: Set[Instruction] = set()
+        for succ in sg.graph.successors(instr):
+            result.add(succ)
+            result |= reach[succ]
+        reach[instr] = result
+    return reach
+
+
+def transitive_closure_pairs(sg: ScheduleGraph) -> Set[Pair]:
+    """The undirected edge set of the transitive closure of G_s.
+
+    A pair {u, v} is present iff there is a directed path u→v or v→u;
+    such pairs can never issue in the same cycle.
+    """
+    pairs: Set[Pair] = set()
+    for instr, reachable in reachability(sg).items():
+        for other in reachable:
+            pairs.add(ordered_pair(instr, other))
+    return pairs
+
+
+def earliest_start_times(sg: ScheduleGraph) -> Dict[Instruction, int]:
+    """Delay-weighted earliest start (ASAP) time of each instruction,
+    ignoring resources — the basis of the paper's EP numbers."""
+    start: Dict[Instruction, int] = {}
+    for instr in sg.topological_order():
+        earliest = 0
+        for pred in sg.graph.predecessors(instr):
+            earliest = max(earliest, start[pred] + sg.delay(pred, instr))
+        start[instr] = earliest
+    return start
+
+
+def latest_start_times(sg: ScheduleGraph) -> Dict[Instruction, int]:
+    """Delay-weighted latest start (ALAP) times, normalized so the
+    critical path's makespan is preserved; used by scheduling
+    priorities (slack = ALAP − ASAP)."""
+    asap = earliest_start_times(sg)
+    horizon = max(
+        (asap[i] + (sg.machine.latency_of(i) if sg.machine else i.latency)
+         for i in sg.instructions),
+        default=0,
+    )
+    latest: Dict[Instruction, int] = {}
+    for instr in reversed(sg.topological_order()):
+        own_latency = sg.machine.latency_of(instr) if sg.machine else instr.latency
+        bound = horizon - own_latency
+        for succ in sg.graph.successors(instr):
+            bound = min(bound, latest[succ] - sg.delay(instr, succ))
+        latest[instr] = bound
+    return latest
+
+
+def slack(sg: ScheduleGraph) -> Dict[Instruction, int]:
+    """Scheduling slack per instruction; zero marks the critical path."""
+    asap = earliest_start_times(sg)
+    alap = latest_start_times(sg)
+    return {instr: alap[instr] - asap[instr] for instr in sg.instructions}

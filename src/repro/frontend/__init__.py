@@ -1,0 +1,52 @@
+"""Frontend: the miniature source language the paper's translation
+step presupposes — lexer, parser, AST and lowering to symbolic-register
+IR."""
+
+from repro.frontend.ast import (
+    Assign,
+    Binary,
+    Expr,
+    FloatLiteral,
+    If,
+    IndexRef,
+    InputDecl,
+    IntLiteral,
+    Output,
+    Program,
+    Stmt,
+    Unary,
+    VarRef,
+    While,
+)
+from repro.frontend.lexer import ParseError, Token, TokenKind, tokenize
+from repro.frontend.lower import (
+    LoweringError,
+    compile_source,
+    lower_program,
+)
+from repro.frontend.parser import parse_source
+
+__all__ = [
+    "Assign",
+    "Binary",
+    "Expr",
+    "FloatLiteral",
+    "If",
+    "IndexRef",
+    "InputDecl",
+    "IntLiteral",
+    "LoweringError",
+    "Output",
+    "ParseError",
+    "Program",
+    "Stmt",
+    "Token",
+    "TokenKind",
+    "Unary",
+    "VarRef",
+    "While",
+    "compile_source",
+    "lower_program",
+    "parse_source",
+    "tokenize",
+]

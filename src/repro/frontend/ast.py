@@ -1,0 +1,138 @@
+"""Abstract syntax of the miniature source language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IntLiteral:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class FloatLiteral:
+    """A float-tagged literal: lowered through the floating-point unit."""
+
+    value: float
+
+    def __str__(self) -> str:
+        return "{}f".format(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class IndexRef:
+    """Array element ``base[index]`` (a memory load)."""
+
+    base: str
+    index: "Expr"
+
+    def __str__(self) -> str:
+        return "{}[{}]".format(self.base, self.index)
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # "-" or "!"
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return "({}{})".format(self.op, self.operand)
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return "({} {} {})".format(self.left, self.op, self.right)
+
+
+Expr = Union[IntLiteral, FloatLiteral, VarRef, IndexRef, Unary, Binary]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class InputDecl:
+    """``input a, b;`` — names bound to memory-resident inputs."""
+
+    names: Tuple[str, ...]
+    is_float: bool = False
+
+    def __str__(self) -> str:
+        return "input {};".format(", ".join(self.names))
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``x = expr;`` or ``base[index] = expr;``"""
+
+    target: Union[VarRef, IndexRef]
+    value: Expr
+
+    def __str__(self) -> str:
+        return "{} = {};".format(self.target, self.value)
+
+
+@dataclass(frozen=True)
+class Output:
+    """``output x;`` — the value is live-out of the program."""
+
+    names: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        return "output {};".format(", ".join(self.names))
+
+
+@dataclass(frozen=True)
+class If:
+    condition: Expr
+    then_body: Tuple["Stmt", ...]
+    else_body: Tuple["Stmt", ...] = ()
+
+    def __str__(self) -> str:
+        text = "if ({}) {{ ... }}".format(self.condition)
+        if self.else_body:
+            text += " else { ... }"
+        return text
+
+
+@dataclass(frozen=True)
+class While:
+    condition: Expr
+    body: Tuple["Stmt", ...]
+
+    def __str__(self) -> str:
+        return "while ({}) {{ ... }}".format(self.condition)
+
+
+Stmt = Union[InputDecl, Assign, Output, If, While]
+
+
+@dataclass(frozen=True)
+class Program:
+    statements: Tuple[Stmt, ...]
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.statements)

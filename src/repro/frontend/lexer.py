@@ -1,0 +1,135 @@
+"""Lexer for the miniature source language.
+
+The paper assumes "the source code of the program is first translated
+into register based intermediate code where an infinite number of
+symbolic registers is assumed (one symbolic register per value)".
+The frontend package provides that translation for a small imperative
+language, so workloads can be written as source::
+
+    input a, b;
+    x = a * b + 3.0f;
+    if (x > a) { y = x - a; } else { y = a - x; }
+    output y;
+
+Token kinds: identifiers, integer literals, float-tagged literals
+(``3.0f`` marks floating-point arithmetic), operators, punctuation and
+keywords (``input``, ``output``, ``if``, ``else``, ``while``).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.utils.errors import IRError
+
+
+class ParseError(IRError):
+    """Lexical or syntactic error in frontend source."""
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    OP = "op"
+    PUNCT = "punct"
+    KEYWORD = "keyword"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({"input", "output", "if", "else", "while"})
+
+#: Multi-character operators first so maximal munch works.
+OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "&", "|", "^", "<", ">", "=", "!",
+)
+
+PUNCTUATION = ("(", ")", "{", "}", "[", "]", ";", ",")
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_FLOAT_RE = re.compile(r"\d+\.\d+f?|\d+f")
+_INT_RE = re.compile(r"\d+")
+_WS_RE = re.compile(r"[ \t\r\n]+")
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.S)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source line (1-based) for errors."""
+
+    kind: TokenKind
+    text: str
+    line: int
+
+    def __str__(self) -> str:
+        return "{}:{!r}".format(self.kind.value, self.text)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*.
+
+    Raises:
+        ParseError: on any character no rule matches.
+    """
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+
+    def advance(text: str) -> None:
+        nonlocal pos, line
+        pos += len(text)
+        line += text.count("\n")
+
+    while pos < len(source):
+        rest = source[pos:]
+        ws = _WS_RE.match(rest)
+        if ws:
+            advance(ws.group())
+            continue
+        comment = _COMMENT_RE.match(rest)
+        if comment:
+            advance(comment.group())
+            continue
+        flt = _FLOAT_RE.match(rest)
+        if flt:
+            tokens.append(Token(TokenKind.FLOAT, flt.group(), line))
+            advance(flt.group())
+            continue
+        integer = _INT_RE.match(rest)
+        if integer:
+            tokens.append(Token(TokenKind.INT, integer.group(), line))
+            advance(integer.group())
+            continue
+        ident = _IDENT_RE.match(rest)
+        if ident:
+            kind = (
+                TokenKind.KEYWORD
+                if ident.group() in KEYWORDS
+                else TokenKind.IDENT
+            )
+            tokens.append(Token(kind, ident.group(), line))
+            advance(ident.group())
+            continue
+        for op in OPERATORS:
+            if rest.startswith(op):
+                tokens.append(Token(TokenKind.OP, op, line))
+                advance(op)
+                break
+        else:
+            for punct in PUNCTUATION:
+                if rest.startswith(punct):
+                    tokens.append(Token(TokenKind.PUNCT, punct, line))
+                    advance(punct)
+                    break
+            else:
+                raise ParseError(
+                    "line {}: unexpected character {!r}".format(
+                        line, rest[0]
+                    )
+                )
+    tokens.append(Token(TokenKind.EOF, "", line))
+    return tokens

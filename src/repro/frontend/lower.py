@@ -1,0 +1,347 @@
+"""Lowering: source AST → symbolic-register IR.
+
+This is the translation the paper presupposes — each computed value
+receives a fresh symbolic register ("one symbolic register per value").
+Control flow lowers to a CFG whose joins naturally produce the paper's
+Figure 6 situation: a variable assigned in both arms of an ``if`` is
+written into one *join register* on each arm, so several definitions
+reach its uses after the join and web construction combines them.
+
+Loops lower with a *loop register* per loop-carried variable,
+initialized in the preheader and updated at the bottom of the body.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.frontend.ast import (
+    Assign,
+    Binary,
+    Expr,
+    FloatLiteral,
+    If,
+    IndexRef,
+    InputDecl,
+    IntLiteral,
+    Output,
+    Program,
+    Stmt,
+    Unary,
+    VarRef,
+    While,
+)
+from repro.frontend.lexer import ParseError
+from repro.frontend.parser import parse_source
+from repro.ir.builder import BlockBuilder, FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import VirtualRegister
+
+_INT_BINARY = {
+    "+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL, "/": Opcode.DIV,
+    "%": Opcode.MOD, "&": Opcode.AND, "|": Opcode.OR, "^": Opcode.XOR,
+    "<<": Opcode.SHL, ">>": Opcode.SHR,
+    "<": Opcode.SLT, "<=": Opcode.SLE, ">": Opcode.SGT, ">=": Opcode.SGE,
+    "==": Opcode.SEQ, "!=": Opcode.SNE,
+    "&&": Opcode.AND, "||": Opcode.OR,
+}
+
+_FLOAT_BINARY = {
+    "+": Opcode.FADD, "-": Opcode.FSUB, "*": Opcode.FMUL, "/": Opcode.FDIV,
+}
+
+
+@dataclass
+class _Value:
+    """A lowered expression result: the register plus its unit class."""
+
+    register: VirtualRegister
+    is_float: bool
+
+
+class LoweringError(ParseError):
+    """Semantic error during lowering (undefined variable etc.)."""
+
+
+class _Lowerer:
+    def __init__(self, name: str) -> None:
+        self.fb = FunctionBuilder(name)
+        self.block_counter = itertools.count(1)
+        self.join_counter = itertools.count(1)
+        self.current: BlockBuilder = self.fb.block("entry", entry=True)
+        #: variable name -> current value
+        self.env: Dict[str, _Value] = {}
+        self.inputs: Set[str] = set()
+        self.outputs: List[str] = []
+        self.float_literal_scale = 1  # floats are integral in the mini IR
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def new_block(self, hint: str) -> BlockBuilder:
+        name = "{}{}".format(hint, next(self.block_counter))
+        return self.fb.block(name)
+
+    def lookup(self, name: str) -> _Value:
+        if name not in self.env:
+            raise LoweringError("use of undefined variable {!r}".format(name))
+        return self.env[name]
+
+    @staticmethod
+    def collect_assigned(statements) -> Set[str]:
+        names: Set[str] = set()
+        for stmt in statements:
+            if isinstance(stmt, Assign) and isinstance(stmt.target, VarRef):
+                names.add(stmt.target.name)
+            elif isinstance(stmt, If):
+                names |= _Lowerer.collect_assigned(stmt.then_body)
+                names |= _Lowerer.collect_assigned(stmt.else_body)
+            elif isinstance(stmt, While):
+                names |= _Lowerer.collect_assigned(stmt.body)
+        return names
+
+    @staticmethod
+    def definitely_assigned(statements) -> Set[str]:
+        """Names assigned on *every* execution path through the list
+        (while bodies may not run; if contributes the intersection of
+        its arms)."""
+        names: Set[str] = set()
+        for stmt in statements:
+            if isinstance(stmt, Assign) and isinstance(stmt.target, VarRef):
+                names.add(stmt.target.name)
+            elif isinstance(stmt, InputDecl):
+                names.update(stmt.names)
+            elif isinstance(stmt, If):
+                names |= (
+                    _Lowerer.definitely_assigned(stmt.then_body)
+                    & _Lowerer.definitely_assigned(stmt.else_body)
+                )
+        return names
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def lower_expr(self, expr: Expr) -> _Value:
+        if isinstance(expr, IntLiteral):
+            reg = self.current.loadi(expr.value)
+            return _Value(reg, False)
+        if isinstance(expr, FloatLiteral):
+            # Floats in the mini language select the FP unit; the value
+            # itself is integral for the interpreter's word algebra.
+            reg = self.current.loadi(int(expr.value))
+            return _Value(reg, True)
+        if isinstance(expr, VarRef):
+            return self.lookup(expr.name)
+        if isinstance(expr, IndexRef):
+            index = self.lower_expr(expr.index)
+            reg = self.current.load_indexed(expr.base, index.register)
+            return _Value(reg, False)
+        if isinstance(expr, Unary):
+            operand = self.lower_expr(expr.operand)
+            if expr.op == "-":
+                zero = self.current.loadi(0)
+                opcode = Opcode.FSUB if operand.is_float else Opcode.SUB
+                reg = self.current.emit(opcode, (zero, operand.register))
+                return _Value(reg, operand.is_float)
+            if expr.op == "!":
+                reg = self.current.emit(Opcode.SEQ, (operand.register, 0))
+                return _Value(reg, False)
+            raise LoweringError("unknown unary operator {!r}".format(expr.op))
+        if isinstance(expr, Binary):
+            left = self.lower_expr(expr.left)
+            right = self.lower_expr(expr.right)
+            is_float = left.is_float or right.is_float
+            if is_float and expr.op in _FLOAT_BINARY:
+                opcode = _FLOAT_BINARY[expr.op]
+                result_float = True
+            elif expr.op in _INT_BINARY:
+                opcode = _INT_BINARY[expr.op]
+                # comparisons and logic produce int flags
+                result_float = is_float and expr.op in ("+", "-", "*", "/")
+            else:
+                raise LoweringError(
+                    "operator {!r} not supported{}".format(
+                        expr.op, " on floats" if is_float else ""
+                    )
+                )
+            reg = self.current.emit(
+                opcode, (left.register, right.register)
+            )
+            return _Value(reg, result_float)
+        raise LoweringError("cannot lower expression {!r}".format(expr))
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def lower_statement(self, stmt: Stmt) -> None:
+        if isinstance(stmt, InputDecl):
+            for name in stmt.names:
+                reg = self.current.load(name)
+                self.env[name] = _Value(reg, stmt.is_float)
+                self.inputs.add(name)
+        elif isinstance(stmt, Assign):
+            value = self.lower_expr(stmt.value)
+            if isinstance(stmt.target, VarRef):
+                self.env[stmt.target.name] = value
+            else:
+                # Indexed store: base[index] = value.
+                index = self.lower_expr(stmt.target.index)
+                self.current.emit(
+                    Opcode.FSTORE if value.is_float else Opcode.STORE,
+                    (value.register, stmt.target.base, index.register),
+                )
+        elif isinstance(stmt, Output):
+            for name in stmt.names:
+                self.lookup(name)  # must be defined
+                self.outputs.append(name)
+        elif isinstance(stmt, If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, While):
+            self.lower_while(stmt)
+        else:
+            raise LoweringError("cannot lower statement {!r}".format(stmt))
+
+    def lower_if(self, stmt: If) -> None:
+        condition = self.lower_expr(stmt.condition)
+        head = self.current
+
+        then_block = self.new_block("then")
+        else_block = self.new_block("else")
+        join_block = self.new_block("join")
+
+        head.cbr(condition.register, then_block.name)
+        self.fb.edge(head.name, then_block.name)
+        self.fb.edge(head.name, else_block.name)
+
+        assigned_any = self.collect_assigned(
+            stmt.then_body
+        ) | self.collect_assigned(stmt.else_body)
+        definite = self.definitely_assigned(
+            stmt.then_body
+        ) & self.definitely_assigned(stmt.else_body)
+        # A variable survives the join when it is assigned on both
+        # paths, or was already defined before the if (the untouched
+        # arm forwards the old value).  Names assigned on only one
+        # path with no prior value are arm-local and do not escape.
+        merge_names = sorted(
+            definite | (assigned_any & set(self.env))
+        )
+        join_regs = {
+            name: VirtualRegister(
+                "{}.j{}".format(name, next(self.join_counter))
+            )
+            for name in merge_names
+        }
+
+        saved_env = dict(self.env)
+        merged_float: Dict[str, bool] = {name: False for name in merge_names}
+
+        for block, body in ((then_block, stmt.then_body),
+                            (else_block, stmt.else_body)):
+            self.current = block
+            self.env = dict(saved_env)
+            for inner in body:
+                self.lower_statement(inner)
+            for name in merge_names:
+                value = self.env.get(name)
+                if value is None:  # pragma: no cover - merge set excludes this
+                    raise LoweringError(
+                        "variable {!r} not defined on every path".format(name)
+                    )
+                self.current.emit(
+                    Opcode.MOV, (value.register,), dest=join_regs[name]
+                )
+                merged_float[name] = merged_float[name] or value.is_float
+            self.current.br(join_block.name)
+            self.fb.edge(self.current.name, join_block.name)
+
+        self.current = join_block
+        self.env = dict(saved_env)
+        for name in merge_names:
+            self.env[name] = _Value(join_regs[name], merged_float[name])
+
+    def lower_while(self, stmt: While) -> None:
+        assigned = self.collect_assigned(stmt.body)
+        # Only variables live into the loop are loop-carried; names
+        # first assigned inside the body are iteration-local.
+        carried = sorted(name for name in assigned if name in self.env)
+        body_local = assigned - set(carried)
+        loop_regs = {
+            name: VirtualRegister(
+                "{}.l{}".format(name, next(self.join_counter))
+            )
+            for name in carried
+        }
+
+        preheader = self.current
+        for name in carried:
+            value = self.lookup(name)
+            preheader.emit(Opcode.MOV, (value.register,), dest=loop_regs[name])
+            self.env[name] = _Value(loop_regs[name], value.is_float)
+
+        header = self.new_block("header")
+        body = self.new_block("body")
+        exit_block = self.new_block("exit")
+
+        preheader.br(header.name)
+        self.fb.edge(preheader.name, header.name)
+
+        self.current = header
+        condition = self.lower_expr(stmt.condition)
+        header.cbr(condition.register, body.name)
+        self.fb.edge(header.name, body.name)
+        self.fb.edge(header.name, exit_block.name)
+
+        self.current = body
+        body_env = dict(self.env)
+        self.env = body_env
+        for inner in stmt.body:
+            self.lower_statement(inner)
+        for name in carried:
+            value = self.env[name]
+            if value.register != loop_regs[name]:
+                self.current.emit(
+                    Opcode.MOV, (value.register,), dest=loop_regs[name]
+                )
+        self.current.br(header.name)
+        self.fb.edge(self.current.name, header.name)
+
+        self.current = exit_block
+        for name in carried:
+            self.env[name] = _Value(loop_regs[name], self.env[name].is_float)
+        # Iteration-local names do not escape the loop: if the body
+        # never runs their registers are undefined, so drop them.
+        for name in body_local:
+            self.env.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def lower(self, program: Program) -> Function:
+        for stmt in program.statements:
+            self.lower_statement(stmt)
+        live_out = tuple(
+            self.env[name].register for name in dict.fromkeys(self.outputs)
+        )
+        return self.fb.function(live_out=live_out)
+
+
+def lower_program(program: Program, name: str = "main") -> Function:
+    """Lower a parsed :class:`Program` to IR."""
+    return _Lowerer(name).lower(program)
+
+
+def compile_source(source: str, name: str = "main") -> Function:
+    """Front door: source text → verified symbolic-register function."""
+    from repro.ir.verifier import verify_function
+
+    fn = lower_program(parse_source(source), name=name)
+    verify_function(fn)
+    return fn

@@ -1,0 +1,237 @@
+"""Recursive-descent parser for the miniature source language.
+
+Grammar::
+
+    program   := stmt*
+    stmt      := input | output | if | while | assign
+    input     := "input" ["float"-less: by literal suffix] NAME ("," NAME)* ";"
+    output    := "output" NAME ("," NAME)* ";"
+    if        := "if" "(" expr ")" block ["else" block]
+    while     := "while" "(" expr ")" block
+    assign    := target "=" expr ";"
+    target    := NAME | NAME "[" expr "]"
+    block     := "{" stmt* "}"
+    expr      := or_expr
+    or_expr   := and_expr ("||" and_expr)*
+    and_expr  := cmp_expr ("&&" cmp_expr)*
+    cmp_expr  := bit_expr (("<"|">"|"<="|">="|"=="|"!=") bit_expr)?
+    bit_expr  := shift_expr (("&"|"|"|"^") shift_expr)*
+    shift_expr:= add_expr (("<<"|">>") add_expr)*
+    add_expr  := mul_expr (("+"|"-") mul_expr)*
+    mul_expr  := unary (("*"|"/"|"%") unary)*
+    unary     := ("-"|"!") unary | primary
+    primary   := INT | FLOAT | NAME | NAME "[" expr "]" | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.frontend.ast import (
+    Assign,
+    Binary,
+    Expr,
+    FloatLiteral,
+    If,
+    IndexRef,
+    InputDecl,
+    IntLiteral,
+    Output,
+    Program,
+    Stmt,
+    Unary,
+    VarRef,
+    While,
+)
+from repro.frontend.lexer import ParseError, Token, TokenKind, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, kind: TokenKind, text: str = None) -> Token:
+        token = self.current
+        if token.kind is not kind or (text is not None and token.text != text):
+            raise ParseError(
+                "line {}: expected {}{}, found {}".format(
+                    token.line,
+                    kind.value,
+                    " {!r}".format(text) if text else "",
+                    token,
+                )
+            )
+        return self.advance()
+
+    def accept(self, kind: TokenKind, text: str = None) -> bool:
+        token = self.current
+        if token.kind is kind and (text is None or token.text == text):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        statements: List[Stmt] = []
+        while self.current.kind is not TokenKind.EOF:
+            statements.append(self.parse_statement())
+        return Program(tuple(statements))
+
+    def parse_statement(self) -> Stmt:
+        token = self.current
+        if token.kind is TokenKind.KEYWORD:
+            if token.text == "input":
+                return self.parse_input()
+            if token.text == "output":
+                return self.parse_output()
+            if token.text == "if":
+                return self.parse_if()
+            if token.text == "while":
+                return self.parse_while()
+            raise ParseError(
+                "line {}: unexpected keyword {!r}".format(token.line, token.text)
+            )
+        return self.parse_assignment()
+
+    def _name_list(self) -> Tuple[str, ...]:
+        names = [self.expect(TokenKind.IDENT).text]
+        while self.accept(TokenKind.PUNCT, ","):
+            names.append(self.expect(TokenKind.IDENT).text)
+        self.expect(TokenKind.PUNCT, ";")
+        return tuple(names)
+
+    def parse_input(self) -> InputDecl:
+        self.expect(TokenKind.KEYWORD, "input")
+        return InputDecl(self._name_list())
+
+    def parse_output(self) -> Output:
+        self.expect(TokenKind.KEYWORD, "output")
+        return Output(self._name_list())
+
+    def parse_block(self) -> Tuple[Stmt, ...]:
+        self.expect(TokenKind.PUNCT, "{")
+        body: List[Stmt] = []
+        while not self.accept(TokenKind.PUNCT, "}"):
+            if self.current.kind is TokenKind.EOF:
+                raise ParseError("unterminated block")
+            body.append(self.parse_statement())
+        return tuple(body)
+
+    def parse_if(self) -> If:
+        self.expect(TokenKind.KEYWORD, "if")
+        self.expect(TokenKind.PUNCT, "(")
+        condition = self.parse_expression()
+        self.expect(TokenKind.PUNCT, ")")
+        then_body = self.parse_block()
+        else_body: Tuple[Stmt, ...] = ()
+        if self.accept(TokenKind.KEYWORD, "else"):
+            else_body = self.parse_block()
+        return If(condition, then_body, else_body)
+
+    def parse_while(self) -> While:
+        self.expect(TokenKind.KEYWORD, "while")
+        self.expect(TokenKind.PUNCT, "(")
+        condition = self.parse_expression()
+        self.expect(TokenKind.PUNCT, ")")
+        body = self.parse_block()
+        return While(condition, body)
+
+    def parse_assignment(self) -> Assign:
+        name = self.expect(TokenKind.IDENT).text
+        if self.accept(TokenKind.PUNCT, "["):
+            index = self.parse_expression()
+            self.expect(TokenKind.PUNCT, "]")
+            target = IndexRef(name, index)
+        else:
+            target = VarRef(name)
+        self.expect(TokenKind.OP, "=")
+        value = self.parse_expression()
+        self.expect(TokenKind.PUNCT, ";")
+        return Assign(target, value)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing via stratified productions)
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        return self._binary_level(0)
+
+    _LEVELS = (
+        ("||",),
+        ("&&",),
+        ("<", ">", "<=", ">=", "==", "!="),
+        ("&", "|", "^"),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    )
+
+    def _binary_level(self, level: int) -> Expr:
+        if level >= len(self._LEVELS):
+            return self.parse_unary()
+        ops = self._LEVELS[level]
+        left = self._binary_level(level + 1)
+        while (
+            self.current.kind is TokenKind.OP and self.current.text in ops
+        ):
+            op = self.advance().text
+            right = self._binary_level(level + 1)
+            left = Binary(op, left, right)
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.current.kind is TokenKind.OP and self.current.text in ("-", "!"):
+            op = self.advance().text
+            return Unary(op, self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind is TokenKind.INT:
+            self.advance()
+            return IntLiteral(int(token.text))
+        if token.kind is TokenKind.FLOAT:
+            self.advance()
+            text = token.text.rstrip("f")
+            return FloatLiteral(float(text))
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            if self.accept(TokenKind.PUNCT, "["):
+                index = self.parse_expression()
+                self.expect(TokenKind.PUNCT, "]")
+                return IndexRef(token.text, index)
+            return VarRef(token.text)
+        if self.accept(TokenKind.PUNCT, "("):
+            expr = self.parse_expression()
+            self.expect(TokenKind.PUNCT, ")")
+            return expr
+        raise ParseError(
+            "line {}: expected expression, found {}".format(token.line, token)
+        )
+
+
+def parse_source(source: str) -> Program:
+    """Parse *source* text into a :class:`Program`.
+
+    Raises:
+        ParseError: on lexical or syntactic errors.
+    """
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,69 @@
+"""RISC-style intermediate representation.
+
+Public surface:
+
+* operand types (:class:`VirtualRegister`, :class:`PhysicalRegister`,
+  :class:`Immediate`, :class:`MemorySymbol`, :class:`Label`)
+* :class:`Opcode` / :class:`UnitKind`
+* :class:`Instruction`, :class:`BasicBlock`, :class:`Function`
+* :class:`BlockBuilder` / :class:`FunctionBuilder` for construction
+* textual round-trip via :func:`parse_function` / :func:`format_function`
+* :func:`verify_function`
+"""
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import BlockBuilder, FunctionBuilder
+from repro.ir.evaluator import equivalent, run_function
+from repro.ir.function import Function, single_block_function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode, OpcodeInfo, UnitKind, opcode_from_mnemonic
+from repro.ir.operands import (
+    Immediate,
+    Label,
+    MemorySymbol,
+    Operand,
+    PhysicalRegister,
+    Register,
+    VirtualRegister,
+    is_register,
+)
+from repro.ir.parser import (
+    parse_block,
+    parse_function,
+    parse_instruction,
+    parse_register,
+)
+from repro.ir.printer import format_block, format_function, format_instruction
+from repro.ir.verifier import check_function, verify_function
+
+__all__ = [
+    "BasicBlock",
+    "BlockBuilder",
+    "Function",
+    "FunctionBuilder",
+    "Immediate",
+    "Instruction",
+    "Label",
+    "MemorySymbol",
+    "Opcode",
+    "OpcodeInfo",
+    "Operand",
+    "PhysicalRegister",
+    "Register",
+    "UnitKind",
+    "VirtualRegister",
+    "check_function",
+    "equivalent",
+    "format_block",
+    "format_function",
+    "format_instruction",
+    "is_register",
+    "opcode_from_mnemonic",
+    "parse_block",
+    "parse_function",
+    "parse_instruction",
+    "parse_register",
+    "run_function",
+    "single_block_function",
+    "verify_function",
+]

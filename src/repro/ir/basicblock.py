@@ -1,0 +1,137 @@
+"""Basic blocks: maximal straight-line instruction sequences.
+
+The paper's core construction is per basic block ("For a given basic
+block define the false dependence undirected graph ..."), with Section
+3's extension handling inter-block regions.  A block owns an ordered
+instruction list; reordering a block (pre-scheduling, final
+scheduling) permutes this list in place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.ir.instructions import Instruction
+from repro.ir.operands import Register
+from repro.utils.errors import IRError
+
+
+class BasicBlock:
+    """An ordered sequence of instructions with a single entry and exit.
+
+    Blocks are hashable by name (unique within a function).
+    """
+
+    __slots__ = ("name", "instructions")
+
+    def __init__(self, name: str, instructions: Iterable[Instruction] = ()) -> None:
+        self.name = name
+        self.instructions: List[Instruction] = list(instructions)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def append(self, instr: Instruction) -> Instruction:
+        """Append *instr*, keeping any terminator last.
+
+        Raises:
+            IRError: when appending a non-branch after a terminator.
+        """
+        if self.terminator is not None and not instr.opcode.is_branch:
+            raise IRError(
+                "block {!r} already has a terminator; cannot append {}".format(
+                    self.name, instr
+                )
+            )
+        self.instructions.append(instr)
+        return instr
+
+    def insert(self, index: int, instr: Instruction) -> None:
+        self.instructions.insert(index, instr)
+
+    def reorder(self, new_order: Sequence[Instruction]) -> None:
+        """Replace the instruction order with *new_order*.
+
+        The new order must be a permutation of the current instructions
+        and must keep the terminator (if any) last.
+        """
+        if sorted(i.uid for i in new_order) != sorted(i.uid for i in self.instructions):
+            raise IRError(
+                "reorder of block {!r} is not a permutation".format(self.name)
+            )
+        if new_order and any(i.opcode.is_branch for i in new_order[:-1]):
+            raise IRError(
+                "reorder of block {!r} puts a branch before the end".format(self.name)
+            )
+        self.instructions = list(new_order)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The trailing branch instruction, if present."""
+        if self.instructions and self.instructions[-1].opcode.is_branch:
+            return self.instructions[-1]
+        return None
+
+    def body(self) -> List[Instruction]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    def defined_registers(self) -> List[Register]:
+        """Registers defined in this block, in definition order."""
+        result: List[Register] = []
+        seen = set()
+        for instr in self.instructions:
+            for reg in instr.defs():
+                if reg not in seen:
+                    seen.add(reg)
+                    result.append(reg)
+        return result
+
+    def used_registers(self) -> List[Register]:
+        """Registers used in this block, in first-use order."""
+        result: List[Register] = []
+        seen = set()
+        for instr in self.instructions:
+            for reg in instr.uses():
+                if reg not in seen:
+                    seen.add(reg)
+                    result.append(reg)
+        return result
+
+    def index_of(self, instr: Instruction) -> int:
+        """Position of *instr* in the block (matched by uid)."""
+        for idx, candidate in enumerate(self.instructions):
+            if candidate.uid == instr.uid:
+                return idx
+        raise IRError(
+            "instruction #{} not in block {!r}".format(instr.uid, self.name)
+        )
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BasicBlock):
+            return NotImplemented
+        return self.name == other.name
+
+    def __str__(self) -> str:
+        lines = ["{}:".format(self.name)]
+        lines.extend("  {}".format(instr) for instr in self.instructions)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "<BasicBlock {!r} ({} instrs)>".format(self.name, len(self))

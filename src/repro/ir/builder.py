@@ -1,0 +1,311 @@
+"""Fluent construction of IR programs.
+
+The builder mirrors how the paper writes its examples: each operation
+produces a fresh symbolic register (``s1 := load z``), so Example 1
+becomes::
+
+    b = BlockBuilder()
+    s1 = b.load("z")
+    s2 = b.loadi(0, name="s2")          # s2 := i
+    s3 = b.load_indexed("a", s2)        # s3 := a[s2]
+    s4 = b.add(s1, s1)                  # s4 := s1 + s1
+    ...
+    fn = b.function("example1", live_out=[s4, s5])
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import (
+    Immediate,
+    Label,
+    MemorySymbol,
+    Operand,
+    Register,
+    VirtualRegister,
+)
+
+SourceLike = Union[Register, Immediate, MemorySymbol, int, str]
+
+
+class _NameCounter:
+    """Mutable auto-numbering for ``s1, s2, ...`` register names.
+
+    Shared between the block builders of one function so names stay
+    unique across blocks; explicit ``sN`` names fast-forward it.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self.next_id = start
+
+    def take(self) -> int:
+        value = self.next_id
+        self.next_id += 1
+        return value
+
+    def reserve(self, used: int) -> None:
+        if used >= self.next_id:
+            self.next_id = used + 1
+
+
+def _as_source(value: SourceLike) -> Operand:
+    """Coerce Python literals to operands: ints → immediates,
+    strings → memory symbols."""
+    if isinstance(value, int):
+        return Immediate(value)
+    if isinstance(value, str):
+        return MemorySymbol(value)
+    return value
+
+
+class BlockBuilder:
+    """Builds one basic block of symbolic-register code.
+
+    Every arithmetic/memory helper returns the :class:`VirtualRegister`
+    it defines; names default to ``s1, s2, ...`` in program order to
+    match the paper's notation.
+    """
+
+    def __init__(self, name: str = "entry", prefix: str = "s") -> None:
+        self.name = name
+        self._prefix = prefix
+        self._counter = _NameCounter()
+        self.instructions: List[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Register management
+    # ------------------------------------------------------------------
+
+    def fresh(self, name: Optional[str] = None) -> VirtualRegister:
+        """A fresh symbolic register (``s<k>`` unless *name* is given)."""
+        if name is None:
+            name = "{}{}".format(self._prefix, self._counter.take())
+        elif name.startswith(self._prefix) and name[len(self._prefix):].isdigit():
+            # Keep auto-numbering ahead of explicit sN names.
+            self._counter.reserve(int(name[len(self._prefix):]))
+        return VirtualRegister(name)
+
+    # ------------------------------------------------------------------
+    # Generic emission
+    # ------------------------------------------------------------------
+
+    def emit(
+        self,
+        opcode: Opcode,
+        srcs: Sequence[SourceLike] = (),
+        dest: Optional[VirtualRegister] = None,
+        name: Optional[str] = None,
+        target: Optional[str] = None,
+    ) -> Optional[VirtualRegister]:
+        """Append an instruction; returns its defined register (if any)."""
+        operands = tuple(_as_source(s) for s in srcs)
+        dests: Sequence[Register]
+        if opcode.has_dest:
+            if dest is None:
+                dest = self.fresh(name)
+            dests = (dest,)
+        else:
+            dests = ()
+        label = Label(target) if target is not None else None
+        instr = Instruction(opcode, dests, operands, target=label)
+        self.instructions.append(instr)
+        return dest
+
+    # ------------------------------------------------------------------
+    # Fixed point
+    # ------------------------------------------------------------------
+
+    def add(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.ADD, (a, b), name=name)
+
+    def sub(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.SUB, (a, b), name=name)
+
+    def mul(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.MUL, (a, b), name=name)
+
+    def div(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.DIV, (a, b), name=name)
+
+    def and_(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.AND, (a, b), name=name)
+
+    def or_(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.OR, (a, b), name=name)
+
+    def xor(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.XOR, (a, b), name=name)
+
+    def shl(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.SHL, (a, b), name=name)
+
+    def shr(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.SHR, (a, b), name=name)
+
+    def cmp(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.CMP, (a, b), name=name)
+
+    def mov(self, a: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.MOV, (a,), name=name)
+
+    def madd(self, a: SourceLike, b: SourceLike, c: SourceLike,
+             name: Optional[str] = None):
+        """Fixed-point multiply-add: ``dest := a*b + c``."""
+        return self.emit(Opcode.MADD, (a, b, c), name=name)
+
+    def loadi(self, value: int, name: Optional[str] = None):
+        return self.emit(Opcode.LOADI, (value,), name=name)
+
+    # ------------------------------------------------------------------
+    # Floating point
+    # ------------------------------------------------------------------
+
+    def fadd(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.FADD, (a, b), name=name)
+
+    def fsub(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.FSUB, (a, b), name=name)
+
+    def fmul(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.FMUL, (a, b), name=name)
+
+    def fdiv(self, a: SourceLike, b: SourceLike, name: Optional[str] = None):
+        return self.emit(Opcode.FDIV, (a, b), name=name)
+
+    def fma(self, a: SourceLike, b: SourceLike, c: SourceLike,
+            name: Optional[str] = None):
+        return self.emit(Opcode.FMA, (a, b, c), name=name)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+
+    def load(self, symbol: str, name: Optional[str] = None):
+        """``s := load @symbol``"""
+        return self.emit(Opcode.LOAD, (symbol,), name=name)
+
+    def fload(self, symbol: str, name: Optional[str] = None):
+        return self.emit(Opcode.FLOAD, (symbol,), name=name)
+
+    def load_indexed(self, symbol: str, index: SourceLike,
+                     name: Optional[str] = None):
+        """``s := load @symbol[index]`` (the paper's ``a[s2]``)."""
+        return self.emit(Opcode.LOAD, (symbol, index), name=name)
+
+    def store(self, value: SourceLike, symbol: str):
+        """``store value -> @symbol`` (ends the value's live interval)."""
+        return self.emit(Opcode.STORE, (value, symbol))
+
+    def fstore(self, value: SourceLike, symbol: str):
+        return self.emit(Opcode.FSTORE, (value, symbol))
+
+    # ------------------------------------------------------------------
+    # Control / misc
+    # ------------------------------------------------------------------
+
+    def br(self, target: str):
+        return self.emit(Opcode.BR, (), target=target)
+
+    def cbr(self, cond: SourceLike, target: str):
+        return self.emit(Opcode.CBR, (cond,), target=target)
+
+    def ret(self):
+        return self.emit(Opcode.RET, ())
+
+    def call(self, name: Optional[str] = None, args: Sequence[SourceLike] = ()):
+        return self.emit(Opcode.CALL, tuple(args), name=name)
+
+    def use(self, value: SourceLike):
+        """Mark *value* as consumed (keeps its live range open)."""
+        return self.emit(Opcode.USE, (value,))
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def block(self) -> BasicBlock:
+        return BasicBlock(self.name, self.instructions)
+
+    def function(
+        self,
+        name: str = "main",
+        live_out: Sequence[Register] = (),
+        live_in: Sequence[Register] = (),
+    ) -> Function:
+        """Wrap the built block as a single-block function."""
+        fn = Function(name, live_out=tuple(live_out), live_in=tuple(live_in))
+        fn.add_block(self.block(), entry=True)
+        return fn
+
+
+class FunctionBuilder:
+    """Builds a multi-block function with explicit CFG edges.
+
+    Usage::
+
+        fb = FunctionBuilder("f")
+        entry = fb.block("entry")
+        then = fb.block("then")
+        ...
+        cond = entry.cmp(x, 0)
+        entry.cbr(cond, "then")
+        fb.edge("entry", "then")
+        fn = fb.function(live_out=[result])
+    """
+
+    def __init__(self, name: str = "main", prefix: str = "s") -> None:
+        self.name = name
+        self._prefix = prefix
+        self._shared_counter = _NameCounter()
+        self._builders: Dict[str, BlockBuilder] = {}
+        self._edges: List[tuple] = []
+        self._entry: Optional[str] = None
+
+    def block(self, name: str, entry: bool = False) -> BlockBuilder:
+        if name in self._builders:
+            return self._builders[name]
+        builder = BlockBuilder(name, prefix=self._prefix)
+        builder._counter = self._shared_counter  # share numbering across blocks
+        self._builders[name] = builder
+        if entry or self._entry is None:
+            self._entry = name
+        return builder
+
+    def edge(self, src: str, dst: str) -> None:
+        self._edges.append((src, dst))
+
+    def auto_edges(self) -> None:
+        """Derive CFG edges from branch targets and fall-through order."""
+        names = list(self._builders)
+        for idx, name in enumerate(names):
+            builder = self._builders[name]
+            term = None
+            if builder.instructions and builder.instructions[-1].opcode.is_branch:
+                term = builder.instructions[-1]
+            if term is not None and term.target is not None:
+                self._edges.append((name, term.target.name))
+            falls_through = term is None or (
+                term.opcode is Opcode.CBR
+            )
+            if falls_through and idx + 1 < len(names):
+                self._edges.append((name, names[idx + 1]))
+
+    def function(
+        self,
+        live_out: Sequence[Register] = (),
+        live_in: Sequence[Register] = (),
+    ) -> Function:
+        fn = Function(self.name, live_out=tuple(live_out), live_in=tuple(live_in))
+        for name, builder in self._builders.items():
+            fn.add_block(builder.block(), entry=(name == self._entry))
+        seen = set()
+        for src, dst in self._edges:
+            if (src, dst) not in seen:
+                seen.add((src, dst))
+                fn.add_edge(src, dst)
+        return fn

@@ -1,0 +1,286 @@
+"""A concrete interpreter for IR programs.
+
+Used to check that transformations preserve semantics: run the
+original and the rewritten program against the same initial memory and
+compare live-out values and final memory.  Register allocation,
+pre-scheduling, spilling and region merging must all be invisible to
+this interpreter.
+
+The machine word is a Python int (floating opcodes are interpreted
+over ints too — the algebra is irrelevant, only dataflow identity
+matters for equivalence checking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import (
+    Immediate,
+    MemorySymbol,
+    Register,
+)
+from repro.utils.errors import IRError
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def _to_word(value: int) -> int:
+    return value & _WORD_MASK
+
+
+@dataclass
+class MachineState:
+    """Register file, memory and call counter of one execution.
+
+    ``written`` records the addresses stored to during execution —
+    equivalence checking compares only those, since reads of untouched
+    addresses merely materialize deterministic pseudo-values.
+    """
+
+    registers: Dict[Register, int] = field(default_factory=dict)
+    memory: Dict[object, int] = field(default_factory=dict)
+    written: set = field(default_factory=set)
+    call_counter: int = 0
+
+    def write_memory(self, address: object, value: int) -> None:
+        self.memory[address] = value
+        self.written.add(address)
+
+    def read_register(self, reg: Register) -> int:
+        if reg not in self.registers:
+            raise IRError("read of undefined register {}".format(reg))
+        return self.registers[reg]
+
+    def read_memory(self, address: object) -> int:
+        # Unwritten memory reads a deterministic pseudo-value derived
+        # from the address, so two programs see identical "input".
+        if address not in self.memory:
+            self.memory[address] = _to_word(hash(str(address)))
+        return self.memory[address]
+
+
+_BINARY = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: lambda a, b: a // b if b else 0,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << (b % 64),
+    Opcode.SHR: lambda a, b: a >> (b % 64),
+    Opcode.CMP: lambda a, b: (a > b) - (a < b) & _WORD_MASK,
+    Opcode.MOD: lambda a, b: a % b if b else 0,
+    Opcode.SLT: lambda a, b: int(a < b),
+    Opcode.SLE: lambda a, b: int(a <= b),
+    Opcode.SGT: lambda a, b: int(a > b),
+    Opcode.SGE: lambda a, b: int(a >= b),
+    Opcode.SEQ: lambda a, b: int(a == b),
+    Opcode.SNE: lambda a, b: int(a != b),
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: lambda a, b: a // b if b else 0,
+}
+
+
+def _operand_value(state: MachineState, instr: Instruction, operand) -> int:
+    if isinstance(operand, Immediate):
+        return _to_word(operand.value)
+    if isinstance(operand, MemorySymbol):
+        raise IRError(
+            "memory symbol {} fed to arithmetic in {}".format(operand, instr)
+        )
+    return state.read_register(operand)
+
+
+def execute_instruction(state: MachineState, instr: Instruction) -> None:
+    """Apply one non-branch instruction to *state*."""
+    op = instr.opcode
+    if op in (Opcode.LOAD, Opcode.FLOAD):
+        symbol = instr.srcs[0]
+        if not isinstance(symbol, MemorySymbol):
+            raise IRError("load without memory symbol: {}".format(instr))
+        if len(instr.srcs) > 1:
+            index = _operand_value(state, instr, instr.srcs[1])
+            address: object = (symbol.name, index)
+        else:
+            address = symbol.name
+        state.registers[instr.dest] = state.read_memory(address)
+    elif op in (Opcode.STORE, Opcode.FSTORE):
+        value = _operand_value(state, instr, instr.srcs[0])
+        symbol = instr.srcs[1]
+        if not isinstance(symbol, MemorySymbol):
+            raise IRError("store without memory symbol: {}".format(instr))
+        if len(instr.srcs) > 2:  # indexed store: base[index] = value
+            index = _operand_value(state, instr, instr.srcs[2])
+            state.write_memory((symbol.name, index), value)
+        else:
+            state.write_memory(symbol.name, value)
+    elif op is Opcode.LOADI:
+        state.registers[instr.dest] = _to_word(
+            _operand_value(state, instr, instr.srcs[0])
+        )
+    elif op is Opcode.MOV:
+        state.registers[instr.dest] = _operand_value(state, instr, instr.srcs[0])
+    elif op in (Opcode.MADD, Opcode.FMA):
+        a = _operand_value(state, instr, instr.srcs[0])
+        b = _operand_value(state, instr, instr.srcs[1])
+        c = _operand_value(state, instr, instr.srcs[2])
+        state.registers[instr.dest] = _to_word(a * b + c)
+    elif op in _BINARY:
+        a = _operand_value(state, instr, instr.srcs[0])
+        b = _operand_value(state, instr, instr.srcs[1])
+        state.registers[instr.dest] = _to_word(_BINARY[op](a, b))
+    elif op is Opcode.USE:
+        _operand_value(state, instr, instr.srcs[0])  # must be defined
+    elif op is Opcode.CALL:
+        state.call_counter += 1
+        for idx, dest in enumerate(instr.dests):
+            state.registers[dest] = _to_word(
+                hash(("call", state.call_counter, idx))
+            )
+    elif op.is_branch:
+        raise IRError("branch reached execute_instruction: {}".format(instr))
+    else:  # pragma: no cover - every opcode is handled above
+        raise IRError("unhandled opcode {}".format(op))
+
+
+@dataclass
+class ExecutionResult:
+    """Final state plus the values of the function's live-out registers
+    in declaration order (the comparison key for equivalence)."""
+
+    state: MachineState
+    live_out_values: Tuple[int, ...]
+    blocks_executed: List[str]
+
+
+def seed_live_in_registers(fn: Function) -> Dict[Register, int]:
+    """Deterministic values for registers *fn* reads before defining
+    (its live-in values) — derived from the register name, so a
+    rewritten program that keeps live-in names sees identical inputs."""
+    seeds: Dict[Register, int] = {}
+    # Conservative: any register used somewhere without a def anywhere
+    # in the function is live-in; path-sensitive refinement is not
+    # needed for seeding.
+    all_defs = {reg for instr in fn.instructions() for reg in instr.defs()}
+    for instr in fn.instructions():
+        for reg in instr.uses():
+            if reg not in all_defs and reg not in seeds:
+                seeds[reg] = _to_word(hash(("live-in", str(reg))))
+    return seeds
+
+
+def run_function(
+    fn: Function,
+    initial_memory: Optional[Dict[object, int]] = None,
+    initial_registers: Optional[Dict[Register, int]] = None,
+    max_blocks: int = 10_000,
+) -> ExecutionResult:
+    """Execute *fn* from its entry block.
+
+    Control flow: ``br``/``cbr`` follow their label (``cbr`` falls
+    through to the other CFG successor when the condition is zero);
+    a block without a terminator falls through to its single successor;
+    ``ret`` or a successor-less block ends execution.
+
+    Raises:
+        IRError: on undefined reads, missing fall-through edges, or
+            exceeding *max_blocks* (runaway loop).
+    """
+    state = MachineState()
+    if initial_memory:
+        state.memory.update(initial_memory)
+    state.registers.update(seed_live_in_registers(fn))
+    if initial_registers:
+        state.registers.update(initial_registers)
+
+    block: Optional[BasicBlock] = fn.entry
+    trace: List[str] = []
+    steps = 0
+    while block is not None:
+        steps += 1
+        if steps > max_blocks:
+            raise IRError("execution exceeded {} blocks".format(max_blocks))
+        trace.append(block.name)
+        next_block: Optional[BasicBlock] = None
+        for instr in block:
+            op = instr.opcode
+            if not op.is_branch:
+                execute_instruction(state, instr)
+                continue
+            if op is Opcode.RET:
+                next_block = None
+            elif op is Opcode.BR:
+                next_block = fn.block(instr.target.name)
+            elif op is Opcode.CBR:
+                cond = _operand_value(state, instr, instr.srcs[0])
+                if cond:
+                    next_block = fn.block(instr.target.name)
+                else:
+                    others = [
+                        s
+                        for s in fn.successors(block)
+                        if s.name != instr.target.name
+                    ]
+                    if not others:
+                        next_block = fn.block(instr.target.name)
+                    else:
+                        next_block = others[0]
+            break
+        else:
+            # No terminator: fall through.
+            successors = fn.successors(block)
+            if len(successors) > 1:
+                raise IRError(
+                    "block {!r} falls through to {} successors".format(
+                        block.name, len(successors)
+                    )
+                )
+            next_block = successors[0] if successors else None
+        block = next_block
+
+    live_out_values = tuple(
+        state.read_register(reg) for reg in fn.live_out
+    )
+    return ExecutionResult(
+        state=state, live_out_values=live_out_values, blocks_executed=trace
+    )
+
+
+def equivalent(
+    fn_a: Function,
+    fn_b: Function,
+    initial_memory: Optional[Dict[object, int]] = None,
+    ignore_prefix: str = "spill.",
+) -> bool:
+    """Do the two functions compute the same live-out values and final
+    memory from the same initial memory?
+
+    Memory addresses whose name starts with *ignore_prefix* are
+    excluded from the comparison — spill slots are an implementation
+    detail of the rewritten program, not part of its meaning.
+    """
+    result_a = run_function(fn_a, dict(initial_memory or {}))
+    result_b = run_function(fn_b, dict(initial_memory or {}))
+    if result_a.live_out_values != result_b.live_out_values:
+        return False
+
+    def visible(state: MachineState) -> Dict[object, int]:
+        return {
+            addr: state.memory[addr]
+            for addr in state.written
+            if not str(addr).startswith(ignore_prefix)
+        }
+
+    # Only written addresses count: reads of untouched addresses merely
+    # materialize deterministic pseudo-values, and dead loads may be
+    # legitimately removed by optimization.
+    return visible(result_a.state) == visible(result_b.state)

@@ -1,0 +1,209 @@
+"""Functions: control-flow graphs of basic blocks.
+
+A :class:`Function` owns an ordered collection of blocks plus the CFG
+edge set.  Block order is the *layout* order (the sequential input
+order the paper's interference graph is relative to); CFG edges carry
+the control dependences used by the global schedule graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Instruction
+from repro.ir.operands import Register, VirtualRegister
+from repro.utils.errors import IRError
+
+
+class Function:
+    """A named CFG of basic blocks.
+
+    Args:
+        name: Function name.
+        live_out: Registers whose values are live on exit from the
+            function (the paper's examples hinge on this: "if we assume
+            that no value is live on the entrance and exit from the code
+            fragment ... only three registers are needed").
+        live_in: Registers holding values on entry (defined by the
+            caller/environment); they may be used before any local
+            definition.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        live_out: Tuple[Register, ...] = (),
+        live_in: Tuple[Register, ...] = (),
+    ) -> None:
+        self.name = name
+        self.live_out: Tuple[Register, ...] = tuple(live_out)
+        self.live_in: Tuple[Register, ...] = tuple(live_in)
+        self._blocks: Dict[str, BasicBlock] = {}
+        self._successors: Dict[str, List[str]] = {}
+        self._predecessors: Dict[str, List[str]] = {}
+        self._entry: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_block(self, block: BasicBlock, entry: bool = False) -> BasicBlock:
+        if block.name in self._blocks:
+            raise IRError("duplicate block name {!r}".format(block.name))
+        self._blocks[block.name] = block
+        self._successors[block.name] = []
+        self._predecessors[block.name] = []
+        if entry or self._entry is None:
+            self._entry = block.name
+        return block
+
+    def new_block(self, name: str, entry: bool = False) -> BasicBlock:
+        return self.add_block(BasicBlock(name), entry=entry)
+
+    def add_edge(self, src: str, dst: str) -> None:
+        """Add a CFG edge between named blocks."""
+        if src not in self._blocks:
+            raise IRError("unknown source block {!r}".format(src))
+        if dst not in self._blocks:
+            raise IRError("unknown destination block {!r}".format(dst))
+        if dst not in self._successors[src]:
+            self._successors[src].append(dst)
+            self._predecessors[dst].append(src)
+
+    def remove_edge(self, src: str, dst: str) -> None:
+        self._successors[src].remove(dst)
+        self._predecessors[dst].remove(src)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        if self._entry is None:
+            raise IRError("function {!r} has no blocks".format(self.name))
+        return self._blocks[self._entry]
+
+    def block(self, name: str) -> BasicBlock:
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise IRError(
+                "function {!r} has no block {!r}".format(self.name, name)
+            ) from None
+
+    def blocks(self) -> List[BasicBlock]:
+        """Blocks in layout order."""
+        return list(self._blocks.values())
+
+    def block_names(self) -> List[str]:
+        return list(self._blocks.keys())
+
+    def successors(self, block: BasicBlock) -> List[BasicBlock]:
+        return [self._blocks[n] for n in self._successors[block.name]]
+
+    def predecessors(self, block: BasicBlock) -> List[BasicBlock]:
+        return [self._blocks[n] for n in self._predecessors[block.name]]
+
+    def exit_blocks(self) -> List[BasicBlock]:
+        """Blocks with no CFG successors."""
+        return [b for b in self.blocks() if not self._successors[b.name]]
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions in layout order."""
+        for block in self.blocks():
+            yield from block
+
+    def defining_block(self, reg: Register) -> List[BasicBlock]:
+        """Blocks containing a definition of *reg*."""
+        return [
+            block
+            for block in self.blocks()
+            if any(reg in instr.defs() for instr in block)
+        ]
+
+    def virtual_registers(self) -> List[VirtualRegister]:
+        """All virtual registers mentioned, in first-appearance order."""
+        result: List[VirtualRegister] = []
+        seen = set()
+        for instr in self.instructions():
+            for reg in list(instr.defs()) + list(instr.uses()):
+                if isinstance(reg, VirtualRegister) and reg not in seen:
+                    seen.add(reg)
+                    result.append(reg)
+        return result
+
+    def is_single_block(self) -> bool:
+        return len(self._blocks) == 1
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+
+    def map_instructions(self, fn) -> "Function":
+        """Return a new function with *fn* applied to every instruction.
+
+        *fn* receives an :class:`Instruction` and returns its
+        replacement (possibly the same object).  CFG structure,
+        live-out set and block order are preserved.
+        """
+        result = Function(self.name, live_out=self.live_out, live_in=self.live_in)
+        for block in self.blocks():
+            new_block = BasicBlock(block.name, [fn(i) for i in block])
+            result.add_block(new_block, entry=(block.name == self._entry))
+        for src, dsts in self._successors.items():
+            for dst in dsts:
+                result.add_edge(src, dst)
+        return result
+
+    def rewrite_registers(self, mapping) -> "Function":
+        """Return a copy with registers substituted through *mapping*."""
+        rewritten = self.map_instructions(
+            lambda instr: instr.rewrite_registers(mapping)
+        )
+        rewritten.live_out = tuple(mapping.get(r, r) for r in self.live_out)
+        rewritten.live_in = tuple(mapping.get(r, r) for r in self.live_in)
+        return rewritten
+
+    def copy(self) -> "Function":
+        return self.map_instructions(lambda instr: instr.copy())
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __str__(self) -> str:
+        lines = ["func {} {{".format(self.name)]
+        for block in self.blocks():
+            succ = self._successors[block.name]
+            header = "block {}:".format(block.name)
+            if succ:
+                header += "    ; -> {}".format(", ".join(succ))
+            lines.append(header)
+            lines.extend("  {}".format(instr) for instr in block)
+        if self.live_out:
+            lines.append("  ; live-out: {}".format(
+                ", ".join(str(r) for r in self.live_out)
+            ))
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "<Function {!r} ({} blocks)>".format(self.name, len(self))
+
+
+def single_block_function(
+    name: str,
+    instructions,
+    live_out: Tuple[Register, ...] = (),
+    live_in: Tuple[Register, ...] = (),
+) -> Function:
+    """Convenience: wrap a straight-line instruction list in a Function."""
+    fn = Function(name, live_out=live_out, live_in=live_in)
+    block = BasicBlock("entry", instructions)
+    fn.add_block(block, entry=True)
+    return fn

@@ -1,0 +1,185 @@
+"""The IR instruction: a RISC-style three-address operation.
+
+Instructions carry a stable ``uid`` that survives register rewriting
+and reordering, so that graphs built over the symbolic-register program
+(the schedule graph, the false-dependence graph) can be compared
+against graphs built over the allocated program — that comparison is
+exactly how false dependences are detected (Lemma 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.ir.opcodes import Opcode, UnitKind
+from repro.ir.operands import (
+    Label,
+    MemorySymbol,
+    Operand,
+    Register,
+    is_register,
+)
+from repro.utils.errors import IRError
+
+_UID_COUNTER = itertools.count()
+
+
+class Instruction:
+    """A single IR operation.
+
+    Args:
+        opcode: The operation.
+        dests: Registers defined by the instruction.  Normally zero or
+            one; calls may define several (the paper's Claim 1 treats a
+            call as "a multiple register assignment").
+        srcs: Source operands in positional order — registers,
+            immediates or memory symbols.
+        target: Branch-target label for control instructions.
+        uid: Stable identity; allocated automatically when omitted and
+            preserved by :meth:`rewrite_registers`.
+
+    Instructions are hashable by identity (``uid``), so they can be
+    used directly as graph nodes.
+    """
+
+    __slots__ = ("opcode", "dests", "srcs", "target", "uid")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        dests: Sequence[Register] = (),
+        srcs: Sequence[Operand] = (),
+        target: Optional[Label] = None,
+        uid: Optional[int] = None,
+    ) -> None:
+        self.opcode = opcode
+        self.dests: Tuple[Register, ...] = tuple(dests)
+        self.srcs: Tuple[Operand, ...] = tuple(srcs)
+        self.target = target
+        self.uid = next(_UID_COUNTER) if uid is None else uid
+        self._check_shape()
+
+    def _check_shape(self) -> None:
+        if self.opcode.has_dest and not self.dests:
+            raise IRError(
+                "{} must define a register".format(self.opcode.mnemonic)
+            )
+        if not self.opcode.has_dest and self.dests:
+            raise IRError(
+                "{} cannot define a register".format(self.opcode.mnemonic)
+            )
+        if self.opcode.is_branch and self.opcode is not Opcode.RET and self.target is None:
+            raise IRError("{} needs a branch target".format(self.opcode.mnemonic))
+        for dest in self.dests:
+            if not is_register(dest):
+                raise IRError("destination {!r} is not a register".format(dest))
+
+    # ------------------------------------------------------------------
+    # Operand views
+    # ------------------------------------------------------------------
+
+    @property
+    def dest(self) -> Optional[Register]:
+        """The single defined register, or ``None``.
+
+        Raises:
+            IRError: for multi-def instructions (calls); use
+                :attr:`dests` there.
+        """
+        if len(self.dests) > 1:
+            raise IRError("instruction defines multiple registers; use .dests")
+        return self.dests[0] if self.dests else None
+
+    def uses(self) -> Tuple[Register, ...]:
+        """Registers read by this instruction, in positional order."""
+        return tuple(src for src in self.srcs if is_register(src))
+
+    def defs(self) -> Tuple[Register, ...]:
+        """Registers written by this instruction."""
+        return self.dests
+
+    def memory_symbols(self) -> Tuple[MemorySymbol, ...]:
+        """Memory symbols referenced (for memory disambiguation)."""
+        return tuple(src for src in self.srcs if isinstance(src, MemorySymbol))
+
+    @property
+    def unit(self) -> UnitKind:
+        return self.opcode.unit
+
+    @property
+    def latency(self) -> int:
+        return self.opcode.latency
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.unit is UnitKind.MEMORY
+
+    # ------------------------------------------------------------------
+    # Rewriting
+    # ------------------------------------------------------------------
+
+    def rewrite_registers(self, mapping: Mapping[Register, Register]) -> "Instruction":
+        """Return a copy with registers substituted through *mapping*.
+
+        Registers absent from the mapping pass through unchanged.  The
+        copy keeps this instruction's ``uid`` so dependence graphs of
+        the rewritten program remain comparable with the original.
+        """
+        new_dests = tuple(mapping.get(d, d) for d in self.dests)
+        new_srcs = tuple(
+            mapping.get(s, s) if is_register(s) else s for s in self.srcs
+        )
+        return Instruction(
+            self.opcode, new_dests, new_srcs, target=self.target, uid=self.uid
+        )
+
+    def copy(self, fresh_uid: bool = False) -> "Instruction":
+        """Structural copy; keeps the uid unless *fresh_uid* is set."""
+        return Instruction(
+            self.opcode,
+            self.dests,
+            self.srcs,
+            target=self.target,
+            uid=None if fresh_uid else self.uid,
+        )
+
+    # ------------------------------------------------------------------
+    # Identity and display
+    # ------------------------------------------------------------------
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return self.uid == other.uid
+
+    def __str__(self) -> str:
+        parts = []
+        if self.dests:
+            parts.append(", ".join(str(d) for d in self.dests))
+            parts.append(":=")
+        parts.append(self.opcode.mnemonic)
+        operand_text = ", ".join(str(s) for s in self.srcs)
+        if operand_text:
+            parts.append(operand_text)
+        if self.target is not None:
+            parts.append(str(self.target))
+        return " ".join(parts)
+
+    def __repr__(self) -> str:
+        return "<Instruction #{} {}>".format(self.uid, self)
+
+
+def flow_sources(instructions: Iterable[Instruction]) -> Tuple[Register, ...]:
+    """All registers used anywhere in *instructions* (helper for tests)."""
+    seen = []
+    seen_set = set()
+    for instr in instructions:
+        for reg in instr.uses():
+            if reg not in seen_set:
+                seen_set.add(reg)
+                seen.append(reg)
+    return tuple(seen)

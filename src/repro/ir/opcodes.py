@@ -1,0 +1,181 @@
+"""Opcode definitions for the RISC-style intermediate representation.
+
+The paper assumes "a RISC type processor (memory reference instructions
+are only load and store while computations are done in registers)".
+Opcodes are grouped by the functional-unit *kind* that executes them,
+which is what the machine model's contention constraints key on: the
+motivating machines (MIPS R3000, IBM RISC System/6000) comprise fixed
+point, floating point and branch units, plus a single fetch unit that
+serializes memory references.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class UnitKind(enum.Enum):
+    """The class of functional unit an instruction executes on."""
+
+    FIXED = "fixed"
+    FLOAT = "float"
+    MEMORY = "memory"
+    BRANCH = "branch"
+    # A dedicated move/immediate port.  Machines that route register
+    # moves and immediate loads away from the ALU (as the worked
+    # Example 1 of the paper implicitly does) map MOV/LOADI here via
+    # MachineDescription.unit_overrides.
+    MOVE = "move"
+
+    def __repr__(self) -> str:
+        return "UnitKind.{}".format(self.name)
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of an opcode.
+
+    Attributes:
+        mnemonic: Textual form used by the printer/parser.
+        unit: Functional-unit kind the operation needs.
+        latency: Default result latency in cycles (machine models may
+            override per-opcode latencies).
+        arity: Number of register/immediate source operands.
+        has_dest: Whether the instruction defines a register.
+        is_load: True for memory reads.
+        is_store: True for memory writes.
+        is_branch: True for control transfers (block terminators).
+        is_call: True for calls (multi-def, see Claim 1 of the paper).
+        commutative: True when source operand order is irrelevant.
+    """
+
+    mnemonic: str
+    unit: UnitKind
+    latency: int = 1
+    arity: int = 2
+    has_dest: bool = True
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+    is_call: bool = False
+    commutative: bool = False
+
+
+class Opcode(enum.Enum):
+    """All opcodes understood by the IR.
+
+    The integer/float split mirrors the two arithmetic units of the
+    paper's worked Example 2 ("a processor with two arithmetic units
+    (fixed-point and floating-point)").
+    """
+
+    # Fixed-point arithmetic.
+    ADD = OpcodeInfo("add", UnitKind.FIXED, commutative=True)
+    SUB = OpcodeInfo("sub", UnitKind.FIXED)
+    MUL = OpcodeInfo("mul", UnitKind.FIXED, latency=2, commutative=True)
+    DIV = OpcodeInfo("div", UnitKind.FIXED, latency=8)
+    AND = OpcodeInfo("and", UnitKind.FIXED, commutative=True)
+    OR = OpcodeInfo("or", UnitKind.FIXED, commutative=True)
+    XOR = OpcodeInfo("xor", UnitKind.FIXED, commutative=True)
+    SHL = OpcodeInfo("shl", UnitKind.FIXED)
+    SHR = OpcodeInfo("shr", UnitKind.FIXED)
+    CMP = OpcodeInfo("cmp", UnitKind.FIXED)
+    MOD = OpcodeInfo("mod", UnitKind.FIXED, latency=8)
+    # MIPS-style set-on-compare: dest := 1 if the relation holds else 0.
+    SLT = OpcodeInfo("slt", UnitKind.FIXED)
+    SLE = OpcodeInfo("sle", UnitKind.FIXED)
+    SGT = OpcodeInfo("sgt", UnitKind.FIXED)
+    SGE = OpcodeInfo("sge", UnitKind.FIXED)
+    SEQ = OpcodeInfo("seq", UnitKind.FIXED, commutative=True)
+    SNE = OpcodeInfo("sne", UnitKind.FIXED, commutative=True)
+    # Fixed-point multiply-add: one instruction, as in the paper's
+    # Example 1 where "s5 := s3*5+s1" compiles to a single operation.
+    MADD = OpcodeInfo("madd", UnitKind.FIXED, latency=2, arity=3)
+    MOV = OpcodeInfo("mov", UnitKind.FIXED, arity=1)
+    LOADI = OpcodeInfo("loadi", UnitKind.FIXED, arity=1)
+
+    # Floating-point arithmetic.
+    FADD = OpcodeInfo("fadd", UnitKind.FLOAT, latency=2, commutative=True)
+    FSUB = OpcodeInfo("fsub", UnitKind.FLOAT, latency=2)
+    FMUL = OpcodeInfo("fmul", UnitKind.FLOAT, latency=3, commutative=True)
+    FDIV = OpcodeInfo("fdiv", UnitKind.FLOAT, latency=12)
+    FMA = OpcodeInfo("fma", UnitKind.FLOAT, latency=3, arity=3)
+
+    # Memory (the RISC model's only memory references).
+    LOAD = OpcodeInfo("load", UnitKind.MEMORY, latency=2, arity=1)
+    STORE = OpcodeInfo(
+        "store", UnitKind.MEMORY, arity=2, has_dest=False, is_store=True
+    )
+    FLOAD = OpcodeInfo("fload", UnitKind.MEMORY, latency=2, arity=1)
+    FSTORE = OpcodeInfo(
+        "fstore", UnitKind.MEMORY, arity=2, has_dest=False, is_store=True
+    )
+
+    # Control.
+    BR = OpcodeInfo("br", UnitKind.BRANCH, arity=0, has_dest=False, is_branch=True)
+    CBR = OpcodeInfo("cbr", UnitKind.BRANCH, arity=1, has_dest=False, is_branch=True)
+    RET = OpcodeInfo("ret", UnitKind.BRANCH, arity=0, has_dest=False, is_branch=True)
+    CALL = OpcodeInfo("call", UnitKind.BRANCH, arity=0, is_call=True)
+
+    # Pseudo-op: marks a value live-out of the fragment (keeps the live
+    # interval open to the end of the block without touching memory).
+    USE = OpcodeInfo("use", UnitKind.FIXED, arity=1, has_dest=False)
+
+    @property
+    def info(self) -> OpcodeInfo:
+        return self.value
+
+    @property
+    def mnemonic(self) -> str:
+        return self.value.mnemonic
+
+    @property
+    def unit(self) -> UnitKind:
+        return self.value.unit
+
+    @property
+    def latency(self) -> int:
+        return self.value.latency
+
+    @property
+    def has_dest(self) -> bool:
+        return self.value.has_dest
+
+    @property
+    def is_load(self) -> bool:
+        # LOAD/FLOAD carry is_load semantics; flagging via unit+has_dest
+        # keeps OpcodeInfo defaults terse.
+        return self.value.unit is UnitKind.MEMORY and self.value.has_dest
+
+    @property
+    def is_store(self) -> bool:
+        return self.value.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        return self.value.is_branch
+
+    @property
+    def is_call(self) -> bool:
+        return self.value.is_call
+
+    @property
+    def commutative(self) -> bool:
+        return self.value.commutative
+
+    def __repr__(self) -> str:
+        return "Opcode.{}".format(self.name)
+
+
+MNEMONIC_TO_OPCODE: Dict[str, Opcode] = {op.mnemonic: op for op in Opcode}
+
+
+def opcode_from_mnemonic(mnemonic: str) -> Opcode:
+    """Look up an opcode by its textual mnemonic.
+
+    Raises:
+        KeyError: if the mnemonic names no opcode.
+    """
+    return MNEMONIC_TO_OPCODE[mnemonic]

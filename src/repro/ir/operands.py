@@ -1,0 +1,107 @@
+"""Operand types: symbolic (virtual) registers, physical registers,
+immediates, memory symbols and labels.
+
+The source program is translated into register-based intermediate code
+"where an infinite number of symbolic registers is assumed (one
+symbolic register per value)".  :class:`VirtualRegister` models those
+symbolic registers; :class:`PhysicalRegister` models the machine's
+finite register file that allocation maps onto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class VirtualRegister:
+    """A symbolic register: one per value, never redefined in a block.
+
+    Ordering/equality is by name, so virtual registers behave as
+    lightweight interned names.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return "VirtualRegister({!r})".format(self.name)
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalRegister:
+    """A machine register: an index within a register bank.
+
+    The default bank ``"r"`` is the unified file the paper's examples
+    use; machines with split fixed/floating-point files (the banked
+    extension) add an ``"f"`` bank.
+    """
+
+    index: int
+    bank: str = "r"
+
+    def __str__(self) -> str:
+        return "{}{}".format(self.bank, self.index)
+
+    def __repr__(self) -> str:
+        if self.bank == "r":
+            return "PhysicalRegister({})".format(self.index)
+        return "PhysicalRegister({}, bank={!r})".format(self.index, self.bank)
+
+
+Register = Union[VirtualRegister, PhysicalRegister]
+
+
+@dataclass(frozen=True, order=True)
+class Immediate:
+    """A compile-time constant source operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return "Immediate({})".format(self.value)
+
+
+@dataclass(frozen=True, order=True)
+class MemorySymbol:
+    """A named memory location (global variable or spill slot).
+
+    Loads and stores reference memory either through a symbol (``@x``)
+    or through an address held in a register; the symbol form keeps the
+    worked examples from the paper (``load z``, ``a[i]``) readable.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return "@{}".format(self.name)
+
+    def __repr__(self) -> str:
+        return "MemorySymbol({!r})".format(self.name)
+
+
+@dataclass(frozen=True, order=True)
+class Label:
+    """A basic-block label used as a branch target."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return "Label({!r})".format(self.name)
+
+
+Operand = Union[VirtualRegister, PhysicalRegister, Immediate, MemorySymbol, Label]
+
+
+def is_register(operand: object) -> bool:
+    """True when *operand* is a virtual or physical register."""
+    return isinstance(operand, (VirtualRegister, PhysicalRegister))

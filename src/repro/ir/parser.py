@@ -1,0 +1,175 @@
+"""Parser for the textual IR emitted by :mod:`repro.ir.printer`.
+
+Grammar (line-oriented)::
+
+    program   := "func" NAME "{" line* "}"
+    line      := block-head | instruction | edge | liveout
+    block-head:= "block" NAME ":"
+    edge      := "->" NAME ("," NAME)*
+    instruction := [dests "="] MNEMONIC [operand ("," operand)*]
+    dests     := REG ("," REG)*
+    operand   := REG | INT | "@" NAME | "label" NAME
+    REG       := "r" INT (physical) | IDENT (virtual)
+
+Comments start with ``;`` or ``#`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import MNEMONIC_TO_OPCODE
+from repro.ir.operands import (
+    Immediate,
+    Label,
+    MemorySymbol,
+    Operand,
+    PhysicalRegister,
+    Register,
+    VirtualRegister,
+)
+from repro.utils.errors import IRError
+
+_PHYSICAL_RE = re.compile(r"^([rf])(\d+)$")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
+_INT_RE = re.compile(r"^-?\d+$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def parse_register(token: str) -> Register:
+    """``rN`` → physical register N; any other identifier → virtual."""
+    token = token.strip()
+    match = _PHYSICAL_RE.match(token)
+    if match:
+        return PhysicalRegister(int(match.group(2)), bank=match.group(1))
+    if _IDENT_RE.match(token):
+        return VirtualRegister(token)
+    raise IRError("bad register token {!r}".format(token))
+
+
+def _parse_operand(token: str) -> Tuple[Optional[Operand], Optional[Label]]:
+    """Returns (operand, label) with exactly one non-None component."""
+    token = token.strip()
+    if token.startswith("label "):
+        return None, Label(token[len("label "):].strip())
+    if token.startswith("@"):
+        return MemorySymbol(token[1:]), None
+    if _INT_RE.match(token):
+        return Immediate(int(token)), None
+    return parse_register(token), None
+
+
+def parse_instruction(line: str) -> Instruction:
+    """Parse one instruction line (without the leading indentation)."""
+    text = _strip_comment(line)
+    if not text:
+        raise IRError("empty instruction line")
+    dests: List[Register] = []
+    if "=" in text and not text.split("=", 1)[0].strip().startswith("label"):
+        dest_text, text = text.split("=", 1)
+        dests = [parse_register(t) for t in dest_text.split(",") if t.strip()]
+        text = text.strip()
+    parts = text.split(None, 1)
+    mnemonic = parts[0]
+    if mnemonic not in MNEMONIC_TO_OPCODE:
+        raise IRError("unknown mnemonic {!r} in {!r}".format(mnemonic, line))
+    opcode = MNEMONIC_TO_OPCODE[mnemonic]
+    srcs: List[Operand] = []
+    target: Optional[Label] = None
+    if len(parts) > 1:
+        for token in parts[1].split(","):
+            token = token.strip()
+            if not token:
+                continue
+            operand, label = _parse_operand(token)
+            if label is not None:
+                target = label
+            else:
+                srcs.append(operand)  # type: ignore[arg-type]
+    return Instruction(opcode, dests, srcs, target=target)
+
+
+def parse_function(text: str) -> Function:
+    """Parse a full ``func`` definition.
+
+    Raises:
+        IRError: on any syntax problem; the message includes the line.
+    """
+    lines = text.splitlines()
+    fn: Optional[Function] = None
+    current: Optional[BasicBlock] = None
+    pending_edges: List[Tuple[str, str]] = []
+    live_out_names: List[str] = []
+    live_in_names: List[str] = []
+
+    for raw in lines:
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        if line.startswith("func"):
+            match = re.match(r"func\s+([A-Za-z_][A-Za-z0-9_]*)\s*\{?", line)
+            if not match:
+                raise IRError("bad func header: {!r}".format(raw))
+            fn = Function(match.group(1))
+            continue
+        if line == "}":
+            break
+        if fn is None:
+            raise IRError("instruction before func header: {!r}".format(raw))
+        if line.startswith("block"):
+            match = re.match(r"block\s+([A-Za-z_][A-Za-z0-9_.]*)\s*:", line)
+            if not match:
+                raise IRError("bad block header: {!r}".format(raw))
+            current = fn.new_block(match.group(1))
+            continue
+        if line.startswith("->"):
+            if current is None:
+                raise IRError("edge outside a block: {!r}".format(raw))
+            for dst in line[2:].split(","):
+                pending_edges.append((current.name, dst.strip()))
+            continue
+        if line.startswith("live-out:"):
+            live_out_names = [
+                t.strip() for t in line[len("live-out:"):].split(",") if t.strip()
+            ]
+            continue
+        if line.startswith("live-in:"):
+            live_in_names = [
+                t.strip() for t in line[len("live-in:"):].split(",") if t.strip()
+            ]
+            continue
+        if current is None:
+            current = fn.new_block("entry")
+        try:
+            current.append(parse_instruction(line))
+        except IRError as exc:
+            raise IRError("{} (line {!r})".format(exc, raw)) from exc
+
+    if fn is None:
+        raise IRError("no func definition found")
+    for src, dst in pending_edges:
+        fn.add_edge(src, dst)
+    fn.live_out = tuple(parse_register(name) for name in live_out_names)
+    fn.live_in = tuple(parse_register(name) for name in live_in_names)
+    return fn
+
+
+def parse_block(text: str, name: str = "entry") -> BasicBlock:
+    """Parse bare instruction lines into one block (test convenience)."""
+    block = BasicBlock(name)
+    for raw in text.splitlines():
+        line = _strip_comment(raw)
+        if line:
+            block.append(parse_instruction(line))
+    return block

@@ -1,0 +1,82 @@
+"""Textual rendering of IR programs.
+
+The printer and :mod:`repro.ir.parser` round-trip: ``parse(print(fn))``
+reconstructs an equivalent function.  The concrete syntax is close to
+the paper's notation::
+
+    func example1 {
+    block entry:
+      s1 = load @z
+      s2 = loadi 0
+      s3 = load @a, s2
+      s4 = add s1, s1
+      s5 = mul s3, 5
+    live-out: s4, s5
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+
+
+def format_instruction(instr: Instruction) -> str:
+    """One-line textual form of *instr* (parseable)."""
+    parts: List[str] = []
+    if instr.dests:
+        parts.append(", ".join(str(d) for d in instr.dests))
+        parts.append("=")
+    parts.append(instr.opcode.mnemonic)
+    operands = [str(s) for s in instr.srcs]
+    if instr.target is not None:
+        operands.append("label {}".format(instr.target.name))
+    if operands:
+        parts.append(", ".join(operands))
+    return " ".join(parts)
+
+
+def format_block(block: BasicBlock) -> str:
+    lines = ["block {}:".format(block.name)]
+    lines.extend("  {}".format(format_instruction(i)) for i in block)
+    return "\n".join(lines)
+
+
+def format_function(fn: Function) -> str:
+    """Full textual form of *fn*, including CFG edges and live-outs."""
+    lines = ["func {} {{".format(fn.name)]
+    for block in fn.blocks():
+        lines.append(format_block(block))
+        successors = fn.successors(block)
+        if successors:
+            lines.append("  -> {}".format(
+                ", ".join(b.name for b in successors)
+            ))
+    if fn.live_in:
+        lines.append("live-in: {}".format(
+            ", ".join(str(r) for r in fn.live_in)
+        ))
+    if fn.live_out:
+        lines.append("live-out: {}".format(
+            ", ".join(str(r) for r in fn.live_out)
+        ))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def side_by_side(left: str, right: str, gutter: str = "   |   ") -> str:
+    """Render two program texts in two columns (used by examples to
+    show the paper's before/after listings)."""
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    width = max((len(line) for line in left_lines), default=0)
+    height = max(len(left_lines), len(right_lines))
+    rows = []
+    for i in range(height):
+        l = left_lines[i] if i < len(left_lines) else ""
+        r = right_lines[i] if i < len(right_lines) else ""
+        rows.append("{:<{w}}{}{}".format(l, gutter, r, w=width))
+    return "\n".join(rows)

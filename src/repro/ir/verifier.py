@@ -1,0 +1,119 @@
+"""Structural verification of IR functions.
+
+The verifier enforces the invariants the analyses assume:
+
+* every block's branch (if any) is its last instruction;
+* branch targets match CFG successor edges;
+* within a block, a symbolic register is defined at most once (the
+  paper's "one symbolic register per value" discipline; redefinition
+  across blocks is allowed — webs handle it);
+* every used register is defined earlier in its block, in a CFG
+  predecessor, or is declared live-in;
+* CFG edges reference existing blocks and the entry block exists.
+
+``verify_function`` raises :class:`~repro.utils.errors.IRError` on the
+first violation; ``check_function`` returns the full list of problems
+as strings for diagnostic tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.operands import Register, VirtualRegister
+from repro.utils.errors import IRError
+
+
+def check_block(block: BasicBlock) -> List[str]:
+    """Local checks on one block; returns problem descriptions."""
+    problems: List[str] = []
+    for idx, instr in enumerate(block):
+        if instr.opcode.is_branch and idx != len(block.instructions) - 1:
+            problems.append(
+                "block {!r}: branch {} is not the last instruction".format(
+                    block.name, instr
+                )
+            )
+    defined: Set[Register] = set()
+    for instr in block:
+        for reg in instr.defs():
+            if isinstance(reg, VirtualRegister) and reg in defined:
+                problems.append(
+                    "block {!r}: symbolic register {} redefined "
+                    "(one symbolic register per value)".format(block.name, reg)
+                )
+            defined.add(reg)
+    return problems
+
+
+def _reachable_defs(fn: Function) -> Dict[str, Set[Register]]:
+    """For each block, the registers defined on some path reaching it.
+
+    A simple forward fixpoint: defs-in(b) = union over preds of
+    (defs-in(p) ∪ defs(p)).  Used only for the definedness check, so
+    over-approximating along any path is the right direction.
+    """
+    defs_in: Dict[str, Set[Register]] = {b.name: set() for b in fn.blocks()}
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks():
+            incoming: Set[Register] = set()
+            for pred in fn.predecessors(block):
+                incoming |= defs_in[pred.name]
+                incoming |= set(pred.defined_registers())
+            if not incoming <= defs_in[block.name]:
+                defs_in[block.name] |= incoming
+                changed = True
+    return defs_in
+
+
+def check_function(
+    fn: Function, live_in: Sequence[Register] = ()
+) -> List[str]:
+    """All structural problems in *fn* (empty list = valid)."""
+    problems: List[str] = []
+    if len(fn) == 0:
+        return ["function {!r} has no blocks".format(fn.name)]
+
+    for block in fn.blocks():
+        problems.extend(check_block(block))
+        term = block.terminator
+        if term is not None and term.target is not None:
+            successor_names = {b.name for b in fn.successors(block)}
+            if term.target.name not in fn.block_names():
+                problems.append(
+                    "block {!r}: branch target {!r} does not exist".format(
+                        block.name, term.target.name
+                    )
+                )
+            elif term.target.name not in successor_names:
+                problems.append(
+                    "block {!r}: branch target {!r} has no CFG edge".format(
+                        block.name, term.target.name
+                    )
+                )
+
+    defs_in = _reachable_defs(fn)
+    live_in_set = set(live_in) | set(fn.live_in)
+    for block in fn.blocks():
+        available = set(defs_in[block.name]) | live_in_set
+        for instr in block:
+            for reg in instr.uses():
+                if isinstance(reg, VirtualRegister) and reg not in available:
+                    problems.append(
+                        "block {!r}: {} uses {} before any definition".format(
+                            block.name, instr, reg
+                        )
+                    )
+            available.update(instr.defs())
+    return problems
+
+
+def verify_function(fn: Function, live_in: Sequence[Register] = ()) -> None:
+    """Raise :class:`IRError` on the first structural violation."""
+    problems = check_function(fn, live_in=live_in)
+    if problems:
+        raise IRError("; ".join(problems))

@@ -1,0 +1,12 @@
+"""Superscalar machine models and resource bookkeeping."""
+
+from repro.machine import presets
+from repro.machine.model import MachineDescription
+from repro.machine.resources import ReservationTable, contention_pairs
+
+__all__ = [
+    "MachineDescription",
+    "ReservationTable",
+    "contention_pairs",
+    "presets",
+]

@@ -1,0 +1,159 @@
+"""Preset machine descriptions.
+
+The presets cover the processors the paper motivates (MIPS R3000 and
+IBM RISC System/6000 — "comprising three functional units: fixed point,
+floating point and branch units"), the machines of its two worked
+examples, and a few synthetic widths used by the evaluation sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.ir.opcodes import Opcode, UnitKind
+from repro.machine.model import MachineDescription
+
+
+def single_issue(num_registers: int = 16) -> MachineDescription:
+    """A single-issue pipelined uniprocessor.
+
+    With issue width 1 no instruction pair can co-issue, so the false-
+    dependence graph is empty and the parallelizable interference graph
+    degenerates to the classic interference graph — the paper's
+    framework reduces to Chaitin allocation, as it should.
+    """
+    return MachineDescription(
+        name="single-issue",
+        units={
+            UnitKind.FIXED: 1,
+            UnitKind.FLOAT: 1,
+            UnitKind.MEMORY: 1,
+            UnitKind.BRANCH: 1,
+            UnitKind.MOVE: 1,
+        },
+        issue_width=1,
+        num_registers=num_registers,
+    )
+
+
+def two_unit_superscalar(num_registers: int = 32) -> MachineDescription:
+    """The machine of the paper's Example 2: one fixed-point unit, one
+    floating-point unit, one fetch (memory) unit.
+
+    On it, "operations S3 and S4 cannot be executed together" (both
+    fixed point) and "we will also generate all the possible edges
+    between the four load instructions" (one fetch unit).
+    """
+    return MachineDescription(
+        name="two-unit-superscalar",
+        units={
+            UnitKind.FIXED: 1,
+            UnitKind.FLOAT: 1,
+            UnitKind.MEMORY: 1,
+            UnitKind.BRANCH: 1,
+            UnitKind.MOVE: 1,
+        },
+        issue_width=3,
+        num_registers=num_registers,
+    )
+
+
+def example1_machine(num_registers: int = 3) -> MachineDescription:
+    """The (implicit) machine of the paper's Example 1.
+
+    Its Figure 2(b) lists exactly two machine-dependent constraint
+    edges — {s1,s3} (two loads, one fetch unit) and {s4,s5} (two
+    fixed-point arithmetic ops, one fixed unit) — while {s1,s2} and
+    {s2,s4} are *false-dependence* edges, so the ``s2 := i`` move must
+    run on a port of its own.  This model routes MOV/LOADI to a
+    dedicated move port to match.
+    """
+    return MachineDescription(
+        name="example1",
+        units={
+            UnitKind.FIXED: 1,
+            UnitKind.FLOAT: 1,
+            UnitKind.MEMORY: 1,
+            UnitKind.BRANCH: 1,
+            UnitKind.MOVE: 1,
+        },
+        issue_width=2,
+        num_registers=num_registers,
+        unit_overrides={Opcode.MOV: UnitKind.MOVE, Opcode.LOADI: UnitKind.MOVE},
+    )
+
+
+def mips_r3000(num_registers: int = 32) -> MachineDescription:
+    """A MIPS R3000-like single-issue pipelined processor.
+
+    The R3000 issues one instruction per cycle; scheduling matters for
+    load/branch delay and FP latencies, not for co-issue.  (In the
+    paper's taxonomy this is the "register allocation precedes
+    instruction scheduling" compiler family, [6].)
+    """
+    return MachineDescription(
+        name="mips-r3000",
+        units={
+            UnitKind.FIXED: 1,
+            UnitKind.FLOAT: 1,
+            UnitKind.MEMORY: 1,
+            UnitKind.BRANCH: 1,
+            UnitKind.MOVE: 1,
+        },
+        issue_width=1,
+        num_registers=num_registers,
+        latencies={Opcode.LOAD: 2, Opcode.FLOAD: 2, Opcode.FMUL: 4, Opcode.FDIV: 19},
+    )
+
+
+def rs6000(num_registers: int = 32) -> MachineDescription:
+    """An IBM RISC System/6000-like superscalar: fixed-point, floating-
+    point and branch units issuing in parallel ([14], [16])."""
+    return MachineDescription(
+        name="rs6000",
+        units={
+            UnitKind.FIXED: 1,
+            UnitKind.FLOAT: 1,
+            UnitKind.MEMORY: 1,
+            UnitKind.BRANCH: 1,
+            UnitKind.MOVE: 1,
+        },
+        issue_width=4,
+        num_registers=num_registers,
+        latencies={Opcode.FMUL: 2, Opcode.FADD: 2, Opcode.FMA: 2},
+    )
+
+
+def wide_issue(
+    fixed: int = 2,
+    floats: int = 2,
+    memory: int = 2,
+    issue_width: int = 6,
+    num_registers: int = 32,
+) -> MachineDescription:
+    """A configurable wide superscalar for the scaling experiments.
+
+    With multiple units of a kind, pairwise contention edges of that
+    kind disappear (the paper's footnote on multiple units), enlarging
+    the false-dependence graph and hence register demand.
+    """
+    return MachineDescription(
+        name="wide-{}f{}fp{}m-w{}".format(fixed, floats, memory, issue_width),
+        units={
+            UnitKind.FIXED: fixed,
+            UnitKind.FLOAT: floats,
+            UnitKind.MEMORY: memory,
+            UnitKind.BRANCH: 1,
+            UnitKind.MOVE: 1,
+        },
+        issue_width=issue_width,
+        num_registers=num_registers,
+    )
+
+
+ALL_PRESETS = {
+    "single-issue": single_issue,
+    "two-unit-superscalar": two_unit_superscalar,
+    "example1": example1_machine,
+    "mips-r3000": mips_r3000,
+    "rs6000": rs6000,
+    "wide-issue": wide_issue,
+}

@@ -1,0 +1,117 @@
+"""Resource bookkeeping: contention constraint edges and the per-cycle
+reservation table used by the list scheduler and issue simulator.
+
+Two exports:
+
+* :func:`contention_pairs` — the non-precedence machine constraints the
+  paper adds to ``E_t``: every unordered instruction pair that can
+  never share an issue cycle on the given machine.
+* :class:`ReservationTable` — cycle-indexed occupancy of issue slots
+  and functional units, answering "can this instruction start at cycle
+  c?" for the schedulers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import UnitKind
+from repro.machine.model import MachineDescription
+from repro.utils.errors import SchedulingError
+
+
+def contention_pairs(
+    instructions: Sequence[Instruction],
+    machine: MachineDescription,
+) -> List[Tuple[Instruction, Instruction]]:
+    """All unordered pairs that can never co-issue on *machine*.
+
+    This realizes the paper's construction step "add all the machine
+    related dependences that are not of a precedence type" — e.g. with
+    one fixed-point unit, every pair of fixed-point operations; with
+    one fetch unit, every pair of loads.  Pairs are returned in
+    deterministic program order.
+
+    Note the paper's footnote: with multiple units of a kind no
+    *pairwise* edge exists (three ops on two units still conflict, but
+    that is not expressible as an edge and is left to the scheduler).
+    """
+    pairs: List[Tuple[Instruction, Instruction]] = []
+    for i, a in enumerate(instructions):
+        for b in instructions[i + 1:]:
+            if not machine.can_coissue(a, b):
+                pairs.append((a, b))
+    return pairs
+
+
+class ReservationTable:
+    """Tracks issue-slot and functional-unit occupancy per cycle.
+
+    With ``machine.pipelined`` units accept one new instruction per
+    cycle (occupancy lasts one cycle); otherwise an instruction holds
+    its unit for its full latency.
+    """
+
+    def __init__(self, machine: MachineDescription) -> None:
+        self.machine = machine
+        self._issued: Dict[int, int] = defaultdict(int)
+        self._unit_busy: Dict[Tuple[int, UnitKind], int] = defaultdict(int)
+        self._placements: List[Tuple[int, Instruction]] = []
+
+    def _occupancy_cycles(self, instr: Instruction, cycle: int) -> Iterable[int]:
+        if self.machine.pipelined:
+            return (cycle,)
+        return range(cycle, cycle + self.machine.latency_of(instr))
+
+    def can_issue(self, instr: Instruction, cycle: int) -> bool:
+        """True when *instr* could start at *cycle* given current load."""
+        if self._issued[cycle] >= self.machine.issue_width:
+            return False
+        kind = self.machine.unit_for(instr)
+        capacity = self.machine.unit_count(kind)
+        if capacity < 1:
+            raise SchedulingError(
+                "machine {!r} has no {} unit for {}".format(
+                    self.machine.name, kind.value, instr
+                )
+            )
+        for c in self._occupancy_cycles(instr, cycle):
+            if self._unit_busy[(c, kind)] >= capacity:
+                return False
+        # Same-address memory constraint against instructions already
+        # placed in this cycle.
+        if instr.is_memory_access:
+            for placed_cycle, placed in self._placements:
+                if placed_cycle == cycle and placed.is_memory_access:
+                    if MachineDescription._same_address_conflict(instr, placed):
+                        return False
+        return True
+
+    def issue(self, instr: Instruction, cycle: int) -> None:
+        """Record *instr* starting at *cycle*.
+
+        Raises:
+            SchedulingError: when the placement violates a resource.
+        """
+        if not self.can_issue(instr, cycle):
+            raise SchedulingError(
+                "cannot issue {} at cycle {}".format(instr, cycle)
+            )
+        self._issued[cycle] += 1
+        kind = self.machine.unit_for(instr)
+        for c in self._occupancy_cycles(instr, cycle):
+            self._unit_busy[(c, kind)] += 1
+        self._placements.append((cycle, instr))
+
+    def placements(self) -> List[Tuple[int, Instruction]]:
+        """(cycle, instruction) pairs in issue order."""
+        return list(self._placements)
+
+    def issued_in_cycle(self, cycle: int) -> List[Instruction]:
+        return [i for c, i in self._placements if c == cycle]
+
+    def busiest_cycle_load(self) -> int:
+        """Maximum number of instructions issued in any single cycle."""
+        return max(self._issued.values(), default=0)

@@ -1,0 +1,18 @@
+"""Optimization passes over the IR: dead-code elimination, block-local
+copy propagation and immediate folding, plus a fixpoint pass manager."""
+
+from repro.opt.copyprop import CopyPropStats, propagate_copies
+from repro.opt.dce import DCEStats, eliminate_dead_code
+from repro.opt.lvn import LVNStats, value_number
+from repro.opt.manager import OptimizationReport, optimize
+
+__all__ = [
+    "CopyPropStats",
+    "DCEStats",
+    "LVNStats",
+    "OptimizationReport",
+    "eliminate_dead_code",
+    "optimize",
+    "propagate_copies",
+    "value_number",
+]

@@ -1,0 +1,146 @@
+"""Copy propagation and immediate folding (block-local).
+
+* Copy propagation: after ``x := mov y``, later uses of ``x`` in the
+  same block read ``y`` directly — as long as neither ``x`` nor ``y``
+  has been redefined in between.  Cross-block copies (the lowerer's
+  join/loop movs) are left alone: they are the merge points webs need.
+* Immediate folding: after ``x := loadi K``, later same-block uses of
+  ``x`` become the literal ``K`` where the instruction shape allows an
+  immediate operand.
+
+Both passes only rewrite operands; dead movs/loadis are left for DCE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Immediate, Register, VirtualRegister, is_register
+
+
+@dataclass
+class CopyPropStats:
+    """Operand rewrites performed."""
+
+    copies_propagated: int
+    immediates_folded: int
+
+
+def _rewrite_block_uses(
+    block: BasicBlock, index: int, mapping: Dict[Register, object]
+) -> int:
+    """Rewrite one instruction's register sources through *mapping*;
+    returns the number of operands changed."""
+    instr = block.instructions[index]
+    changed = 0
+    new_srcs = []
+    for src in instr.srcs:
+        if is_register(src) and src in mapping:
+            new_srcs.append(mapping[src])
+            changed += 1
+        else:
+            new_srcs.append(src)
+    if changed:
+        block.instructions[index] = Instruction(
+            instr.opcode,
+            instr.dests,
+            tuple(new_srcs),
+            target=instr.target,
+            uid=instr.uid,
+        )
+    return changed
+
+
+def propagate_copies(fn: Function) -> CopyPropStats:
+    """Run block-local copy propagation + immediate folding in place."""
+    copies = 0
+    immediates = 0
+    for block in fn.blocks():
+        copy_of: Dict[Register, Register] = {}
+        const_of: Dict[Register, Immediate] = {}
+        for index in range(len(block.instructions)):
+            instr = block.instructions[index]
+
+            # 1. rewrite this instruction's uses through known copies.
+            mapping: Dict[Register, object] = {}
+            for src in instr.uses():
+                if src in copy_of:
+                    mapping[src] = copy_of[src]
+                elif src in const_of and _immediate_allowed(instr):
+                    mapping[src] = const_of[src]
+            if mapping:
+                copies += sum(
+                    1
+                    for src in instr.uses()
+                    if src in mapping and is_register(mapping[src])
+                )
+                immediates += sum(
+                    1
+                    for src in instr.uses()
+                    if src in mapping and isinstance(mapping[src], Immediate)
+                )
+                _rewrite_block_uses(block, index, mapping)
+                instr = block.instructions[index]
+
+            # 2. kill facts invalidated by this instruction's defs.
+            for reg in instr.defs():
+                copy_of.pop(reg, None)
+                const_of.pop(reg, None)
+                for key in [k for k, v in copy_of.items() if v == reg]:
+                    del copy_of[key]
+
+            # 3. learn new facts.
+            if instr.opcode is Opcode.MOV and isinstance(
+                instr.dest, VirtualRegister
+            ):
+                source = instr.srcs[0]
+                if is_register(source):
+                    copy_of[instr.dest] = source
+                elif isinstance(source, Immediate):
+                    const_of[instr.dest] = source
+            elif instr.opcode is Opcode.LOADI and isinstance(
+                instr.dest, VirtualRegister
+            ):
+                value = instr.srcs[0]
+                if isinstance(value, Immediate):
+                    const_of[instr.dest] = value
+
+        # Self-moves (``x := mov x``, typically created when copy
+        # propagation feeds a join/loop mov its own destination) are
+        # no-ops: drop them.
+        before = len(block.instructions)
+        block.instructions = [
+            i
+            for i in block.instructions
+            if not (
+                i.opcode is Opcode.MOV
+                and i.dests
+                and i.srcs
+                and i.dest == i.srcs[0]
+            )
+        ]
+        copies += before - len(block.instructions)
+    return CopyPropStats(
+        copies_propagated=copies, immediates_folded=immediates
+    )
+
+
+def _immediate_allowed(instr: Instruction) -> bool:
+    """May this instruction take a literal source operand?
+
+    Loads/stores address memory through symbols + index registers;
+    keeping their operands in registers avoids encoding questions.
+    Branch conditions must be registers too.  Everything arithmetic
+    accepts immediates in this IR.
+    """
+    op = instr.opcode
+    if op.is_branch or op.is_store or op.is_load or op is Opcode.USE:
+        return False
+    if op in (Opcode.MOV, Opcode.LOADI):
+        return False  # learning loop handles these
+    return True

@@ -1,0 +1,64 @@
+"""Dead-code elimination.
+
+Removes instructions whose results are never used: a definition with
+no reachable use site and no live-out consumer, provided the
+instruction has no side effect (stores, calls, branches and USE
+markers always stay).  Runs to a fixpoint — removing one dead
+instruction can kill its operands' last uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.analysis.defuse import def_use_chains
+from repro.analysis.reaching import DefPoint
+from repro.ir.function import Function
+
+
+@dataclass
+class DCEStats:
+    """How much dead code one :func:`eliminate_dead_code` call removed."""
+
+    removed_instructions: int
+    iterations: int
+
+
+def _has_side_effect(instr) -> bool:
+    op = instr.opcode
+    return (
+        op.is_store
+        or op.is_branch
+        or op.is_call
+        or op.mnemonic == "use"
+    )
+
+
+def eliminate_dead_code(fn: Function) -> DCEStats:
+    """Remove dead instructions from *fn* in place."""
+    removed_total = 0
+    iterations = 0
+    while True:
+        iterations += 1
+        chains = def_use_chains(fn)
+        dead_uids: Set[int] = set()
+        for block in fn.blocks():
+            for instr in block:
+                if _has_side_effect(instr) or not instr.defs():
+                    continue
+                all_dead = all(
+                    not chains.uses_of.get(DefPoint(instr, reg), [])
+                    for reg in instr.defs()
+                )
+                if all_dead:
+                    dead_uids.add(instr.uid)
+        if not dead_uids:
+            return DCEStats(
+                removed_instructions=removed_total, iterations=iterations
+            )
+        removed_total += len(dead_uids)
+        for block in fn.blocks():
+            block.instructions = [
+                i for i in block.instructions if i.uid not in dead_uids
+            ]

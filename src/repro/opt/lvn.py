@@ -1,0 +1,243 @@
+"""Local value numbering with algebraic simplification.
+
+Block-local redundancy elimination: each computed value gets a number
+keyed by ``(opcode, operand value numbers)``; a recomputation of an
+already-available value becomes a MOV (which copy propagation then
+dissolves).  Commutative opcodes normalize operand order.  On the way,
+algebraic identities simplify:
+
+* ``x + 0``, ``x - 0``, ``x * 1``, ``x / 1``, ``x | 0``, ``x ^ 0``,
+  ``x << 0``, ``x >> 0``  →  ``mov x``
+* ``x * 0``, ``x & 0``  →  ``loadi 0``
+* ``x - x``, ``x ^ x``  →  ``loadi 0``
+* ``x * 2^k``  →  ``x << k`` (strength reduction)
+* constant folding when every operand is a literal.
+
+Loads are *not* value-numbered across stores/calls (the memory fence
+invalidates them); for simplicity any store or call flushes load
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Immediate, Register, VirtualRegister, is_register
+
+_WORD_MASK = (1 << 64) - 1
+
+_FOLDABLE = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << (b % 64),
+    Opcode.SHR: lambda a, b: a >> (b % 64),
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+}
+
+#: (opcode, identity literal position, identity value) → becomes mov of
+#: the other operand.  Position 1 = right operand.
+_RIGHT_IDENTITY = {
+    (Opcode.ADD, 0), (Opcode.SUB, 0), (Opcode.OR, 0), (Opcode.XOR, 0),
+    (Opcode.SHL, 0), (Opcode.SHR, 0), (Opcode.MUL, 1), (Opcode.DIV, 1),
+    (Opcode.FADD, 0), (Opcode.FSUB, 0), (Opcode.FMUL, 1), (Opcode.FDIV, 1),
+}
+
+_RIGHT_ZEROING = {(Opcode.MUL, 0), (Opcode.AND, 0), (Opcode.FMUL, 0)}
+
+_SELF_ZEROING = {Opcode.SUB, Opcode.XOR, Opcode.FSUB}
+
+
+@dataclass
+class LVNStats:
+    """What one :func:`value_number` run changed."""
+
+    redundant_replaced: int
+    simplified: int
+    folded: int
+
+
+ValueNumber = int
+
+
+def _power_of_two(value: int) -> Optional[int]:
+    if value > 1 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
+
+
+class _BlockNumbering:
+    def __init__(self) -> None:
+        self._next: ValueNumber = 0
+        self.of_register: Dict[Register, ValueNumber] = {}
+        self.of_literal: Dict[int, ValueNumber] = {}
+        self.of_expression: Dict[Tuple, ValueNumber] = {}
+        self.representative: Dict[ValueNumber, Register] = {}
+
+    def fresh(self) -> ValueNumber:
+        self._next += 1
+        return self._next
+
+    def number_of(self, operand) -> ValueNumber:
+        if isinstance(operand, Immediate):
+            value = operand.value & _WORD_MASK
+            if value not in self.of_literal:
+                self.of_literal[value] = self.fresh()
+            return self.of_literal[value]
+        if operand not in self.of_register:
+            self.of_register[operand] = self.fresh()
+        return self.of_register[operand]
+
+    def flush_loads(self) -> None:
+        """Invalidate memory-derived expression numbers (after a store
+        or call)."""
+        stale = [key for key in self.of_expression if key[0] == "load"]
+        for key in stale:
+            del self.of_expression[key]
+
+
+def _expression_key(instr: Instruction, numbering: _BlockNumbering):
+    op = instr.opcode
+    operand_numbers = tuple(
+        numbering.number_of(src) for src in instr.srcs
+        if is_register(src) or isinstance(src, Immediate)
+    )
+    if op.is_load:
+        symbols = tuple(s.name for s in instr.memory_symbols())
+        return ("load", op, symbols, operand_numbers)
+    if op.commutative:
+        operand_numbers = tuple(sorted(operand_numbers))
+    return ("op", op, operand_numbers)
+
+
+def value_number(fn: Function) -> LVNStats:
+    """Run LVN + simplification over every block of *fn* in place."""
+    redundant = 0
+    simplified = 0
+    folded = 0
+
+    for block in fn.blocks():
+        numbering = _BlockNumbering()
+        for index in range(len(block.instructions)):
+            instr = block.instructions[index]
+            op = instr.opcode
+
+            if op.is_store or op.is_call:
+                numbering.flush_loads()
+                continue
+            if op.is_branch or op is Opcode.USE or not instr.dests:
+                continue
+            if len(instr.dests) != 1 or not isinstance(
+                instr.dest, VirtualRegister
+            ):
+                continue
+
+            replacement = _simplify(instr)
+            if replacement is not None:
+                block.instructions[index] = replacement
+                instr = replacement
+                op = instr.opcode
+                if op is Opcode.LOADI:
+                    folded += 1
+                else:
+                    simplified += 1
+
+            key = _expression_key(instr, numbering)
+            if op in (Opcode.MOV, Opcode.LOADI):
+                # copy/constant: share the operand's number.
+                source = instr.srcs[0]
+                numbering.of_register[instr.dest] = numbering.number_of(source)
+                continue
+
+            existing = numbering.of_expression.get(key)
+            if existing is not None and existing in numbering.representative:
+                block.instructions[index] = Instruction(
+                    Opcode.MOV,
+                    (instr.dest,),
+                    (numbering.representative[existing],),
+                    uid=instr.uid,
+                )
+                numbering.of_register[instr.dest] = existing
+                redundant += 1
+                continue
+
+            number = numbering.fresh()
+            numbering.of_expression[key] = number
+            numbering.of_register[instr.dest] = number
+            numbering.representative[number] = instr.dest
+
+    return LVNStats(
+        redundant_replaced=redundant, simplified=simplified, folded=folded
+    )
+
+
+def _simplify(instr: Instruction) -> Optional[Instruction]:
+    """Algebraic simplification of one instruction; None = unchanged."""
+    op = instr.opcode
+    srcs = instr.srcs
+
+    # Full constant folding.
+    if op in _FOLDABLE and all(isinstance(s, Immediate) for s in srcs):
+        value = _FOLDABLE[op](
+            srcs[0].value & _WORD_MASK, srcs[1].value & _WORD_MASK
+        ) & _WORD_MASK
+        return Instruction(
+            Opcode.LOADI, instr.dests, (Immediate(value),), uid=instr.uid
+        )
+
+    if len(srcs) != 2:
+        return None
+    left, right = srcs
+
+    # x OP x → 0 for subtraction/xor.
+    if (
+        op in _SELF_ZEROING
+        and is_register(left)
+        and left == right
+    ):
+        return Instruction(
+            Opcode.LOADI, instr.dests, (Immediate(0),), uid=instr.uid
+        )
+
+    if isinstance(right, Immediate):
+        # Identity element on the right.
+        if (op, right.value) in {
+            (o, v) for o, v in _RIGHT_IDENTITY
+        } and is_register(left):
+            return Instruction(
+                Opcode.MOV, instr.dests, (left,), uid=instr.uid
+            )
+        # Zeroing element on the right.
+        if (op, right.value) in {
+            (o, v) for o, v in _RIGHT_ZEROING
+        }:
+            return Instruction(
+                Opcode.LOADI, instr.dests, (Immediate(0),), uid=instr.uid
+            )
+        # Strength reduction: x * 2^k → x << k (fixed point only).
+        if op is Opcode.MUL and is_register(left):
+            shift = _power_of_two(right.value)
+            if shift is not None:
+                return Instruction(
+                    Opcode.SHL,
+                    instr.dests,
+                    (left, Immediate(shift)),
+                    uid=instr.uid,
+                )
+
+    if isinstance(left, Immediate) and op.commutative and is_register(right):
+        # Normalize literal to the right and retry.
+        swapped = Instruction(
+            op, instr.dests, (right, left), uid=instr.uid
+        )
+        return _simplify(swapped) or swapped
+    return None

@@ -1,0 +1,67 @@
+"""A small pass manager chaining the optimization passes to a fixpoint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.function import Function
+from repro.opt.copyprop import CopyPropStats, propagate_copies
+from repro.opt.dce import DCEStats, eliminate_dead_code
+from repro.opt.lvn import LVNStats, value_number
+
+
+@dataclass
+class OptimizationReport:
+    """Aggregate statistics of one :func:`optimize` run."""
+
+    rounds: int = 0
+    copies_propagated: int = 0
+    immediates_folded: int = 0
+    instructions_removed: int = 0
+    redundancies_eliminated: int = 0
+    simplifications: int = 0
+
+    def __str__(self) -> str:
+        return (
+            "optimize: {} round(s), {} copies propagated, "
+            "{} immediates folded, {} redundancies eliminated, "
+            "{} simplifications, {} instructions removed".format(
+                self.rounds,
+                self.copies_propagated,
+                self.immediates_folded,
+                self.redundancies_eliminated,
+                self.simplifications,
+                self.instructions_removed,
+            )
+        )
+
+
+def optimize(fn: Function, max_rounds: int = 8) -> OptimizationReport:
+    """Run LVN + copy-prop + immediate folding + DCE on *fn* (in place)
+    until nothing changes or *max_rounds* is hit.
+
+    The pipeline is semantics-preserving (every pass is individually,
+    and the property suite checks the composition against the
+    interpreter).
+    """
+    report = OptimizationReport()
+    for _round in range(max_rounds):
+        report.rounds += 1
+        lvn: LVNStats = value_number(fn)
+        cp: CopyPropStats = propagate_copies(fn)
+        dce: DCEStats = eliminate_dead_code(fn)
+        report.redundancies_eliminated += lvn.redundant_replaced
+        report.simplifications += lvn.simplified + lvn.folded
+        report.copies_propagated += cp.copies_propagated
+        report.immediates_folded += cp.immediates_folded
+        report.instructions_removed += dce.removed_instructions
+        if (
+            lvn.redundant_replaced == 0
+            and lvn.simplified == 0
+            and lvn.folded == 0
+            and cp.copies_propagated == 0
+            and cp.immediates_folded == 0
+            and dce.removed_instructions == 0
+        ):
+            break
+    return report

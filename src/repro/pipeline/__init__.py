@@ -1,0 +1,36 @@
+"""End-to-end pipelines: phase-ordering strategies and the post-
+allocation false-dependence verifier."""
+
+from repro.pipeline.strategies import (
+    AllocateThenSchedule,
+    CombinedPinter,
+    GoodmanHsuIPS,
+    ScheduleThenAllocate,
+    Strategy,
+    StrategyResult,
+    default_strategies,
+    extended_strategies,
+    run_all_strategies,
+)
+from repro.pipeline.verify import (
+    FalseDependenceViolation,
+    assert_no_false_dependences,
+    count_false_dependences,
+    find_false_dependences,
+)
+
+__all__ = [
+    "AllocateThenSchedule",
+    "CombinedPinter",
+    "FalseDependenceViolation",
+    "GoodmanHsuIPS",
+    "ScheduleThenAllocate",
+    "Strategy",
+    "StrategyResult",
+    "assert_no_false_dependences",
+    "count_false_dependences",
+    "default_strategies",
+    "extended_strategies",
+    "find_false_dependences",
+    "run_all_strategies",
+]

@@ -1,0 +1,229 @@
+"""Register assignments: mapping a coloring onto physical registers and
+rewriting the program.
+
+Rewriting is per-web, not per-name: two webs may share a register name
+(a variable redefined on different paths), so every instruction operand
+is resolved through def-use chains to its owning web before the web's
+color picks the physical register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.reaching import DefPoint
+from repro.analysis.webs import Web, web_of_definition
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.operands import PhysicalRegister, Register, is_register
+from repro.regalloc.interference import InterferenceGraph
+from repro.utils.errors import AllocationError
+
+
+@dataclass
+class RegisterAssignment:
+    """A complete symbolic→physical mapping for one function.
+
+    Attributes:
+        web_colors: web → color index.
+        physical_of: color index → physical register (identity layout
+            ``color k → r(k)`` unless a custom pool is supplied).
+        interference: The graph the coloring was computed on (carries
+            the def-use chains needed to resolve operands).
+    """
+
+    web_colors: Dict[Web, int]
+    physical_of: Dict[int, PhysicalRegister]
+    interference: InterferenceGraph
+
+    @property
+    def num_registers_used(self) -> int:
+        return len(set(self.web_colors.values()))
+
+    def register_for_web(self, web: Web) -> PhysicalRegister:
+        try:
+            return self.physical_of[self.web_colors[web]]
+        except KeyError:
+            raise AllocationError("web {} has no color".format(web))
+
+    def register_for_name(self, name: str) -> PhysicalRegister:
+        """Physical register of a (unique) symbolic register name."""
+        web = self.interference.web_by_register_name(name)
+        return self.register_for_web(web)
+
+    def mapping_by_name(self) -> Dict[str, str]:
+        """symbolic-name → physical-name view (only meaningful for
+        single-assignment code where names are unique per web)."""
+        result: Dict[str, str] = {}
+        for web, color in sorted(
+            self.web_colors.items(), key=lambda kv: kv[0].index
+        ):
+            result[str(web.register)] = str(self.physical_of[color])
+        return result
+
+
+def make_assignment(
+    interference: InterferenceGraph,
+    coloring: Dict[Web, int],
+    register_pool: Optional[List[PhysicalRegister]] = None,
+) -> RegisterAssignment:
+    """Bind a coloring to physical registers.
+
+    Args:
+        interference: The colored graph.
+        coloring: A complete web → color map (no spilled webs).
+        register_pool: Physical registers by color index; defaults to
+            ``r1, r2, ...`` in color order.
+
+    Raises:
+        AllocationError: when a web lacks a color or the pool is too
+            small.
+    """
+    missing = [w for w in interference.webs if w not in coloring]
+    if missing:
+        raise AllocationError(
+            "webs without colors: {}".format(
+                ", ".join(str(w) for w in missing)
+            )
+        )
+    colors = sorted(set(coloring.values()))
+    if register_pool is None:
+        register_pool = [PhysicalRegister(i + 1) for i in range(len(colors))]
+    if len(register_pool) < len(colors):
+        raise AllocationError(
+            "pool of {} registers cannot hold {} colors".format(
+                len(register_pool), len(colors)
+            )
+        )
+    physical_of = {color: register_pool[i] for i, color in enumerate(colors)}
+    return RegisterAssignment(
+        web_colors=dict(coloring),
+        physical_of=physical_of,
+        interference=interference,
+    )
+
+
+def make_banked_assignment(
+    interference: InterferenceGraph,
+    class_colorings: Dict[str, Dict[Web, int]],
+) -> RegisterAssignment:
+    """Bind per-class colorings to banked physical registers.
+
+    Args:
+        interference: The colored graph (must be covered by the union
+            of the class colorings).
+        class_colorings: register class (``"int"``/``"float"``) →
+            web → color within that class.
+
+    Returns:
+        A single :class:`RegisterAssignment` whose color space offsets
+        each class into its own range and whose pool maps int colors to
+        the ``r`` bank and float colors to the ``f`` bank.
+    """
+    from repro.regalloc.classes import BANK_OF_CLASS
+
+    web_colors: Dict[Web, int] = {}
+    physical_of: Dict[int, PhysicalRegister] = {}
+    offset = 0
+    for register_class in sorted(class_colorings):
+        coloring = class_colorings[register_class]
+        bank = BANK_OF_CLASS[register_class]
+        used = sorted(set(coloring.values()))
+        for i, color in enumerate(used):
+            physical_of[offset + color] = PhysicalRegister(i + 1, bank=bank)
+        for web, color in coloring.items():
+            web_colors[web] = offset + color
+        offset += (max(used) + 1) if used else 0
+
+    missing = [w for w in interference.webs if w not in web_colors]
+    if missing:
+        raise AllocationError(
+            "webs without colors: {}".format(
+                ", ".join(str(w) for w in missing)
+            )
+        )
+    return RegisterAssignment(
+        web_colors=web_colors,
+        physical_of=physical_of,
+        interference=interference,
+    )
+
+
+def apply_assignment(assignment: RegisterAssignment) -> Function:
+    """Rewrite the function with physical registers.
+
+    Each definition operand maps through its DefPoint's web; each use
+    operand maps through the web of any definition reaching it (all
+    reaching definitions share a web by construction).  Physical
+    registers already present pass through untouched.
+
+    Returns:
+        A new :class:`Function` whose instructions keep their uids, so
+        post-allocation dependence graphs remain comparable with the
+        symbolic original (the Lemma 1 false-dependence check).
+    """
+    interference = assignment.interference
+    fn = interference.function
+    def_to_web = web_of_definition(interference.webs)
+    chains = interference.chains
+
+    def resolve_use(instr: Instruction, reg: Register) -> Register:
+        if isinstance(reg, PhysicalRegister):
+            return reg
+        defs = chains.defs_of.get((instr, reg), frozenset())
+        for point in sorted(defs, key=lambda p: p.instruction.uid):
+            web = def_to_web.get(point)
+            if web is not None and web in assignment.web_colors:
+                return assignment.register_for_web(web)
+        return reg  # no reaching definition (live-in): leave symbolic
+
+    def resolve_def(instr: Instruction, reg: Register) -> Register:
+        if isinstance(reg, PhysicalRegister):
+            return reg
+        web = def_to_web.get(DefPoint(instr, reg))
+        if web is not None and web in assignment.web_colors:
+            return assignment.register_for_web(web)
+        return reg
+
+    def rewrite(instr: Instruction) -> Instruction:
+        new_dests = tuple(resolve_def(instr, d) for d in instr.defs())
+        new_srcs = tuple(
+            resolve_use(instr, s) if is_register(s) else s for s in instr.srcs
+        )
+        return Instruction(
+            instr.opcode, new_dests, new_srcs, target=instr.target, uid=instr.uid
+        )
+
+    allocated = fn.map_instructions(rewrite)
+
+    live_out_map: Dict[Register, Register] = {}
+    for reg in fn.live_out:
+        for web, _color in assignment.web_colors.items():
+            if web.register == reg:
+                live_out_map[reg] = assignment.register_for_web(web)
+                break
+    allocated.live_out = tuple(live_out_map.get(r, r) for r in fn.live_out)
+    return allocated
+
+
+def verify_assignment_against_graph(
+    assignment: RegisterAssignment,
+) -> None:
+    """Check no interference edge is monochromatic.
+
+    Raises:
+        AllocationError: on the first violated edge.
+    """
+    interference = assignment.interference
+    for a, b in interference.graph.edges():
+        if (
+            a in assignment.web_colors
+            and b in assignment.web_colors
+            and assignment.web_colors[a] == assignment.web_colors[b]
+        ):
+            raise AllocationError(
+                "interfering webs {} and {} share {}".format(
+                    a, b, assignment.register_for_web(a)
+                )
+            )

@@ -1,0 +1,126 @@
+"""Register classes: split fixed/floating-point register files.
+
+The paper's examples allocate from a single register file (Figure 5
+maps both fixed and float values onto r1..r4).  Real machines of its
+era (RS/6000, R3000+FPA) keep separate integer and floating-point
+files; this module extends the framework to that shape:
+
+* a web's :func:`register class <web_register_class>` comes from its
+  defining instructions (floating-point producers live in the float
+  file);
+* cross-class graph edges are meaningless — two files never alias — so
+  class-aware allocation colors each class-induced subgraph separately
+  against its own budget;
+* Theorem 1 survives per class: a false edge between an int and a
+  float web can never be violated, because the two values cannot share
+  a register anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Literal
+
+import networkx as nx
+
+from repro.analysis.webs import Web
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import PhysicalRegister
+
+RegisterClass = Literal["int", "float"]
+
+#: Bank prefix per class.
+BANK_OF_CLASS: Dict[str, str] = {"int": "r", "float": "f"}
+
+_FLOAT_PRODUCERS = {
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FMA,
+    Opcode.FLOAD,
+}
+
+
+def web_register_class(web: Web) -> RegisterClass:
+    """The file *web* must live in: float iff some definition produces
+    a floating-point value.
+
+    Copies (MOV defs) are class-neutral here; use :func:`classify_webs`
+    for the copy-propagating classification that banked allocation
+    needs (a join mov of two float values is itself a float web).
+    """
+    for point in web.definitions:
+        if point.instruction.opcode in _FLOAT_PRODUCERS:
+            return "float"
+    return "int"
+
+
+def classify_webs(webs: List[Web], chains=None) -> Dict[Web, RegisterClass]:
+    """Classify every web, propagating floatness through copies.
+
+    A web is float when some definition is a float producer, or when
+    some MOV definition copies from a float web (fixpoint over the
+    def-use *chains*; without chains, falls back to the producer-only
+    rule).
+    """
+    classes: Dict[Web, RegisterClass] = {
+        web: web_register_class(web) for web in webs
+    }
+    if chains is None:
+        return classes
+
+    from repro.analysis.webs import web_of_definition
+
+    def_to_web = web_of_definition(webs)
+    changed = True
+    while changed:
+        changed = False
+        for web in webs:
+            if classes[web] == "float":
+                continue
+            for point in web.definitions:
+                instr = point.instruction
+                if instr.opcode is not Opcode.MOV:
+                    continue
+                for src in instr.uses():
+                    for src_def in chains.defs_of.get((instr, src), ()):
+                        src_web = def_to_web.get(src_def)
+                        if src_web is not None and classes.get(src_web) == "float":
+                            classes[web] = "float"
+                            changed = True
+                            break
+    return classes
+
+
+def split_webs_by_class(
+    webs: List[Web], chains=None
+) -> Dict[RegisterClass, List[Web]]:
+    groups: Dict[RegisterClass, List[Web]] = {"int": [], "float": []}
+    classes = classify_webs(webs, chains)
+    for web in webs:
+        groups[classes[web]].append(web)
+    return groups
+
+
+def class_subgraph(graph: nx.Graph, webs: List[Web]) -> nx.Graph:
+    """The subgraph induced by one class (cross-class edges dropped)."""
+    return graph.subgraph(webs).copy()
+
+
+def banked_register_pool(
+    register_class: RegisterClass, count: int
+) -> List[PhysicalRegister]:
+    bank = BANK_OF_CLASS[register_class]
+    return [PhysicalRegister(i + 1, bank=bank) for i in range(count)]
+
+
+@dataclass
+class BankedBudget:
+    """Per-class register budgets for a split-file machine."""
+
+    int_registers: int
+    float_registers: int
+
+    def of(self, register_class: RegisterClass) -> int:
+        return (
+            self.int_registers
+            if register_class == "int"
+            else self.float_registers
+        )

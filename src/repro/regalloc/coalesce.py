@@ -1,0 +1,112 @@
+"""Move coalescing via biased coloring.
+
+The lowered programs are full of register-to-register moves (join and
+loop registers).  Rather than merging graph nodes (Chaitin coalescing,
+which can make the graph uncolorable), we use *biased coloring*: when
+several colors are legal for a web, prefer the color of a mov-related
+partner.  A mov whose source and destination land in one register
+becomes an identity move, deleted by :func:`remove_identity_moves`.
+
+Bias never constrains correctness — it only breaks ties among legal
+colors — so every guarantee of the coloring procedure is untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.defuse import DefUseChains
+from repro.analysis.reaching import DefPoint
+from repro.analysis.webs import Web, web_of_definition
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import PhysicalRegister, is_register
+from repro.regalloc.interference import InterferenceGraph
+
+
+def mov_related_pairs(
+    interference: InterferenceGraph,
+) -> List[Tuple[Web, Web]]:
+    """Web pairs connected by a register-to-register MOV.
+
+    Pairs whose webs interfere are excluded — they can never share a
+    register, so biasing toward them is pointless.
+    """
+    fn = interference.function
+    chains: DefUseChains = interference.chains
+    def_to_web = web_of_definition(interference.webs)
+    pairs: List[Tuple[Web, Web]] = []
+    seen: Set[frozenset] = set()
+
+    for instr in fn.instructions():
+        if instr.opcode is not Opcode.MOV or not instr.dests:
+            continue
+        source = instr.srcs[0]
+        if not is_register(source):
+            continue
+        dst_web = def_to_web.get(DefPoint(instr, instr.dest))
+        if dst_web is None:
+            continue
+        for src_def in chains.defs_of.get((instr, source), frozenset()):
+            src_web = def_to_web.get(src_def)
+            if src_web is None or src_web is dst_web:
+                continue
+            key = frozenset((src_web.index, dst_web.index))
+            if key in seen:
+                continue
+            seen.add(key)
+            if not interference.interferes(src_web, dst_web):
+                pairs.append((src_web, dst_web))
+    return pairs
+
+
+def build_bias_map(
+    interference: InterferenceGraph,
+) -> Dict[Web, List[Web]]:
+    """web → mov partners, for the biased select phase."""
+    bias: Dict[Web, List[Web]] = {}
+    for a, b in mov_related_pairs(interference):
+        bias.setdefault(a, []).append(b)
+        bias.setdefault(b, []).append(a)
+    return bias
+
+
+def choose_biased_color(
+    free_colors: List[int],
+    node: Web,
+    coloring: Dict[Web, int],
+    bias: Optional[Dict[Web, List[Web]]],
+) -> Optional[int]:
+    """Pick from *free_colors*, preferring a mov partner's color."""
+    if not free_colors:
+        return None
+    if bias:
+        for partner in bias.get(node, ()):
+            color = coloring.get(partner)
+            if color in free_colors:
+                return color
+    return free_colors[0]
+
+
+def remove_identity_moves(fn: Function) -> int:
+    """Delete ``rX := mov rX`` instructions (post-allocation cleanup).
+
+    Returns the number of moves removed.
+    """
+    removed = 0
+    for block in fn.blocks():
+        kept: List[Instruction] = []
+        for instr in block:
+            if (
+                instr.opcode is Opcode.MOV
+                and instr.dests
+                and isinstance(instr.dest, PhysicalRegister)
+                and instr.srcs
+                and instr.srcs[0] == instr.dest
+            ):
+                removed += 1
+                continue
+            kept.append(instr)
+        block.instructions = kept
+    return removed

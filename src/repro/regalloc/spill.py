@@ -1,0 +1,264 @@
+"""Spill costs and spill-code insertion.
+
+"In practice a spilling stage is carried out in which the values of
+some variables (symbolic registers) are temporarily stored in memory."
+The cost model follows the conventional nesting-weighted count the
+paper references ("the cost function, in general, is a function of the
+instruction's nesting level"): each static def or use of the web costs
+``10 ** loop_depth`` memory operations.
+
+After a coloring round reports spill victims, :func:`insert_spill_code`
+rewrites the program — a store after every definition, a reload into a
+fresh short-lived symbolic register before every use — and the driver
+repeats the coloring procedure on the rewritten program, exactly as the
+paper's algorithm does ("spill each v in spill list; repeat the
+coloring procedure").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.analysis.loops import loop_nesting_depth
+from repro.analysis.webs import Web
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode, UnitKind
+from repro.ir.operands import MemorySymbol, Register, VirtualRegister
+
+_RELOAD_COUNTER = itertools.count(1)
+
+#: Name infix marking registers created by spill insertion.
+SPILL_TEMP_MARKER = ".rl"
+
+
+def is_spill_temp(reg: Register) -> bool:
+    """Is *reg* a reload temporary (or live-out reload) created by
+    :func:`insert_spill_code`?  Spill temps have one-statement live
+    ranges; re-spilling them cannot reduce pressure, so they receive
+    infinite spill cost."""
+    name = str(reg)
+    return SPILL_TEMP_MARKER in name or name.endswith(".out")
+
+
+def make_cost_function(fn: Function):
+    """Build ``cost(web)`` for *fn*: nesting-weighted def+use count.
+
+    The returned callable is what the ``h`` and ``h*`` spill metrics
+    divide by degree / edge weight.  Spill temporaries cost +inf —
+    they are never profitable victims.
+    """
+    depth = loop_nesting_depth(fn)
+    block_of: Dict[int, str] = {}
+    for block in fn.blocks():
+        for instr in block:
+            block_of[instr.uid] = block.name
+
+    def cost(web: Web) -> float:
+        if is_spill_temp(web.register):
+            return float("inf")
+        total = 0.0
+        for point in web.definitions:
+            total += 10.0 ** depth.get(block_of.get(point.instruction.uid, ""), 0)
+        for instr, _reg in web.uses:
+            total += 10.0 ** depth.get(block_of.get(instr.uid, ""), 0)
+        return total
+
+    return cost
+
+
+def _slot_for(web: Web) -> MemorySymbol:
+    return MemorySymbol("spill.{}".format(web.name.replace(":", "_")))
+
+
+def _is_float_web(web: Web) -> bool:
+    """Pick FSTORE/FLOAD for values produced by floating-point ops."""
+    for point in web.definitions:
+        if point.instruction.unit is UnitKind.FLOAT or point.instruction.opcode in (
+            Opcode.FLOAD,
+        ):
+            return True
+    return False
+
+
+@dataclass
+class SpillReport:
+    """What spill insertion did, for diagnostics and EXPERIMENTS.md.
+
+    Attributes:
+        stores_added: Number of spill stores inserted.
+        reloads_added: Number of reloads inserted.
+        rematerialized: Number of uses satisfied by recomputing a
+            constant instead of reloading from a spill slot.
+        spilled_webs: The webs rewritten to memory (or rematerialized).
+    """
+
+    stores_added: int
+    reloads_added: int
+    spilled_webs: Tuple[Web, ...]
+    rematerialized: int = 0
+
+
+def is_rematerializable(web: Web) -> bool:
+    """Can this web be recomputed at each use instead of spilled?
+
+    True when every definition loads the *same* constant (LOADI):
+    re-emitting the constant is always cheaper than a store/reload
+    pair and needs no spill slot.  (A join web merging two different
+    constants is not rematerializable — the runtime value depends on
+    the path taken.)
+    """
+    if not web.definitions:
+        return False
+    sources = {
+        point.instruction.srcs
+        for point in web.definitions
+    }
+    return len(sources) == 1 and all(
+        point.instruction.opcode is Opcode.LOADI
+        for point in web.definitions
+    )
+
+
+def insert_spill_code(
+    fn: Function,
+    spill_webs: Sequence[Web],
+    rematerialize: bool = True,
+) -> Tuple[Function, SpillReport]:
+    """Rewrite *fn* with *spill_webs* living in memory.
+
+    Every definition of a spilled web is followed by a store to the
+    web's spill slot; every use reloads the slot into a fresh symbolic
+    register just before the using instruction (keeping the new live
+    ranges one statement long).  Live-out spilled registers are
+    reloaded at each exit block and the function's live-out list is
+    updated to the reload names.
+
+    With *rematerialize* (default), constant-defined webs skip the
+    store/reload dance entirely: each use re-emits the constant into a
+    fresh register (no memory traffic, no spill slot).
+
+    Returns:
+        The rewritten function and a :class:`SpillReport`.
+    """
+    if not spill_webs:
+        return fn, SpillReport(0, 0, ())
+
+    remat_webs = (
+        {w for w in spill_webs if is_rematerializable(w)}
+        if rematerialize
+        else set()
+    )
+    remat_value: Dict[Web, Tuple] = {
+        web: next(iter(web.definitions)).instruction.srcs
+        for web in remat_webs
+    }
+
+    spilled_defs: Dict[Tuple[int, Register], Web] = {}
+    spilled_uses: Dict[Tuple[int, Register], Web] = {}
+    for web in spill_webs:
+        for point in web.definitions:
+            spilled_defs[(point.instruction.uid, point.register)] = web
+        for instr, reg in web.uses:
+            spilled_uses[(instr.uid, reg)] = web
+
+    spilled_live_out: Dict[Register, Web] = {}
+    for web in spill_webs:
+        if web.register in fn.live_out:
+            spilled_live_out[web.register] = web
+
+    stores = 0
+    reloads = 0
+    remats = 0
+    result = Function(fn.name)
+    live_out_map: Dict[Register, Register] = {}
+
+    for block in fn.blocks():
+        new_block = BasicBlock(block.name)
+        for instr in block:
+            use_rewrites: Dict[Register, Register] = {}
+            for reg in instr.uses():
+                web = spilled_uses.get((instr.uid, reg))
+                if web is None:
+                    continue
+                fresh = VirtualRegister(
+                    "{}.rl{}".format(reg, next(_RELOAD_COUNTER))
+                )
+                if web in remat_webs:
+                    new_block.instructions.append(
+                        Instruction(Opcode.LOADI, (fresh,), remat_value[web])
+                    )
+                    remats += 1
+                else:
+                    load_op = (
+                        Opcode.FLOAD if _is_float_web(web) else Opcode.LOAD
+                    )
+                    new_block.instructions.append(
+                        Instruction(load_op, (fresh,), (_slot_for(web),))
+                    )
+                    reloads += 1
+                use_rewrites[reg] = fresh
+            new_instr = (
+                instr.rewrite_registers(use_rewrites) if use_rewrites else instr
+            )
+            # rewrite_registers also touches defs; restore spilled-def
+            # names (defs keep their original register).
+            if use_rewrites and any(d in use_rewrites for d in instr.defs()):
+                new_instr = Instruction(
+                    new_instr.opcode,
+                    instr.defs(),
+                    new_instr.srcs,
+                    target=new_instr.target,
+                    uid=instr.uid,
+                )
+            new_block.instructions.append(new_instr)
+            for reg in instr.defs():
+                web = spilled_defs.get((instr.uid, reg))
+                if web is None or web in remat_webs:
+                    continue  # rematerializable: no slot, no store
+                store_op = Opcode.FSTORE if _is_float_web(web) else Opcode.STORE
+                new_block.instructions.append(
+                    Instruction(store_op, (), (reg, _slot_for(web)))
+                )
+                stores += 1
+        result.add_block(new_block, entry=(block.name == fn.entry.name))
+
+    for src in fn.block_names():
+        for dst_block in fn.successors(fn.block(src)):
+            result.add_edge(src, dst_block.name)
+
+    # Reload (or rematerialize) live-out spilled values at exit blocks
+    # under fresh names.
+    for reg, web in spilled_live_out.items():
+        fresh = VirtualRegister("{}.out".format(reg))
+        live_out_map[reg] = fresh
+        if web in remat_webs:
+            reload = Instruction(Opcode.LOADI, (fresh,), remat_value[web])
+        else:
+            load_op = Opcode.FLOAD if _is_float_web(web) else Opcode.LOAD
+            reload = Instruction(load_op, (fresh,), (_slot_for(web),))
+        for exit_block in result.exit_blocks():
+            materialize = reload.copy(fresh_uid=True)
+            term = exit_block.terminator
+            if term is not None:
+                exit_block.insert(
+                    len(exit_block.instructions) - 1, materialize
+                )
+            else:
+                exit_block.instructions.append(materialize)
+            if web in remat_webs:
+                remats += 1
+            else:
+                reloads += 1
+
+    result.live_out = tuple(live_out_map.get(r, r) for r in fn.live_out)
+    report = SpillReport(
+        stores_added=stores,
+        reloads_added=reloads,
+        spilled_webs=tuple(spill_webs),
+        rematerialized=remats,
+    )
+    return result, report

@@ -1,0 +1,227 @@
+"""EP numbers — earliest-possible scheduling times with machine-driven
+postponement.
+
+From the paper's Section 4: the graph "is first extended by adding to
+every node v a number EP(v) representing the earliest possible time for
+scheduling v (in [7] EP stands for early partition).  The EP numbers
+are computed from the scheduling graph (G_s); during this stage the
+delay numbers on the edges ... may be used for generating more
+accurate EP numbers."  The refinement loop then handles machine
+limitations: "Whenever all the operations with the same EP number
+cannot be scheduled together (machine limitations) select the
+operations to be postponed; increase the EP number of each node in the
+postponed set and update the EP numbers on all the paths (in G_s)
+leaving the node."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.deps.schedule_graph import ScheduleGraph
+from repro.deps.transitive import earliest_start_times, slack
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import UnitKind
+from repro.machine.model import MachineDescription
+from repro.utils.errors import SchedulingError
+
+
+def initial_ep(sg: ScheduleGraph) -> Dict[Instruction, int]:
+    """EP before machine refinement: delay-weighted ASAP times."""
+    return earliest_start_times(sg)
+
+
+def _select_postponed(
+    group: List[Instruction],
+    machine: MachineDescription,
+    keep_priority: Callable[[Instruction], float],
+    sg: Optional[ScheduleGraph] = None,
+) -> List[Instruction]:
+    """Choose which of *group* (all sharing an EP value) to postpone.
+
+    Greedy admission in priority order: an instruction stays if the
+    issue width and its unit still have a free slot; everyone else is
+    postponed.  Higher *keep_priority* is admitted first (the paper
+    suggests favoring instructions "last on a critical path", i.e.
+    least slack).
+
+    Instructions with a delay-0 predecessor inside the group are
+    admitted last: postponing such a predecessor would drag its
+    successor along through propagation (EP[succ] >= EP[pred]) and the
+    pair would chase each other forever; postponing the successor
+    separates them in one step.
+    """
+    admitted: List[Instruction] = []
+    unit_load: Dict[UnitKind, int] = {}
+    postponed: List[Instruction] = []
+    group_set = set(group)
+    zero_pred_in_group: Dict[Instruction, bool] = {}
+    for instr in group:
+        zero_pred_in_group[instr] = bool(sg) and any(
+            pred in group_set and sg.delay(pred, instr) == 0
+            for pred in sg.graph.predecessors(instr)
+        )
+    ordered = sorted(
+        group,
+        key=lambda i: (zero_pred_in_group[i], -keep_priority(i), i.uid),
+    )
+    for instr in ordered:
+        kind = machine.unit_for(instr)
+        capacity = machine.unit_count(kind)
+        if capacity < 1:
+            raise SchedulingError(
+                "machine {!r} cannot execute {}".format(machine.name, instr)
+            )
+        if len(admitted) >= machine.issue_width or unit_load.get(kind, 0) >= capacity:
+            postponed.append(instr)
+            continue
+        same_address = any(
+            MachineDescription._same_address_conflict(instr, other)
+            for other in admitted
+        )
+        if same_address:
+            postponed.append(instr)
+            continue
+        admitted.append(instr)
+        unit_load[kind] = unit_load.get(kind, 0) + 1
+
+    # Closure: an admitted instruction whose delay-0 predecessor was
+    # postponed must follow it — otherwise propagation immediately
+    # drags it to the next slot anyway and the group never shrinks.
+    if sg is not None and postponed:
+        changed = True
+        while changed:
+            changed = False
+            postponed_set = set(postponed)
+            for instr in list(admitted):
+                if any(
+                    pred in postponed_set
+                    and sg.delay(pred, instr) == 0
+                    for pred in sg.graph.predecessors(instr)
+                ):
+                    admitted.remove(instr)
+                    postponed.append(instr)
+                    changed = True
+    return postponed
+
+
+def refined_ep(
+    sg: ScheduleGraph,
+    machine: MachineDescription,
+    keep_priority: Optional[Callable[[Instruction], float]] = None,
+) -> Dict[Instruction, int]:
+    """EP numbers after the paper's postponement fixpoint.
+
+    Args:
+        sg: Symbolic-register schedule graph.
+        machine: Supplies issue width and unit capacities.
+        keep_priority: Instructions to *keep* at their EP slot when the
+            slot overflows; defaults to negative slack (critical-path
+            instructions stay, slack-rich ones are postponed).
+
+    Returns:
+        A map with the property that every EP-equal group fits the
+        machine's single-cycle capacity, and every edge (u, v) of G_s
+        satisfies ``EP[v] >= EP[u] + delay(u, v)``.
+    """
+    ep = dict(initial_ep(sg))
+    if keep_priority is None:
+        slack_map = slack(sg)
+
+        def keep_priority(instr: Instruction) -> float:  # noqa: F811
+            return -float(slack_map[instr])
+
+    # Each round slips at least one EP value by one; no EP can exceed
+    # N * max_delay, so the fixpoint arrives within N^2 * max_delay.
+    max_delay = max(
+        (data["delay"] for _u, _v, data in sg.graph.edges(data=True)),
+        default=1,
+    )
+    n = len(sg.instructions)
+    max_rounds = n * n * max_delay + n + 1
+    for _round in range(max_rounds):
+        groups: Dict[int, List[Instruction]] = {}
+        for instr in sg.instructions:
+            groups.setdefault(ep[instr], []).append(instr)
+        overflow_time = None
+        for time in sorted(groups):
+            postponed = _select_postponed(
+                groups[time], machine, keep_priority, sg=sg
+            )
+            if postponed:
+                overflow_time = time
+                for instr in postponed:
+                    ep[instr] = time + 1
+                #
+
+                # Propagate along all paths leaving the postponed nodes.
+                _propagate(sg, ep, postponed)
+                break
+        if overflow_time is None:
+            return ep
+    raise SchedulingError("EP refinement failed to converge")
+
+
+def _propagate(
+    sg: ScheduleGraph,
+    ep: Dict[Instruction, int],
+    sources: Sequence[Instruction],
+) -> None:
+    """Push increased EP values forward through G_s."""
+    worklist = list(sources)
+    while worklist:
+        node = worklist.pop()
+        for succ in sg.graph.successors(node):
+            required = ep[node] + sg.delay(node, succ)
+            if ep[succ] < required:
+                ep[succ] = required
+                worklist.append(succ)
+
+
+def ep_linear_order(
+    sg: ScheduleGraph, ep: Dict[Instruction, int]
+) -> List[Instruction]:
+    """A linear order "consistent with the partial order of the new EP
+    numbers": a topological sort of G_s keyed by (EP, original
+    position).
+
+    For symbolic-register graphs every edge carries delay >= 1, so EP
+    strictly increases along edges and this equals a stable sort by EP;
+    the explicit topological sort also stays correct for graphs with
+    delay-0 (anti) edges.
+    """
+    import networkx as nx
+
+    position = {instr: idx for idx, instr in enumerate(sg.instructions)}
+    return list(
+        nx.lexicographical_topological_sort(
+            sg.graph, key=lambda i: (ep[i], position[i])
+        )
+    )
+
+
+@dataclass
+class EPAnalysis:
+    """EP numbers before and after machine refinement, plus the derived
+    linear order — everything the pre-scheduling pass needs."""
+
+    initial: Dict[Instruction, int]
+    refined: Dict[Instruction, int]
+    order: List[Instruction]
+
+    def postponements(self) -> int:
+        """Total EP slips caused by machine limitations."""
+        return sum(
+            self.refined[i] - self.initial[i] for i in self.refined
+        )
+
+
+def analyze_ep(
+    sg: ScheduleGraph, machine: MachineDescription
+) -> EPAnalysis:
+    """Run the full EP pipeline on *sg*."""
+    first = initial_ep(sg)
+    refined = refined_ep(sg, machine)
+    order = ep_linear_order(sg, refined)
+    return EPAnalysis(initial=first, refined=refined, order=order)

@@ -1,0 +1,158 @@
+"""Region-level scheduling across plausible basic blocks.
+
+Section 3 of the paper extends the framework "to cover scheduling
+across basic block boundaries": within a region of control-equivalent
+blocks the control-dependence edges are logically ignored and the
+region is scheduled as one block.  This module provides
+
+* :func:`schedule_region` — a joint schedule of a region's instructions
+  (data dependences across the blocks respected, block boundaries
+  ignored);
+* :func:`simulate_regions` — region-level timing of a whole function,
+  the global counterpart of :func:`repro.sched.simulator.simulate_function`;
+* :func:`merge_plausible_blocks` — a normalization pass that physically
+  fuses a region of straight-line-connected blocks into one block, so
+  the single-block machinery applies verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.analysis.regions import Region, schedule_regions
+from repro.deps.schedule_graph import region_schedule_graph
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.machine.model import MachineDescription
+from repro.sched.list_scheduler import Schedule, list_schedule
+
+
+@dataclass
+class RegionTiming:
+    """Joint timing of one region."""
+
+    region: Region
+    schedule: Schedule
+    critical_path: int
+
+    @property
+    def makespan(self) -> int:
+        return self.schedule.makespan
+
+
+@dataclass
+class GlobalSimulationResult:
+    """Region-level timing for a function."""
+
+    function: str
+    machine: MachineDescription
+    regions: List[RegionTiming] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(r.makespan for r in self.regions)
+
+
+def schedule_region(
+    fn: Function,
+    region: Region,
+    machine: MachineDescription,
+) -> RegionTiming:
+    """Jointly schedule all instructions of *region*."""
+    sg = region_schedule_graph(fn, region.blocks, machine=machine)
+    schedule = list_schedule(sg, machine)
+    return RegionTiming(
+        region=region,
+        schedule=schedule,
+        critical_path=sg.critical_path_length(),
+    )
+
+
+def simulate_regions(
+    fn: Function, machine: MachineDescription
+) -> GlobalSimulationResult:
+    """Time *fn* region by region (regions found via dom/postdom
+    plausibility); the benefit over per-block timing is exactly the
+    cross-block parallelism region scheduling exposes."""
+    result = GlobalSimulationResult(function=fn.name, machine=machine)
+    for region in schedule_regions(fn):
+        blocks = [fn.block(name) for name in region.blocks]
+        if any(b.instructions for b in blocks):
+            result.regions.append(schedule_region(fn, region, machine))
+    return result
+
+
+def merge_plausible_blocks(fn: Function) -> Function:
+    """Fuse regions of consecutive blocks linked by unconditional
+    branches into single blocks.
+
+    Only the safest shape is fused: block A ends in ``br B`` (or falls
+    through), B is A's sole successor, A is B's sole predecessor, and
+    both are in one plausibility region.  The intermediate branch is
+    dropped.  The result lets the per-block parallelizable interference
+    graph see the whole region, which is how the paper's global
+    extension is exercised end to end.
+    """
+    regions = schedule_regions(fn)
+    region_of = {}
+    for region in regions:
+        for name in region.blocks:
+            region_of[name] = region.index
+
+    merged = Function(fn.name, live_out=fn.live_out)
+    skip = set()
+    name_map = {}
+
+    blocks = fn.blocks()
+    for block in blocks:
+        if block.name in skip:
+            continue
+        chain = [block]
+        current = block
+        while True:
+            succs = fn.successors(current)
+            if len(succs) != 1:
+                break
+            nxt = succs[0]
+            if len(fn.predecessors(nxt)) != 1:
+                break
+            if region_of.get(nxt.name) != region_of.get(block.name):
+                break
+            term = current.terminator
+            if term is not None and term.opcode is not Opcode.BR:
+                break
+            chain.append(nxt)
+            skip.add(nxt.name)
+            current = nxt
+
+        fused = BasicBlock(block.name)
+        for idx, member in enumerate(chain):
+            instrs = member.instructions
+            if idx < len(chain) - 1 and member.terminator is not None:
+                instrs = instrs[:-1]  # drop the intermediate branch
+            fused.instructions.extend(instrs)
+        merged.add_block(fused, entry=(block.name == fn.entry.name))
+        for member in chain:
+            name_map[member.name] = block.name
+
+    for block in blocks:
+        if block.name in skip:
+            continue
+        tail = block
+        # The chain's last member determines outgoing edges.
+        while True:
+            succs = fn.successors(tail)
+            if (
+                len(succs) == 1
+                and len(fn.predecessors(succs[0])) == 1
+                and succs[0].name in skip
+                and name_map.get(succs[0].name) == block.name
+            ):
+                tail = succs[0]
+            else:
+                break
+        for succ in fn.successors(tail):
+            merged.add_edge(block.name, name_map.get(succ.name, succ.name))
+    return merged

@@ -1,0 +1,181 @@
+"""Goodman–Hsu integrated prepass scheduling (the paper's reference
+[10], "Code scheduling and register allocation in large basic blocks",
+ICS 1988).
+
+IPS is the closest prior art the paper compares its framework against:
+a list scheduler that watches the number of available registers while
+it schedules.  While registers are plentiful it schedules for the
+pipeline (critical-path priority, their CSP mode); when the live count
+approaches the register limit it flips to Sethi–Ullman-style register
+minimization (their CSR mode), preferring ready instructions that free
+the most registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.deps.schedule_graph import ScheduleGraph, block_schedule_graph
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.operands import Register
+from repro.machine.model import MachineDescription
+from repro.machine.resources import ReservationTable
+from repro.sched.list_scheduler import (
+    Schedule,
+    critical_path_priority,
+)
+from repro.utils.errors import SchedulingError
+
+
+@dataclass
+class IPSResult:
+    """Outcome of one IPS run over a block."""
+
+    schedule: Schedule
+    peak_live: int
+    csr_cycles: int  # cycles spent in register-minimizing mode
+
+
+def _last_use_positions(
+    instructions: Sequence[Instruction],
+    live_out: Set[Register],
+) -> Dict[Instruction, List[Register]]:
+    """For each instruction, the registers whose last (program-order)
+    use it holds — issuing it frees those registers."""
+    last_use: Dict[Register, Instruction] = {}
+    for instr in instructions:
+        for reg in instr.uses():
+            last_use[reg] = instr
+    frees: Dict[Instruction, List[Register]] = {i: [] for i in instructions}
+    for reg, instr in last_use.items():
+        if reg not in live_out:
+            frees[instr].append(reg)
+    return frees
+
+
+def ips_schedule(
+    sg: ScheduleGraph,
+    machine: MachineDescription,
+    num_registers: int,
+    threshold: int = 2,
+    live_out: Optional[Set[Register]] = None,
+) -> IPSResult:
+    """Schedule *sg* with the Goodman–Hsu register-sensitive policy.
+
+    Args:
+        sg: Symbolic-register schedule graph of one block.
+        machine: Resource model.
+        num_registers: The register budget the scheduler protects.
+        threshold: Switch to register-minimizing mode when fewer than
+            this many registers remain available (AVLREG in [10]).
+        live_out: Registers live out of the block (never freed).
+
+    Returns:
+        An :class:`IPSResult`; the schedule is legal for *machine*.
+    """
+    sg.check_acyclic()
+    live_out = set(live_out or ())
+    cp_priority = critical_path_priority(sg)
+    frees = _last_use_positions(sg.instructions, live_out)
+
+    table = ReservationTable(machine)
+    cycle_of: Dict[Instruction, int] = {}
+    ready_at: Dict[Instruction, int] = {}
+    remaining_preds = {
+        instr: sg.graph.in_degree(instr) for instr in sg.instructions
+    }
+    ready = [i for i in sg.instructions if remaining_preds[i] == 0]
+    for instr in ready:
+        ready_at[instr] = 0
+
+    live: Set[Register] = set()
+    peak_live = 0
+    csr_cycles = 0
+    cycle = 0
+    unscheduled = len(sg.instructions)
+    guard_limit = (
+        sum(machine.latency_of(i) for i in sg.instructions)
+        + len(sg.instructions)
+    ) * 2 + 10
+    guard = 0
+
+    def register_delta(instr: Instruction) -> int:
+        """Net live-register change from issuing *instr*: defs minus
+        the operands whose last use it is."""
+        freed = sum(1 for reg in frees[instr] if reg in live)
+        return len(instr.defs()) - freed
+
+    while unscheduled:
+        guard += 1
+        if guard > guard_limit:
+            raise SchedulingError("IPS failed to make progress")
+        available = num_registers - len(live)
+        register_mode = available <= threshold
+        if register_mode:
+            csr_cycles += 1
+
+        def priority(instr: Instruction) -> tuple:
+            if register_mode:
+                # CSR: free registers first, then shortest growth,
+                # then the pipeline priority as tie-break.
+                return (-register_delta(instr), cp_priority(instr))
+            return (cp_priority(instr),)
+
+        progress = True
+        while progress:
+            progress = False
+            candidates = sorted(
+                (i for i in ready if ready_at[i] <= cycle),
+                key=lambda i: tuple(-p for p in priority(i)) + (i.uid,),
+            )
+            for instr in candidates:
+                if table.can_issue(instr, cycle):
+                    table.issue(instr, cycle)
+                    cycle_of[instr] = cycle
+                    ready.remove(instr)
+                    unscheduled -= 1
+                    progress = True
+                    for reg in frees[instr]:
+                        live.discard(reg)
+                    live.update(instr.defs())
+                    peak_live = max(peak_live, len(live))
+                    for succ in sg.graph.successors(instr):
+                        remaining_preds[succ] -= 1
+                        earliest = cycle + sg.delay(instr, succ)
+                        ready_at[succ] = max(ready_at.get(succ, 0), earliest)
+                        if remaining_preds[succ] == 0:
+                            ready.append(succ)
+        cycle += 1
+
+    schedule = Schedule(cycle_of=cycle_of, machine=machine)
+    schedule.verify(sg)
+    return IPSResult(
+        schedule=schedule, peak_live=peak_live, csr_cycles=csr_cycles
+    )
+
+
+def ips_reorder_function(
+    fn: Function,
+    machine: MachineDescription,
+    num_registers: int,
+    threshold: int = 2,
+) -> Function:
+    """Reorder every block of *fn* (in place) by the IPS schedule."""
+    from repro.analysis.liveness import live_variables
+
+    liveness = live_variables(fn)
+    for block in fn.blocks():
+        if len(block.instructions) < 2:
+            continue
+        sg = block_schedule_graph(block, machine=machine)
+        result = ips_schedule(
+            sg,
+            machine,
+            num_registers,
+            threshold=threshold,
+            live_out=set(liveness.live_out[block.name]),
+        )
+        block.reorder(result.schedule.instructions_in_order())
+    return fn

@@ -1,0 +1,12 @@
+"""Small shared utilities: ordered sets, graph helpers, errors."""
+
+from repro.utils.errors import ReproError, IRError, AllocationError, SchedulingError
+from repro.utils.orderedset import OrderedSet
+
+__all__ = [
+    "ReproError",
+    "IRError",
+    "AllocationError",
+    "SchedulingError",
+    "OrderedSet",
+]

@@ -1,0 +1,24 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: undefined operands, bad CFG edges, parse failures."""
+
+
+class AllocationError(ReproError):
+    """Register allocation failed (e.g. not enough registers and spilling
+    was disabled, or an assignment violates an interference edge)."""
+
+
+class SchedulingError(ReproError):
+    """Instruction scheduling failed (e.g. cyclic schedule graph, or a
+    resource request the machine model cannot satisfy)."""

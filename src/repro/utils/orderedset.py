@@ -1,0 +1,99 @@
+"""A deterministic insertion-ordered set.
+
+Compiler passes must be reproducible run to run: iteration order of
+work-lists and node sets feeds directly into tie-breaking decisions in
+coloring and scheduling.  Python's built-in ``set`` iterates in hash
+order, which for most of our node types is insertion-order-stable in
+CPython but not guaranteed by the language.  ``OrderedSet`` makes the
+determinism explicit and cheap (it is a thin wrapper over ``dict``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class OrderedSet:
+    """A set that iterates in insertion order.
+
+    Supports the common set operations used by the analyses:
+    membership, add/discard, union/intersection/difference (all of
+    which preserve the order of the left operand), and equality (which,
+    like ``set``, ignores order).
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._items: dict = dict.fromkeys(items)
+
+    def add(self, item: T) -> None:
+        self._items[item] = None
+
+    def discard(self, item: T) -> None:
+        self._items.pop(item, None)
+
+    def remove(self, item: T) -> None:
+        del self._items[item]
+
+    def pop_first(self) -> T:
+        """Remove and return the oldest item (FIFO)."""
+        item = next(iter(self._items))
+        del self._items[item]
+        return item
+
+    def update(self, items: Iterable[T]) -> None:
+        for item in items:
+            self._items[item] = None
+
+    def union(self, other: Iterable[T]) -> "OrderedSet":
+        result = OrderedSet(self._items)
+        result.update(other)
+        return result
+
+    def intersection(self, other: Iterable[T]) -> "OrderedSet":
+        other_set = set(other)
+        return OrderedSet(item for item in self._items if item in other_set)
+
+    def difference(self, other: Iterable[T]) -> "OrderedSet":
+        other_set = set(other)
+        return OrderedSet(item for item in self._items if item not in other_set)
+
+    def copy(self) -> "OrderedSet":
+        return OrderedSet(self._items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedSet):
+            return set(self._items) == set(other._items)
+        if isinstance(other, (set, frozenset)):
+            return set(self._items) == other
+        return NotImplemented
+
+    #: Mutable sets are unhashable, like the built-in ``set``.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __or__(self, other: "OrderedSet") -> "OrderedSet":
+        return self.union(other)
+
+    def __and__(self, other: "OrderedSet") -> "OrderedSet":
+        return self.intersection(other)
+
+    def __sub__(self, other: "OrderedSet") -> "OrderedSet":
+        return self.difference(other)
+
+    def __repr__(self) -> str:
+        return "OrderedSet([{}])".format(", ".join(repr(item) for item in self._items))

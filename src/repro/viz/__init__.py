@@ -1,0 +1,19 @@
+"""DOT/ASCII visualization of the framework's graphs and schedules."""
+
+from repro.viz.dot import (
+    cfg_to_dot,
+    false_dependence_to_dot,
+    interference_to_dot,
+    pig_to_dot,
+    schedule_graph_to_dot,
+    schedule_to_ascii,
+)
+
+__all__ = [
+    "cfg_to_dot",
+    "false_dependence_to_dot",
+    "interference_to_dot",
+    "pig_to_dot",
+    "schedule_graph_to_dot",
+    "schedule_to_ascii",
+]

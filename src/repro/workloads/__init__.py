@@ -1,0 +1,66 @@
+"""Workloads: the paper's worked examples, seeded random program
+generators, and hand-written numeric kernels."""
+
+from repro.workloads.generator import (
+    RandomBlockConfig,
+    SweepPoint,
+    adversarial_serial_order,
+    diamond_chain,
+    pressure_sweep,
+    random_block,
+)
+from repro.workloads.kernels import (
+    ALL_KERNELS,
+    dot_product,
+    estrin,
+    fir_filter,
+    horner,
+    independent_chains,
+    matmul_tile,
+    stencil3,
+)
+from repro.workloads.source_fuzz import (
+    SourceFuzzConfig,
+    random_input_memory,
+    random_source,
+)
+from repro.workloads.paper_examples import (
+    apply_name_mapping,
+    example1,
+    example1_good_mapping,
+    example1_machine_model,
+    example1_naive_mapping,
+    example2,
+    example2_machine_model,
+    figure5_mapping,
+    figure6_diamond,
+)
+
+__all__ = [
+    "ALL_KERNELS",
+    "RandomBlockConfig",
+    "SourceFuzzConfig",
+    "SweepPoint",
+    "adversarial_serial_order",
+    "apply_name_mapping",
+    "diamond_chain",
+    "dot_product",
+    "estrin",
+    "example1",
+    "example1_good_mapping",
+    "example1_machine_model",
+    "example1_naive_mapping",
+    "example2",
+    "example2_machine_model",
+    "figure5_mapping",
+    "figure6_diamond",
+    "fir_filter",
+    "horner",
+    "independent_chains",
+    "matmul_tile",
+    "pressure_sweep",
+    "random_block",
+    "random_input_memory",
+    "random_source",
+    "stencil3",
+]

@@ -1,0 +1,219 @@
+"""Parameterized random-program generation for the evaluation sweeps.
+
+The generators are seeded and fully deterministic.  A random block is
+grown value by value: each new instruction draws its operands from a
+sliding window of recent values, so *fan_in*, *window* and the
+unit-kind mix control dependence-DAG shape (deep chains vs. wide
+independent strands), which in turn controls both the available
+parallelism (|E_f|) and the register pressure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.ir.builder import BlockBuilder, FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import VirtualRegister
+
+#: Fixed-point binary opcodes drawn for arithmetic instructions.
+FIXED_OPS = (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR)
+FLOAT_OPS = (Opcode.FADD, Opcode.FSUB, Opcode.FMUL)
+
+
+@dataclass(frozen=True)
+class RandomBlockConfig:
+    """Shape parameters for one random basic block.
+
+    Attributes:
+        size: Number of instructions.
+        load_fraction: Probability a new instruction is a load (fresh
+            value with no register inputs) rather than arithmetic.
+        float_fraction: Probability an arithmetic op is floating point.
+        store_fraction: Probability of emitting a store after a value
+            (ends a live range; adds memory ordering).
+        window: How far back operands may reach; small windows produce
+            chains, large windows produce wide reuse and pressure.
+        live_out_count: How many of the final values stay live-out.
+        seed: RNG seed.
+    """
+
+    size: int = 20
+    load_fraction: float = 0.3
+    float_fraction: float = 0.3
+    store_fraction: float = 0.05
+    window: int = 8
+    live_out_count: int = 2
+    seed: int = 0
+
+    def describe(self) -> str:
+        return (
+            "size={} loads={:.0%} floats={:.0%} window={} seed={}".format(
+                self.size,
+                self.load_fraction,
+                self.float_fraction,
+                self.window,
+                self.seed,
+            )
+        )
+
+
+def random_block(config: RandomBlockConfig) -> Function:
+    """Generate one straight-line function from *config*."""
+    rng = random.Random(config.seed)
+    b = BlockBuilder()
+    values: List[VirtualRegister] = []
+    float_values: List[bool] = []
+    symbol_counter = 0
+
+    def fresh_symbol() -> str:
+        nonlocal symbol_counter
+        symbol_counter += 1
+        return "g{}".format(symbol_counter)
+
+    emitted = 0
+    while emitted < config.size:
+        roll = rng.random()
+        window_lo = max(0, len(values) - config.window)
+        candidates = list(range(window_lo, len(values)))
+        if roll < config.load_fraction or len(candidates) < 1:
+            is_float = rng.random() < config.float_fraction
+            reg = (
+                b.fload(fresh_symbol())
+                if is_float
+                else b.load(fresh_symbol())
+            )
+            values.append(reg)
+            float_values.append(is_float)
+            emitted += 1
+            continue
+        if roll < config.load_fraction + config.store_fraction and candidates:
+            idx = rng.choice(candidates)
+            if float_values[idx]:
+                b.fstore(values[idx], fresh_symbol())
+            else:
+                b.store(values[idx], fresh_symbol())
+            emitted += 1
+            continue
+        # Arithmetic over one or two recent values.
+        idx_a = rng.choice(candidates)
+        idx_b = rng.choice(candidates)
+        is_float = float_values[idx_a] or float_values[idx_b]
+        opcode = rng.choice(FLOAT_OPS if is_float else FIXED_OPS)
+        reg = b.emit(opcode, (values[idx_a], values[idx_b]))
+        values.append(reg)
+        float_values.append(is_float)
+        emitted += 1
+
+    live_out = values[-config.live_out_count:] if config.live_out_count else []
+    return b.function(
+        "random-{}".format(config.seed), live_out=live_out
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the evaluation grid."""
+
+    label: str
+    config: RandomBlockConfig
+
+
+def pressure_sweep(
+    sizes: Sequence[int] = (12, 24, 48),
+    windows: Sequence[int] = (3, 8, 16),
+    seeds: Sequence[int] = (1, 2, 3),
+) -> List[SweepPoint]:
+    """The grid used by the strategy-comparison bench: block size ×
+    operand window (pressure) × seed."""
+    points = []
+    for size in sizes:
+        for window in windows:
+            for seed in seeds:
+                points.append(
+                    SweepPoint(
+                        label="n{}w{}s{}".format(size, window, seed),
+                        config=RandomBlockConfig(
+                            size=size, window=window, seed=seed
+                        ),
+                    )
+                )
+    return points
+
+
+def adversarial_serial_order(config: RandomBlockConfig) -> Function:
+    """A random block whose *input order* interleaves independent
+    chains as badly as possible for an order-sensitive allocator: all
+    loads first, then all arithmetic (maximizing simultaneous live
+    ranges).  Used by the pre-scheduling ablation."""
+    fn = random_block(config)
+    block = fn.entry
+    loads = [i for i in block if i.opcode.is_load]
+    rest = [i for i in block if not i.opcode.is_load]
+    block.reorder(loads + rest)
+    return fn
+
+
+def diamond_chain(
+    num_diamonds: int = 2,
+    block_size: int = 6,
+    seed: int = 0,
+) -> Function:
+    """A chain of if-then-else diamonds with straight-line glue blocks —
+    the multi-block workload for the global/region experiments.
+
+    Each diamond defines a variable in both arms (web-merge material)
+    and the glue blocks carry values across the joins.
+    """
+    rng = random.Random(seed)
+    fb = FunctionBuilder("diamonds-{}".format(seed))
+    carried: Optional[VirtualRegister] = None
+
+    entry = fb.block("entry", entry=True)
+    base = entry.load("input")
+    carried = base
+    previous = "entry"
+
+    for d in range(num_diamonds):
+        head = "head{}".format(d)
+        left = "left{}".format(d)
+        right = "right{}".format(d)
+        join = "join{}".format(d)
+
+        hb = fb.block(head)
+        cond = hb.cmp(carried, rng.randrange(1, 10))
+        hb.cbr(cond, left)
+        fb.edge(previous, head)
+
+        merged = VirtualRegister("m{}".format(d))
+        lb = fb.block(left)
+        acc = carried
+        for _ in range(block_size // 2):
+            acc = lb.add(acc, rng.randrange(1, 5))
+        lb.emit(Opcode.MOV, (acc,), dest=merged)
+        lb.br(join)
+
+        rb = fb.block(right)
+        acc = carried
+        for _ in range(block_size // 2):
+            acc = rb.mul(acc, rng.randrange(2, 4))
+        rb.emit(Opcode.MOV, (acc,), dest=merged)
+        rb.br(join)
+
+        jb = fb.block(join)
+        carried = jb.add(merged, carried)
+
+        fb.edge(head, left)
+        fb.edge(head, right)
+        fb.edge(left, join)
+        fb.edge(right, join)
+        previous = join
+
+    tail = fb.block("tail")
+    result = tail.add(carried, carried)
+    tail.ret()
+    fb.edge(previous, "tail")
+    return fb.function(live_out=[result])

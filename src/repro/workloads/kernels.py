@@ -1,0 +1,169 @@
+"""Hand-written kernel workloads.
+
+These are the loop bodies the paper's motivation targets — numeric
+kernels with a mix of memory traffic, fixed- and floating-point work,
+and tunable parallelism.  Each returns a single-block symbolic-register
+:class:`~repro.ir.function.Function` (an unrolled/straightened loop
+body, the unit both allocators operate on).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.builder import BlockBuilder
+from repro.ir.function import Function
+
+
+def dot_product(n: int = 4) -> Function:
+    """An unrolled dot-product step: ``acc = Σ a[i] * b[i]``.
+
+    The multiplies are mutually independent (good dual-issue material);
+    the reduction tree serializes at the end — classic crossover
+    workload between parallelism and pressure.
+    """
+    b = BlockBuilder()
+    products = []
+    for i in range(n):
+        a = b.fload("a{}".format(i))
+        v = b.fload("b{}".format(i))
+        products.append(b.fmul(a, v))
+    acc = products[0]
+    for p in products[1:]:
+        acc = b.fadd(acc, p)
+    return b.function("dot{}".format(n), live_out=[acc])
+
+
+def fir_filter(taps: int = 4) -> Function:
+    """One FIR output: ``y = Σ c[k] * x[n-k]`` with coefficients kept
+    in registers — higher pressure than :func:`dot_product` because
+    every coefficient stays live across the whole body."""
+    b = BlockBuilder()
+    coeffs = [b.fload("c{}".format(k)) for k in range(taps)]
+    samples = [b.fload("x{}".format(k)) for k in range(taps)]
+    acc = b.fmul(coeffs[0], samples[0])
+    for k in range(1, taps):
+        term = b.fmul(coeffs[k], samples[k])
+        acc = b.fadd(acc, term)
+    out = acc
+    b.fstore(out, "y")
+    return b.function("fir{}".format(taps), live_out=[out])
+
+
+def matmul_tile(size: int = 2) -> Function:
+    """A ``size × size`` matrix-multiply tile: loads both tiles, forms
+    all products, reduces each output element.  Wide independent
+    reductions — the highest-ILP kernel here."""
+    b = BlockBuilder()
+    a = {}
+    c = {}
+    for i in range(size):
+        for j in range(size):
+            a[(i, j)] = b.fload("a{}{}".format(i, j))
+            c[(i, j)] = b.fload("b{}{}".format(i, j))
+    outs = []
+    for i in range(size):
+        for j in range(size):
+            acc = None
+            for k in range(size):
+                prod = b.fmul(a[(i, k)], c[(k, j)])
+                acc = prod if acc is None else b.fadd(acc, prod)
+            b.fstore(acc, "c{}{}".format(i, j))
+            outs.append(acc)
+    return b.function("mm{}".format(size))
+
+
+def horner(degree: int = 6) -> Function:
+    """Horner polynomial evaluation — a pure serial chain (zero ILP).
+
+    The degenerate case: E_f between chain elements is empty, so the
+    parallelizable interference graph equals the interference graph
+    and the combined allocator should cost nothing extra.
+    """
+    b = BlockBuilder()
+    x = b.fload("x")
+    acc = b.fload("c{}".format(degree))
+    for k in range(degree - 1, -1, -1):
+        c = b.fload("c{}".format(k))
+        t = b.fmul(acc, x)
+        acc = b.fadd(t, c)
+    return b.function("horner{}".format(degree), live_out=[acc])
+
+
+def estrin(degree: int = 7) -> Function:
+    """Estrin's scheme for the same polynomial — a balanced tree with
+    log-depth; the parallel twin of :func:`horner` for the ablations."""
+    b = BlockBuilder()
+    x = b.fload("x")
+    coeffs = [b.fload("c{}".format(k)) for k in range(degree + 1)]
+    powers = {1: x}
+    p = x
+    width = 2
+    while width <= degree:
+        p = b.fmul(p, p)
+        powers[width] = p
+        width *= 2
+
+    def combine(terms: List) -> object:
+        level = 1
+        current = terms
+        while len(current) > 1:
+            nxt = []
+            for i in range(0, len(current) - 1, 2):
+                hi = b.fmul(current[i + 1], powers[level])
+                nxt.append(b.fadd(current[i], hi))
+            if len(current) % 2:
+                nxt.append(current[-1])
+            current = nxt
+            level *= 2
+        return current[0]
+
+    result = combine(coeffs)
+    return b.function("estrin{}".format(degree), live_out=[result])
+
+
+def stencil3() -> Function:
+    """A 3-point stencil step mixing fixed-point index math with
+    floating-point data — exercises both arithmetic units plus the
+    fetch unit, like the paper's Example 2."""
+    b = BlockBuilder()
+    i = b.load("i")
+    im1 = b.sub(i, 1)
+    ip1 = b.add(i, 1)
+    left = b.load_indexed("u", im1)
+    mid = b.load_indexed("u", i)
+    right = b.load_indexed("u", ip1)
+    two_mid = b.add(mid, mid)
+    lap = b.sub(left, two_mid)
+    lap2 = b.add(lap, right)
+    scaled = b.madd(lap2, 3, mid)
+    b.store(scaled, "out")
+    return b.function("stencil3", live_out=[scaled])
+
+
+def independent_chains(chains: int = 4, length: int = 3) -> Function:
+    """*chains* independent serial strands of *length* adds each —
+    the pressure/parallelism dial in its purest form: every pair of
+    cross-chain instructions is co-schedulable, so E_f is maximal and
+    the PIG demands ~one register per chain."""
+    b = BlockBuilder()
+    tails = []
+    for c in range(chains):
+        acc = b.load("in{}".format(c))
+        for _ in range(length):
+            acc = b.add(acc, 1)
+        tails.append(acc)
+    return b.function(
+        "chains{}x{}".format(chains, length), live_out=tails
+    )
+
+
+ALL_KERNELS = {
+    "dot4": lambda: dot_product(4),
+    "fir4": lambda: fir_filter(4),
+    "mm2": lambda: matmul_tile(2),
+    "horner6": lambda: horner(6),
+    "estrin7": lambda: estrin(7),
+    "stencil3": stencil3,
+    "chains4x3": lambda: independent_chains(4, 3),
+}

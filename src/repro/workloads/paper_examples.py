@@ -1,0 +1,166 @@
+"""The paper's worked examples, verbatim.
+
+Example 1 (Section 1): the motivating five-instruction fragment for
+``x := a[i]; y := x+x; z := x*5+x`` — with its naive three-register
+allocation (c) that introduces the false dependence between the second
+and fourth instructions, and the paper's alternative allocation that
+uses three registers with no false dependence.
+
+Example 2 (Section 3): the nine-instruction mixed fixed/float fragment
+whose classic interference graph is 3-colorable (Figure 4) while the
+parallelizable interference graph needs 4 registers, with the concrete
+assignment of Figure 5.
+
+Figure 6: three live intervals of one variable combined at a single
+use point — the right-number-of-names scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.builder import BlockBuilder, FunctionBuilder
+from repro.ir.opcodes import Opcode
+from repro.ir.function import Function
+from repro.ir.operands import VirtualRegister
+from repro.machine.model import MachineDescription
+from repro.machine.presets import example1_machine, two_unit_superscalar
+
+
+def example1() -> Function:
+    """Example 1(b): the fragment with symbolic registers.
+
+    ::
+
+        s1 := load z
+        s2 := i
+        s3 := a[s2]
+        s4 := s1 + s1
+        s5 := s3*5 + s1
+
+    ``s4`` and ``s5`` (the values of ``y`` and ``z``) are live-out.
+    """
+    b = BlockBuilder()
+    s1 = b.load("z")
+    s2 = b.mov(VirtualRegister("i"))
+    s3 = b.load_indexed("a", s2)
+    s4 = b.add(s1, s1)
+    s5 = b.madd(s3, 5, s1)
+    return b.function("example1", live_out=[s4, s5], live_in=[VirtualRegister("i")])
+
+
+def example1_machine_model() -> MachineDescription:
+    """The machine implied by Figure 2(b)'s constraint edges."""
+    return example1_machine()
+
+
+def example1_naive_mapping() -> Dict[str, str]:
+    """The allocation of Example 1(c): ``s1→r1, s2→r2, s3→r3, s4→r2,
+    s5→r1`` — three registers, but reusing r2 for s4 creates the false
+    dependence between the second and fourth instructions."""
+    return {"s1": "r1", "s2": "r2", "s3": "r3", "s4": "r2", "s5": "r1"}
+
+
+def example1_good_mapping() -> Dict[str, str]:
+    """The paper's alternative: ``s1→r1, s2→r2, s3→r2, s4→r3, s5→r2``
+    — still three registers and no false dependence, so the second and
+    fourth instructions "can be executed simultaneously"."""
+    return {"s1": "r1", "s2": "r2", "s3": "r2", "s4": "r3", "s5": "r2"}
+
+
+def example2() -> Function:
+    """Example 2 (Section 3)::
+
+        s1 := load z (fixed)     s6 := load x (float)
+        s2 := load y (fixed)     s7 := load w (float)
+        s3 := s1 + s2            s8 := s7 * s6
+        s4 := s1 * s2            s9 := s5 + s8
+        s5 := s3 + s4
+
+    Nothing is live on entry or exit ("if we assume that no value is
+    live on the entrance and exit from the code fragment").
+    """
+    b = BlockBuilder()
+    s1 = b.load("z")
+    s2 = b.load("y")
+    s3 = b.add(s1, s2)
+    s4 = b.mul(s1, s2)
+    s5 = b.add(s3, s4)
+    s6 = b.fload("x")
+    s7 = b.fload("w")
+    s8 = b.fmul(s7, s6)
+    b.fadd(s5, s8)
+    return b.function("example2")
+
+
+def example2_machine_model() -> MachineDescription:
+    """Example 2's processor: one fixed-point, one floating-point and
+    one fetch unit."""
+    return two_unit_superscalar()
+
+
+def figure5_mapping() -> Dict[str, str]:
+    """Figure 5's four-register assignment for Example 2::
+
+        r1 := load z        r1 := load x
+        r2 := load y        r4 := load w
+        r3 := r1 + r2       r4 := r1 * r4
+        r2 := r1 * r2       r1 := r3 + r4
+        r3 := r3 + r2
+    """
+    return {
+        "s1": "r1",
+        "s2": "r2",
+        "s3": "r3",
+        "s4": "r2",
+        "s5": "r3",
+        "s6": "r1",
+        "s7": "r4",
+        "s8": "r4",
+        "s9": "r1",
+    }
+
+
+def figure6_diamond() -> Function:
+    """A CFG realizing Figure 6: the variable ``x`` is defined in both
+    branches of a conditional (and once before it), and a single use
+    point after the join consumes whichever definition arrived — three
+    def-use chains reaching one use, which web construction must merge
+    into a single node."""
+    fb = FunctionBuilder("figure6")
+    entry = fb.block("entry", entry=True)
+    x = VirtualRegister("x")
+    cond = entry.load("p", name="cond")
+    entry.emit(Opcode.LOADI, (1,), dest=x)  # x := 1 before the branch
+    entry.cbr(cond, "left")
+
+    left = fb.block("left")
+    left.emit(Opcode.LOADI, (2,), dest=x)
+    left.br("join")
+
+    right = fb.block("right")
+    right.emit(Opcode.LOADI, (3,), dest=x)
+    right.br("join")
+
+    join = fb.block("join")
+    result = join.add(x, 0, name="result")
+    join.ret()
+
+    fb.edge("entry", "left")
+    fb.edge("entry", "right")
+    fb.edge("left", "join")
+    fb.edge("right", "join")
+    return fb.function(live_out=[result])
+
+
+def apply_name_mapping(fn: Function, mapping: Dict[str, str]) -> Function:
+    """Rewrite *fn* by register name (for the hand-written paper
+    mappings, where names are unique)."""
+    from repro.ir.operands import Register
+    from repro.ir.parser import parse_register
+
+    replacements: Dict[Register, Register] = {
+        VirtualRegister(sym): parse_register(phys)
+        for sym, phys in mapping.items()
+    }
+    return fn.rewrite_registers(replacements)

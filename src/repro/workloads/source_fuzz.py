@@ -1,0 +1,167 @@
+"""Random source-program generation (frontend fuzzing).
+
+Emits *text* in the mini source language — so the lexer and parser are
+fuzzed together with lowering, optimization and allocation.  Programs
+are guaranteed well-formed and terminating:
+
+* every variable is defined before use on every path (if/else arms
+  assign the same new variables);
+* loops are counter-bounded (``i = 0; while (i < K) {...; i = i + 1;}``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class SourceFuzzConfig:
+    """Shape of one random source program."""
+
+    num_inputs: int = 3
+    num_statements: int = 8
+    max_depth: int = 2
+    if_probability: float = 0.25
+    while_probability: float = 0.15
+    float_probability: float = 0.2
+    seed: int = 0
+
+
+_BINOPS = ["+", "-", "*", "/", "%", "&", "|", "^"]
+_FLOAT_BINOPS = ["+", "-", "*"]
+_CMPOPS = ["<", ">", "<=", ">=", "==", "!="]
+
+
+class _SourceFuzzer:
+    def __init__(self, config: SourceFuzzConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.counter = 0
+        self.lines: List[str] = []
+
+    def fresh_name(self) -> str:
+        self.counter += 1
+        return "v{}".format(self.counter)
+
+    def expression(self, variables: List[str], depth: int = 0) -> str:
+        rng = self.rng
+        if depth >= self.config.max_depth or rng.random() < 0.35:
+            if variables and rng.random() < 0.75:
+                return rng.choice(variables)
+            if rng.random() < self.config.float_probability:
+                return "{}.0f".format(rng.randrange(1, 9))
+            return str(rng.randrange(0, 17))
+        left = self.expression(variables, depth + 1)
+        right = self.expression(variables, depth + 1)
+        op = rng.choice(_BINOPS)
+        # Division/modulo by an expression may hit zero; the IR defines
+        # x/0 = 0, so it is safe — but biasing to nonzero literals keeps
+        # outputs interesting.
+        if op in ("/", "%") and right == "0":
+            right = str(rng.randrange(1, 9))
+        return "({} {} {})".format(left, op, right)
+
+    def condition(self, variables: List[str]) -> str:
+        left = self.expression(variables, self.config.max_depth - 1)
+        right = self.expression(variables, self.config.max_depth - 1)
+        return "{} {} {}".format(left, self.rng.choice(_CMPOPS), right)
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def statements(
+        self, variables: List[str], budget: int, indent: int, depth: int
+    ) -> List[str]:
+        """Emit up to *budget* statements; returns variables defined at
+        this level (callers may use them afterwards)."""
+        rng = self.rng
+        defined = list(variables)
+        remaining = budget
+        while remaining > 0:
+            roll = rng.random()
+            if (
+                roll < self.config.if_probability
+                and depth < 2
+                and remaining >= 3
+            ):
+                name = self.fresh_name()
+                self.emit(indent, "if ({}) {{".format(self.condition(defined)))
+                inner = self.statements(defined, remaining // 3, indent + 1, depth + 1)
+                self.emit(
+                    indent + 1,
+                    "{} = {};".format(name, self.expression(inner)),
+                )
+                self.emit(indent, "} else {")
+                inner = self.statements(defined, remaining // 3, indent + 1, depth + 1)
+                self.emit(
+                    indent + 1,
+                    "{} = {};".format(name, self.expression(inner)),
+                )
+                self.emit(indent, "}")
+                defined.append(name)
+                remaining -= 3
+            elif (
+                roll < self.config.if_probability + self.config.while_probability
+                and depth < 1
+                and remaining >= 4
+            ):
+                counter = self.fresh_name()
+                acc = self.fresh_name()
+                bound = rng.randrange(1, 5)
+                self.emit(indent, "{} = 0;".format(counter))
+                self.emit(
+                    indent, "{} = {};".format(acc, self.expression(defined))
+                )
+                self.emit(
+                    indent,
+                    "while ({} < {}) {{".format(counter, bound),
+                )
+                self.emit(
+                    indent + 1,
+                    "{} = {} + {};".format(
+                        acc, acc, self.expression(defined + [counter])
+                    ),
+                )
+                self.emit(
+                    indent + 1, "{} = {} + 1;".format(counter, counter)
+                )
+                self.emit(indent, "}")
+                defined.extend([counter, acc])
+                remaining -= 4
+            else:
+                name = self.fresh_name()
+                self.emit(
+                    indent,
+                    "{} = {};".format(name, self.expression(defined)),
+                )
+                defined.append(name)
+                remaining -= 1
+        return defined
+
+    def generate(self) -> str:
+        inputs = ["in{}".format(i) for i in range(self.config.num_inputs)]
+        self.emit(0, "input {};".format(", ".join(inputs)))
+        defined = self.statements(
+            inputs, self.config.num_statements, 0, depth=0
+        )
+        outputs = self.rng.sample(
+            defined, k=min(2, len(defined))
+        )
+        self.emit(0, "output {};".format(", ".join(outputs)))
+        return "\n".join(self.lines)
+
+
+def random_source(config: SourceFuzzConfig) -> str:
+    """Generate one random source program (deterministic per seed)."""
+    return _SourceFuzzer(config).generate()
+
+
+def random_input_memory(config: SourceFuzzConfig, case: int = 0) -> dict:
+    """A deterministic input-memory binding for the generated program."""
+    rng = random.Random("{}:{}".format(config.seed, case))
+    return {
+        "in{}".format(i): rng.randrange(0, 50)
+        for i in range(config.num_inputs)
+    }

@@ -1,0 +1,188 @@
+"""Curated source-language kernels with known input/output behaviour.
+
+Each entry pairs a program in the mini source language with a set of
+(input memory, expected live-out values) cases — golden tests for the
+whole toolchain, and realistic integration workloads for the benches.
+The expected values were computed by hand from the language semantics
+(64-bit unsigned wraparound; `x/0 = 0`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class SourceKernel:
+    """A source program plus golden input/output cases."""
+
+    name: str
+    source: str
+    #: (input memory, expected live-out tuple) pairs.
+    cases: Tuple[Tuple[Dict[str, int], Tuple[int, ...]], ...]
+
+
+SAXPY = SourceKernel(
+    name="saxpy",
+    source="""
+        input a, n;
+        i = 0;
+        while (i < n) {
+            y[i] = a * x[i] + y[i];
+            i = i + 1;
+        }
+        output i;
+    """,
+    cases=(
+        ({"a": 2, "n": 0}, (0,)),
+        ({"a": 2, "n": 3, ("x", 0): 1, ("x", 1): 2, ("x", 2): 3,
+          ("y", 0): 10, ("y", 1): 20, ("y", 2): 30}, (3,)),
+    ),
+)
+
+PREFIX_SUM = SourceKernel(
+    name="prefix_sum",
+    source="""
+        input n;
+        acc = 0;
+        i = 0;
+        while (i < n) {
+            acc = acc + in[i];
+            out[i] = acc;
+            i = i + 1;
+        }
+        output acc;
+    """,
+    cases=(
+        ({"n": 4, ("in", 0): 1, ("in", 1): 2, ("in", 2): 3, ("in", 3): 4},
+         (10,)),
+        ({"n": 0}, (0,)),
+    ),
+)
+
+FIB = SourceKernel(
+    name="fib",
+    source="""
+        input n;
+        a = 0;
+        b = 1;
+        i = 0;
+        while (i < n) {
+            t = a + b;
+            a = b;
+            b = t;
+            i = i + 1;
+        }
+        output a;
+    """,
+    cases=(
+        ({"n": 0}, (0,)),
+        ({"n": 1}, (1,)),
+        ({"n": 10}, (55,)),
+    ),
+)
+
+CLAMP_SUM = SourceKernel(
+    name="clamp_sum",
+    source="""
+        input n, lo, hi;
+        s = 0;
+        i = 0;
+        while (i < n) {
+            v = data[i];
+            if (v < lo) { v = lo; } else { v = v; }
+            if (v > hi) { v = hi; } else { v = v; }
+            s = s + v;
+            i = i + 1;
+        }
+        output s;
+    """,
+    cases=(
+        ({"n": 3, "lo": 2, "hi": 8,
+          ("data", 0): 1, ("data", 1): 5, ("data", 2): 99}, (2 + 5 + 8,)),
+    ),
+)
+
+HORNER_SRC = SourceKernel(
+    name="horner_src",
+    source="""
+        input x, n;
+        acc = 0;
+        i = 0;
+        while (i < n) {
+            acc = acc * x + c[i];
+            i = i + 1;
+        }
+        output acc;
+    """,
+    cases=(
+        # c = [1, 2, 3], x = 10 -> ((1*10)+2)*10+3 = 123
+        ({"x": 10, "n": 3, ("c", 0): 1, ("c", 1): 2, ("c", 2): 3}, (123,)),
+    ),
+)
+
+DOT_SRC = SourceKernel(
+    name="dot_src",
+    source="""
+        input n;
+        s = 0.0f;
+        i = 0;
+        while (i < n) {
+            s = s + a[i] * b[i];
+            i = i + 1;
+        }
+        output s;
+    """,
+    cases=(
+        ({"n": 3, ("a", 0): 1, ("a", 1): 2, ("a", 2): 3,
+          ("b", 0): 4, ("b", 1): 5, ("b", 2): 6}, (32,)),
+    ),
+)
+
+COLLATZ_STEPS = SourceKernel(
+    name="collatz_steps",
+    source="""
+        input v;
+        steps = 0;
+        guard = 0;
+        while ((v != 1) && (guard < 100)) {
+            r = v % 2;
+            if (r == 0) { v = v / 2; } else { v = 3 * v + 1; }
+            steps = steps + 1;
+            guard = guard + 1;
+        }
+        output steps;
+    """,
+    cases=(
+        ({"v": 1}, (0,)),
+        ({"v": 6}, (8,)),   # 6 3 10 5 16 8 4 2 1
+        ({"v": 7}, (16,)),
+    ),
+)
+
+GCD = SourceKernel(
+    name="gcd",
+    source="""
+        input a, b;
+        while (b != 0) {
+            t = a % b;
+            a = b;
+            b = t;
+        }
+        output a;
+    """,
+    cases=(
+        ({"a": 48, "b": 18}, (6,)),
+        ({"a": 7, "b": 13}, (1,)),
+        ({"a": 5, "b": 0}, (5,)),
+    ),
+)
+
+ALL_SOURCE_KERNELS: Dict[str, SourceKernel] = {
+    kernel.name: kernel
+    for kernel in (
+        SAXPY, PREFIX_SUM, FIB, CLAMP_SUM, HORNER_SRC, DOT_SRC,
+        COLLATZ_STEPS, GCD,
+    )
+}

@@ -1,0 +1,148 @@
+"""Tests for the generic dataflow engine and reaching definitions."""
+
+from repro.analysis.dataflow import Direction, GenKillTransfer, solve_gen_kill
+from repro.analysis.reaching import (
+    DefPoint,
+    all_definitions,
+    reaching_at_uses,
+    reaching_definitions,
+)
+from repro.ir.builder import BlockBuilder, FunctionBuilder
+from repro.ir.operands import VirtualRegister
+from repro.workloads import example1, figure6_diamond
+
+
+class TestGenKill:
+    def test_apply(self):
+        t = GenKillTransfer(gen=frozenset({"a"}), kill=frozenset({"b"}))
+        assert t.apply(frozenset({"b", "c"})) == frozenset({"a", "c"})
+
+
+class TestSolver:
+    def test_forward_on_chain(self):
+        fb = FunctionBuilder("f")
+        a = fb.block("a", entry=True)
+        a.load("x")
+        b = fb.block("b")
+        b.load("y")
+        fb.edge("a", "b")
+        fn = fb.function()
+
+        def transfer(block):
+            return GenKillTransfer(
+                gen=frozenset({block.name}), kill=frozenset()
+            )
+
+        sol = solve_gen_kill(
+            fn, Direction.FORWARD, transfer, lambda b: frozenset()
+        )
+        assert sol.inputs["b"] == frozenset({"a"})
+        assert sol.outputs["b"] == frozenset({"a", "b"})
+
+    def test_backward_on_chain(self):
+        fb = FunctionBuilder("f")
+        a = fb.block("a", entry=True)
+        a.load("x")
+        b = fb.block("b")
+        b.load("y")
+        fb.edge("a", "b")
+        fn = fb.function()
+
+        def transfer(block):
+            return GenKillTransfer(
+                gen=frozenset({block.name}), kill=frozenset()
+            )
+
+        sol = solve_gen_kill(
+            fn, Direction.BACKWARD, transfer, lambda b: frozenset()
+        )
+        assert sol.inputs["a"] == frozenset({"b"})
+
+    def test_fixpoint_with_loop(self):
+        fb = FunctionBuilder("f")
+        a = fb.block("a", entry=True)
+        a.load("x")
+        body = fb.block("body")
+        c = body.load("c")
+        body.cbr(c, "body")
+        exit_blk = fb.block("exit")
+        exit_blk.ret()
+        fb.edge("a", "body")
+        fb.edge("body", "body")
+        fb.edge("body", "exit")
+        fn = fb.function()
+
+        def transfer(block):
+            return GenKillTransfer(
+                gen=frozenset({block.name}), kill=frozenset()
+            )
+
+        sol = solve_gen_kill(
+            fn, Direction.FORWARD, transfer, lambda b: frozenset()
+        )
+        # body reaches itself through the back edge.
+        assert "body" in sol.inputs["body"]
+        assert sol.iterations >= 3
+
+
+class TestReachingDefinitions:
+    def test_single_block(self):
+        fn = example1()
+        info = reaching_definitions(fn)
+        assert info.reach_in["entry"] == frozenset()
+        out_regs = {p.register for p in info.reach_out["entry"]}
+        assert {str(r) for r in out_regs} == {"s1", "s2", "s3", "s4", "s5"}
+
+    def test_diamond_join_sees_both_defs(self):
+        fn = figure6_diamond()
+        info = reaching_definitions(fn)
+        x = VirtualRegister("x")
+        x_defs = {
+            p for p in info.reach_in["join"] if p.register == x
+        }
+        # left and right redefine x, killing entry's def on their paths,
+        # but both their defs reach the join.
+        assert len(x_defs) == 2
+
+    def test_kill_within_block(self):
+        from repro.ir.basicblock import BasicBlock
+        from repro.ir.function import Function
+        from repro.ir.instructions import Instruction
+        from repro.ir.opcodes import Opcode
+        from repro.ir.operands import Immediate
+
+        x = VirtualRegister("x")
+        block = BasicBlock("b")
+        first = Instruction(Opcode.LOADI, (x,), (Immediate(1),))
+        second = Instruction(Opcode.LOADI, (x,), (Immediate(2),))
+        block.instructions = [first, second]
+        fn = Function("f")
+        fn.add_block(block, entry=True)
+        info = reaching_definitions(fn)
+        assert info.reach_out["b"] == frozenset({DefPoint(second, x)})
+
+
+class TestReachingAtUses:
+    def test_every_use_has_reaching_defs(self):
+        fn = example1()
+        reach = reaching_at_uses(fn)
+        for (instr, reg), defs in reach.items():
+            if str(reg) == "i":
+                assert defs == frozenset()  # live-in, no local def
+            else:
+                assert len(defs) == 1
+
+    def test_join_use_reached_by_two(self):
+        fn = figure6_diamond()
+        reach = reaching_at_uses(fn)
+        x = VirtualRegister("x")
+        join_uses = [
+            defs for (instr, reg), defs in reach.items() if reg == x
+        ]
+        assert any(len(defs) == 2 for defs in join_uses)
+
+    def test_all_definitions_order(self):
+        fn = example1()
+        defs = all_definitions(fn)
+        names = [str(p.register) for p in defs]
+        assert names == ["s1", "s2", "s3", "s4", "s5"]

@@ -1,0 +1,191 @@
+"""Tests for dominators, postdominators, loops and scheduling regions."""
+
+import pytest
+
+from repro.analysis.dominators import (
+    control_equivalent_pairs,
+    dominator_tree,
+    postdominator_tree,
+)
+from repro.analysis.loops import (
+    back_edges,
+    loop_nesting_depth,
+    natural_loops,
+)
+from repro.analysis.regions import (
+    plausible_pairs,
+    region_instructions,
+    schedule_regions,
+)
+from repro.ir.builder import FunctionBuilder
+from repro.utils.errors import IRError
+from repro.workloads import diamond_chain, figure6_diamond
+
+
+def straight_chain():
+    fb = FunctionBuilder("chain")
+    a = fb.block("a", entry=True)
+    x = a.load("x")
+    a.br("b")
+    b = fb.block("b")
+    y = b.add(x, 1)
+    b.br("c")
+    c = fb.block("c")
+    c.add(y, 1)
+    c.ret()
+    fb.edge("a", "b")
+    fb.edge("b", "c")
+    return fb.function()
+
+
+def loop_function():
+    fb = FunctionBuilder("loop")
+    entry = fb.block("entry", entry=True)
+    entry.load("n")
+    entry.br("header")
+    header = fb.block("header")
+    c = header.load("c")
+    header.cbr(c, "body")
+    body = fb.block("body")
+    body.load("w")
+    body.br("header")
+    exit_blk = fb.block("exit")
+    exit_blk.ret()
+    fb.edge("entry", "header")
+    fb.edge("header", "body")
+    fb.edge("header", "exit")
+    fb.edge("body", "header")
+    return fb.function()
+
+
+class TestDominators:
+    def test_chain_dominators(self):
+        dom = dominator_tree(straight_chain())
+        assert dom.dominates("a", "c")
+        assert dom.dominates("b", "c")
+        assert not dom.dominates("c", "a")
+        assert dom.idom["c"] == "b"
+        assert dom.idom["a"] is None
+
+    def test_diamond_idom(self):
+        dom = dominator_tree(figure6_diamond())
+        assert dom.idom["join"] == "entry"
+        assert dom.idom["left"] == "entry"
+        assert not dom.dominates("left", "join")
+
+    def test_depth(self):
+        dom = dominator_tree(straight_chain())
+        assert dom.depth("a") == 0
+        assert dom.depth("c") == 2
+
+    def test_children(self):
+        dom = dominator_tree(figure6_diamond())
+        assert set(dom.children("entry")) == {"left", "right", "join"}
+
+    def test_empty_function_raises(self):
+        from repro.ir.function import Function
+
+        with pytest.raises(IRError):
+            dominator_tree(Function("empty"))
+
+
+class TestPostdominators:
+    def test_chain(self):
+        pdom = postdominator_tree(straight_chain())
+        assert pdom.dominates("c", "a")
+        assert not pdom.dominates("a", "c")
+
+    def test_diamond(self):
+        pdom = postdominator_tree(figure6_diamond())
+        assert pdom.dominates("join", "entry")
+        assert not pdom.dominates("left", "entry")
+
+    def test_multiple_exits_virtual_node(self):
+        fb = FunctionBuilder("f")
+        e = fb.block("e", entry=True)
+        c = e.load("c")
+        e.cbr(c, "x1")
+        x1 = fb.block("x1")
+        x1.ret()
+        x2 = fb.block("x2")
+        x2.ret()
+        fb.edge("e", "x1")
+        fb.edge("e", "x2")
+        pdom = postdominator_tree(fb.function())
+        assert not pdom.dominates("x1", "e")
+        assert pdom.dominates("<exit>", "e")
+
+
+class TestControlEquivalence:
+    def test_chain_blocks_equivalent(self):
+        pairs = control_equivalent_pairs(straight_chain())
+        assert ("a", "b") in pairs
+        assert ("b", "c") in pairs
+        assert ("a", "c") in pairs
+
+    def test_diamond_arms_not_equivalent(self):
+        pairs = control_equivalent_pairs(figure6_diamond())
+        flattened = {frozenset(p) for p in pairs}
+        assert frozenset(("entry", "left")) not in flattened
+        assert frozenset(("entry", "join")) in flattened
+
+
+class TestLoops:
+    def test_no_loops_in_dag(self):
+        assert natural_loops(straight_chain()) == []
+        assert back_edges(figure6_diamond()) == []
+
+    def test_simple_loop(self):
+        fn = loop_function()
+        assert back_edges(fn) == [("body", "header")]
+        loops = natural_loops(fn)
+        assert len(loops) == 1
+        assert loops[0].header == "header"
+        assert set(loops[0].body) == {"header", "body"}
+
+    def test_nesting_depth(self):
+        fn = loop_function()
+        depth = loop_nesting_depth(fn)
+        assert depth["body"] == 1
+        assert depth["header"] == 1
+        assert depth["entry"] == 0
+        assert depth["exit"] == 0
+
+
+class TestRegions:
+    def test_chain_is_one_region(self):
+        fn = straight_chain()
+        regions = schedule_regions(fn)
+        assert len(regions) == 1
+        assert regions[0].blocks == ("a", "b", "c")
+
+    def test_diamond_arms_separate_regions(self):
+        fn = figure6_diamond()
+        regions = schedule_regions(fn)
+        by_block = {}
+        for region in regions:
+            for name in region.blocks:
+                by_block[name] = region.index
+        assert by_block["entry"] == by_block["join"]
+        assert by_block["left"] != by_block["right"]
+        assert by_block["left"] != by_block["entry"]
+
+    def test_loop_body_not_merged_with_preheader(self):
+        fn = loop_function()
+        pairs = plausible_pairs(fn)
+        flattened = {frozenset(p) for p in pairs}
+        assert frozenset(("entry", "header")) not in flattened  # depths differ
+
+    def test_region_instructions_in_layout_order(self):
+        fn = straight_chain()
+        region = schedule_regions(fn)[0]
+        instrs = region_instructions(fn, region)
+        assert len(instrs) == sum(len(b) for b in fn.blocks())
+
+    def test_diamond_chain_regions(self):
+        fn = diamond_chain(num_diamonds=2)
+        regions = schedule_regions(fn)
+        # heads, joins, entry and tail are all control-equivalent at
+        # depth 0, so they merge; the arms stay separate.
+        sizes = sorted(len(r) for r in regions)
+        assert sizes[-1] >= 4

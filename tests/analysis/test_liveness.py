@@ -1,0 +1,228 @@
+"""Unit tests for liveness analysis and live intervals."""
+
+import pytest
+
+from repro.analysis.liveness import (
+    LiveInterval,
+    block_live_intervals,
+    block_use_def,
+    live_variables,
+    max_register_pressure,
+    per_instruction_liveness,
+)
+from repro.ir.builder import BlockBuilder, FunctionBuilder
+from repro.ir.operands import VirtualRegister
+from repro.workloads import example1, example2, figure6_diamond
+
+
+class TestBlockUseDef:
+    def test_upward_exposed_uses_only(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.add(x, 1)  # x defined above: not upward-exposed
+        ghost = VirtualRegister("g")
+        b.add(ghost, y)
+        uses, defs = block_use_def(b.block())
+        assert ghost in uses
+        assert x not in uses
+        assert {x, y} <= set(defs)
+
+
+class TestLiveVariables:
+    def test_straight_line_live_out(self):
+        fn = example1()
+        info = live_variables(fn)
+        exit_live = info.live_out["entry"]
+        assert set(fn.live_out) == set(exit_live)
+
+    def test_example2_nothing_live_out(self):
+        fn = example2()
+        info = live_variables(fn)
+        assert info.live_out["entry"] == frozenset()
+
+    def test_diamond_liveness(self):
+        fn = figure6_diamond()
+        info = live_variables(fn)
+        x = VirtualRegister("x")
+        # x is live into the join from both arms.
+        assert x in info.live_in["join"]
+        assert x in info.live_out["left"]
+        assert x in info.live_out["right"]
+
+    def test_branch_condition_live(self):
+        fn = figure6_diamond()
+        info = live_variables(fn)
+        cond = VirtualRegister("cond")
+        # cond is used by entry's own terminator, not live-in anywhere else.
+        assert cond not in info.live_in["left"]
+
+
+class TestPerInstructionLiveness:
+    def test_matches_manual_walk(self):
+        b = BlockBuilder()
+        x = b.load("x")       # 0
+        y = b.add(x, 1)       # 1
+        z = b.add(x, y)       # 2
+        block = b.block()
+        after = per_instruction_liveness(block, frozenset({z}))
+        assert after[2] == frozenset({z})
+        assert after[1] == frozenset({x, y})
+        assert after[0] == frozenset({x})
+
+
+class TestLiveIntervals:
+    def test_example1_intervals(self):
+        fn = example1()
+        block = fn.entry
+        intervals = block_live_intervals(
+            block, live_out=frozenset(fn.live_out)
+        )
+        by_reg = {str(iv.register): iv for iv in intervals if not iv.is_live_in}
+        # s1 defined at 0, last use at 4 (madd).
+        assert (by_reg["s1"].start, by_reg["s1"].end) == (0, 4)
+        # s4, s5 live-out -> end = len(block).
+        assert by_reg["s4"].end == len(block)
+        assert by_reg["s5"].end == len(block)
+
+    def test_dead_def_interval(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        b.load("y")  # dead
+        b.add(x, 1)
+        intervals = block_live_intervals(b.block())
+        dead = [iv for iv in intervals if iv.is_dead]
+        assert len(dead) == 2  # the unused load and the final add
+
+    def test_open_end_no_overlap_at_last_use(self):
+        b = BlockBuilder()
+        x = b.load("x")     # 0
+        y = b.add(x, x)     # 1: x's last use; y defined here
+        block = b.block()
+        ivs = {iv.register: iv for iv in block_live_intervals(
+            block, live_out=frozenset({y}))}
+        assert not ivs[x].overlaps(ivs[y])
+        assert ivs[x].overlaps(ivs[y], closed_end=True)
+
+    def test_same_statement_defs_interfere(self):
+        a = LiveInterval(VirtualRegister("a"), "b", 2, 5)
+        b = LiveInterval(VirtualRegister("b"), "b", 2, 3)
+        assert a.overlaps(b)
+
+    def test_different_blocks_never_overlap(self):
+        a = LiveInterval(VirtualRegister("a"), "b1", 0, 5)
+        b = LiveInterval(VirtualRegister("b"), "b2", 1, 2)
+        assert not a.overlaps(b)
+
+    def test_live_in_interval(self):
+        b = BlockBuilder()
+        ghost = VirtualRegister("g")
+        b.add(ghost, 1)
+        block = b.block()
+        intervals = block_live_intervals(
+            block, live_in=frozenset({ghost})
+        )
+        live_in = [iv for iv in intervals if iv.is_live_in]
+        assert len(live_in) == 1
+        assert live_in[0].start == -1
+        assert live_in[0].end == 0  # last use at instruction 0
+
+    def test_redefinition_yields_two_intervals(self):
+        from repro.ir.basicblock import BasicBlock
+        from repro.ir.instructions import Instruction
+        from repro.ir.opcodes import Opcode
+        from repro.ir.operands import Immediate
+
+        x = VirtualRegister("x")
+        y = VirtualRegister("y")
+        block = BasicBlock("b")
+        block.instructions = [
+            Instruction(Opcode.LOADI, (x,), (Immediate(1),)),
+            Instruction(Opcode.ADD, (y,), (x, x)),
+            Instruction(Opcode.LOADI, (x,), (Immediate(2),)),
+        ]
+        intervals = [
+            iv for iv in block_live_intervals(block, live_out=frozenset({x}))
+            if iv.register == x
+        ]
+        assert len(intervals) == 2
+        first, second = sorted(intervals, key=lambda iv: iv.start)
+        assert (first.start, first.end) == (0, 1)
+        assert (second.start, second.end) == (2, 3)
+
+
+class TestPressure:
+    def test_pressure_example2(self):
+        fn = example2()
+        pressure = max_register_pressure(fn.entry)
+        assert pressure == 3  # matches chi of the interference graph
+
+    def test_pressure_independent_chains(self):
+        from repro.workloads import independent_chains
+
+        fn = independent_chains(chains=5, length=2)
+        # Input order runs chains sequentially: low simultaneous pressure
+        # until the live-out tails accumulate.
+        assert max_register_pressure(
+            fn.entry, frozenset(fn.live_out)
+        ) >= 5
+
+
+class TestSelfMoveIntervals:
+    def test_live_in_used_at_redefining_instruction(self):
+        """Regression: an instruction that both uses and defines a
+        register (a loop-carried self-move) reads the OLD value, so
+        the incoming interval must extend to that instruction —
+        otherwise an unrelated def earlier in the block could share
+        the register and clobber the live value (miscompile found by
+        the fuzz soak, seed 12)."""
+        from repro.ir.basicblock import BasicBlock
+        from repro.ir.instructions import Instruction
+        from repro.ir.opcodes import Opcode
+        from repro.ir.operands import Immediate
+
+        v = VirtualRegister("v")
+        s = VirtualRegister("s")
+        block = BasicBlock("body")
+        block.instructions = [
+            Instruction(Opcode.LOADI, (s,), (Immediate(1),)),   # 0
+            Instruction(Opcode.MOV, (v,), (v,)),                # 1: self-move
+        ]
+        intervals = block_live_intervals(
+            block,
+            live_in=frozenset({v}),
+            live_out=frozenset({v}),
+        )
+        live_in_v = next(
+            iv for iv in intervals if iv.register == v and iv.is_live_in
+        )
+        # the incoming value is live THROUGH instruction 0 (the loadi
+        # must not reuse v's register).
+        assert live_in_v.covers_definition_at(0)
+        s_iv = next(iv for iv in intervals if iv.register == s)
+        assert live_in_v.overlaps(s_iv)
+
+    def test_def_used_at_its_own_redefinition(self):
+        """A use AT the next redefinition reads the current value: the
+        first interval must cover intervening definitions."""
+        from repro.ir.basicblock import BasicBlock
+        from repro.ir.instructions import Instruction
+        from repro.ir.opcodes import Opcode
+        from repro.ir.operands import Immediate
+
+        x = VirtualRegister("x")
+        t = VirtualRegister("t")
+        block = BasicBlock("b")
+        block.instructions = [
+            Instruction(Opcode.LOADI, (x,), (Immediate(1),)),     # 0
+            Instruction(Opcode.LOADI, (t,), (Immediate(2),)),     # 1
+            Instruction(Opcode.ADD, (x,), (x, Immediate(1))),     # 2: x = x+1
+        ]
+        intervals = block_live_intervals(block, live_out=frozenset({x}))
+        first_x = next(
+            iv for iv in intervals
+            if iv.register == x and iv.start == 0
+        )
+        t_iv = next(iv for iv in intervals if iv.register == t)
+        # first x is consumed at instruction 2: t (def at 1) conflicts.
+        assert first_x.end == 2
+        assert first_x.overlaps(t_iv)

@@ -1,0 +1,47 @@
+"""Shared fixtures: machines and the paper's worked examples."""
+
+import pytest
+
+from repro.machine import presets
+from repro.workloads import (
+    example1,
+    example1_machine_model,
+    example2,
+    example2_machine_model,
+    figure6_diamond,
+)
+
+
+@pytest.fixture
+def m_example1():
+    return example1_machine_model()
+
+
+@pytest.fixture
+def m_example2():
+    return example2_machine_model()
+
+
+@pytest.fixture
+def m_single():
+    return presets.single_issue()
+
+
+@pytest.fixture
+def m_wide():
+    return presets.wide_issue()
+
+
+@pytest.fixture
+def fn_example1():
+    return example1()
+
+
+@pytest.fixture
+def fn_example2():
+    return example2()
+
+
+@pytest.fixture
+def fn_figure6():
+    return figure6_diamond()

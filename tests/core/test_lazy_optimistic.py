@@ -1,0 +1,129 @@
+"""Tests for the extension modes of the combined coloring procedure:
+Briggs-style optimism and the lazy false-edge sacrifice policy."""
+
+import pytest
+
+from repro.core.allocator import PinterAllocator
+from repro.core.coloring import pinter_color
+from repro.core.parallel_interference import (
+    EdgeOrigin,
+    build_parallel_interference_graph,
+)
+from repro.ir import equivalent
+from repro.machine.presets import two_unit_superscalar
+from repro.regalloc.chaitin import validate_coloring
+from repro.workloads import (
+    ALL_KERNELS,
+    RandomBlockConfig,
+    example2,
+    example2_machine_model,
+    matmul_tile,
+    random_block,
+)
+
+
+def _violated_edges(pig_graph, coloring, origin_filter=None):
+    violations = []
+    for a, b, data in pig_graph.edges(data=True):
+        if a in coloring and b in coloring and coloring[a] == coloring[b]:
+            if origin_filter is None or data["origin"] == origin_filter:
+                violations.append((a, b))
+    return violations
+
+
+class TestOptimisticMode:
+    def test_valid_coloring(self):
+        pig = build_parallel_interference_graph(
+            example2(), example2_machine_model()
+        )
+        result = pinter_color(pig, 4, optimistic=True)
+        assert not result.has_spills
+        validate_coloring(result.reduced_graph, result.coloring)
+
+    def test_optimism_never_spills_more(self):
+        machine = two_unit_superscalar()
+        for seed in range(5):
+            fn = random_block(RandomBlockConfig(size=22, window=10, seed=seed))
+            pig = build_parallel_interference_graph(fn, machine)
+            for r in (4, 6, 8):
+                pess = pinter_color(pig, r)
+                opt = pinter_color(pig, r, optimistic=True)
+                assert len(opt.spilled) <= len(pess.spilled)
+
+    def test_allocator_optimistic_flag(self):
+        machine = two_unit_superscalar()
+        fn = matmul_tile(2)
+        outcome = PinterAllocator(
+            machine, num_registers=8, optimistic=True
+        ).run(fn)
+        assert equivalent(fn, outcome.allocated_function)
+
+
+class TestLazyPolicy:
+    def test_no_interference_edge_ever_violated(self):
+        """Lazy mode may merge across false edges but never across
+        interference edges — spills stay sound."""
+        machine = two_unit_superscalar()
+        for seed in range(5):
+            fn = random_block(RandomBlockConfig(size=20, window=10, seed=seed))
+            pig = build_parallel_interference_graph(fn, machine)
+            result = pinter_color(pig, 5, edge_policy="lazy")
+            bad = [
+                (a, b)
+                for a, b, data in pig.graph.edges(data=True)
+                if a in result.coloring
+                and b in result.coloring
+                and result.coloring[a] == result.coloring[b]
+                and data["origin"] & EdgeOrigin.INTERFERENCE
+            ]
+            assert bad == [], seed
+
+    def test_removed_edges_match_actual_merges(self):
+        machine = two_unit_superscalar()
+        fn = matmul_tile(2)
+        pig = build_parallel_interference_graph(fn, machine)
+        result = pinter_color(pig, 8, edge_policy="lazy")
+        merged_false = _violated_edges(
+            pig.graph, result.coloring, EdgeOrigin.FALSE
+        )
+        # every merged false pair is recorded as sacrificed.
+        recorded = {
+            frozenset((a.index, b.index))
+            for a, b in result.removed_false_edges
+        }
+        for a, b in merged_false:
+            assert frozenset((a.index, b.index)) in recorded
+
+    def test_lazy_sacrifices_no_more_than_eager(self):
+        machine = two_unit_superscalar()
+        totals = {"node": 0, "lazy": 0}
+        for name in ("mm2", "estrin7", "dot4"):
+            fn = ALL_KERNELS[name]()
+            pig = build_parallel_interference_graph(fn, machine)
+            for policy in ("node", "lazy"):
+                result = pinter_color(pig, 8, edge_policy=policy)
+                totals[policy] += len(result.removed_false_edges)
+        assert totals["lazy"] <= totals["node"]
+
+    def test_unconstrained_lazy_is_clean(self):
+        """With ample colors lazy mode behaves exactly like the plain
+        procedure: nothing sacrificed, nothing spilled."""
+        pig = build_parallel_interference_graph(
+            example2(), example2_machine_model()
+        )
+        result = pinter_color(pig, 8, edge_policy="lazy")
+        assert not result.has_spills
+        assert result.removed_false_edges == []
+        validate_coloring(pig.graph, result.coloring)
+
+    def test_allocator_end_to_end_lazy(self):
+        machine = two_unit_superscalar()
+        fn = matmul_tile(2)
+        eager = PinterAllocator(
+            machine, num_registers=8, edge_policy="node"
+        ).run(fn)
+        lazy = PinterAllocator(
+            machine, num_registers=8, edge_policy="lazy"
+        ).run(fn)
+        assert equivalent(fn, lazy.allocated_function)
+        assert lazy.parallelism_sacrificed <= eager.parallelism_sacrificed

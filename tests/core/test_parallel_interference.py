@@ -1,0 +1,189 @@
+"""Tests for the parallelizable interference graph — the paper's core
+construction (reproducing Figure 3 and the Example 2 analysis)."""
+
+import pytest
+
+from repro.core.parallel_interference import (
+    EdgeOrigin,
+    augmented_parallel_interference_graph,
+    build_parallel_interference_graph,
+)
+from repro.regalloc.chaitin import exact_chromatic_number
+from repro.utils.errors import AllocationError
+from repro.workloads import (
+    example1,
+    example1_machine_model,
+    example2,
+    example2_machine_model,
+    figure6_diamond,
+    horner,
+)
+from repro.machine.presets import single_issue, two_unit_superscalar
+
+
+def edge_names(pig, edges):
+    return sorted(
+        tuple(sorted((str(a.register), str(b.register))))
+        for a, b in edges
+    )
+
+
+class TestFigure3Example1:
+    """Figure 3(a): the parallelizable interference graph of Example 1."""
+
+    @pytest.fixture
+    def pig(self):
+        return build_parallel_interference_graph(
+            example1(), example1_machine_model()
+        )
+
+    def test_edge_set(self, pig):
+        assert edge_names(pig, pig.all_edges()) == [
+            ("s1", "s2"), ("s1", "s3"), ("s1", "s4"),
+            ("s2", "s4"), ("s3", "s4"), ("s4", "s5"),
+        ]
+
+    def test_edge_origins(self, pig):
+        webs = {str(w.register): w for w in pig.webs}
+        assert pig.origin(webs["s1"], webs["s2"]) == EdgeOrigin.BOTH
+        assert pig.origin(webs["s2"], webs["s4"]) == EdgeOrigin.FALSE
+        assert pig.origin(webs["s1"], webs["s3"]) == EdgeOrigin.INTERFERENCE
+
+    def test_three_colorable(self, pig):
+        """"There is a way to allocate three registers and not generate
+        the false dependence" — chi(G) = 3."""
+        assert exact_chromatic_number(pig.graph) == 3
+
+    def test_interference_degree(self, pig):
+        webs = {str(w.register): w for w in pig.webs}
+        s4 = webs["s4"]
+        assert pig.graph.degree(s4) == 4
+        assert pig.interference_degree(s4) == 3  # s2-s4 is false-only
+
+    def test_edge_partitions(self, pig):
+        false_only = edge_names(pig, pig.false_only_edges())
+        shared = edge_names(pig, pig.shared_edges())
+        assert false_only == [("s2", "s4")]
+        assert shared == [("s1", "s2"), ("s3", "s4")]
+
+
+class TestExample2:
+    def test_pig_needs_four_registers(self):
+        """"With the parallel interference graph four registers are
+        needed" (versus 3 for the plain interference graph)."""
+        pig = build_parallel_interference_graph(
+            example2(), example2_machine_model()
+        )
+        assert exact_chromatic_number(pig.graph) == 4
+        assert exact_chromatic_number(pig.interference.graph) == 3
+
+    def test_false_edges_projected_to_defs(self):
+        pig = build_parallel_interference_graph(
+            example2(), example2_machine_model()
+        )
+        names = edge_names(pig, pig.false_only_edges())
+        # s8 pairs with s1, s2 (interference-free, co-schedulable).
+        assert ("s1", "s8") in names
+        assert ("s2", "s8") in names
+
+    def test_single_issue_degenerates_to_interference(self):
+        """On a single-issue machine E_f is empty, so G equals G_r —
+        the framework reduces to Chaitin allocation."""
+        pig = build_parallel_interference_graph(example2(), single_issue())
+        assert pig.false_only_edges() == []
+        assert set(pig.all_edges()) == set(pig.interference_edges())
+
+
+class TestEdgeRemoval:
+    def test_remove_false_edge(self):
+        pig = build_parallel_interference_graph(
+            example1(), example1_machine_model()
+        )
+        webs = {str(w.register): w for w in pig.webs}
+        pig.remove_false_edge(webs["s2"], webs["s4"])
+        assert ("s2", "s4") not in edge_names(pig, pig.all_edges())
+
+    def test_cannot_remove_interference_edge(self):
+        pig = build_parallel_interference_graph(
+            example1(), example1_machine_model()
+        )
+        webs = {str(w.register): w for w in pig.webs}
+        with pytest.raises(AllocationError):
+            pig.remove_false_edge(webs["s1"], webs["s3"])
+
+    def test_cannot_remove_shared_edge(self):
+        pig = build_parallel_interference_graph(
+            example1(), example1_machine_model()
+        )
+        webs = {str(w.register): w for w in pig.webs}
+        with pytest.raises(AllocationError):
+            pig.remove_false_edge(webs["s1"], webs["s2"])
+
+    def test_missing_edge_raises(self):
+        pig = build_parallel_interference_graph(
+            example1(), example1_machine_model()
+        )
+        webs = {str(w.register): w for w in pig.webs}
+        with pytest.raises(AllocationError):
+            pig.remove_false_edge(webs["s1"], webs["s5"])
+
+    def test_copy_isolates_mutation(self):
+        pig = build_parallel_interference_graph(
+            example1(), example1_machine_model()
+        )
+        clone = pig.copy()
+        webs = {str(w.register): w for w in clone.webs}
+        clone.remove_false_edge(webs["s2"], webs["s4"])
+        assert ("s2", "s4") in edge_names(pig, pig.all_edges())
+
+
+class TestGlobalForm:
+    def test_diamond_regions(self):
+        fn = figure6_diamond()
+        machine = two_unit_superscalar()
+        pig = build_parallel_interference_graph(fn, machine)
+        assert len(pig.regions) >= 2
+        # the merged x web is a node.
+        merged = [w for w in pig.webs if len(w.definitions) > 1]
+        assert len(merged) == 1
+
+    def test_use_regions_false_widens_graph(self):
+        fn = figure6_diamond()
+        machine = two_unit_superscalar()
+        with_regions = build_parallel_interference_graph(
+            fn, machine, use_regions=True
+        )
+        without = build_parallel_interference_graph(
+            fn, machine, use_regions=False
+        )
+        # region form sees cross-block co-issue chances -> at least as
+        # many false edges.
+        assert len(with_regions.false_only_edges()) + len(
+            with_regions.shared_edges()
+        ) >= len(without.false_only_edges()) + len(without.shared_edges())
+
+
+class TestSerialChainDegenerate:
+    def test_horner_pig_close_to_interference(self):
+        """A serial chain has little co-issue: the PIG gains few edges
+        over the interference graph."""
+        fn = horner(5)
+        machine = two_unit_superscalar()
+        pig = build_parallel_interference_graph(fn, machine)
+        chi_pig = exact_chromatic_number(pig.graph)
+        chi_ig = exact_chromatic_number(pig.interference.graph)
+        assert chi_pig - chi_ig <= 2
+
+
+class TestAugmentedGraph:
+    def test_includes_stores_and_all_instructions(self):
+        from repro.workloads import fir_filter
+
+        fn = fir_filter(2)
+        machine = two_unit_superscalar()
+        pig = build_parallel_interference_graph(fn, machine)
+        aug = augmented_parallel_interference_graph(pig)
+        assert aug.number_of_nodes() == len(fn.entry.instructions)
+        kinds = {data["kind"] for _u, _v, data in aug.edges(data=True)}
+        assert kinds <= {"false", "schedule"}
+        assert "false" in kinds and "schedule" in kinds

@@ -1,0 +1,158 @@
+"""Unit tests for data-dependence detection."""
+
+from repro.deps.datadeps import (
+    Dependence,
+    DependenceKind,
+    all_dependences,
+    false_dependence_candidates,
+    memory_dependences,
+    register_dependences,
+)
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import BlockBuilder
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Immediate, MemorySymbol, PhysicalRegister
+from repro.workloads import (
+    apply_name_mapping,
+    example1,
+    example1_naive_mapping,
+    example2,
+)
+
+
+def kinds_of(deps):
+    return {(d.source.uid, d.target.uid, d.kind) for d in deps}
+
+
+class TestFlowDependences:
+    def test_example1_flow_edges(self):
+        fn = example1()
+        deps = register_dependences(fn.entry.instructions)
+        names = {i.uid: str(i.dest) for i in fn.entry}
+        edges = sorted(
+            (names[d.source.uid], names[d.target.uid])
+            for d in deps
+            if d.kind is DependenceKind.FLOW
+        )
+        assert edges == [
+            ("s1", "s4"), ("s1", "s5"), ("s2", "s3"), ("s3", "s5"),
+        ]
+
+    def test_symbolic_code_has_no_anti_output(self):
+        """"With symbolic registers no register is redefined" — so the
+        set E_t contains exactly the real constraints."""
+        for fn in (example1(), example2()):
+            deps = register_dependences(fn.entry.instructions)
+            assert all(d.kind is DependenceKind.FLOW for d in deps)
+
+    def test_flow_from_nearest_def(self):
+        r1 = PhysicalRegister(1)
+        r2 = PhysicalRegister(2)
+        a = Instruction(Opcode.LOADI, (r1,), (Immediate(1),))
+        b = Instruction(Opcode.LOADI, (r1,), (Immediate(2),))
+        c = Instruction(Opcode.ADD, (r2,), (r1, r1))
+        deps = register_dependences([a, b, c])
+        flows = [d for d in deps if d.kind is DependenceKind.FLOW]
+        assert len(flows) == 1
+        assert flows[0].source is b
+
+
+class TestAntiOutput:
+    def test_naive_example1_has_false_candidates(self):
+        """Example 1(c): reuse of r1/r2 creates anti and output deps."""
+        fn = apply_name_mapping(example1(), example1_naive_mapping())
+        candidates = false_dependence_candidates(fn.entry.instructions)
+        kinds = {d.kind for d in candidates}
+        assert DependenceKind.OUTPUT in kinds
+        # the paper's famous edge: instruction 2 (r2 := i) to
+        # instruction 4 (r2 := r1+r1)
+        instrs = fn.entry.instructions
+        assert any(
+            d.source is instrs[1] and d.target is instrs[3]
+            and d.kind is DependenceKind.OUTPUT
+            for d in candidates
+        )
+
+    def test_anti_dependence_detected(self):
+        r1 = PhysicalRegister(1)
+        r2 = PhysicalRegister(2)
+        use = Instruction(Opcode.ADD, (r2,), (r1, r1))
+        redefine = Instruction(Opcode.LOADI, (r1,), (Immediate(0),))
+        deps = register_dependences([use, redefine])
+        assert any(
+            d.kind is DependenceKind.ANTI and d.source is use
+            and d.target is redefine
+            for d in deps
+        )
+
+    def test_self_dependence_excluded(self):
+        r1 = PhysicalRegister(1)
+        increment = Instruction(Opcode.ADD, (r1,), (r1, Immediate(1)))
+        deps = register_dependences([increment])
+        assert deps == []
+
+
+class TestMemoryDependences:
+    def test_load_load_free(self):
+        b = BlockBuilder()
+        b.load("x")
+        b.load("x")
+        assert memory_dependences(b.instructions) == []
+
+    def test_store_then_load_same_symbol(self):
+        b = BlockBuilder()
+        v = b.loadi(1)
+        b.store(v, "cell")
+        b.load("cell")
+        deps = memory_dependences(b.instructions)
+        assert len(deps) == 1
+        assert deps[0].kind is DependenceKind.MEMORY
+
+    def test_store_then_load_different_symbol_free(self):
+        b = BlockBuilder()
+        v = b.loadi(1)
+        b.store(v, "a")
+        b.load("b")
+        assert memory_dependences(b.instructions) == []
+
+    def test_store_store_ordered(self):
+        b = BlockBuilder()
+        v = b.loadi(1)
+        b.store(v, "a")
+        b.store(v, "a")
+        assert len(memory_dependences(b.instructions)) == 1
+
+    def test_call_is_barrier(self):
+        b = BlockBuilder()
+        v = b.load("x")
+        b.call()
+        b.load("x")
+        deps = memory_dependences(b.instructions)
+        # load->call and call->load.
+        assert len(deps) == 2
+
+    def test_indexed_loads_same_base_no_dep(self):
+        # two reads may alias but read-read needs no ordering
+        b = BlockBuilder()
+        i = b.loadi(0)
+        b.load_indexed("arr", i)
+        b.load_indexed("arr", i)
+        assert memory_dependences(b.instructions) == []
+
+    def test_all_dependences_combines(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.add(x, 1)
+        b.store(y, "x")
+        deps = all_dependences(b.instructions)
+        kinds = {d.kind for d in deps}
+        assert DependenceKind.FLOW in kinds
+        assert DependenceKind.MEMORY in kinds
+
+
+class TestDependenceDisplay:
+    def test_str(self):
+        fn = example1()
+        deps = register_dependences(fn.entry.instructions)
+        assert "flow" in str(deps[0])

@@ -1,0 +1,161 @@
+"""Unit tests for the schedule graph G_s."""
+
+import pytest
+
+from repro.deps.datadeps import DependenceKind
+from repro.deps.schedule_graph import (
+    block_schedule_graph,
+    build_schedule_graph,
+    region_schedule_graph,
+)
+from repro.ir.builder import BlockBuilder, FunctionBuilder
+from repro.machine.presets import two_unit_superscalar
+from repro.utils.errors import SchedulingError
+from repro.workloads import example1, example2
+
+
+class TestConstruction:
+    def test_figure1_example2_edges(self):
+        """Figure 1: the dependence edges of Example 2's schedule graph."""
+        fn = example2()
+        sg = block_schedule_graph(fn.entry)
+        names = {i: str(i.dest) for i in fn.entry}
+        edges = sorted(
+            (names[u], names[v]) for u, v in sg.edges()
+        )
+        assert edges == sorted([
+            ("s1", "s3"), ("s2", "s3"),
+            ("s1", "s4"), ("s2", "s4"),
+            ("s3", "s5"), ("s4", "s5"),
+            ("s6", "s8"), ("s7", "s8"),
+            ("s5", "s9"), ("s8", "s9"),
+        ])
+
+    def test_flow_delay_uses_machine_latency(self):
+        fn = example2()
+        machine = two_unit_superscalar()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        instrs = fn.entry.instructions
+        load, add = instrs[0], instrs[2]
+        assert sg.delay(load, add) == machine.latency_of(load)
+
+    def test_terminator_ordered_after_body(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        b.add(x, 1)
+        b.ret()
+        sg = block_schedule_graph(b.block())
+        terminator = b.instructions[-1]
+        assert set(sg.predecessors(terminator)) == set(b.instructions[:-1])
+        assert all(
+            sg.kind(u, terminator)
+            in (DependenceKind.CONTROL, DependenceKind.FLOW)
+            for u in sg.predecessors(terminator)
+        )
+
+    def test_extra_precedence_edges(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.load("y")
+        sg = build_schedule_graph(
+            b.instructions,
+            extra_precedence=[(b.instructions[0], b.instructions[1])],
+        )
+        assert sg.kind(*sg.edges()[0]) is DependenceKind.MACHINE
+
+    def test_parallel_edges_keep_max_delay(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        sg = build_schedule_graph(b.instructions)
+        # no edges yet; add two manually
+        b2 = BlockBuilder()
+        u = b2.load("u")
+        v = b2.add(u, 1)
+        sg = build_schedule_graph(b2.instructions)
+        edge = sg.edges()[0]
+        original = sg.delay(*edge)
+        sg.add_edge(edge[0], edge[1], DependenceKind.MACHINE, delay=original + 5)
+        assert sg.delay(*edge) == original + 5
+
+
+class TestQueries:
+    def test_topological_order_respects_edges(self):
+        fn = example2()
+        sg = block_schedule_graph(fn.entry)
+        order = sg.topological_order()
+        position = {instr: i for i, instr in enumerate(order)}
+        for u, v in sg.edges():
+            assert position[u] < position[v]
+
+    def test_cycle_detection(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.add(x, 1)
+        sg = build_schedule_graph(b.instructions)
+        sg.add_edge(b.instructions[1], b.instructions[0], DependenceKind.MACHINE)
+        with pytest.raises(SchedulingError):
+            sg.check_acyclic()
+
+    def test_critical_path_serial_chain(self):
+        b = BlockBuilder()
+        acc = b.loadi(0)
+        for _ in range(4):
+            acc = b.add(acc, 1)
+        sg = block_schedule_graph(b.block())
+        # 5 unit-latency instructions in a chain.
+        assert sg.critical_path_length() == 5
+
+    def test_critical_path_with_latency(self):
+        b = BlockBuilder()
+        x = b.load("x")      # latency 2
+        b.add(x, 1)
+        machine = two_unit_superscalar()
+        sg = block_schedule_graph(b.block(), machine=machine)
+        assert sg.critical_path_length() == 3  # load starts 0, add at 2
+
+    def test_dependence_edges_filter(self):
+        fn = example1()
+        sg = block_schedule_graph(fn.entry)
+        flows = sg.dependence_edges([DependenceKind.FLOW])
+        assert len(flows) == 4
+
+
+class TestRegionGraph:
+    def make_two_block(self):
+        fb = FunctionBuilder("f")
+        a = fb.block("a", entry=True)
+        x = a.load("x")
+        a.br("b")
+        b = fb.block("b")
+        b.add(x, 1)
+        b.ret()
+        fb.edge("a", "b")
+        return fb.function()
+
+    def test_cross_block_data_dep(self):
+        fn = self.make_two_block()
+        sg = region_schedule_graph(fn, ["a", "b"])
+        load = fn.block("a").instructions[0]
+        add = fn.block("b").instructions[0]
+        assert (load, add) in sg.edges()
+
+    def test_control_edges_omitted_by_default(self):
+        fn = self.make_two_block()
+        sg = region_schedule_graph(fn, ["a", "b"])
+        br = fn.block("a").terminator
+        add = fn.block("b").instructions[0]
+        assert (br, add) not in sg.edges()
+
+    def test_keep_control_edges(self):
+        fn = self.make_two_block()
+        sg = region_schedule_graph(fn, ["a", "b"], keep_control_edges=True)
+        br = fn.block("a").terminator
+        add = fn.block("b").instructions[0]
+        assert (br, add) in sg.edges()
+
+    def test_branch_order_preserved(self):
+        fn = self.make_two_block()
+        sg = region_schedule_graph(fn, ["a", "b"])
+        br_a = fn.block("a").terminator
+        ret_b = fn.block("b").terminator
+        assert (br_a, ret_b) in sg.edges()

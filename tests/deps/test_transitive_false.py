@@ -1,0 +1,163 @@
+"""Tests for transitive closure and the false-dependence graph —
+including exact reproduction of the paper's Figure 2 and the Example 2
+complement edges (Lemma 1's E_f)."""
+
+import pytest
+
+from repro.deps.false_dependence import (
+    block_false_dependence_graph,
+    false_dependence_graph,
+)
+from repro.deps.schedule_graph import block_schedule_graph
+from repro.deps.transitive import (
+    earliest_start_times,
+    latest_start_times,
+    ordered_pair,
+    reachability,
+    slack,
+    transitive_closure_pairs,
+)
+from repro.ir.builder import BlockBuilder
+from repro.machine.presets import single_issue, two_unit_superscalar, wide_issue
+from repro.workloads import (
+    example1,
+    example1_machine_model,
+    example2,
+    example2_machine_model,
+)
+
+
+def edge_names(fn, pairs):
+    names = {i: str(i.dest) if i.dests else i.opcode.mnemonic for i in fn.entry}
+    return sorted(
+        tuple(sorted((names[a], names[b]), key=lambda s: (len(s), s)))
+        for a, b in pairs
+    )
+
+
+class TestTransitiveClosure:
+    def test_chain_closure_complete(self):
+        b = BlockBuilder()
+        acc = b.loadi(0)
+        for _ in range(3):
+            acc = b.add(acc, 1)
+        sg = block_schedule_graph(b.block())
+        pairs = transitive_closure_pairs(sg)
+        n = len(b.instructions)
+        assert len(pairs) == n * (n - 1) // 2  # total order
+
+    def test_independent_instructions_unrelated(self):
+        b = BlockBuilder()
+        b.load("x")
+        b.load("y")
+        sg = block_schedule_graph(b.block())
+        assert transitive_closure_pairs(sg) == set()
+
+    def test_reachability_transitive(self):
+        fn = example2()
+        sg = block_schedule_graph(fn.entry)
+        reach = reachability(sg)
+        instrs = fn.entry.instructions
+        s1, s5, s9 = instrs[0], instrs[4], instrs[8]
+        assert s5 in reach[s1]  # via s3/s4
+        assert s9 in reach[s1]
+
+    def test_ordered_pair_normalizes(self):
+        fn = example1()
+        a, b = fn.entry.instructions[:2]
+        assert ordered_pair(a, b) == ordered_pair(b, a)
+
+
+class TestTimes:
+    def test_asap_alap_slack(self):
+        fn = example2()
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        asap = earliest_start_times(sg)
+        alap = latest_start_times(sg)
+        slk = slack(sg)
+        for instr in fn.entry:
+            assert alap[instr] >= asap[instr]
+            assert slk[instr] == alap[instr] - asap[instr]
+        # The last instruction is on the critical path.
+        assert slk[fn.entry.instructions[-1]] == 0
+
+
+class TestFalseDependenceGraphExample1:
+    """Figure 2 of the paper, edge for edge."""
+
+    def test_ef_matches_figure2(self):
+        fn = example1()
+        machine = example1_machine_model()
+        fdg = block_false_dependence_graph(fn.entry, machine)
+        assert edge_names(fn, fdg.ef_pairs) == [
+            ("s1", "s2"), ("s2", "s4"), ("s3", "s4"),
+        ]
+
+    def test_et_contains_machine_constraints(self):
+        fn = example1()
+        machine = example1_machine_model()
+        fdg = block_false_dependence_graph(fn.entry, machine)
+        et = edge_names(fn, fdg.et_pairs)
+        assert ("s1", "s3") in et  # two loads, one fetch unit
+        assert ("s4", "s5") in et  # two fixed-point ops, one fixed unit
+
+    def test_lemma1_has_false_edge(self):
+        fn = example1()
+        machine = example1_machine_model()
+        fdg = block_false_dependence_graph(fn.entry, machine)
+        instrs = fn.entry.instructions
+        assert fdg.has_false_edge(instrs[1], instrs[3])  # s2 with s4
+        assert not fdg.has_false_edge(instrs[0], instrs[3])  # s1 -> s4 flow
+
+    def test_false_neighbors(self):
+        fn = example1()
+        machine = example1_machine_model()
+        fdg = block_false_dependence_graph(fn.entry, machine)
+        instrs = fn.entry.instructions
+        neighbors = fdg.false_neighbors(instrs[3])  # s4
+        assert set(neighbors) == {instrs[1], instrs[2]}
+
+
+class TestFalseDependenceGraphExample2:
+    def test_ef_matches_paper_text(self):
+        """The paper: the only complement edges are between s8 and each
+        of s1..s5, plus all edges between {s6, s7} and {s3, s4, s5}."""
+        fn = example2()
+        machine = example2_machine_model()
+        fdg = block_false_dependence_graph(fn.entry, machine)
+        expected = sorted(
+            [("s{}".format(i), "s8") for i in range(1, 6)]
+            + [(a, b) for a in ("s3", "s4", "s5") for b in ("s6", "s7")]
+        )
+        assert edge_names(fn, fdg.ef_pairs) == expected
+
+    def test_parallelism_degree(self):
+        fn = example2()
+        fdg = block_false_dependence_graph(fn.entry, example2_machine_model())
+        assert 0.0 < fdg.parallelism_degree < 1.0
+
+
+class TestMachineSensitivity:
+    def test_single_issue_kills_all_parallelism(self):
+        fn = example2()
+        fdg = block_false_dependence_graph(fn.entry, single_issue())
+        assert fdg.ef_pairs == set()
+        assert fdg.parallelism_degree == 0.0
+
+    def test_wider_machine_grows_ef(self):
+        fn = example2()
+        narrow = block_false_dependence_graph(
+            fn.entry, example2_machine_model()
+        )
+        wide = block_false_dependence_graph(fn.entry, wide_issue())
+        assert len(wide.ef_pairs) > len(narrow.ef_pairs)
+        assert narrow.ef_pairs <= wide.ef_pairs
+
+    def test_ef_et_partition_all_pairs(self):
+        """E_t and E_f partition the unordered pairs (Lemma 1's setup)."""
+        fn = example2()
+        fdg = block_false_dependence_graph(fn.entry, example2_machine_model())
+        n = len(fn.entry.instructions)
+        assert len(fdg.et_pairs) + len(fdg.ef_pairs) == n * (n - 1) // 2
+        assert not (fdg.et_pairs & fdg.ef_pairs)

@@ -1,0 +1,156 @@
+"""Tests for the frontend lexer and parser."""
+
+import pytest
+
+from repro.frontend.ast import (
+    Assign,
+    Binary,
+    FloatLiteral,
+    If,
+    IndexRef,
+    InputDecl,
+    IntLiteral,
+    Output,
+    Unary,
+    VarRef,
+    While,
+)
+from repro.frontend.lexer import ParseError, TokenKind, tokenize
+from repro.frontend.parser import parse_source
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("x = a + 42;")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            TokenKind.IDENT, TokenKind.OP, TokenKind.IDENT,
+            TokenKind.OP, TokenKind.INT, TokenKind.PUNCT, TokenKind.EOF,
+        ]
+
+    def test_keywords_recognized(self):
+        tokens = tokenize("input if else while output")
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_float_literals(self):
+        tokens = tokenize("3.5f 2.0 7f")
+        assert [t.kind for t in tokens[:-1]] == [TokenKind.FLOAT] * 3
+
+    def test_maximal_munch_operators(self):
+        tokens = tokenize("a <= b << c == d")
+        ops = [t.text for t in tokens if t.kind is TokenKind.OP]
+        assert ops == ["<=", "<<", "=="]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // line comment\n/* block */ b")
+        idents = [t.text for t in tokens if t.kind is TokenKind.IDENT]
+        assert idents == ["a", "b"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a $ b")
+
+
+class TestParserExpressions:
+    def parse_expr(self, text):
+        program = parse_source("x = {};".format(text))
+        return program.statements[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self.parse_expr("a + b * c")
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = self.parse_expr("(a + b) * c")
+        assert expr.op == "*"
+        assert isinstance(expr.left, Binary) and expr.left.op == "+"
+
+    def test_left_associativity(self):
+        expr = self.parse_expr("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, Binary)
+        assert isinstance(expr.right, VarRef)
+
+    def test_comparison_lower_than_arith(self):
+        expr = self.parse_expr("a + b < c * d")
+        assert expr.op == "<"
+
+    def test_logical_lowest(self):
+        expr = self.parse_expr("a < b && c > d")
+        assert expr.op == "&&"
+
+    def test_unary(self):
+        expr = self.parse_expr("-a * !b")
+        assert expr.op == "*"
+        assert isinstance(expr.left, Unary) and expr.left.op == "-"
+        assert isinstance(expr.right, Unary) and expr.right.op == "!"
+
+    def test_index_expression(self):
+        expr = self.parse_expr("a[i + 1]")
+        assert isinstance(expr, IndexRef)
+        assert isinstance(expr.index, Binary)
+
+    def test_literals(self):
+        assert self.parse_expr("42") == IntLiteral(42)
+        assert self.parse_expr("2.5f") == FloatLiteral(2.5)
+
+
+class TestParserStatements:
+    def test_input_output(self):
+        program = parse_source("input a, b; output a;")
+        assert program.statements[0] == InputDecl(("a", "b"))
+        assert program.statements[1] == Output(("a",))
+
+    def test_if_else(self):
+        program = parse_source(
+            "input a; if (a) { x = 1; } else { x = 2; } output x;"
+        )
+        stmt = program.statements[1]
+        assert isinstance(stmt, If)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_if_without_else(self):
+        program = parse_source("input a; x = 0; if (a) { x = 1; }")
+        assert program.statements[2].else_body == ()
+
+    def test_while(self):
+        program = parse_source("i = 0; while (i < 3) { i = i + 1; }")
+        stmt = program.statements[1]
+        assert isinstance(stmt, While)
+        assert isinstance(stmt.condition, Binary)
+
+    def test_indexed_assignment(self):
+        program = parse_source("input v; a[2] = v;")
+        stmt = program.statements[1]
+        assert isinstance(stmt.target, IndexRef)
+
+    def test_nested_blocks(self):
+        program = parse_source(
+            "input a; x = 0;"
+            "if (a) { if (a > 1) { x = 2; } else { x = 1; } } else { x = 3; }"
+        )
+        outer = program.statements[2]
+        assert isinstance(outer.then_body[0], If)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_source("x = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_source("if (a) { x = 1;")
+
+    def test_garbage_statement(self):
+        with pytest.raises(ParseError):
+            parse_source("else { }")
+
+    def test_error_mentions_line(self):
+        with pytest.raises(ParseError) as err:
+            parse_source("x = 1;\ny = ;")
+        assert "line 2" in str(err.value)

@@ -1,0 +1,192 @@
+"""Tests for lowering: AST → symbolic-register IR, checked both
+structurally and by execution."""
+
+import pytest
+
+from repro.analysis import build_webs, natural_loops
+from repro.core import PinterAllocator
+from repro.frontend import LoweringError, compile_source
+from repro.ir import equivalent, run_function, verify_function
+from repro.machine.presets import two_unit_superscalar
+
+
+class TestStraightLine:
+    def test_arithmetic_program(self):
+        fn = compile_source("input a, b; x = a * b + 3; output x;")
+        result = run_function(fn, {"a": 6, "b": 7})
+        assert result.live_out_values == (45,)
+
+    def test_one_register_per_value(self):
+        fn = compile_source("input a; x = a + 1; y = x + 1; output y;")
+        defs = [str(i.dest) for i in fn.entry if i.dests]
+        assert len(defs) == len(set(defs))  # no redefinition
+
+    def test_float_tagging_selects_fp_unit(self):
+        from repro.ir.opcodes import UnitKind
+
+        fn = compile_source("input a; x = a * 2.0f; output x;")
+        units = [i.unit for i in fn.entry if i.dests]
+        assert UnitKind.FLOAT in units
+
+    def test_int_stays_fixed(self):
+        from repro.ir.opcodes import UnitKind
+
+        fn = compile_source("input a; x = a * 2; output x;")
+        assert all(
+            i.unit is not UnitKind.FLOAT for i in fn.entry
+        )
+
+    def test_comparisons(self):
+        fn = compile_source("input a, b; x = a < b; y = a == b; output x, y;")
+        assert run_function(fn, {"a": 1, "b": 2}).live_out_values == (1, 0)
+        assert run_function(fn, {"a": 2, "b": 2}).live_out_values == (0, 1)
+
+    def test_unary_ops(self):
+        fn = compile_source("input a; x = -a; y = !a; output x, y;")
+        result = run_function(fn, {"a": 5})
+        assert result.live_out_values[1] == 0
+        fn2 = compile_source("input a; y = !a; output y;")
+        assert run_function(fn2, {"a": 0}).live_out_values == (1,)
+
+    def test_modulo(self):
+        fn = compile_source("input a; x = a % 7; output x;")
+        assert run_function(fn, {"a": 23}).live_out_values == (2,)
+
+    def test_indexed_load_store(self):
+        fn = compile_source("input v; a[3] = v; x = a[3]; output x;")
+        assert run_function(fn, {"v": 99}).live_out_values == (99,)
+
+    def test_undefined_variable(self):
+        with pytest.raises(LoweringError):
+            compile_source("x = ghost + 1;")
+
+    def test_output_undefined(self):
+        with pytest.raises(LoweringError):
+            compile_source("output ghost;")
+
+
+class TestIfLowering:
+    SRC = "input a; if (a > 10) { z = a - 10; } else { z = a + 1; } output z;"
+
+    def test_diamond_shape(self):
+        fn = compile_source(self.SRC)
+        assert len(fn) == 4  # entry, then, else, join
+        verify_function(fn)
+
+    def test_both_paths_execute_correctly(self):
+        fn = compile_source(self.SRC)
+        assert run_function(fn, {"a": 15}).live_out_values == (5,)
+        assert run_function(fn, {"a": 3}).live_out_values == (4,)
+
+    def test_join_register_forms_web(self):
+        """The Figure 6 situation arises naturally from lowering."""
+        fn = compile_source(self.SRC)
+        webs = build_webs(fn)
+        merged = [w for w in webs if len(w.definitions) == 2]
+        assert len(merged) == 1
+        assert str(merged[0].register).startswith("z.j")
+
+    def test_if_without_else_copies_old_value(self):
+        fn = compile_source(
+            "input a; z = 0; if (a) { z = 1; } output z;"
+        )
+        assert run_function(fn, {"a": 1}).live_out_values == (1,)
+        assert run_function(fn, {"a": 0}).live_out_values == (0,)
+
+    def test_variable_not_on_every_path(self):
+        with pytest.raises(LoweringError):
+            compile_source("input a; if (a) { z = 1; } output z;")
+
+    def test_nested_ifs(self):
+        fn = compile_source(
+            "input a;"
+            "if (a > 10) { if (a > 20) { z = 3; } else { z = 2; } }"
+            "else { z = 1; }"
+            "output z;"
+        )
+        assert run_function(fn, {"a": 25}).live_out_values == (3,)
+        assert run_function(fn, {"a": 15}).live_out_values == (2,)
+        assert run_function(fn, {"a": 5}).live_out_values == (1,)
+
+
+class TestWhileLowering:
+    SRC = (
+        "input n; s = 0; i = 0;"
+        "while (i < n) { s = s + i; i = i + 1; }"
+        "output s;"
+    )
+
+    def test_loop_structure(self):
+        fn = compile_source(self.SRC)
+        loops = natural_loops(fn)
+        assert len(loops) == 1
+        verify_function(fn)
+
+    def test_execution(self):
+        fn = compile_source(self.SRC)
+        assert run_function(fn, {"n": 5}).live_out_values == (10,)
+        assert run_function(fn, {"n": 0}).live_out_values == (0,)
+
+    def test_loop_carried_web(self):
+        fn = compile_source(self.SRC)
+        webs = build_webs(fn)
+        loop_webs = [w for w in webs if ".l" in str(w.register)]
+        assert any(len(w.definitions) == 2 for w in loop_webs)
+
+    def test_nested_loop(self):
+        fn = compile_source(
+            "input n; total = 0; i = 0;"
+            "while (i < n) {"
+            "  j = 0;"
+            "  while (j < n) { total = total + 1; j = j + 1; }"
+            "  i = i + 1;"
+            "}"
+            "output total;"
+        )
+        assert run_function(fn, {"n": 3}).live_out_values == (9,)
+        assert len(natural_loops(fn)) == 2
+
+
+class TestCompiledProgramsThroughAllocator:
+    @pytest.mark.parametrize("registers", [4, 8])
+    def test_allocation_preserves_semantics(self, registers):
+        src = (
+            "input a, b;"
+            "x = a * b; y = x + a; z = x - b;"
+            "if (y > z) { w = y; } else { w = z; }"
+            "output w;"
+        )
+        fn = compile_source(src)
+        machine = two_unit_superscalar()
+        outcome = PinterAllocator(machine, num_registers=registers).run(fn)
+        for mem in ({"a": 3, "b": 4}, {"a": 10, "b": 1}):
+            assert equivalent(fn, outcome.allocated_function, initial_memory=mem)
+
+    def test_loop_program_allocates_cleanly(self):
+        fn = compile_source(
+            "input a, n; s = 0; i = 0;"
+            "while (i < n) { s = s + a * i; i = i + 1; }"
+            "output s;"
+        )
+        machine = two_unit_superscalar()
+        outcome = PinterAllocator(machine, num_registers=8).run(fn)
+        assert outcome.false_dependences == []
+        assert equivalent(
+            fn, outcome.allocated_function, initial_memory={"a": 7, "n": 5}
+        )
+
+    def test_spill_costs_respect_nesting(self):
+        """Values used inside the loop cost 10x to spill: the loop
+        accumulator should survive spilling of loop-invariant values."""
+        from repro.analysis import build_webs, loop_nesting_depth
+        from repro.regalloc import make_cost_function
+
+        fn = compile_source(
+            "input a, n; s = 0; i = 0;"
+            "while (i < n) { s = s + a; i = i + 1; }"
+            "output s;"
+        )
+        cost = make_cost_function(fn)
+        webs = {str(w.register): w for w in build_webs(fn)}
+        # the loop-carried counter is touched in the loop body & header
+        assert cost(webs["i.l1"]) > cost(webs["s1"])  # s1 = load a

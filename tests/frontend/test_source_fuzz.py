@@ -1,0 +1,113 @@
+"""Whole-toolchain fuzzing: random source text → lexer → parser →
+lowering → optimizer → combined allocator → interpreter equivalence."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import PinterAllocator
+from repro.frontend import compile_source
+from repro.ir import run_function, verify_function
+from repro.machine.presets import two_unit_superscalar
+from repro.opt import optimize
+from repro.utils.errors import AllocationError
+from repro.workloads.source_fuzz import (
+    SourceFuzzConfig,
+    random_input_memory,
+    random_source,
+)
+
+MACHINE = two_unit_superscalar()
+
+configs = st.builds(
+    SourceFuzzConfig,
+    num_inputs=st.integers(min_value=1, max_value=4),
+    num_statements=st.integers(min_value=2, max_value=14),
+    if_probability=st.sampled_from([0.0, 0.25, 0.5]),
+    while_probability=st.sampled_from([0.0, 0.2]),
+    float_probability=st.sampled_from([0.0, 0.3]),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+
+
+class TestGeneratorBasics:
+    def test_deterministic(self):
+        cfg = SourceFuzzConfig(seed=11)
+        assert random_source(cfg) == random_source(cfg)
+
+    def test_different_seeds_differ(self):
+        assert random_source(SourceFuzzConfig(seed=1)) != random_source(
+            SourceFuzzConfig(seed=2)
+        )
+
+    def test_has_io(self):
+        src = random_source(SourceFuzzConfig(seed=3))
+        assert src.startswith("input ")
+        assert "output " in src
+
+    def test_memory_binding_covers_inputs(self):
+        cfg = SourceFuzzConfig(seed=4, num_inputs=3)
+        memory = random_input_memory(cfg)
+        assert set(memory) == {"in0", "in1", "in2"}
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=configs)
+def test_random_source_compiles_and_verifies(config):
+    fn = compile_source(random_source(config))
+    verify_function(fn)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=configs)
+def test_full_toolchain_equivalence(config):
+    """The crown property: optimizer + combined allocator (with
+    coalescing) never change what a random source program computes."""
+    src = random_source(config)
+    fn = compile_source(src)
+    reference = fn.copy()
+    optimize(fn)
+    try:
+        outcome = PinterAllocator(
+            MACHINE, num_registers=12, coalesce=True
+        ).run(fn)
+    except AllocationError:
+        return  # irreducible pressure is legal on generator corner cases
+    for case in range(3):
+        memory = random_input_memory(config, case)
+        expected = run_function(reference, dict(memory)).live_out_values
+        actual = run_function(
+            outcome.allocated_function, dict(memory)
+        ).live_out_values
+        assert actual == expected
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(config=configs, registers=st.integers(min_value=5, max_value=9))
+def test_toolchain_under_pressure(config, registers):
+    """Same property at tight register counts (spilling engaged)."""
+    src = random_source(config)
+    fn = compile_source(src)
+    reference = fn.copy()
+    try:
+        outcome = PinterAllocator(MACHINE, num_registers=registers).run(fn)
+    except AllocationError:
+        return
+    memory = random_input_memory(config, 0)
+    expected = run_function(reference, dict(memory)).live_out_values
+    actual = run_function(
+        outcome.allocated_function, dict(memory)
+    ).live_out_values
+    assert actual == expected

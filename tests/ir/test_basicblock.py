@@ -1,0 +1,101 @@
+"""Unit tests for repro.ir.basicblock."""
+
+import pytest
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import BlockBuilder
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Label, VirtualRegister
+from repro.utils.errors import IRError
+
+
+def sample_block():
+    b = BlockBuilder("bb")
+    x = b.load("x")
+    y = b.add(x, 1)
+    b.store(y, "out")
+    return b.block(), (x, y)
+
+
+class TestAppend:
+    def test_append_after_terminator_raises(self):
+        block = BasicBlock("b")
+        block.append(Instruction(Opcode.RET, (), ()))
+        with pytest.raises(IRError):
+            block.append(
+                Instruction(Opcode.ADD, (VirtualRegister("a"),),
+                            (VirtualRegister("b"), VirtualRegister("c")))
+            )
+
+    def test_branch_can_follow_body(self):
+        block, _ = sample_block()
+        block.append(Instruction(Opcode.BR, (), (), target=Label("next")))
+        assert block.terminator is not None
+
+
+class TestTerminator:
+    def test_terminator_none_without_branch(self):
+        block, _ = sample_block()
+        assert block.terminator is None
+        assert block.body() == block.instructions
+
+    def test_terminator_detected(self):
+        block, _ = sample_block()
+        block.append(Instruction(Opcode.RET, (), ()))
+        assert block.terminator.opcode is Opcode.RET
+        assert len(block.body()) == len(block) - 1
+
+
+class TestReorder:
+    def test_valid_permutation(self):
+        block, _ = sample_block()
+        new_order = list(reversed(block.instructions))
+        # reversing is illegal only if a branch lands early; none here
+        block.reorder(new_order)
+        assert block.instructions == new_order
+
+    def test_non_permutation_raises(self):
+        block, _ = sample_block()
+        with pytest.raises(IRError):
+            block.reorder(block.instructions[:-1])
+
+    def test_branch_must_stay_last(self):
+        block, _ = sample_block()
+        ret = Instruction(Opcode.RET, (), ())
+        block.append(ret)
+        bad = [ret] + block.instructions[:-1]
+        with pytest.raises(IRError):
+            block.reorder(bad)
+
+
+class TestQueries:
+    def test_defined_and_used_registers(self):
+        block, (x, y) = sample_block()
+        assert block.defined_registers() == [x, y]
+        assert x in block.used_registers()
+        assert y in block.used_registers()
+
+    def test_index_of(self):
+        block, _ = sample_block()
+        for idx, instr in enumerate(block):
+            assert block.index_of(instr) == idx
+
+    def test_index_of_missing_raises(self):
+        block, _ = sample_block()
+        stranger = Instruction(Opcode.RET, (), ())
+        with pytest.raises(IRError):
+            block.index_of(stranger)
+
+    def test_len_iter(self):
+        block, _ = sample_block()
+        assert len(block) == 3
+        assert len(list(block)) == 3
+
+    def test_equality_by_name(self):
+        assert BasicBlock("x") == BasicBlock("x")
+        assert BasicBlock("x") != BasicBlock("y")
+
+    def test_str_contains_name(self):
+        block, _ = sample_block()
+        assert "bb" in str(block)

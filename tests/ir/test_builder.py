@@ -1,0 +1,125 @@
+"""Unit tests for repro.ir.builder."""
+
+from repro.ir.builder import BlockBuilder, FunctionBuilder
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Immediate, MemorySymbol, VirtualRegister
+
+
+class TestBlockBuilder:
+    def test_auto_naming_sequence(self):
+        b = BlockBuilder()
+        s1 = b.load("x")
+        s2 = b.add(s1, 1)
+        assert str(s1) == "s1"
+        assert str(s2) == "s2"
+
+    def test_explicit_name_reserves_counter(self):
+        b = BlockBuilder()
+        b.load("x", name="s5")
+        nxt = b.load("y")
+        assert str(nxt) == "s6"
+
+    def test_int_coerces_to_immediate(self):
+        b = BlockBuilder()
+        s1 = b.load("x")
+        b.add(s1, 7)
+        assert b.instructions[-1].srcs[1] == Immediate(7)
+
+    def test_str_coerces_to_symbol(self):
+        b = BlockBuilder()
+        b.load("sym")
+        assert b.instructions[0].srcs[0] == MemorySymbol("sym")
+
+    def test_store_has_no_dest(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        result = b.store(x, "out")
+        assert result is None
+        assert b.instructions[-1].opcode is Opcode.STORE
+
+    def test_load_indexed(self):
+        b = BlockBuilder()
+        i = b.loadi(0)
+        a = b.load_indexed("arr", i)
+        instr = b.instructions[-1]
+        assert instr.opcode is Opcode.LOAD
+        assert instr.srcs == (MemorySymbol("arr"), i)
+
+    def test_madd_three_sources(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        r = b.madd(x, 5, x)
+        assert b.instructions[-1].srcs == (x, Immediate(5), x)
+
+    def test_all_arith_helpers_emit(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.load("y")
+        for helper in (b.add, b.sub, b.mul, b.div, b.and_, b.or_, b.xor,
+                       b.shl, b.shr, b.cmp, b.fadd, b.fsub, b.fmul, b.fdiv):
+            reg = helper(x, y)
+            assert reg is not None
+        b.mov(x)
+        b.fma(x, y, x)
+        b.use(y)
+        assert len(b.instructions) == 2 + 14 + 3
+
+    def test_branches(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        b.cbr(x, "elsewhere")
+        assert b.instructions[-1].target.name == "elsewhere"
+
+    def test_function_wraps_single_block(self):
+        b = BlockBuilder("myblock")
+        x = b.load("x")
+        fn = b.function("f", live_out=[x])
+        assert fn.is_single_block()
+        assert fn.entry.name == "myblock"
+        assert fn.live_out == (x,)
+
+
+class TestFunctionBuilder:
+    def test_shared_name_counter_across_blocks(self):
+        fb = FunctionBuilder("f")
+        a = fb.block("a", entry=True)
+        b = fb.block("b")
+        ra = a.load("x")
+        rb = b.load("y")
+        assert str(ra) != str(rb)
+
+    def test_block_is_idempotent(self):
+        fb = FunctionBuilder("f")
+        first = fb.block("a")
+        again = fb.block("a")
+        assert first is again
+
+    def test_explicit_edges(self):
+        fb = FunctionBuilder("f")
+        a = fb.block("a", entry=True)
+        a.br("b")
+        fb.block("b").ret()
+        fb.edge("a", "b")
+        fn = fb.function()
+        assert [x.name for x in fn.successors(fn.block("a"))] == ["b"]
+
+    def test_auto_edges_from_branches(self):
+        fb = FunctionBuilder("f")
+        a = fb.block("a", entry=True)
+        cond = a.load("c")
+        a.cbr(cond, "c_blk")
+        fb.block("b").ret()
+        fb.block("c_blk").ret()
+        fb.auto_edges()
+        fn = fb.function()
+        succ = {x.name for x in fn.successors(fn.block("a"))}
+        assert succ == {"b", "c_blk"}  # branch target + fall-through
+
+    def test_duplicate_edges_collapse(self):
+        fb = FunctionBuilder("f")
+        fb.block("a", entry=True)
+        fb.block("b")
+        fb.edge("a", "b")
+        fb.edge("a", "b")
+        fn = fb.function()
+        assert len(fn.successors(fn.block("a"))) == 1

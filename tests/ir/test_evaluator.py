@@ -1,0 +1,165 @@
+"""Unit tests for the concrete interpreter."""
+
+import pytest
+
+from repro.ir.builder import BlockBuilder, FunctionBuilder
+from repro.ir.evaluator import (
+    MachineState,
+    equivalent,
+    run_function,
+    seed_live_in_registers,
+)
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import VirtualRegister
+from repro.utils.errors import IRError
+from repro.workloads import example1, figure6_diamond
+
+
+class TestStraightLine:
+    def test_arithmetic(self):
+        b = BlockBuilder()
+        x = b.loadi(6)
+        y = b.loadi(7)
+        z = b.mul(x, y)
+        fn = b.function("f", live_out=[z])
+        result = run_function(fn)
+        assert result.live_out_values == (42,)
+
+    def test_memory_round_trip(self):
+        b = BlockBuilder()
+        x = b.loadi(99)
+        b.store(x, "cell")
+        y = b.load("cell")
+        fn = b.function("f", live_out=[y])
+        result = run_function(fn)
+        assert result.live_out_values == (99,)
+        assert result.state.memory["cell"] == 99
+
+    def test_initial_memory(self):
+        b = BlockBuilder()
+        x = b.load("input")
+        y = b.add(x, 1)
+        fn = b.function("f", live_out=[y])
+        result = run_function(fn, initial_memory={"input": 10})
+        assert result.live_out_values == (11,)
+
+    def test_indexed_load(self):
+        b = BlockBuilder()
+        i = b.loadi(3)
+        v = b.load_indexed("arr", i)
+        fn = b.function("f", live_out=[v])
+        result = run_function(fn, initial_memory={("arr", 3): 55})
+        assert result.live_out_values == (55,)
+
+    def test_madd(self):
+        b = BlockBuilder()
+        x = b.loadi(4)
+        r = b.madd(x, 5, x)
+        fn = b.function("f", live_out=[r])
+        assert run_function(fn).live_out_values == (24,)
+
+    def test_undefined_register_read_raises(self):
+        b = BlockBuilder()
+        # Use a register that is also defined later in the same block —
+        # not live-in, so it gets no seed and the read must fail.
+        ghost = VirtualRegister("g")
+        b.add(ghost, 1)
+        b.emit(Opcode.LOADI, (7,), dest=ghost)
+        fn = b.function("f")
+        with pytest.raises(IRError):
+            run_function(fn)
+
+    def test_div_by_zero_defined(self):
+        b = BlockBuilder()
+        x = b.loadi(10)
+        z = b.loadi(0)
+        q = b.div(x, z)
+        fn = b.function("f", live_out=[q])
+        assert run_function(fn).live_out_values == (0,)
+
+    def test_call_defines_dests(self):
+        b = BlockBuilder()
+        r = b.call()
+        fn = b.function("f", live_out=[r])
+        run_function(fn)  # no raise; value is arbitrary but defined
+
+
+class TestControlFlow:
+    def test_cbr_taken_and_fallthrough(self):
+        def build():
+            fb = FunctionBuilder("f")
+            e = fb.block("entry", entry=True)
+            c = e.load("cond")
+            e.cbr(c, "yes")
+            no = fb.block("no")
+            vn = no.loadi(0, name="out_no")
+            no.br("end")
+            yes = fb.block("yes")
+            vy = yes.loadi(1, name="out_yes")
+            yes.br("end")
+            end = fb.block("end")
+            end.ret()
+            fb.edge("entry", "yes")
+            fb.edge("entry", "no")
+            fb.edge("no", "end")
+            fb.edge("yes", "end")
+            return fb.function()
+
+        taken = run_function(build(), initial_memory={"cond": 1})
+        assert "yes" in taken.blocks_executed
+        assert "no" not in taken.blocks_executed
+        not_taken = run_function(build(), initial_memory={"cond": 0})
+        assert "no" in not_taken.blocks_executed
+
+    def test_figure6_both_paths(self):
+        fn = figure6_diamond()
+        left = run_function(fn, initial_memory={"p": 1})
+        right = run_function(fn, initial_memory={"p": 0})
+        # result = x + 0; left sets x=2, right sets x=3.
+        assert left.live_out_values == (2,)
+        assert right.live_out_values == (3,)
+
+    def test_runaway_loop_guard(self):
+        fb = FunctionBuilder("f")
+        a = fb.block("a", entry=True)
+        a.br("a")
+        fb.edge("a", "a")
+        with pytest.raises(IRError):
+            run_function(fb.function(), max_blocks=10)
+
+
+class TestEquivalence:
+    def test_identical_programs(self):
+        assert equivalent(example1(), example1())
+
+    def test_renamed_program_equivalent(self):
+        fn = example1()
+        from repro.workloads import apply_name_mapping, example1_good_mapping
+
+        assert equivalent(fn, apply_name_mapping(fn, example1_good_mapping()))
+
+    def test_different_programs_not_equivalent(self):
+        b1 = BlockBuilder()
+        x = b1.loadi(1)
+        fn1 = b1.function("a", live_out=[x])
+        b2 = BlockBuilder()
+        y = b2.loadi(2)
+        fn2 = b2.function("b", live_out=[y])
+        assert not equivalent(fn1, fn2)
+
+    def test_spill_slots_ignored(self):
+        b1 = BlockBuilder()
+        x = b1.loadi(5)
+        fn1 = b1.function("a", live_out=[x])
+        b2 = BlockBuilder()
+        y = b2.loadi(5)
+        b2.store(y, "spill.tmp")
+        z = b2.load("spill.tmp")
+        fn2 = b2.function("b", live_out=[z])
+        assert equivalent(fn1, fn2)
+
+    def test_live_in_seeding_consistent(self):
+        fn = example1()  # uses live-in register i
+        seeds = seed_live_in_registers(fn)
+        assert VirtualRegister("i") in seeds
+        assert equivalent(fn, fn.copy())

@@ -1,0 +1,150 @@
+"""Unit tests for repro.ir.function."""
+
+import pytest
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import BlockBuilder, FunctionBuilder
+from repro.ir.function import Function, single_block_function
+from repro.ir.operands import PhysicalRegister, VirtualRegister
+from repro.utils.errors import IRError
+
+
+def diamond():
+    fb = FunctionBuilder("d")
+    e = fb.block("entry", entry=True)
+    c = e.load("c")
+    e.cbr(c, "left")
+    l = fb.block("left")
+    a = l.loadi(1)
+    l.br("join")
+    r = fb.block("right")
+    b = r.loadi(2)
+    r.br("join")
+    j = fb.block("join")
+    j.ret()
+    for s, d in [("entry", "left"), ("entry", "right"), ("left", "join"), ("right", "join")]:
+        fb.edge(s, d)
+    return fb.function()
+
+
+class TestConstruction:
+    def test_duplicate_block_raises(self):
+        fn = Function("f")
+        fn.new_block("a")
+        with pytest.raises(IRError):
+            fn.new_block("a")
+
+    def test_entry_defaults_to_first(self):
+        fn = Function("f")
+        fn.new_block("first")
+        fn.new_block("second")
+        assert fn.entry.name == "first"
+
+    def test_explicit_entry(self):
+        fn = Function("f")
+        fn.new_block("a")
+        fn.new_block("b", entry=True)
+        assert fn.entry.name == "b"
+
+    def test_edge_to_unknown_block_raises(self):
+        fn = Function("f")
+        fn.new_block("a")
+        with pytest.raises(IRError):
+            fn.add_edge("a", "nope")
+        with pytest.raises(IRError):
+            fn.add_edge("nope", "a")
+
+    def test_duplicate_edge_ignored(self):
+        fn = Function("f")
+        fn.new_block("a")
+        fn.new_block("b")
+        fn.add_edge("a", "b")
+        fn.add_edge("a", "b")
+        assert len(fn.successors(fn.block("a"))) == 1
+
+    def test_empty_function_entry_raises(self):
+        with pytest.raises(IRError):
+            Function("f").entry
+
+
+class TestCfgQueries:
+    def test_successors_predecessors(self):
+        fn = diamond()
+        entry = fn.block("entry")
+        join = fn.block("join")
+        assert {b.name for b in fn.successors(entry)} == {"left", "right"}
+        assert {b.name for b in fn.predecessors(join)} == {"left", "right"}
+
+    def test_exit_blocks(self):
+        fn = diamond()
+        assert [b.name for b in fn.exit_blocks()] == ["join"]
+
+    def test_instructions_layout_order(self):
+        fn = diamond()
+        names = [b.name for b in fn.blocks()]
+        assert names == ["entry", "left", "right", "join"]
+        instrs = list(fn.instructions())
+        assert len(instrs) == sum(len(b) for b in fn.blocks())
+
+    def test_virtual_registers_first_appearance(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.add(x, x)
+        fn = b.function()
+        assert fn.virtual_registers() == [x, y]
+
+    def test_is_single_block(self):
+        assert single_block_function("f", []).is_single_block()
+        assert not diamond().is_single_block()
+
+
+class TestTransformations:
+    def test_copy_preserves_structure_and_uids(self):
+        fn = diamond()
+        clone = fn.copy()
+        assert clone.block_names() == fn.block_names()
+        for a, b in zip(fn.instructions(), clone.instructions()):
+            assert a.uid == b.uid
+            assert a is not b
+
+    def test_rewrite_registers(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.add(x, x)
+        fn = b.function("f", live_out=[y])
+        mapping = {x: PhysicalRegister(1), y: PhysicalRegister(2)}
+        out = fn.rewrite_registers(mapping)
+        instrs = list(out.instructions())
+        assert instrs[0].dest == PhysicalRegister(1)
+        assert instrs[1].uses() == (PhysicalRegister(1), PhysicalRegister(1))
+        assert out.live_out == (PhysicalRegister(2),)
+        # original untouched
+        assert list(fn.instructions())[0].dest == x
+
+    def test_map_instructions_keeps_edges(self):
+        fn = diamond()
+        out = fn.map_instructions(lambda i: i)
+        assert {b.name for b in out.successors(out.block("entry"))} == {
+            "left",
+            "right",
+        }
+        assert out.entry.name == "entry"
+
+    def test_remove_edge(self):
+        fn = diamond()
+        fn.remove_edge("entry", "left")
+        assert {b.name for b in fn.successors(fn.block("entry"))} == {"right"}
+
+
+class TestDisplay:
+    def test_str_lists_blocks(self):
+        text = str(diamond())
+        for name in ("entry", "left", "right", "join"):
+            assert name in text
+
+    def test_single_block_function_helper(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        fn = single_block_function("g", b.instructions, live_out=(x,))
+        assert fn.is_single_block()
+        assert fn.live_out == (x,)

@@ -1,0 +1,132 @@
+"""Unit tests for repro.ir.instructions."""
+
+import pytest
+
+from repro.ir.instructions import Instruction, flow_sources
+from repro.ir.opcodes import Opcode, UnitKind
+from repro.ir.operands import (
+    Immediate,
+    Label,
+    MemorySymbol,
+    PhysicalRegister,
+    VirtualRegister,
+)
+from repro.utils.errors import IRError
+
+S1 = VirtualRegister("s1")
+S2 = VirtualRegister("s2")
+S3 = VirtualRegister("s3")
+
+
+def add(dest, a, b):
+    return Instruction(Opcode.ADD, (dest,), (a, b))
+
+
+class TestConstruction:
+    def test_simple_add(self):
+        instr = add(S3, S1, S2)
+        assert instr.dest == S3
+        assert instr.uses() == (S1, S2)
+        assert instr.defs() == (S3,)
+
+    def test_missing_dest_raises(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.ADD, (), (S1, S2))
+
+    def test_dest_on_destless_opcode_raises(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.STORE, (S1,), (S2, MemorySymbol("x")))
+
+    def test_branch_without_target_raises(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.BR, (), ())
+
+    def test_ret_needs_no_target(self):
+        Instruction(Opcode.RET, (), ())  # no raise
+
+    def test_non_register_dest_raises(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.ADD, (Immediate(1),), (S1, S2))
+
+    def test_multi_def_call(self):
+        call = Instruction(Opcode.CALL, (S1, S2), ())
+        assert call.defs() == (S1, S2)
+        with pytest.raises(IRError):
+            call.dest  # ambiguous
+
+
+class TestOperandViews:
+    def test_uses_skip_immediates_and_symbols(self):
+        instr = Instruction(
+            Opcode.MADD, (S3,), (S1, Immediate(5), S2)
+        )
+        assert instr.uses() == (S1, S2)
+
+    def test_memory_symbols(self):
+        load = Instruction(
+            Opcode.LOAD, (S1,), (MemorySymbol("a"), S2)
+        )
+        assert load.memory_symbols() == (MemorySymbol("a"),)
+        assert load.is_memory_access
+
+    def test_unit_and_latency_proxy_opcode(self):
+        instr = add(S3, S1, S2)
+        assert instr.unit is UnitKind.FIXED
+        assert instr.latency == Opcode.ADD.latency
+
+
+class TestIdentity:
+    def test_uids_are_unique(self):
+        a = add(S1, S2, S3)
+        b = add(S1, S2, S3)
+        assert a.uid != b.uid
+        assert a != b
+
+    def test_hash_by_uid(self):
+        a = add(S1, S2, S3)
+        assert hash(a) == hash(a.uid)
+
+    def test_copy_keeps_uid(self):
+        a = add(S1, S2, S3)
+        assert a.copy().uid == a.uid
+        assert a.copy() == a
+
+    def test_copy_fresh_uid(self):
+        a = add(S1, S2, S3)
+        assert a.copy(fresh_uid=True).uid != a.uid
+
+
+class TestRewriting:
+    def test_rewrite_preserves_uid(self):
+        a = add(S3, S1, S2)
+        mapping = {S1: PhysicalRegister(1), S3: PhysicalRegister(2)}
+        b = a.rewrite_registers(mapping)
+        assert b.uid == a.uid
+        assert b.dest == PhysicalRegister(2)
+        assert b.uses() == (PhysicalRegister(1), S2)
+
+    def test_rewrite_leaves_immediates(self):
+        a = Instruction(Opcode.MADD, (S3,), (S1, Immediate(5), S2))
+        b = a.rewrite_registers({S1: PhysicalRegister(1)})
+        assert b.srcs[1] == Immediate(5)
+
+    def test_rewrite_keeps_target(self):
+        a = Instruction(Opcode.CBR, (), (S1,), target=Label("exit"))
+        b = a.rewrite_registers({S1: PhysicalRegister(1)})
+        assert b.target == Label("exit")
+
+
+class TestDisplay:
+    def test_str_with_dest(self):
+        text = str(add(S3, S1, S2))
+        assert "s3" in text and "add" in text
+
+    def test_str_store(self):
+        store = Instruction(Opcode.STORE, (), (S1, MemorySymbol("x")))
+        assert "store" in str(store)
+        assert "@x" in str(store)
+
+
+def test_flow_sources():
+    instrs = [add(S3, S1, S2), add(S1, S3, S3)]
+    assert flow_sources(instrs) == (S1, S2, S3)

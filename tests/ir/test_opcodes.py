@@ -1,0 +1,71 @@
+"""Unit tests for repro.ir.opcodes."""
+
+import pytest
+
+from repro.ir.opcodes import (
+    MNEMONIC_TO_OPCODE,
+    Opcode,
+    UnitKind,
+    opcode_from_mnemonic,
+)
+
+
+class TestOpcodeMetadata:
+    def test_every_opcode_has_unique_mnemonic(self):
+        mnemonics = [op.mnemonic for op in Opcode]
+        assert len(mnemonics) == len(set(mnemonics))
+
+    def test_mnemonic_lookup_roundtrip(self):
+        for op in Opcode:
+            assert opcode_from_mnemonic(op.mnemonic) is op
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(KeyError):
+            opcode_from_mnemonic("frobnicate")
+
+    def test_unit_assignment(self):
+        assert Opcode.ADD.unit is UnitKind.FIXED
+        assert Opcode.FMUL.unit is UnitKind.FLOAT
+        assert Opcode.LOAD.unit is UnitKind.MEMORY
+        assert Opcode.BR.unit is UnitKind.BRANCH
+        assert Opcode.MADD.unit is UnitKind.FIXED
+
+    def test_load_store_flags(self):
+        assert Opcode.LOAD.is_load and not Opcode.LOAD.is_store
+        assert Opcode.FLOAD.is_load
+        assert Opcode.STORE.is_store and not Opcode.STORE.is_load
+        assert Opcode.FSTORE.is_store
+        assert not Opcode.ADD.is_load and not Opcode.ADD.is_store
+
+    def test_branch_flags(self):
+        for op in (Opcode.BR, Opcode.CBR, Opcode.RET):
+            assert op.is_branch
+            assert not op.has_dest
+        assert not Opcode.CALL.is_branch
+        assert Opcode.CALL.is_call
+
+    def test_dest_flags(self):
+        assert Opcode.ADD.has_dest
+        assert not Opcode.STORE.has_dest
+        assert not Opcode.USE.has_dest
+
+    def test_latencies_are_positive(self):
+        for op in Opcode:
+            assert op.latency >= 1
+
+    def test_multicycle_ops(self):
+        assert Opcode.LOAD.latency > 1
+        assert Opcode.FDIV.latency > Opcode.FMUL.latency
+
+    def test_commutativity(self):
+        assert Opcode.ADD.commutative
+        assert Opcode.MUL.commutative
+        assert not Opcode.SUB.commutative
+        assert not Opcode.DIV.commutative
+
+    def test_mnemonic_table_is_complete(self):
+        assert set(MNEMONIC_TO_OPCODE.values()) == set(Opcode)
+
+    def test_repr(self):
+        assert repr(Opcode.ADD) == "Opcode.ADD"
+        assert repr(UnitKind.FIXED) == "UnitKind.FIXED"

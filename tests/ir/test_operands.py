@@ -1,0 +1,60 @@
+"""Unit tests for repro.ir.operands."""
+
+from repro.ir.operands import (
+    Immediate,
+    Label,
+    MemorySymbol,
+    PhysicalRegister,
+    VirtualRegister,
+    is_register,
+)
+
+
+class TestVirtualRegister:
+    def test_equality_by_name(self):
+        assert VirtualRegister("s1") == VirtualRegister("s1")
+        assert VirtualRegister("s1") != VirtualRegister("s2")
+
+    def test_hashable_and_usable_in_sets(self):
+        s = {VirtualRegister("a"), VirtualRegister("a"), VirtualRegister("b")}
+        assert len(s) == 2
+
+    def test_ordering(self):
+        assert VirtualRegister("a") < VirtualRegister("b")
+
+    def test_str(self):
+        assert str(VirtualRegister("s7")) == "s7"
+
+
+class TestPhysicalRegister:
+    def test_str_form(self):
+        assert str(PhysicalRegister(3)) == "r3"
+
+    def test_equality_by_index(self):
+        assert PhysicalRegister(1) == PhysicalRegister(1)
+        assert PhysicalRegister(1) != PhysicalRegister(2)
+
+    def test_distinct_from_virtual(self):
+        assert PhysicalRegister(1) != VirtualRegister("r1")
+
+
+class TestOtherOperands:
+    def test_immediate(self):
+        assert str(Immediate(5)) == "5"
+        assert str(Immediate(-3)) == "-3"
+        assert Immediate(5) == Immediate(5)
+
+    def test_memory_symbol(self):
+        assert str(MemorySymbol("x")) == "@x"
+        assert MemorySymbol("x") == MemorySymbol("x")
+
+    def test_label(self):
+        assert str(Label("exit")) == "exit"
+
+    def test_is_register(self):
+        assert is_register(VirtualRegister("v"))
+        assert is_register(PhysicalRegister(0))
+        assert not is_register(Immediate(1))
+        assert not is_register(MemorySymbol("m"))
+        assert not is_register(Label("l"))
+        assert not is_register("string")

@@ -1,0 +1,145 @@
+"""Round-trip and error tests for the textual IR."""
+
+import pytest
+
+from repro.ir.parser import (
+    parse_block,
+    parse_function,
+    parse_instruction,
+    parse_register,
+)
+from repro.ir.printer import (
+    format_function,
+    format_instruction,
+    side_by_side,
+)
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import (
+    Immediate,
+    MemorySymbol,
+    PhysicalRegister,
+    VirtualRegister,
+)
+from repro.utils.errors import IRError
+from repro.workloads import example1, example2, figure6_diamond
+
+
+class TestParseRegister:
+    def test_physical(self):
+        assert parse_register("r5") == PhysicalRegister(5)
+
+    def test_virtual(self):
+        assert parse_register("s1") == VirtualRegister("s1")
+        assert parse_register("loop.x") == VirtualRegister("loop.x")
+
+    def test_bad_token(self):
+        with pytest.raises(IRError):
+            parse_register("5x!")
+
+
+class TestParseInstruction:
+    def test_simple(self):
+        instr = parse_instruction("s3 = add s1, s2")
+        assert instr.opcode is Opcode.ADD
+        assert instr.dest == VirtualRegister("s3")
+        assert instr.uses() == (VirtualRegister("s1"), VirtualRegister("s2"))
+
+    def test_immediate_and_symbol(self):
+        instr = parse_instruction("s1 = load @arr, s2")
+        assert instr.srcs[0] == MemorySymbol("arr")
+        instr2 = parse_instruction("s2 = madd s1, 5, s1")
+        assert instr2.srcs[1] == Immediate(5)
+
+    def test_negative_immediate(self):
+        instr = parse_instruction("s1 = loadi -42")
+        assert instr.srcs[0] == Immediate(-42)
+
+    def test_branch_with_label(self):
+        instr = parse_instruction("cbr s1, label exit")
+        assert instr.target.name == "exit"
+
+    def test_store(self):
+        instr = parse_instruction("store s1, @out")
+        assert instr.opcode is Opcode.STORE
+        assert not instr.defs()
+
+    def test_comments_stripped(self):
+        instr = parse_instruction("s1 = load @x  ; a comment")
+        assert instr.opcode is Opcode.LOAD
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(IRError):
+            parse_instruction("s1 = bogus s2")
+
+    def test_empty_line(self):
+        with pytest.raises(IRError):
+            parse_instruction("   ")
+
+    def test_multi_def_call(self):
+        instr = parse_instruction("s1, s2 = call")
+        assert instr.defs() == (VirtualRegister("s1"), VirtualRegister("s2"))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "make", [example1, example2, figure6_diamond], ids=["ex1", "ex2", "fig6"]
+    )
+    def test_parse_format_fixpoint(self, make):
+        fn = make()
+        text = format_function(fn)
+        fn2 = parse_function(text)
+        assert format_function(fn2) == text
+
+    def test_round_trip_preserves_live_out(self):
+        fn = example1()
+        fn2 = parse_function(format_function(fn))
+        assert fn2.live_out == fn.live_out
+
+    def test_round_trip_preserves_cfg(self):
+        fn = figure6_diamond()
+        fn2 = parse_function(format_function(fn))
+        for block in fn.blocks():
+            expected = {b.name for b in fn.successors(block)}
+            actual = {b.name for b in fn2.successors(fn2.block(block.name))}
+            assert actual == expected
+
+
+class TestParseFunctionErrors:
+    def test_no_func_header(self):
+        with pytest.raises(IRError):
+            parse_function("s1 = load @x")
+
+    def test_bad_block_header(self):
+        with pytest.raises(IRError):
+            parse_function("func f {\nblock :\n}")
+
+    def test_instruction_error_mentions_line(self):
+        with pytest.raises(IRError) as err:
+            parse_function("func f {\nblock a:\n  s1 = zorp s2\n}")
+        assert "zorp" in str(err.value)
+
+    def test_empty_text(self):
+        with pytest.raises(IRError):
+            parse_function("")
+
+
+class TestParseBlock:
+    def test_bare_instructions(self):
+        block = parse_block("s1 = load @x\ns2 = add s1, s1")
+        assert len(block) == 2
+
+
+class TestSideBySide:
+    def test_two_columns(self):
+        out = side_by_side("a\nbb", "ccc")
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "ccc" in lines[0]
+
+    def test_format_instruction_parseable(self):
+        fn = example1()
+        for instr in fn.instructions():
+            text = format_instruction(instr)
+            reparsed = parse_instruction(text)
+            assert reparsed.opcode == instr.opcode
+            assert reparsed.srcs == instr.srcs

@@ -1,0 +1,106 @@
+"""Unit tests for repro.ir.verifier."""
+
+import pytest
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import BlockBuilder, FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Label, VirtualRegister
+from repro.ir.verifier import check_block, check_function, verify_function
+from repro.utils.errors import IRError
+from repro.workloads import example1, example2, figure6_diamond
+
+
+class TestCheckBlock:
+    def test_clean_block(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        b.add(x, 1)
+        assert check_block(b.block()) == []
+
+    def test_branch_not_last(self):
+        block = BasicBlock("b")
+        block.instructions = [
+            Instruction(Opcode.BR, (), (), target=Label("x")),
+            Instruction(Opcode.RET, (), ()),
+        ]
+        problems = check_block(block)
+        assert any("not the last" in p for p in problems)
+
+    def test_redefinition_in_block(self):
+        x = VirtualRegister("x")
+        block = BasicBlock("b")
+        block.instructions = [
+            Instruction(Opcode.LOADI, (x,), (__import__("repro.ir.operands", fromlist=["Immediate"]).Immediate(1),)),
+            Instruction(Opcode.LOADI, (x,), (__import__("repro.ir.operands", fromlist=["Immediate"]).Immediate(2),)),
+        ]
+        problems = check_block(block)
+        assert any("redefined" in p for p in problems)
+
+
+class TestCheckFunction:
+    @pytest.mark.parametrize(
+        "make", [example1, example2, figure6_diamond], ids=["ex1", "ex2", "fig6"]
+    )
+    def test_paper_examples_are_valid(self, make):
+        verify_function(make())  # no raise
+
+    def test_empty_function(self):
+        problems = check_function(Function("empty"))
+        assert problems
+
+    def test_use_before_def(self):
+        b = BlockBuilder()
+        ghost = VirtualRegister("ghost")
+        b.add(ghost, 1)
+        fn = b.function()
+        problems = check_function(fn)
+        assert any("before any definition" in p for p in problems)
+
+    def test_live_in_suppresses_use_before_def(self):
+        b = BlockBuilder()
+        ghost = VirtualRegister("ghost")
+        b.add(ghost, 1)
+        fn = b.function()
+        assert check_function(fn, live_in=[ghost]) == []
+
+    def test_branch_target_missing_block(self):
+        fn = Function("f")
+        block = fn.new_block("a")
+        block.append(Instruction(Opcode.BR, (), (), target=Label("nowhere")))
+        problems = check_function(fn)
+        assert any("does not exist" in p for p in problems)
+
+    def test_branch_target_without_edge(self):
+        fn = Function("f")
+        a = fn.new_block("a")
+        fn.new_block("b")
+        a.append(Instruction(Opcode.BR, (), (), target=Label("b")))
+        problems = check_function(fn)
+        assert any("no CFG edge" in p for p in problems)
+        fn.add_edge("a", "b")
+        assert check_function(fn) == []
+
+    def test_cross_block_redefinition_allowed(self):
+        # x defined on both branches (Figure 6 pattern) is legal.
+        assert check_function(figure6_diamond()) == []
+
+    def test_verify_raises_with_details(self):
+        b = BlockBuilder()
+        b.add(VirtualRegister("ghost"), 1)
+        with pytest.raises(IRError) as err:
+            verify_function(b.function())
+        assert "ghost" in str(err.value)
+
+    def test_def_reaches_through_path(self):
+        fb = FunctionBuilder("f")
+        a = fb.block("a", entry=True)
+        x = a.load("x")
+        a.br("b")
+        b_blk = fb.block("b")
+        b_blk.add(x, 1)
+        b_blk.ret()
+        fb.edge("a", "b")
+        verify_function(fb.function())  # no raise

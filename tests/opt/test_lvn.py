@@ -1,0 +1,173 @@
+"""Tests for local value numbering and algebraic simplification."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import equivalent, run_function, verify_function
+from repro.ir.builder import BlockBuilder
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Immediate
+from repro.opt import optimize, value_number
+from repro.workloads import RandomBlockConfig, random_block
+
+
+class TestRedundancyElimination:
+    def test_identical_expression_becomes_mov(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.load("y")
+        t1 = b.add(x, y)
+        t2 = b.add(x, y)
+        z = b.mul(t1, t2)
+        fn = b.function("f", live_out=[z])
+        stats = value_number(fn)
+        assert stats.redundant_replaced == 1
+        assert fn.entry.instructions[3].opcode is Opcode.MOV
+
+    def test_commutative_normalization(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.load("y")
+        t1 = b.add(x, y)
+        t2 = b.add(y, x)  # same value, operands swapped
+        z = b.mul(t1, t2)
+        fn = b.function("f", live_out=[z])
+        stats = value_number(fn)
+        assert stats.redundant_replaced == 1
+
+    def test_non_commutative_not_merged(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.load("y")
+        t1 = b.sub(x, y)
+        t2 = b.sub(y, x)
+        z = b.add(t1, t2)
+        fn = b.function("f", live_out=[z])
+        stats = value_number(fn)
+        assert stats.redundant_replaced == 0
+
+    def test_redundant_load_elimination(self):
+        b = BlockBuilder()
+        a = b.load("cell")
+        c = b.load("cell")
+        z = b.add(a, c)
+        fn = b.function("f", live_out=[z])
+        stats = value_number(fn)
+        assert stats.redundant_replaced == 1
+
+    def test_store_invalidates_loads(self):
+        b = BlockBuilder()
+        a = b.load("cell")
+        b.store(a, "cell")
+        c = b.load("cell")  # must NOT merge with the first load
+        z = b.add(a, c)
+        fn = b.function("f", live_out=[z])
+        stats = value_number(fn)
+        assert stats.redundant_replaced == 0
+
+    def test_call_invalidates_loads(self):
+        b = BlockBuilder()
+        a = b.load("cell")
+        b.call()
+        c = b.load("cell")
+        z = b.add(a, c)
+        fn = b.function("f", live_out=[z])
+        stats = value_number(fn)
+        assert stats.redundant_replaced == 0
+
+
+class TestAlgebraicSimplification:
+    def run_single(self, build):
+        b = BlockBuilder()
+        x = b.load("x")
+        result = build(b, x)
+        fn = b.function("f", live_out=[result])
+        clone = fn.copy()
+        value_number(fn)
+        assert equivalent(clone, fn)
+        return fn.entry.instructions[1]
+
+    def test_add_zero(self):
+        instr = self.run_single(lambda b, x: b.add(x, 0))
+        assert instr.opcode is Opcode.MOV
+
+    def test_mul_one(self):
+        instr = self.run_single(lambda b, x: b.mul(x, 1))
+        assert instr.opcode is Opcode.MOV
+
+    def test_mul_zero(self):
+        instr = self.run_single(lambda b, x: b.mul(x, 0))
+        assert instr.opcode is Opcode.LOADI
+        assert instr.srcs[0] == Immediate(0)
+
+    def test_sub_self(self):
+        instr = self.run_single(lambda b, x: b.sub(x, x))
+        assert instr.opcode is Opcode.LOADI
+
+    def test_xor_self(self):
+        instr = self.run_single(lambda b, x: b.xor(x, x))
+        assert instr.opcode is Opcode.LOADI
+
+    def test_strength_reduction(self):
+        instr = self.run_single(lambda b, x: b.mul(x, 8))
+        assert instr.opcode is Opcode.SHL
+        assert instr.srcs[1] == Immediate(3)
+
+    def test_non_power_of_two_untouched(self):
+        instr = self.run_single(lambda b, x: b.mul(x, 6))
+        assert instr.opcode is Opcode.MUL
+
+    def test_literal_on_left_normalized(self):
+        instr = self.run_single(lambda b, x: b.add(0, x))
+        assert instr.opcode is Opcode.MOV
+
+    def test_constant_folding(self):
+        b = BlockBuilder()
+        k1 = b.loadi(6)
+        k2 = b.loadi(7)
+        # after copy-prop the multiply sees two immediates; LVN alone
+        # folds only literal-literal shapes, so drive the pipeline:
+        product = b.mul(k1, k2)
+        fn = b.function("f", live_out=[product])
+        clone = fn.copy()
+        optimize(fn)
+        assert equivalent(clone, fn)
+        final = fn.entry.instructions[-1]
+        assert final.opcode is Opcode.LOADI
+        assert final.srcs[0] == Immediate(42)
+
+
+class TestThroughPipeline:
+    def test_redundant_source_expressions(self):
+        src = (
+            "input a, b;"
+            "x = (a + b) * (a + b);"
+            "y = (a + b) * (a + b);"
+            "output x, y;"
+        )
+        fn = compile_source(src)
+        clone = fn.copy()
+        report = optimize(fn)
+        assert report.redundancies_eliminated >= 2
+        assert equivalent(clone, fn, initial_memory={"a": 3, "b": 4})
+        assert run_function(
+            fn, {"a": 3, "b": 4}
+        ).live_out_values == (49, 49)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_blocks_preserved(self, seed):
+        fn = random_block(RandomBlockConfig(size=24, window=6, seed=seed))
+        clone = fn.copy()
+        optimize(fn)
+        verify_function(fn)
+        assert equivalent(clone, fn)
+
+    def test_shrinks_lowered_code(self):
+        fn = compile_source(
+            "input a; x = a * 4 + a * 4; y = x + 0; z = y * 1;"
+            "output z;"
+        )
+        before = sum(len(b) for b in fn.blocks())
+        optimize(fn)
+        after = sum(len(b) for b in fn.blocks())
+        assert after < before

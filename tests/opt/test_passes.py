@@ -1,0 +1,186 @@
+"""Tests for the optimization passes."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import equivalent, verify_function
+from repro.ir.builder import BlockBuilder
+from repro.ir.opcodes import Opcode
+from repro.ir.operands import Immediate
+from repro.opt import (
+    eliminate_dead_code,
+    optimize,
+    propagate_copies,
+)
+from repro.workloads import RandomBlockConfig, example1, random_block
+
+
+class TestDCE:
+    def test_removes_unused_load(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        b.load("unused")
+        y = b.add(x, 1)
+        fn = b.function("f", live_out=[y])
+        stats = eliminate_dead_code(fn)
+        assert stats.removed_instructions == 1
+        assert len(fn.entry) == 2
+
+    def test_cascading_removal(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        t1 = b.add(x, 1)   # only feeds t2
+        t2 = b.add(t1, 1)  # dead
+        y = b.mul(x, 2)
+        fn = b.function("f", live_out=[y])
+        stats = eliminate_dead_code(fn)
+        assert stats.removed_instructions == 2
+        assert stats.iterations >= 2
+
+    def test_keeps_side_effects(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        b.store(x, "out")       # store result unused but effectful
+        b.call()                # call result unused but effectful
+        fn = b.function("f")
+        eliminate_dead_code(fn)
+        ops = [i.opcode for i in fn.entry]
+        assert Opcode.STORE in ops
+        assert Opcode.CALL in ops
+
+    def test_keeps_live_out(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        fn = b.function("f", live_out=[x])
+        stats = eliminate_dead_code(fn)
+        assert stats.removed_instructions == 0
+
+    def test_semantics_preserved(self):
+        fn = example1()
+        clone = fn.copy()
+        eliminate_dead_code(fn)
+        assert equivalent(clone, fn)
+
+
+class TestCopyProp:
+    def test_propagates_block_local_mov(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        cp = b.mov(x)
+        y = b.add(cp, 1)
+        fn = b.function("f", live_out=[y])
+        stats = propagate_copies(fn)
+        assert stats.copies_propagated == 1
+        add = fn.entry.instructions[2]
+        assert add.uses() == (x,)
+
+    def test_kills_on_redefinition(self):
+        from repro.ir.basicblock import BasicBlock
+        from repro.ir.function import Function
+        from repro.ir.instructions import Instruction
+        from repro.ir.operands import VirtualRegister
+
+        x = VirtualRegister("x")
+        y = VirtualRegister("y")
+        z = VirtualRegister("z")
+        block = BasicBlock("b")
+        block.instructions = [
+            Instruction(Opcode.LOADI, (x,), (Immediate(1),)),
+            Instruction(Opcode.MOV, (y,), (x,)),       # y := x
+            Instruction(Opcode.LOADI, (x,), (Immediate(2),)),  # x redefined
+            Instruction(Opcode.ADD, (z,), (y, y)),     # must NOT become x
+        ]
+        fn = Function("f", live_out=(z,))
+        fn.add_block(block, entry=True)
+        before = fn.copy()
+        propagate_copies(fn)
+        add = fn.entry.instructions[3]
+        assert add.uses() == (y, y)
+        assert equivalent(before, fn)
+
+    def test_folds_immediates(self):
+        b = BlockBuilder()
+        k = b.loadi(7)
+        x = b.load("x")
+        y = b.add(x, k)
+        fn = b.function("f", live_out=[y])
+        stats = propagate_copies(fn)
+        assert stats.immediates_folded == 1
+        add = fn.entry.instructions[2]
+        assert Immediate(7) in add.srcs
+
+    def test_no_fold_into_loads(self):
+        b = BlockBuilder()
+        i = b.loadi(3)
+        v = b.load_indexed("arr", i)
+        fn = b.function("f", live_out=[v])
+        propagate_copies(fn)
+        load = fn.entry.instructions[1]
+        assert load.uses() == (i,)  # index stays a register
+
+    def test_cross_block_movs_untouched(self):
+        fn = compile_source(
+            "input a; if (a) { z = 1; } else { z = 2; } output z;"
+        )
+        before = sum(
+            1
+            for i in fn.instructions()
+            if i.opcode is Opcode.MOV
+        )
+        propagate_copies(fn)
+        eliminate_dead_code(fn)
+        after = sum(
+            1 for i in fn.instructions() if i.opcode is Opcode.MOV
+        )
+        assert after == before  # join movs are the web merge points
+
+
+class TestOptimizePipeline:
+    def test_report_fields(self):
+        fn = compile_source(
+            "input a; dead = a * 9; k = 2; x = a * k; output x;"
+        )
+        report = optimize(fn)
+        assert report.instructions_removed >= 1
+        assert report.immediates_folded >= 1
+        assert "optimize:" in str(report)
+
+    def test_fixpoint_terminates(self):
+        fn = example1()
+        report = optimize(fn)
+        assert report.rounds <= 8
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_blocks_semantics(self, seed):
+        fn = random_block(RandomBlockConfig(size=25, window=8, seed=seed))
+        clone = fn.copy()
+        optimize(fn)
+        verify_function(fn)
+        assert equivalent(clone, fn)
+
+    def test_loop_program(self):
+        fn = compile_source(
+            "input n; s = 0; i = 0; k = 1;"
+            "while (i < n) { s = s + i * k; i = i + k; }"
+            "output s;"
+        )
+        clone = fn.copy()
+        optimize(fn)
+        verify_function(fn)
+        for n in (0, 1, 5):
+            assert equivalent(clone, fn, initial_memory={"n": n})
+
+    def test_optimized_code_through_allocator(self):
+        from repro.core import PinterAllocator
+        from repro.machine.presets import two_unit_superscalar
+
+        fn = compile_source(
+            "input a, b; t = a; u = t * b; v = u + t; dead = v * 7;"
+            "output v;"
+        )
+        optimize(fn)
+        outcome = PinterAllocator(
+            two_unit_superscalar(), num_registers=6
+        ).run(fn)
+        assert outcome.false_dependences == []
+        assert equivalent(fn, outcome.allocated_function)

@@ -1,0 +1,110 @@
+"""Tests for the Lemma 1 false-dependence checker."""
+
+import pytest
+
+from repro.pipeline.verify import (
+    assert_no_false_dependences,
+    count_false_dependences,
+    find_false_dependences,
+)
+from repro.deps.datadeps import DependenceKind
+from repro.ir.operands import PhysicalRegister, VirtualRegister
+from repro.utils.errors import IRError
+from repro.workloads import (
+    apply_name_mapping,
+    example1,
+    example1_good_mapping,
+    example1_machine_model,
+    example1_naive_mapping,
+    example2,
+    example2_machine_model,
+    figure5_mapping,
+)
+
+
+class TestExample1:
+    def test_naive_allocation_reported(self):
+        """Example 1(c)'s reuse of r2 "introduces a false dependence
+        between the second and fourth instructions"."""
+        fn = example1()
+        machine = example1_machine_model()
+        naive = apply_name_mapping(fn, example1_naive_mapping())
+        violations = find_false_dependences(fn, naive, machine)
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.kind is DependenceKind.OUTPUT
+        assert v.source is naive.entry.instructions[1]
+        assert v.target is naive.entry.instructions[3]
+
+    def test_good_allocation_clean(self):
+        fn = example1()
+        machine = example1_machine_model()
+        good = apply_name_mapping(fn, example1_good_mapping())
+        assert count_false_dependences(fn, good, machine) == 0
+        assert_no_false_dependences(fn, good, machine)  # no raise
+
+    def test_assert_raises_on_naive(self):
+        fn = example1()
+        machine = example1_machine_model()
+        naive = apply_name_mapping(fn, example1_naive_mapping())
+        with pytest.raises(IRError) as err:
+            assert_no_false_dependences(fn, naive, machine)
+        assert "false" in str(err.value)
+
+
+class TestExample2:
+    def test_figure5_assignment_clean(self):
+        fn = example2()
+        machine = example2_machine_model()
+        allocated = apply_name_mapping(fn, figure5_mapping())
+        assert count_false_dependences(fn, allocated, machine) == 0
+
+    def test_three_register_assignment_dirty(self):
+        """Any 3-register allocation of Example 2 must assign, e.g., s8
+        a register already used among s1..s5 — destroying co-issue."""
+        fn = example2()
+        machine = example2_machine_model()
+        mapping = {
+            "s1": "r1", "s2": "r2", "s3": "r3", "s4": "r2", "s5": "r3",
+            "s6": "r1", "s7": "r2", "s8": "r3", "s9": "r1",
+        }
+        allocated = apply_name_mapping(fn, mapping)
+        assert count_false_dependences(fn, allocated, machine) >= 1
+
+
+class TestCheckerMechanics:
+    def test_mismatched_functions_raise(self):
+        fn = example1()
+        other = example2()
+        with pytest.raises(IRError):
+            find_false_dependences(fn, other, example1_machine_model())
+
+    def test_include_anti_flag(self):
+        """Introduced anti edges in E_f only count under the strict
+        reordering analysis."""
+        fn = example2()
+        machine = example2_machine_model()
+        # map s8 onto s3's register: s8's def anti-depends on s5's use
+        # of r3 (through the reuse), but output/flow stay clean only if
+        # chosen carefully; compare the two modes on a reuse-heavy map.
+        mapping = {
+            "s1": "r1", "s2": "r2", "s3": "r3", "s4": "r2", "s5": "r3",
+            "s6": "r4", "s7": "r5", "s8": "r6", "s9": "r1",
+        }
+        allocated = apply_name_mapping(fn, mapping)
+        default = count_false_dependences(fn, allocated, machine)
+        strict = len(
+            find_false_dependences(
+                fn, allocated, machine, include_anti=True
+            )
+        )
+        assert strict >= default
+
+    def test_per_block_vs_region_mode(self):
+        fn = example2()
+        machine = example2_machine_model()
+        allocated = apply_name_mapping(fn, figure5_mapping())
+        assert (
+            count_false_dependences(fn, allocated, machine, use_regions=False)
+            == 0
+        )

@@ -1,0 +1,80 @@
+"""Tests for Briggs optimistic coloring."""
+
+import networkx as nx
+import pytest
+
+from repro.regalloc.briggs import briggs_color
+from repro.regalloc.chaitin import chaitin_color, validate_coloring
+from repro.utils.errors import AllocationError
+
+
+def cycle_graph(n):
+    g = nx.Graph()
+    for i in range(n):
+        g.add_edge(i, (i + 1) % n)
+    return g
+
+
+def complete_graph(n):
+    g = nx.Graph()
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j)
+    return g
+
+
+class TestBriggsColor:
+    def test_even_cycle_colored_where_chaitin_spills(self):
+        """The canonical optimism win: a 2-colorable even cycle with
+        r=2 — Chaitin spills, Briggs colors."""
+        g = cycle_graph(6)
+        assert chaitin_color(g, 2).has_spills
+        result = briggs_color(g, 2)
+        assert not result.has_spills
+        validate_coloring(g, result.coloring)
+        assert result.num_colors_used == 2
+
+    def test_truly_uncolorable_still_spills(self):
+        result = briggs_color(complete_graph(4), 3)
+        assert len(result.spilled) == 1
+
+    def test_never_spills_more_than_chaitin(self):
+        import random
+
+        rng = random.Random(5)
+        for trial in range(10):
+            g = nx.gnp_random_graph(12, 0.4, seed=rng.randrange(10000))
+            for r in (2, 3, 4):
+                pessimistic = chaitin_color(g, r)
+                optimistic = briggs_color(g, r)
+                assert len(optimistic.spilled) <= len(pessimistic.spilled)
+
+    def test_valid_coloring_always(self):
+        g = nx.gnp_random_graph(15, 0.3, seed=7)
+        result = briggs_color(g, 4)
+        validate_coloring(g, result.coloring)
+        for node in result.spilled:
+            assert node not in result.coloring
+
+    def test_empty_graph(self):
+        result = briggs_color(nx.Graph(), 2)
+        assert result.coloring == {}
+
+    def test_unspillable_pressure_raises(self):
+        with pytest.raises(AllocationError):
+            briggs_color(
+                complete_graph(4), 2, spill_metric=lambda n: float("inf")
+            )
+
+    def test_on_pig(self):
+        """Briggs on the Example 2 parallelizable interference graph:
+        colors with chi colors, where Chaitin may need slack."""
+        from repro.core import build_parallel_interference_graph
+        from repro.workloads import example2, example2_machine_model
+
+        pig = build_parallel_interference_graph(
+            example2(), example2_machine_model()
+        )
+        result = briggs_color(pig.graph, 4)
+        assert not result.has_spills
+        validate_coloring(pig.graph, result.coloring)

@@ -1,0 +1,158 @@
+"""Tests for mov coalescing (biased coloring + identity-move removal)."""
+
+import pytest
+
+from repro.core import PinterAllocator, build_parallel_interference_graph, pinter_color
+from repro.frontend import compile_source
+from repro.ir import equivalent
+from repro.ir.builder import BlockBuilder
+from repro.ir.opcodes import Opcode
+from repro.machine.presets import two_unit_superscalar
+from repro.regalloc.coalesce import (
+    build_bias_map,
+    choose_biased_color,
+    mov_related_pairs,
+    remove_identity_moves,
+)
+from repro.regalloc.interference import build_interference_graph
+
+MACHINE = two_unit_superscalar()
+
+LOOP_SRC = (
+    "input a, n; s = 0; i = 0;"
+    "while (i < n) { s = s + a * i; i = i + 1; }"
+    "output s;"
+)
+
+
+class TestMovRelatedPairs:
+    def test_loop_movs_found(self):
+        fn = compile_source(LOOP_SRC)
+        ig = build_interference_graph(fn)
+        pairs = mov_related_pairs(ig)
+        assert pairs  # the loop-carried movs relate webs
+
+    def test_interfering_pairs_excluded(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.mov(x)       # y := x, but x stays live below
+        z = b.add(x, y)    # x live at y's def -> they interfere
+        fn = b.function("f", live_out=[z])
+        ig = build_interference_graph(fn)
+        # x and y interfere: mov pair excluded.
+        assert mov_related_pairs(ig) == []
+
+    def test_non_interfering_pair_included(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.mov(x)       # x dead after the mov
+        z = b.add(y, 1)
+        fn = b.function("f", live_out=[z])
+        ig = build_interference_graph(fn)
+        pairs = mov_related_pairs(ig)
+        assert len(pairs) == 1
+
+    def test_bias_map_symmetric(self):
+        fn = compile_source(LOOP_SRC)
+        ig = build_interference_graph(fn)
+        bias = build_bias_map(ig)
+        for web, partners in bias.items():
+            for partner in partners:
+                assert web in bias[partner]
+
+
+class TestChooseBiasedColor:
+    def test_prefers_partner_color(self):
+        fn = compile_source(LOOP_SRC)
+        ig = build_interference_graph(fn)
+        a, b = mov_related_pairs(ig)[0]
+        coloring = {b: 3}
+        bias = {a: [b], b: [a]}
+        assert choose_biased_color([0, 1, 3], a, coloring, bias) == 3
+
+    def test_falls_back_to_lowest(self):
+        fn = compile_source(LOOP_SRC)
+        ig = build_interference_graph(fn)
+        a, b = mov_related_pairs(ig)[0]
+        assert choose_biased_color([1, 2], a, {}, {a: [b]}) == 1
+        assert choose_biased_color([], a, {}, None) is None
+
+
+class TestRemoveIdentityMoves:
+    def test_removes_only_identities(self):
+        from repro.ir.instructions import Instruction
+        from repro.ir.operands import PhysicalRegister
+        from repro.ir.function import Function
+        from repro.ir.basicblock import BasicBlock
+
+        r1 = PhysicalRegister(1)
+        r2 = PhysicalRegister(2)
+        block = BasicBlock("b")
+        block.instructions = [
+            Instruction(Opcode.MOV, (r1,), (r1,)),   # identity
+            Instruction(Opcode.MOV, (r2,), (r1,)),   # real move
+        ]
+        fn = Function("f")
+        fn.add_block(block, entry=True)
+        assert remove_identity_moves(fn) == 1
+        assert len(fn.entry) == 1
+        assert fn.entry.instructions[0].dest == r2
+
+    def test_virtual_movs_untouched(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.mov(x)
+        fn = b.function("f", live_out=[y])
+        assert remove_identity_moves(fn) == 0
+
+
+class TestCoalescingEndToEnd:
+    def test_movs_eliminated_and_semantics_kept(self):
+        fn = compile_source(LOOP_SRC)
+        outcome = PinterAllocator(
+            MACHINE, num_registers=8, coalesce=True
+        ).run(fn)
+        assert outcome.identity_moves_removed >= 1
+        for n in (0, 1, 5):
+            assert equivalent(
+                fn, outcome.allocated_function,
+                initial_memory={"a": 7, "n": n},
+            )
+
+    def test_never_slower_than_plain(self):
+        fn = compile_source(LOOP_SRC)
+        plain = PinterAllocator(MACHINE, num_registers=8).run(fn)
+        coalesced = PinterAllocator(
+            MACHINE, num_registers=8, coalesce=True
+        ).run(fn)
+        assert coalesced.total_cycles <= plain.total_cycles
+
+    def test_registers_not_increased(self):
+        fn = compile_source(LOOP_SRC)
+        plain = PinterAllocator(MACHINE, num_registers=8).run(fn)
+        coalesced = PinterAllocator(
+            MACHINE, num_registers=8, coalesce=True
+        ).run(fn)
+        assert coalesced.registers_used <= plain.registers_used + 1
+
+    def test_theorem1_still_holds(self):
+        """Bias only reorders color choice; Theorem 1 is untouched."""
+        fn = compile_source(LOOP_SRC)
+        outcome = PinterAllocator(
+            MACHINE, num_registers=10, coalesce=True
+        ).run(fn)
+        assert outcome.false_dependences == []
+
+    def test_bias_kwarg_on_pinter_color(self):
+        fn = compile_source(LOOP_SRC)
+        pig = build_parallel_interference_graph(fn, MACHINE)
+        bias = build_bias_map(pig.interference)
+        result = pinter_color(pig, 10, bias=bias)
+        assert not result.has_spills
+        # at least one mov pair shares a color.
+        shared = sum(
+            1
+            for a, b in mov_related_pairs(pig.interference)
+            if result.coloring.get(a) == result.coloring.get(b)
+        )
+        assert shared >= 1

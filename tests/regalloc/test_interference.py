@@ -1,0 +1,113 @@
+"""Tests for the classic interference graph G_r."""
+
+import pytest
+
+from repro.regalloc.interference import build_interference_graph
+from repro.ir.builder import BlockBuilder
+from repro.utils.errors import AllocationError
+from repro.workloads import (
+    example1,
+    example2,
+    figure6_diamond,
+    independent_chains,
+)
+
+
+def edge_name_set(graph):
+    return {
+        frozenset((str(a.register), str(b.register)))
+        for a, b in graph.edge_list()
+    }
+
+
+class TestExample2Figure4:
+    """Figure 4: the interference graph of Example 2."""
+
+    def test_edges(self):
+        ig = build_interference_graph(example2())
+        edges = edge_name_set(ig)
+        expected = {
+            frozenset(p)
+            for p in [
+                ("s1", "s2"), ("s1", "s3"), ("s2", "s3"), ("s3", "s4"),
+                ("s5", "s6"), ("s5", "s7"), ("s5", "s8"), ("s6", "s7"),
+            ]
+        }
+        assert edges == expected
+
+    def test_s9_isolated(self):
+        ig = build_interference_graph(example2())
+        s9 = ig.web_by_register_name("s9")
+        assert ig.degree(s9) == 0
+
+    def test_open_end_allows_reuse_at_last_use(self):
+        """s4 does not interfere with s1/s2 although they feed it."""
+        ig = build_interference_graph(example2())
+        s1 = ig.web_by_register_name("s1")
+        s4 = ig.web_by_register_name("s4")
+        assert not ig.interferes(s1, s4)
+
+    def test_closed_end_convention_adds_edges(self):
+        open_ig = build_interference_graph(example2())
+        closed_ig = build_interference_graph(example2(), closed_end=True)
+        assert closed_ig.graph.number_of_edges() > open_ig.graph.number_of_edges()
+        s1 = closed_ig.web_by_register_name("s1")
+        s4 = closed_ig.web_by_register_name("s4")
+        assert closed_ig.interferes(s1, s4)
+
+
+class TestExample1:
+    def test_live_out_extends_interference(self):
+        ig = build_interference_graph(example1())
+        s4 = ig.web_by_register_name("s4")
+        s5 = ig.web_by_register_name("s5")
+        assert ig.interferes(s4, s5)  # both live-out
+
+    def test_neighbors_sorted(self):
+        ig = build_interference_graph(example1())
+        s1 = ig.web_by_register_name("s1")
+        neighbors = ig.neighbors(s1)
+        assert neighbors == sorted(neighbors, key=lambda w: w.index)
+
+
+class TestGlobal:
+    def test_figure6_web_node(self):
+        ig = build_interference_graph(figure6_diamond())
+        x_webs = [w for w in ig.webs if str(w.register) == "x"]
+        merged = [w for w in x_webs if len(w.definitions) == 2]
+        assert len(merged) == 1
+
+    def test_live_range_across_blocks_interferes(self):
+        from repro.ir.builder import FunctionBuilder
+
+        fb = FunctionBuilder("f")
+        a = fb.block("a", entry=True)
+        x = a.load("x")
+        a.br("b")
+        blk = fb.block("b")
+        y = blk.load("y")
+        z = blk.add(x, y)
+        blk.ret()
+        fb.edge("a", "b")
+        fn = fb.function(live_out=[z])
+        ig = build_interference_graph(fn)
+        wx = ig.web_by_register_name("s1")
+        wy = ig.web_by_register_name("s2")
+        assert ig.interferes(wx, wy)  # x live across y's definition
+
+
+class TestQueries:
+    def test_unknown_register_name(self):
+        ig = build_interference_graph(example1())
+        with pytest.raises(AllocationError):
+            ig.web_by_register_name("nope")
+
+    def test_clique_lower_bound(self):
+        ig = build_interference_graph(example2())
+        assert ig.max_clique_lower_bound == 3
+
+    def test_chains_pressure(self):
+        fn = independent_chains(chains=4, length=2)
+        ig = build_interference_graph(fn)
+        # tails are all live-out simultaneously.
+        assert ig.max_clique_lower_bound >= 4

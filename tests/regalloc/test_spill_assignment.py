@@ -1,0 +1,264 @@
+"""Tests for spill-code insertion and assignment rewriting."""
+
+import pytest
+
+from repro.analysis.liveness import max_register_pressure
+from repro.analysis.webs import build_webs
+from repro.ir import equivalent, verify_function
+from repro.ir.builder import BlockBuilder
+from repro.ir.operands import PhysicalRegister
+from repro.regalloc.assignment import (
+    apply_assignment,
+    make_assignment,
+    verify_assignment_against_graph,
+)
+from repro.regalloc.chaitin import chaitin_color
+from repro.regalloc.interference import build_interference_graph
+from repro.regalloc.spill import (
+    insert_spill_code,
+    is_spill_temp,
+    make_cost_function,
+)
+from repro.utils.errors import AllocationError
+from repro.workloads import (
+    diamond_chain,
+    example1,
+    example2,
+    fir_filter,
+    figure6_diamond,
+)
+
+
+class TestCostFunction:
+    def test_flat_code_costs_counts(self):
+        fn = example2()
+        cost = make_cost_function(fn)
+        webs = {str(w.register): w for w in build_webs(fn)}
+        # s1: 1 def + 2 uses = 3 at depth 0.
+        assert cost(webs["s1"]) == pytest.approx(3.0)
+        # s9: 1 def, no uses.
+        assert cost(webs["s9"]) == pytest.approx(1.0)
+
+    def test_spill_temp_infinite(self):
+        fn = fir_filter(4)
+        ig = build_interference_graph(fn)
+        victim = [w for w in ig.webs if str(w.register) == "s1"]
+        spilled_fn, _report = insert_spill_code(fn, victim)
+        cost = make_cost_function(spilled_fn)
+        temps = [
+            w for w in build_webs(spilled_fn) if is_spill_temp(w.register)
+        ]
+        assert temps
+        assert all(cost(w) == float("inf") for w in temps)
+
+
+class TestInsertSpillCode:
+    def test_no_spills_identity(self):
+        fn = example1()
+        out, report = insert_spill_code(fn, [])
+        assert out is fn
+        assert report.stores_added == 0
+
+    def test_semantics_preserved(self):
+        fn = fir_filter(4)
+        ig = build_interference_graph(fn)
+        victims = [w for w in ig.webs if str(w.register) in ("s1", "s3")]
+        spilled, report = insert_spill_code(fn, victims)
+        verify_function(spilled)
+        assert equivalent(fn, spilled)
+        assert report.stores_added == 2
+        assert report.reloads_added >= 2
+
+    def test_pressure_reduced(self):
+        from repro.workloads import independent_chains
+
+        fn = independent_chains(chains=6, length=1)
+        ig = build_interference_graph(fn)
+        before = max_register_pressure(fn.entry, frozenset(fn.live_out))
+        victims = [w for w in ig.webs if str(w.register) in ("s2", "s4")]
+        spilled, _ = insert_spill_code(fn, victims)
+        # spilled values are no longer live across the block...
+        # except via live-out reloads at the end; pressure at the top
+        # of the block drops.
+        assert equivalent(fn, spilled)
+
+    def test_live_out_spill_reloaded(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.add(x, 1)
+        fn = b.function("f", live_out=[y])
+        ig = build_interference_graph(fn)
+        victim = [w for w in ig.webs if w.register == y]
+        spilled, report = insert_spill_code(fn, victim)
+        assert equivalent(fn, spilled)
+        # live_out now names the reload register.
+        assert str(spilled.live_out[0]).endswith(".out")
+
+    def test_multi_block_spill(self):
+        fn = diamond_chain(num_diamonds=1)
+        ig = build_interference_graph(fn)
+        # spill the merged web (defined in both arms).
+        merged = [w for w in ig.webs if len(w.definitions) > 1]
+        assert merged
+        spilled, _ = insert_spill_code(fn, merged[:1])
+        verify_function(spilled)
+        assert equivalent(fn, spilled)
+
+    def test_spill_temp_marker(self):
+        assert is_spill_temp(PhysicalRegister(1)) is False
+        from repro.ir.operands import VirtualRegister
+
+        assert is_spill_temp(VirtualRegister("s1.rl3"))
+        assert is_spill_temp(VirtualRegister("s4.out"))
+        assert not is_spill_temp(VirtualRegister("s4"))
+
+
+class TestAssignment:
+    def color_example2(self):
+        ig = build_interference_graph(example2())
+        result = chaitin_color(ig.graph, 3)
+        assert not result.has_spills
+        return ig, result
+
+    def test_make_assignment_binds_registers(self):
+        ig, result = self.color_example2()
+        asg = make_assignment(ig, result.coloring)
+        assert asg.num_registers_used == 3
+        assert asg.register_for_name("s1") in {
+            PhysicalRegister(1), PhysicalRegister(2), PhysicalRegister(3)
+        }
+
+    def test_missing_color_raises(self):
+        ig, result = self.color_example2()
+        incomplete = dict(result.coloring)
+        incomplete.popitem()
+        with pytest.raises(AllocationError):
+            make_assignment(ig, incomplete)
+
+    def test_pool_too_small_raises(self):
+        ig, result = self.color_example2()
+        with pytest.raises(AllocationError):
+            make_assignment(
+                ig, result.coloring, register_pool=[PhysicalRegister(1)]
+            )
+
+    def test_custom_pool(self):
+        ig, result = self.color_example2()
+        pool = [PhysicalRegister(i) for i in (10, 11, 12)]
+        asg = make_assignment(ig, result.coloring, register_pool=pool)
+        assert set(asg.physical_of.values()) <= set(pool)
+
+    def test_apply_assignment_preserves_uids_and_semantics(self):
+        ig, result = self.color_example2()
+        asg = make_assignment(ig, result.coloring)
+        allocated = apply_assignment(asg)
+        original = ig.function
+        assert [i.uid for i in allocated.instructions()] == [
+            i.uid for i in original.instructions()
+        ]
+        assert equivalent(original, allocated)
+
+    def test_verify_assignment(self):
+        ig, result = self.color_example2()
+        asg = make_assignment(ig, result.coloring)
+        verify_assignment_against_graph(asg)  # no raise
+
+    def test_verify_detects_violation(self):
+        ig, result = self.color_example2()
+        s1 = ig.web_by_register_name("s1")
+        s2 = ig.web_by_register_name("s2")
+        bad = dict(result.coloring)
+        bad[s2] = bad[s1]  # s1 and s2 interfere
+        asg = make_assignment(ig, bad)
+        with pytest.raises(AllocationError):
+            verify_assignment_against_graph(asg)
+
+    def test_mapping_by_name(self):
+        ig, result = self.color_example2()
+        asg = make_assignment(ig, result.coloring)
+        mapping = asg.mapping_by_name()
+        assert set(mapping) == {"s{}".format(i) for i in range(1, 10)}
+        assert all(v.startswith("r") for v in mapping.values())
+
+    def test_global_assignment_on_diamond(self):
+        fn = figure6_diamond()
+        ig = build_interference_graph(fn)
+        result = chaitin_color(ig.graph, 4)
+        assert not result.has_spills
+        asg = make_assignment(ig, result.coloring)
+        allocated = apply_assignment(asg)
+        assert equivalent(fn, allocated)
+        # both arm definitions of x share one physical register.
+        arm_defs = [
+            instr
+            for name in ("left", "right")
+            for instr in allocated.block(name)
+            if instr.dests
+        ]
+        assert len({instr.dest for instr in arm_defs}) == 1
+
+
+class TestRematerialization:
+    def _constant_pressure_fn(self):
+        b = BlockBuilder()
+        k = b.loadi(42)
+        x = b.load("x")
+        y = b.add(x, k)
+        z = b.mul(y, k)
+        w = b.add(z, k)
+        return b.function("f", live_out=[w]), k
+
+    def test_constant_web_rematerialized(self):
+        from repro.regalloc.spill import is_rematerializable
+
+        fn, k = self._constant_pressure_fn()
+        ig = build_interference_graph(fn)
+        k_web = [w for w in ig.webs if w.register == k][0]
+        assert is_rematerializable(k_web)
+        spilled, report = insert_spill_code(fn, [k_web])
+        assert report.rematerialized == 3  # one per use
+        assert report.stores_added == 0
+        assert report.reloads_added == 0
+        assert equivalent(fn, spilled)
+
+    def test_rematerialize_disabled(self):
+        fn, k = self._constant_pressure_fn()
+        ig = build_interference_graph(fn)
+        k_web = [w for w in ig.webs if w.register == k][0]
+        spilled, report = insert_spill_code(fn, [k_web], rematerialize=False)
+        assert report.rematerialized == 0
+        assert report.stores_added == 1
+        assert report.reloads_added == 3
+        assert equivalent(fn, spilled)
+
+    def test_loaded_values_not_rematerializable(self):
+        from repro.regalloc.spill import is_rematerializable
+
+        fn = fir_filter(3)
+        ig = build_interference_graph(fn)
+        assert not any(is_rematerializable(w) for w in ig.webs)
+
+    def test_divergent_join_constants_not_rematerializable(self):
+        from repro.regalloc.spill import is_rematerializable
+        from repro.frontend import compile_source
+        from repro.analysis.webs import build_webs
+
+        fn = compile_source(
+            "input a; if (a) { k = 1; } else { k = 2; } y = k + 0;"
+            "output y;"
+        )
+        webs = build_webs(fn)
+        merged = [w for w in webs if len(w.definitions) > 1]
+        assert merged and not is_rematerializable(merged[0])
+
+    def test_live_out_constant_rematerialized(self):
+        b = BlockBuilder()
+        k = b.loadi(7)
+        x = b.load("x")
+        y = b.add(x, k)
+        fn = b.function("f", live_out=[k, y])
+        ig = build_interference_graph(fn)
+        k_web = [w for w in ig.webs if w.register == k][0]
+        spilled, report = insert_spill_code(fn, [k_web])
+        assert report.rematerialized >= 2  # the use and the live-out
+        assert equivalent(fn, spilled)

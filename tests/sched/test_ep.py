@@ -1,0 +1,173 @@
+"""Tests for EP numbers and the postponement algorithm."""
+
+import pytest
+
+from repro.deps.schedule_graph import block_schedule_graph
+from repro.sched.ep import (
+    analyze_ep,
+    ep_linear_order,
+    initial_ep,
+    refined_ep,
+)
+from repro.ir.builder import BlockBuilder
+from repro.machine.presets import (
+    single_issue,
+    two_unit_superscalar,
+    wide_issue,
+)
+from repro.workloads import example2, example2_machine_model, independent_chains
+
+
+class TestInitialEP:
+    def test_chain_latencies(self):
+        b = BlockBuilder()
+        x = b.load("x")          # EP 0, latency 2
+        y = b.add(x, 1)          # EP 2
+        z = b.add(y, 1)          # EP 3
+        machine = two_unit_superscalar()
+        sg = block_schedule_graph(b.block(), machine=machine)
+        ep = initial_ep(sg)
+        assert [ep[i] for i in b.instructions] == [0, 2, 3]
+
+    def test_independent_all_zero(self):
+        b = BlockBuilder()
+        b.load("x")
+        b.load("y")
+        b.load("z")
+        sg = block_schedule_graph(b.block())
+        ep = initial_ep(sg)
+        assert set(ep.values()) == {0}
+
+
+class TestRefinedEP:
+    def test_loads_serialized_by_fetch_unit(self):
+        """Three independent loads share EP 0 but one fetch unit:
+        postponement spreads them over cycles 0, 1, 2."""
+        b = BlockBuilder()
+        b.load("x")
+        b.load("y")
+        b.load("z")
+        machine = two_unit_superscalar()
+        sg = block_schedule_graph(b.block(), machine=machine)
+        refined = refined_ep(sg, machine)
+        assert sorted(refined.values()) == [0, 1, 2]
+
+    def test_postponement_propagates_downstream(self):
+        b = BlockBuilder()
+        x = b.load("x")
+        y = b.load("y")
+        z = b.add(x, y)
+        machine = two_unit_superscalar()
+        sg = block_schedule_graph(b.block(), machine=machine)
+        refined = refined_ep(sg, machine)
+        loads = b.instructions[:2]
+        add = b.instructions[2]
+        # one load slips to cycle 1; the add must wait for its result.
+        assert refined[add] >= max(refined[l] for l in loads) + 2
+
+    def test_respects_edges(self):
+        fn = example2()
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        refined = refined_ep(sg, machine)
+        for u, v in sg.edges():
+            assert refined[v] >= refined[u] + sg.delay(u, v)
+
+    def test_group_fits_machine(self):
+        fn = example2()
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        refined = refined_ep(sg, machine)
+        groups = {}
+        for instr in fn.entry:
+            groups.setdefault(refined[instr], []).append(instr)
+        for group in groups.values():
+            assert len(group) <= machine.issue_width
+            for kind in set(machine.unit_for(i) for i in group):
+                count = sum(1 for i in group if machine.unit_for(i) is kind)
+                assert count <= machine.unit_count(kind)
+
+    def test_wide_machine_no_postponement(self):
+        fn = independent_chains(chains=3, length=2)
+        machine = wide_issue(fixed=4, memory=4, issue_width=8)
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        analysis = analyze_ep(sg, machine)
+        assert analysis.postponements() == 0
+
+    def test_single_issue_fully_serializes(self):
+        b = BlockBuilder()
+        b.load("x")
+        b.load("y")
+        machine = single_issue()
+        sg = block_schedule_graph(b.block(), machine=machine)
+        refined = refined_ep(sg, machine)
+        assert len(set(refined.values())) == 2
+
+
+class TestLinearOrder:
+    def test_order_is_topological(self):
+        fn = example2()
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        analysis = analyze_ep(sg, machine)
+        position = {instr: i for i, instr in enumerate(analysis.order)}
+        for u, v in sg.edges():
+            assert position[u] < position[v]
+
+    def test_order_is_permutation(self):
+        fn = example2()
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        analysis = analyze_ep(sg, machine)
+        assert sorted(i.uid for i in analysis.order) == sorted(
+            i.uid for i in fn.entry
+        )
+
+    def test_ties_break_by_program_order(self):
+        b = BlockBuilder()
+        b.load("x")
+        b.fload("y")  # different units: both EP 0 on a wide machine
+        machine = wide_issue(memory=2)
+        sg = block_schedule_graph(b.block(), machine=machine)
+        ep = refined_ep(sg, machine)
+        order = ep_linear_order(sg, ep)
+        assert order == b.instructions
+
+
+class TestZeroDelayGroups:
+    def test_anti_edge_pair_converges(self):
+        """Regression: a delay-0 (anti) edge inside an over-capacity EP
+        group used to make postponement chase itself forever — the
+        postponed predecessor dragged its successor along each round.
+        The group must instead postpone the successor."""
+        from repro.frontend import compile_source
+        from repro.deps.schedule_graph import block_schedule_graph
+
+        fn = compile_source(
+            "input in0, in1;"
+            "v1 = 0; v2 = in0;"
+            "while (v1 < 2) { v2 = v2 + v1; v1 = v1 + 1; }"
+            "output in0, v2;"
+        )
+        machine = two_unit_superscalar()
+        for block in fn.blocks():
+            if len(block.instructions) < 2:
+                continue
+            sg = block_schedule_graph(block, machine=machine)
+            ep = refined_ep(sg, machine)  # must not raise
+            for u, v in sg.edges():
+                assert ep[v] >= ep[u] + sg.delay(u, v)
+
+    def test_preschedule_on_loop_body(self):
+        from repro.frontend import compile_source
+        from repro.ir import equivalent
+        from repro.sched.prescheduler import preschedule_function
+
+        fn = compile_source(
+            "input n; s = 0; i = 0;"
+            "while (i < n) { s = s + i; i = i + 1; }"
+            "output s;"
+        )
+        clone = fn.copy()
+        preschedule_function(fn, two_unit_superscalar())
+        assert equivalent(clone, fn, initial_memory={"n": 4})

@@ -1,0 +1,96 @@
+"""Tests for Goodman–Hsu integrated prepass scheduling."""
+
+import pytest
+
+from repro.analysis.liveness import max_register_pressure
+from repro.deps.schedule_graph import block_schedule_graph
+from repro.ir import equivalent, verify_function
+from repro.machine.presets import two_unit_superscalar, wide_issue
+from repro.pipeline.strategies import GoodmanHsuIPS, run_all_strategies
+from repro.sched.ips import ips_reorder_function, ips_schedule
+from repro.sched.list_scheduler import list_schedule
+from repro.workloads import (
+    ALL_KERNELS,
+    dot_product,
+    example2,
+    independent_chains,
+    matmul_tile,
+)
+
+
+class TestIPSSchedule:
+    def test_schedule_is_legal(self):
+        fn = example2()
+        machine = two_unit_superscalar()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        result = ips_schedule(sg, machine, num_registers=8)
+        result.schedule.verify(sg)  # also done internally
+
+    def test_plentiful_registers_matches_list_scheduler(self):
+        """With a huge register budget IPS never enters CSR mode and
+        should match the plain critical-path list scheduler."""
+        fn = dot_product(4)
+        machine = two_unit_superscalar()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        ips = ips_schedule(sg, machine, num_registers=100)
+        plain = list_schedule(sg, machine)
+        assert ips.csr_cycles == 0
+        assert ips.schedule.makespan == plain.makespan
+
+    def test_tight_registers_reduce_peak_live(self):
+        """Under a tight budget IPS's peak live count is no worse than
+        the pipeline-only scheduler's."""
+        fn = matmul_tile(2)
+        machine = wide_issue()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+
+        tight = ips_schedule(sg, machine, num_registers=6, threshold=2)
+        loose = ips_schedule(sg, machine, num_registers=100)
+        assert tight.peak_live <= loose.peak_live
+        assert tight.csr_cycles > 0
+
+    def test_reorder_function_preserves_semantics(self):
+        machine = two_unit_superscalar()
+        for name in ("dot4", "mm2", "stencil3"):
+            fn = ALL_KERNELS[name]()
+            original = fn.copy()
+            ips_reorder_function(fn, machine, num_registers=6)
+            verify_function(fn)
+            assert equivalent(original, fn), name
+
+    def test_reorder_lowers_pressure_vs_list_schedule_order(self):
+        """The point of IPS: its committed order carries less register
+        pressure than the pure pipeline order on pressure-heavy code."""
+        machine = wide_issue()
+        fn_ips = matmul_tile(2)
+        fn_cp = matmul_tile(2)
+
+        ips_reorder_function(fn_ips, machine, num_registers=6)
+        sg = block_schedule_graph(fn_cp.entry, machine=machine)
+        fn_cp.entry.reorder(
+            list_schedule(sg, machine).instructions_in_order()
+        )
+
+        ips_pressure = max_register_pressure(fn_ips.entry)
+        cp_pressure = max_register_pressure(fn_cp.entry)
+        assert ips_pressure <= cp_pressure
+
+
+class TestIPSStrategy:
+    def test_strategy_contract(self):
+        machine = two_unit_superscalar()
+        fn = dot_product(4)
+        result = GoodmanHsuIPS().run(fn, machine, num_registers=8)
+        assert result.strategy == "goodman-hsu-ips"
+        assert equivalent(fn, result.allocated_function)
+
+    def test_ips_competitive_under_pressure(self):
+        """On mm2 with r=8 the register-sensitive order spills less
+        than the pressure-oblivious schedule-first baseline."""
+        from repro.pipeline.strategies import ScheduleThenAllocate
+
+        machine = two_unit_superscalar()
+        fn = matmul_tile(2)
+        ips = GoodmanHsuIPS().run(fn, machine, num_registers=8)
+        sched_first = ScheduleThenAllocate().run(fn, machine, num_registers=8)
+        assert ips.spill_operations <= sched_first.spill_operations

@@ -1,0 +1,161 @@
+"""Tests for the list scheduler and in-order issue model."""
+
+import pytest
+
+from repro.deps.schedule_graph import block_schedule_graph
+from repro.sched.list_scheduler import (
+    critical_path_priority,
+    inorder_issue_schedule,
+    list_schedule,
+)
+from repro.ir.builder import BlockBuilder
+from repro.machine.presets import (
+    single_issue,
+    two_unit_superscalar,
+    wide_issue,
+)
+from repro.utils.errors import SchedulingError
+from repro.workloads import (
+    apply_name_mapping,
+    dot_product,
+    example1,
+    example1_machine_model,
+    example1_naive_mapping,
+    example2,
+    example2_machine_model,
+)
+
+
+class TestListSchedule:
+    def test_schedule_verifies(self):
+        fn = example2()
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        schedule = list_schedule(sg, machine)
+        schedule.verify(sg)  # no raise (also called internally)
+
+    def test_makespan_at_least_critical_path(self):
+        fn = example2()
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        schedule = list_schedule(sg, machine)
+        assert schedule.makespan >= sg.critical_path_length()
+
+    def test_makespan_at_least_width_bound(self):
+        fn = dot_product(4)
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        schedule = list_schedule(sg, machine)
+        import math
+
+        assert schedule.issue_span >= math.ceil(
+            len(fn.entry.instructions) / machine.issue_width
+        )
+
+    def test_single_issue_schedules_one_per_cycle(self):
+        fn = example2()
+        machine = single_issue()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        schedule = list_schedule(sg, machine)
+        for group in schedule.cycles():
+            assert len(group) <= 1
+
+    def test_parallel_pairs_on_superscalar(self):
+        fn = example2()
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        schedule = list_schedule(sg, machine)
+        assert schedule.parallel_pairs()  # some dual issue happens
+
+    def test_empty_graph(self):
+        b = BlockBuilder()
+        sg = block_schedule_graph(b.block())
+        schedule = list_schedule(sg, two_unit_superscalar())
+        assert schedule.makespan == 0
+
+    def test_timeline_format(self):
+        fn = example2()
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        text = list_schedule(sg, machine).format_timeline()
+        assert "cycle" in text
+
+    def test_instructions_in_order_is_topological(self):
+        fn = example2()
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        ordered = list_schedule(sg, machine).instructions_in_order()
+        position = {i: idx for idx, i in enumerate(ordered)}
+        for u, v in sg.edges():
+            if sg.delay(u, v) > 0:
+                assert position[u] < position[v]
+
+
+class TestPriorities:
+    def test_critical_path_priority_prefers_long_chains(self):
+        b = BlockBuilder()
+        # A long chain starting at c0 and a lone leaf l.
+        c0 = b.load("c0")
+        c1 = b.add(c0, 1)
+        c2 = b.add(c1, 1)
+        leaf = b.loadi(7)
+        sg = block_schedule_graph(b.block(), machine=two_unit_superscalar())
+        priority = critical_path_priority(sg)
+        assert priority(b.instructions[0]) > priority(b.instructions[3])
+
+
+class TestInOrderIssue:
+    def test_example1_naive_allocation_kills_coissue(self):
+        """The paper's headline: allocation (c) introduces a false
+        dependence between instructions 2 and 4, "forbidding the
+        parallel execution (scheduling) of the two instructions" —
+        while the alternative allocation keeps them co-schedulable."""
+        machine = example1_machine_model()
+        fn = example1()
+        naive = apply_name_mapping(fn, example1_naive_mapping())
+        from repro.workloads import example1_good_mapping
+
+        good = apply_name_mapping(fn, example1_good_mapping())
+
+        def may_coissue(f):
+            """Is there any schedule putting instrs 2 and 4 in one
+            cycle?  Equivalent: no (nonzero-delay) path between them
+            in the allocated code's dependence graph, and no resource
+            clash (mov is on the move port, add on the fixed unit)."""
+            sg = block_schedule_graph(f.entry, machine=machine)
+            i2, i4 = f.entry.instructions[1], f.entry.instructions[3]
+            from repro.deps.transitive import transitive_closure_pairs, ordered_pair
+
+            return ordered_pair(i2, i4) not in transitive_closure_pairs(sg)
+
+        assert may_coissue(good)
+        assert not may_coissue(naive)
+
+        def inorder_makespan(f):
+            sg = block_schedule_graph(f.entry, machine=machine)
+            return inorder_issue_schedule(
+                f.entry.instructions, sg, machine
+            ).makespan
+
+        # The structural loss never helps: the naive allocation's
+        # makespan is at least the good allocation's.
+        assert inorder_makespan(naive) >= inorder_makespan(good)
+
+    def test_inorder_never_beats_list_scheduler(self):
+        fn = example2()
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        reordered = list_schedule(sg, machine).makespan
+        inorder = inorder_issue_schedule(
+            fn.entry.instructions, sg, machine
+        ).makespan
+        assert inorder >= reordered
+
+    def test_inorder_verifies(self):
+        fn = example2()
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        schedule = inorder_issue_schedule(
+            fn.entry.instructions, sg, machine
+        )
+        schedule.verify(sg)

@@ -1,0 +1,183 @@
+"""Tests for the EP pre-scheduler, the issue simulator and the
+region-level global scheduler."""
+
+import pytest
+
+from repro.deps.schedule_graph import block_schedule_graph
+from repro.ir import equivalent, verify_function
+from repro.machine.presets import single_issue, two_unit_superscalar, wide_issue
+from repro.sched.global_scheduler import (
+    merge_plausible_blocks,
+    schedule_region,
+    simulate_regions,
+)
+from repro.sched.prescheduler import preschedule_block, preschedule_function
+from repro.sched.simulator import simulate_block, simulate_function
+from repro.analysis.regions import schedule_regions
+from repro.workloads import (
+    adversarial_serial_order,
+    diamond_chain,
+    example2,
+    example2_machine_model,
+    RandomBlockConfig,
+)
+
+
+class TestPrescheduler:
+    def test_semantics_preserved(self):
+        fn = example2()
+        machine = example2_machine_model()
+        original = fn.copy()
+        preschedule_function(fn, machine)
+        verify_function(fn)
+        assert equivalent(original, fn)
+
+    def test_reorder_is_permutation(self):
+        fn = example2()
+        uids_before = sorted(i.uid for i in fn.entry)
+        preschedule_block(fn.entry, example2_machine_model())
+        assert sorted(i.uid for i in fn.entry) == uids_before
+
+    def test_interleaves_unit_kinds(self):
+        """Example 2's input order runs all fixed-point work first; EP
+        reordering interleaves the float loads earlier (their EP is 0)."""
+        fn = example2()
+        preschedule_block(fn.entry, example2_machine_model())
+        first_four = fn.entry.instructions[:4]
+        from repro.ir.opcodes import UnitKind
+
+        kinds = {i.unit for i in first_four}
+        assert UnitKind.MEMORY in kinds
+        # the float loads (s6, s7) have EP 0/1 and move up.
+        names = [str(i.dest) for i in fn.entry if i.dests]
+        assert names.index("s6") < names.index("s5")
+
+    def test_terminator_stays_last(self):
+        from repro.ir.builder import BlockBuilder
+
+        b = BlockBuilder()
+        x = b.load("x")
+        b.add(x, 1)
+        b.ret()
+        block = b.block()
+        preschedule_block(block, two_unit_superscalar())
+        assert block.terminator is not None
+
+    def test_single_instruction_block_untouched(self):
+        from repro.ir.builder import BlockBuilder
+
+        b = BlockBuilder()
+        b.load("x")
+        block = b.block()
+        before = list(block.instructions)
+        preschedule_block(block, two_unit_superscalar())
+        assert block.instructions == before
+
+    def test_adversarial_order_improves(self):
+        """All-loads-first ordering has maximal pressure; EP reorder
+        cannot increase the scheduled makespan."""
+        machine = two_unit_superscalar()
+        fn = adversarial_serial_order(RandomBlockConfig(size=16, seed=3))
+        before = simulate_function(fn, machine).total_cycles
+        preschedule_function(fn, machine)
+        after = simulate_function(fn, machine).total_cycles
+        assert after <= before
+
+
+class TestSimulator:
+    def test_block_timing_fields(self):
+        fn = example2()
+        machine = example2_machine_model()
+        timing = simulate_block(fn.entry, machine)
+        assert timing.makespan >= timing.critical_path
+        assert 0 < timing.utilization <= 1.0
+
+    def test_reorder_false_improves_nothing(self):
+        fn = example2()
+        machine = example2_machine_model()
+        with_reorder = simulate_block(fn.entry, machine, reorder=True)
+        without = simulate_block(fn.entry, machine, reorder=False)
+        assert without.makespan >= with_reorder.makespan
+
+    def test_single_issue_makespan_at_least_count(self):
+        fn = example2()
+        timing = simulate_block(fn.entry, single_issue())
+        assert timing.makespan >= len(fn.entry.instructions)
+
+    def test_function_aggregates(self):
+        fn = diamond_chain(num_diamonds=2)
+        machine = two_unit_superscalar()
+        result = simulate_function(fn, machine)
+        assert result.total_cycles == sum(b.makespan for b in result.blocks)
+        assert result.critical_path <= result.total_cycles
+        assert result.block_timing("entry").makespan >= 1
+        with pytest.raises(KeyError):
+            result.block_timing("missing")
+
+
+class TestGlobalScheduler:
+    def test_region_schedule_verifies(self):
+        fn = diamond_chain(num_diamonds=1)
+        machine = two_unit_superscalar()
+        for region in schedule_regions(fn):
+            timing = schedule_region(fn, region, machine)
+            assert timing.makespan >= 1
+
+    def test_region_beats_per_block_on_chains(self):
+        """Joint scheduling of control-equivalent blocks exposes
+        cross-block parallelism, so region totals never exceed the sum
+        of per-block makespans."""
+        fn = diamond_chain(num_diamonds=2, block_size=6)
+        machine = two_unit_superscalar()
+        per_block = simulate_function(fn, machine).total_cycles
+        per_region = simulate_regions(fn, machine).total_cycles
+        assert per_region <= per_block
+
+    def test_merge_plausible_blocks_semantics(self):
+        from repro.ir.builder import FunctionBuilder
+
+        fb = FunctionBuilder("f")
+        a = fb.block("a", entry=True)
+        x = a.load("x")
+        a.br("b")
+        b_blk = fb.block("b")
+        y = b_blk.add(x, 1)
+        b_blk.ret()
+        fb.edge("a", "b")
+        fn = fb.function(live_out=[y])
+        merged = merge_plausible_blocks(fn)
+        assert len(merged) == 1
+        verify_function(merged)
+        assert equivalent(fn, merged)
+
+    def test_merge_preserves_diamonds(self):
+        fn = diamond_chain(num_diamonds=1)
+        merged = merge_plausible_blocks(fn)
+        # arms must survive as separate blocks.
+        assert len(merged) >= 3
+        assert equivalent(fn, merged)
+
+
+class TestWeightedCycles:
+    def test_loop_blocks_weighted(self):
+        from repro.frontend import compile_source
+
+        fn = compile_source(
+            "input n; s = 0; i = 0;"
+            "while (i < n) { s = s + i; i = i + 1; }"
+            "output s;"
+        )
+        machine = two_unit_superscalar()
+        result = simulate_function(fn, machine)
+        # loop header and body carry weight 10.
+        loop_blocks = [
+            name for name, w in result.block_weights.items() if w == 10
+        ]
+        assert len(loop_blocks) == 2
+        assert result.weighted_cycles > result.total_cycles
+
+    def test_straightline_weights_all_one(self):
+        fn = example2()
+        machine = example2_machine_model()
+        result = simulate_function(fn, machine)
+        assert result.weighted_cycles == result.total_cycles

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+input a, b;
+x = a * b + 3;
+if (x > a) { y = x - a; } else { y = a - x; }
+output y;
+"""
+
+IR_TEXT = """
+func tiny {
+block entry:
+  s1 = load @a
+  s2 = add s1, s1
+live-out: s2
+}
+"""
+
+
+@pytest.fixture
+def src_file(tmp_path):
+    path = tmp_path / "prog.src"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def ir_file(tmp_path):
+    path = tmp_path / "prog.ir"
+    path.write_text(IR_TEXT)
+    return str(path)
+
+
+class TestCompileCommand:
+    def test_default_strategy(self, src_file, capsys):
+        assert main(["compile", src_file]) == 0
+        out = capsys.readouterr().out
+        assert "strategy=pinter" in out
+        assert "false_deps=0" in out
+        assert "func" in out
+
+    def test_all_strategies(self, src_file, capsys):
+        assert main(["compile", src_file, "--strategy", "all"]) == 0
+        out = capsys.readouterr().out
+        for name in ("alloc-then-sched", "sched-then-alloc", "pinter",
+                     "goodman-hsu-ips"):
+            assert "strategy={}".format(name) in out
+
+    def test_ir_input(self, ir_file, capsys):
+        assert main(["compile", ir_file, "--ir"]) == 0
+        out = capsys.readouterr().out
+        assert "registers=" in out
+
+    def test_registers_flag(self, src_file, capsys):
+        assert main(["compile", src_file, "-r", "3"]) == 0
+        assert "r=3" in capsys.readouterr().out
+
+    def test_optimize_flag(self, src_file, capsys):
+        assert main(["compile", src_file, "--optimize"]) == 0
+        assert "optimize:" in capsys.readouterr().out
+
+    def test_timeline_flag(self, src_file, capsys):
+        assert main(["compile", src_file, "--timeline"]) == 0
+        assert "timeline of block" in capsys.readouterr().out
+
+    def test_machine_choice(self, src_file, capsys):
+        assert main(["compile", src_file, "--machine", "rs6000"]) == 0
+        assert "machine=rs6000" in capsys.readouterr().out
+
+    def test_unknown_machine(self, src_file):
+        with pytest.raises(SystemExit):
+            main(["compile", src_file, "--machine", "cray"])
+
+    def test_unknown_strategy(self, src_file):
+        with pytest.raises(SystemExit):
+            main(["compile", src_file, "--strategy", "magic"])
+
+
+class TestGraphCommand:
+    @pytest.mark.parametrize("kind", ["cfg", "gs", "fdg", "ig", "pig"])
+    def test_all_kinds(self, src_file, kind, capsys):
+        assert main(["graph", src_file, "--kind", kind]) == 0
+        out = capsys.readouterr().out
+        assert "graph" in out  # digraph or graph header
+
+    def test_output_file(self, src_file, tmp_path, capsys):
+        target = str(tmp_path / "out.dot")
+        assert main(["graph", src_file, "-o", target]) == 0
+        with open(target) as handle:
+            assert "graph pig" in handle.read()
+
+
+class TestKernelsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "dot4" in out
+        assert "instructions" in out

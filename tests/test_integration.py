@@ -1,0 +1,161 @@
+"""End-to-end integration tests: the complete paper narrative on both
+worked examples, plus whole-pipeline flows over kernels and CFGs."""
+
+import pytest
+
+from repro.core.allocator import PinterAllocator
+from repro.core.parallel_interference import build_parallel_interference_graph
+from repro.ir import equivalent, format_function, parse_function, verify_function
+from repro.machine.presets import two_unit_superscalar
+from repro.pipeline.strategies import run_all_strategies
+from repro.pipeline.verify import count_false_dependences
+from repro.regalloc.chaitin import exact_chromatic_number
+from repro.sched.simulator import simulate_function
+from repro.workloads import (
+    apply_name_mapping,
+    diamond_chain,
+    example1,
+    example1_machine_model,
+    example1_naive_mapping,
+    example2,
+    example2_machine_model,
+    matmul_tile,
+)
+
+
+class TestPaperNarrativeExample1:
+    """The full Section 1 story, executable."""
+
+    def test_complete_story(self):
+        fn = example1()
+        machine = example1_machine_model()
+
+        # (c) The naive allocation uses 3 registers but introduces the
+        # false dependence between instructions 2 and 4.
+        naive = apply_name_mapping(fn, example1_naive_mapping())
+        assert count_false_dependences(fn, naive, machine) == 1
+
+        # The framework: chi(PIG) = 3, so the combined allocator finds
+        # a 3-register allocation with NO false dependence.
+        pig = build_parallel_interference_graph(fn, machine)
+        assert exact_chromatic_number(pig.graph) == 3
+        outcome = PinterAllocator(machine, num_registers=3).run(fn)
+        assert outcome.registers_used == 3
+        assert outcome.false_dependences == []
+        assert equivalent(fn, outcome.allocated_function)
+
+        # And the allocation is never slower than the naive one.
+        naive_cycles = simulate_function(naive, machine).total_cycles
+        assert outcome.total_cycles <= naive_cycles
+
+
+class TestPaperNarrativeExample2:
+    """The full Section 3 story, executable."""
+
+    def test_complete_story(self):
+        fn = example2()
+        machine = example2_machine_model()
+        pig = build_parallel_interference_graph(fn, machine)
+
+        # Figure 4: three registers suffice for the interference graph.
+        assert exact_chromatic_number(pig.interference.graph) == 3
+        # But the parallelizable interference graph needs four.
+        assert exact_chromatic_number(pig.graph) == 4
+
+        # A 4-register combined allocation has no false dependences.
+        outcome = PinterAllocator(
+            machine, num_registers=4, preschedule=False
+        ).run(fn)
+        assert outcome.registers_used == 4
+        assert outcome.false_dependences == []
+
+        # Any 3-register allocation of the PIG must give up edges:
+        squeezed = PinterAllocator(
+            machine, num_registers=3, preschedule=False
+        ).run(fn)
+        assert squeezed.registers_used == 3
+        assert squeezed.parallelism_sacrificed >= 1
+
+        # The 4-register program is at least as fast as the 3-register
+        # one on this machine.
+        assert outcome.total_cycles <= squeezed.total_cycles
+
+
+class TestTextualRoundTripThroughPipeline:
+    def test_parse_allocate_print(self):
+        text = """
+        func roundtrip {
+        block entry:
+          s1 = load @a
+          s2 = load @b
+          s3 = fmul s1, s2
+          s4 = fadd s3, s1
+          store s4, @c
+        }
+        """
+        fn = parse_function(text)
+        verify_function(fn)
+        machine = two_unit_superscalar()
+        outcome = PinterAllocator(machine, num_registers=8).run(fn)
+        rendered = format_function(outcome.allocated_function)
+        reparsed = parse_function(rendered)
+        assert equivalent(outcome.allocated_function, reparsed)
+
+
+class TestWholePipelineOnCfg:
+    def test_diamond_chain_all_strategies(self):
+        fn = diamond_chain(num_diamonds=2)
+        machine = two_unit_superscalar()
+        rows = run_all_strategies(fn, machine, num_registers=10)
+        for row in rows:
+            assert equivalent(fn, row.allocated_function), row.strategy
+            verify_function(row.allocated_function)
+
+    def test_spill_heavy_flow(self):
+        fn = matmul_tile(2)
+        machine = two_unit_superscalar()
+        outcome = PinterAllocator(machine, num_registers=5).run(fn)
+        assert outcome.spill_rounds >= 1
+        assert equivalent(fn, outcome.allocated_function)
+        # Spilled program still respects the register budget.
+        physical = {
+            str(r)
+            for instr in outcome.allocated_function.instructions()
+            for r in list(instr.defs()) + list(instr.uses())
+            if str(r).startswith("r")
+        }
+        assert len(physical) <= 5
+
+
+class TestDeterminism:
+    def test_pipeline_output_is_reproducible(self):
+        """Two runs over the same input produce byte-identical output —
+        work-lists, webs and tie-breaks are all deterministic."""
+        from repro.core import PinterAllocator
+        from repro.frontend import compile_source
+
+        src = (
+            "input a, b; x = a * b; y = x + a;"
+            "if (y > 9) { z = y - 9; } else { z = y; }"
+            "output z;"
+        )
+        machine = two_unit_superscalar()
+
+        def run_once():
+            fn = compile_source(src)
+            outcome = PinterAllocator(
+                machine, num_registers=6, coalesce=True
+            ).run(fn)
+            return format_function(outcome.allocated_function)
+
+        assert run_once() == run_once()
+
+    def test_strategy_rows_reproducible(self):
+        fn = matmul_tile(2)
+        rows_a = [
+            r.as_row() for r in run_all_strategies(fn, two_unit_superscalar(), 8)
+        ]
+        rows_b = [
+            r.as_row() for r in run_all_strategies(fn, two_unit_superscalar(), 8)
+        ]
+        assert rows_a == rows_b

@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode DESIGN.md section 6: Theorem 1 as a universal property
+over random programs, Lemma 1's partition, scheduler legality, and
+semantic preservation of every transformation.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocator import PinterAllocator
+from repro.core.coloring import pinter_color
+from repro.core.parallel_interference import build_parallel_interference_graph
+from repro.core.theorems import check_theorem1
+from repro.deps.false_dependence import block_false_dependence_graph
+from repro.deps.schedule_graph import block_schedule_graph
+from repro.deps.transitive import ordered_pair, transitive_closure_pairs
+from repro.ir import equivalent, verify_function
+from repro.machine.presets import single_issue, two_unit_superscalar, wide_issue
+from repro.pipeline.strategies import run_all_strategies
+from repro.regalloc.chaitin import chaitin_color, validate_coloring
+from repro.regalloc.interference import build_interference_graph
+from repro.regalloc.spill import insert_spill_code
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.prescheduler import preschedule_function
+from repro.workloads import RandomBlockConfig, random_block
+
+MACHINES = {
+    "two-unit": two_unit_superscalar,
+    "wide": wide_issue,
+    "single": single_issue,
+}
+
+configs = st.builds(
+    RandomBlockConfig,
+    size=st.integers(min_value=2, max_value=28),
+    load_fraction=st.sampled_from([0.2, 0.4, 0.6]),
+    float_fraction=st.sampled_from([0.0, 0.3, 0.6]),
+    store_fraction=st.sampled_from([0.0, 0.1]),
+    window=st.integers(min_value=2, max_value=12),
+    live_out_count=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+machine_names = st.sampled_from(sorted(MACHINES))
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@RELAXED
+@given(config=configs)
+def test_generated_programs_verify(config):
+    verify_function(random_block(config))
+
+
+@RELAXED
+@given(config=configs, machine_name=machine_names)
+def test_ef_et_partition(config, machine_name):
+    """Lemma 1 setup: E_t and E_f partition the unordered pairs."""
+    fn = random_block(config)
+    machine = MACHINES[machine_name]()
+    fdg = block_false_dependence_graph(fn.entry, machine)
+    n = len(fn.entry.instructions)
+    assert len(fdg.et_pairs) + len(fdg.ef_pairs) == n * (n - 1) // 2
+    assert not (fdg.et_pairs & fdg.ef_pairs)
+
+
+@RELAXED
+@given(config=configs, machine_name=machine_names)
+def test_ef_pairs_resource_compatible(config, machine_name):
+    """Every E_f pair must be machine-co-issueable and dependence-free
+    — the defining property of the complement construction."""
+    fn = random_block(config)
+    machine = MACHINES[machine_name]()
+    fdg = block_false_dependence_graph(fn.entry, machine)
+    sg = fdg.schedule_graph
+    closure = transitive_closure_pairs(sg)
+    for a, b in fdg.ef_pairs:
+        assert machine.can_coissue(a, b)
+        assert ordered_pair(a, b) not in closure
+
+
+@RELAXED
+@given(config=configs, machine_name=machine_names)
+def test_theorem1_property(config, machine_name):
+    """THE paper property: any complete proper coloring of the PIG
+    introduces zero false dependences and zero spills."""
+    fn = random_block(config)
+    machine = MACHINES[machine_name]()
+    pig = build_parallel_interference_graph(fn, machine)
+    r = max((pig.graph.degree(w) for w in pig.webs), default=0) + 1
+    result = pinter_color(pig, max(r, 1))
+    assert not result.has_spills
+    assert not result.removed_false_edges
+    assert check_theorem1(pig, result.coloring) == []
+
+
+@RELAXED
+@given(config=configs)
+def test_coloring_validity(config):
+    fn = random_block(config)
+    ig = build_interference_graph(fn)
+    r = max((ig.degree(w) for w in ig.webs), default=0) + 1
+    result = chaitin_color(ig.graph, max(r, 1))
+    assert not result.has_spills
+    validate_coloring(ig.graph, result.coloring)
+
+
+@RELAXED
+@given(config=configs, machine_name=machine_names)
+def test_schedule_legality_and_bounds(config, machine_name):
+    """Schedules respect every edge, every resource, and sit between
+    the critical-path and trivial upper bounds."""
+    fn = random_block(config)
+    machine = MACHINES[machine_name]()
+    sg = block_schedule_graph(fn.entry, machine=machine)
+    schedule = list_schedule(sg, machine)  # verify() runs internally
+    n = len(fn.entry.instructions)
+    assert schedule.makespan >= sg.critical_path_length()
+    assert schedule.issue_span >= math.ceil(n / machine.issue_width)
+    assert schedule.makespan <= sum(
+        machine.latency_of(i) for i in fn.entry.instructions
+    ) + n
+
+
+@RELAXED
+@given(config=configs, machine_name=machine_names)
+def test_preschedule_preserves_semantics(config, machine_name):
+    fn = random_block(config)
+    machine = MACHINES[machine_name]()
+    original = fn.copy()
+    preschedule_function(fn, machine)
+    verify_function(fn)
+    assert equivalent(original, fn)
+
+
+@RELAXED
+@given(config=configs, victims=st.integers(min_value=1, max_value=3))
+def test_spill_insertion_preserves_semantics(config, victims):
+    fn = random_block(config)
+    ig = build_interference_graph(fn)
+    if not ig.webs:
+        return
+    chosen = ig.webs[: victims]
+    spilled, report = insert_spill_code(fn, chosen)
+    verify_function(spilled)
+    assert equivalent(fn, spilled)
+    assert report.stores_added >= 0
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    config=configs,
+    machine_name=st.sampled_from(["two-unit", "wide"]),
+    registers=st.integers(min_value=6, max_value=16),
+)
+def test_full_allocator_end_to_end(config, machine_name, registers):
+    """PinterAllocator: semantics preserved, register budget respected,
+    and no false dependences unless parallelism was sacrificed."""
+    fn = random_block(config)
+    machine = MACHINES[machine_name]()
+    from repro.utils.errors import AllocationError
+
+    try:
+        outcome = PinterAllocator(machine, num_registers=registers).run(fn)
+    except AllocationError:
+        # Irreducible pressure (too many live-outs for r) is a legal
+        # outcome for the generator's corner cases.
+        return
+    assert outcome.registers_used <= registers
+    assert equivalent(fn, outcome.allocated_function)
+    if outcome.parallelism_sacrificed == 0:
+        assert outcome.false_dependences == []
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(config=configs)
+def test_all_strategies_agree_semantically(config):
+    fn = random_block(config)
+    machine = two_unit_superscalar()
+    from repro.utils.errors import AllocationError
+
+    try:
+        rows = run_all_strategies(fn, machine, num_registers=10)
+    except AllocationError:
+        return
+    for row in rows:
+        assert equivalent(fn, row.allocated_function), row.strategy

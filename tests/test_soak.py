@@ -1,0 +1,116 @@
+"""Miniature fuzz soak: random source programs through every allocator
+configuration, outputs compared against the unoptimized reference.
+
+The full soak (300 seeds; see docs/ARCHITECTURE.md) caught three real
+bugs; this scaled-down version keeps the same coverage shape in the
+normal test run.  Scale up with ``REPRO_SOAK_SEEDS=300 pytest
+tests/test_soak.py``.
+"""
+
+import os
+
+import pytest
+
+from repro.core import PinterAllocator
+from repro.frontend import compile_source
+from repro.ir import run_function
+from repro.machine.presets import rs6000, single_issue, two_unit_superscalar
+from repro.opt import optimize
+from repro.utils.errors import AllocationError
+from repro.workloads import (
+    SourceFuzzConfig,
+    random_input_memory,
+    random_source,
+)
+
+SEEDS = int(os.environ.get("REPRO_SOAK_SEEDS", "12"))
+
+CONFIGURATIONS = (
+    {},
+    {"coalesce": True},
+    {"edge_policy": "lazy"},
+    {"optimistic": True},
+    {"preschedule": False},
+)
+
+
+@pytest.mark.parametrize("seed", range(SEEDS))
+def test_soak_seed(seed):
+    config = SourceFuzzConfig(
+        seed=seed,
+        num_statements=12,
+        if_probability=0.3,
+        while_probability=0.2,
+    )
+    source = random_source(config)
+    reference = compile_source(source)
+    expected = [
+        run_function(
+            reference, dict(random_input_memory(config, case))
+        ).live_out_values
+        for case in range(2)
+    ]
+
+    for machine in (two_unit_superscalar(), rs6000(), single_issue()):
+        for options in CONFIGURATIONS:
+            for registers in (6, 12):
+                fn = compile_source(source)
+                optimize(fn)
+                try:
+                    outcome = PinterAllocator(
+                        machine, num_registers=registers, **options
+                    ).run(fn)
+                except AllocationError:
+                    continue  # irreducible pressure: legal corner case
+                for case in range(2):
+                    memory = random_input_memory(config, case)
+                    actual = run_function(
+                        outcome.allocated_function, dict(memory)
+                    ).live_out_values
+                    assert actual == expected[case], (
+                        machine.name, options, registers, case,
+                    )
+
+
+@pytest.mark.parametrize("seed", range(max(4, SEEDS // 3)))
+def test_soak_strategies_and_banked(seed):
+    """All four strategies plus banked allocation on float-heavy
+    fuzzed sources, outputs checked against the reference."""
+    from repro.pipeline import extended_strategies
+    from repro.regalloc import BankedBudget
+
+    config = SourceFuzzConfig(
+        seed=seed + 9000,
+        num_statements=10,
+        if_probability=0.3,
+        while_probability=0.2,
+        float_probability=0.4,
+    )
+    source = random_source(config)
+    reference = compile_source(source)
+    memory = random_input_memory(config, 0)
+    expected = run_function(reference, dict(memory)).live_out_values
+    machine = rs6000()
+
+    for strategy in extended_strategies():
+        fn = compile_source(source)
+        try:
+            result = strategy.run(fn, machine, num_registers=10)
+        except AllocationError:
+            continue
+        actual = run_function(
+            result.allocated_function, dict(memory)
+        ).live_out_values
+        assert actual == expected, strategy.name
+
+    fn = compile_source(source)
+    try:
+        outcome = PinterAllocator(
+            machine, banked=BankedBudget(6, 6)
+        ).run(fn)
+    except AllocationError:
+        return
+    actual = run_function(
+        outcome.allocated_function, dict(memory)
+    ).live_out_values
+    assert actual == expected

@@ -1,0 +1,93 @@
+"""Unit tests for repro.utils."""
+
+import pytest
+
+from repro.utils import (
+    AllocationError,
+    IRError,
+    OrderedSet,
+    ReproError,
+    SchedulingError,
+)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(IRError, ReproError)
+        assert issubclass(AllocationError, ReproError)
+        assert issubclass(SchedulingError, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise AllocationError("boom")
+
+
+class TestOrderedSet:
+    def test_preserves_insertion_order(self):
+        s = OrderedSet([3, 1, 2, 1])
+        assert list(s) == [3, 1, 2]
+
+    def test_add_and_discard(self):
+        s = OrderedSet()
+        s.add("a")
+        s.add("b")
+        s.add("a")
+        assert list(s) == ["a", "b"]
+        s.discard("a")
+        assert list(s) == ["b"]
+        s.discard("missing")  # no raise
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            OrderedSet().remove("x")
+
+    def test_pop_first_is_fifo(self):
+        s = OrderedSet([1, 2, 3])
+        assert s.pop_first() == 1
+        assert s.pop_first() == 2
+        assert list(s) == [3]
+
+    def test_union_keeps_left_order(self):
+        a = OrderedSet([1, 2])
+        b = OrderedSet([3, 2])
+        assert list(a.union(b)) == [1, 2, 3]
+        assert list(a | b) == [1, 2, 3]
+
+    def test_intersection_and_difference(self):
+        a = OrderedSet([1, 2, 3, 4])
+        b = [2, 4, 6]
+        assert list(a.intersection(b)) == [2, 4]
+        assert list(a.difference(b)) == [1, 3]
+        assert list(a & OrderedSet(b)) == [2, 4]
+        assert list(a - OrderedSet(b)) == [1, 3]
+
+    def test_equality_ignores_order(self):
+        assert OrderedSet([1, 2]) == OrderedSet([2, 1])
+        assert OrderedSet([1, 2]) == {1, 2}
+        assert OrderedSet([1]) != OrderedSet([1, 2])
+
+    def test_len_bool_contains(self):
+        s = OrderedSet([1])
+        assert len(s) == 1
+        assert s
+        assert 1 in s
+        assert 2 not in s
+        assert not OrderedSet()
+
+    def test_copy_is_independent(self):
+        a = OrderedSet([1])
+        b = a.copy()
+        b.add(2)
+        assert 2 not in a
+
+    def test_update(self):
+        s = OrderedSet([1])
+        s.update([2, 3])
+        assert list(s) == [1, 2, 3]
+
+    def test_repr(self):
+        assert "OrderedSet" in repr(OrderedSet([1]))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(OrderedSet())

