@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test bench figures examples all clean
+.PHONY: install test bench bench-check bench-pytest figures examples all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,7 +8,18 @@ install:
 test:
 	python -m pytest tests/
 
+# Time the dependence/PIG pipeline (bitset vs retained reference) and
+# write BENCH_current.json.  The committed baseline is BENCH_pr1.json.
 bench:
+	PYTHONPATH=src python tools/bench_run.py -o BENCH_current.json
+
+# Regenerate timings and fail on >20% wall-time regression vs the
+# committed baseline.
+bench-check: bench
+	PYTHONPATH=src python tools/bench_compare.py BENCH_pr1.json BENCH_current.json
+
+# The pytest-benchmark microbenchmarks (the old `make bench`).
+bench-pytest:
 	python -m pytest benchmarks/ --benchmark-only
 
 # Regenerate every paper figure/table with the printed artifacts.
@@ -21,8 +32,9 @@ examples:
 		python $$script > /dev/null || exit 1; \
 	done; echo "all examples ran"
 
-all: test bench examples
+all: test bench-check examples
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
 	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info
+	rm -f BENCH_current.json

@@ -17,7 +17,7 @@ from repro.workloads import RandomBlockConfig, random_block
 
 MACHINE = two_unit_superscalar()
 
-SIZES = (8, 16, 32, 64, 128)
+SIZES = (8, 16, 32, 64, 128, 256)
 
 
 def test_e7_pig_construction_scaling(benchmark, emit):

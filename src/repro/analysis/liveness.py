@@ -19,6 +19,7 @@ is half-open at the last use — with a switch for the closed variant.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -190,29 +191,37 @@ def block_live_intervals(
         per definition — the vertex set of the interference graph.
     """
     n = len(block.instructions)
-    last_use: Dict[Register, int] = {}
-    first_def: Dict[Register, int] = {}
+    uses_by_reg: Dict[Register, List[int]] = {}
+    defs_by_reg: Dict[Register, List[int]] = {}
     for idx, instr in enumerate(block.instructions):
         for reg in instr.uses():
-            last_use[reg] = idx
+            uses_by_reg.setdefault(reg, []).append(idx)
         for reg in instr.defs():
-            first_def.setdefault(reg, idx)
+            defs_by_reg.setdefault(reg, []).append(idx)
+
+    def last_use_in(reg: Register, lo: int, hi: int) -> int:
+        """Last use position p of *reg* with lo < p <= hi, or -1."""
+        positions = uses_by_reg.get(reg)
+        if not positions:
+            return -1
+        k = bisect_right(positions, hi) - 1
+        if k >= 0 and positions[k] > lo:
+            return positions[k]
+        return -1
 
     intervals: List[LiveInterval] = []
 
     if include_live_in:
         for reg in sorted(live_in, key=str):
-            redefined_at = first_def.get(reg, n)
+            def_positions = defs_by_reg.get(reg)
+            redefined_at = def_positions[0] if def_positions else n
             # The incoming value dies at its last use up to AND
             # including any local redefinition — an instruction that
             # both uses and defines the register reads the old value
             # (e.g. a loop-carried self-move) — or extends to block end
             # if live-out and never redefined.
-            end = -1
-            for idx in range(min(redefined_at + 1, n)):
-                if reg in block.instructions[idx].uses():
-                    end = idx
-            if reg in live_out and reg not in first_def:
+            end = last_use_in(reg, -1, min(redefined_at, n - 1))
+            if reg in live_out and not def_positions:
                 end = n
             elif end < 0:
                 end = 0  # live-in but never used before redefinition: dead on arrival
@@ -222,23 +231,17 @@ def block_live_intervals(
 
     # One interval per definition: from the def to the last use before
     # the next definition of the same register (or block end if live-out).
-    defs_by_reg: Dict[Register, List[int]] = {}
-    for idx, instr in enumerate(block.instructions):
-        for reg in instr.defs():
-            defs_by_reg.setdefault(reg, []).append(idx)
-
     for idx, instr in enumerate(block.instructions):
         for reg in instr.defs():
             def_positions = defs_by_reg[reg]
-            later_defs = [p for p in def_positions if p > idx]
-            horizon = later_defs[0] if later_defs else n
-            end = idx  # dead unless a use is found
+            k = bisect_right(def_positions, idx)
+            horizon = def_positions[k] if k < len(def_positions) else n
             # A use at the next redefinition itself reads THIS value
-            # (read-before-write), so the scan includes the horizon.
-            for use_idx in range(idx + 1, min(horizon + 1, n)):
-                if reg in block.instructions[use_idx].uses():
-                    end = use_idx
-            if reg in live_out and not later_defs:
+            # (read-before-write), so the window includes the horizon.
+            end = last_use_in(reg, idx, min(horizon, n - 1))
+            if end < 0:
+                end = idx  # dead unless a use was found
+            if reg in live_out and horizon == n:
                 end = n
             intervals.append(
                 LiveInterval(

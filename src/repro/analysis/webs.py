@@ -60,6 +60,14 @@ class Web:
     uses: FrozenSet[UseSite]
     index: int
 
+    def __hash__(self) -> int:
+        # The dataclass-generated hash re-hashes both frozensets on
+        # every dict/set operation — a measurable cost given how often
+        # webs key graph adjacency dicts.  The dense index is unique
+        # per build, and equal webs (same field tuple) carry the same
+        # index, so hashing by index alone is consistent with __eq__.
+        return self.index
+
     @property
     def name(self) -> str:
         uids = sorted(d.instruction.uid for d in self.definitions)

@@ -6,6 +6,7 @@
     python -m repro compile program.src --strategy all --optimize
     python -m repro graph program.src --kind pig -o pig.dot
     python -m repro kernels
+    python -m repro bench -o BENCH.json
 
 ``compile`` accepts either frontend source (default) or textual IR
 (``--ir``), runs a phase-ordering strategy, and prints the allocated
@@ -149,6 +150,31 @@ def cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        DEFAULT_SIZES,
+        PHASES,
+        format_bench,
+        run_bench,
+        write_bench,
+    )
+
+    sizes = (
+        tuple(int(s) for s in args.sizes.split(",")) if args.sizes
+        else DEFAULT_SIZES
+    )
+    phases = tuple(args.phases.split(",")) if args.phases else PHASES
+    machine = _machine(args.machine, None)
+    rows = run_bench(
+        sizes=sizes, phases=phases, machine=machine, repeats=args.repeats
+    )
+    print(format_bench(rows))
+    if args.output:
+        write_bench(args.output, rows)
+        print("wrote {}".format(args.output))
+    return 0
+
+
 def cmd_kernels(_args: argparse.Namespace) -> int:
     from repro.workloads import ALL_KERNELS
 
@@ -203,6 +229,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_kernels = sub.add_parser("kernels", help="list built-in kernels")
     p_kernels.set_defaults(func=cmd_kernels)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the dependence/PIG pipeline on E7 workloads"
+    )
+    p_bench.add_argument(
+        "--sizes", default=None,
+        help="comma-separated workload sizes (default: 8,...,256)",
+    )
+    p_bench.add_argument(
+        "--phases", default=None,
+        help="comma-separated phase names (default: all)",
+    )
+    p_bench.add_argument("--machine", default="two-unit-superscalar")
+    p_bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per phase; the minimum is reported",
+    )
+    p_bench.add_argument(
+        "-o", "--output", default=None, help="write JSON rows to this path"
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -44,6 +44,7 @@ from repro.regalloc.interference import (
     InterferenceGraph,
     build_interference_graph,
 )
+from repro.utils.bits import iter_bits
 from repro.utils.errors import AllocationError
 
 
@@ -76,6 +77,16 @@ class ParallelInterferenceGraph:
     regions: List[Region]
     function: Function
     machine: MachineDescription
+
+    def __post_init__(self) -> None:
+        # uid → owning false-dependence graph, built once; the old
+        # per-lookup scan over every region × instruction was a hot
+        # spot for the scheduling-value model.
+        self._fdg_by_uid: Dict[int, FalseDependenceGraph] = {
+            instr.uid: fdg
+            for fdg in self.false_graphs
+            for instr in fdg.instructions
+        }
 
     # ------------------------------------------------------------------
     # Edge views
@@ -147,10 +158,7 @@ class ParallelInterferenceGraph:
     def false_graph_of_instruction(
         self, instr: Instruction
     ) -> Optional[FalseDependenceGraph]:
-        for fdg in self.false_graphs:
-            if any(i.uid == instr.uid for i in fdg.instructions):
-                return fdg
-        return None
+        return self._fdg_by_uid.get(instr.uid)
 
     def copy(self) -> "ParallelInterferenceGraph":
         clone = ParallelInterferenceGraph(
@@ -170,30 +178,107 @@ def _project_false_pairs_to_webs(
 ) -> Set[Tuple[Web, Web]]:
     """Map instruction-level E_f pairs to web pairs (defs only; nodes
     like stores and branches have no value to allocate and only appear
-    in the augmented graph)."""
+    in the augmented graph).
+
+    On the bitset path each web gets a mask of its defining
+    instructions' positions; two webs are connected iff the OR of one
+    web's E_f rows intersects the other's definition mask — pure word
+    ops, never materializing E_f tuples.  The reference path iterates
+    the tuple set (:mod:`repro.deps.reference`).
+    """
+    kernel = fdg.kernel
+    if kernel is None:
+        from repro.deps.reference import reference_project_false_pairs_to_webs
+
+        return reference_project_false_pairs_to_webs(fdg, def_to_web)
+
     pairs: Set[Tuple[Web, Web]] = set()
-    for u, v in fdg.ef_pairs:
-        for reg_u in u.defs():
-            web_u = def_to_web.get(DefPoint(u, reg_u))
-            if web_u is None:
-                continue
-            for reg_v in v.defs():
-                web_v = def_to_web.get(DefPoint(v, reg_v))
-                if web_v is None or web_v is web_u:
-                    continue
-                pair = (
-                    (web_u, web_v)
-                    if web_u.index <= web_v.index
-                    else (web_v, web_u)
-                )
-                pairs.add(pair)
+    webs, masks = _web_def_masks(kernel, def_to_web)
+    ef_rows = kernel.ef_rows
+    count = len(webs)
+    for a, web_u in enumerate(webs):
+        neighbor_mask = 0
+        for i in iter_bits(masks[a]):
+            neighbor_mask |= ef_rows[i]
+        if not neighbor_mask:
+            continue
+        for b in range(a + 1, count):
+            if neighbor_mask & masks[b]:
+                pairs.add((web_u, webs[b]))
     return pairs
+
+
+def _web_def_masks(
+    kernel, def_to_web: Dict[DefPoint, Web]
+) -> Tuple[List[Web], List[int]]:
+    """Per-web bitmask of defining-instruction positions in the
+    kernel's dense index, index-sorted."""
+    web_def_masks: Dict[Web, int] = {}
+    for i, instr in enumerate(kernel.index.instructions):
+        for reg in instr.defs():
+            web = def_to_web.get(DefPoint(instr, reg))
+            if web is not None:
+                web_def_masks[web] = web_def_masks.get(web, 0) | (1 << i)
+    webs = sorted(web_def_masks, key=lambda w: w.index)
+    return webs, [web_def_masks[w] for w in webs]
+
+
+def _splice_false_edges(
+    kernel,
+    def_to_web: Dict[DefPoint, Web],
+    graph: nx.Graph,
+) -> None:
+    """Project the kernel's E_f onto web pairs and write them straight
+    into *graph*'s adjacency dicts (every web already a node).
+
+    Fused projection + insertion: each source web's row is fetched
+    once, pairs are never materialized as hashed tuples, and edges
+    share one attribute dict between both directions — the dominant
+    cost of PIG construction before the fusion."""
+    webs, masks = _web_def_masks(kernel, def_to_web)
+    ef_rows = kernel.ef_rows
+    adj = graph._adj
+    false_flag = EdgeOrigin.FALSE
+    count = len(webs)
+    for a, web_u in enumerate(webs):
+        neighbor_mask = 0
+        for i in iter_bits(masks[a]):
+            neighbor_mask |= ef_rows[i]
+        if not neighbor_mask:
+            continue
+        row_u = adj[web_u]
+        for b in range(a + 1, count):
+            if neighbor_mask & masks[b]:
+                web_v = webs[b]
+                data = row_u.get(web_v)
+                if data is None:
+                    data = {"origin": false_flag}
+                    row_u[web_v] = data
+                    adj[web_v][web_u] = data
+                else:
+                    data["origin"] |= false_flag
+
+
+def _insert_edges_fast(graph: nx.Graph, edges, origin: EdgeOrigin) -> None:
+    """Batch edge insertion writing networkx's adjacency dicts
+    directly (every endpoint must already be a node).  Falls back to
+    ``add_edges_from`` if the internals are not the expected
+    dict-of-dicts (exotic graph subclasses)."""
+    adj = getattr(graph, "_adj", None)
+    if adj is None:  # pragma: no cover - non-standard nx subclass
+        graph.add_edges_from(edges, origin=origin)
+        return
+    for u, v in edges:
+        data = {"origin": origin}
+        adj[u][v] = data
+        adj[v][u] = data
 
 
 def build_parallel_interference_graph(
     fn: Function,
     machine: MachineDescription,
     use_regions: bool = True,
+    engine: str = "bitset",
 ) -> ParallelInterferenceGraph:
     """Build G for *fn* on *machine*.
 
@@ -205,7 +290,13 @@ def build_parallel_interference_graph(
             regions before deriving false-dependence graphs (the global
             extension).  With False, each block is its own region
             (classic per-basic-block operation).
+        engine: ``"bitset"`` (default) runs the word-parallel
+            dependence kernel; ``"reference"`` runs the retained
+            set-based pipeline (:mod:`repro.deps.reference`) — same
+            output, used by the equivalence suite and ``repro bench``.
     """
+    if engine not in ("bitset", "reference"):
+        raise AllocationError("unknown PIG engine {!r}".format(engine))
     interference = build_interference_graph(fn)
     def_to_web = web_of_definition(interference.webs)
 
@@ -218,23 +309,35 @@ def build_parallel_interference_graph(
         ]
 
     graph = nx.Graph()
-    for web in interference.webs:
-        graph.add_node(web)
-    for a, b in interference.graph.edges():
-        graph.add_edge(a, b, origin=EdgeOrigin.INTERFERENCE)
+    graph.add_nodes_from(interference.webs)
+    interference_edges = list(interference.graph.edges())
+    if engine == "bitset":
+        _insert_edges_fast(graph, interference_edges, EdgeOrigin.INTERFERENCE)
+    else:
+        for a, b in interference_edges:
+            graph.add_edge(a, b, origin=EdgeOrigin.INTERFERENCE)
 
     false_graphs: List[FalseDependenceGraph] = []
     for region in regions:
         sg = region_schedule_graph(fn, region.blocks, machine=machine)
         if not sg.instructions:
             continue
-        fdg = false_dependence_graph(sg, machine)
+        if engine == "bitset":
+            fdg = false_dependence_graph(sg, machine)
+        else:
+            from repro.deps.reference import reference_false_dependence_graph
+
+            fdg = reference_false_dependence_graph(sg, machine)
         false_graphs.append(fdg)
-        for web_a, web_b in _project_false_pairs_to_webs(fdg, def_to_web):
-            if graph.has_edge(web_a, web_b):
-                graph.edges[web_a, web_b]["origin"] |= EdgeOrigin.FALSE
-            else:
-                graph.add_edge(web_a, web_b, origin=EdgeOrigin.FALSE)
+        if engine == "bitset":
+            _splice_false_edges(fdg.kernel, def_to_web, graph)
+        else:
+            projected = _project_false_pairs_to_webs(fdg, def_to_web)
+            for web_a, web_b in projected:
+                if graph.has_edge(web_a, web_b):
+                    graph.edges[web_a, web_b]["origin"] |= EdgeOrigin.FALSE
+                else:
+                    graph.add_edge(web_a, web_b, origin=EdgeOrigin.FALSE)
 
     return ParallelInterferenceGraph(
         graph=graph,

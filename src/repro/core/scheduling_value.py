@@ -81,9 +81,10 @@ class SchedulingValueModel:
             if fdg is None:
                 continue
             for point_b in defs_b:
-                pair = ordered_pair(point_a.instruction, point_b.instruction)
-                if pair in fdg.ef_pairs:
-                    pairs.append(pair)
+                if fdg.has_false_edge(point_a.instruction, point_b.instruction):
+                    pairs.append(
+                        ordered_pair(point_a.instruction, point_b.instruction)
+                    )
         return pairs
 
     def edge_value(self, web_a: Web, web_b: Web) -> float:

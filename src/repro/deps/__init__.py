@@ -1,6 +1,11 @@
 """Dependence analysis: data dependences, the schedule graph G_s,
-its transitive closure, and the false-dependence graph G_f."""
+its transitive closure (bitset kernel), and the false-dependence
+graph G_f."""
 
+from repro.deps.bitset import (
+    DependenceBitKernel,
+    InstructionIndex,
+)
 from repro.deps.datadeps import (
     Dependence,
     DependenceKind,
@@ -19,6 +24,12 @@ from repro.deps.false_dependence import (
     block_false_dependence_graph,
     false_dependence_graph,
 )
+from repro.deps.reference import (
+    reference_contention_pairs,
+    reference_false_dependence_graph,
+    reference_project_false_pairs_to_webs,
+    reference_transitive_closure_pairs,
+)
 from repro.deps.schedule_graph import (
     ScheduleGraph,
     block_schedule_graph,
@@ -30,15 +41,19 @@ from repro.deps.transitive import (
     latest_start_times,
     ordered_pair,
     reachability,
+    reachability_rows,
+    schedule_times,
     slack,
     transitive_closure_pairs,
 )
 
 __all__ = [
     "Dependence",
+    "DependenceBitKernel",
     "DependenceKind",
     "FALSE_CANDIDATE_KINDS",
     "FalseDependenceGraph",
+    "InstructionIndex",
     "ScheduleGraph",
     "all_dependences",
     "block_false_dependence_graph",
@@ -52,8 +67,14 @@ __all__ = [
     "memory_dependences",
     "ordered_pair",
     "reachability",
+    "reachability_rows",
+    "reference_contention_pairs",
+    "reference_false_dependence_graph",
+    "reference_project_false_pairs_to_webs",
+    "reference_transitive_closure_pairs",
     "region_schedule_graph",
     "register_dependences",
+    "schedule_times",
     "slack",
     "transit_dependence_pairs",
     "transitive_closure_pairs",

@@ -1,0 +1,206 @@
+"""Word-parallel bitset dependence kernel.
+
+The paper's whole construction funnels through one pipeline —
+transitive closure of G_s → E_t (plus contention pairs) → complement
+E_f → projection onto webs.  Materializing each step as a Python set
+of instruction-pair tuples costs O(n²) tuple allocations and hashes;
+this kernel instead interns a region's instructions into dense indices
+(:class:`InstructionIndex`) and keeps every relation as one big-int
+*row* per instruction, combined with ``|``/``&``/masked-``~`` — 64
+pairs per machine word, at C speed:
+
+* ``reach_rows[i]`` — instructions reachable from i through schedule-
+  graph edges (directed descendants);
+* ``et_rows[i]`` — the symmetric constraint relation E_t: descendants
+  ∪ ancestors (the undirected transitive closure) ∪ the machine
+  contention row;
+* ``ef_rows[i]`` — the complement E_f, ``~(et | self)`` under the
+  universe mask: bit j set iff {i, j} may share an issue cycle.
+
+The pair-set views (`E_t`/`E_f` as sets of uid-normalized instruction
+tuples) are materialized lazily by the consumers that still want them
+(:class:`repro.deps.false_dependence.FalseDependenceGraph`); the hot
+paths — complementation, web projection, scheduler availability masks
+— never leave row form.  The bit-equal reference implementation
+retained for validation lives in :mod:`repro.deps.reference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.deps.schedule_graph import ScheduleGraph
+from repro.ir.instructions import Instruction
+from repro.machine.model import MachineDescription
+from repro.machine.resources import contention_rows
+from repro.utils.bits import bits_above, iter_bits, popcount
+
+#: An undirected instruction pair, order-normalized by uid (kept
+#: structurally identical to :data:`repro.deps.transitive.Pair`).
+Pair = Tuple[Instruction, Instruction]
+
+
+class InstructionIndex:
+    """Dense interning of a region's instructions.
+
+    Maps each instruction to a bit position (its program-order index
+    within the region) so relations over the region become int rows.
+    Instructions hash by uid, so lookups work across structural copies
+    that preserve uids.
+    """
+
+    __slots__ = ("instructions", "_position")
+
+    def __init__(self, instructions: Sequence[Instruction]) -> None:
+        self.instructions: List[Instruction] = list(instructions)
+        self._position: Dict[Instruction, int] = {
+            instr: i for i, instr in enumerate(self.instructions)
+        }
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __contains__(self, instr: Instruction) -> bool:
+        return instr in self._position
+
+    def position(self, instr: Instruction) -> int:
+        """The dense index of *instr* (raises KeyError when foreign)."""
+        return self._position[instr]
+
+    def position_or_none(self, instr: Instruction) -> Optional[int]:
+        return self._position.get(instr)
+
+    @property
+    def universe(self) -> int:
+        """The all-ones mask over this index's positions."""
+        return (1 << len(self.instructions)) - 1
+
+    def mask_of(self, instrs: Iterable[Instruction]) -> int:
+        """Bitmask of the given (member) instructions."""
+        position = self._position
+        mask = 0
+        for instr in instrs:
+            mask |= 1 << position[instr]
+        return mask
+
+    def select(self, mask: int) -> List[Instruction]:
+        """Instructions at the set bit positions, in index order."""
+        instructions = self.instructions
+        return [instructions[i] for i in iter_bits(mask)]
+
+
+@dataclass
+class DependenceBitKernel:
+    """The bitset-backed E_t/E_f of one scheduling region.
+
+    Attributes:
+        index: The instruction interning layer.
+        reach_rows: Directed reachability (descendants, self excluded).
+        contention_rows: Machine structural-conflict rows (empty
+            machine → all-zero rows).
+        et_rows: Symmetric constraint rows (closure ∪ contention).
+        ef_rows: Symmetric false-dependence rows (complement of E_t).
+    """
+
+    index: InstructionIndex
+    reach_rows: List[int]
+    contention_rows: List[int]
+    et_rows: List[int]
+    ef_rows: List[int]
+
+    @classmethod
+    def build(
+        cls,
+        sg: ScheduleGraph,
+        machine: Optional[MachineDescription] = None,
+    ) -> "DependenceBitKernel":
+        """Derive all rows from a schedule graph and machine.
+
+        Two linear passes over the DAG (reverse-topological for
+        descendants, topological for ancestors) build the undirected
+        closure; each visit ORs whole successor/predecessor rows, so
+        the closure costs O(V·E/word) — the complexity the set
+        representation only advertised.  Complementation is one masked
+        ``~`` per row.
+        """
+        index = InstructionIndex(sg.instructions)
+        n = len(index)
+        position = index.position
+        order = sg.topological_order()
+
+        reach = [0] * n
+        successors = sg.graph.succ
+        for instr in reversed(order):
+            row = 0
+            for succ in successors[instr]:
+                j = position(succ)
+                row |= (1 << j) | reach[j]
+            reach[position(instr)] = row
+
+        ancestors = [0] * n
+        predecessors = sg.graph.pred
+        for instr in order:
+            row = 0
+            for pred in predecessors[instr]:
+                j = position(pred)
+                row |= (1 << j) | ancestors[j]
+            ancestors[position(instr)] = row
+
+        if machine is not None:
+            contention = contention_rows(index.instructions, machine)
+        else:
+            contention = [0] * n
+
+        universe = index.universe
+        et = [reach[i] | ancestors[i] | contention[i] for i in range(n)]
+        ef = [universe & ~(et[i] | (1 << i)) for i in range(n)]
+        return cls(
+            index=index,
+            reach_rows=reach,
+            contention_rows=contention,
+            et_rows=et,
+            ef_rows=ef,
+        )
+
+    # ------------------------------------------------------------------
+    # Row queries
+    # ------------------------------------------------------------------
+
+    def ef_row(self, instr: Instruction) -> int:
+        """E_f neighbors of *instr* as a mask (0 for foreign ones)."""
+        i = self.index.position_or_none(instr)
+        return self.ef_rows[i] if i is not None else 0
+
+    def has_false_edge(self, a: Instruction, b: Instruction) -> bool:
+        """Bit test: may *a* and *b* issue in the same cycle?"""
+        i = self.index.position_or_none(a)
+        j = self.index.position_or_none(b)
+        if i is None or j is None:
+            return False
+        return bool((self.ef_rows[i] >> j) & 1)
+
+    def ef_edge_count(self) -> int:
+        """|E_f| (each undirected edge counted once)."""
+        return sum(popcount(row) for row in self.ef_rows) // 2
+
+    # ------------------------------------------------------------------
+    # Pair-set materialization (lazy views for legacy consumers)
+    # ------------------------------------------------------------------
+
+    def pairs_of_rows(self, rows: Sequence[int]) -> Set[Pair]:
+        """Materialize symmetric rows as uid-normalized pair tuples."""
+        instructions = self.index.instructions
+        pairs: Set[Pair] = set()
+        for i, row in enumerate(rows):
+            a = instructions[i]
+            for j in iter_bits(bits_above(row, i)):
+                b = instructions[j]
+                pairs.add((a, b) if a.uid <= b.uid else (b, a))
+        return pairs
+
+    def et_pairs(self) -> Set[Pair]:
+        return self.pairs_of_rows(self.et_rows)
+
+    def ef_pairs(self) -> Set[Pair]:
+        return self.pairs_of_rows(self.ef_rows)

@@ -15,60 +15,133 @@ graph present the actual parallelism available to our machine for the
 given program"; "the more edges are present in [E_t] the better the
 results will be" — i.e. missing machine constraints only make the
 allocator more conservative about sharing registers, never incorrect.
+
+Since the bitset rewrite the relations live as big-int rows in a
+:class:`~repro.deps.bitset.DependenceBitKernel`; ``et_pairs`` and
+``ef_pairs`` are lazily materialized (and cached) pair-set views kept
+for API compatibility.  The retained set-based construction is in
+:mod:`repro.deps.reference`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Set
+from typing import Dict, List, Optional, Set
 
+from repro.deps.bitset import DependenceBitKernel
 from repro.deps.schedule_graph import ScheduleGraph, build_schedule_graph
-from repro.deps.transitive import Pair, ordered_pair, transitive_closure_pairs
+from repro.deps.transitive import Pair, ordered_pair
 from repro.ir.basicblock import BasicBlock
 from repro.ir.instructions import Instruction
 from repro.machine.model import MachineDescription
-from repro.machine.resources import contention_pairs
 
 
-@dataclass
 class FalseDependenceGraph:
     """G_f plus the intermediate E_t it was derived from.
+
+    Backed either by a :class:`DependenceBitKernel` (the production
+    path) or by explicit pair sets (the retained reference path); the
+    public surface is identical in both cases.
 
     Attributes:
         instructions: V_f in program order.
         et_pairs: The constraint set E_t (undirected, uid-normalized).
         ef_pairs: The false-dependence edge set E_f (the complement).
         schedule_graph: The symbolic-register G_s the closure came from.
+        kernel: The bitset kernel, or ``None`` on the reference path.
     """
 
-    instructions: List[Instruction]
-    et_pairs: Set[Pair]
-    ef_pairs: Set[Pair]
-    schedule_graph: ScheduleGraph
+    def __init__(
+        self,
+        instructions: List[Instruction],
+        et_pairs: Optional[Set[Pair]] = None,
+        ef_pairs: Optional[Set[Pair]] = None,
+        schedule_graph: Optional[ScheduleGraph] = None,
+        kernel: Optional[DependenceBitKernel] = None,
+    ) -> None:
+        if kernel is None and (et_pairs is None or ef_pairs is None):
+            raise ValueError(
+                "FalseDependenceGraph needs a bitset kernel or explicit "
+                "et_pairs/ef_pairs sets"
+            )
+        self.instructions = list(instructions)
+        self.schedule_graph = schedule_graph
+        self.kernel = kernel
+        self._et_pairs = et_pairs
+        self._ef_pairs = ef_pairs
+        self._adjacency: Optional[Dict[int, List[Instruction]]] = None
+
+    # ------------------------------------------------------------------
+    # Pair-set views (lazy when kernel-backed)
+    # ------------------------------------------------------------------
+
+    @property
+    def et_pairs(self) -> Set[Pair]:
+        if self._et_pairs is None:
+            self._et_pairs = self.kernel.et_pairs()
+        return self._et_pairs
+
+    @property
+    def ef_pairs(self) -> Set[Pair]:
+        if self._ef_pairs is None:
+            self._ef_pairs = self.kernel.ef_pairs()
+        return self._ef_pairs
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
 
     def has_false_edge(self, a: Instruction, b: Instruction) -> bool:
         """Lemma 1 test: could *a* and *b* issue in the same cycle when
         the code is presented with symbolic registers?"""
-        return ordered_pair(a, b) in self.ef_pairs
+        if self.kernel is not None:
+            return self.kernel.has_false_edge(a, b)
+        return ordered_pair(a, b) in self._ef_pairs
+
+    def coissue_mask(self, instr: Instruction) -> Optional[int]:
+        """E_f neighbors of *instr* as a bitmask over the kernel's
+        dense indices, or ``None`` on the reference path.  The
+        scheduler ANDs these masks to answer "may this instruction
+        join the cycle group?" in one word op."""
+        if self.kernel is None:
+            return None
+        return self.kernel.ef_row(instr)
 
     def false_neighbors(self, instr: Instruction) -> List[Instruction]:
         """Instructions co-schedulable with *instr* (its E_f neighbors,
-        "the list of available instructions" for list scheduling)."""
-        result = []
-        for a, b in self.ef_pairs:
-            if a is instr:
-                result.append(b)
-            elif b is instr:
-                result.append(a)
-        result.sort(key=lambda i: i.uid)
-        return result
+        "the list of available instructions" for list scheduling).
+
+        Backed by a uid-keyed adjacency index computed once for the
+        whole graph; lookups are O(1) plus the result copy."""
+        return list(self._adjacency_index().get(instr.uid, ()))
+
+    def _adjacency_index(self) -> Dict[int, List[Instruction]]:
+        if self._adjacency is None:
+            adjacency: Dict[int, List[Instruction]] = {}
+            if self.kernel is not None:
+                index = self.kernel.index
+                for i, instr in enumerate(index.instructions):
+                    neighbors = index.select(self.kernel.ef_rows[i])
+                    neighbors.sort(key=lambda n: n.uid)
+                    adjacency[instr.uid] = neighbors
+            else:
+                for a, b in self._ef_pairs:
+                    adjacency.setdefault(a.uid, []).append(b)
+                    adjacency.setdefault(b.uid, []).append(a)
+                for neighbors in adjacency.values():
+                    neighbors.sort(key=lambda n: n.uid)
+            self._adjacency = adjacency
+        return self._adjacency
 
     @property
     def parallelism_degree(self) -> float:
         """|E_f| over all pairs: 1.0 means fully parallel, 0.0 serial."""
         n = len(self.instructions)
         total = n * (n - 1) // 2
-        return len(self.ef_pairs) / total if total else 0.0
+        if not total:
+            return 0.0
+        if self.kernel is not None:
+            return self.kernel.ef_edge_count() / total
+        return len(self._ef_pairs) / total
 
 
 def false_dependence_graph(
@@ -78,25 +151,14 @@ def false_dependence_graph(
     """Derive G_f from a symbolic-register schedule graph and machine.
 
     Follows the paper's recipe: transitive closure of G_s, directions
-    removed, machine contention pairs added, then complemented.
+    removed, machine contention pairs added, then complemented — all
+    in bitrow form via :meth:`DependenceBitKernel.build`.
     """
-    et: Set[Pair] = set(transitive_closure_pairs(sg))
-    for a, b in contention_pairs(sg.instructions, machine):
-        et.add(ordered_pair(a, b))
-
-    ef: Set[Pair] = set()
-    instructions = sg.instructions
-    for i, a in enumerate(instructions):
-        for b in instructions[i + 1:]:
-            pair = ordered_pair(a, b)
-            if pair not in et:
-                ef.add(pair)
-
+    kernel = DependenceBitKernel.build(sg, machine)
     return FalseDependenceGraph(
-        instructions=list(instructions),
-        et_pairs=et,
-        ef_pairs=ef,
+        instructions=list(sg.instructions),
         schedule_graph=sg,
+        kernel=kernel,
     )
 
 

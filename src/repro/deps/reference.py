@@ -1,0 +1,120 @@
+"""Retained set-based reference implementation of the E_t/E_f pipeline.
+
+This module preserves, verbatim in structure, the original tuple-set
+implementation of the dependence pipeline that the bitset kernel
+(:mod:`repro.deps.bitset`) replaced:
+
+* reachability as dict-of-sets and the closure as a set of pairs;
+* contention as an all-pairs ``can_coissue`` scan;
+* E_f as an explicit O(n²) complement loop;
+* web projection by iterating every E_f tuple.
+
+It exists for two jobs and must not be "optimized":
+
+1. **Ground truth** — the equivalence property suite
+   (``tests/deps/test_bitset_equivalence.py``) asserts the kernel's
+   E_t/E_f/projection are set-equal to these functions across fuzzed
+   function/machine combinations.
+2. **Perf baseline** — ``repro bench`` times
+   ``build_parallel_interference_graph(engine="reference")`` against
+   the bitset engine so every future perf PR has a recorded
+   trajectory (``BENCH_*.json``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.reaching import DefPoint
+from repro.analysis.webs import Web
+from repro.deps.false_dependence import FalseDependenceGraph
+from repro.deps.schedule_graph import ScheduleGraph
+from repro.deps.transitive import Pair, ordered_pair
+from repro.ir.instructions import Instruction
+from repro.machine.model import MachineDescription
+
+
+def reference_reachability(
+    sg: ScheduleGraph,
+) -> Dict[Instruction, Set[Instruction]]:
+    """Reverse-topological reachability DP over Python sets."""
+    reach: Dict[Instruction, Set[Instruction]] = {}
+    for instr in reversed(sg.topological_order()):
+        result: Set[Instruction] = set()
+        for succ in sg.graph.successors(instr):
+            result.add(succ)
+            result |= reach[succ]
+        reach[instr] = result
+    return reach
+
+
+def reference_transitive_closure_pairs(sg: ScheduleGraph) -> Set[Pair]:
+    """The undirected closure as a set of uid-normalized pairs."""
+    pairs: Set[Pair] = set()
+    for instr, reachable in reference_reachability(sg).items():
+        for other in reachable:
+            pairs.add(ordered_pair(instr, other))
+    return pairs
+
+
+def reference_contention_pairs(
+    instructions: List[Instruction],
+    machine: MachineDescription,
+) -> List[Tuple[Instruction, Instruction]]:
+    """All-pairs ``can_coissue`` scan (the pre-bitset contention path)."""
+    pairs: List[Tuple[Instruction, Instruction]] = []
+    for i, a in enumerate(instructions):
+        for b in instructions[i + 1:]:
+            if not machine.can_coissue(a, b):
+                pairs.append((a, b))
+    return pairs
+
+
+def reference_false_dependence_graph(
+    sg: ScheduleGraph,
+    machine: MachineDescription,
+) -> FalseDependenceGraph:
+    """Derive G_f with explicit pair sets (closure, contention scan,
+    O(n²) complement loop) — no bitset kernel attached."""
+    et: Set[Pair] = set(reference_transitive_closure_pairs(sg))
+    for a, b in reference_contention_pairs(sg.instructions, machine):
+        et.add(ordered_pair(a, b))
+
+    ef: Set[Pair] = set()
+    instructions = sg.instructions
+    for i, a in enumerate(instructions):
+        for b in instructions[i + 1:]:
+            pair = ordered_pair(a, b)
+            if pair not in et:
+                ef.add(pair)
+
+    return FalseDependenceGraph(
+        instructions=list(instructions),
+        et_pairs=et,
+        ef_pairs=ef,
+        schedule_graph=sg,
+    )
+
+
+def reference_project_false_pairs_to_webs(
+    fdg: FalseDependenceGraph,
+    def_to_web: Dict[DefPoint, Web],
+) -> Set[Tuple[Web, Web]]:
+    """Tuple-at-a-time projection of E_f onto web pairs (defs only)."""
+    pairs: Set[Tuple[Web, Web]] = set()
+    for u, v in fdg.ef_pairs:
+        for reg_u in u.defs():
+            web_u = def_to_web.get(DefPoint(u, reg_u))
+            if web_u is None:
+                continue
+            for reg_v in v.defs():
+                web_v = def_to_web.get(DefPoint(v, reg_v))
+                if web_v is None or web_v is web_u:
+                    continue
+                pair = (
+                    (web_u, web_v)
+                    if web_u.index <= web_v.index
+                    else (web_v, web_u)
+                )
+                pairs.add(pair)
+    return pairs

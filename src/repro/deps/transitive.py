@@ -2,17 +2,24 @@
 
 The construction of E_t starts from "the set of edges in the transitive
 closure of G_s ... after the removal of the directions of the edges".
-The closure is computed by a reverse-topological reachability DP —
-O(V·E/word) with Python sets, deterministic, and independent of
-networkx version quirks.
+The closure is computed by a reverse-topological reachability DP over
+big-int bitrows (:mod:`repro.deps.bitset`): each instruction ORs its
+successors' rows, 64 vertices per machine word, so the cost is truly
+O(V·E/word) — deterministic, and independent of networkx version
+quirks.  The set-of-instructions and set-of-pairs return types of this
+module are materialized views over those rows; callers that can stay
+in row form should use :class:`repro.deps.bitset.DependenceBitKernel`
+directly.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Set, Tuple
 
+from repro.deps.bitset import InstructionIndex
 from repro.deps.schedule_graph import ScheduleGraph
 from repro.ir.instructions import Instruction
+from repro.utils.bits import iter_bits
 
 #: An undirected instruction pair, order-normalized by uid.
 Pair = Tuple[Instruction, Instruction]
@@ -23,17 +30,34 @@ def ordered_pair(a: Instruction, b: Instruction) -> Pair:
     return (a, b) if a.uid <= b.uid else (b, a)
 
 
+def reachability_rows(sg: ScheduleGraph, index: InstructionIndex) -> list:
+    """Directed-reachability bitrows: bit j of row i is set iff
+    instruction j is reachable from instruction i (self excluded)."""
+    rows = [0] * len(index)
+    position = index.position
+    successors = sg.graph.succ
+    for instr in reversed(sg.topological_order()):
+        row = 0
+        for succ in successors[instr]:
+            j = position(succ)
+            row |= (1 << j) | rows[j]
+        rows[position(instr)] = row
+    return rows
+
+
 def reachability(sg: ScheduleGraph) -> Dict[Instruction, Set[Instruction]]:
     """For each instruction, the set of instructions reachable from it
-    through schedule-graph edges (excluding itself)."""
-    reach: Dict[Instruction, Set[Instruction]] = {}
-    for instr in reversed(sg.topological_order()):
-        result: Set[Instruction] = set()
-        for succ in sg.graph.successors(instr):
-            result.add(succ)
-            result |= reach[succ]
-        reach[instr] = result
-    return reach
+    through schedule-graph edges (excluding itself).
+
+    A materialized view over :func:`reachability_rows`.
+    """
+    index = InstructionIndex(sg.instructions)
+    rows = reachability_rows(sg, index)
+    instructions = index.instructions
+    return {
+        instructions[i]: {instructions[j] for j in iter_bits(rows[i])}
+        for i in range(len(instructions))
+    }
 
 
 def transitive_closure_pairs(sg: ScheduleGraph) -> Set[Pair]:
@@ -42,21 +66,66 @@ def transitive_closure_pairs(sg: ScheduleGraph) -> Set[Pair]:
     A pair {u, v} is present iff there is a directed path u→v or v→u;
     such pairs can never issue in the same cycle.
     """
+    index = InstructionIndex(sg.instructions)
+    rows = reachability_rows(sg, index)
+    instructions = index.instructions
     pairs: Set[Pair] = set()
-    for instr, reachable in reachability(sg).items():
-        for other in reachable:
-            pairs.add(ordered_pair(instr, other))
+    for i, row in enumerate(rows):
+        a = instructions[i]
+        for j in iter_bits(row):
+            pairs.add(ordered_pair(a, instructions[j]))
     return pairs
+
+
+def schedule_times(
+    sg: ScheduleGraph,
+) -> Tuple[Dict[Instruction, int], Dict[Instruction, int]]:
+    """Delay-weighted (ASAP, ALAP) start times in one pass.
+
+    One topological sort serves both directions: the forward sweep
+    yields earliest (ASAP) starts, the backward sweep over the same
+    order yields latest (ALAP) starts normalized so the critical
+    path's makespan is preserved.
+    """
+    order = sg.topological_order()
+    predecessors = sg.graph.pred
+    successors = sg.graph.succ
+    delay = sg.delay
+
+    asap: Dict[Instruction, int] = {}
+    for instr in order:
+        earliest = 0
+        for pred in predecessors[instr]:
+            earliest = max(earliest, asap[pred] + delay(pred, instr))
+        asap[instr] = earliest
+
+    machine = sg.machine
+    horizon = max(
+        (asap[i] + (machine.latency_of(i) if machine else i.latency)
+         for i in sg.instructions),
+        default=0,
+    )
+    alap: Dict[Instruction, int] = {}
+    for instr in reversed(order):
+        own_latency = machine.latency_of(instr) if machine else instr.latency
+        bound = horizon - own_latency
+        for succ in successors[instr]:
+            bound = min(bound, alap[succ] - delay(instr, succ))
+        alap[instr] = bound
+    return asap, alap
 
 
 def earliest_start_times(sg: ScheduleGraph) -> Dict[Instruction, int]:
     """Delay-weighted earliest start (ASAP) time of each instruction,
     ignoring resources — the basis of the paper's EP numbers."""
+    order = sg.topological_order()
+    predecessors = sg.graph.pred
+    delay = sg.delay
     start: Dict[Instruction, int] = {}
-    for instr in sg.topological_order():
+    for instr in order:
         earliest = 0
-        for pred in sg.graph.predecessors(instr):
-            earliest = max(earliest, start[pred] + sg.delay(pred, instr))
+        for pred in predecessors[instr]:
+            earliest = max(earliest, start[pred] + delay(pred, instr))
         start[instr] = earliest
     return start
 
@@ -65,24 +134,13 @@ def latest_start_times(sg: ScheduleGraph) -> Dict[Instruction, int]:
     """Delay-weighted latest start (ALAP) times, normalized so the
     critical path's makespan is preserved; used by scheduling
     priorities (slack = ALAP − ASAP)."""
-    asap = earliest_start_times(sg)
-    horizon = max(
-        (asap[i] + (sg.machine.latency_of(i) if sg.machine else i.latency)
-         for i in sg.instructions),
-        default=0,
-    )
-    latest: Dict[Instruction, int] = {}
-    for instr in reversed(sg.topological_order()):
-        own_latency = sg.machine.latency_of(instr) if sg.machine else instr.latency
-        bound = horizon - own_latency
-        for succ in sg.graph.successors(instr):
-            bound = min(bound, latest[succ] - sg.delay(instr, succ))
-        latest[instr] = bound
-    return latest
+    return schedule_times(sg)[1]
 
 
 def slack(sg: ScheduleGraph) -> Dict[Instruction, int]:
-    """Scheduling slack per instruction; zero marks the critical path."""
-    asap = earliest_start_times(sg)
-    alap = latest_start_times(sg)
+    """Scheduling slack per instruction; zero marks the critical path.
+
+    ASAP and ALAP come from the single-pass :func:`schedule_times`
+    (one topological sort total, instead of one per helper)."""
+    asap, alap = schedule_times(sg)
     return {instr: alap[instr] - asap[instr] for instr in sg.instructions}

@@ -2,11 +2,16 @@
 
 from repro.machine import presets
 from repro.machine.model import MachineDescription
-from repro.machine.resources import ReservationTable, contention_pairs
+from repro.machine.resources import (
+    ReservationTable,
+    contention_pairs,
+    contention_rows,
+)
 
 __all__ = [
     "MachineDescription",
     "ReservationTable",
     "contention_pairs",
+    "contention_rows",
     "presets",
 ]

@@ -1,11 +1,14 @@
 """Resource bookkeeping: contention constraint edges and the per-cycle
 reservation table used by the list scheduler and issue simulator.
 
-Two exports:
+Three exports:
 
-* :func:`contention_pairs` — the non-precedence machine constraints the
-  paper adds to ``E_t``: every unordered instruction pair that can
-  never share an issue cycle on the given machine.
+* :func:`contention_rows` — the non-precedence machine constraints the
+  paper adds to ``E_t``, as bitset rows over a sequence's positions:
+  bit j of row i is set iff instructions i and j can never share an
+  issue cycle on the given machine.
+* :func:`contention_pairs` — the same relation materialized as
+  instruction pairs (the original API; now a view over the rows).
 * :class:`ReservationTable` — cycle-indexed occupancy of issue slots
   and functional units, answering "can this instruction start at cycle
   c?" for the schedulers.
@@ -19,7 +22,51 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 from repro.ir.instructions import Instruction
 from repro.ir.opcodes import UnitKind
 from repro.machine.model import MachineDescription
+from repro.utils.bits import bits_above, iter_bits
 from repro.utils.errors import SchedulingError
+
+
+def contention_rows(
+    instructions: Sequence[Instruction],
+    machine: MachineDescription,
+) -> List[int]:
+    """Pairwise structural-conflict bitrows for *instructions*.
+
+    Row i has bit j set iff ``not machine.can_coissue(a_i, a_j)`` for
+    i != j — but computed by *grouping* instead of testing all n²
+    pairs: instructions are bucketed by functional-unit kind (a pair
+    conflicts iff both need a kind with fewer than two units) and
+    memory accesses by symbol (the paper's "simultaneous access to the
+    same memory address" constraint), so the cost is O(n) bucket
+    insertions plus one mask write per (instruction, conflicting
+    group).  On a single-issue machine every pair conflicts.
+    """
+    n = len(instructions)
+    rows = [0] * n
+    if n == 0:
+        return rows
+    if machine.issue_width < 2:
+        universe = (1 << n) - 1
+        return [universe & ~(1 << i) for i in range(n)]
+
+    unit_groups: Dict[UnitKind, int] = defaultdict(int)
+    for i, instr in enumerate(instructions):
+        unit_groups[machine.unit_for(instr)] |= 1 << i
+    for kind, mask in unit_groups.items():
+        if machine.unit_count(kind) < 2 and mask & (mask - 1):
+            for i in iter_bits(mask):
+                rows[i] |= mask & ~(1 << i)
+
+    symbol_groups: Dict[object, int] = defaultdict(int)
+    for i, instr in enumerate(instructions):
+        if instr.is_memory_access:
+            for symbol in instr.memory_symbols():
+                symbol_groups[symbol] |= 1 << i
+    for mask in symbol_groups.values():
+        if mask & (mask - 1):
+            for i in iter_bits(mask):
+                rows[i] |= mask & ~(1 << i)
+    return rows
 
 
 def contention_pairs(
@@ -32,17 +79,18 @@ def contention_pairs(
     related dependences that are not of a precedence type" — e.g. with
     one fixed-point unit, every pair of fixed-point operations; with
     one fetch unit, every pair of loads.  Pairs are returned in
-    deterministic program order.
+    deterministic program order, materialized from
+    :func:`contention_rows`.
 
     Note the paper's footnote: with multiple units of a kind no
     *pairwise* edge exists (three ops on two units still conflict, but
     that is not expressible as an edge and is left to the scheduler).
     """
+    rows = contention_rows(instructions, machine)
     pairs: List[Tuple[Instruction, Instruction]] = []
     for i, a in enumerate(instructions):
-        for b in instructions[i + 1:]:
-            if not machine.can_coissue(a, b):
-                pairs.append((a, b))
+        for j in iter_bits(bits_above(rows[i], i)):
+            pairs.append((a, instructions[j]))
     return pairs
 
 

@@ -172,11 +172,25 @@ def build_interference_graph(
                 continue  # dead live-in with no reaching def web
             owned.append((interval, web))
             intervals_of[web].append(interval)
-        for i, (iv_a, web_a) in enumerate(owned):
-            for iv_b, web_b in owned[i + 1:]:
+        # Encode each interval as two bitmasks (positions offset by +1
+        # so live-in start=-1 fits): def_bit marks the definition
+        # statement, amask adds every statement where a definition
+        # executing there would conflict (LiveInterval.covers_definition_at).
+        # The pairwise overlap test then collapses to two AND ops.
+        encoded: List[Tuple[int, int, Web]] = []
+        for interval, web in owned:
+            def_bit = 1 << (interval.start + 1)
+            hi = interval.end if closed_end else interval.end - 1
+            if hi > interval.start:
+                cover = (1 << (hi + 2)) - (1 << (interval.start + 2))
+            else:
+                cover = 0
+            encoded.append((cover | def_bit, def_bit, web))
+        for i, (am_a, db_a, web_a) in enumerate(encoded):
+            for am_b, db_b, web_b in encoded[i + 1:]:
                 if web_a is web_b:
                     continue
-                if iv_a.overlaps(iv_b, closed_end=closed_end):
+                if (am_a & db_b) or (am_b & db_a):
                     graph.add_edge(web_a, web_b)
 
     return InterferenceGraph(

@@ -44,8 +44,9 @@ def augmented_schedule(
 
     Args:
         sg: The (symbolic-register) schedule graph.
-        fdg: Its false-dependence graph — ``fdg.ef_pairs`` drives which
-            instructions may join a started cycle.
+        fdg: Its false-dependence graph — E_f membership (bit tests
+            against ``fdg.coissue_mask`` when kernel-backed) drives
+            which instructions may join a started cycle.
         machine: Resource model (joint feasibility still checked).
         priority: Seed selection priority; defaults to critical path.
 
@@ -106,6 +107,21 @@ def augmented_schedule(
         issue(seed, cycle)
         group = [seed]
         # ...then extend with the seed group's E_f availability list.
+        # With a bitset kernel the group's joint availability is one
+        # mask (the AND of members' E_f rows); each candidate check is
+        # a single bit test instead of a has_false_edge loop.
+        group_mask = fdg.coissue_mask(seed)
+        if group_mask is not None:
+            position = fdg.kernel.index.position
+
+            def joins_group(i: Instruction) -> bool:
+                return bool((group_mask >> position(i)) & 1)
+
+        else:
+
+            def joins_group(i: Instruction) -> bool:
+                return all(fdg.has_false_edge(i, member) for member in group)
+
         progress = True
         while progress:
             progress = False
@@ -113,8 +129,7 @@ def augmented_schedule(
                 (
                     i
                     for i in ready
-                    if ready_at[i] <= cycle
-                    and all(fdg.has_false_edge(i, member) for member in group)
+                    if ready_at[i] <= cycle and joins_group(i)
                 ),
                 key=lambda i: (-priority(i), i.uid),
             )
@@ -122,6 +137,8 @@ def augmented_schedule(
                 if table.can_issue(instr, cycle):
                     issue(instr, cycle)
                     group.append(instr)
+                    if group_mask is not None:
+                        group_mask &= fdg.coissue_mask(instr)
                     progress = True
                     break
         cycle += 1

@@ -1,5 +1,6 @@
-"""Small shared utilities: ordered sets, graph helpers, errors."""
+"""Small shared utilities: ordered sets, bitset helpers, errors."""
 
+from repro.utils.bits import bits_above, iter_bits, mask_of, popcount, select
 from repro.utils.errors import ReproError, IRError, AllocationError, SchedulingError
 from repro.utils.orderedset import OrderedSet
 
@@ -9,4 +10,9 @@ __all__ = [
     "AllocationError",
     "SchedulingError",
     "OrderedSet",
+    "bits_above",
+    "iter_bits",
+    "mask_of",
+    "popcount",
+    "select",
 ]

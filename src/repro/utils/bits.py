@@ -1,0 +1,52 @@
+"""Big-int bitset helpers.
+
+Python integers are arbitrary-precision bit vectors whose boolean
+operations (``|``, ``&``, ``~`` masked, shifts) run word-parallel in C.
+The dependence kernel (:mod:`repro.deps.bitset`), the machine
+contention rows and the interference builder all represent "row of a
+boolean matrix" as one int; these helpers cover the few operations
+that need per-bit access.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+try:  # Python >= 3.10
+    _BIT_COUNT = int.bit_count
+except AttributeError:  # pragma: no cover - 3.9 fallback
+    def _BIT_COUNT(value: int) -> int:
+        return bin(value).count("1")
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in *mask*."""
+    return _BIT_COUNT(mask)
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of set bits in ascending order."""
+    while mask:
+        lsb = mask & -mask
+        yield lsb.bit_length() - 1
+        mask ^= lsb
+
+
+def mask_of(indices: Iterable[int]) -> int:
+    """The bitmask with exactly *indices* set."""
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+def bits_above(mask: int, index: int) -> int:
+    """*mask* restricted to bit positions strictly greater than *index*."""
+    return mask & ~((1 << (index + 1)) - 1)
+
+
+def select(items: Sequence[T], mask: int) -> List[T]:
+    """The items whose positions are set in *mask*, in position order."""
+    return [items[i] for i in iter_bits(mask)]

@@ -1,0 +1,88 @@
+"""Tests for tools/bench_compare.py (the make bench-check gate)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+TOOLS = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "tools"
+)
+
+
+def _write(path, rows):
+    with open(path, "w") as handle:
+        json.dump(rows, handle)
+
+
+def _compare(*argv):
+    return subprocess.run(
+        [sys.executable, os.path.join(TOOLS, "bench_compare.py")] + list(argv),
+        capture_output=True,
+        text=True,
+    )
+
+
+def _row(phase, wall_s, workload="e7-n64"):
+    return {
+        "workload": workload,
+        "n_instrs": 64,
+        "phase": phase,
+        "wall_s": wall_s,
+        "peak_kb": 100.0,
+    }
+
+
+class TestBenchCompare:
+    def test_no_regression(self, tmp_path):
+        base = str(tmp_path / "base.json")
+        cur = str(tmp_path / "cur.json")
+        _write(base, [_row("pig_construction", 0.010)])
+        _write(cur, [_row("pig_construction", 0.011)])
+        result = _compare(base, cur)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "no regressions" in result.stdout
+
+    def test_regression_fails(self, tmp_path):
+        base = str(tmp_path / "base.json")
+        cur = str(tmp_path / "cur.json")
+        _write(base, [_row("pig_construction", 0.010)])
+        _write(cur, [_row("pig_construction", 0.014)])
+        result = _compare(base, cur)
+        assert result.returncode == 1
+        assert "REGRESSED" in result.stdout
+
+    def test_missing_row_fails(self, tmp_path):
+        base = str(tmp_path / "base.json")
+        cur = str(tmp_path / "cur.json")
+        _write(base, [_row("pig_construction", 0.010)])
+        _write(cur, [_row("closure", 0.010)])
+        result = _compare(base, cur)
+        assert result.returncode == 1
+        assert "MISSING" in result.stdout
+
+    def test_tiny_rows_ignored(self, tmp_path):
+        base = str(tmp_path / "base.json")
+        cur = str(tmp_path / "cur.json")
+        # 0.0001s baseline is under --min-wall: noise, never a failure.
+        _write(base, [_row("closure", 0.0001)])
+        _write(cur, [_row("closure", 0.0009)])
+        result = _compare(base, cur)
+        assert result.returncode == 0
+
+    def test_committed_baseline_is_valid(self):
+        repo = os.path.dirname(TOOLS)
+        path = os.path.join(repo, "BENCH_pr1.json")
+        with open(path) as handle:
+            rows = json.load(handle)
+        keys = {(r["workload"], r["phase"]) for r in rows}
+        assert ("e7-n256", "pig_construction") in keys
+        by_key = {(r["workload"], r["phase"]): r for r in rows}
+        bitset = by_key[("e7-n256", "pig_construction")]["wall_s"]
+        reference = by_key[("e7-n256", "pig_construction_reference")]["wall_s"]
+        # The acceptance criterion this PR shipped with: >=5x on the
+        # largest E7 workload.  Recorded, not re-measured, so the test
+        # is deterministic.
+        assert reference / bitset >= 5.0

@@ -100,3 +100,44 @@ class TestKernelsCommand:
         out = capsys.readouterr().out
         assert "dot4" in out
         assert "instructions" in out
+
+
+class TestBenchCommand:
+    def test_writes_rows(self, tmp_path, capsys):
+        import json
+
+        target = str(tmp_path / "bench.json")
+        assert main([
+            "bench", "--sizes", "8", "--repeats", "1", "-o", target,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pig_construction" in out
+        with open(target) as handle:
+            rows = json.load(handle)
+        assert {(r["workload"], r["phase"]) for r in rows} == {
+            ("e7-n8", phase)
+            for phase in (
+                "pig_construction",
+                "pig_construction_reference",
+                "closure",
+                "closure_reference",
+                "coloring",
+            )
+        }
+        for row in rows:
+            assert row["n_instrs"] >= 8
+            assert row["wall_s"] >= 0
+            assert row["peak_kb"] > 0
+
+    def test_phase_subset(self, capsys):
+        assert main([
+            "bench", "--sizes", "8", "--repeats", "1",
+            "--phases", "closure",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "closure" in out
+        assert "pig_construction" not in out
+
+    def test_unknown_phase(self):
+        with pytest.raises(ValueError):
+            main(["bench", "--sizes", "8", "--phases", "nope"])

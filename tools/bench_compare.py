@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Compare two BENCH_*.json files and fail on wall-time regressions.
+
+Rows are matched on (workload, phase).  A row regresses when its
+wall_s exceeds the baseline's by more than the threshold (default
+20%).  Tiny rows (baseline under --min-wall seconds) are ignored —
+sub-millisecond phases are all timer noise.
+
+Run:  python tools/bench_compare.py BASELINE.json CURRENT.json
+Exit: 0 when no regression, 1 otherwise (for make bench-check / CI).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as handle:
+        rows = json.load(handle)
+    return {(r["workload"], r["phase"]): r for r in rows}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("current", help="freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="allowed fractional wall_s growth (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--min-wall", type=float, default=0.001,
+        help="ignore rows whose baseline wall_s is below this (seconds)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+
+    regressions = []
+    for key, base_row in sorted(baseline.items()):
+        cur_row = current.get(key)
+        if cur_row is None:
+            print("MISSING  {}/{} not in {}".format(key[0], key[1], args.current))
+            regressions.append(key)
+            continue
+        base, cur = base_row["wall_s"], cur_row["wall_s"]
+        if base < args.min_wall:
+            continue
+        ratio = cur / base if base else float("inf")
+        status = "ok"
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSED"
+            regressions.append(key)
+        print(
+            "{:<9} {:<10} {:<28} {:.6f}s -> {:.6f}s ({:+.1f}%)".format(
+                status, key[0], key[1], base, cur, (ratio - 1.0) * 100
+            )
+        )
+
+    if regressions:
+        print(
+            "\n{} row(s) regressed beyond {:.0f}%".format(
+                len(regressions), args.threshold * 100
+            )
+        )
+        return 1
+    print("\nno regressions beyond {:.0f}%".format(args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

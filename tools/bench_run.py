@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Run the pipeline benchmark and write a BENCH_*.json result file.
+
+Thin wrapper over ``repro.bench`` (the same code behind
+``python -m repro bench``) with the output path defaulted so Makefile
+targets and CI stay one-liners.
+
+Run:  PYTHONPATH=src python tools/bench_run.py [-o BENCH_pr1.json]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench import DEFAULT_SIZES, format_bench, run_bench, write_bench  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output", default="BENCH_pr1.json",
+        help="result file (default: BENCH_pr1.json)",
+    )
+    parser.add_argument(
+        "--sizes", default=None,
+        help="comma-separated workload sizes (default: {})".format(
+            ",".join(str(s) for s in DEFAULT_SIZES)
+        ),
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    sizes = (
+        tuple(int(s) for s in args.sizes.split(",")) if args.sizes
+        else DEFAULT_SIZES
+    )
+    rows = run_bench(sizes=sizes, repeats=args.repeats)
+    print(format_bench(rows))
+    write_bench(args.output, rows)
+    print("wrote {}".format(args.output))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
