@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test bench bench-check bench-pytest figures examples all clean
+.PHONY: install test bench bench-check bench-pytest figures examples ci all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -31,6 +31,22 @@ examples:
 		echo "== $$script"; \
 		python $$script > /dev/null || exit 1; \
 	done; echo "all examples ran"
+
+# What the GitHub workflow runs: the tier-1 suite plus compile/bench
+# smoke through the hardened driver (clean, paranoid, every ladder
+# rung, and the documented failure exit codes).
+ci:
+	PYTHONPATH=src python -m pytest -x -q
+	PYTHONPATH=src python -m repro compile examples/smoke.src
+	PYTHONPATH=src python -m repro compile examples/smoke.src --paranoid --strategy all
+	PYTHONPATH=src python -m repro compile examples/smoke.src --inject-fault deps.bitset
+	PYTHONPATH=src python -m repro compile examples/smoke.src --inject-fault core.pinter_color
+	PYTHONPATH=src python -m repro compile examples/smoke.src --inject-fault sched.augmented
+	PYTHONPATH=src python -m repro compile examples/smoke.src --json-diagnostics > /dev/null
+	PYTHONPATH=src python -m repro compile examples/smoke.src --strategy bogus; test $$? -eq 2
+	PYTHONPATH=src python -m repro compile examples/smoke.src --max-instrs 1; test $$? -eq 1
+	PYTHONPATH=src python -m repro bench --sizes 8 --repeats 1 --phases pig_construction
+	PYTHONPATH=src python -m repro bench --sizes 0; test $$? -eq 2
 
 all: test bench-check examples
 

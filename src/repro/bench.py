@@ -30,6 +30,7 @@ from repro.deps.schedule_graph import build_schedule_graph
 from repro.deps.transitive import transitive_closure_pairs
 from repro.machine.model import MachineDescription
 from repro.machine.presets import two_unit_superscalar
+from repro.utils.errors import InputError
 from repro.workloads import RandomBlockConfig, random_block
 
 __all__ = [
@@ -120,11 +121,20 @@ def run_bench(
         machine = two_unit_superscalar()
     unknown = set(phases) - set(PHASES)
     if unknown:
-        raise ValueError(
+        raise InputError(
             "unknown bench phases: {} (choose from {})".format(
                 ", ".join(sorted(unknown)), ", ".join(PHASES)
             )
         )
+    non_positive = [s for s in sizes if s <= 0]
+    if non_positive:
+        raise InputError(
+            "bench workload sizes must be positive, got {}".format(
+                ", ".join(str(s) for s in non_positive)
+            )
+        )
+    if repeats < 1:
+        raise InputError("repeats must be at least 1, got {}".format(repeats))
     rows: List[Dict[str, object]] = []
     for size in sizes:
         fn = random_block(RandomBlockConfig(size=size, window=window, seed=size))

@@ -4,13 +4,27 @@
 
     python -m repro compile program.src --machine rs6000 -r 8
     python -m repro compile program.src --strategy all --optimize
+    python -m repro compile program.src --paranoid --json-diagnostics
     python -m repro graph program.src --kind pig -o pig.dot
     python -m repro kernels
     python -m repro bench -o BENCH.json
 
 ``compile`` accepts either frontend source (default) or textual IR
-(``--ir``), runs a phase-ordering strategy, and prints the allocated
-program, the metric row, and optionally the cycle timeline.
+(``--ir``), runs one or more phase-ordering strategies through the
+hardened driver (:mod:`repro.pipeline.driver`), and prints the
+allocated program, the metric row, and optionally the cycle timeline.
+Diagnostics go to stderr (or, with ``--json-diagnostics``, as one JSON
+document on stdout).
+
+Exit codes (all commands):
+
+* ``0`` — success; the compile may have *degraded* onto a fallback
+  rung (reference dependence engine, Chaitin spilling, plain list
+  scheduler) — check the diagnostics.
+* ``1`` — internal failure: a budget was exhausted (``--max-instrs``,
+  ``--time-budget``) or every fallback failed.
+* ``2`` — invalid input: malformed source/IR, or bad arguments
+  (unknown strategy/machine/phase names, bad fault specs).
 """
 
 from __future__ import annotations
@@ -19,8 +33,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.frontend import compile_source
-from repro.ir import format_function, parse_function
 from repro.machine.presets import ALL_PRESETS
 from repro.pipeline.strategies import (
     AllocateThenSchedule,
@@ -29,6 +41,7 @@ from repro.pipeline.strategies import (
     ScheduleThenAllocate,
     Strategy,
 )
+from repro.utils.errors import InputError, ReproError
 
 STRATEGIES = {
     "alloc-first": AllocateThenSchedule,
@@ -39,6 +52,9 @@ STRATEGIES = {
 
 
 def _load_function(path: str, is_ir: bool):
+    from repro.frontend import compile_source
+    from repro.ir import parse_function
+
     with open(path) as handle:
         text = handle.read()
     if is_ir:
@@ -48,7 +64,7 @@ def _load_function(path: str, is_ir: bool):
 
 def _machine(name: str, registers: Optional[int]):
     if name not in ALL_PRESETS:
-        raise SystemExit(
+        raise InputError(
             "unknown machine {!r}; choose from: {}".format(
                 name, ", ".join(sorted(ALL_PRESETS))
             )
@@ -57,53 +73,149 @@ def _machine(name: str, registers: Optional[int]):
     return machine
 
 
+def _strategy_names(spec: str) -> List[str]:
+    """Expand and validate ``--strategy`` *before* any compilation, so
+    a typo can never fire after partial output."""
+    if spec == "all":
+        return list(STRATEGIES)
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    if not names:
+        raise InputError("no strategy named in {!r}".format(spec))
+    unknown = [name for name in names if name not in STRATEGIES]
+    if unknown:
+        raise InputError(
+            "unknown strategy {}; choose from: {} or 'all'".format(
+                ", ".join(repr(n) for n in unknown), ", ".join(STRATEGIES)
+            )
+        )
+    return names
+
+
+def _install_cli_faults(args: argparse.Namespace) -> None:
+    """Arm faults from ``$REPRO_FAULTS`` and ``--inject-fault``."""
+    from repro.utils import faults
+
+    faults.install_from_env()
+    for spec_text in args.inject_fault or ():
+        for spec in faults.parse_fault_specs(spec_text):
+            faults.install(spec)
+
+
+def _emit_diagnostics(report, json_mode: bool) -> None:
+    """Text mode: info diagnostics join the stdout commentary, warnings
+    and errors go to stderr (JSON mode collects reports into a single
+    document instead)."""
+    if json_mode:
+        return
+    for diag in report.diagnostics:
+        if diag.severity == "info":
+            print("; {}".format(diag.message))
+        else:
+            print("; {}".format(diag), file=sys.stderr)
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
-    fn = _load_function(args.file, args.ir)
+    import json
+
+    from repro.ir import format_function
+    from repro.pipeline.driver import CompilationDriver, DriverConfig
+
+    # Validate everything user-controlled before running any strategy.
+    names = _strategy_names(args.strategy)
     machine = _machine(args.machine, args.registers)
     registers = args.registers or machine.num_registers
+    if args.max_instrs is not None and args.max_instrs < 1:
+        raise InputError("--max-instrs must be positive")
+    if args.time_budget is not None and args.time_budget <= 0:
+        raise InputError("--time-budget must be positive seconds")
+    _install_cli_faults(args)
 
-    if args.optimize:
-        from repro.opt import optimize
-
-        report = optimize(fn)
-        print("; {}".format(report))
-
-    names = (
-        list(STRATEGIES) if args.strategy == "all" else [args.strategy]
+    config = DriverConfig(
+        strict=args.strict,
+        paranoid=args.paranoid,
+        max_instrs=args.max_instrs,
+        time_budget=args.time_budget,
+        optimize=args.optimize,
     )
-    for name in names:
-        if name not in STRATEGIES:
-            raise SystemExit(
-                "unknown strategy {!r}; choose from: {} or 'all'".format(
-                    name, ", ".join(STRATEGIES)
-                )
-            )
-        strategy: Strategy = STRATEGIES[name]()
-        result = strategy.run(fn, machine, num_registers=registers)
-        print("; strategy={} machine={} r={}".format(
-            result.strategy, machine.name, registers))
-        print("; registers={} spill_ops={} false_deps={} cycles={}".format(
-            result.registers_used,
-            result.spill_operations,
-            result.false_dependences,
-            result.cycles,
-        ))
-        if len(names) == 1 or args.verbose:
-            print(format_function(result.allocated_function))
-        if args.timeline:
-            from repro.deps import block_schedule_graph
-            from repro.sched import list_schedule
-            from repro.viz import schedule_to_ascii
+    driver = CompilationDriver(machine, num_registers=registers, config=config)
 
-            for block in result.allocated_function.blocks():
-                if not block.instructions:
-                    continue
-                sg = block_schedule_graph(block, machine=machine)
-                schedule = list_schedule(sg, machine)
-                print("; timeline of block {}:".format(block.name))
-                print(schedule_to_ascii(schedule))
-        print()
-    return 0
+    with open(args.file) as handle:
+        text = handle.read()
+    name = args.file.rsplit("/", 1)[-1].split(".")[0]
+    fn, load_report = driver.load(text, is_ir=args.ir, name=name)
+    json_entries = [load_report.as_dict()]
+    _emit_diagnostics(load_report, args.json_diagnostics)
+    exit_code = load_report.exit_code
+
+    if fn is not None:
+        for strategy_name in names:
+            if strategy_name == "pinter":
+                outcome = driver.compile_function(fn, preprocessed=True)
+            else:
+                strategy: Strategy = STRATEGIES[strategy_name]()
+                outcome = driver.run_strategy(
+                    strategy, fn, preprocessed=True
+                )
+            report = outcome.report
+            entry = report.as_dict()
+            entry["metrics"] = (
+                outcome.result.as_row() if outcome.ok else None
+            )
+            json_entries.append(entry)
+            _emit_diagnostics(report, args.json_diagnostics)
+            exit_code = max(exit_code, report.exit_code)
+            if not outcome.ok:
+                if not args.json_diagnostics:
+                    print(
+                        "; strategy={} machine={} r={} FAILED "
+                        "(exit {})".format(
+                            report.strategy, machine.name, registers,
+                            report.exit_code,
+                        )
+                    )
+                    print()
+                continue
+            result = outcome.result
+            if not args.json_diagnostics:
+                print("; strategy={} machine={} r={}".format(
+                    result.strategy, machine.name, registers))
+                print(
+                    "; registers={} spill_ops={} false_deps={} "
+                    "cycles={}".format(
+                        result.registers_used,
+                        result.spill_operations,
+                        result.false_dependences,
+                        result.cycles,
+                    )
+                )
+                if len(names) == 1 or args.verbose:
+                    print(format_function(result.allocated_function))
+                if args.timeline:
+                    from repro.deps import block_schedule_graph
+                    from repro.sched import list_schedule
+                    from repro.viz import schedule_to_ascii
+
+                    for block in result.allocated_function.blocks():
+                        if not block.instructions:
+                            continue
+                        sg = block_schedule_graph(block, machine=machine)
+                        schedule = list_schedule(sg, machine)
+                        print("; timeline of block {}:".format(block.name))
+                        print(schedule_to_ascii(schedule))
+                print()
+
+    if args.json_diagnostics:
+        print(json.dumps(
+            {
+                "file": args.file,
+                "machine": machine.name,
+                "registers": registers,
+                "exit_code": exit_code,
+                "reports": json_entries,
+            },
+            indent=2,
+        ))
+    return exit_code
 
 
 def cmd_graph(args: argparse.Namespace) -> int:
@@ -159,11 +271,37 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_bench,
     )
 
-    sizes = (
-        tuple(int(s) for s in args.sizes.split(",")) if args.sizes
-        else DEFAULT_SIZES
-    )
+    if args.sizes:
+        try:
+            sizes = tuple(int(s) for s in args.sizes.split(","))
+        except ValueError:
+            raise InputError(
+                "bench workload sizes must be integers, got {!r}".format(
+                    args.sizes
+                )
+            ) from None
+    else:
+        sizes = DEFAULT_SIZES
+    bad_sizes = [s for s in sizes if s <= 0]
+    if bad_sizes:
+        raise InputError(
+            "bench workload sizes must be positive, got {}".format(
+                ", ".join(str(s) for s in bad_sizes)
+            )
+        )
     phases = tuple(args.phases.split(",")) if args.phases else PHASES
+    unknown_phases = sorted(set(phases) - set(PHASES))
+    if unknown_phases:
+        raise InputError(
+            "unknown bench workload/phase names: {}; choose from {}".format(
+                ", ".join(repr(p) for p in unknown_phases),
+                ", ".join(PHASES),
+            )
+        )
+    if args.repeats < 1:
+        raise InputError(
+            "--repeats must be at least 1, got {}".format(args.repeats)
+        )
     machine = _machine(args.machine, None)
     rows = run_bench(
         sizes=sizes, phases=phases, machine=machine, repeats=args.repeats
@@ -215,6 +353,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--optimize", action="store_true")
     p_compile.add_argument("--timeline", action="store_true")
     p_compile.add_argument("-v", "--verbose", action="store_true")
+    p_compile.add_argument(
+        "--strict", action="store_true",
+        help="disable the degradation ladder: first phase error fails",
+    )
+    p_compile.add_argument(
+        "--paranoid", action="store_true",
+        help="cross-check the bitset dependence engine against the "
+        "reference engine on every PIG build",
+    )
+    p_compile.add_argument(
+        "--max-instrs", type=int, default=None, metavar="N",
+        help="reject functions with more than N instructions (exit 1)",
+    )
+    p_compile.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for each strategy run, checked at "
+        "phase boundaries (exit 1 when exhausted)",
+    )
+    p_compile.add_argument(
+        "--json-diagnostics", action="store_true",
+        help="emit one JSON document (reports + metrics) on stdout "
+        "instead of the text format",
+    )
+    p_compile.add_argument(
+        "--inject-fault", action="append", default=None, metavar="SPEC",
+        help="arm a fault point for ladder testing, e.g. "
+        "'deps.bitset' or 'sched.augmented:stall=0.2' "
+        "(also honors $REPRO_FAULTS)",
+    )
     p_compile.set_defaults(func=cmd_compile)
 
     p_graph = sub.add_parser("graph", help="emit a DOT graph")
@@ -255,9 +422,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: library errors become one stderr line + exit 2,
+    never a traceback."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("repro: error: {}".format(exc), file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # stdout closed early (e.g. piped to head)
+        return 0
+    finally:
+        # Disarm any --inject-fault / $REPRO_FAULTS points so repeated
+        # in-process invocations (tests, embedding) start clean.
+        from repro.utils import faults
+
+        faults.clear()
 
 
 if __name__ == "__main__":  # pragma: no cover

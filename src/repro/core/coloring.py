@@ -39,6 +39,7 @@ from repro.core.parallel_interference import (
 )
 from repro.core.scheduling_value import SchedulingValueModel
 from repro.utils.errors import AllocationError
+from repro.utils.faults import trip
 
 EdgePolicy = Literal["node", "global", "lazy"]
 
@@ -128,6 +129,7 @@ def pinter_color(
         the caller must insert spill code and re-run on the rewritten
         program.
     """
+    trip("core.pinter_color")
     if cost is None:
         cost = lambda _web: 1.0  # noqa: E731 - simple default
     if value_model is None:

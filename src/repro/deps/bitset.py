@@ -124,6 +124,9 @@ class DependenceBitKernel:
         representation only advertised.  Complementation is one masked
         ``~`` per row.
         """
+        from repro.utils.faults import trip
+
+        trip("deps.bitset")
         index = InstructionIndex(sg.instructions)
         n = len(index)
         position = index.position

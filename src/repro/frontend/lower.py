@@ -341,7 +341,9 @@ def lower_program(program: Program, name: str = "main") -> Function:
 def compile_source(source: str, name: str = "main") -> Function:
     """Front door: source text → verified symbolic-register function."""
     from repro.ir.verifier import verify_function
+    from repro.utils.faults import trip
 
+    trip("frontend.compile")
     fn = lower_program(parse_source(source), name=name)
     verify_function(fn)
     return fn

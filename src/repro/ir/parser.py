@@ -33,6 +33,7 @@ from repro.ir.operands import (
     VirtualRegister,
 )
 from repro.utils.errors import IRError
+from repro.utils.faults import trip
 
 _PHYSICAL_RE = re.compile(r"^([rf])(\d+)$")
 _IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
@@ -106,6 +107,7 @@ def parse_function(text: str) -> Function:
     Raises:
         IRError: on any syntax problem; the message includes the line.
     """
+    trip("ir.parse")
     lines = text.splitlines()
     fn: Optional[Function] = None
     current: Optional[BasicBlock] = None

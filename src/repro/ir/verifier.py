@@ -24,6 +24,7 @@ from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function
 from repro.ir.operands import Register, VirtualRegister
 from repro.utils.errors import IRError
+from repro.utils.faults import trip
 
 
 def check_block(block: BasicBlock) -> List[str]:
@@ -114,6 +115,7 @@ def check_function(
 
 def verify_function(fn: Function, live_in: Sequence[Register] = ()) -> None:
     """Raise :class:`IRError` on the first structural violation."""
+    trip("ir.verify")
     problems = check_function(fn, live_in=live_in)
     if problems:
         raise IRError("; ".join(problems))

@@ -1,6 +1,18 @@
-"""End-to-end pipelines: phase-ordering strategies and the post-
-allocation false-dependence verifier."""
+"""End-to-end pipelines: phase-ordering strategies, the hardened
+compilation driver, and the post-allocation false-dependence
+verifier."""
 
+from repro.pipeline.driver import (
+    CompilationDriver,
+    CompileReport,
+    Diagnostic,
+    DriverConfig,
+    DriverResult,
+    EXIT_INPUT,
+    EXIT_INTERNAL,
+    EXIT_OK,
+    PhaseGuard,
+)
 from repro.pipeline.strategies import (
     AllocateThenSchedule,
     CombinedPinter,
@@ -22,7 +34,16 @@ from repro.pipeline.verify import (
 __all__ = [
     "AllocateThenSchedule",
     "CombinedPinter",
+    "CompilationDriver",
+    "CompileReport",
+    "Diagnostic",
+    "DriverConfig",
+    "DriverResult",
+    "EXIT_INPUT",
+    "EXIT_INTERNAL",
+    "EXIT_OK",
     "FalseDependenceViolation",
+    "PhaseGuard",
     "GoodmanHsuIPS",
     "ScheduleThenAllocate",
     "Strategy",

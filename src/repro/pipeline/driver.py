@@ -1,0 +1,840 @@
+"""Hardened end-to-end compilation driver.
+
+The strategies in :mod:`repro.pipeline.strategies` are thin research
+pipelines: any failure — malformed IR, an over-constrained coloring, a
+hypothetical bitset/reference divergence — surfaces as a raw exception
+and kills the run.  This module wraps the same phases in a guarded
+service that **never tracebacks**: each phase runs inside a
+:class:`PhaseGuard` that catches :class:`~repro.utils.errors.ReproError`,
+enforces per-compile budgets (instruction-count limit, wall-clock
+deadline), records :class:`Diagnostic` entries into a
+:class:`CompileReport`, and applies a *degradation ladder*:
+
+==============  ============================  ===========================
+phase           primary                       fallback
+==============  ============================  ===========================
+``pig``         bitset dependence kernel      reference (set-based) engine
+``color``       combined Pinter coloring      Chaitin with spilling
+``schedule``    augmented (E_f-driven)        plain list scheduler
+``opt``         optimization pipeline         unoptimized program
+``preschedule``  EP reordering                 input order
+==============  ============================  ===========================
+
+In ``--paranoid`` mode the ``pig`` phase additionally *cross-checks*
+the bitset engine against the reference engine and degrades to the
+reference result on divergence.  In ``--strict`` mode the ladder is
+disabled: the first phase error fails the compile.
+
+Outcomes map to documented exit codes:
+
+* ``0`` — success, possibly degraded (check ``report.status``);
+* ``1`` — internal failure: a budget was exhausted or every rung of a
+  ladder failed;
+* ``2`` — invalid input: parse/verify rejected the program (or, at the
+  CLI, bad arguments).
+
+Every rung is exercised deterministically in tests via the fault
+injection registry (:mod:`repro.utils.faults`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple, TypeVar
+
+from repro.core.coloring import pinter_color
+from repro.core.parallel_interference import (
+    ParallelInterferenceGraph,
+    build_parallel_interference_graph,
+)
+from repro.deps.false_dependence import false_dependence_graph
+from repro.deps.schedule_graph import block_schedule_graph
+from repro.ir.function import Function
+from repro.ir.verifier import verify_function
+from repro.machine.model import MachineDescription
+from repro.pipeline.strategies import StrategyResult, Strategy, _chaitin_allocate
+from repro.pipeline.verify import find_false_dependences
+from repro.regalloc.assignment import apply_assignment, make_assignment
+from repro.regalloc.spill import insert_spill_code, make_cost_function
+from repro.sched.augmented import augmented_schedule
+from repro.sched.prescheduler import preschedule_function
+from repro.sched.simulator import simulate_function
+from repro.utils import faults
+from repro.utils.errors import (
+    AllocationError,
+    BudgetExceededError,
+    DivergenceError,
+    InputError,
+    IRError,
+    ReproError,
+)
+
+T = TypeVar("T")
+
+#: Documented process exit codes.
+EXIT_OK = 0
+EXIT_INTERNAL = 1
+EXIT_INPUT = 2
+
+#: Diagnostic severities, mildest first.
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass
+class Diagnostic:
+    """One structured driver event.
+
+    Attributes:
+        severity: ``"info"``, ``"warning"`` (recovered / degraded), or
+            ``"error"`` (phase failed terminally).
+        phase: The phase that produced it (see
+            :attr:`CompilationDriver.PHASES`).
+        message: Human-readable description, no newlines.
+        location: Optional source location or function name.
+        elapsed_s: Seconds spent in the phase attempt that produced it.
+        recovery: The degradation applied (e.g. ``"reference engine"``),
+            or None when nothing was recovered.
+    """
+
+    severity: str
+    phase: str
+    message: str
+    location: Optional[str] = None
+    elapsed_s: float = 0.0
+    recovery: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "severity": self.severity,
+            "phase": self.phase,
+            "message": self.message,
+            "location": self.location,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "recovery": self.recovery,
+        }
+
+    def __str__(self) -> str:
+        text = "{}[{}]: {}".format(self.severity, self.phase, self.message)
+        if self.location:
+            text += " (at {})".format(self.location)
+        if self.recovery:
+            text += " -- recovered: {}".format(self.recovery)
+        return text
+
+
+@dataclass
+class CompileReport:
+    """Everything the driver observed while compiling one function.
+
+    Attributes:
+        function_name: Name of the compiled function (or input file).
+        strategy: Strategy the driver ran.
+        diagnostics: Ordered diagnostic records.
+        phase_seconds: Wall seconds per phase (spill rounds accumulate).
+        failure_kind: None on success; ``"input"`` (exit 2) or
+            ``"internal"`` (exit 1) on terminal failure.
+    """
+
+    function_name: str = "?"
+    strategy: str = "pinter"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    failure_kind: Optional[str] = None
+
+    def add(
+        self,
+        severity: str,
+        phase: str,
+        message: str,
+        elapsed_s: float = 0.0,
+        recovery: Optional[str] = None,
+    ) -> Diagnostic:
+        diag = Diagnostic(
+            severity=severity,
+            phase=phase,
+            message=message,
+            location=self.function_name,
+            elapsed_s=elapsed_s,
+            recovery=recovery,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+    def note_recovery(self, recovery: str) -> None:
+        """Record the degradation applied for the most recent
+        diagnostic (the warning :class:`PhaseGuard` just emitted)."""
+        if self.diagnostics:
+            self.diagnostics[-1].recovery = recovery
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def degraded(self) -> bool:
+        """True when any fallback rung was taken."""
+        return any(d.recovery for d in self.diagnostics)
+
+    @property
+    def status(self) -> str:
+        """``"ok"``, ``"degraded"``, or ``"failed"``."""
+        if self.failure_kind is not None:
+            return "failed"
+        if self.degraded or self.warnings():
+            return "degraded"
+        return "ok"
+
+    @property
+    def exit_code(self) -> int:
+        """The documented process exit code for this outcome."""
+        if self.failure_kind is None:
+            return EXIT_OK
+        return EXIT_INPUT if self.failure_kind == "input" else EXIT_INTERNAL
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "function": self.function_name,
+            "strategy": self.strategy,
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "failure_kind": self.failure_kind,
+            "phase_seconds": {
+                k: round(v, 6) for k, v in sorted(self.phase_seconds.items())
+            },
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+
+@dataclass
+class DriverConfig:
+    """Knobs of the hardened driver (CLI flags map 1:1).
+
+    Attributes:
+        strict: Disable every fallback rung — the first phase error
+            fails the compile.
+        paranoid: Cross-check the bitset dependence engine against the
+            reference engine on every PIG build.
+        max_instrs: Reject functions with more instructions (budget;
+            exit 1).
+        time_budget: Wall-clock seconds for the whole compile; checked
+            at phase boundaries (a running phase is not preempted).
+        optimize: Run the optimization pipeline before allocation.
+        use_regions: Build false-dependence graphs over scheduling
+            regions (the global form).
+        max_spill_rounds: Bound on spill-and-repeat iterations.
+        engine: Primary dependence engine (``"bitset"`` or
+            ``"reference"``; the ladder only applies to ``"bitset"``).
+    """
+
+    strict: bool = False
+    paranoid: bool = False
+    max_instrs: Optional[int] = None
+    time_budget: Optional[float] = None
+    optimize: bool = False
+    use_regions: bool = True
+    max_spill_rounds: int = 12
+    engine: str = "bitset"
+
+
+@dataclass
+class DriverResult:
+    """A report plus, on success, the strategy result it describes."""
+
+    report: CompileReport
+    result: Optional[StrategyResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+class _Abort(Exception):
+    """Internal control flow: a phase failed terminally."""
+
+    def __init__(self, kind: str) -> None:
+        super().__init__(kind)
+        self.kind = kind  # "input" | "internal"
+
+
+class _PhaseError(Exception):
+    """Internal control flow: a recoverable phase attempt failed; the
+    caller owns the fallback."""
+
+    def __init__(self, phase: str, cause: ReproError) -> None:
+        super().__init__(str(cause))
+        self.phase = phase
+        self.cause = cause
+
+
+@dataclass
+class _AllocMeta:
+    """Provenance of the allocation the driver settled on."""
+
+    mode: str  # "pinter" | "chaitin"
+    spill_operations: int = 0
+    parallelism_sacrificed: int = 0
+    #: Dependence engine the compile settled on; later phases
+    #: (theorem1 check, augmented scheduling) stay off a failed kernel.
+    engine: str = "bitset"
+
+
+class PhaseGuard:
+    """Runs phase attempts under the driver's protections.
+
+    One guard exists per compile.  :meth:`run` executes a thunk for a
+    named phase: it trips the ``phase.<name>`` fault point, checks the
+    wall-clock deadline before and after (so stalled phases are caught
+    at the next boundary), accumulates ``phase_seconds``, and converts
+    :class:`ReproError` into either a recorded *warning* plus
+    :class:`_PhaseError` (when the caller declared a fallback exists
+    and strict mode is off) or a recorded *error* plus :class:`_Abort`.
+    """
+
+    def __init__(
+        self,
+        report: CompileReport,
+        strict: bool = False,
+        deadline: Optional[float] = None,
+    ) -> None:
+        self.report = report
+        self.strict = strict
+        self.deadline = deadline
+
+    def check_deadline(self, phase: str) -> None:
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            self.report.add(
+                "error",
+                phase,
+                "wall-clock budget exhausted "
+                "(deadline passed at phase boundary)",
+            )
+            raise _Abort("internal")
+
+    def run(
+        self,
+        phase: str,
+        action: Callable[[], T],
+        recoverable: bool = False,
+        input_phase: bool = False,
+    ) -> T:
+        """Run *action* as an attempt of *phase*.
+
+        Args:
+            phase: Phase name for diagnostics/fault points.
+            action: Zero-argument thunk.
+            recoverable: The caller has a fallback: on ReproError
+                record a warning and raise :class:`_PhaseError` instead
+                of aborting (ignored in strict mode).
+            input_phase: Failures here are the *input's* fault — the
+                abort carries kind ``"input"`` (exit 2).
+        """
+        self.check_deadline(phase)
+        start = time.perf_counter()
+        try:
+            faults.trip("phase." + phase)
+            value = action()
+        except ReproError as exc:
+            elapsed = time.perf_counter() - start
+            self.report.phase_seconds[phase] = (
+                self.report.phase_seconds.get(phase, 0.0) + elapsed
+            )
+            if recoverable and not self.strict:
+                self.report.add(
+                    "warning", phase, str(exc), elapsed_s=elapsed
+                )
+                raise _PhaseError(phase, exc) from exc
+            self.report.add("error", phase, str(exc), elapsed_s=elapsed)
+            if input_phase or isinstance(exc, (IRError, InputError)):
+                raise _Abort("input") from exc
+            raise _Abort("internal") from exc
+        elapsed = time.perf_counter() - start
+        self.report.phase_seconds[phase] = (
+            self.report.phase_seconds.get(phase, 0.0) + elapsed
+        )
+        self.check_deadline(phase)
+        return value
+
+
+def _pig_signature(
+    pig: ParallelInterferenceGraph,
+) -> Tuple[Set[int], Set[Tuple[int, int, int]]]:
+    """Order-independent identity of a PIG: web indices plus edges as
+    (index, index, origin-flag) triples — the paranoid cross-check and
+    the equivalence tests compare these."""
+    nodes = {web.index for web in pig.graph.nodes()}
+    edges = set()
+    for a, b, data in pig.graph.edges(data=True):
+        lo, hi = sorted((a.index, b.index))
+        edges.add((lo, hi, data["origin"].value))
+    return nodes, edges
+
+
+class CompilationDriver:
+    """Guarded end-to-end compilation service.
+
+    Wraps the combined-Pinter pipeline (and, via :meth:`run_strategy`,
+    any other strategy) in per-phase guards with the degradation
+    ladder described in the module docstring.
+
+    Args:
+        machine: Target machine description.
+        num_registers: r; defaults to ``machine.num_registers``.
+        config: Driver knobs; keyword overrides (``strict=True`` …)
+            are applied on top of *config*.
+    """
+
+    #: Phase names in execution order.  Fault point ``phase.<name>``
+    #: fires at the start of every attempt of that phase.
+    PHASES = (
+        "parse",
+        "verify",
+        "opt",
+        "preschedule",
+        "pig",
+        "color",
+        "assign",
+        "schedule",
+        "theorem1",
+    )
+
+    def __init__(
+        self,
+        machine: MachineDescription,
+        num_registers: Optional[int] = None,
+        config: Optional[DriverConfig] = None,
+        **overrides: object,
+    ) -> None:
+        self.machine = machine
+        self.num_registers = (
+            machine.num_registers if num_registers is None else num_registers
+        )
+        cfg = config or DriverConfig()
+        for key, value in overrides.items():
+            if not hasattr(cfg, key):
+                raise InputError("unknown driver option {!r}".format(key))
+            setattr(cfg, key, value)
+        if cfg.engine not in ("bitset", "reference"):
+            raise InputError(
+                "unknown dependence engine {!r}".format(cfg.engine)
+            )
+        if self.num_registers < 1:
+            raise InputError("need at least one register")
+        self.config = cfg
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+
+    def load(
+        self,
+        text: str,
+        is_ir: bool = False,
+        name: str = "program",
+    ) -> Tuple[Optional[Function], CompileReport]:
+        """Guarded parse/lower + verify + instruction budget + opt.
+
+        Returns ``(fn, report)``; *fn* is None when loading failed (the
+        report then carries the structured diagnosis, exit code 2 for
+        malformed input).  The returned function is already optimized
+        when the config asks for it, so every strategy downstream
+        shares one preprocessed program.
+        """
+        report = CompileReport(function_name=name, strategy="load")
+        guard = self._guard(report)
+        try:
+            fn = guard.run(
+                "parse",
+                lambda: self._parse(text, is_ir, name),
+                input_phase=True,
+            )
+            report.function_name = fn.name
+            guard.run(
+                "verify",
+                lambda: verify_function(fn, fn.live_in),
+                input_phase=True,
+            )
+            self._check_instr_budget(report, fn)
+            if self.config.optimize:
+                fn = self._optimize(fn, guard, report)
+        except _Abort as abort:
+            report.failure_kind = abort.kind
+            return None, report
+        return fn, report
+
+    def compile_text(
+        self,
+        text: str,
+        is_ir: bool = False,
+        name: str = "program",
+    ) -> DriverResult:
+        """Full service: text in, allocated program or diagnosis out."""
+        fn, load_report = self.load(text, is_ir=is_ir, name=name)
+        if fn is None:
+            load_report.strategy = "pinter"
+            return DriverResult(report=load_report)
+        result = self.compile_function(fn, preprocessed=True)
+        # Fold load-phase timings into the compile report so one report
+        # tells the whole story.
+        for phase, secs in load_report.phase_seconds.items():
+            result.report.phase_seconds.setdefault(phase, secs)
+        result.report.diagnostics[0:0] = load_report.diagnostics
+        return result
+
+    def compile_function(
+        self, fn: Function, preprocessed: bool = False
+    ) -> DriverResult:
+        """Run the guarded combined-Pinter pipeline on *fn*.
+
+        Args:
+            fn: Symbolic-register input function (not mutated).
+            preprocessed: Skip the verify/budget/opt front phases;
+                pass True when :meth:`load` already ran them.
+        """
+        report = CompileReport(function_name=fn.name, strategy="pinter")
+        guard = self._guard(report)
+        try:
+            result = self._compile(fn, report, guard, preprocessed)
+        except _Abort as abort:
+            report.failure_kind = abort.kind
+            return DriverResult(report=report)
+        result.report = report
+        return DriverResult(report=report, result=result)
+
+    def run_strategy(
+        self, strategy: Strategy, fn: Function, preprocessed: bool = False
+    ) -> DriverResult:
+        """Run an arbitrary strategy end-to-end under a single guard.
+
+        Non-Pinter strategies have no internal ladder; the guard still
+        guarantees structured diagnostics, budgets, and no traceback.
+        """
+        report = CompileReport(function_name=fn.name, strategy=strategy.name)
+        guard = self._guard(report)
+        try:
+            if not preprocessed:
+                guard.run(
+                    "verify",
+                    lambda: verify_function(fn, fn.live_in),
+                    input_phase=True,
+                )
+                self._check_instr_budget(report, fn)
+                if self.config.optimize:
+                    fn = self._optimize(fn, guard, report)
+            result = guard.run(
+                "strategy",
+                lambda: strategy.run(
+                    fn, self.machine, num_registers=self.num_registers
+                ),
+            )
+        except _Abort as abort:
+            report.failure_kind = abort.kind
+            return DriverResult(report=report)
+        result.report = report
+        return DriverResult(report=report, result=result)
+
+    # ------------------------------------------------------------------
+    # Pipeline internals
+    # ------------------------------------------------------------------
+
+    def _guard(self, report: CompileReport) -> PhaseGuard:
+        deadline = None
+        if self.config.time_budget is not None:
+            deadline = time.monotonic() + self.config.time_budget
+        return PhaseGuard(
+            report, strict=self.config.strict, deadline=deadline
+        )
+
+    def _parse(self, text: str, is_ir: bool, name: str) -> Function:
+        if is_ir:
+            from repro.ir.parser import parse_function
+
+            return parse_function(text)
+        from repro.frontend.lower import compile_source
+
+        return compile_source(text, name=name)
+
+    def _check_instr_budget(self, report: CompileReport, fn: Function) -> None:
+        limit = self.config.max_instrs
+        if limit is None:
+            return
+        count = sum(len(block) for block in fn.blocks())
+        if count > limit:
+            report.add(
+                "error",
+                "verify",
+                "instruction budget exceeded: {} instructions > "
+                "max_instrs={}".format(count, limit),
+            )
+            raise _Abort("internal")
+
+    def _compile(
+        self,
+        fn: Function,
+        report: CompileReport,
+        guard: PhaseGuard,
+        preprocessed: bool,
+    ) -> StrategyResult:
+        if not preprocessed:
+            guard.run(
+                "verify",
+                lambda: verify_function(fn, fn.live_in),
+                input_phase=True,
+            )
+            self._check_instr_budget(report, fn)
+            if self.config.optimize:
+                fn = self._optimize(fn, guard, report)
+
+        work = self._preschedule(fn.copy(), guard, report)
+        prepared, assignment, meta = self._allocate(work, guard, report)
+        allocated = guard.run(
+            "assign", lambda: apply_assignment(assignment)
+        )
+        violations = guard.run(
+            "theorem1",
+            lambda: find_false_dependences(
+                prepared, allocated, self.machine,
+                use_regions=self.config.use_regions,
+                engine=meta.engine,
+            ),
+        )
+        self._judge_theorem1(report, meta, len(violations))
+        cycles = self._schedule(allocated, guard, report, meta.engine)
+
+        return StrategyResult(
+            strategy="pinter",
+            registers_used=assignment.num_registers_used,
+            spill_operations=meta.spill_operations,
+            false_dependences=len(violations),
+            cycles=cycles,
+            allocated_function=allocated,
+            prepared_function=prepared,
+        )
+
+    def _optimize(
+        self, work: Function, guard: PhaseGuard, report: CompileReport
+    ) -> Function:
+        """Optimize a copy; a failing optimizer degrades to the
+        unoptimized program instead of poisoning *work* mid-rewrite."""
+
+        def attempt() -> Function:
+            from repro.opt import optimize
+
+            candidate = work.copy()
+            opt_report = optimize(candidate)
+            report.add("info", "opt", str(opt_report))
+            return candidate
+
+        try:
+            return guard.run("opt", attempt, recoverable=True)
+        except _PhaseError:
+            report.note_recovery("unoptimized program")
+            return work
+
+    def _preschedule(
+        self, work: Function, guard: PhaseGuard, report: CompileReport
+    ) -> Function:
+        def attempt() -> Function:
+            return preschedule_function(work.copy(), self.machine)
+
+        try:
+            return guard.run("preschedule", attempt, recoverable=True)
+        except _PhaseError:
+            report.note_recovery("input order retained")
+            return work.copy()
+
+    # -- pig -----------------------------------------------------------
+
+    def _build_pig(
+        self,
+        work: Function,
+        guard: PhaseGuard,
+        report: CompileReport,
+        engine: str,
+    ) -> Tuple[ParallelInterferenceGraph, str]:
+        """One PIG build with the engine ladder.
+
+        ``bitset`` engine failures (and, in paranoid mode,
+        bitset/reference divergence) degrade to the reference engine;
+        in strict mode any failure aborts.  Returns the graph plus the
+        engine that actually produced it, so the degradation sticks
+        for the rest of the compile.
+        """
+        cfg = self.config
+
+        def build(target: str) -> ParallelInterferenceGraph:
+            return build_parallel_interference_graph(
+                work, self.machine,
+                use_regions=cfg.use_regions, engine=target,
+            )
+
+        if engine == "reference":
+            return guard.run("pig", lambda: build("reference")), "reference"
+
+        def primary() -> ParallelInterferenceGraph:
+            fast = build("bitset")
+            if cfg.paranoid:
+                slow = build("reference")
+                if _pig_signature(fast) != _pig_signature(slow):
+                    raise DivergenceError(
+                        "bitset and reference engines disagree on "
+                        "{!r} (paranoid cross-check)".format(work.name)
+                    )
+            return fast
+
+        try:
+            return guard.run("pig", primary, recoverable=True), "bitset"
+        except _PhaseError:
+            report.note_recovery("reference engine")
+            return guard.run("pig", lambda: build("reference")), "reference"
+
+    # -- color ---------------------------------------------------------
+
+    def _allocate(
+        self, work: Function, guard: PhaseGuard, report: CompileReport
+    ):
+        """PIG build + combined coloring with spill rounds.
+
+        Returns ``(prepared_fn, assignment, _AllocMeta)``.  Any failure
+        of the combined procedure (kernel included) degrades to the
+        classic Chaitin-with-spilling loop on the same prescheduled
+        program.
+        """
+        original = work
+        spill_ops = 0
+        engine = self.config.engine
+        try:
+            for _round in range(self.config.max_spill_rounds + 1):
+                pig, engine = self._build_pig(work, guard, report, engine)
+                cost = make_cost_function(work)
+                current = work
+                result = guard.run(
+                    "color",
+                    lambda: pinter_color(
+                        pig, self.num_registers, cost=cost
+                    ),
+                    recoverable=True,
+                )
+                if not result.spilled:
+                    assignment = make_assignment(
+                        pig.interference, result.coloring
+                    )
+                    return current, assignment, _AllocMeta(
+                        mode="pinter",
+                        spill_operations=spill_ops,
+                        parallelism_sacrificed=result.parallelism_sacrificed,
+                        engine=engine,
+                    )
+                work, spill_report = insert_spill_code(work, result.spilled)
+                spill_ops += (
+                    spill_report.stores_added + spill_report.reloads_added
+                )
+            # Did not converge: raise inside a guard so strict/ladder
+            # handling is uniform.
+            def overflow():
+                raise AllocationError(
+                    "combined coloring did not converge within {} spill "
+                    "rounds (r={})".format(
+                        self.config.max_spill_rounds, self.num_registers
+                    )
+                )
+
+            guard.run("color", overflow, recoverable=True)
+        except _PhaseError:
+            report.note_recovery("chaitin spill fallback")
+            return self._chaitin_fallback(original, guard, report, engine)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _chaitin_fallback(
+        self,
+        work: Function,
+        guard: PhaseGuard,
+        report: CompileReport,
+        engine: str,
+    ):
+        """Ladder rung: classic Chaitin coloring on the interference
+        graph alone, spilling until colorable.  Gives up the spill-free
+        Theorem 1 guarantee in exchange for always terminating with a
+        correct program."""
+
+        def attempt():
+            return _chaitin_allocate(
+                work.copy(),
+                self.num_registers,
+                max_rounds=self.config.max_spill_rounds,
+            )
+
+        prepared, assignment, spill_ops = guard.run("color", attempt)
+        return prepared, assignment, _AllocMeta(
+            mode="chaitin", spill_operations=spill_ops, engine=engine
+        )
+
+    def _judge_theorem1(
+        self, report: CompileReport, meta: _AllocMeta, violations: int
+    ) -> None:
+        """Classify the Lemma 1 count against what the allocation mode
+        promises: the spill-free combined coloring with no sacrificed
+        edges must introduce zero false dependences (Theorem 1)."""
+        if violations == 0:
+            return
+        if meta.mode == "pinter" and meta.parallelism_sacrificed == 0:
+            diag = report.add(
+                "error",
+                "theorem1",
+                "Theorem 1 violated: spill-free combined coloring "
+                "introduced {} false dependence(s)".format(violations),
+            )
+            if self.config.strict:
+                raise _Abort("internal")
+            diag.severity = "warning"
+            return
+        report.add(
+            "info",
+            "theorem1",
+            "{} false dependence(s) from {} (expected for this mode)".format(
+                violations,
+                "sacrificed false edges" if meta.mode == "pinter"
+                else "chaitin fallback",
+            ),
+        )
+
+    # -- schedule ------------------------------------------------------
+
+    def _schedule(
+        self,
+        allocated: Function,
+        guard: PhaseGuard,
+        report: CompileReport,
+        engine: str = "bitset",
+    ) -> int:
+        """Cycle count of the allocated program: augmented (E_f-driven)
+        scheduling first, plain list scheduling on failure."""
+
+        def augmented() -> int:
+            total = 0
+            for block in allocated.blocks():
+                if not block.instructions:
+                    continue
+                sg = block_schedule_graph(block, machine=self.machine)
+                if engine == "reference":
+                    from repro.deps.reference import (
+                        reference_false_dependence_graph,
+                    )
+
+                    fdg = reference_false_dependence_graph(sg, self.machine)
+                else:
+                    fdg = false_dependence_graph(sg, self.machine)
+                schedule = augmented_schedule(sg, fdg, self.machine)
+                total += schedule.makespan
+            return total
+
+        def plain() -> int:
+            return simulate_function(allocated, self.machine).total_cycles
+
+        try:
+            return guard.run("schedule", augmented, recoverable=True)
+        except _PhaseError:
+            report.note_recovery("list scheduler")
+            return guard.run("schedule", plain)

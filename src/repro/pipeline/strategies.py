@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.driver import CompileReport
 
 from repro.core.edge_weights import DEFAULT_CONFIG, EdgeWeightConfig
 from repro.deps.schedule_graph import block_schedule_graph
@@ -50,6 +53,9 @@ class StrategyResult:
         allocated_function: The final program.
         prepared_function: The symbolic program the metrics are
             relative to (post reordering / spill insertion).
+        report: The :class:`~repro.pipeline.driver.CompileReport` when
+            the run went through the hardened driver; None for direct
+            ``Strategy.run`` calls.
     """
 
     strategy: str
@@ -59,6 +65,7 @@ class StrategyResult:
     cycles: int
     allocated_function: Function
     prepared_function: Function
+    report: Optional["CompileReport"] = None
 
     def as_row(self) -> Dict[str, object]:
         return {

@@ -68,6 +68,7 @@ def find_false_dependences(
     machine: MachineDescription,
     use_regions: bool = True,
     include_anti: bool = False,
+    engine: str = "bitset",
 ) -> List[FalseDependenceViolation]:
     """All false dependences the allocation introduced.
 
@@ -89,10 +90,17 @@ def find_false_dependences(
         use_regions: Evaluate per scheduling region (the global form);
             otherwise per block.
         include_anti: Also report introduced anti edges landing in E_f.
+        engine: ``"bitset"`` (default) derives E_f via the word-parallel
+            kernel; ``"reference"`` uses the retained set-based pipeline
+            — the hardened driver passes the engine its PIG phase
+            settled on so a degraded compile stays off the failed
+            kernel.
 
     Raises:
         IRError: when the two functions' instructions do not correspond.
     """
+    if engine not in ("bitset", "reference"):
+        raise IRError("unknown dependence engine {!r}".format(engine))
     allocated_by_uid: Dict[int, Instruction] = {
         instr.uid: instr for instr in allocated.instructions()
     }
@@ -121,7 +129,12 @@ def find_false_dependences(
         if not symbolic_instrs:
             continue
         sg = region_schedule_graph(original, region.blocks, machine=machine)
-        fdg = false_dependence_graph(sg, machine)
+        if engine == "reference":
+            from repro.deps.reference import reference_false_dependence_graph
+
+            fdg = reference_false_dependence_graph(sg, machine)
+        else:
+            fdg = false_dependence_graph(sg, machine)
 
         allocated_instrs = [allocated_by_uid[i.uid] for i in symbolic_instrs]
         real_pairs = _symbolic_dependence_pairs(symbolic_instrs)

@@ -18,6 +18,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence
 import networkx as nx
 
 from repro.utils.errors import AllocationError
+from repro.utils.faults import trip
 
 Node = Hashable
 CostFn = Callable[[Node], float]
@@ -131,6 +132,7 @@ def chaitin_color(
         expected to insert spill code and re-run on the rewritten
         program, as the paper's procedure does.
     """
+    trip("regalloc.chaitin")
     work = graph.copy()
     metric = spill_metric or classic_h(graph, uniform_cost)
     stack: List[Node] = []

@@ -32,6 +32,7 @@ from repro.sched.list_scheduler import (
     critical_path_priority,
 )
 from repro.utils.errors import SchedulingError
+from repro.utils.faults import trip
 
 
 def augmented_schedule(
@@ -53,6 +54,7 @@ def augmented_schedule(
     Returns:
         A verified :class:`Schedule`.
     """
+    trip("sched.augmented")
     sg.check_acyclic()
     if priority is None:
         priority = critical_path_priority(sg)

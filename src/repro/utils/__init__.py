@@ -1,18 +1,46 @@
-"""Small shared utilities: ordered sets, bitset helpers, errors."""
+"""Small shared utilities: ordered sets, bitset helpers, errors, and
+deterministic fault injection."""
 
 from repro.utils.bits import bits_above, iter_bits, mask_of, popcount, select
-from repro.utils.errors import ReproError, IRError, AllocationError, SchedulingError
+from repro.utils.errors import (
+    AllocationError,
+    BudgetExceededError,
+    DivergenceError,
+    FaultInjectedError,
+    InputError,
+    IRError,
+    ReproError,
+    SchedulingError,
+)
+from repro.utils.faults import (
+    FaultSpec,
+    clear as clear_faults,
+    inject,
+    install_from_env,
+    parse_fault_specs,
+    trip,
+)
 from repro.utils.orderedset import OrderedSet
 
 __all__ = [
-    "ReproError",
-    "IRError",
     "AllocationError",
-    "SchedulingError",
+    "BudgetExceededError",
+    "DivergenceError",
+    "FaultInjectedError",
+    "FaultSpec",
+    "IRError",
+    "InputError",
     "OrderedSet",
+    "ReproError",
+    "SchedulingError",
     "bits_above",
+    "clear_faults",
+    "inject",
+    "install_from_env",
     "iter_bits",
     "mask_of",
+    "parse_fault_specs",
     "popcount",
     "select",
+    "trip",
 ]

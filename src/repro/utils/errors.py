@@ -22,3 +22,26 @@ class AllocationError(ReproError):
 class SchedulingError(ReproError):
     """Instruction scheduling failed (e.g. cyclic schedule graph, or a
     resource request the machine model cannot satisfy)."""
+
+
+class InputError(ReproError, ValueError):
+    """Invalid user-supplied input: unknown strategy/machine/workload
+    names, malformed numeric options, bad fault specs.  Also a
+    ``ValueError`` so pre-existing callers that caught ``ValueError``
+    keep working."""
+
+
+class BudgetExceededError(ReproError):
+    """A compilation phase exceeded a configured resource budget
+    (instruction-count limit or wall-clock deadline)."""
+
+
+class DivergenceError(ReproError):
+    """Paranoid cross-check failure: the bitset and reference
+    dependence engines produced different parallelizable interference
+    graphs for the same input."""
+
+
+class FaultInjectedError(ReproError):
+    """Raised by an armed fault-injection point
+    (:mod:`repro.utils.faults`); never raised in production runs."""

@@ -1,0 +1,244 @@
+"""Deterministic fault injection for exercising degradation paths.
+
+The hardened driver (:mod:`repro.pipeline.driver`) promises a ladder of
+fallbacks — bitset dependence kernel → reference engine, combined
+Pinter coloring → Chaitin with spilling, augmented scheduler → plain
+list scheduler — but fallback code that only runs when production code
+breaks is fallback code that silently rots.  This module lets tests
+(and operators, via ``REPRO_FAULTS`` or ``repro compile
+--inject-fault``) force a named *fault point* to raise a
+:class:`~repro.utils.errors.ReproError` or stall for a fixed time, so
+every rung of the ladder is exercised deterministically.
+
+Fault points are plain string names checked by :func:`trip` calls
+sprinkled at the entry of the guarded subsystems:
+
+========================  ====================================================
+point                     location
+========================  ====================================================
+``frontend.compile``      :func:`repro.frontend.lower.compile_source`
+``ir.parse``              :func:`repro.ir.parser.parse_function`
+``ir.verify``             :func:`repro.ir.verifier.verify_function`
+``deps.bitset``           :meth:`repro.deps.bitset.DependenceBitKernel.build`
+``core.pinter_color``     :func:`repro.core.coloring.pinter_color`
+``regalloc.chaitin``      :func:`repro.regalloc.chaitin.chaitin_color`
+``sched.augmented``       :func:`repro.sched.augmented.augmented_schedule`
+``phase.<name>``          start of each driver phase (see
+                          :attr:`repro.pipeline.driver.CompilationDriver.PHASES`)
+========================  ====================================================
+
+When no fault is armed, :func:`trip` is a single truthiness test on an
+empty dict — cheap enough to live on hot paths.
+
+Usage::
+
+    from repro.utils.faults import inject
+
+    with inject("deps.bitset"):
+        outcome = driver.compile_function(fn)   # exercises the
+                                                # reference-engine rung
+
+Specs are also parseable from text (CLI/env form)::
+
+    REPRO_FAULTS="deps.bitset,sched.augmented:stall=0.2" repro compile f.src
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Type
+
+from repro.utils.errors import FaultInjectedError, InputError, ReproError
+
+#: Environment variable scanned by :func:`install_from_env`.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Valid fault actions.
+ACTIONS = ("raise", "stall")
+
+#: Default stall duration in seconds when a spec says ``stall`` with no
+#: explicit duration.
+DEFAULT_STALL_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault.
+
+    Attributes:
+        point: The fault-point name the spec arms.
+        action: ``"raise"`` (raise *error* at the point) or ``"stall"``
+            (sleep *seconds*, then continue — used to trip wall-clock
+            budgets).
+        seconds: Stall duration for ``"stall"``.
+        error: Exception class for ``"raise"``; must derive from
+            :class:`ReproError` so guards can catch it.
+        message: Override for the raised message.
+    """
+
+    point: str
+    action: str = "raise"
+    seconds: float = DEFAULT_STALL_SECONDS
+    error: Type[ReproError] = FaultInjectedError
+    message: Optional[str] = None
+
+
+#: point name → armed spec.  Module-level so trip() is reachable from
+#: every subsystem without threading a registry object through APIs.
+_active: Dict[str, FaultSpec] = {}
+
+
+def install(spec: FaultSpec) -> None:
+    """Arm *spec*, replacing any spec already armed at its point.
+
+    Raises:
+        InputError: on an unknown action or a non-``ReproError`` error
+            class (a guard could not catch it).
+    """
+    if spec.action not in ACTIONS:
+        raise InputError(
+            "unknown fault action {!r}; choose from {}".format(
+                spec.action, ", ".join(ACTIONS)
+            )
+        )
+    if not (isinstance(spec.error, type) and issubclass(spec.error, ReproError)):
+        raise InputError(
+            "fault error class must derive from ReproError, got {!r}".format(
+                spec.error
+            )
+        )
+    _active[spec.point] = spec
+
+
+def clear(point: Optional[str] = None) -> None:
+    """Disarm *point*, or every armed fault when *point* is None."""
+    if point is None:
+        _active.clear()
+    else:
+        _active.pop(point, None)
+
+
+def active_points() -> Tuple[str, ...]:
+    """Names of currently armed fault points, sorted."""
+    return tuple(sorted(_active))
+
+
+def trip(point: str) -> None:
+    """Fire the fault armed at *point*, if any.
+
+    ``raise`` faults raise their error class; ``stall`` faults sleep
+    and return.  A dormant point (the production case) costs one dict
+    truthiness test.
+    """
+    if not _active:
+        return
+    spec = _active.get(point)
+    if spec is None:
+        return
+    if spec.action == "stall":
+        time.sleep(spec.seconds)
+        return
+    raise spec.error(
+        spec.message or "injected fault at {!r}".format(point)
+    )
+
+
+@contextmanager
+def inject(
+    point: str,
+    action: str = "raise",
+    seconds: float = DEFAULT_STALL_SECONDS,
+    error: Type[ReproError] = FaultInjectedError,
+    message: Optional[str] = None,
+) -> Iterator[FaultSpec]:
+    """Arm a fault for the duration of the ``with`` block.
+
+    Nests correctly: arming a point that is already armed shadows the
+    outer spec and restores it on exit.
+    """
+    spec = FaultSpec(
+        point=point, action=action, seconds=seconds, error=error,
+        message=message,
+    )
+    previous = _active.get(point)
+    install(spec)
+    try:
+        yield spec
+    finally:
+        if previous is None:
+            _active.pop(point, None)
+        else:
+            _active[point] = previous
+
+
+def parse_fault_specs(text: str) -> List[FaultSpec]:
+    """Parse the CLI/env fault syntax.
+
+    Comma-separated entries of ``point``, ``point:raise``, or
+    ``point:stall[=seconds]``::
+
+        "deps.bitset"                          -> raise at deps.bitset
+        "core.pinter_color:raise,phase.opt"    -> two raise faults
+        "sched.augmented:stall=0.25"           -> stall 250 ms
+
+    Raises:
+        InputError: on empty points, unknown actions, or a bad stall
+            duration.
+    """
+    specs: List[FaultSpec] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        point, _, action_text = chunk.partition(":")
+        point = point.strip()
+        if not point:
+            raise InputError("fault spec {!r} has an empty point".format(chunk))
+        action_text = action_text.strip() or "raise"
+        action, _, seconds_text = action_text.partition("=")
+        seconds = DEFAULT_STALL_SECONDS
+        if seconds_text:
+            if action != "stall":
+                raise InputError(
+                    "fault action {!r} takes no '=' argument".format(action)
+                )
+            try:
+                seconds = float(seconds_text)
+            except ValueError:
+                raise InputError(
+                    "bad stall duration {!r} in fault spec {!r}".format(
+                        seconds_text, chunk
+                    )
+                ) from None
+            if seconds < 0:
+                raise InputError(
+                    "stall duration must be >= 0, got {}".format(seconds)
+                )
+        if action not in ACTIONS:
+            raise InputError(
+                "unknown fault action {!r} in spec {!r}; choose from {}".format(
+                    action, chunk, ", ".join(ACTIONS)
+                )
+            )
+        specs.append(FaultSpec(point=point, action=action, seconds=seconds))
+    return specs
+
+
+def install_from_env(
+    environ: Optional[Mapping[str, str]] = None,
+) -> List[FaultSpec]:
+    """Arm every fault named in ``$REPRO_FAULTS`` (if set).
+
+    Returns the installed specs (empty list when the variable is unset
+    or blank), so callers can report what was armed.
+    """
+    text = (os.environ if environ is None else environ).get(ENV_VAR, "")
+    if not text.strip():
+        return []
+    specs = parse_fault_specs(text)
+    for spec in specs:
+        install(spec)
+    return specs

@@ -71,13 +71,120 @@ class TestCompileCommand:
         assert main(["compile", src_file, "--machine", "rs6000"]) == 0
         assert "machine=rs6000" in capsys.readouterr().out
 
-    def test_unknown_machine(self, src_file):
-        with pytest.raises(SystemExit):
-            main(["compile", src_file, "--machine", "cray"])
+    def test_unknown_machine(self, src_file, capsys):
+        assert main(["compile", src_file, "--machine", "cray"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown machine" in err
+        assert "Traceback" not in err
 
-    def test_unknown_strategy(self, src_file):
-        with pytest.raises(SystemExit):
-            main(["compile", src_file, "--strategy", "magic"])
+    def test_unknown_strategy(self, src_file, capsys):
+        assert main(["compile", src_file, "--strategy", "magic"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown strategy" in err
+        assert "Traceback" not in err
+
+    def test_unknown_strategy_validated_before_running_any(
+        self, src_file, capsys
+    ):
+        # The bad name must be rejected up front — no partial output
+        # from the valid strategies listed before it.
+        assert main(
+            ["compile", src_file, "--strategy", "pinter,ips,magic"]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "strategy=" not in captured.out
+        assert "unknown strategy" in captured.err
+
+    def test_comma_separated_strategies(self, src_file, capsys):
+        assert main(
+            ["compile", src_file, "--strategy", "pinter,alloc-first"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "strategy=pinter" in out
+        assert "strategy=alloc-then-sched" in out
+
+    def test_malformed_source_exits_2_without_traceback(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "broken.src"
+        path.write_text("garbage %% not a program\n")
+        assert main(["compile", str(path)]) == 2
+        captured = capsys.readouterr()
+        assert "error[parse]" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_malformed_ir_exits_2_without_traceback(self, tmp_path, capsys):
+        path = tmp_path / "broken.ir"
+        path.write_text("func broken {\nblock entry:\n  xyzzy q, q\n}\n")
+        assert main(["compile", str(path), "--ir"]) == 2
+        captured = capsys.readouterr()
+        assert "error[parse]" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestHardenedCompile:
+    def test_inject_bitset_fault_degrades_and_succeeds(
+        self, src_file, capsys
+    ):
+        assert main(
+            ["compile", src_file, "--inject-fault", "deps.bitset"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "strategy=pinter" in captured.out
+        assert "recovered: reference engine" in captured.err
+
+    def test_strict_mode_fails_on_injected_fault(self, src_file, capsys):
+        assert main(
+            ["compile", src_file, "--strict",
+             "--inject-fault", "deps.bitset"]
+        ) == 1
+        assert "error[pig]" in capsys.readouterr().err
+
+    def test_paranoid_mode_passes_clean_input(self, src_file, capsys):
+        assert main(["compile", src_file, "--paranoid"]) == 0
+        assert "strategy=pinter" in capsys.readouterr().out
+
+    def test_max_instrs_budget(self, src_file, capsys):
+        assert main(["compile", src_file, "--max-instrs", "1"]) == 1
+        assert "instruction budget exceeded" in capsys.readouterr().err
+
+    def test_bad_fault_spec_exits_2(self, src_file, capsys):
+        assert main(
+            ["compile", src_file, "--inject-fault", "deps.bitset:explode"]
+        ) == 2
+        assert "unknown fault action" in capsys.readouterr().err
+
+    def test_json_diagnostics(self, src_file, capsys):
+        import json
+
+        assert main(
+            ["compile", src_file, "--json-diagnostics",
+             "--inject-fault", "core.pinter_color"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 0
+        strategies = {r["strategy"] for r in payload["reports"]}
+        assert "pinter" in strategies
+        pinter = next(
+            r for r in payload["reports"] if r["strategy"] == "pinter"
+        )
+        assert pinter["status"] == "degraded"
+        assert pinter["metrics"]["false_deps"] == 0
+        recoveries = [
+            d["recovery"] for d in pinter["diagnostics"] if d["recovery"]
+        ]
+        assert "chaitin spill fallback" in recoveries
+
+    def test_json_diagnostics_on_malformed_input(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "broken.src"
+        path.write_text("garbage %% not a program\n")
+        assert main(["compile", str(path), "--json-diagnostics"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 2
+        assert payload["reports"][0]["status"] == "failed"
+        assert payload["reports"][0]["diagnostics"][0]["phase"] == "parse"
 
 
 class TestGraphCommand:
@@ -138,6 +245,20 @@ class TestBenchCommand:
         assert "closure" in out
         assert "pig_construction" not in out
 
-    def test_unknown_phase(self):
-        with pytest.raises(ValueError):
-            main(["bench", "--sizes", "8", "--phases", "nope"])
+    def test_unknown_phase_exits_2(self, capsys):
+        assert main(["bench", "--sizes", "8", "--phases", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown bench" in err
+        assert "Traceback" not in err
+
+    def test_non_integer_sizes_exit_2(self, capsys):
+        assert main(["bench", "--sizes", "8,abc"]) == 2
+        assert "must be integers" in capsys.readouterr().err
+
+    def test_non_positive_sizes_exit_2(self, capsys):
+        assert main(["bench", "--sizes", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_bad_repeats_exit_2(self, capsys):
+        assert main(["bench", "--sizes", "8", "--repeats", "0"]) == 2
+        assert "--repeats must be at least 1" in capsys.readouterr().err

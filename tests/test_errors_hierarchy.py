@@ -1,0 +1,156 @@
+"""Error-hierarchy contract tests.
+
+Every documented failure mode must surface as the documented
+:class:`ReproError` subclass — never a bare ``KeyError``/``ValueError``
+leaking an implementation detail — so the hardened driver's phase
+guards (which catch ``ReproError``) can always intercept it.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.utils.errors import (
+    AllocationError,
+    BudgetExceededError,
+    DivergenceError,
+    FaultInjectedError,
+    InputError,
+    IRError,
+    ReproError,
+    SchedulingError,
+)
+
+
+class TestHierarchyShape:
+    @pytest.mark.parametrize("cls", [
+        IRError, AllocationError, SchedulingError, InputError,
+        BudgetExceededError, DivergenceError, FaultInjectedError,
+    ])
+    def test_subclasses_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_input_error_is_also_value_error(self):
+        # Pre-hardening callers caught ValueError for bad arguments;
+        # InputError keeps them working.
+        assert issubclass(InputError, ValueError)
+
+    def test_frontend_parse_error_is_ir_error(self):
+        from repro.frontend import ParseError
+
+        assert issubclass(ParseError, IRError)
+
+
+class TestParserRaisesIRError:
+    @pytest.mark.parametrize("text", [
+        "not ir at all",
+        "func broken {\nblock entry:\n  xyzzy q, q\n}\n",
+        "s1 = load @a\n",   # instruction before any func header
+        "func broken {\nblock entry:\n  s1 = frob @a\n}\n",
+    ])
+    def test_malformed_ir(self, text):
+        from repro.ir import parse_function
+
+        with pytest.raises(IRError):
+            parse_function(text)
+
+    def test_malformed_frontend_source(self):
+        from repro.frontend import ParseError, compile_source
+
+        with pytest.raises(ParseError):
+            compile_source("garbage %% not a program")
+
+    def test_never_a_bare_key_or_value_error(self):
+        from repro.ir import parse_function
+
+        try:
+            parse_function("func f {\nblock entry:\n  s1 = frob @a\n}\n")
+        except ReproError:
+            pass  # the contract: guards catching ReproError see it
+        else:  # pragma: no cover - parser must reject this input
+            pytest.fail("malformed IR was accepted")
+
+
+class TestVerifierRaisesIRError:
+    def test_use_before_def(self):
+        from repro.ir.builder import BlockBuilder
+        from repro.ir.operands import VirtualRegister
+        from repro.ir.verifier import verify_function
+
+        b = BlockBuilder()
+        b.add(VirtualRegister("ghost"), 1)
+        with pytest.raises(IRError):
+            verify_function(b.function())
+
+
+class TestChaitinRaisesAllocationError:
+    def test_spilling_disabled_on_overfull_graph(self):
+        from repro.regalloc.chaitin import chaitin_color
+
+        with pytest.raises(AllocationError):
+            chaitin_color(nx.complete_graph(5), 2, allow_spill=False)
+
+    def test_error_is_catchable_as_repro_error(self):
+        from repro.regalloc.chaitin import chaitin_color
+
+        with pytest.raises(ReproError):
+            chaitin_color(nx.complete_graph(5), 2, allow_spill=False)
+
+
+class TestSchedulerRaisesSchedulingError:
+    def _cyclic_graph(self, machine):
+        from repro.deps.datadeps import DependenceKind
+        from repro.deps.schedule_graph import ScheduleGraph
+        from repro.ir.instructions import Instruction
+        from repro.ir.opcodes import Opcode
+        from repro.ir.operands import VirtualRegister
+
+        a_reg, b_reg = VirtualRegister("a"), VirtualRegister("b")
+        a = Instruction(Opcode.ADD, (a_reg,), (b_reg, b_reg))
+        b = Instruction(Opcode.ADD, (b_reg,), (a_reg, a_reg))
+        sg = ScheduleGraph(instructions=[a, b], machine=machine)
+        sg.graph.add_node(a)
+        sg.graph.add_node(b)
+        sg.add_edge(a, b, DependenceKind.FLOW, delay=1)
+        sg.add_edge(b, a, DependenceKind.FLOW, delay=1)
+        return sg
+
+    def test_list_schedule_on_cyclic_graph(self):
+        from repro.machine.presets import two_unit_superscalar
+        from repro.sched.list_scheduler import list_schedule
+
+        machine = two_unit_superscalar()
+        with pytest.raises(SchedulingError, match="cycle"):
+            list_schedule(self._cyclic_graph(machine), machine)
+
+    def test_check_acyclic_names_the_cycle(self):
+        from repro.machine.presets import two_unit_superscalar
+
+        sg = self._cyclic_graph(two_unit_superscalar())
+        with pytest.raises(SchedulingError):
+            sg.check_acyclic()
+
+
+class TestInputValidationRaisesInputError:
+    def test_bench_unknown_phase(self):
+        from repro.bench import run_bench
+
+        with pytest.raises(InputError):
+            run_bench(sizes=(8,), phases=("nope",))
+
+    def test_bench_non_positive_size(self):
+        from repro.bench import run_bench
+
+        with pytest.raises(InputError):
+            run_bench(sizes=(0,))
+
+    def test_bench_bad_repeats(self):
+        from repro.bench import run_bench
+
+        with pytest.raises(InputError):
+            run_bench(sizes=(8,), repeats=0)
+
+    def test_legacy_value_error_catch_still_works(self):
+        from repro.bench import run_bench
+
+        with pytest.raises(ValueError):
+            run_bench(sizes=(8,), phases=("nope",))

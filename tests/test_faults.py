@@ -1,0 +1,189 @@
+"""Tests for the fault-injection registry (repro.utils.faults)."""
+
+import pytest
+
+from repro.utils import faults
+from repro.utils.errors import (
+    FaultInjectedError,
+    InputError,
+    ReproError,
+    SchedulingError,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestTrip:
+    def test_dormant_point_is_noop(self):
+        faults.trip("deps.bitset")  # nothing armed: must not raise
+
+    def test_armed_point_raises(self):
+        faults.install(faults.FaultSpec(point="deps.bitset"))
+        with pytest.raises(FaultInjectedError):
+            faults.trip("deps.bitset")
+
+    def test_other_points_stay_dormant(self):
+        faults.install(faults.FaultSpec(point="deps.bitset"))
+        faults.trip("core.pinter_color")  # different point: no fire
+
+    def test_custom_error_class_and_message(self):
+        faults.install(faults.FaultSpec(
+            point="sched.augmented", error=SchedulingError, message="boom",
+        ))
+        with pytest.raises(SchedulingError, match="boom"):
+            faults.trip("sched.augmented")
+
+    def test_stall_returns_instead_of_raising(self):
+        faults.install(faults.FaultSpec(
+            point="phase.opt", action="stall", seconds=0.0,
+        ))
+        faults.trip("phase.opt")  # sleeps 0s and returns
+
+
+class TestInstall:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(InputError, match="unknown fault action"):
+            faults.install(faults.FaultSpec(point="x", action="explode"))
+
+    def test_rejects_non_repro_error_class(self):
+        with pytest.raises(InputError, match="derive from ReproError"):
+            faults.install(faults.FaultSpec(point="x", error=KeyError))
+
+    def test_clear_single_point(self):
+        faults.install(faults.FaultSpec(point="a"))
+        faults.install(faults.FaultSpec(point="b"))
+        faults.clear("a")
+        assert faults.active_points() == ("b",)
+
+    def test_clear_all(self):
+        faults.install(faults.FaultSpec(point="a"))
+        faults.clear()
+        assert faults.active_points() == ()
+
+
+class TestInjectContextManager:
+    def test_arms_only_within_block(self):
+        with faults.inject("deps.bitset"):
+            assert faults.active_points() == ("deps.bitset",)
+            with pytest.raises(FaultInjectedError):
+                faults.trip("deps.bitset")
+        assert faults.active_points() == ()
+        faults.trip("deps.bitset")
+
+    def test_disarms_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with faults.inject("deps.bitset"):
+                raise RuntimeError("unrelated")
+        assert faults.active_points() == ()
+
+    def test_nested_shadowing_restores_outer_spec(self):
+        with faults.inject("p", message="outer"):
+            with faults.inject("p", message="inner"):
+                with pytest.raises(FaultInjectedError, match="inner"):
+                    faults.trip("p")
+            with pytest.raises(FaultInjectedError, match="outer"):
+                faults.trip("p")
+
+
+class TestParseFaultSpecs:
+    def test_bare_point_defaults_to_raise(self):
+        (spec,) = faults.parse_fault_specs("deps.bitset")
+        assert spec.point == "deps.bitset"
+        assert spec.action == "raise"
+
+    def test_comma_separated_list(self):
+        specs = faults.parse_fault_specs(
+            "deps.bitset, core.pinter_color:raise, sched.augmented:stall=0.25"
+        )
+        assert [s.point for s in specs] == [
+            "deps.bitset", "core.pinter_color", "sched.augmented",
+        ]
+        assert specs[2].action == "stall"
+        assert specs[2].seconds == 0.25
+
+    def test_stall_without_duration_uses_default(self):
+        (spec,) = faults.parse_fault_specs("phase.pig:stall")
+        assert spec.seconds == faults.DEFAULT_STALL_SECONDS
+
+    @pytest.mark.parametrize("text,match", [
+        ("point:explode", "unknown fault action"),
+        (":raise", "empty point"),
+        ("p:stall=abc", "bad stall duration"),
+        ("p:stall=-1", "must be >= 0"),
+        ("p:raise=3", "takes no '=' argument"),
+    ])
+    def test_bad_specs_raise_input_error(self, text, match):
+        with pytest.raises(InputError, match=match):
+            faults.parse_fault_specs(text)
+
+    def test_blank_chunks_skipped(self):
+        assert faults.parse_fault_specs(" , ,") == []
+
+
+class TestInstallFromEnv:
+    def test_unset_variable_installs_nothing(self):
+        assert faults.install_from_env(environ={}) == []
+        assert faults.active_points() == ()
+
+    def test_variable_arms_points(self):
+        specs = faults.install_from_env(
+            environ={faults.ENV_VAR: "deps.bitset,ir.verify"}
+        )
+        assert len(specs) == 2
+        assert faults.active_points() == ("deps.bitset", "ir.verify")
+
+    def test_bad_env_spec_raises_input_error(self):
+        with pytest.raises(InputError):
+            faults.install_from_env(environ={faults.ENV_VAR: "p:explode"})
+
+
+class TestDeepPointsFire:
+    """Each documented library-level point actually guards its subsystem."""
+
+    def test_deps_bitset_point(self):
+        from repro.deps.bitset import DependenceBitKernel
+        from repro.machine.presets import two_unit_superscalar
+        from repro.workloads import ALL_KERNELS
+
+        fn = ALL_KERNELS["dot4"]()
+        with faults.inject("deps.bitset"):
+            with pytest.raises(FaultInjectedError):
+                DependenceBitKernel.build(
+                    fn.entry.instructions, two_unit_superscalar()
+                )
+
+    def test_ir_parse_point(self):
+        from repro.ir import parse_function
+
+        with faults.inject("ir.parse"):
+            with pytest.raises(FaultInjectedError):
+                parse_function("func f {\nblock entry:\n  s1 = load @a\n}\n")
+
+    def test_frontend_compile_point(self):
+        from repro.frontend import compile_source
+
+        with faults.inject("frontend.compile"):
+            with pytest.raises(FaultInjectedError):
+                compile_source("input a; output a;")
+
+    def test_core_pinter_color_point(self):
+        from repro.core import build_parallel_interference_graph
+        from repro.core.coloring import pinter_color
+        from repro.machine.presets import two_unit_superscalar
+        from repro.workloads import ALL_KERNELS
+
+        fn = ALL_KERNELS["dot4"]()
+        pig = build_parallel_interference_graph(fn, two_unit_superscalar())
+        with faults.inject("core.pinter_color"):
+            with pytest.raises(FaultInjectedError):
+                pinter_color(pig, num_registers=8)
+
+    def test_error_classes_are_repro_errors(self):
+        assert issubclass(FaultInjectedError, ReproError)
+        assert issubclass(InputError, ReproError)
+        assert issubclass(InputError, ValueError)
