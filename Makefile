@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test bench bench-check bench-pytest figures examples ci all clean
+.PHONY: install test bench bench-check bench-pytest batch-smoke figures examples ci all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,6 +21,12 @@ bench-check: bench
 # The pytest-benchmark microbenchmarks (the old `make bench`).
 bench-pytest:
 	python -m pytest benchmarks/ --benchmark-only
+
+# End-to-end smoke of the batch compilation service: clean batch,
+# resume-with-zero-recompiles, contained worker crashes (exit 3), and
+# the invalid-manifest contract (exit 2).
+batch-smoke:
+	PYTHONPATH=src python tools/batch_smoke.py
 
 # Regenerate every paper figure/table with the printed artifacts.
 figures:
@@ -47,6 +53,7 @@ ci:
 	PYTHONPATH=src python -m repro compile examples/smoke.src --max-instrs 1; test $$? -eq 1
 	PYTHONPATH=src python -m repro bench --sizes 8 --repeats 1 --phases pig_construction
 	PYTHONPATH=src python -m repro bench --sizes 0; test $$? -eq 2
+	PYTHONPATH=src python tools/batch_smoke.py
 
 all: test bench-check examples
 

@@ -8,6 +8,8 @@
     python -m repro graph program.src --kind pig -o pig.dot
     python -m repro kernels
     python -m repro bench -o BENCH.json
+    python -m repro batch manifest.txt --max-workers 8 --resume run.jsonl
+    python -m repro batch --fuzz 50 --task-timeout 10 --json-summary
 
 ``compile`` accepts either frontend source (default) or textual IR
 (``--ir``), runs one or more phase-ordering strategies through the
@@ -24,7 +26,12 @@ Exit codes (all commands):
 * ``1`` — internal failure: a budget was exhausted (``--max-instrs``,
   ``--time-budget``) or every fallback failed.
 * ``2`` — invalid input: malformed source/IR, or bad arguments
-  (unknown strategy/machine/phase names, bad fault specs).
+  (unknown strategy/machine/phase names, bad fault specs, bad
+  manifests).
+
+``batch`` (see :mod:`repro.service.batch`) additionally uses ``3``
+(batch completed but some tasks failed after retries) and ``130``
+(interrupted; resume with the ledger).
 """
 
 from __future__ import annotations
@@ -218,6 +225,90 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.pipeline.driver import DriverConfig
+    from repro.service import (
+        BatchRunner,
+        CircuitBreaker,
+        RetryPolicy,
+        fuzz_tasks,
+        load_manifest,
+    )
+
+    if args.manifest is None and args.fuzz is None:
+        raise InputError("batch needs a manifest file or --fuzz N")
+    if args.manifest is not None and args.fuzz is not None:
+        raise InputError("a manifest and --fuzz are mutually exclusive")
+    if args.max_instrs is not None and args.max_instrs < 1:
+        raise InputError("--max-instrs must be positive")
+    if args.time_budget is not None and args.time_budget <= 0:
+        raise InputError("--time-budget must be positive seconds")
+    _install_cli_faults(args)
+
+    if args.fuzz is not None:
+        tasks = fuzz_tasks(args.fuzz, seed=args.fuzz_seed)
+    else:
+        tasks = load_manifest(args.manifest)
+
+    config = DriverConfig(
+        strict=args.strict,
+        paranoid=args.paranoid,
+        max_instrs=args.max_instrs,
+        time_budget=args.time_budget,
+        optimize=args.optimize,
+        engine=args.engine,
+    )
+    runner = BatchRunner(
+        machine=args.machine,
+        registers=args.registers,
+        driver_config=config,
+        max_workers=args.max_workers,
+        task_timeout=args.task_timeout,
+        retry_policy=RetryPolicy(
+            max_retries=args.retries, base_delay=args.backoff
+        ),
+        breaker=CircuitBreaker(),
+        ledger_path=args.ledger,
+        resume_path=args.resume,
+        recheck_degraded=args.recheck_degraded,
+    )
+
+    total = len(tasks)
+    settled = [0]
+
+    def progress(rec) -> None:
+        if args.json_summary:
+            return
+        settled[0] += 1
+        extra = " (resumed)" if rec.resumed else ""
+        detail = ""
+        if rec.status == "failed" and rec.message:
+            detail = " - {}".format(rec.message)
+        print("[{}/{}] {:<9} {}{}{}".format(
+            settled[0], total, rec.status, rec.task_id, extra, detail
+        ))
+
+    summary = runner.run(
+        tasks, install_signal_handlers=True, progress=progress
+    )
+    if args.json_summary:
+        print(json.dumps(summary.as_dict(), indent=2))
+    else:
+        counts = summary.counts
+        print(
+            "batch: {} task(s): {} ok, {} degraded, {} failed, "
+            "{} resumed{}".format(
+                counts["total"], counts["ok"], counts["degraded"],
+                counts["failed"], counts["resumed"],
+                " [interrupted - resume with the ledger to finish]"
+                if summary.interrupted else "",
+            )
+        )
+    return summary.exit_code
+
+
 def cmd_graph(args: argparse.Namespace) -> int:
     fn = _load_function(args.file, args.ir)
     machine = _machine(args.machine, None)
@@ -369,7 +460,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument(
         "--time-budget", type=float, default=None, metavar="SECONDS",
         help="wall-clock budget for each strategy run, checked at "
-        "phase boundaries (exit 1 when exhausted)",
+        "phase boundaries and inside the dependence kernel "
+        "(exit 1 when exhausted)",
     )
     p_compile.add_argument(
         "--json-diagnostics", action="store_true",
@@ -383,6 +475,83 @@ def build_parser() -> argparse.ArgumentParser:
         "(also honors $REPRO_FAULTS)",
     )
     p_compile.set_defaults(func=cmd_compile)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="compile a manifest (or fuzz stream) on isolated workers "
+        "with retries, circuit breaking, and checkpoint/resume",
+    )
+    p_batch.add_argument(
+        "manifest", nargs="?", default=None,
+        help="manifest file: JSON tasks or one source path per line",
+    )
+    p_batch.add_argument(
+        "--fuzz", type=int, default=None, metavar="N",
+        help="compile N deterministic fuzz programs instead of a manifest",
+    )
+    p_batch.add_argument(
+        "--fuzz-seed", type=int, default=0, metavar="SEED",
+        help="base seed for --fuzz task generation",
+    )
+    p_batch.add_argument(
+        "--machine", default="two-unit-superscalar",
+        help="machine preset ({})".format(", ".join(sorted(ALL_PRESETS))),
+    )
+    p_batch.add_argument("-r", "--registers", type=int, default=None)
+    p_batch.add_argument(
+        "--max-workers", type=int, default=4, metavar="K",
+        help="in-flight worker process bound",
+    )
+    p_batch.add_argument(
+        "--task-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="hard wall-clock limit per attempt; overdue workers are "
+        "killed (SIGTERM then SIGKILL)",
+    )
+    p_batch.add_argument(
+        "--retries", type=int, default=2, metavar="R",
+        help="extra attempts for retryable failures (timeout, crash, "
+        "worker exception); deterministic failures never retry",
+    )
+    p_batch.add_argument(
+        "--backoff", type=float, default=0.1, metavar="SECONDS",
+        help="base retry backoff (doubles per retry, with jitter)",
+    )
+    p_batch.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append terminal outcomes to this JSONL run ledger",
+    )
+    p_batch.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="load this ledger and skip journaled tasks with unchanged "
+        "sources; new outcomes append to the same file",
+    )
+    p_batch.add_argument(
+        "--json-summary", action="store_true",
+        help="emit the batch summary as one JSON document on stdout",
+    )
+    p_batch.add_argument(
+        "--engine", choices=("bitset", "reference"), default="bitset",
+        help="primary dependence engine rung",
+    )
+    p_batch.add_argument(
+        "--recheck-degraded", action="store_true",
+        help="re-run degraded tasks once on the strict reference rung; "
+        "a clean strict run upgrades them to ok",
+    )
+    p_batch.add_argument("--strict", action="store_true")
+    p_batch.add_argument("--paranoid", action="store_true")
+    p_batch.add_argument("--optimize", action="store_true")
+    p_batch.add_argument("--max-instrs", type=int, default=None, metavar="N")
+    p_batch.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="cooperative in-worker budget (backed by --task-timeout)",
+    )
+    p_batch.add_argument(
+        "--inject-fault", action="append", default=None, metavar="SPEC",
+        help="arm a fault point in every worker, e.g. "
+        "'service.worker:crash' (also honors $REPRO_FAULTS)",
+    )
+    p_batch.set_defaults(func=cmd_batch)
 
     p_graph = sub.add_parser("graph", help="emit a DOT graph")
     p_graph.add_argument("file")

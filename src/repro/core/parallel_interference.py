@@ -279,6 +279,7 @@ def build_parallel_interference_graph(
     machine: MachineDescription,
     use_regions: bool = True,
     engine: str = "bitset",
+    check_deadline=None,
 ) -> ParallelInterferenceGraph:
     """Build G for *fn* on *machine*.
 
@@ -294,6 +295,10 @@ def build_parallel_interference_graph(
             dependence kernel; ``"reference"`` runs the retained
             set-based pipeline (:mod:`repro.deps.reference`) — same
             output, used by the equivalence suite and ``repro bench``.
+        check_deadline: Optional zero-argument callback polled between
+            regions and inside the bitset kernel's closure loops; it
+            raises to preempt the build when the driver's wall-clock
+            budget has expired mid-phase.
     """
     if engine not in ("bitset", "reference"):
         raise AllocationError("unknown PIG engine {!r}".format(engine))
@@ -319,11 +324,15 @@ def build_parallel_interference_graph(
 
     false_graphs: List[FalseDependenceGraph] = []
     for region in regions:
+        if check_deadline is not None:
+            check_deadline()
         sg = region_schedule_graph(fn, region.blocks, machine=machine)
         if not sg.instructions:
             continue
         if engine == "bitset":
-            fdg = false_dependence_graph(sg, machine)
+            fdg = false_dependence_graph(
+                sg, machine, check_deadline=check_deadline
+            )
         else:
             from repro.deps.reference import reference_false_dependence_graph
 

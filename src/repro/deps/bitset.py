@@ -28,7 +28,7 @@ retained for validation lives in :mod:`repro.deps.reference`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.deps.schedule_graph import ScheduleGraph
 from repro.ir.instructions import Instruction
@@ -109,11 +109,17 @@ class DependenceBitKernel:
     et_rows: List[int]
     ef_rows: List[int]
 
+    #: Deadline-poll stride inside the closure loops: the callback
+    #: fires once per this many visited instructions, keeping the
+    #: per-iteration overhead to one counter test.
+    DEADLINE_STRIDE = 64
+
     @classmethod
     def build(
         cls,
         sg: ScheduleGraph,
         machine: Optional[MachineDescription] = None,
+        check_deadline: Optional[Callable[[], None]] = None,
     ) -> "DependenceBitKernel":
         """Derive all rows from a schedule graph and machine.
 
@@ -123,6 +129,16 @@ class DependenceBitKernel:
         the closure costs O(V·E/word) — the complexity the set
         representation only advertised.  Complementation is one masked
         ``~`` per row.
+
+        Args:
+            sg: Schedule graph of one region.
+            machine: Contention-row source (None → all-zero rows).
+            check_deadline: Optional callback polled every
+                :data:`DEADLINE_STRIDE` visits inside the closure
+                loops; it raises (typically
+                :class:`~repro.utils.errors.BudgetExceededError`) to
+                preempt a compile whose wall-clock budget expired
+                mid-phase, instead of only at phase boundaries.
         """
         from repro.utils.faults import trip
 
@@ -131,10 +147,13 @@ class DependenceBitKernel:
         n = len(index)
         position = index.position
         order = sg.topological_order()
+        stride_mask = cls.DEADLINE_STRIDE - 1
 
         reach = [0] * n
         successors = sg.graph.succ
-        for instr in reversed(order):
+        for k, instr in enumerate(reversed(order)):
+            if check_deadline is not None and not (k & stride_mask):
+                check_deadline()
             row = 0
             for succ in successors[instr]:
                 j = position(succ)
@@ -143,7 +162,9 @@ class DependenceBitKernel:
 
         ancestors = [0] * n
         predecessors = sg.graph.pred
-        for instr in order:
+        for k, instr in enumerate(order):
+            if check_deadline is not None and not (k & stride_mask):
+                check_deadline()
             row = 0
             for pred in predecessors[instr]:
                 j = position(pred)

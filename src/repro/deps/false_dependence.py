@@ -147,14 +147,17 @@ class FalseDependenceGraph:
 def false_dependence_graph(
     sg: ScheduleGraph,
     machine: MachineDescription,
+    check_deadline=None,
 ) -> FalseDependenceGraph:
     """Derive G_f from a symbolic-register schedule graph and machine.
 
     Follows the paper's recipe: transitive closure of G_s, directions
     removed, machine contention pairs added, then complemented — all
     in bitrow form via :meth:`DependenceBitKernel.build`.
+    *check_deadline* is forwarded to the kernel so an expired
+    wall-clock budget preempts the closure loops mid-phase.
     """
-    kernel = DependenceBitKernel.build(sg, machine)
+    kernel = DependenceBitKernel.build(sg, machine, check_deadline=check_deadline)
     return FalseDependenceGraph(
         instructions=list(sg.instructions),
         schedule_graph=sg,

@@ -220,7 +220,9 @@ class DriverConfig:
         max_instrs: Reject functions with more instructions (budget;
             exit 1).
         time_budget: Wall-clock seconds for the whole compile; checked
-            at phase boundaries (a running phase is not preempted).
+            at phase boundaries and polled inside the bitset kernel's
+            closure loops, so a long dependence build is preempted
+            mid-phase.
         optimize: Run the optimization pipeline before allocation.
         use_regions: Build false-dependence graphs over scheduling
             regions (the global form).
@@ -313,6 +315,26 @@ class PhaseGuard:
             )
             raise _Abort("internal")
 
+    def mid_phase_checker(self) -> Optional[Callable[[], None]]:
+        """A zero-argument callback for long-running kernels to poll
+        inside their main loops: raises
+        :class:`~repro.utils.errors.BudgetExceededError` once the
+        wall-clock deadline passes, so ``--time-budget`` preempts
+        mid-phase instead of only at phase boundaries.  None when no
+        deadline is configured (kernels then skip the poll entirely).
+        """
+        deadline = self.deadline
+        if deadline is None:
+            return None
+
+        def check() -> None:
+            if time.monotonic() > deadline:
+                raise BudgetExceededError(
+                    "wall-clock budget exhausted (mid-phase preemption)"
+                )
+
+        return check
+
     def run(
         self,
         phase: str,
@@ -341,6 +363,12 @@ class PhaseGuard:
             self.report.phase_seconds[phase] = (
                 self.report.phase_seconds.get(phase, 0.0) + elapsed
             )
+            # An exhausted budget is not a phase defect: degrading to a
+            # fallback rung would keep burning a budget that is already
+            # gone, so it aborts even when a fallback exists.
+            if isinstance(exc, BudgetExceededError):
+                self.report.add("error", phase, str(exc), elapsed_s=elapsed)
+                raise _Abort("internal") from exc
             if recoverable and not self.strict:
                 self.report.add(
                     "warning", phase, str(exc), elapsed_s=elapsed
@@ -663,11 +691,13 @@ class CompilationDriver:
         for the rest of the compile.
         """
         cfg = self.config
+        mid_phase = guard.mid_phase_checker()
 
         def build(target: str) -> ParallelInterferenceGraph:
             return build_parallel_interference_graph(
                 work, self.machine,
                 use_regions=cfg.use_regions, engine=target,
+                check_deadline=mid_phase,
             )
 
         if engine == "reference":
@@ -812,6 +842,8 @@ class CompilationDriver:
         """Cycle count of the allocated program: augmented (E_f-driven)
         scheduling first, plain list scheduling on failure."""
 
+        mid_phase = guard.mid_phase_checker()
+
         def augmented() -> int:
             total = 0
             for block in allocated.blocks():
@@ -825,7 +857,9 @@ class CompilationDriver:
 
                     fdg = reference_false_dependence_graph(sg, self.machine)
                 else:
-                    fdg = false_dependence_graph(sg, self.machine)
+                    fdg = false_dependence_graph(
+                        sg, self.machine, check_deadline=mid_phase
+                    )
                 schedule = augmented_schedule(sg, fdg, self.machine)
                 total += schedule.makespan
             return total

@@ -1,0 +1,41 @@
+"""Fault-tolerant batch compilation service.
+
+Public surface of the ``repro.service`` package: build tasks
+(:func:`load_manifest`, :func:`fuzz_tasks`), run them on isolated
+workers with retry/circuit/checkpoint policy (:class:`BatchRunner`),
+or run a single isolated attempt (:func:`run_one`).
+"""
+
+from repro.service.batch import (
+    EXIT_BATCH_FAILURES,
+    EXIT_BATCH_INPUT,
+    EXIT_BATCH_INTERRUPTED,
+    EXIT_BATCH_OK,
+    BatchRunner,
+    BatchSummary,
+    RetryPolicy,
+    TaskRecord,
+)
+from repro.service.checkpoint import RunLedger, TERMINAL_STATUSES
+from repro.service.circuit import CircuitBreaker
+from repro.service.manifest import CompileTask, fuzz_tasks, load_manifest
+from repro.service.worker import WorkerOutcome, run_one
+
+__all__ = [
+    "BatchRunner",
+    "BatchSummary",
+    "CircuitBreaker",
+    "CompileTask",
+    "EXIT_BATCH_FAILURES",
+    "EXIT_BATCH_INPUT",
+    "EXIT_BATCH_INTERRUPTED",
+    "EXIT_BATCH_OK",
+    "RetryPolicy",
+    "RunLedger",
+    "TERMINAL_STATUSES",
+    "TaskRecord",
+    "WorkerOutcome",
+    "fuzz_tasks",
+    "load_manifest",
+    "run_one",
+]

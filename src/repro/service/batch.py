@@ -1,0 +1,665 @@
+"""The batch runner: fault-tolerant fan-out over isolated workers.
+
+:class:`BatchRunner` drives a list of :class:`~repro.service.manifest.
+CompileTask`\\ s through the hardened driver on a pool of subprocess
+workers (:mod:`repro.service.worker`), applying the fleet-level
+containment policies the single-compile ladder cannot provide:
+
+* **Isolation** — a crash, OOM, wedged loop, or armed fault inside one
+  compile kills one child process, never the batch.
+* **Hard timeouts** — every attempt gets a wall-clock deadline enforced
+  by the parent with SIGTERM → SIGKILL escalation; the cooperative
+  ``--time-budget`` inside the driver is thereby backed by preemption.
+* **Retry with backoff** — :class:`RetryPolicy` retries only
+  *retryable* failures (worker crash, timeout, worker exception) with
+  exponential backoff and deterministic jitter; deterministic driver
+  failures (malformed input, exhausted budgets) are never retried.
+* **Circuit breaking** — a :class:`~repro.service.circuit.
+  CircuitBreaker` keyed per strategy/engine rung opens after
+  consecutive failures and routes subsequent tasks straight to the
+  degraded reference-engine rung, with half-open probing.
+* **Checkpoint/resume** — every terminal outcome is journaled to a
+  :class:`~repro.service.checkpoint.RunLedger`; SIGINT/SIGTERM drain
+  gracefully (stop dispatching, let in-flight workers finish or hit
+  their deadlines, flush the ledger), and a re-run with the same
+  ledger skips every journaled task whose input digest is unchanged.
+
+Batch exit codes (surfaced by ``repro batch``):
+
+* ``0`` — every task ok (possibly degraded);
+* ``2`` — invalid manifest or arguments (raised as
+  :class:`~repro.utils.errors.InputError` before any work starts);
+* ``3`` — the batch completed but some tasks failed after retries;
+* ``130`` — interrupted (drained after SIGINT/SIGTERM; resume with the
+  ledger to finish).
+"""
+
+from __future__ import annotations
+
+import random
+import signal
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from multiprocessing.connection import wait as _mp_wait
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.machine.presets import ALL_PRESETS
+from repro.pipeline.driver import DriverConfig
+from repro.service.checkpoint import RunLedger
+from repro.service.circuit import CircuitBreaker
+from repro.service.manifest import CompileTask
+from repro.service.worker import (
+    WorkerHandle,
+    WorkerOutcome,
+    _kill,
+    build_payload,
+    reap_worker,
+    start_worker,
+)
+from repro.utils.errors import InputError
+
+#: Batch process exit codes (``repro batch`` contract).
+EXIT_BATCH_OK = 0
+EXIT_BATCH_INPUT = 2
+EXIT_BATCH_FAILURES = 3
+EXIT_BATCH_INTERRUPTED = 130
+
+#: Dispatch rungs.
+PRIMARY_RUNG = "primary"
+CIRCUIT_RUNG = "circuit-open"
+RECHECK_RUNG = "recheck"
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    Only *worker-level* failures are retryable: a killed/hung/crashed
+    worker may have been unlucky (load spike, armed fault, OOM), but a
+    driver that *reported* failure did so deterministically — retrying
+    an :class:`~repro.utils.errors.InputError` burns a worker to learn
+    nothing.
+
+    Attributes:
+        max_retries: Extra attempts after the first (0 disables retry).
+        base_delay: Backoff before the first retry, seconds.
+        multiplier: Backoff growth factor per retry.
+        max_delay: Backoff ceiling, seconds.
+        jitter: ± fraction applied to each delay (decorrelates herds).
+        seed: Jitter RNG seed — batches are reproducible end to end.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.1
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    #: Outcome kinds worth retrying.
+    RETRYABLE = ("timeout", "crash", "worker-exception")
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise InputError(
+                "max_retries must be >= 0, got {}".format(self.max_retries)
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise InputError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise InputError(
+                "backoff multiplier must be >= 1, got {}".format(
+                    self.multiplier
+                )
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise InputError(
+                "jitter must be within [0, 1], got {}".format(self.jitter)
+            )
+        self._rng = random.Random(self.seed)
+
+    def is_retryable(self, kind: str) -> bool:
+        return kind in self.RETRYABLE
+
+    def delay(self, failures: int) -> float:
+        """Backoff before the next attempt, given *failures* so far
+        (>= 1)."""
+        exponent = max(0, failures - 1)
+        base = min(self.max_delay, self.base_delay * self.multiplier ** exponent)
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return max(0.0, base)
+
+
+@dataclass
+class TaskRecord:
+    """Everything the batch observed about one task (summary + ledger
+    row source)."""
+
+    task_id: str
+    name: str
+    digest: str
+    status: str = "pending"
+    exit_code: Optional[int] = None
+    attempts: int = 0
+    pids: List[int] = field(default_factory=list)
+    duration_s: float = 0.0
+    rung: str = ""
+    kinds: List[str] = field(default_factory=list)
+    resumed: bool = False
+    message: str = ""
+    metrics: Optional[Dict[str, object]] = None
+    notes: List[str] = field(default_factory=list)
+    provisional: Optional[Dict[str, object]] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in ("ok", "degraded", "failed")
+
+    def adopt_prior(self, prior: Dict[str, object]) -> None:
+        """Reuse a ledgered outcome on resume (zero recompiles)."""
+        self.resumed = True
+        self.status = str(prior.get("status", "failed"))
+        exit_code = prior.get("exit_code")
+        self.exit_code = exit_code if isinstance(exit_code, int) else None
+        attempts = prior.get("attempts")
+        self.attempts = attempts if isinstance(attempts, int) else 1
+        pids = prior.get("pids")
+        self.pids = [p for p in pids if isinstance(p, int)] \
+            if isinstance(pids, list) else []
+        self.rung = str(prior.get("rung", ""))
+        kinds = prior.get("kinds")
+        self.kinds = [str(k) for k in kinds] if isinstance(kinds, list) else []
+        self.message = str(prior.get("message", ""))
+        metrics = prior.get("metrics")
+        self.metrics = metrics if isinstance(metrics, dict) else None
+
+    def finalize(
+        self,
+        status: str,
+        exit_code: Optional[int],
+        message: str = "",
+        metrics: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.status = status
+        self.exit_code = exit_code
+        if message:
+            self.message = message
+        self.metrics = metrics
+
+    def as_entry(self) -> Dict[str, object]:
+        """The ledger row for this record."""
+        return {
+            "task_id": self.task_id,
+            "digest": self.digest,
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "attempts": self.attempts,
+            "pids": list(self.pids),
+            "rung": self.rung,
+            "kinds": list(self.kinds),
+            "resumed": self.resumed,
+            "duration_s": round(self.duration_s, 6),
+            "message": self.message,
+            "metrics": self.metrics,
+            "finished_at": time.time(),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        data = self.as_entry()
+        del data["finished_at"]
+        data["name"] = self.name
+        data["notes"] = list(self.notes)
+        return data
+
+
+@dataclass
+class BatchSummary:
+    """Final batch accounting."""
+
+    records: List[TaskRecord]
+    interrupted: bool = False
+    wall_s: float = 0.0
+    breaker: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts = {
+            "total": len(self.records),
+            "ok": 0, "degraded": 0, "failed": 0, "pending": 0,
+            "resumed": 0, "compiled": 0,
+        }
+        for rec in self.records:
+            counts[rec.status] = counts.get(rec.status, 0) + 1
+            if rec.resumed:
+                counts["resumed"] += 1
+            elif rec.terminal:
+                counts["compiled"] += 1
+        return counts
+
+    @property
+    def exit_code(self) -> int:
+        if self.interrupted:
+            return EXIT_BATCH_INTERRUPTED
+        if any(rec.status == "failed" for rec in self.records):
+            return EXIT_BATCH_FAILURES
+        return EXIT_BATCH_OK
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "counts": self.counts,
+            "exit_code": self.exit_code,
+            "interrupted": self.interrupted,
+            "wall_s": round(self.wall_s, 6),
+            "breaker": self.breaker,
+            "tasks": [rec.as_dict() for rec in self.records],
+        }
+
+
+@dataclass
+class _Attempt:
+    task: CompileTask
+    number: int
+    rung: str = PRIMARY_RUNG
+
+
+class BatchRunner:
+    """Fault-tolerant batch compilation over subprocess workers.
+
+    Args:
+        machine: Machine preset name (validated here; workers rebuild
+            the preset by name, so payloads stay primitive).
+        registers: r override, forwarded to every worker's driver.
+        driver_config: Base :class:`DriverConfig` for every task.
+        max_workers: In-flight worker bound.
+        task_timeout: Hard per-attempt wall-clock limit, seconds.
+        retry_policy: Backoff policy; None uses :class:`RetryPolicy`
+            defaults.
+        breaker: Circuit breaker; None uses :class:`CircuitBreaker`
+            defaults.  The breaker only reroutes when the primary
+            engine is ``"bitset"`` (there is no rung below the
+            reference engine).
+        ledger_path: JSONL journal to append terminal outcomes to
+            (None disables journaling — and therefore resume).
+        resume_path: Existing ledger to load; journaled tasks with
+            matching digests are skipped.  Implies journaling to the
+            same file when *ledger_path* is unset.
+        recheck_degraded: Re-run tasks that completed *degraded* once
+            on the strict reference rung (the retry-on-stricter-rung
+            policy): a clean strict run upgrades the task to ``ok``,
+            anything else keeps the degraded result.
+        kill_grace: SIGTERM→SIGKILL grace for overdue workers, seconds.
+    """
+
+    def __init__(
+        self,
+        machine: str = "two-unit-superscalar",
+        registers: Optional[int] = None,
+        driver_config: Optional[DriverConfig] = None,
+        max_workers: int = 4,
+        task_timeout: float = 30.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        ledger_path: Optional[str] = None,
+        resume_path: Optional[str] = None,
+        recheck_degraded: bool = False,
+        kill_grace: float = 0.5,
+    ) -> None:
+        if machine not in ALL_PRESETS:
+            raise InputError(
+                "unknown machine {!r}; choose from: {}".format(
+                    machine, ", ".join(sorted(ALL_PRESETS))
+                )
+            )
+        if max_workers < 1:
+            raise InputError(
+                "max_workers must be >= 1, got {}".format(max_workers)
+            )
+        if task_timeout <= 0:
+            raise InputError(
+                "task_timeout must be positive seconds, got {}".format(
+                    task_timeout
+                )
+            )
+        self.machine = machine
+        self.registers = registers
+        self.config = driver_config or DriverConfig()
+        self.max_workers = max_workers
+        self.task_timeout = task_timeout
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.ledger_path = ledger_path or resume_path
+        self.resume_path = resume_path
+        self.recheck_degraded = recheck_degraded
+        self.kill_grace = kill_grace
+        self._stop = False
+
+    # ------------------------------------------------------------------
+    # Rung plumbing
+    # ------------------------------------------------------------------
+
+    def _config_for(self, rung: str) -> DriverConfig:
+        if rung == CIRCUIT_RUNG:
+            return replace(self.config, engine="reference")
+        if rung == RECHECK_RUNG:
+            return replace(
+                self.config, engine="reference", strict=True, paranoid=False
+            )
+        return self.config
+
+    def _breaker_key(self, rung: str) -> str:
+        config = self._config_for(rung)
+        key = "pinter/" + config.engine
+        if rung == RECHECK_RUNG:
+            key += "/strict"
+        return key
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[CompileTask],
+        install_signal_handlers: bool = False,
+        progress: Optional[Callable[[TaskRecord], None]] = None,
+    ) -> BatchSummary:
+        """Run every task to exactly one terminal state (or drain on a
+        signal) and return the summary.
+
+        Args:
+            tasks: Unique-id compile tasks.
+            install_signal_handlers: Install SIGINT/SIGTERM graceful-
+                drain handlers for the duration of the run (the CLI
+                does; library embedders usually should not).
+            progress: Optional callback invoked once per task as its
+                record becomes terminal (and once per resumed task).
+        """
+        started = time.monotonic()
+        tasks = list(tasks)
+        ids = [task.task_id for task in tasks]
+        if len(set(ids)) != len(ids):
+            raise InputError("batch contains duplicate task ids")
+
+        resume_entries = (
+            RunLedger.load(self.resume_path) if self.resume_path else {}
+        )
+        records: Dict[str, TaskRecord] = {}
+        pending: Deque[_Attempt] = deque()
+        for task in tasks:
+            digest = task.digest()
+            rec = TaskRecord(
+                task_id=task.task_id, name=task.name, digest=digest
+            )
+            records[task.task_id] = rec
+            prior = resume_entries.get(task.task_id)
+            if RunLedger.is_reusable(prior, digest):
+                rec.adopt_prior(prior)
+                if progress is not None:
+                    progress(rec)
+            else:
+                pending.append(_Attempt(task=task, number=1))
+
+        ledger = RunLedger(self.ledger_path) if self.ledger_path else None
+        in_flight: List[WorkerHandle] = []
+        delayed: List[Tuple[float, _Attempt]] = []
+        self._stop = False
+        try:
+            with self._signal_guard(install_signal_handlers):
+                while pending or delayed or in_flight:
+                    now = time.monotonic()
+                    if self._stop:
+                        # Graceful drain: dispatch nothing further;
+                        # in-flight workers finish or hit deadlines.
+                        pending.clear()
+                        delayed = []
+                        if not in_flight:
+                            break
+                    due = [a for t, a in delayed if t <= now]
+                    delayed = [(t, a) for t, a in delayed if t > now]
+                    pending.extend(due)
+                    while pending and len(in_flight) < self.max_workers:
+                        self._dispatch(pending.popleft(), records, in_flight)
+                    if not in_flight:
+                        if delayed:
+                            next_ready = min(t for t, _ in delayed)
+                            time.sleep(
+                                min(0.05, max(0.0, next_ready - time.monotonic()))
+                            )
+                        continue
+                    horizon = min(handle.deadline for handle in in_flight)
+                    timeout = max(0.01, min(0.2, horizon - time.monotonic()))
+                    _mp_wait(
+                        [handle.sentinel for handle in in_flight],
+                        timeout=timeout,
+                    )
+                    now = time.monotonic()
+                    done = [
+                        handle for handle in in_flight
+                        if not handle.process.is_alive()
+                        or now >= handle.deadline
+                    ]
+                    for handle in done:
+                        in_flight.remove(handle)
+                        outcome = reap_worker(
+                            handle,
+                            timed_out=handle.process.is_alive(),
+                            kill_grace=self.kill_grace,
+                        )
+                        self._absorb(
+                            handle, outcome, records, delayed, ledger,
+                            progress,
+                        )
+        finally:
+            for handle in in_flight:  # exception safety net
+                try:
+                    _kill(handle.process, 0.1)
+                    handle.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            if ledger is not None:
+                ledger.close()
+
+        return BatchSummary(
+            records=[records[task_id] for task_id in ids],
+            interrupted=self._stop,
+            wall_s=time.monotonic() - started,
+            breaker=self.breaker.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch / outcome handling
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        attempt: _Attempt,
+        records: Dict[str, TaskRecord],
+        in_flight: List[WorkerHandle],
+    ) -> None:
+        rec = records[attempt.task.task_id]
+        if (
+            attempt.rung == PRIMARY_RUNG
+            and self.config.engine == "bitset"
+            and not self.breaker.allow(self._breaker_key(PRIMARY_RUNG))
+        ):
+            attempt.rung = CIRCUIT_RUNG
+            rec.notes.append(
+                "circuit open for {}: routed to the reference engine".format(
+                    self._breaker_key(PRIMARY_RUNG)
+                )
+            )
+        config = self._config_for(attempt.rung)
+        payload = build_payload(
+            attempt.task, self.machine, self.registers, config
+        )
+        handle = start_worker(
+            attempt.task,
+            payload,
+            self.task_timeout,
+            attempt=attempt.number,
+            rung=attempt.rung,
+        )
+        rec.attempts += 1
+        rec.pids.append(handle.pid)
+        rec.rung = self._breaker_key(attempt.rung)
+        in_flight.append(handle)
+
+    def _settle(
+        self,
+        rec: TaskRecord,
+        ledger: Optional[RunLedger],
+        progress: Optional[Callable[[TaskRecord], None]],
+    ) -> None:
+        if ledger is not None:
+            ledger.record(rec.as_entry())
+        if progress is not None:
+            progress(rec)
+
+    def _absorb(
+        self,
+        handle: WorkerHandle,
+        outcome: WorkerOutcome,
+        records: Dict[str, TaskRecord],
+        delayed: List[Tuple[float, _Attempt]],
+        ledger: Optional[RunLedger],
+        progress: Optional[Callable[[TaskRecord], None]],
+    ) -> None:
+        rec = records[handle.task.task_id]
+        rec.duration_s += outcome.duration_s
+        key = self._breaker_key(handle.rung)
+
+        result = outcome.result
+        if outcome.kind == "result" and \
+                result["status"] != "worker-exception":
+            completed_ok = result["exit_code"] == 0
+            if completed_ok:
+                self.breaker.record_success(key)
+            elif result.get("failure_kind") == "internal":
+                # Input failures are the task's own defect and say
+                # nothing about the rung's health.
+                self.breaker.record_failure(key)
+
+            if handle.rung == RECHECK_RUNG:
+                provisional = rec.provisional or {}
+                if completed_ok and result["status"] == "ok":
+                    rec.finalize(
+                        status="ok",
+                        exit_code=0,
+                        message="degraded result revalidated clean on the "
+                        "strict reference rung",
+                        metrics=result.get("metrics"),
+                    )
+                else:
+                    rec.finalize(
+                        status=str(provisional.get("status", "degraded")),
+                        exit_code=provisional.get("exit_code", 0),
+                        message="strict recheck did not improve the result",
+                        metrics=provisional.get("metrics"),
+                    )
+                self._settle(rec, ledger, progress)
+                return
+
+            if (
+                completed_ok
+                and result["status"] == "degraded"
+                and self.recheck_degraded
+                and handle.rung == PRIMARY_RUNG
+                and not self._stop
+            ):
+                rec.provisional = {
+                    "status": "degraded",
+                    "exit_code": 0,
+                    "metrics": result.get("metrics"),
+                }
+                delayed.append((
+                    time.monotonic(),
+                    _Attempt(
+                        task=handle.task,
+                        number=handle.attempt + 1,
+                        rung=RECHECK_RUNG,
+                    ),
+                ))
+                return
+
+            rec.finalize(
+                status=result["status"] if completed_ok else "failed",
+                exit_code=result["exit_code"],
+                metrics=result.get("metrics"),
+            )
+            self._settle(rec, ledger, progress)
+            return
+
+        # Worker-level failure: timeout, crash/poison, or an exception
+        # inside the worker harness.
+        kind = outcome.kind if outcome.kind != "result" else "worker-exception"
+        rec.kinds.append(kind)
+        rec.message = outcome.message
+        self.breaker.record_failure(key)
+
+        if self._stop:
+            # Interrupted attempts are not evidence about the task:
+            # leave it unledgered so a resume recompiles it.
+            rec.status = "pending"
+            return
+        if handle.rung == RECHECK_RUNG:
+            provisional = rec.provisional or {}
+            rec.finalize(
+                status=str(provisional.get("status", "degraded")),
+                exit_code=provisional.get("exit_code", 0),
+                message="strict recheck {}; keeping the degraded "
+                "result".format(kind),
+                metrics=provisional.get("metrics"),
+            )
+            self._settle(rec, ledger, progress)
+            return
+        failures = len(rec.kinds)
+        if (
+            self.retry_policy.is_retryable(kind)
+            and handle.attempt <= self.retry_policy.max_retries
+        ):
+            delay = self.retry_policy.delay(failures)
+            delayed.append((
+                time.monotonic() + delay,
+                _Attempt(task=handle.task, number=handle.attempt + 1),
+            ))
+            return
+        rec.finalize(
+            status="failed",
+            exit_code=1,
+            message="failed after {} attempt(s): {}".format(
+                rec.attempts, ", ".join(rec.kinds)
+            ),
+        )
+        self._settle(rec, ledger, progress)
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _signal_guard(self, enabled: bool):
+        if (
+            not enabled
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            yield
+            return
+
+        def handler(signum, frame):  # noqa: ARG001
+            self._stop = True
+
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        try:
+            yield
+        finally:
+            for sig, old in previous.items():
+                signal.signal(sig, old)

@@ -1,0 +1,126 @@
+"""The run ledger: an append-only JSONL journal for checkpoint/resume.
+
+Every *terminal* task outcome of a batch is journaled as one JSON line
+the moment it is known — flushed and fsynced, so a SIGKILL'd parent
+loses at most the in-flight tasks.  A later run started with
+``--resume`` loads the ledger, and skips every task whose journaled
+record is terminal *and* carries the same input digest; edited sources
+recompile.
+
+Ledger records are self-contained primitives::
+
+    {"v": 1, "task_id": "...", "digest": "sha256...", "status": "ok",
+     "exit_code": 0, "attempts": 1, "pids": [1234], "rung": "pinter/bitset",
+     "kinds": [], "resumed": false, "duration_s": 0.41,
+     "finished_at": 1754445600.0, "message": ""}
+
+``pids`` lists the worker process of every attempt — the containment
+tests assert no journaled pid outlives the batch (no orphan workers).
+Loading tolerates a truncated final line (the crash case fsync cannot
+rule out) and keeps the **last** record per task id, so re-runs that
+re-journal a task stay consistent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, IO, Mapping, Optional
+
+from repro.utils.errors import InputError
+
+#: Ledger record schema version.
+LEDGER_VERSION = 1
+
+#: Statuses that mean "done — do not recompile on resume".
+TERMINAL_STATUSES = ("ok", "degraded", "failed")
+
+
+class RunLedger:
+    """Append-side handle on a JSONL run ledger.
+
+    Usable as a context manager; :meth:`record` is durable (flush +
+    fsync) so completed work survives an abrupt parent death.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        try:
+            self._fh: Optional[IO[str]] = open(path, "a")
+        except OSError as exc:
+            raise InputError(
+                "cannot open ledger {!r} for append: {}".format(path, exc)
+            ) from None
+
+    def record(self, entry: Mapping[str, object]) -> None:
+        """Append one task record durably.
+
+        Raises:
+            ValueError: when called on a closed ledger (a programming
+                error in the batch loop, not an operational condition).
+        """
+        if self._fh is None:
+            raise ValueError("ledger {!r} is closed".format(self.path))
+        payload = dict(entry)
+        payload.setdefault("v", LEDGER_VERSION)
+        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def load(path: str) -> Dict[str, Dict[str, object]]:
+        """Parse a ledger into ``task_id → last record``.
+
+        A missing file is an empty ledger (first run with ``--resume``
+        pointing at the path it will create).  Unparseable lines — the
+        torn final write of a killed process — are skipped, never
+        fatal: losing one record only means recompiling one task.
+        """
+        entries: Dict[str, Dict[str, object]] = {}
+        try:
+            handle = open(path)
+        except OSError:
+            return entries
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                task_id = record.get("task_id")
+                if isinstance(task_id, str):
+                    entries[task_id] = record
+        return entries
+
+    @staticmethod
+    def is_reusable(
+        record: Optional[Mapping[str, object]], digest: str
+    ) -> bool:
+        """True when *record* lets a resume skip recompiling: terminal
+        status and an unchanged input digest."""
+        if record is None:
+            return False
+        return (
+            record.get("status") in TERMINAL_STATUSES
+            and record.get("digest") == digest
+        )

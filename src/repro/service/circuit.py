@@ -1,0 +1,145 @@
+"""Per-rung circuit breakers for the batch service.
+
+A batch that keeps dispatching tasks onto a rung that is crashing or
+timing out pays the full timeout + retry bill for every one of them.
+The breaker bounds that: after ``failure_threshold`` *consecutive*
+failures of one key (a strategy/engine combination such as
+``"pinter/bitset"``), the circuit **opens** and :meth:`allow` starts
+answering False — the batch routes those tasks straight to the
+degraded rung (reference engine) without burning a worker on the
+broken one.  After ``recovery_after`` rejected requests the circuit
+goes **half-open**: exactly one probe task is allowed through; its
+success closes the circuit, its failure re-opens it and the rejection
+count starts over.
+
+The breaker is deliberately *count*-based, not clock-based: batch
+progress is measured in tasks, and counting keeps every containment
+test deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.utils.errors import InputError
+
+#: Circuit states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass
+class _KeyState:
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    rejections: int = 0
+    probe_in_flight: bool = False
+    times_opened: int = 0
+    total_failures: int = 0
+    total_successes: int = 0
+    total_rejections: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "times_opened": self.times_opened,
+            "total_failures": self.total_failures,
+            "total_successes": self.total_successes,
+            "total_rejections": self.total_rejections,
+        }
+
+
+class CircuitBreaker:
+    """Keyed closed → open → half-open → closed state machine.
+
+    Args:
+        failure_threshold: Consecutive failures of a key that open its
+            circuit.
+        recovery_after: Rejected requests while open before the next
+            request becomes the half-open probe.
+    """
+
+    def __init__(
+        self, failure_threshold: int = 3, recovery_after: int = 8
+    ) -> None:
+        if failure_threshold < 1:
+            raise InputError(
+                "circuit failure_threshold must be >= 1, got {}".format(
+                    failure_threshold
+                )
+            )
+        if recovery_after < 1:
+            raise InputError(
+                "circuit recovery_after must be >= 1, got {}".format(
+                    recovery_after
+                )
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_after = recovery_after
+        self._keys: Dict[str, _KeyState] = {}
+
+    def _state(self, key: str) -> _KeyState:
+        state = self._keys.get(key)
+        if state is None:
+            state = self._keys[key] = _KeyState()
+        return state
+
+    def allow(self, key: str) -> bool:
+        """May the next task run on *key*?  False routes it to the
+        degraded rung.  Counts rejections and promotes an open circuit
+        to half-open (one probe) once ``recovery_after`` is reached."""
+        st = self._state(key)
+        if st.state == CLOSED:
+            return True
+        if st.state == OPEN:
+            st.rejections += 1
+            st.total_rejections += 1
+            if st.rejections >= self.recovery_after:
+                st.state = HALF_OPEN
+                st.probe_in_flight = True
+                return True
+            return False
+        # HALF_OPEN: exactly one probe at a time.
+        if st.probe_in_flight:
+            st.total_rejections += 1
+            return False
+        st.probe_in_flight = True
+        return True
+
+    def record_success(self, key: str) -> None:
+        st = self._state(key)
+        st.total_successes += 1
+        st.consecutive_failures = 0
+        if st.state in (HALF_OPEN, OPEN):
+            st.state = CLOSED
+            st.rejections = 0
+            st.probe_in_flight = False
+
+    def record_failure(self, key: str) -> None:
+        st = self._state(key)
+        st.total_failures += 1
+        st.consecutive_failures += 1
+        if st.state == HALF_OPEN:
+            st.state = OPEN
+            st.rejections = 0
+            st.probe_in_flight = False
+            st.times_opened += 1
+        elif (
+            st.state == CLOSED
+            and st.consecutive_failures >= self.failure_threshold
+        ):
+            st.state = OPEN
+            st.rejections = 0
+            st.times_opened += 1
+
+    def state(self, key: str) -> str:
+        """Current state name of *key* (``"closed"`` when unseen)."""
+        st = self._keys.get(key)
+        return st.state if st is not None else CLOSED
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-key statistics for the batch summary."""
+        return {key: st.as_dict() for key, st in sorted(self._keys.items())}

@@ -1,0 +1,215 @@
+"""Batch inputs: compile tasks, manifest files, fuzz streams.
+
+A *manifest* names the source programs of one batch.  Two formats are
+accepted, sniffed by the first non-blank character:
+
+* **JSON** — either a list of entries or ``{"tasks": [...]}``.  Each
+  entry is a path string or an object ``{"path": "...", "ir": false,
+  "name": "..."}`` (``ir`` marks textual-IR inputs, ``name`` overrides
+  the function name derived from the file name).  Relative paths
+  resolve against the manifest's own directory.
+* **plain text** — one path per line; blank lines and ``#`` comments
+  are skipped.
+
+Manifest problems (unreadable file, bad JSON, unknown entry keys,
+missing sources, duplicate task ids) raise
+:class:`~repro.utils.errors.InputError`, which the CLI maps to the
+documented exit code 2.
+
+Every task carries a content digest (:meth:`CompileTask.digest`) — the
+run ledger stores it so ``--resume`` recompiles a task whose source
+changed since it was journaled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.errors import InputError
+from repro.workloads.source_fuzz import SourceFuzzConfig, random_source
+
+
+@dataclass(frozen=True)
+class CompileTask:
+    """One unit of batch work: a named source (or IR) text.
+
+    Attributes:
+        task_id: Unique, stable identifier within the batch (ledger
+            key).
+        name: Function name passed to the driver.
+        text: The program text to compile.
+        is_ir: True when *text* is textual IR rather than frontend
+            source.
+        path: Originating file, when the task came from a manifest.
+        faults: Per-task fault specs (primitive dicts, see
+            :meth:`repro.utils.faults.FaultSpec.as_dict`) armed inside
+            this task's worker only — the deterministic handle the
+            containment tests use to make exactly one task of a batch
+            crash or hang.
+    """
+
+    task_id: str
+    name: str
+    text: str
+    is_ir: bool = False
+    path: Optional[str] = None
+    faults: Tuple[Dict[str, object], ...] = field(default_factory=tuple)
+
+    def digest(self) -> str:
+        """Content hash identifying this task's *input* (not its id):
+        resumability keys on it so edited sources recompile."""
+        payload = "{}\x00{}\x00{}".format(int(self.is_ir), self.name, self.text)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def with_faults(
+        self, faults: Sequence[Dict[str, object]]
+    ) -> "CompileTask":
+        return CompileTask(
+            task_id=self.task_id,
+            name=self.name,
+            text=self.text,
+            is_ir=self.is_ir,
+            path=self.path,
+            faults=tuple(faults),
+        )
+
+
+def _task_from_entry(entry, manifest_dir: str, position: int) -> CompileTask:
+    if isinstance(entry, str):
+        entry = {"path": entry}
+    if not isinstance(entry, dict):
+        raise InputError(
+            "manifest entry #{} must be a path string or an object, "
+            "got {!r}".format(position, entry)
+        )
+    unknown = sorted(set(entry) - {"path", "ir", "name"})
+    if unknown:
+        raise InputError(
+            "manifest entry #{} has unknown key(s): {}".format(
+                position, ", ".join(unknown)
+            )
+        )
+    path = entry.get("path")
+    if not isinstance(path, str) or not path:
+        raise InputError(
+            "manifest entry #{} is missing a 'path' string".format(position)
+        )
+    resolved = path
+    if not os.path.isabs(resolved):
+        resolved = os.path.join(manifest_dir, path)
+    try:
+        with open(resolved) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise InputError(
+            "manifest entry #{}: cannot read {!r}: {}".format(
+                position, path, exc
+            )
+        ) from None
+    is_ir = entry.get("ir", False)
+    if not isinstance(is_ir, bool):
+        raise InputError(
+            "manifest entry #{}: 'ir' must be a boolean".format(position)
+        )
+    default_name = os.path.basename(path).split(".")[0] or "program"
+    name = entry.get("name", default_name)
+    if not isinstance(name, str) or not name:
+        raise InputError(
+            "manifest entry #{}: 'name' must be a non-empty string".format(
+                position
+            )
+        )
+    return CompileTask(
+        task_id=path, name=name, text=text, is_ir=is_ir, path=resolved
+    )
+
+
+def load_manifest(path: str) -> List[CompileTask]:
+    """Read a manifest file into compile tasks.
+
+    Raises:
+        InputError: on any manifest defect (the batch exit-2 contract).
+    """
+    try:
+        with open(path) as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise InputError("cannot read manifest {!r}: {}".format(path, exc)) \
+            from None
+
+    manifest_dir = os.path.dirname(os.path.abspath(path))
+    stripped = raw.lstrip()
+    if stripped.startswith(("{", "[")):
+        try:
+            doc = json.loads(raw)
+        except ValueError as exc:
+            raise InputError(
+                "manifest {!r} is not valid JSON: {}".format(path, exc)
+            ) from None
+        if isinstance(doc, dict):
+            entries = doc.get("tasks")
+            if not isinstance(entries, list):
+                raise InputError(
+                    "manifest {!r}: top-level object needs a 'tasks' "
+                    "list".format(path)
+                )
+            unknown = sorted(set(doc) - {"tasks"})
+            if unknown:
+                raise InputError(
+                    "manifest {!r} has unknown top-level key(s): {}".format(
+                        path, ", ".join(unknown)
+                    )
+                )
+        elif isinstance(doc, list):
+            entries = doc
+        else:
+            raise InputError(
+                "manifest {!r}: top level must be a list or an object, "
+                "got {}".format(path, type(doc).__name__)
+            )
+    else:
+        entries = [
+            line.strip()
+            for line in raw.splitlines()
+            if line.strip() and not line.strip().startswith("#")
+        ]
+
+    tasks = [
+        _task_from_entry(entry, manifest_dir, i)
+        for i, entry in enumerate(entries)
+    ]
+    seen: Dict[str, int] = {}
+    for i, task in enumerate(tasks):
+        if task.task_id in seen:
+            raise InputError(
+                "manifest {!r}: duplicate task {!r} (entries #{} and "
+                "#{})".format(path, task.task_id, seen[task.task_id], i)
+            )
+        seen[task.task_id] = i
+    return tasks
+
+
+def fuzz_tasks(
+    count: int,
+    seed: int = 0,
+    num_statements: int = 8,
+) -> List[CompileTask]:
+    """*count* deterministic random-source tasks (the
+    ``workloads.source_fuzz`` stream).  Task ids encode the seed, so
+    the same invocation resumes cleanly against its own ledger."""
+    if count < 1:
+        raise InputError("fuzz task count must be positive, got {}".format(count))
+    tasks = []
+    for i in range(count):
+        config = SourceFuzzConfig(seed=seed + i, num_statements=num_statements)
+        task_id = "fuzz/{}/{:04d}".format(seed, i)
+        tasks.append(CompileTask(
+            task_id=task_id,
+            name="fuzz_{}_{}".format(seed, i),
+            text=random_source(config),
+        ))
+    return tasks

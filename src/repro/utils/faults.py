@@ -3,12 +3,14 @@
 The hardened driver (:mod:`repro.pipeline.driver`) promises a ladder of
 fallbacks — bitset dependence kernel → reference engine, combined
 Pinter coloring → Chaitin with spilling, augmented scheduler → plain
-list scheduler — but fallback code that only runs when production code
-breaks is fallback code that silently rots.  This module lets tests
-(and operators, via ``REPRO_FAULTS`` or ``repro compile
---inject-fault``) force a named *fault point* to raise a
-:class:`~repro.utils.errors.ReproError` or stall for a fixed time, so
-every rung of the ladder is exercised deterministically.
+list scheduler — and the batch service (:mod:`repro.service`) promises
+fleet-level containment — kill-on-timeout, retry with backoff, circuit
+breaking, checkpoint/resume.  Fallback code that only runs when
+production code breaks is fallback code that silently rots.  This
+module lets tests (and operators, via ``REPRO_FAULTS`` or ``repro
+compile --inject-fault``) force a named *fault point* to misbehave in a
+chosen way, so every rung of every ladder is exercised
+deterministically.
 
 Fault points are plain string names checked by :func:`trip` calls
 sprinkled at the entry of the guarded subsystems:
@@ -23,9 +25,34 @@ point                     location
 ``core.pinter_color``     :func:`repro.core.coloring.pinter_color`
 ``regalloc.chaitin``      :func:`repro.regalloc.chaitin.chaitin_color`
 ``sched.augmented``       :func:`repro.sched.augmented.augmented_schedule`
+``service.worker``        :mod:`repro.service.worker` child entry (batch
+                          service; supports the worker-level actions)
 ``phase.<name>``          start of each driver phase (see
                           :attr:`repro.pipeline.driver.CompilationDriver.PHASES`)
 ========================  ====================================================
+
+Actions:
+
+* ``raise`` — raise the spec's error class at the point (default);
+* ``stall`` — sleep a short, configurable time, then continue (used to
+  trip wall-clock budgets at phase boundaries);
+* ``hang`` — sleep for a *long* time (default one hour): simulates a
+  wedged phase or worker; only a hard kill (the batch service's
+  ``--task-timeout``) or mid-phase deadline preemption ends it;
+* ``crash`` — ``os._exit`` the process immediately with exit code
+  :data:`CRASH_EXIT_CODE`, bypassing ``finally``/``atexit`` — the
+  closest pure-Python stand-in for a segfault or OOM kill;
+* ``poison-result`` — no-op at the trip point; consulted by the batch
+  worker, which then streams a malformed result object back to the
+  parent so result validation and the retry path are exercised.
+
+Text specs named in ``$REPRO_FAULTS`` / ``--inject-fault`` are
+validated **at arm time**: an unknown trip-point name or a malformed
+``point:action=value`` entry raises
+:class:`~repro.utils.errors.InputError` naming the offending token,
+instead of arming silently and never firing.  Programmatic
+:func:`install`/:func:`inject` accept arbitrary point names so tests
+can guard private seams.
 
 When no fault is armed, :func:`trip` is a single truthiness test on an
 empty dict — cheap enough to live on hot paths.
@@ -41,6 +68,7 @@ Usage::
 Specs are also parseable from text (CLI/env form)::
 
     REPRO_FAULTS="deps.bitset,sched.augmented:stall=0.2" repro compile f.src
+    repro batch manifest.json --inject-fault service.worker:crash
 """
 
 from __future__ import annotations
@@ -51,17 +79,65 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Type
 
+from repro.utils import errors as _errors
 from repro.utils.errors import FaultInjectedError, InputError, ReproError
 
 #: Environment variable scanned by :func:`install_from_env`.
 ENV_VAR = "REPRO_FAULTS"
 
 #: Valid fault actions.
-ACTIONS = ("raise", "stall")
+ACTIONS = ("raise", "stall", "hang", "crash", "poison-result")
+
+#: Actions accepting an ``=seconds`` argument in text specs.
+_TIMED_ACTIONS = ("stall", "hang")
 
 #: Default stall duration in seconds when a spec says ``stall`` with no
 #: explicit duration.
 DEFAULT_STALL_SECONDS = 0.05
+
+#: Default ``hang`` duration: long enough that only a kill or a
+#: mid-phase deadline ends it, short enough that an orphaned process
+#: eventually exits on its own.
+DEFAULT_HANG_SECONDS = 3600.0
+
+#: Process exit code used by the ``crash`` action (and therefore the
+#: exit code the batch service sees from a crashed worker).
+CRASH_EXIT_CODE = 70
+
+#: Library-level trip points (see the module docstring table).
+LIBRARY_POINTS = frozenset({
+    "frontend.compile",
+    "ir.parse",
+    "ir.verify",
+    "deps.bitset",
+    "core.pinter_color",
+    "regalloc.chaitin",
+    "sched.augmented",
+    "service.worker",
+})
+
+#: Driver phases with a ``phase.<name>`` point (kept in sync with
+#: :attr:`repro.pipeline.driver.CompilationDriver.PHASES` plus the
+#: ``strategy`` phase of :meth:`CompilationDriver.run_strategy`;
+#: hardcoded here to keep this leaf module import-free).
+_PHASE_NAMES = frozenset({
+    "parse", "verify", "opt", "preschedule", "pig", "color",
+    "assign", "schedule", "theorem1", "strategy",
+})
+
+
+def known_points() -> Tuple[str, ...]:
+    """Every documented trip-point name, sorted (``phase.*`` expanded)."""
+    return tuple(sorted(
+        LIBRARY_POINTS | {"phase." + name for name in _PHASE_NAMES}
+    ))
+
+
+def is_known_point(point: str) -> bool:
+    if point in LIBRARY_POINTS:
+        return True
+    prefix, _, rest = point.partition(".")
+    return prefix == "phase" and rest in _PHASE_NAMES
 
 
 @dataclass(frozen=True)
@@ -70,10 +146,8 @@ class FaultSpec:
 
     Attributes:
         point: The fault-point name the spec arms.
-        action: ``"raise"`` (raise *error* at the point) or ``"stall"``
-            (sleep *seconds*, then continue — used to trip wall-clock
-            budgets).
-        seconds: Stall duration for ``"stall"``.
+        action: One of :data:`ACTIONS` (see the module docstring).
+        seconds: Sleep duration for ``"stall"`` / ``"hang"``.
         error: Exception class for ``"raise"``; must derive from
             :class:`ReproError` so guards can catch it.
         message: Override for the raised message.
@@ -84,6 +158,34 @@ class FaultSpec:
     seconds: float = DEFAULT_STALL_SECONDS
     error: Type[ReproError] = FaultInjectedError
     message: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Primitive form, picklable across process boundaries (the
+        batch service ships armed specs to its workers this way)."""
+        return {
+            "point": self.point,
+            "action": self.action,
+            "seconds": self.seconds,
+            "error": self.error.__name__,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultSpec":
+        """Inverse of :meth:`as_dict`.  Unknown error-class names fall
+        back to :class:`FaultInjectedError` (never silently drop the
+        fault itself)."""
+        error = getattr(_errors, str(data.get("error", "")), None)
+        if not (isinstance(error, type) and issubclass(error, ReproError)):
+            error = FaultInjectedError
+        message = data.get("message")
+        return cls(
+            point=str(data["point"]),
+            action=str(data.get("action", "raise")),
+            seconds=float(data.get("seconds", DEFAULT_STALL_SECONDS)),
+            error=error,
+            message=None if message is None else str(message),
+        )
 
 
 #: point name → armed spec.  Module-level so trip() is reachable from
@@ -126,20 +228,39 @@ def active_points() -> Tuple[str, ...]:
     return tuple(sorted(_active))
 
 
+def active_specs() -> Tuple[FaultSpec, ...]:
+    """The currently armed specs, point-sorted (for shipping to batch
+    workers)."""
+    return tuple(_active[p] for p in sorted(_active))
+
+
+def spec_at(point: str) -> Optional[FaultSpec]:
+    """The spec armed at *point*, or None.  Lets subsystems with
+    non-raising fault semantics (the batch worker's ``poison-result``)
+    consult the registry directly."""
+    return _active.get(point)
+
+
 def trip(point: str) -> None:
     """Fire the fault armed at *point*, if any.
 
-    ``raise`` faults raise their error class; ``stall`` faults sleep
-    and return.  A dormant point (the production case) costs one dict
-    truthiness test.
+    ``raise`` faults raise their error class; ``stall``/``hang`` faults
+    sleep and return; ``crash`` faults ``os._exit`` the process;
+    ``poison-result`` faults return (they act at result-serialization
+    time, not at the trip point).  A dormant point (the production
+    case) costs one dict truthiness test.
     """
     if not _active:
         return
     spec = _active.get(point)
     if spec is None:
         return
-    if spec.action == "stall":
+    if spec.action in _TIMED_ACTIONS:
         time.sleep(spec.seconds)
+        return
+    if spec.action == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if spec.action == "poison-result":
         return
     raise spec.error(
         spec.message or "injected fault at {!r}".format(point)
@@ -174,19 +295,29 @@ def inject(
             _active[point] = previous
 
 
-def parse_fault_specs(text: str) -> List[FaultSpec]:
+def parse_fault_specs(text: str, known_only: bool = True) -> List[FaultSpec]:
     """Parse the CLI/env fault syntax.
 
-    Comma-separated entries of ``point``, ``point:raise``, or
-    ``point:stall[=seconds]``::
+    Comma-separated entries of ``point``, ``point:action``, or
+    ``point:stall[=seconds]`` / ``point:hang[=seconds]``::
 
         "deps.bitset"                          -> raise at deps.bitset
         "core.pinter_color:raise,phase.opt"    -> two raise faults
         "sched.augmented:stall=0.25"           -> stall 250 ms
+        "service.worker:crash"                 -> os._exit in the worker
+
+    Entries are validated here — at arm time — so a typo can never arm
+    a point that no :func:`trip` call will ever fire.
+
+    Args:
+        text: The spec string.
+        known_only: Reject trip points absent from :func:`known_points`
+            (the default; pass False for tests arming private seams).
 
     Raises:
-        InputError: on empty points, unknown actions, or a bad stall
-            duration.
+        InputError: on empty points, unknown actions, a bad sleep
+            duration, or (with *known_only*) an unknown trip-point
+            name — the message names the offending token.
     """
     specs: List[FaultSpec] = []
     for chunk in text.split(","):
@@ -199,9 +330,11 @@ def parse_fault_specs(text: str) -> List[FaultSpec]:
             raise InputError("fault spec {!r} has an empty point".format(chunk))
         action_text = action_text.strip() or "raise"
         action, _, seconds_text = action_text.partition("=")
-        seconds = DEFAULT_STALL_SECONDS
+        seconds = (
+            DEFAULT_HANG_SECONDS if action == "hang" else DEFAULT_STALL_SECONDS
+        )
         if seconds_text:
-            if action != "stall":
+            if action not in _TIMED_ACTIONS:
                 raise InputError(
                     "fault action {!r} takes no '=' argument".format(action)
                 )
@@ -209,19 +342,24 @@ def parse_fault_specs(text: str) -> List[FaultSpec]:
                 seconds = float(seconds_text)
             except ValueError:
                 raise InputError(
-                    "bad stall duration {!r} in fault spec {!r}".format(
-                        seconds_text, chunk
+                    "bad {} duration {!r} in fault spec {!r}".format(
+                        action, seconds_text, chunk
                     )
                 ) from None
             if seconds < 0:
                 raise InputError(
-                    "stall duration must be >= 0, got {}".format(seconds)
+                    "{} duration must be >= 0, got {}".format(action, seconds)
                 )
         if action not in ACTIONS:
             raise InputError(
                 "unknown fault action {!r} in spec {!r}; choose from {}".format(
                     action, chunk, ", ".join(ACTIONS)
                 )
+            )
+        if known_only and not is_known_point(point):
+            raise InputError(
+                "unknown fault point {!r} in spec {!r}; known points: "
+                "{}".format(point, chunk, ", ".join(known_points()))
             )
         specs.append(FaultSpec(point=point, action=action, seconds=seconds))
     return specs
@@ -234,6 +372,11 @@ def install_from_env(
 
     Returns the installed specs (empty list when the variable is unset
     or blank), so callers can report what was armed.
+
+    Raises:
+        InputError: on a malformed or unknown-point entry (see
+            :func:`parse_fault_specs`) — fail loudly at arm time rather
+            than arming a fault that never fires.
     """
     text = (os.environ if environ is None else environ).get(ENV_VAR, "")
     if not text.strip():

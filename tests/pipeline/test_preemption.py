@@ -1,0 +1,116 @@
+"""Tests for mid-phase deadline preemption.
+
+``--time-budget`` used to be checked only at phase boundaries, so one
+long dependence build could blow far past the budget.  The driver now
+threads a ``check_deadline`` callback into the bitset kernel's closure
+loops; these tests pin the callback plumbing at every layer and the
+driver-level behavior (a budget exhausted mid-phase aborts with exit 1
+— it never degrades onto a ladder rung).
+"""
+
+import pytest
+
+from repro.core.parallel_interference import build_parallel_interference_graph
+from repro.deps import block_schedule_graph
+from repro.deps.bitset import DependenceBitKernel
+from repro.deps.false_dependence import false_dependence_graph
+from repro.machine.presets import two_unit_superscalar
+from repro.pipeline.driver import (
+    EXIT_INTERNAL,
+    CompilationDriver,
+    DriverConfig,
+)
+from repro.utils import faults
+from repro.utils.errors import BudgetExceededError
+from repro.workloads import ALL_KERNELS, example1
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture
+def machine():
+    return two_unit_superscalar()
+
+
+@pytest.fixture
+def sg(machine):
+    fn = ALL_KERNELS["dot4"]()
+    return block_schedule_graph(fn.entry, machine=machine)
+
+
+def _expired():
+    raise BudgetExceededError("budget exhausted (test)")
+
+
+class TestKernelCallback:
+    def test_callback_is_polled(self, sg, machine):
+        calls = []
+        kernel = DependenceBitKernel.build(
+            sg, machine, check_deadline=lambda: calls.append(1)
+        )
+        # Both closure loops poll at least their first iteration.
+        assert len(calls) >= 2
+        assert kernel is not None
+
+    def test_callback_exception_preempts_build(self, sg, machine):
+        with pytest.raises(BudgetExceededError):
+            DependenceBitKernel.build(sg, machine, check_deadline=_expired)
+
+    def test_no_callback_still_works(self, sg, machine):
+        with_cb = DependenceBitKernel.build(
+            sg, machine, check_deadline=lambda: None
+        )
+        without = DependenceBitKernel.build(sg, machine)
+        assert with_cb.et_rows == without.et_rows
+        assert with_cb.ef_rows == without.ef_rows
+
+    def test_false_dependence_graph_forwards(self, sg, machine):
+        with pytest.raises(BudgetExceededError):
+            false_dependence_graph(sg, machine, check_deadline=_expired)
+
+    def test_pig_build_forwards(self, machine):
+        with pytest.raises(BudgetExceededError):
+            build_parallel_interference_graph(
+                example1(), machine, check_deadline=_expired
+            )
+
+
+class TestDriverMidPhase:
+    def test_stalled_pig_phase_is_preempted(self, machine):
+        # The stall fires *inside* the pig phase, after the boundary
+        # check passed — only the in-kernel poll can catch it.
+        driver = CompilationDriver(
+            machine, config=DriverConfig(time_budget=0.05)
+        )
+        with faults.inject("phase.pig", action="stall", seconds=0.3):
+            outcome = driver.compile_function(example1())
+        assert not outcome.ok
+        report = outcome.report
+        assert report.exit_code == EXIT_INTERNAL
+        assert report.failure_kind == "internal"
+        assert any("mid-phase" in d.message for d in report.diagnostics)
+
+    def test_budget_never_degrades_to_a_rung(self, machine):
+        # Even with the full ladder available (non-strict), a blown
+        # budget aborts rather than retrying on a cheaper rung.
+        driver = CompilationDriver(
+            machine, config=DriverConfig(time_budget=0.05, strict=False)
+        )
+        with faults.inject("phase.pig", action="stall", seconds=0.3):
+            report = driver.compile_function(example1()).report
+        assert report.status == "failed"
+        assert not report.degraded
+        assert not any(d.recovery for d in report.diagnostics)
+
+    def test_generous_budget_unaffected(self, machine):
+        driver = CompilationDriver(
+            machine, config=DriverConfig(time_budget=60.0)
+        )
+        outcome = driver.compile_function(example1())
+        assert outcome.ok
+        assert outcome.report.status == "ok"

@@ -1,0 +1,368 @@
+"""Tests for the batch runner (repro.service.batch).
+
+The two ISSUE acceptance scenarios live here: a hang in a 20-task
+batch is contained (killed at the timeout, retried, failed after the
+retry re-trips, 19 tasks succeed, exit 3, no orphan workers), and a
+SIGINT'd batch resumes from its ledger compiling only the unledgered
+tasks, with a summary identical to an uninterrupted run modulo timing
+fields.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.pipeline.driver import DriverConfig
+from repro.service.batch import (
+    EXIT_BATCH_FAILURES,
+    EXIT_BATCH_INTERRUPTED,
+    EXIT_BATCH_OK,
+    BatchRunner,
+    RetryPolicy,
+)
+from repro.service.checkpoint import RunLedger
+from repro.service.circuit import OPEN, CircuitBreaker
+from repro.service.manifest import CompileTask, fuzz_tasks
+from repro.utils import faults
+from repro.utils.errors import InputError
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+SOURCE = "input a, b; x = a * b + 3; output x;"
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def runner(**kwargs):
+    kwargs.setdefault("max_workers", 4)
+    kwargs.setdefault("task_timeout", 30.0)
+    kwargs.setdefault(
+        "retry_policy", RetryPolicy(max_retries=1, base_delay=0.01)
+    )
+    return BatchRunner(**kwargs)
+
+
+def worker_fault(action, seconds=60.0):
+    return ({"point": "service.worker", "action": action,
+             "seconds": seconds},)
+
+
+def by_id(summary):
+    return {rec.task_id: rec for rec in summary.records}
+
+
+def _is_live_child(pid):
+    try:
+        with open("/proc/{}/stat".format(pid)) as handle:
+            fields = handle.read().rsplit(")", 1)[1].split()
+    except OSError:
+        return False
+    return int(fields[1]) == os.getpid()
+
+
+class TestHangContainment:
+    """Acceptance: one hang in a 20-task batch."""
+
+    def test_hang_in_20_task_batch(self, tmp_path):
+        ledger_path = str(tmp_path / "run.jsonl")
+        tasks = fuzz_tasks(20, seed=7)
+        hung_id = tasks[5].task_id
+        tasks[5] = tasks[5].with_faults(worker_fault("hang"))
+
+        summary = runner(
+            task_timeout=1.0, ledger_path=ledger_path
+        ).run(tasks)
+
+        counts = summary.counts
+        assert counts["ok"] == 19
+        assert counts["failed"] == 1
+        assert summary.exit_code == EXIT_BATCH_FAILURES
+
+        hung = by_id(summary)[hung_id]
+        assert hung.status == "failed"
+        assert hung.exit_code == 1
+        # Killed at the timeout, retried once, failed when the fault
+        # re-tripped.
+        assert hung.kinds == ["timeout", "timeout"]
+        assert hung.attempts == 2
+        assert "failed after 2 attempt(s)" in hung.message
+
+        # No orphan workers: every pid the ledger journaled is gone.
+        entries = RunLedger.load(ledger_path)
+        assert len(entries) == 20
+        pids = [p for rec in entries.values() for p in rec["pids"]]
+        assert len(pids) == 21  # 19 clean + 2 hung attempts
+        assert not any(_is_live_child(pid) for pid in pids)
+
+    def test_crash_retried_then_failed(self):
+        tasks = fuzz_tasks(3, seed=1)
+        tasks[1] = tasks[1].with_faults(worker_fault("crash"))
+        summary = runner().run(tasks)
+        crashed = summary.records[1]
+        assert crashed.status == "failed"
+        assert crashed.kinds == ["crash", "crash"]
+        assert summary.counts["ok"] == 2
+        assert summary.exit_code == EXIT_BATCH_FAILURES
+
+    def test_input_error_is_never_retried(self):
+        tasks = [
+            CompileTask(task_id="good", name="good", text=SOURCE),
+            CompileTask(task_id="bad", name="bad", text="not ( a program"),
+        ]
+        breaker = CircuitBreaker(failure_threshold=1)
+        summary = runner(breaker=breaker).run(tasks)
+        bad = by_id(summary)["bad"]
+        assert bad.status == "failed"
+        assert bad.exit_code == 2
+        assert bad.attempts == 1
+        assert bad.kinds == []
+        # A defective input says nothing about the rung's health.
+        assert breaker.state("pinter/bitset") != OPEN
+
+    def test_clean_batch_exit_zero(self):
+        summary = runner().run(fuzz_tasks(4, seed=2))
+        assert summary.exit_code == EXIT_BATCH_OK
+        assert summary.counts["ok"] == 4
+        assert all(rec.attempts == 1 for rec in summary.records)
+
+
+class TestCircuitIntegration:
+    def test_open_circuit_routes_to_reference_rung(self):
+        # Strict mode turns the armed bitset fault into a hard failure
+        # on the primary rung; after `failure_threshold` of those, the
+        # circuit opens and the rest of the batch compiles on the
+        # reference engine instead.
+        tasks = [
+            t.with_faults(({"point": "deps.bitset", "action": "raise"},))
+            for t in fuzz_tasks(8, seed=11)
+        ]
+        breaker = CircuitBreaker(failure_threshold=3, recovery_after=100)
+        summary = runner(
+            max_workers=1,  # sequential: the failure streak is exact
+            driver_config=DriverConfig(strict=True),
+            breaker=breaker,
+        ).run(tasks)
+
+        statuses = [rec.status for rec in summary.records]
+        assert statuses == ["failed"] * 3 + ["ok"] * 5
+        assert breaker.state("pinter/bitset") == OPEN
+        rerouted = summary.records[3:]
+        assert all(rec.rung == "pinter/reference" for rec in rerouted)
+        assert all("circuit open" in rec.notes[0] for rec in rerouted)
+        assert summary.breaker["pinter/bitset"]["times_opened"] == 1
+
+    def test_reference_engine_batches_never_consult_the_bitset_key(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure("pinter/bitset")  # pre-opened
+        summary = runner(
+            driver_config=DriverConfig(engine="reference"),
+            breaker=breaker,
+        ).run(fuzz_tasks(2, seed=3))
+        assert summary.counts["ok"] == 2
+        assert all(rec.rung == "pinter/reference"
+                   for rec in summary.records)
+        assert all(not rec.notes for rec in summary.records)
+
+
+class TestRecheckDegraded:
+    def arm_degrading_fault(self, tasks):
+        return [
+            t.with_faults(({"point": "deps.bitset", "action": "raise"},))
+            for t in tasks
+        ]
+
+    def test_degraded_upgraded_by_clean_strict_recheck(self):
+        tasks = self.arm_degrading_fault(fuzz_tasks(2, seed=5))
+        summary = runner(recheck_degraded=True).run(tasks)
+        for rec in summary.records:
+            # Primary attempt degraded onto the reference engine; the
+            # strict reference re-run is clean, so the task is ok.
+            assert rec.status == "ok"
+            assert rec.attempts == 2
+            assert rec.rung == "pinter/reference/strict"
+            assert "revalidated clean" in rec.message
+        assert summary.exit_code == EXIT_BATCH_OK
+
+    def test_without_recheck_degraded_stays_degraded(self):
+        tasks = self.arm_degrading_fault(fuzz_tasks(2, seed=5))
+        summary = runner().run(tasks)
+        for rec in summary.records:
+            assert rec.status == "degraded"
+            assert rec.attempts == 1
+        assert summary.exit_code == EXIT_BATCH_OK
+
+
+class TestResume:
+    def test_resume_skips_ledgered_tasks(self, tmp_path):
+        ledger_path = str(tmp_path / "run.jsonl")
+        tasks = fuzz_tasks(6, seed=9)
+        first = runner(ledger_path=ledger_path).run(tasks)
+        assert first.counts["compiled"] == 6
+
+        second = runner(resume_path=ledger_path).run(tasks)
+        assert second.counts["resumed"] == 6
+        assert second.counts["compiled"] == 0
+        # Zero recompiles: no new worker pids were spawned.
+        assert (sorted(p for r in second.records for p in r.pids)
+                == sorted(p for r in first.records for p in r.pids))
+        assert second.exit_code == EXIT_BATCH_OK
+
+    def test_changed_source_recompiles(self, tmp_path):
+        ledger_path = str(tmp_path / "run.jsonl")
+        tasks = fuzz_tasks(3, seed=13)
+        runner(ledger_path=ledger_path).run(tasks)
+
+        edited = list(tasks)
+        edited[0] = CompileTask(
+            task_id=tasks[0].task_id, name=tasks[0].name, text=SOURCE
+        )
+        summary = runner(resume_path=ledger_path).run(edited)
+        assert summary.counts["resumed"] == 2
+        assert summary.counts["compiled"] == 1
+        assert by_id(summary)[tasks[0].task_id].resumed is False
+
+    def test_failed_tasks_resume_as_failed(self, tmp_path):
+        ledger_path = str(tmp_path / "run.jsonl")
+        tasks = fuzz_tasks(2, seed=15)
+        tasks[0] = tasks[0].with_faults(worker_fault("crash"))
+        first = runner(ledger_path=ledger_path).run(tasks)
+        assert first.exit_code == EXIT_BATCH_FAILURES
+
+        second = runner(resume_path=ledger_path).run(tasks)
+        assert second.counts["resumed"] == 2
+        assert second.counts["compiled"] == 0
+        # The journaled verdict (including failure) is reused verbatim.
+        assert second.records[0].status == "failed"
+        assert second.exit_code == EXIT_BATCH_FAILURES
+
+
+class TestSigintDrainAndResume:
+    """Acceptance: kill a running batch with SIGINT, then resume."""
+
+    N_TASKS = 10
+
+    def run_cli(self, tmp_path, *extra, **popen_kwargs):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR
+        cmd = [
+            sys.executable, "-m", "repro", "batch",
+            "--fuzz", str(self.N_TASKS), "--fuzz-seed", "21",
+            "--max-workers", "2", "--task-timeout", "30",
+            "--json-summary",
+        ] + list(extra)
+        return subprocess.Popen(
+            cmd, env=env, cwd=str(tmp_path),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, **popen_kwargs,
+        )
+
+    def stable_tasks(self, summary_doc):
+        """Summary rows minus per-run timing/identity fields."""
+        rows = []
+        for row in summary_doc["tasks"]:
+            row = dict(row)
+            for timing_field in ("pids", "duration_s", "resumed"):
+                row.pop(timing_field, None)
+            rows.append(row)
+        return sorted(rows, key=lambda r: r["task_id"])
+
+    def test_sigint_drains_then_resume_finishes(self, tmp_path):
+        ledger_path = str(tmp_path / "run.jsonl")
+
+        # Slow every worker down so the interrupt lands mid-batch.
+        proc = self.run_cli(
+            tmp_path, "--ledger", ledger_path,
+            "--inject-fault", "service.worker:stall=0.4",
+        )
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if (os.path.exists(ledger_path)
+                    and len(RunLedger.load(ledger_path)) >= 1):
+                break
+            time.sleep(0.05)
+        else:
+            proc.kill()
+            pytest.fail("batch never journaled its first task")
+        proc.send_signal(signal.SIGINT)
+        stdout, _ = proc.communicate(timeout=60)
+
+        assert proc.returncode == EXIT_BATCH_INTERRUPTED
+        interrupted = json.loads(stdout)
+        assert interrupted["interrupted"] is True
+        ledgered = RunLedger.load(ledger_path)
+        assert 1 <= len(ledgered) < self.N_TASKS
+        # Graceful drain: everything journaled is terminal and ok.
+        assert all(rec["status"] == "ok" for rec in ledgered.values())
+
+        # Resume: only the unledgered tasks compile.
+        proc = self.run_cli(tmp_path, "--resume", ledger_path)
+        stdout, _ = proc.communicate(timeout=120)
+        assert proc.returncode == EXIT_BATCH_OK
+        resumed = json.loads(stdout)
+        assert resumed["counts"]["resumed"] == len(ledgered)
+        assert (resumed["counts"]["compiled"]
+                == self.N_TASKS - len(ledgered))
+
+        # And the combined outcome matches an uninterrupted run of the
+        # same batch, modulo timing fields.
+        proc = self.run_cli(
+            tmp_path, "--ledger", str(tmp_path / "fresh.jsonl")
+        )
+        stdout, _ = proc.communicate(timeout=120)
+        assert proc.returncode == EXIT_BATCH_OK
+        fresh = json.loads(stdout)
+        assert self.stable_tasks(resumed) == self.stable_tasks(fresh)
+
+
+class TestValidation:
+    def test_duplicate_task_ids_rejected(self):
+        task = CompileTask(task_id="t", name="t", text=SOURCE)
+        with pytest.raises(InputError, match="duplicate"):
+            runner().run([task, task])
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(InputError, match="unknown machine"):
+            BatchRunner(machine="pdp11")
+        with pytest.raises(InputError, match="max_workers"):
+            BatchRunner(max_workers=0)
+        with pytest.raises(InputError, match="task_timeout"):
+            BatchRunner(task_timeout=0)
+        with pytest.raises(InputError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(InputError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(InputError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+
+    def test_backoff_delays_grow_and_cap(self):
+        policy = RetryPolicy(
+            max_retries=5, base_delay=0.1, multiplier=2.0,
+            max_delay=0.3, jitter=0.0,
+        )
+        assert [policy.delay(n) for n in (1, 2, 3, 4)] == \
+            [0.1, 0.2, 0.3, 0.3]
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.25, seed=42)
+        for n in range(1, 6):
+            delay = policy.delay(1)
+            assert 0.75 <= delay <= 1.25
+
+    def test_retryable_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable("timeout")
+        assert policy.is_retryable("crash")
+        assert policy.is_retryable("worker-exception")
+        assert not policy.is_retryable("input")
+        assert not policy.is_retryable("internal")

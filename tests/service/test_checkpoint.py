@@ -1,0 +1,86 @@
+"""Tests for the JSONL run ledger (repro.service.checkpoint)."""
+
+import json
+
+import pytest
+
+from repro.service.checkpoint import LEDGER_VERSION, RunLedger
+from repro.utils.errors import InputError
+
+
+def entry(task_id, status="ok", digest="d0", **extra):
+    record = {"task_id": task_id, "status": status, "digest": digest}
+    record.update(extra)
+    return record
+
+
+class TestAppend:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunLedger(path) as ledger:
+            ledger.record(entry("a"))
+            ledger.record(entry("b", status="failed"))
+        loaded = RunLedger.load(path)
+        assert set(loaded) == {"a", "b"}
+        assert loaded["a"]["status"] == "ok"
+        assert loaded["b"]["status"] == "failed"
+        assert loaded["a"]["v"] == LEDGER_VERSION
+
+    def test_append_preserves_existing_records(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunLedger(path) as ledger:
+            ledger.record(entry("a"))
+        with RunLedger(path) as ledger:
+            ledger.record(entry("b"))
+        assert set(RunLedger.load(path)) == {"a", "b"}
+
+    def test_last_record_wins(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunLedger(path) as ledger:
+            ledger.record(entry("a", status="failed"))
+            ledger.record(entry("a", status="ok"))
+        assert RunLedger.load(path)["a"]["status"] == "ok"
+
+    def test_record_on_closed_ledger_is_a_programming_error(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "run.jsonl"))
+        ledger.close()
+        with pytest.raises(ValueError):
+            ledger.record(entry("a"))
+
+    def test_unopenable_path_is_input_error(self, tmp_path):
+        with pytest.raises(InputError, match="cannot open ledger"):
+            RunLedger(str(tmp_path / "no-such-dir" / "run.jsonl"))
+
+
+class TestLoad:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert RunLedger.load(str(tmp_path / "absent.jsonl")) == {}
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps(entry("a")) + "\n")
+            handle.write('{"task_id": "b", "status": "o')  # torn write
+        loaded = RunLedger.load(path)
+        assert set(loaded) == {"a"}
+
+    def test_non_object_lines_are_skipped(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w") as handle:
+            handle.write("[1, 2]\n\n")
+            handle.write(json.dumps(entry("a")) + "\n")
+            handle.write('{"no_task_id": true}\n')
+        assert set(RunLedger.load(path)) == {"a"}
+
+
+class TestReusability:
+    @pytest.mark.parametrize("status", ["ok", "degraded", "failed"])
+    def test_terminal_with_matching_digest_is_reusable(self, status):
+        assert RunLedger.is_reusable(entry("a", status=status), "d0")
+
+    def test_changed_digest_forces_recompile(self):
+        assert not RunLedger.is_reusable(entry("a"), "d-changed")
+
+    def test_non_terminal_or_missing_is_not_reusable(self):
+        assert not RunLedger.is_reusable(entry("a", status="pending"), "d0")
+        assert not RunLedger.is_reusable(None, "d0")

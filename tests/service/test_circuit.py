@@ -1,0 +1,106 @@
+"""Tests for the per-rung circuit breaker (repro.service.circuit)."""
+
+import pytest
+
+from repro.service.circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.utils.errors import InputError
+
+KEY = "pinter/bitset"
+
+
+def breaker(threshold=3, recovery=4):
+    return CircuitBreaker(
+        failure_threshold=threshold, recovery_after=recovery
+    )
+
+
+class TestOpening:
+    def test_starts_closed_and_allows(self):
+        cb = breaker()
+        assert cb.state(KEY) == CLOSED
+        assert cb.allow(KEY)
+
+    def test_opens_after_consecutive_failures(self):
+        cb = breaker(threshold=3)
+        for _ in range(2):
+            cb.record_failure(KEY)
+            assert cb.state(KEY) == CLOSED
+        cb.record_failure(KEY)
+        assert cb.state(KEY) == OPEN
+        assert not cb.allow(KEY)
+
+    def test_success_resets_the_streak(self):
+        cb = breaker(threshold=3)
+        cb.record_failure(KEY)
+        cb.record_failure(KEY)
+        cb.record_success(KEY)
+        cb.record_failure(KEY)
+        cb.record_failure(KEY)
+        assert cb.state(KEY) == CLOSED
+
+    def test_keys_are_independent(self):
+        cb = breaker(threshold=1)
+        cb.record_failure(KEY)
+        assert cb.state(KEY) == OPEN
+        assert cb.state("pinter/reference") == CLOSED
+        assert cb.allow("pinter/reference")
+
+
+class TestRecovery:
+    def open_breaker(self, recovery=3):
+        cb = breaker(threshold=1, recovery=recovery)
+        cb.record_failure(KEY)
+        assert cb.state(KEY) == OPEN
+        return cb
+
+    def test_half_open_after_enough_rejections(self):
+        cb = self.open_breaker(recovery=3)
+        assert not cb.allow(KEY)
+        assert not cb.allow(KEY)
+        # The recovery_after-th request becomes the probe.
+        assert cb.allow(KEY)
+        assert cb.state(KEY) == HALF_OPEN
+
+    def test_half_open_admits_one_probe_at_a_time(self):
+        cb = self.open_breaker(recovery=1)
+        assert cb.allow(KEY)  # the probe
+        assert not cb.allow(KEY)  # everyone else waits
+
+    def test_probe_success_closes(self):
+        cb = self.open_breaker(recovery=1)
+        assert cb.allow(KEY)
+        cb.record_success(KEY)
+        assert cb.state(KEY) == CLOSED
+        assert cb.allow(KEY)
+
+    def test_probe_failure_reopens_and_recovery_restarts(self):
+        cb = self.open_breaker(recovery=2)
+        assert not cb.allow(KEY)
+        assert cb.allow(KEY)  # probe
+        cb.record_failure(KEY)
+        assert cb.state(KEY) == OPEN
+        # Rejection count starts over.
+        assert not cb.allow(KEY)
+        assert cb.allow(KEY)
+        assert cb.state(KEY) == HALF_OPEN
+
+
+class TestSnapshot:
+    def test_snapshot_counts(self):
+        cb = breaker(threshold=2)
+        cb.record_success(KEY)
+        cb.record_failure(KEY)
+        cb.record_failure(KEY)
+        cb.allow(KEY)
+        snap = cb.snapshot()
+        assert snap[KEY]["state"] == OPEN
+        assert snap[KEY]["times_opened"] == 1
+        assert snap[KEY]["total_successes"] == 1
+        assert snap[KEY]["total_failures"] == 2
+        assert snap[KEY]["total_rejections"] == 1
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(InputError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(InputError):
+            CircuitBreaker(recovery_after=0)

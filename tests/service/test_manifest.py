@@ -1,0 +1,122 @@
+"""Tests for batch inputs (repro.service.manifest)."""
+
+import json
+
+import pytest
+
+from repro.service.manifest import CompileTask, fuzz_tasks, load_manifest
+from repro.utils.errors import InputError
+
+SOURCE = "input a; x = a + 1; output x;"
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        a = CompileTask(task_id="t", name="f", text=SOURCE)
+        b = CompileTask(task_id="other", name="f", text=SOURCE)
+        assert a.digest() == b.digest()  # id does not enter the digest
+
+    def test_digest_tracks_content_name_and_kind(self):
+        base = CompileTask(task_id="t", name="f", text=SOURCE)
+        for variant in (
+            CompileTask(task_id="t", name="f", text=SOURCE + " "),
+            CompileTask(task_id="t", name="g", text=SOURCE),
+            CompileTask(task_id="t", name="f", text=SOURCE, is_ir=True),
+        ):
+            assert variant.digest() != base.digest()
+
+    def test_with_faults_keeps_digest(self):
+        task = CompileTask(task_id="t", name="f", text=SOURCE)
+        armed = task.with_faults([{"point": "service.worker",
+                                   "action": "crash"}])
+        assert armed.digest() == task.digest()
+        assert armed.faults[0]["action"] == "crash"
+
+
+class TestTextManifest:
+    def test_one_path_per_line_with_comments(self, tmp_path):
+        src = write(tmp_path, "prog.src", SOURCE)
+        manifest = write(
+            tmp_path, "batch.txt",
+            "# batch\n\n{}\n".format(src),
+        )
+        tasks = load_manifest(manifest)
+        assert len(tasks) == 1
+        assert tasks[0].text == SOURCE
+        assert tasks[0].name == "prog"
+        assert not tasks[0].is_ir
+
+    def test_relative_paths_resolve_against_manifest_dir(self, tmp_path):
+        write(tmp_path, "prog.src", SOURCE)
+        manifest = write(tmp_path, "batch.txt", "prog.src\n")
+        tasks = load_manifest(manifest)
+        assert tasks[0].text == SOURCE
+        assert tasks[0].task_id == "prog.src"
+
+
+class TestJsonManifest:
+    def test_object_entries(self, tmp_path):
+        src = write(tmp_path, "prog.src", SOURCE)
+        manifest = write(tmp_path, "batch.json", json.dumps({
+            "tasks": [{"path": src, "name": "renamed"}],
+        }))
+        tasks = load_manifest(manifest)
+        assert tasks[0].name == "renamed"
+
+    def test_plain_list_form(self, tmp_path):
+        src = write(tmp_path, "prog.src", SOURCE)
+        manifest = write(tmp_path, "batch.json", json.dumps([src]))
+        assert len(load_manifest(manifest)) == 1
+
+    @pytest.mark.parametrize("doc,match", [
+        ("not json [", "cannot read"),         # text manifest, bad path
+        ("[{\"path\": 1}]", "missing a 'path'"),
+        ("[{\"path\": \"x\", \"bogus\": 1}]", "unknown key"),
+        ("{\"tasks\": 3}", "'tasks'"),
+        ("{\"tasks\": [], \"extra\": 1}", "unknown top-level"),
+        ("[3]", "path string or an object"),
+    ])
+    def test_defects_are_input_errors(self, tmp_path, doc, match):
+        manifest = write(tmp_path, "batch.json", doc)
+        with pytest.raises(InputError, match=match):
+            load_manifest(manifest)
+
+    def test_bad_json_reported(self, tmp_path):
+        manifest = write(tmp_path, "batch.json", "{\"tasks\": [}")
+        with pytest.raises(InputError, match="not valid JSON"):
+            load_manifest(manifest)
+
+    def test_duplicate_ids_rejected(self, tmp_path):
+        src = write(tmp_path, "prog.src", SOURCE)
+        manifest = write(
+            tmp_path, "batch.json", json.dumps([src, src])
+        )
+        with pytest.raises(InputError, match="duplicate task"):
+            load_manifest(manifest)
+
+    def test_missing_manifest_is_input_error(self, tmp_path):
+        with pytest.raises(InputError, match="cannot read manifest"):
+            load_manifest(str(tmp_path / "absent.txt"))
+
+
+class TestFuzzTasks:
+    def test_deterministic_and_unique(self):
+        first = fuzz_tasks(5, seed=3)
+        second = fuzz_tasks(5, seed=3)
+        assert [t.text for t in first] == [t.text for t in second]
+        assert len({t.task_id for t in first}) == 5
+        assert len({t.text for t in first}) == 5
+
+    def test_seed_changes_the_stream(self):
+        assert (fuzz_tasks(3, seed=0)[0].text
+                != fuzz_tasks(3, seed=100)[0].text)
+
+    def test_count_validated(self):
+        with pytest.raises(InputError):
+            fuzz_tasks(0)

@@ -262,3 +262,73 @@ class TestBenchCommand:
     def test_bad_repeats_exit_2(self, capsys):
         assert main(["bench", "--sizes", "8", "--repeats", "0"]) == 2
         assert "--repeats must be at least 1" in capsys.readouterr().err
+
+
+class TestBatchCommand:
+    def test_fuzz_batch_exit_zero(self, capsys):
+        assert main(["batch", "--fuzz", "2", "--max-workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 2 task(s): 2 ok" in out
+        assert "[2/2]" in out
+
+    def test_manifest_batch(self, src_file, tmp_path, capsys):
+        manifest = tmp_path / "batch.txt"
+        manifest.write_text(src_file + "\n")
+        assert main(["batch", str(manifest)]) == 0
+        assert "1 ok" in capsys.readouterr().out
+
+    def test_json_summary_shape(self, capsys):
+        import json
+
+        assert main(["batch", "--fuzz", "2", "--json-summary"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["exit_code"] == 0
+        assert doc["counts"]["ok"] == 2
+        assert {t["status"] for t in doc["tasks"]} == {"ok"}
+        assert doc["interrupted"] is False
+
+    def test_worker_crash_fault_exits_3(self, capsys):
+        code = main([
+            "batch", "--fuzz", "2", "--task-timeout", "10",
+            "--retries", "0", "--inject-fault", "service.worker:crash",
+        ])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "2 failed" in out
+        assert "crash" in out
+
+    def test_ledger_then_resume(self, tmp_path, capsys):
+        ledger = str(tmp_path / "run.jsonl")
+        assert main(["batch", "--fuzz", "3", "--ledger", ledger]) == 0
+        capsys.readouterr()
+        assert main(["batch", "--fuzz", "3", "--resume", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "3 resumed" in out
+        assert "(resumed)" in out
+
+    def test_missing_inputs_exit_2(self, capsys):
+        assert main(["batch"]) == 2
+        assert "manifest file or --fuzz" in capsys.readouterr().err
+
+    def test_manifest_and_fuzz_conflict_exit_2(self, src_file, capsys):
+        assert main(["batch", src_file, "--fuzz", "2"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_invalid_manifest_exit_2(self, tmp_path, capsys):
+        manifest = tmp_path / "batch.json"
+        manifest.write_text('{"tasks": [}')
+        assert main(["batch", str(manifest)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+        assert "Traceback" not in err
+
+    def test_unknown_machine_exit_2(self, capsys):
+        assert main(["batch", "--fuzz", "1", "--machine", "cray"]) == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+    def test_bad_fault_spec_exit_2(self, capsys):
+        code = main([
+            "batch", "--fuzz", "1", "--inject-fault", "not.a.point",
+        ])
+        assert code == 2
+        assert "unknown fault point" in capsys.readouterr().err

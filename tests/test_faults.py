@@ -125,6 +125,83 @@ class TestParseFaultSpecs:
         assert faults.parse_fault_specs(" , ,") == []
 
 
+class TestKnownPointValidation:
+    """CLI/env specs are validated at arm time (unknown points are
+    typos, not latent no-ops)."""
+
+    def test_unknown_point_rejected_with_offending_token(self):
+        with pytest.raises(InputError, match="unknown fault point"):
+            faults.parse_fault_specs("deps.bitst")
+        with pytest.raises(InputError, match="deps.bitst"):
+            faults.parse_fault_specs("deps.bitst:stall=0.5")
+
+    def test_error_names_known_points(self):
+        with pytest.raises(InputError, match="deps.bitset"):
+            faults.parse_fault_specs("bogus.point")
+
+    def test_env_specs_are_validated_too(self):
+        with pytest.raises(InputError, match="unknown fault point"):
+            faults.install_from_env(
+                environ={faults.ENV_VAR: "deps.bitset,not.a.point"}
+            )
+
+    def test_every_documented_point_parses(self):
+        for point in faults.known_points():
+            (spec,) = faults.parse_fault_specs(point)
+            assert spec.point == point
+
+    def test_known_only_false_restores_permissive_parsing(self):
+        (spec,) = faults.parse_fault_specs(
+            "my.experiment:stall=0.1", known_only=False
+        )
+        assert spec.point == "my.experiment"
+
+    def test_programmatic_install_stays_permissive(self):
+        faults.install(faults.FaultSpec(point="my.experiment"))
+        with pytest.raises(FaultInjectedError):
+            faults.trip("my.experiment")
+
+
+class TestWorkerFaultActions:
+    """The batch-service actions ride the same spec grammar."""
+
+    def test_service_worker_actions_parse(self):
+        for text, action in (
+            ("service.worker:crash", "crash"),
+            ("service.worker:poison-result", "poison-result"),
+            ("service.worker:hang=0.5", "hang"),
+        ):
+            (spec,) = faults.parse_fault_specs(text)
+            assert spec.point == "service.worker"
+            assert spec.action == action
+
+    def test_hang_without_duration_uses_long_default(self):
+        (spec,) = faults.parse_fault_specs("service.worker:hang")
+        assert spec.seconds == faults.DEFAULT_HANG_SECONDS
+
+    def test_crash_takes_no_argument(self):
+        with pytest.raises(InputError, match="takes no '=' argument"):
+            faults.parse_fault_specs("service.worker:crash=1")
+
+    def test_bad_hang_duration(self):
+        with pytest.raises(InputError, match="bad hang duration"):
+            faults.parse_fault_specs("service.worker:hang=soon")
+
+    def test_spec_dict_roundtrip(self):
+        (spec,) = faults.parse_fault_specs("service.worker:hang=2.5")
+        clone = faults.FaultSpec.from_dict(spec.as_dict())
+        assert clone.point == spec.point
+        assert clone.action == spec.action
+        assert clone.seconds == spec.seconds
+
+    def test_poison_result_trip_is_a_noop(self):
+        faults.install(faults.FaultSpec(
+            point="service.worker", action="poison-result",
+        ))
+        faults.trip("service.worker")  # acts at serialization, not here
+        assert faults.spec_at("service.worker").action == "poison-result"
+
+
 class TestInstallFromEnv:
     def test_unset_variable_installs_nothing(self):
         assert faults.install_from_env(environ={}) == []

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Batch-service smoke: the `make batch-smoke` / CI entry point.
+
+Exercises the full `repro batch` contract end to end in a few seconds:
+
+1. a clean batch (manifest + fuzz stream) exits 0 and journals every
+   task;
+2. resuming the same batch recompiles nothing;
+3. a batch with `service.worker:crash` armed retries, fails, and exits
+   3 — with every worker pid reaped;
+4. an invalid manifest exits 2.
+
+Run:  PYTHONPATH=src python tools/batch_smoke.py
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+SMOKE_SRC = os.path.join(ROOT, "examples", "smoke.src")
+
+
+def run_batch(*args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "batch", "--json-summary"]
+        + list(args),
+        env=env, cwd=cwd, capture_output=True, text=True,
+    )
+    summary = None
+    if proc.stdout.strip().startswith("{"):
+        summary = json.loads(proc.stdout)
+    return proc.returncode, summary, proc.stderr
+
+
+def expect(condition, what):
+    if not condition:
+        raise SystemExit("batch-smoke FAILED: {}".format(what))
+    print("  ok: {}".format(what))
+
+
+def pid_is_live(pid):
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="batch-smoke-")
+    try:
+        manifest = os.path.join(workdir, "manifest.txt")
+        with open(manifest, "w") as handle:
+            handle.write(SMOKE_SRC + "\n")
+        ledger = os.path.join(workdir, "run.jsonl")
+
+        print("[1/4] clean batch (manifest + fuzz)")
+        code, summary, stderr = run_batch(
+            manifest, "--ledger", ledger, cwd=workdir
+        )
+        expect(code == 0, "manifest batch exits 0 (stderr: %r)" % stderr)
+        code, summary, stderr = run_batch(
+            "--fuzz", "10", "--ledger", ledger,
+            "--task-timeout", "30", cwd=workdir,
+        )
+        expect(code == 0, "fuzz batch exits 0")
+        expect(summary["counts"]["ok"] + summary["counts"]["degraded"]
+               == 10, "all 10 fuzz tasks succeeded")
+
+        print("[2/4] resume recompiles nothing")
+        code, summary, _ = run_batch(
+            "--fuzz", "10", "--resume", ledger, cwd=workdir
+        )
+        expect(code == 0, "resumed batch exits 0")
+        expect(summary["counts"]["resumed"] == 10, "all 10 tasks resumed")
+        expect(summary["counts"]["compiled"] == 0, "zero recompiles")
+
+        print("[3/4] worker crashes are contained")
+        crash_ledger = os.path.join(workdir, "crash.jsonl")
+        code, summary, _ = run_batch(
+            "--fuzz", "4", "--retries", "1",
+            "--inject-fault", "service.worker:crash",
+            "--ledger", crash_ledger, cwd=workdir,
+        )
+        expect(code == 3, "crashing batch exits 3")
+        expect(summary["counts"]["failed"] == 4, "every task failed")
+        tasks = summary["tasks"]
+        expect(all(t["attempts"] == 2 for t in tasks),
+               "each task was retried once")
+        pids = [p for t in tasks for p in t["pids"]]
+        expect(pids and not any(pid_is_live(p) for p in pids),
+               "no orphan workers ({} pids reaped)".format(len(pids)))
+
+        print("[4/4] invalid manifest exits 2")
+        bad = os.path.join(workdir, "bad.json")
+        with open(bad, "w") as handle:
+            handle.write('{"tasks": [}')
+        code, _, stderr = run_batch(bad, cwd=workdir)
+        expect(code == 2, "invalid manifest exits 2")
+        expect("not valid JSON" in stderr, "defect is named on stderr")
+
+        print("batch-smoke PASSED")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()
