@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test bench bench-check bench-pytest batch-smoke figures examples ci all clean
+.PHONY: install test bench bench-check bench-pytest batch-smoke trace-smoke obs-overhead figures examples ci all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -28,6 +28,19 @@ bench-pytest:
 batch-smoke:
 	PYTHONPATH=src python tools/batch_smoke.py
 
+# End-to-end smoke of the observability layer: a traced fuzz batch
+# must produce a schema-clean, balanced trace whose `repro stats`
+# aggregation carries non-empty per-phase and per-rung rows.
+trace-smoke:
+	PYTHONPATH=src python tools/trace_smoke.py
+
+# Guard the near-zero-overhead claim: the same bench run with the
+# metrics registry installed must stay within 5% of the run without.
+obs-overhead:
+	PYTHONPATH=src python -m repro bench --sizes 64 --repeats 5 -o BENCH_obs_off.json > /dev/null
+	PYTHONPATH=src python -m repro bench --sizes 64 --repeats 5 --metrics -o BENCH_obs_on.json > /dev/null 2> /dev/null
+	PYTHONPATH=src python tools/bench_compare.py BENCH_obs_off.json BENCH_obs_on.json --threshold 0.05 --min-wall 0.005
+
 # Regenerate every paper figure/table with the printed artifacts.
 figures:
 	python -m pytest benchmarks/ --benchmark-disable -s
@@ -54,10 +67,12 @@ ci:
 	PYTHONPATH=src python -m repro bench --sizes 8 --repeats 1 --phases pig_construction
 	PYTHONPATH=src python -m repro bench --sizes 0; test $$? -eq 2
 	PYTHONPATH=src python tools/batch_smoke.py
+	PYTHONPATH=src python tools/trace_smoke.py
+	$(MAKE) obs-overhead
 
 all: test bench-check examples
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
 	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info
-	rm -f BENCH_current.json
+	rm -f BENCH_current.json BENCH_obs_off.json BENCH_obs_on.json

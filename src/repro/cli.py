@@ -10,6 +10,8 @@
     python -m repro bench -o BENCH.json
     python -m repro batch manifest.txt --max-workers 8 --resume run.jsonl
     python -m repro batch --fuzz 50 --task-timeout 10 --json-summary
+    python -m repro batch --fuzz 50 --trace run-trace.jsonl --metrics
+    python -m repro stats run-trace.jsonl --check
 
 ``compile`` accepts either frontend source (default) or textual IR
 (``--ir``), runs one or more phase-ordering strategies through the
@@ -32,6 +34,13 @@ Exit codes (all commands):
 ``batch`` (see :mod:`repro.service.batch`) additionally uses ``3``
 (batch completed but some tasks failed after retries) and ``130``
 (interrupted; resume with the ledger).
+
+``compile``, ``batch``, and ``bench`` all accept ``--trace FILE``
+(append a structured JSONL trace, :mod:`repro.obs`) and ``--metrics``
+(collect in-process counters/histograms; printed as JSON on stderr, or
+folded into the JSON document when one is requested).  ``stats``
+aggregates a trace back into per-phase / per-rung tables and exits 1
+under ``--check`` when any line is invalid or any span is unbalanced.
 """
 
 from __future__ import annotations
@@ -108,6 +117,30 @@ def _install_cli_faults(args: argparse.Namespace) -> None:
             faults.install(spec)
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """``--trace`` / ``--metrics``, shared by compile, batch, bench."""
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="append a structured JSONL trace of this run to FILE "
+        "(aggregate it later with 'repro stats FILE')",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect in-process counters/gauges/histograms and report "
+        "the snapshot (stderr JSON, or folded into JSON output)",
+    )
+
+
+def _metrics_to_stderr(registry) -> None:
+    import json
+
+    if registry is not None:
+        print(
+            json.dumps(registry.snapshot(), indent=2, sort_keys=True),
+            file=sys.stderr,
+        )
+
+
 def _emit_diagnostics(report, json_mode: bool) -> None:
     """Text mode: info diagnostics join the stdout commentary, warnings
     and errors go to stderr (JSON mode collects reports into a single
@@ -149,79 +182,89 @@ def cmd_compile(args: argparse.Namespace) -> int:
     with open(args.file) as handle:
         text = handle.read()
     name = args.file.rsplit("/", 1)[-1].split(".")[0]
-    fn, load_report = driver.load(text, is_ir=args.ir, name=name)
-    json_entries = [load_report.as_dict()]
-    _emit_diagnostics(load_report, args.json_diagnostics)
-    exit_code = load_report.exit_code
 
-    if fn is not None:
-        for strategy_name in names:
-            if strategy_name == "pinter":
-                outcome = driver.compile_function(fn, preprocessed=True)
-            else:
-                strategy: Strategy = STRATEGIES[strategy_name]()
-                outcome = driver.run_strategy(
-                    strategy, fn, preprocessed=True
+    from repro import obs
+
+    with obs.tracing(args.trace), \
+            obs.collecting_metrics(args.metrics) as registry:
+        fn, load_report = driver.load(text, is_ir=args.ir, name=name)
+        json_entries = [load_report.as_dict()]
+        _emit_diagnostics(load_report, args.json_diagnostics)
+        exit_code = load_report.exit_code
+
+        if fn is not None:
+            for strategy_name in names:
+                if strategy_name == "pinter":
+                    outcome = driver.compile_function(fn, preprocessed=True)
+                else:
+                    strategy: Strategy = STRATEGIES[strategy_name]()
+                    outcome = driver.run_strategy(
+                        strategy, fn, preprocessed=True
+                    )
+                report = outcome.report
+                entry = report.as_dict()
+                entry["metrics"] = (
+                    outcome.result.as_row() if outcome.ok else None
                 )
-            report = outcome.report
-            entry = report.as_dict()
-            entry["metrics"] = (
-                outcome.result.as_row() if outcome.ok else None
-            )
-            json_entries.append(entry)
-            _emit_diagnostics(report, args.json_diagnostics)
-            exit_code = max(exit_code, report.exit_code)
-            if not outcome.ok:
+                json_entries.append(entry)
+                _emit_diagnostics(report, args.json_diagnostics)
+                exit_code = max(exit_code, report.exit_code)
+                if not outcome.ok:
+                    if not args.json_diagnostics:
+                        print(
+                            "; strategy={} machine={} r={} FAILED "
+                            "(exit {})".format(
+                                report.strategy, machine.name, registers,
+                                report.exit_code,
+                            )
+                        )
+                        print()
+                    continue
+                result = outcome.result
                 if not args.json_diagnostics:
+                    print("; strategy={} machine={} r={}".format(
+                        result.strategy, machine.name, registers))
                     print(
-                        "; strategy={} machine={} r={} FAILED "
-                        "(exit {})".format(
-                            report.strategy, machine.name, registers,
-                            report.exit_code,
+                        "; registers={} spill_ops={} false_deps={} "
+                        "cycles={}".format(
+                            result.registers_used,
+                            result.spill_operations,
+                            result.false_dependences,
+                            result.cycles,
                         )
                     )
-                    print()
-                continue
-            result = outcome.result
-            if not args.json_diagnostics:
-                print("; strategy={} machine={} r={}".format(
-                    result.strategy, machine.name, registers))
-                print(
-                    "; registers={} spill_ops={} false_deps={} "
-                    "cycles={}".format(
-                        result.registers_used,
-                        result.spill_operations,
-                        result.false_dependences,
-                        result.cycles,
-                    )
-                )
-                if len(names) == 1 or args.verbose:
-                    print(format_function(result.allocated_function))
-                if args.timeline:
-                    from repro.deps import block_schedule_graph
-                    from repro.sched import list_schedule
-                    from repro.viz import schedule_to_ascii
+                    if len(names) == 1 or args.verbose:
+                        print(format_function(result.allocated_function))
+                    if args.timeline:
+                        from repro.deps import block_schedule_graph
+                        from repro.sched import list_schedule
+                        from repro.viz import schedule_to_ascii
 
-                    for block in result.allocated_function.blocks():
-                        if not block.instructions:
-                            continue
-                        sg = block_schedule_graph(block, machine=machine)
-                        schedule = list_schedule(sg, machine)
-                        print("; timeline of block {}:".format(block.name))
-                        print(schedule_to_ascii(schedule))
-                print()
+                        for block in result.allocated_function.blocks():
+                            if not block.instructions:
+                                continue
+                            sg = block_schedule_graph(
+                                block, machine=machine
+                            )
+                            schedule = list_schedule(sg, machine)
+                            print("; timeline of block {}:".format(
+                                block.name))
+                            print(schedule_to_ascii(schedule))
+                    print()
 
     if args.json_diagnostics:
-        print(json.dumps(
-            {
-                "file": args.file,
-                "machine": machine.name,
-                "registers": registers,
-                "exit_code": exit_code,
-                "reports": json_entries,
-            },
-            indent=2,
-        ))
+        document = {
+            "file": args.file,
+            "machine": machine.name,
+            "registers": registers,
+            "exit_code": exit_code,
+            "reports": json_entries,
+        }
+        if registry is not None:
+            document["metrics"] = registry.snapshot()
+        print(json.dumps(document, indent=2))
+    else:
+        _metrics_to_stderr(registry)
     return exit_code
 
 
@@ -273,6 +316,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         ledger_path=args.ledger,
         resume_path=args.resume,
         recheck_degraded=args.recheck_degraded,
+        retry_failed=args.retry_failed,
     )
 
     total = len(tasks)
@@ -290,12 +334,20 @@ def cmd_batch(args: argparse.Namespace) -> int:
             settled[0], total, rec.status, rec.task_id, extra, detail
         ))
 
-    summary = runner.run(
-        tasks, install_signal_handlers=True, progress=progress
-    )
+    from repro import obs
+
+    with obs.tracing(args.trace), \
+            obs.collecting_metrics(args.metrics) as registry:
+        summary = runner.run(
+            tasks, install_signal_handlers=True, progress=progress
+        )
     if args.json_summary:
-        print(json.dumps(summary.as_dict(), indent=2))
+        document = summary.as_dict()
+        if registry is not None:
+            document["metrics"] = registry.snapshot()
+        print(json.dumps(document, indent=2))
     else:
+        _metrics_to_stderr(registry)
         counts = summary.counts
         print(
             "batch: {} task(s): {} ok, {} degraded, {} failed, "
@@ -394,13 +446,49 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "--repeats must be at least 1, got {}".format(args.repeats)
         )
     machine = _machine(args.machine, None)
-    rows = run_bench(
-        sizes=sizes, phases=phases, machine=machine, repeats=args.repeats
-    )
+
+    from repro import obs
+
+    with obs.tracing(args.trace), \
+            obs.collecting_metrics(args.metrics) as registry:
+        rows = run_bench(
+            sizes=sizes, phases=phases, machine=machine,
+            repeats=args.repeats,
+        )
     print(format_bench(rows))
+    _metrics_to_stderr(registry)
     if args.output:
         write_bench(args.output, rows)
         print("wrote {}".format(args.output))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Aggregate a trace JSONL into per-phase / per-rung tables."""
+    import json
+
+    from repro import obs
+
+    events, errors = obs.load_trace(args.trace_file)
+    summary = obs.aggregate(events)
+    problems = summary.get("span_problems") or []
+
+    if args.json:
+        document = dict(summary)
+        document["invalid_lines"] = errors
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(obs.format_stats(summary))
+        for error in errors:
+            print("; invalid {}".format(error), file=sys.stderr)
+
+    if args.check and (errors or problems):
+        print(
+            "repro stats: --check failed: {} invalid line(s), "
+            "{} span problem(s)".format(len(errors), len(problems)),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -474,6 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
         "'deps.bitset' or 'sched.augmented:stall=0.2' "
         "(also honors $REPRO_FAULTS)",
     )
+    _add_obs_flags(p_compile)
     p_compile.set_defaults(func=cmd_compile)
 
     p_batch = sub.add_parser(
@@ -523,7 +612,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--resume", default=None, metavar="PATH",
         help="load this ledger and skip journaled tasks with unchanged "
-        "sources; new outcomes append to the same file",
+        "sources; new outcomes append to the same file (failed tasks "
+        "whose failure was worker-level — timeout/crash — always "
+        "recompile)",
+    )
+    p_batch.add_argument(
+        "--retry-failed", action="store_true",
+        help="with --resume: recompile every journaled failed task, "
+        "even deterministic failures",
     )
     p_batch.add_argument(
         "--json-summary", action="store_true",
@@ -551,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm a fault point in every worker, e.g. "
         "'service.worker:crash' (also honors $REPRO_FAULTS)",
     )
+    _add_obs_flags(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
     p_graph = sub.add_parser("graph", help="emit a DOT graph")
@@ -585,7 +682,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "-o", "--output", default=None, help="write JSON rows to this path"
     )
+    _add_obs_flags(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="aggregate a --trace JSONL into per-phase/per-rung tables",
+    )
+    p_stats.add_argument(
+        "trace_file", help="trace written by --trace (JSONL)"
+    )
+    p_stats.add_argument(
+        "--json", action="store_true",
+        help="emit the aggregated stats as one JSON document",
+    )
+    p_stats.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when any line is invalid or any span is "
+        "unbalanced (CI mode)",
+    )
+    p_stats.set_defaults(func=cmd_stats)
 
     return parser
 

@@ -38,6 +38,7 @@ from repro.core.parallel_interference import (
     ParallelInterferenceGraph,
 )
 from repro.core.scheduling_value import SchedulingValueModel
+from repro.obs import get_metrics, get_tracer
 from repro.utils.errors import AllocationError
 from repro.utils.faults import trip
 
@@ -142,6 +143,8 @@ def pinter_color(
     stack: List[Web] = []
     spilled: List[Web] = []
     removed: List[Tuple[Web, Web]] = []
+    simplified = 0
+    optimistic_pushes = 0
 
     # h* is evaluated against the *current* working graph: in(v) is the
     # live neighbor set at spill time.
@@ -174,6 +177,7 @@ def pinter_color(
         del fdeg[node]
 
     def simplify() -> None:
+        nonlocal simplified
         progress = True
         while progress:
             progress = False
@@ -181,6 +185,7 @@ def pinter_color(
                 if ideg[node] + fdeg[node] < num_registers:
                     stack.append(node)
                     remove_node(node)
+                    simplified += 1
                     progress = True
 
     def sacrificial_candidates() -> List[Web]:
@@ -238,6 +243,7 @@ def pinter_color(
                 node = lazy_candidates[0]
                 stack.append(node)
                 remove_node(node)
+                optimistic_pushes += 1
                 continue
         else:
             # Second loop: relieve pressure that is due to false edges
@@ -268,6 +274,7 @@ def pinter_color(
         victim = min(candidates, key=metric)
         if optimistic or lazy:
             stack.append(victim)  # may still find a color at select time
+            optimistic_pushes += 1
         else:
             spilled.append(victim)
         remove_node(victim)
@@ -338,6 +345,21 @@ def pinter_color(
                     )
                 )
             coloring[node] = color
+    tracer = get_tracer()
+    metrics = get_metrics()
+    tracer.event(
+        "color.round",
+        nodes=pig.graph.number_of_nodes(),
+        simplified=simplified,
+        optimistic_pushes=optimistic_pushes,
+        spilled=len(spilled),
+        false_edges_removed=len(removed),
+    )
+    metrics.counter("color.rounds").inc()
+    metrics.counter("color.simplified").inc(simplified)
+    metrics.counter("color.optimistic_pushes").inc(optimistic_pushes)
+    metrics.counter("color.spilled").inc(len(spilled))
+    metrics.counter("color.false_edges_removed").inc(len(removed))
     return PinterColoringResult(
         coloring=coloring,
         spilled=spilled,

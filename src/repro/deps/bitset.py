@@ -140,6 +140,7 @@ class DependenceBitKernel:
                 preempt a compile whose wall-clock budget expired
                 mid-phase, instead of only at phase boundaries.
         """
+        from repro.obs import get_metrics, get_tracer
         from repro.utils.faults import trip
 
         trip("deps.bitset")
@@ -148,11 +149,13 @@ class DependenceBitKernel:
         position = index.position
         order = sg.topological_order()
         stride_mask = cls.DEADLINE_STRIDE - 1
+        polls = 0
 
         reach = [0] * n
         successors = sg.graph.succ
         for k, instr in enumerate(reversed(order)):
             if check_deadline is not None and not (k & stride_mask):
+                polls += 1
                 check_deadline()
             row = 0
             for succ in successors[instr]:
@@ -164,6 +167,7 @@ class DependenceBitKernel:
         predecessors = sg.graph.pred
         for k, instr in enumerate(order):
             if check_deadline is not None and not (k & stride_mask):
+                polls += 1
                 check_deadline()
             row = 0
             for pred in predecessors[instr]:
@@ -179,13 +183,32 @@ class DependenceBitKernel:
         universe = index.universe
         et = [reach[i] | ancestors[i] | contention[i] for i in range(n)]
         ef = [universe & ~(et[i] | (1 << i)) for i in range(n)]
-        return cls(
+        kernel = cls(
             index=index,
             reach_rows=reach,
             contention_rows=contention,
             et_rows=et,
             ef_rows=ef,
         )
+
+        tracer = get_tracer()
+        metrics = get_metrics()
+        metrics.counter("kernel.builds").inc()
+        if tracer.enabled or metrics.enabled:
+            # Expensive payloads (|E_t|/|E_f| popcounts) are computed
+            # only when someone is listening — the sanctioned use of
+            # the enabled flag (see repro.obs.trace).
+            et_edges = sum(popcount(row) for row in et) // 2
+            ef_edges = kernel.ef_edge_count()
+            tracer.counter("kernel.closure_visits", 2 * n)
+            tracer.counter("kernel.deadline_polls", polls)
+            tracer.counter("kernel.et_edges", et_edges)
+            tracer.counter("kernel.ef_edges", ef_edges)
+            metrics.counter("kernel.closure_visits").inc(2 * n)
+            metrics.counter("kernel.deadline_polls").inc(polls)
+            metrics.histogram("kernel.et_edges").observe(et_edges)
+            metrics.histogram("kernel.ef_edges").observe(ef_edges)
+        return kernel
 
     # ------------------------------------------------------------------
     # Row queries

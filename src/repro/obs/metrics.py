@@ -1,0 +1,213 @@
+"""In-process metrics: counters, gauges, histograms.
+
+A :class:`Metrics` registry accumulates numeric observations entirely
+in memory — nothing is written anywhere until :meth:`Metrics.snapshot`
+serializes the whole registry as one primitive dict (the CLI prints it
+on ``--metrics``; tests assert against it directly).
+
+Like the tracer (:mod:`repro.obs.trace`), the disabled form is a
+no-op **singleton** (:data:`NULL_METRICS`): instrumented code calls
+``metrics.counter("x").inc()`` unconditionally and the null registry
+hands back shared do-nothing instruments, so call sites carry no
+``if enabled`` branches.  Instruments are created on first use and
+identified by dotted names (``kernel.builds``, ``batch.retries``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class NullCounter:
+    """Shared do-nothing counter (also the base interface)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+class NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+    @property
+    def value(self) -> Optional[float]:
+        return None
+
+
+class NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        return None
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+_NULL_COUNTER = NullCounter()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+
+
+class NullMetrics:
+    """Do-nothing registry with the full :class:`Metrics` interface."""
+
+    __slots__ = ()
+
+    #: False on the null registry; True on a real one.  Only consult
+    #: it to skip computing an expensive observation.
+    enabled = False
+
+    def counter(self, name: str) -> NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: The process-wide disabled registry (shared, stateless).
+NULL_METRICS = NullMetrics()
+
+
+class Counter(NullCounter):
+    """Monotonically increasing total."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(NullGauge):
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+
+class Histogram(NullHistogram):
+    """Streaming summary of observations: count/sum/min/max (mean is
+    derived at snapshot time).  Deliberately bucket-free — the traces
+    carry raw values when a distribution is needed."""
+
+    __slots__ = ("_count", "_sum", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def as_dict(self) -> Dict[str, float]:
+        if not self._count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {
+            "count": self._count,
+            "sum": round(self._sum, 9),
+            "min": round(self._min, 9),
+            "max": round(self._max, 9),
+            "mean": round(self._sum / self._count, 9),
+        }
+
+
+class Metrics(NullMetrics):
+    """A live metrics registry.
+
+    Instruments are interned by name on first use; re-requesting a
+    name returns the same instrument.  Creation is locked (the batch
+    parent touches the registry from reap paths), but the instruments'
+    own updates are plain float ops — Python-atomic enough for the
+    single-threaded hot paths they sit on.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_lock")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter())
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge())
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(name, Histogram())
+        return instrument
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The whole registry as sorted primitive dicts."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.as_dict()
+                for name, h in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,291 @@
+"""Structured tracing: schema-versioned JSONL event streams.
+
+One :class:`Tracer` writes one run's events as JSON lines — span
+begin/end pairs with monotonic durations, complete (retroactive)
+spans, counters, gauges, and free-form events.  The stream is designed
+to be *aggregated*, not tailed: ``repro stats`` folds a trace into
+per-phase and per-rung tables (:mod:`repro.obs.stats`), and every
+future perf PR is expected to measure against it.
+
+The subsystem is zero-dependency and, crucially, **near-zero overhead
+when disabled**: call sites hold a :class:`NullTracer` — a no-op
+singleton sharing the full interface — instead of guarding each call
+with ``if enabled``.  The only sanctioned use of the :attr:`enabled`
+flag is to skip computing an *expensive payload* (e.g. popcounting
+every row of a kernel just to report ``|E_f|``); ordinary event
+emission must go through the singleton unconditionally.
+
+Event schema (one JSON object per line)::
+
+    {"v": 1, "ts": 0.000123, "kind": "span_begin", "name": "phase.pig",
+     "span_id": 7, "attrs": {...}}
+    {"v": 1, "ts": 0.004200, "kind": "span_end", "name": "phase.pig",
+     "span_id": 7, "duration_s": 0.004077, "attrs": {"status": "ok"}}
+    {"v": 1, "ts": 0.9, "kind": "span", "name": "phase.color",
+     "duration_s": 0.01, "attrs": {"task_id": "t3", "rung": "pinter/bitset"}}
+    {"v": 1, "ts": 1.2, "kind": "counter", "name": "kernel.ef_edges",
+     "value": 512, "attrs": {}}
+    {"v": 1, "ts": 1.3, "kind": "gauge", "name": "driver.budget_remaining_s",
+     "value": 0.87, "attrs": {}}
+    {"v": 1, "ts": 2.0, "kind": "event", "name": "task.done",
+     "attrs": {"task_id": "t3", "rung": "pinter/bitset", "status": "ok"}}
+
+``ts`` is monotonic seconds since the tracer was created (never wall
+clock — NTP steps cannot reorder a trace); ``duration_s`` is measured
+with ``time.perf_counter``.  :func:`validate_event` is the single
+schema authority, shared by the tests and ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, IO, Optional
+
+#: Trace event schema version (bumped on shape changes).
+TRACE_VERSION = 1
+
+#: Every event kind the schema admits.
+EVENT_KINDS = (
+    "span_begin",
+    "span_end",
+    "span",
+    "counter",
+    "gauge",
+    "event",
+)
+
+
+class _NullSpan:
+    """The no-op context manager :class:`NullTracer` spans return."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Do-nothing tracer with the full :class:`Tracer` interface.
+
+    Instrumented code holds one of these when tracing is off; every
+    method is a pass, so the disabled cost is one attribute lookup and
+    one call per site — no branches at call sites.
+    """
+
+    __slots__ = ()
+
+    #: False on the null tracer; True on a real one.  Only consult it
+    #: to skip computing an expensive event payload.
+    enabled = False
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span_point(
+        self, name: str, duration_s: float, **attrs: object
+    ) -> None:
+        return None
+
+    def counter(self, name: str, value: float, **attrs: object) -> None:
+        return None
+
+    def gauge(self, name: str, value: float, **attrs: object) -> None:
+        return None
+
+    def event(self, name: str, **attrs: object) -> None:
+        return None
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+#: The process-wide disabled tracer (shared, stateless).
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """A live span: emits ``span_begin`` on entry and ``span_end``
+    (with its perf-counter duration) on exit.  The end event carries
+    ``status: "error"`` when the body raised."""
+
+    __slots__ = ("_tracer", "name", "span_id", "attrs", "_start")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, span_id: int, attrs: Dict
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        self._tracer._emit(
+            kind="span_begin",
+            name=self.name,
+            span_id=self.span_id,
+            attrs=self.attrs,
+        )
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        duration = time.perf_counter() - self._start
+        attrs = dict(self.attrs)
+        attrs["status"] = "error" if exc_type is not None else "ok"
+        self._tracer._emit(
+            kind="span_end",
+            name=self.name,
+            span_id=self.span_id,
+            duration_s=duration,
+            attrs=attrs,
+        )
+
+
+class Tracer(NullTracer):
+    """A JSONL trace writer.
+
+    Args:
+        sink: An open text stream to write events to.
+        owns_sink: Close *sink* in :meth:`close` (True for
+            :meth:`to_path` tracers).
+
+    Writes happen behind a lock (the batch parent emits from
+    signal-adjacent paths) and every line is flushed immediately: a
+    torn trace loses at most the event being written, and — critically
+    — a ``fork``-started worker can never inherit buffered parent
+    lines and replay them on exit.
+    """
+
+    __slots__ = ("_sink", "_owns_sink", "_t0", "_lock", "_next_span_id")
+
+    enabled = True
+
+    def __init__(self, sink: IO[str], owns_sink: bool = False) -> None:
+        self._sink: Optional[IO[str]] = sink
+        self._owns_sink = owns_sink
+        self._t0 = time.monotonic()
+        self._lock = threading.Lock()
+        self._next_span_id = 0
+
+    @classmethod
+    def to_path(cls, path: str) -> "Tracer":
+        """A tracer appending to *path* (UTF-8, created if missing)."""
+        return cls(open(path, "a", encoding="utf-8"), owns_sink=True)
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind: str, name: str, **fields: object) -> None:
+        payload: Dict[str, object] = {
+            "v": TRACE_VERSION,
+            "ts": round(time.monotonic() - self._t0, 6),
+            "kind": kind,
+            "name": name,
+        }
+        attrs = fields.pop("attrs", None) or {}
+        payload.update(fields)
+        payload["attrs"] = attrs
+        line = json.dumps(payload, sort_keys=True, default=str)
+        with self._lock:
+            if self._sink is not None:
+                self._sink.write(line + "\n")
+                self._sink.flush()
+
+    def span(self, name: str, **attrs: object) -> _Span:
+        with self._lock:
+            self._next_span_id += 1
+            span_id = self._next_span_id
+        return _Span(self, name, span_id, attrs)
+
+    def span_point(
+        self, name: str, duration_s: float, **attrs: object
+    ) -> None:
+        """A complete span in one event — for durations observed after
+        the fact (e.g. per-phase seconds shipped back from a worker
+        subprocess)."""
+        self._emit(
+            kind="span",
+            name=name,
+            duration_s=round(float(duration_s), 6),
+            attrs=attrs,
+        )
+
+    def counter(self, name: str, value: float, **attrs: object) -> None:
+        self._emit(kind="counter", name=name, value=value, attrs=attrs)
+
+    def gauge(self, name: str, value: float, **attrs: object) -> None:
+        self._emit(kind="gauge", name=name, value=value, attrs=attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        self._emit(kind="event", name=name, attrs=attrs)
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sink is None:
+                return
+            self._sink.flush()
+            if self._owns_sink:
+                self._sink.close()
+            self._sink = None
+
+
+# ----------------------------------------------------------------------
+# Schema validation (shared by tests and ``repro stats``)
+# ----------------------------------------------------------------------
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_event(obj: object) -> Optional[str]:
+    """Schema-check one decoded trace event.
+
+    Returns None when *obj* is a valid event, else a human-readable
+    description of the first violation found.
+    """
+    if not isinstance(obj, dict):
+        return "event is not an object: {!r}".format(obj)
+    if obj.get("v") != TRACE_VERSION:
+        return "unknown trace version {!r}".format(obj.get("v"))
+    kind = obj.get("kind")
+    if kind not in EVENT_KINDS:
+        return "unknown event kind {!r}".format(kind)
+    name = obj.get("name")
+    if not isinstance(name, str) or not name:
+        return "event name must be a non-empty string, got {!r}".format(name)
+    if not _is_number(obj.get("ts")) or obj["ts"] < 0:
+        return "ts must be a non-negative number, got {!r}".format(
+            obj.get("ts")
+        )
+    attrs = obj.get("attrs", {})
+    if not isinstance(attrs, dict) or any(
+        not isinstance(key, str) for key in attrs
+    ):
+        return "attrs must be an object with string keys"
+    if kind in ("span_begin", "span_end"):
+        if not isinstance(obj.get("span_id"), int) or obj["span_id"] < 1:
+            return "{} needs a positive integer span_id".format(kind)
+    if kind in ("span_end", "span"):
+        if not _is_number(obj.get("duration_s")) or obj["duration_s"] < 0:
+            return "{} needs a non-negative duration_s".format(kind)
+    if kind in ("counter", "gauge") and not _is_number(obj.get("value")):
+        return "{} needs a numeric value".format(kind)
+    return None

@@ -53,6 +53,7 @@ from repro.deps.schedule_graph import block_schedule_graph
 from repro.ir.function import Function
 from repro.ir.verifier import verify_function
 from repro.machine.model import MachineDescription
+from repro.obs import get_metrics, get_tracer
 from repro.pipeline.strategies import StrategyResult, Strategy, _chaitin_allocate
 from repro.pipeline.verify import find_false_dependences
 from repro.regalloc.assignment import apply_assignment, make_assignment
@@ -165,7 +166,15 @@ class CompileReport:
         """Record the degradation applied for the most recent
         diagnostic (the warning :class:`PhaseGuard` just emitted)."""
         if self.diagnostics:
-            self.diagnostics[-1].recovery = recovery
+            last = self.diagnostics[-1]
+            last.recovery = recovery
+            get_tracer().event(
+                "driver.degrade",
+                phase=last.phase,
+                recovery=recovery,
+                function=self.function_name,
+            )
+            get_metrics().counter("driver.degrades").inc()
 
     def errors(self) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.severity == "error"]
@@ -354,15 +363,22 @@ class PhaseGuard:
                 abort carries kind ``"input"`` (exit 2).
         """
         self.check_deadline(phase)
+        tracer = get_tracer()
+        metrics = get_metrics()
         start = time.perf_counter()
         try:
-            faults.trip("phase." + phase)
-            value = action()
+            with tracer.span(
+                "phase." + phase, function=self.report.function_name
+            ):
+                faults.trip("phase." + phase)
+                value = action()
         except ReproError as exc:
             elapsed = time.perf_counter() - start
             self.report.phase_seconds[phase] = (
                 self.report.phase_seconds.get(phase, 0.0) + elapsed
             )
+            metrics.counter("driver.phase_errors").inc()
+            self._note_budget(tracer, metrics, phase)
             # An exhausted budget is not a phase defect: degrading to a
             # fallback rung would keep burning a budget that is already
             # gone, so it aborts even when a fallback exists.
@@ -382,8 +398,21 @@ class PhaseGuard:
         self.report.phase_seconds[phase] = (
             self.report.phase_seconds.get(phase, 0.0) + elapsed
         )
+        metrics.histogram("phase." + phase + ".seconds").observe(elapsed)
+        self._note_budget(tracer, metrics, phase)
         self.check_deadline(phase)
         return value
+
+    def _note_budget(self, tracer, metrics, phase: str) -> None:
+        """Publish the remaining wall-clock budget after a phase
+        attempt (only when a deadline is configured)."""
+        if self.deadline is None:
+            return
+        remaining = max(0.0, self.deadline - time.monotonic())
+        tracer.gauge(
+            "driver.budget_remaining_s", round(remaining, 6), phase=phase
+        )
+        metrics.gauge("driver.budget_remaining_s").set(remaining)
 
 
 def _pig_signature(

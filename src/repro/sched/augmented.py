@@ -26,6 +26,7 @@ from repro.deps.schedule_graph import ScheduleGraph
 from repro.ir.instructions import Instruction
 from repro.machine.model import MachineDescription
 from repro.machine.resources import ReservationTable
+from repro.obs import get_metrics, get_tracer
 from repro.sched.list_scheduler import (
     PriorityFn,
     Schedule,
@@ -147,4 +148,20 @@ def augmented_schedule(
 
     schedule = Schedule(cycle_of=cycle_of, machine=machine)
     schedule.verify(sg)
+
+    issued = len(sg.instructions)
+    slots = schedule.makespan * machine.issue_width
+    utilization = round(issued / slots, 4) if slots else 0.0
+    get_tracer().event(
+        "sched.block",
+        cycles=schedule.makespan,
+        issued=issued,
+        slots=slots,
+        utilization=utilization,
+    )
+    metrics = get_metrics()
+    metrics.counter("sched.blocks").inc()
+    metrics.counter("sched.cycles").inc(schedule.makespan)
+    metrics.counter("sched.issued").inc(issued)
+    metrics.histogram("sched.slot_utilization").observe(utilization)
     return schedule

@@ -47,6 +47,7 @@ from multiprocessing.connection import wait as _mp_wait
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.machine.presets import ALL_PRESETS
+from repro.obs import get_metrics, get_tracer
 from repro.pipeline.driver import DriverConfig
 from repro.service.checkpoint import RunLedger
 from repro.service.circuit import CircuitBreaker
@@ -190,8 +191,16 @@ class TaskRecord:
             self.message = message
         self.metrics = metrics
 
-    def as_entry(self) -> Dict[str, object]:
-        """The ledger row for this record."""
+    def as_entry(
+        self, finished_at: Optional[float] = None
+    ) -> Dict[str, object]:
+        """The ledger row for this record.
+
+        *finished_at* is the batch runner's wall-clock stamp, derived
+        from one per-batch ``time.time()`` base plus a monotonic
+        offset — never raw ``time.time()`` per record, so an NTP step
+        mid-batch cannot make ledger stamps run backwards.
+        """
         return {
             "task_id": self.task_id,
             "digest": self.digest,
@@ -205,7 +214,7 @@ class TaskRecord:
             "duration_s": round(self.duration_s, 6),
             "message": self.message,
             "metrics": self.metrics,
-            "finished_at": time.time(),
+            "finished_at": finished_at,
         }
 
     def as_dict(self) -> Dict[str, object]:
@@ -286,7 +295,12 @@ class BatchRunner:
             (None disables journaling — and therefore resume).
         resume_path: Existing ledger to load; journaled tasks with
             matching digests are skipped.  Implies journaling to the
-            same file when *ledger_path* is unset.
+            same file when *ledger_path* is unset.  ``failed`` records
+            whose kinds include a worker-level failure (timeout,
+            crash, worker exception) are *not* skipped — a transient
+            failure deserves another run.
+        retry_failed: On resume, recompile every ``failed`` record —
+            even deterministic driver failures (``--retry-failed``).
         recheck_degraded: Re-run tasks that completed *degraded* once
             on the strict reference rung (the retry-on-stricter-rung
             policy): a clean strict run upgrades the task to ``ok``,
@@ -306,6 +320,7 @@ class BatchRunner:
         ledger_path: Optional[str] = None,
         resume_path: Optional[str] = None,
         recheck_degraded: bool = False,
+        retry_failed: bool = False,
         kill_grace: float = 0.5,
     ) -> None:
         if machine not in ALL_PRESETS:
@@ -334,8 +349,28 @@ class BatchRunner:
         self.ledger_path = ledger_path or resume_path
         self.resume_path = resume_path
         self.recheck_degraded = recheck_degraded
+        self.retry_failed = retry_failed
         self.kill_grace = kill_grace
         self._stop = False
+        self._wall_base = 0.0
+        self._mono_base = 0.0
+        if self.breaker.listener is None:
+            self.breaker.listener = self._on_circuit_transition
+
+    def _on_circuit_transition(
+        self, key: str, old_state: str, new_state: str
+    ) -> None:
+        get_tracer().event(
+            "circuit.transition", key=key, old=old_state, new=new_state
+        )
+        get_metrics().counter(
+            "circuit.transitions.{}".format(new_state)
+        ).inc()
+
+    def _stamp(self) -> float:
+        """Wall-clock 'now' derived from the batch's single wall base
+        plus a monotonic offset (see :meth:`TaskRecord.as_entry`)."""
+        return self._wall_base + (time.monotonic() - self._mono_base)
 
     # ------------------------------------------------------------------
     # Rung plumbing
@@ -379,6 +414,9 @@ class BatchRunner:
                 record becomes terminal (and once per resumed task).
         """
         started = time.monotonic()
+        self._mono_base = started
+        self._wall_base = time.time()
+        tracer = get_tracer()
         tasks = list(tasks)
         ids = [task.task_id for task in tasks]
         if len(set(ids)) != len(ids):
@@ -396,11 +434,47 @@ class BatchRunner:
             )
             records[task.task_id] = rec
             prior = resume_entries.get(task.task_id)
-            if RunLedger.is_reusable(prior, digest):
+            if RunLedger.is_reusable(
+                prior, digest, retry_failed=self.retry_failed
+            ):
                 rec.adopt_prior(prior)
+                tracer.event(
+                    "task.done",
+                    task_id=rec.task_id,
+                    rung=rec.rung,
+                    status=rec.status,
+                    attempts=rec.attempts,
+                    duration_s=round(rec.duration_s, 6),
+                    resumed=True,
+                )
+                get_metrics().counter("batch.tasks.resumed").inc()
                 if progress is not None:
                     progress(rec)
             else:
+                if (
+                    prior is not None
+                    and prior.get("status") == "failed"
+                    and prior.get("digest") == digest
+                ):
+                    # The resume decided to give a failed task another
+                    # run — journal why, so the ledger tells the story.
+                    kinds = prior.get("kinds")
+                    reason = (
+                        "--retry-failed" if self.retry_failed
+                        else "worker-level failure kinds: {}".format(
+                            ", ".join(str(k) for k in kinds)
+                            if isinstance(kinds, list) and kinds else "?"
+                        )
+                    )
+                    rec.notes.append(
+                        "resume: retrying failed task ({})".format(reason)
+                    )
+                    tracer.event(
+                        "resume.retry_failed",
+                        task_id=task.task_id,
+                        reason=reason,
+                    )
+                    get_metrics().counter("batch.resume_retries").inc()
                 pending.append(_Attempt(task=task, number=1))
 
         ledger = RunLedger(self.ledger_path) if self.ledger_path else None
@@ -408,7 +482,8 @@ class BatchRunner:
         delayed: List[Tuple[float, _Attempt]] = []
         self._stop = False
         try:
-            with self._signal_guard(install_signal_handlers):
+            with self._signal_guard(install_signal_handlers), \
+                    tracer.span("batch.run", tasks=len(tasks)):
                 while pending or delayed or in_flight:
                     now = time.monotonic()
                     if self._stop:
@@ -463,12 +538,19 @@ class BatchRunner:
             if ledger is not None:
                 ledger.close()
 
-        return BatchSummary(
+        summary = BatchSummary(
             records=[records[task_id] for task_id in ids],
             interrupted=self._stop,
             wall_s=time.monotonic() - started,
             breaker=self.breaker.snapshot(),
         )
+        tracer.event(
+            "batch.summary",
+            interrupted=summary.interrupted,
+            wall_s=round(summary.wall_s, 6),
+            **{k: v for k, v in summary.counts.items()}
+        )
+        return summary
 
     # ------------------------------------------------------------------
     # Dispatch / outcome handling
@@ -507,6 +589,14 @@ class BatchRunner:
         rec.pids.append(handle.pid)
         rec.rung = self._breaker_key(attempt.rung)
         in_flight.append(handle)
+        get_tracer().event(
+            "worker.dispatch",
+            task_id=attempt.task.task_id,
+            rung=rec.rung,
+            attempt=attempt.number,
+            pid=handle.pid,
+        )
+        get_metrics().counter("batch.dispatches").inc()
 
     def _settle(
         self,
@@ -514,8 +604,23 @@ class BatchRunner:
         ledger: Optional[RunLedger],
         progress: Optional[Callable[[TaskRecord], None]],
     ) -> None:
+        tracer = get_tracer()
+        metrics = get_metrics()
         if ledger is not None:
-            ledger.record(rec.as_entry())
+            ledger.record(rec.as_entry(finished_at=self._stamp()))
+            tracer.event(
+                "ledger.write", task_id=rec.task_id, status=rec.status
+            )
+            metrics.counter("ledger.writes").inc()
+        tracer.event(
+            "task.done",
+            task_id=rec.task_id,
+            rung=rec.rung,
+            status=rec.status,
+            attempts=rec.attempts,
+            duration_s=round(rec.duration_s, 6),
+        )
+        metrics.counter("batch.tasks.{}".format(rec.status)).inc()
         if progress is not None:
             progress(rec)
 
@@ -531,8 +636,34 @@ class BatchRunner:
         rec = records[handle.task.task_id]
         rec.duration_s += outcome.duration_s
         key = self._breaker_key(handle.rung)
+        tracer = get_tracer()
+        tracer.event(
+            "worker.reap",
+            task_id=handle.task.task_id,
+            rung=key,
+            kind=outcome.kind,
+            pid=outcome.pid,
+            exitcode=outcome.exitcode,
+            duration_s=round(outcome.duration_s, 6),
+        )
 
         result = outcome.result
+        if outcome.kind == "result" and isinstance(result, dict):
+            # Fold the worker's per-phase wall seconds into the trace
+            # as complete spans, tagged with the task and rung — the
+            # per-phase table of ``repro stats`` aggregates them next
+            # to the parent's own live spans.
+            report = result.get("report")
+            if isinstance(report, dict):
+                phase_seconds = report.get("phase_seconds")
+                if isinstance(phase_seconds, dict):
+                    for phase, seconds in sorted(phase_seconds.items()):
+                        tracer.span_point(
+                            "phase.{}".format(phase),
+                            seconds,
+                            task_id=handle.task.task_id,
+                            rung=key,
+                        )
         if outcome.kind == "result" and \
                 result["status"] != "worker-exception":
             completed_ok = result["exit_code"] == 0
@@ -622,6 +753,14 @@ class BatchRunner:
             and handle.attempt <= self.retry_policy.max_retries
         ):
             delay = self.retry_policy.delay(failures)
+            tracer.event(
+                "batch.retry",
+                task_id=handle.task.task_id,
+                kind=kind,
+                failures=failures,
+                delay_s=round(delay, 6),
+            )
+            get_metrics().counter("batch.retries").inc()
             delayed.append((
                 time.monotonic() + delay,
                 _Attempt(task=handle.task, number=handle.attempt + 1),

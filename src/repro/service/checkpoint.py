@@ -11,14 +11,24 @@ Ledger records are self-contained primitives::
 
     {"v": 1, "task_id": "...", "digest": "sha256...", "status": "ok",
      "exit_code": 0, "attempts": 1, "pids": [1234], "rung": "pinter/bitset",
-     "kinds": [], "resumed": false, "duration_s": 0.41,
-     "finished_at": 1754445600.0, "message": ""}
+     "kinds": [], "resumed": false, "duration_s": 0.41, "message": "",
+     "metrics": {"strategy": "pinter", "registers": 4, "...": "..."},
+     "finished_at": 1754445600.0}
 
 ``pids`` lists the worker process of every attempt — the containment
 tests assert no journaled pid outlives the batch (no orphan workers).
-Loading tolerates a truncated final line (the crash case fsync cannot
-rule out) and keeps the **last** record per task id, so re-runs that
-re-journal a task stay consistent.
+``metrics`` is the driver's result row (null when the compile failed),
+and ``finished_at`` is wall-clock derived from one per-batch base plus
+a monotonic offset, so NTP steps cannot make stamps run backwards
+within a run.  Loading tolerates a truncated final line (the crash
+case fsync cannot rule out) and keeps the **last** record per task id,
+so re-runs that re-journal a task stay consistent.
+
+On resume, ``failed`` records are only reused when the failure was
+*deterministic* (the driver reported it): a record whose ``kinds``
+carry a worker-level failure (timeout, crash, worker exception) may
+have merely been unlucky, so it is recompiled — and
+``retry_failed=True`` recompiles every failed record regardless.
 """
 
 from __future__ import annotations
@@ -35,6 +45,12 @@ LEDGER_VERSION = 1
 #: Statuses that mean "done — do not recompile on resume".
 TERMINAL_STATUSES = ("ok", "degraded", "failed")
 
+#: Failure kinds that indicate the *worker*, not the program, failed
+#: (mirrors :attr:`repro.service.batch.RetryPolicy.RETRYABLE`).  A
+#: ``failed`` ledger record carrying one of these was possibly
+#: transient — a resumed run recompiles it instead of reusing it.
+WORKER_FAILURE_KINDS = ("timeout", "crash", "worker-exception")
+
 
 class RunLedger:
     """Append-side handle on a JSONL run ledger.
@@ -46,11 +62,30 @@ class RunLedger:
     def __init__(self, path: str) -> None:
         self.path = path
         try:
-            self._fh: Optional[IO[str]] = open(path, "a")
+            self._fh: Optional[IO[str]] = open(path, "a", encoding="utf-8")
         except OSError as exc:
             raise InputError(
                 "cannot open ledger {!r} for append: {}".format(path, exc)
             ) from None
+        # fsyncing the file makes *records* durable, but the file's
+        # very existence lives in the directory entry: without one
+        # directory fsync after creation, a crash shortly after open
+        # can lose the whole journal on some filesystems.
+        self._sync_directory()
+
+    def _sync_directory(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+        try:
+            fd = os.open(directory, flags)
+        except OSError:  # pragma: no cover - exotic platforms
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fs without dir fsync
+            pass
+        finally:
+            os.close(fd)
 
     def record(self, entry: Mapping[str, object]) -> None:
         """Append one task record durably.
@@ -93,7 +128,7 @@ class RunLedger:
         """
         entries: Dict[str, Dict[str, object]] = {}
         try:
-            handle = open(path)
+            handle = open(path, encoding="utf-8")
         except OSError:
             return entries
         with handle:
@@ -114,13 +149,32 @@ class RunLedger:
 
     @staticmethod
     def is_reusable(
-        record: Optional[Mapping[str, object]], digest: str
+        record: Optional[Mapping[str, object]],
+        digest: str,
+        retry_failed: bool = False,
     ) -> bool:
-        """True when *record* lets a resume skip recompiling: terminal
-        status and an unchanged input digest."""
+        """True when *record* lets a resume skip recompiling.
+
+        Reusable means: terminal status, unchanged input digest, and —
+        for ``failed`` records — a *deterministic* failure.  A task
+        that exhausted its retries on a worker-level failure (its
+        ``kinds`` include a timeout/crash/worker-exception) may have
+        been transient bad luck, so it is never reused; pass
+        ``retry_failed=True`` to recompile every failed record (the
+        ``--retry-failed`` batch flag).
+        """
         if record is None:
             return False
-        return (
-            record.get("status") in TERMINAL_STATUSES
-            and record.get("digest") == digest
-        )
+        if record.get("status") not in TERMINAL_STATUSES:
+            return False
+        if record.get("digest") != digest:
+            return False
+        if record.get("status") == "failed":
+            if retry_failed:
+                return False
+            kinds = record.get("kinds")
+            if isinstance(kinds, list) and any(
+                kind in WORKER_FAILURE_KINDS for kind in kinds
+            ):
+                return False
+        return True

@@ -20,7 +20,7 @@ test deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.utils.errors import InputError
 
@@ -60,10 +60,17 @@ class CircuitBreaker:
             circuit.
         recovery_after: Rejected requests while open before the next
             request becomes the half-open probe.
+        listener: Optional ``(key, old_state, new_state)`` callback
+            fired on every state transition — the batch runner wires
+            it to the trace stream so every open/half-open/close is
+            journaled.
     """
 
     def __init__(
-        self, failure_threshold: int = 3, recovery_after: int = 8
+        self,
+        failure_threshold: int = 3,
+        recovery_after: int = 8,
+        listener: Optional[Callable[[str, str, str], None]] = None,
     ) -> None:
         if failure_threshold < 1:
             raise InputError(
@@ -79,6 +86,7 @@ class CircuitBreaker:
             )
         self.failure_threshold = failure_threshold
         self.recovery_after = recovery_after
+        self.listener = listener
         self._keys: Dict[str, _KeyState] = {}
 
     def _state(self, key: str) -> _KeyState:
@@ -86,6 +94,11 @@ class CircuitBreaker:
         if state is None:
             state = self._keys[key] = _KeyState()
         return state
+
+    def _transition(self, key: str, st: _KeyState, new_state: str) -> None:
+        old_state, st.state = st.state, new_state
+        if self.listener is not None and old_state != new_state:
+            self.listener(key, old_state, new_state)
 
     def allow(self, key: str) -> bool:
         """May the next task run on *key*?  False routes it to the
@@ -98,7 +111,7 @@ class CircuitBreaker:
             st.rejections += 1
             st.total_rejections += 1
             if st.rejections >= self.recovery_after:
-                st.state = HALF_OPEN
+                self._transition(key, st, HALF_OPEN)
                 st.probe_in_flight = True
                 return True
             return False
@@ -114,7 +127,7 @@ class CircuitBreaker:
         st.total_successes += 1
         st.consecutive_failures = 0
         if st.state in (HALF_OPEN, OPEN):
-            st.state = CLOSED
+            self._transition(key, st, CLOSED)
             st.rejections = 0
             st.probe_in_flight = False
 
@@ -123,7 +136,7 @@ class CircuitBreaker:
         st.total_failures += 1
         st.consecutive_failures += 1
         if st.state == HALF_OPEN:
-            st.state = OPEN
+            self._transition(key, st, OPEN)
             st.rejections = 0
             st.probe_in_flight = False
             st.times_opened += 1
@@ -131,7 +144,7 @@ class CircuitBreaker:
             st.state == CLOSED
             and st.consecutive_failures >= self.failure_threshold
         ):
-            st.state = OPEN
+            self._transition(key, st, OPEN)
             st.rejections = 0
             st.times_opened += 1
 

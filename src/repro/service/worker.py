@@ -113,6 +113,18 @@ def worker_main(payload: Dict[str, object], conn) -> None:
     except (ValueError, OSError):  # non-main thread / exotic platform
         pass
 
+    # Under ``fork`` the child inherits the parent's installed tracer
+    # and metrics registry (and the tracer's open descriptor).  The
+    # trace is the *parent's* journal — a worker writing to it would
+    # interleave colliding span ids from every child — so detach both;
+    # worker phase timings travel home inside the result's
+    # ``report.phase_seconds`` and the parent folds them into the
+    # trace as complete spans.
+    from repro import obs
+
+    obs.set_tracer(None)
+    obs.set_metrics(None)
+
     faults.clear()
     for spec_dict in payload.get("faults", ()):
         faults.install(faults.FaultSpec.from_dict(spec_dict))

@@ -21,7 +21,10 @@ from repro.deps.reference import (
     reference_false_dependence_graph,
     reference_transitive_closure_pairs,
 )
-from repro.deps.schedule_graph import region_schedule_graph
+from repro.deps.schedule_graph import (
+    build_schedule_graph,
+    region_schedule_graph,
+)
 from repro.deps.transitive import ordered_pair, transitive_closure_pairs
 from repro.analysis.regions import schedule_regions
 from repro.frontend import compile_source
@@ -132,6 +135,37 @@ def test_pig_engines_agree(preset):
         )
         context = "workload={} machine={}".format(label, machine.name)
         assert _edge_signature(bitset) == _edge_signature(reference), context
+
+
+@pytest.mark.parametrize("preset", MACHINES)
+def test_degenerate_regions_match_reference(preset):
+    """n=0 and n=1 regions: empty/one-bit universes, and the kernel's
+    pair sets still agree exactly with the reference."""
+    machine = preset()
+
+    empty = build_schedule_graph([], machine=machine)
+    kernel = DependenceBitKernel.build(empty, machine)
+    ref = reference_false_dependence_graph(empty, machine)
+    assert kernel.index.universe == 0
+    assert kernel.et_pairs() == set() == ref.et_pairs
+    assert kernel.ef_pairs() == set() == ref.ef_pairs
+    assert kernel.ef_edge_count() == 0
+
+    single = random_block(RandomBlockConfig(size=1, window=1, seed=0))
+    saw_singleton = False
+    for sg in _region_graphs(single, machine):
+        kernel = DependenceBitKernel.build(sg, machine)
+        ref = reference_false_dependence_graph(sg, machine)
+        n = len(sg.instructions)
+        saw_singleton = saw_singleton or n == 1
+        assert kernel.index.universe == (1 << n) - 1
+        assert kernel.et_pairs() == ref.et_pairs
+        assert kernel.ef_pairs() == ref.ef_pairs
+        if n == 1:
+            # A lone instruction has no pairs of either kind.
+            assert kernel.et_pairs() == set()
+            assert kernel.ef_pairs() == set()
+    assert saw_singleton
 
 
 def test_combo_count_meets_acceptance():

@@ -1,0 +1,101 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+from repro.obs import (
+    Metrics,
+    NULL_METRICS,
+    collecting_metrics,
+    get_metrics,
+    set_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = Metrics()
+        registry.counter("batch.retries").inc()
+        registry.counter("batch.retries").inc(2.5)
+        assert registry.counter("batch.retries").value == 3.5
+
+    def test_instruments_are_interned_by_name(self):
+        registry = Metrics()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("a") is registry.gauge("a")
+        assert registry.histogram("a") is registry.histogram("a")
+        # Kinds intern independently: no cross-kind collision.
+        registry.counter("a").inc()
+        registry.gauge("a").set(9.0)
+        assert registry.counter("a").value == 1.0
+        assert registry.gauge("a").value == 9.0
+
+    def test_gauge_is_last_write_wins(self):
+        registry = Metrics()
+        gauge = registry.gauge("driver.budget_remaining_s")
+        assert gauge.value is None
+        gauge.set(2.0)
+        gauge.set(0.5)
+        assert gauge.value == 0.5
+
+    def test_histogram_summary(self):
+        registry = Metrics()
+        hist = registry.histogram("sched.slot_utilization")
+        for value in (0.25, 0.75, 0.5):
+            hist.observe(value)
+        assert hist.as_dict() == {
+            "count": 3, "sum": 1.5, "min": 0.25, "max": 0.75, "mean": 0.5,
+        }
+
+    def test_empty_histogram_snapshot_is_zeroed(self):
+        assert Metrics().histogram("h").as_dict()["count"] == 0
+
+
+class TestSnapshot:
+    def test_snapshot_is_primitive_and_sorted(self):
+        registry = Metrics()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(3.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a": 2.0, "b": 1.0}
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["gauges"] == {"g": 1.0}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+
+class TestNullRegistry:
+    def test_null_singleton_is_inert_and_shared(self):
+        assert get_metrics() is NULL_METRICS
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.counter("x").inc(100)
+        NULL_METRICS.gauge("x").set(1)
+        NULL_METRICS.histogram("x").observe(1)
+        assert NULL_METRICS.counter("x").value == 0.0
+        assert NULL_METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestInstallation:
+    def test_collecting_metrics_installs_and_restores(self):
+        assert get_metrics() is NULL_METRICS
+        with collecting_metrics() as registry:
+            assert get_metrics() is registry
+            assert registry.enabled is True
+            get_metrics().counter("kernel.builds").inc()
+        assert get_metrics() is NULL_METRICS
+        assert registry.snapshot()["counters"] == {"kernel.builds": 1.0}
+
+    def test_collecting_metrics_disabled_is_a_noop(self):
+        with collecting_metrics(enabled=False) as registry:
+            assert registry is None
+            assert get_metrics() is NULL_METRICS
+
+    def test_set_metrics_returns_previous(self):
+        registry = Metrics()
+        previous = set_metrics(registry)
+        try:
+            assert previous is NULL_METRICS
+            assert get_metrics() is registry
+        finally:
+            assert set_metrics(None) is registry
+        assert get_metrics() is NULL_METRICS

@@ -1,0 +1,167 @@
+"""Tests for the JSONL tracer (repro.obs.trace).
+
+The schema contract: every line a Tracer writes decodes to an event
+that validate_event accepts, and span begin/end pairs balance — the
+exact invariants ``repro stats --check`` enforces in CI.
+"""
+
+import io
+import json
+
+from repro.obs import (
+    NULL_TRACER,
+    TRACE_VERSION,
+    Tracer,
+    check_spans,
+    get_tracer,
+    set_tracer,
+    tracing,
+    validate_event,
+)
+
+
+def emit_everything(tracer):
+    with tracer.span("phase.pig", function="f"):
+        tracer.counter("kernel.ef_edges", 12)
+        tracer.gauge("driver.budget_remaining_s", 0.5)
+    tracer.span_point("phase.color", 0.002, task_id="t1", rung="pinter/bitset")
+    tracer.event("task.done", task_id="t1", status="ok")
+
+
+def written_events(sink):
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestSchema:
+    def test_every_emitted_line_validates(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        emit_everything(tracer)
+        tracer.close()
+        events = written_events(sink)
+        assert len(events) == 6
+        for event in events:
+            assert validate_event(event) is None, event
+
+    def test_event_order_and_fields(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        emit_everything(tracer)
+        events = written_events(sink)
+        assert [e["kind"] for e in events] == [
+            "span_begin", "counter", "gauge", "span_end", "span", "event"
+        ]
+        begin, end = events[0], events[3]
+        assert begin["name"] == end["name"] == "phase.pig"
+        assert begin["span_id"] == end["span_id"]
+        assert end["duration_s"] >= 0
+        assert end["attrs"]["status"] == "ok"
+        assert all(e["v"] == TRACE_VERSION for e in events)
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts) and all(t >= 0 for t in ts)
+
+    def test_spans_balance(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("phase.a"):
+            with tracer.span("phase.b"):
+                pass
+        assert check_spans(written_events(sink)) == []
+
+    def test_error_in_span_body_marks_status_error(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        try:
+            with tracer.span("phase.color"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        end = written_events(sink)[-1]
+        assert end["kind"] == "span_end"
+        assert end["attrs"]["status"] == "error"
+        assert validate_event(end) is None
+
+    def test_non_serializable_attrs_are_stringified(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        tracer.event("task.done", obj=object())
+        event = written_events(sink)[0]
+        assert validate_event(event) is None
+        assert isinstance(event["attrs"]["obj"], str)
+
+
+class TestValidateEvent:
+    def test_rejects_malformed(self):
+        assert validate_event("not an object") is not None
+        assert validate_event({"v": 99}) is not None
+        base = {"v": TRACE_VERSION, "ts": 0.0, "attrs": {}}
+        assert validate_event(dict(base, kind="nope", name="x")) is not None
+        assert validate_event(dict(base, kind="event", name="")) is not None
+        assert validate_event(
+            dict(base, kind="span_begin", name="x")  # no span_id
+        ) is not None
+        assert validate_event(
+            dict(base, kind="span", name="x", duration_s=-1)
+        ) is not None
+        assert validate_event(
+            dict(base, kind="counter", name="x", value="many")
+        ) is not None
+        assert validate_event(
+            dict(base, kind="event", name="x", attrs=[1])
+        ) is not None
+
+    def test_ts_must_not_be_boolean(self):
+        event = {"v": TRACE_VERSION, "kind": "event", "name": "x",
+                 "ts": True, "attrs": {}}
+        assert validate_event(event) is not None
+
+
+class TestNullTracer:
+    def test_null_singleton_is_inert_and_shared(self):
+        assert get_tracer() is NULL_TRACER
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("phase.x"):
+            NULL_TRACER.counter("c", 1)
+            NULL_TRACER.gauge("g", 1)
+            NULL_TRACER.event("e")
+            NULL_TRACER.span_point("s", 0.1)
+        NULL_TRACER.flush()
+        NULL_TRACER.close()  # all no-ops, nothing raised
+
+
+class TestInstallation:
+    def test_tracing_installs_and_restores(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        assert get_tracer() is NULL_TRACER
+        with tracing(path) as tracer:
+            assert get_tracer() is tracer
+            assert tracer.enabled is True
+            get_tracer().event("task.done")
+        assert get_tracer() is NULL_TRACER
+        lines = open(path).read().splitlines()
+        assert len(lines) == 1
+        assert validate_event(json.loads(lines[0])) is None
+
+    def test_tracing_none_is_a_noop(self):
+        with tracing(None) as tracer:
+            assert tracer is NULL_TRACER
+            assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_returns_previous(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        previous = set_tracer(tracer)
+        try:
+            assert previous is NULL_TRACER
+            assert get_tracer() is tracer
+        finally:
+            assert set_tracer(None) is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_every_line_is_flushed_immediately(self, tmp_path):
+        """fork-started workers must never inherit buffered lines, so
+        the tracer flushes per event, not per close."""
+        path = str(tmp_path / "t.jsonl")
+        with tracing(path):
+            get_tracer().event("task.done")
+            assert open(path).read().count("\n") == 1

@@ -232,19 +232,86 @@ class TestResume:
         assert summary.counts["compiled"] == 1
         assert by_id(summary)[tasks[0].task_id].resumed is False
 
-    def test_failed_tasks_resume_as_failed(self, tmp_path):
+    def test_deterministic_failed_tasks_resume_as_failed(self, tmp_path):
+        ledger_path = str(tmp_path / "run.jsonl")
+        tasks = fuzz_tasks(2, seed=15)
+        tasks[0] = CompileTask(
+            task_id=tasks[0].task_id, name=tasks[0].name,
+            text="input a; x = (a +;",  # malformed: fails in the driver
+        )
+        first = runner(ledger_path=ledger_path).run(tasks)
+        assert first.exit_code == EXIT_BATCH_FAILURES
+        assert by_id(first)[tasks[0].task_id].kinds == []
+
+        second = runner(resume_path=ledger_path).run(tasks)
+        assert second.counts["resumed"] == 2
+        assert second.counts["compiled"] == 0
+        # A failure the driver *reported* is deterministic: the
+        # journaled verdict is reused verbatim.
+        assert by_id(second)[tasks[0].task_id].status == "failed"
+        assert second.exit_code == EXIT_BATCH_FAILURES
+
+    def test_worker_level_failed_tasks_recompile_on_resume(self, tmp_path):
         ledger_path = str(tmp_path / "run.jsonl")
         tasks = fuzz_tasks(2, seed=15)
         tasks[0] = tasks[0].with_faults(worker_fault("crash"))
         first = runner(ledger_path=ledger_path).run(tasks)
         assert first.exit_code == EXIT_BATCH_FAILURES
+        assert "crash" in by_id(first)[tasks[0].task_id].kinds
 
-        second = runner(resume_path=ledger_path).run(tasks)
-        assert second.counts["resumed"] == 2
-        assert second.counts["compiled"] == 0
-        # The journaled verdict (including failure) is reused verbatim.
-        assert second.records[0].status == "failed"
-        assert second.exit_code == EXIT_BATCH_FAILURES
+        # The crash may have been transient bad luck — here the fault
+        # is gone on the second run (same digest: faults are not part
+        # of the input), so the resume recompiles the task and it
+        # succeeds.  Skipping it forever was the pre-fix behavior.
+        healed = [
+            CompileTask(task_id=t.task_id, name=t.name, text=t.text)
+            for t in tasks
+        ]
+        second = runner(resume_path=ledger_path).run(healed)
+        assert second.counts["resumed"] == 1
+        assert second.counts["compiled"] == 1
+        rec = by_id(second)[tasks[0].task_id]
+        assert rec.status == "ok"
+        assert rec.resumed is False
+        assert any("resume: retrying failed task" in n for n in rec.notes)
+        assert second.exit_code == EXIT_BATCH_OK
+
+    def test_retry_failed_recompiles_deterministic_failures(self, tmp_path):
+        ledger_path = str(tmp_path / "run.jsonl")
+        tasks = fuzz_tasks(2, seed=15)
+        tasks[0] = CompileTask(
+            task_id=tasks[0].task_id, name=tasks[0].name,
+            text="input a; x = (a +;",
+        )
+        runner(ledger_path=ledger_path).run(tasks)
+
+        second = runner(resume_path=ledger_path, retry_failed=True).run(tasks)
+        assert second.counts["resumed"] == 1
+        assert second.counts["compiled"] == 1
+        rec = by_id(second)[tasks[0].task_id]
+        assert rec.status == "failed"  # still deterministic, still fails
+        assert any("--retry-failed" in n for n in rec.notes)
+
+
+class TestLedgerStamps:
+    def test_finished_at_derived_from_one_wall_base(self, tmp_path):
+        """Stamps come from one per-batch wall base plus monotonic
+        offsets: they sit inside the batch's wall window and never run
+        backwards, even though ledger rows settle concurrently."""
+        ledger_path = str(tmp_path / "run.jsonl")
+        tasks = fuzz_tasks(4, seed=3)
+        before = time.time()
+        runner(ledger_path=ledger_path, max_workers=2).run(tasks)
+        after = time.time()
+
+        stamps = []
+        with open(ledger_path) as handle:
+            for line in handle:
+                stamps.append(json.loads(line)["finished_at"])
+        assert len(stamps) == 4
+        assert all(isinstance(s, float) for s in stamps)
+        assert stamps == sorted(stamps)
+        assert before <= stamps[0] <= stamps[-1] <= after
 
 
 class TestSigintDrainAndResume:

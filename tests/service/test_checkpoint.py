@@ -84,3 +84,39 @@ class TestReusability:
     def test_non_terminal_or_missing_is_not_reusable(self):
         assert not RunLedger.is_reusable(entry("a", status="pending"), "d0")
         assert not RunLedger.is_reusable(None, "d0")
+
+    @pytest.mark.parametrize(
+        "kind", ["timeout", "crash", "worker-exception"]
+    )
+    def test_worker_level_failure_is_never_reusable(self, kind):
+        """A failed record whose kinds carry a worker-level failure may
+        have been transient: resume must recompile it, not skip it
+        forever (the pre-fix behavior)."""
+        record = entry("a", status="failed", kinds=["crash", kind])
+        assert not RunLedger.is_reusable(record, "d0")
+
+    def test_deterministic_failure_is_reusable_by_default(self):
+        record = entry("a", status="failed", kinds=[])
+        assert RunLedger.is_reusable(record, "d0")
+
+    def test_retry_failed_recompiles_every_failure(self):
+        deterministic = entry("a", status="failed", kinds=[])
+        assert not RunLedger.is_reusable(
+            deterministic, "d0", retry_failed=True
+        )
+        # ...but leaves successful records alone.
+        assert RunLedger.is_reusable(entry("a"), "d0", retry_failed=True)
+        assert RunLedger.is_reusable(
+            entry("a", status="degraded"), "d0", retry_failed=True
+        )
+
+
+class TestDurability:
+    def test_non_ascii_payload_roundtrips(self, tmp_path):
+        """Both sides open with explicit UTF-8 — a non-ASCII message
+        cannot depend on the platform's locale encoding."""
+        path = str(tmp_path / "run.jsonl")
+        with RunLedger(path) as ledger:
+            ledger.record(entry("a", message="métrique ✓"))
+        assert RunLedger.load(path)["a"]["message"] == \
+            "métrique ✓"

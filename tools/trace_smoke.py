@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Observability smoke: the `make trace-smoke` / CI entry point.
+
+Exercises the tracing pipeline end to end in a few seconds:
+
+1. a traced fuzz batch (`--trace run-trace.jsonl --metrics`) exits 0
+   and folds its metrics snapshot into the JSON summary;
+2. `repro stats --json --check` accepts the trace (every line
+   validates, every span balances) and aggregates non-empty per-phase
+   and per-rung tables covering every task;
+3. the text renderer prints both tables;
+4. a trace with a torn final line still aggregates (tolerant by
+   default) but fails under `--check`.
+
+Run:  PYTHONPATH=src python tools/trace_smoke.py
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+
+N_TASKS = 20
+
+
+def run_repro(*args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    return subprocess.run(
+        [sys.executable, "-m", "repro"] + list(args),
+        env=env, cwd=cwd, capture_output=True, text=True,
+    )
+
+
+def expect(condition, what):
+    if not condition:
+        raise SystemExit("trace-smoke FAILED: {}".format(what))
+    print("  ok: {}".format(what))
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="trace-smoke-")
+    try:
+        trace = os.path.join(workdir, "run-trace.jsonl")
+
+        print("[1/4] traced fuzz batch")
+        proc = run_repro(
+            "batch", "--fuzz", str(N_TASKS), "--trace", trace,
+            "--metrics", "--json-summary", cwd=workdir,
+        )
+        expect(proc.returncode == 0,
+               "traced batch exits 0 (stderr: %r)" % proc.stderr[-300:])
+        summary = json.loads(proc.stdout)
+        expect(summary["counts"]["ok"] + summary["counts"]["degraded"]
+               == N_TASKS, "all {} tasks succeeded".format(N_TASKS))
+        expect(summary["metrics"]["counters"].get("batch.dispatches", 0)
+               >= N_TASKS, "metrics snapshot folded into the summary")
+
+        print("[2/4] stats --json --check accepts and aggregates")
+        proc = run_repro("stats", trace, "--json", "--check", cwd=workdir)
+        expect(proc.returncode == 0,
+               "stats --check exits 0 (stderr: %r)" % proc.stderr[-300:])
+        stats = json.loads(proc.stdout)
+        expect(stats["invalid_lines"] == [], "every trace line validates")
+        expect(stats["span_problems"] == [], "every span balances")
+        expect(len(stats["phases"]) >= 5,
+               "per-phase rows are non-empty ({} phases)".format(
+                   len(stats["phases"])))
+        expect(all(row["count"] >= N_TASKS
+                   for row in stats["phases"].values()),
+               "every phase row covers every task")
+        rung_tasks = sum(r["tasks"] for r in stats["rungs"].values())
+        expect(stats["rungs"] and rung_tasks == N_TASKS,
+               "per-rung rows cover all {} tasks".format(N_TASKS))
+
+        print("[3/4] text renderer prints both tables")
+        proc = run_repro("stats", trace, cwd=workdir)
+        expect(proc.returncode == 0, "text stats exits 0")
+        expect("per-phase:" in proc.stdout and "per-rung:" in proc.stdout,
+               "both tables rendered")
+
+        print("[4/4] torn final line: tolerant without --check, not with")
+        with open(trace, "a") as handle:
+            handle.write('{"v": 1, "kind": "counter", "na')
+        proc = run_repro("stats", trace, cwd=workdir)
+        expect(proc.returncode == 0, "torn trace still aggregates")
+        proc = run_repro("stats", trace, "--check", cwd=workdir)
+        expect(proc.returncode == 1, "torn trace fails --check")
+
+        print("trace-smoke PASSED")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()
