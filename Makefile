@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test bench bench-check bench-pytest batch-smoke trace-smoke obs-overhead figures examples ci all clean
+.PHONY: install test bench bench-check bench-batch bench-batch-check bench-pytest batch-smoke pool-smoke trace-smoke obs-overhead figures examples ci all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,9 +14,21 @@ bench:
 	PYTHONPATH=src python tools/bench_run.py -o BENCH_current.json
 
 # Regenerate timings and fail on >20% wall-time regression vs the
-# committed baseline.
+# newest committed BENCH_pr*.json with matching rows ('auto').
 bench-check: bench
-	PYTHONPATH=src python tools/bench_compare.py BENCH_pr1.json BENCH_current.json
+	PYTHONPATH=src python tools/bench_compare.py auto BENCH_current.json
+
+# Time the batch transports (fork-per-task vs warm pool vs compile
+# cache).  The committed baseline is BENCH_pr5.json.
+bench-batch:
+	PYTHONPATH=src python tools/bench_batch.py -o BENCH_batch_current.json
+
+# Machine-independent throughput floors on a fresh run: the warm pool
+# must stay >= 2x fork-per-task and the warm cache >= 10x a cold pool.
+bench-batch-check: bench-batch
+	PYTHONPATH=src python tools/bench_compare.py none BENCH_batch_current.json \
+		--ratio-max batch-fuzz-200:pool_cold/fork_cold=0.5 \
+		--ratio-max batch-fuzz-200:pool_warm_cache/pool_cold=0.1
 
 # The pytest-benchmark microbenchmarks (the old `make bench`).
 bench-pytest:
@@ -27,6 +39,12 @@ bench-pytest:
 # the invalid-manifest contract (exit 2).
 batch-smoke:
 	PYTHONPATH=src python tools/batch_smoke.py
+
+# End-to-end smoke of the warm worker pool + compile cache: a 200-task
+# fuzz batch compiles cold (with worker recycling), resumes with zero
+# recompiles, and replays warm from the on-disk cache.
+pool-smoke:
+	PYTHONPATH=src python tools/pool_smoke.py
 
 # End-to-end smoke of the observability layer: a traced fuzz batch
 # must produce a schema-clean, balanced trace whose `repro stats`
@@ -67,8 +85,10 @@ ci:
 	PYTHONPATH=src python -m repro bench --sizes 8 --repeats 1 --phases pig_construction
 	PYTHONPATH=src python -m repro bench --sizes 0; test $$? -eq 2
 	PYTHONPATH=src python tools/batch_smoke.py
+	PYTHONPATH=src python tools/pool_smoke.py
 	PYTHONPATH=src python tools/trace_smoke.py
 	$(MAKE) obs-overhead
+	$(MAKE) bench-batch-check
 
 all: test bench-check examples
 
@@ -76,3 +96,4 @@ clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
 	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info
 	rm -f BENCH_current.json BENCH_obs_off.json BENCH_obs_on.json
+	rm -f BENCH_batch_current.json

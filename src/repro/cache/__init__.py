@@ -1,0 +1,21 @@
+"""Content-addressed compile cache.
+
+Public surface of the ``repro.cache`` package: build keys
+(:func:`compile_cache_key`, :class:`CacheKey`) and hold results
+(:class:`CompileCache` — in-memory LRU plus optional on-disk store).
+The batch runner consults it before dispatching a worker and populates
+it from clean successes, so warm reruns skip compilation entirely;
+``repro batch --cache/--cache-dir`` wires it up at the CLI.
+"""
+
+from repro.cache.keys import CacheKey, compile_cache_key, machine_fingerprint
+from repro.cache.store import CACHE_VERSION, CompileCache, DEFAULT_CAPACITY
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheKey",
+    "CompileCache",
+    "DEFAULT_CAPACITY",
+    "compile_cache_key",
+    "machine_fingerprint",
+]

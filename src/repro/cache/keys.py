@@ -1,0 +1,86 @@
+"""Content-addressed cache keys for compile results.
+
+A compile result is reusable only when *everything* that could change
+it is identical.  :class:`CacheKey` therefore captures five
+components:
+
+* ``input_digest`` — sha256 of (is_ir, name, text), the same digest
+  the run ledger keys resume on (:func:`repro.utils.digest.
+  input_digest`);
+* ``machine`` — the machine-preset fingerprint: preset name plus the
+  effective register-count override (presets are code, so code changes
+  are covered by ``version``);
+* ``strategy`` — the phase-ordering strategy that would run;
+* ``config`` — the :meth:`DriverConfig fingerprint <repro.pipeline.
+  driver.DriverConfig.fingerprint>`: any knob change (strict,
+  paranoid, budgets, engine, …) is a different key;
+* ``version`` — ``repro.__version__``, so a release that changes
+  codegen can never replay a stale result.
+
+The key's :meth:`~CacheKey.digest` is the content address: a sha256
+over the canonical JSON of the components.  The on-disk store embeds
+the components next to each entry and verifies them on load, so even
+a (vanishingly unlikely) digest collision or a mangled store degrades
+to a cache miss, never to a wrong compile.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+import repro
+from repro.utils.digest import input_digest
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """The identity of one cached compile result."""
+
+    input_digest: str
+    machine: str
+    strategy: str
+    config: str
+    version: str
+
+    def digest(self) -> str:
+        """The content address: sha256 over the canonical JSON of the
+        components (sorted keys, no whitespace ambiguity)."""
+        canonical = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def as_dict(self) -> Dict[str, str]:
+        return asdict(self)
+
+
+def machine_fingerprint(machine: str, registers: Optional[int]) -> str:
+    """Preset name plus the effective register override — the two
+    inputs a worker uses to rebuild its machine model."""
+    return "{}/r={}".format(
+        machine, "default" if registers is None else registers
+    )
+
+
+def compile_cache_key(
+    name: str,
+    text: str,
+    is_ir: bool,
+    machine: str,
+    registers: Optional[int],
+    config,
+    strategy: str = "pinter",
+) -> CacheKey:
+    """Build the :class:`CacheKey` for one compile attempt.
+
+    *config* is a :class:`~repro.pipeline.driver.DriverConfig` (or
+    anything with a compatible ``fingerprint()``).
+    """
+    return CacheKey(
+        input_digest=input_digest(name, text, is_ir),
+        machine=machine_fingerprint(machine, registers),
+        strategy=strategy,
+        config=config.fingerprint(),
+        version=repro.__version__,
+    )

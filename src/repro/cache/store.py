@@ -1,0 +1,249 @@
+"""The compile cache: in-memory LRU in front of an on-disk store.
+
+:class:`CompileCache` maps a :class:`~repro.cache.keys.CacheKey` to
+the worker-result dict of a *successful* compile (the same validated
+shape :func:`repro.service.worker.validate_result` accepts), so a
+batch rerun can finalize a task without dispatching a worker at all.
+
+Two tiers:
+
+* **memory** — an LRU of up to ``capacity`` entries (an
+  ``OrderedDict`` in recency order); hits are free, eviction is
+  strictly least-recently-used.
+* **disk** (optional) — one JSON file per entry under
+  ``directory/<aa>/<digest>.json`` where ``aa`` is the first byte of
+  the key digest (keeps directories small).  Writes are atomic
+  (``os.replace`` of a same-directory temp file), so a crash mid-write
+  leaves either the old entry or none.  Disk hits are promoted into
+  the memory tier.
+
+Poisoning resistance — the cache **refuses** at both ends:
+
+* :meth:`~CompileCache.put` only accepts results whose
+  ``status == "ok"`` and ``exit_code == 0``; failed, degraded,
+  worker-exception, or malformed results are never stored (a degraded
+  result depends on which ladder rung happened to fire — replaying it
+  would freeze an environmental accident into a permanent answer).
+* :meth:`~CompileCache.get` re-validates everything it reads: a
+  truncated/corrupt file, a schema mismatch, or embedded key
+  components that do not match the requested key (collision or
+  tampering) all degrade to a **miss** — the entry is deleted
+  best-effort and the task simply recompiles.
+
+Every lookup/store emits ``cache.*`` counters via :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.cache.keys import CacheKey
+from repro.obs import get_metrics, get_tracer
+from repro.utils.errors import InputError
+
+#: On-disk entry schema version (a mismatch is a miss).
+CACHE_VERSION = 1
+
+#: Default memory-tier capacity (entries).
+DEFAULT_CAPACITY = 512
+
+
+def _is_cacheable(result: Dict[str, object]) -> bool:
+    """Only a clean, well-formed success may enter the cache."""
+    if not isinstance(result, dict):
+        return False
+    if result.get("status") != "ok" or result.get("exit_code") != 0:
+        return False
+    if not isinstance(result.get("report"), dict):
+        return False
+    return True
+
+
+class CompileCache:
+    """Content-addressed compile-result cache (memory LRU + disk).
+
+    Args:
+        capacity: Memory-tier LRU bound (>= 1).
+        directory: On-disk store root; None keeps the cache purely
+            in-memory (still useful for duplicate inputs inside one
+            batch).  Created on first use.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        directory: Optional[str] = None,
+    ) -> None:
+        if capacity < 1:
+            raise InputError(
+                "cache capacity must be >= 1, got {}".format(capacity)
+            )
+        self.capacity = capacity
+        self.directory = directory
+        self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self.stats: Dict[str, int] = {
+            "hits_memory": 0,
+            "hits_disk": 0,
+            "misses": 0,
+            "stores": 0,
+            "rejected": 0,
+            "evictions": 0,
+            "corrupt": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, key: CacheKey) -> Optional[Dict[str, object]]:
+        """The cached result for *key*, or None.  Any defect along the
+        way — missing entry, corrupt file, key mismatch — is a miss."""
+        digest = key.digest()
+        entry = self._memory.get(digest)
+        if entry is not None:
+            self._memory.move_to_end(digest)
+            self.stats["hits_memory"] += 1
+            self._note("hit.memory", key)
+            # Deep copy: a caller mutating its result (even a nested
+            # dict) must never corrupt the cached entry.
+            return copy.deepcopy(entry)
+        entry = self._disk_get(digest, key)
+        if entry is not None:
+            self._remember(digest, entry)
+            self.stats["hits_disk"] += 1
+            self._note("hit.disk", key)
+            return copy.deepcopy(entry)
+        self.stats["misses"] += 1
+        self._note("miss", key)
+        return None
+
+    # ------------------------------------------------------------------
+    # Store
+    # ------------------------------------------------------------------
+
+    def put(self, key: CacheKey, result: Dict[str, object]) -> bool:
+        """Store a successful result; returns False (and stores
+        nothing) for anything that is not a clean success."""
+        if not _is_cacheable(result):
+            self.stats["rejected"] += 1
+            self._note("reject", key)
+            return False
+        digest = key.digest()
+        entry = copy.deepcopy(result)
+        self._remember(digest, entry)
+        if self.directory is not None:
+            self._disk_put(digest, key, entry)
+        self.stats["stores"] += 1
+        self._note("store", key)
+        return True
+
+    # ------------------------------------------------------------------
+    # Memory tier
+    # ------------------------------------------------------------------
+
+    def _remember(self, digest: str, entry: Dict[str, object]) -> None:
+        self._memory[digest] = entry
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats["evictions"] += 1
+            get_metrics().counter("cache.evictions").inc()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+
+    def _entry_path(self, digest: str) -> str:
+        return os.path.join(self.directory, digest[:2], digest + ".json")
+
+    def _disk_get(
+        self, digest: str, key: CacheKey
+    ) -> Optional[Dict[str, object]]:
+        if self.directory is None:
+            return None
+        path = self._entry_path(digest)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError:
+            return None
+        except ValueError:
+            self._quarantine(path)
+            return None
+        if not isinstance(document, dict) \
+                or document.get("v") != CACHE_VERSION \
+                or document.get("key") != key.as_dict() \
+                or not _is_cacheable(document.get("result")):
+            self._quarantine(path)
+            return None
+        return document["result"]
+
+    def _disk_put(
+        self, digest: str, key: CacheKey, entry: Dict[str, object]
+    ) -> None:
+        """Atomic same-directory write; I/O trouble (full disk,
+        permissions) silently skips persistence — the memory tier
+        still has the entry and correctness never depends on disk."""
+        path = self._entry_path(digest)
+        document = {"v": CACHE_VERSION, "key": key.as_dict(), "result": entry}
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(document, handle, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            get_metrics().counter("cache.disk_errors").inc()
+
+    def _quarantine(self, path: str) -> None:
+        """A corrupt or mismatched entry degrades to a miss; remove it
+        best-effort so it cannot waste another parse."""
+        self.stats["corrupt"] += 1
+        get_metrics().counter("cache.corrupt_entries").inc()
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover
+            pass
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    #: event name → metrics counter
+    _COUNTERS = {
+        "hit.memory": "cache.hits",
+        "hit.disk": "cache.hits",
+        "miss": "cache.misses",
+        "store": "cache.stores",
+        "reject": "cache.rejects",
+    }
+
+    def _note(self, what: str, key: CacheKey) -> None:
+        get_metrics().counter(self._COUNTERS[what]).inc()
+        get_tracer().event(
+            "cache.{}".format(what), input=key.input_digest[:12]
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters plus tier occupancy, for summaries and tests."""
+        data = dict(self.stats)
+        data["memory_entries"] = len(self._memory)
+        data["hits"] = self.stats["hits_memory"] + self.stats["hits_disk"]
+        return data

@@ -11,6 +11,8 @@
     python -m repro batch manifest.txt --max-workers 8 --resume run.jsonl
     python -m repro batch --fuzz 50 --task-timeout 10 --json-summary
     python -m repro batch --fuzz 50 --trace run-trace.jsonl --metrics
+    python -m repro batch --fuzz 50 --cache-dir .repro-cache --ledger r.jsonl
+    python -m repro batch manifest.txt --no-pool --no-cache
     python -m repro stats run-trace.jsonl --check
 
 ``compile`` accepts either frontend source (default) or textual IR
@@ -295,6 +297,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
     else:
         tasks = load_manifest(args.manifest)
 
+    # --cache is three-state: explicit on, explicit off, or implied on
+    # by --cache-dir (a directory without caching makes no sense).
+    cache = None
+    if args.cache or (args.cache is None and args.cache_dir):
+        from repro.cache import CompileCache
+
+        cache = CompileCache(directory=args.cache_dir)
+
     config = DriverConfig(
         strict=args.strict,
         paranoid=args.paranoid,
@@ -317,6 +327,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
         resume_path=args.resume,
         recheck_degraded=args.recheck_degraded,
         retry_failed=args.retry_failed,
+        use_pool=args.pool,
+        max_tasks_per_worker=args.max_tasks_per_worker,
+        cache=cache,
     )
 
     total = len(tasks)
@@ -326,7 +339,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
         if args.json_summary:
             return
         settled[0] += 1
-        extra = " (resumed)" if rec.resumed else ""
+        extra = " (resumed)" if rec.resumed \
+            else " (cached)" if rec.cached else ""
         detail = ""
         if rec.status == "failed" and rec.message:
             detail = " - {}".format(rec.message)
@@ -343,6 +357,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
         )
     if args.json_summary:
         document = summary.as_dict()
+        if cache is not None:
+            document["cache"] = cache.snapshot()
         if registry is not None:
             document["metrics"] = registry.snapshot()
         print(json.dumps(document, indent=2))
@@ -351,9 +367,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
         counts = summary.counts
         print(
             "batch: {} task(s): {} ok, {} degraded, {} failed, "
-            "{} resumed{}".format(
+            "{} resumed{}{}".format(
                 counts["total"], counts["ok"], counts["degraded"],
                 counts["failed"], counts["resumed"],
+                ", {} cached".format(counts["cached"])
+                if cache is not None else "",
                 " [interrupted - resume with the ledger to finish]"
                 if summary.interrupted else "",
             )
@@ -595,6 +613,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--task-timeout", type=float, default=30.0, metavar="SECONDS",
         help="hard wall-clock limit per attempt; overdue workers are "
         "killed (SIGTERM then SIGKILL)",
+    )
+    p_batch.add_argument(
+        "--pool", dest="pool", action="store_true", default=True,
+        help="dispatch to a persistent warm worker pool (default): "
+        "workers import the pipeline once and serve many tasks",
+    )
+    p_batch.add_argument(
+        "--no-pool", dest="pool", action="store_false",
+        help="fork one worker process per attempt (the PR-4 transport)",
+    )
+    p_batch.add_argument(
+        "--max-tasks-per-worker", type=int, default=256, metavar="N",
+        help="recycle a pool worker after N served tasks (leak hygiene)",
+    )
+    p_batch.add_argument(
+        "--cache", dest="cache", action="store_true", default=None,
+        help="reuse cached results for identical (source, machine, "
+        "config, version) compiles; in-memory unless --cache-dir",
+    )
+    p_batch.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="never consult or populate the compile cache",
+    )
+    p_batch.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist the compile cache here (implies --cache); warm "
+        "re-runs skip compilation entirely",
     )
     p_batch.add_argument(
         "--retries", type=int, default=2, metavar="R",

@@ -249,6 +249,22 @@ class DriverConfig:
     max_spill_rounds: int = 12
     engine: str = "bitset"
 
+    def fingerprint(self) -> str:
+        """sha256 over the canonical JSON of every knob.
+
+        The compile cache folds this into its content-addressed key:
+        two compiles may share a cached result only when *every*
+        driver knob matches — a different engine, budget, or ladder
+        mode is a different key.  Fields added to this dataclass are
+        covered automatically.
+        """
+        import dataclasses
+        import hashlib
+        import json
+
+        canonical = json.dumps(dataclasses.asdict(self), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
 
 @dataclass
 class DriverResult:

@@ -2,8 +2,9 @@
 
 Public surface of the ``repro.service`` package: build tasks
 (:func:`load_manifest`, :func:`fuzz_tasks`), run them on isolated
-workers with retry/circuit/checkpoint policy (:class:`BatchRunner`),
-or run a single isolated attempt (:func:`run_one`).
+workers with retry/circuit/checkpoint policy (:class:`BatchRunner`) —
+per-attempt fork workers or a persistent :class:`WorkerPool` — or run
+a single isolated attempt (:func:`run_one`).
 """
 
 from repro.service.batch import (
@@ -19,6 +20,12 @@ from repro.service.batch import (
 from repro.service.checkpoint import RunLedger, TERMINAL_STATUSES
 from repro.service.circuit import CircuitBreaker
 from repro.service.manifest import CompileTask, fuzz_tasks, load_manifest
+from repro.service.pool import (
+    DEFAULT_IDLE_TIMEOUT,
+    DEFAULT_MAX_TASKS_PER_WORKER,
+    PoolHandle,
+    WorkerPool,
+)
 from repro.service.worker import WorkerOutcome, run_one
 
 __all__ = [
@@ -26,15 +33,19 @@ __all__ = [
     "BatchSummary",
     "CircuitBreaker",
     "CompileTask",
+    "DEFAULT_IDLE_TIMEOUT",
+    "DEFAULT_MAX_TASKS_PER_WORKER",
     "EXIT_BATCH_FAILURES",
     "EXIT_BATCH_INPUT",
     "EXIT_BATCH_INTERRUPTED",
     "EXIT_BATCH_OK",
+    "PoolHandle",
     "RetryPolicy",
     "RunLedger",
     "TERMINAL_STATUSES",
     "TaskRecord",
     "WorkerOutcome",
+    "WorkerPool",
     "fuzz_tasks",
     "load_manifest",
     "run_one",

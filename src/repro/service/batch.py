@@ -46,20 +46,27 @@ from dataclasses import dataclass, field, replace
 from multiprocessing.connection import wait as _mp_wait
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.cache import CompileCache, compile_cache_key
 from repro.machine.presets import ALL_PRESETS
 from repro.obs import get_metrics, get_tracer
 from repro.pipeline.driver import DriverConfig
 from repro.service.checkpoint import RunLedger
 from repro.service.circuit import CircuitBreaker
 from repro.service.manifest import CompileTask
+from repro.service.pool import (
+    DEFAULT_IDLE_TIMEOUT,
+    DEFAULT_MAX_TASKS_PER_WORKER,
+    PoolHandle,
+    WorkerPool,
+)
 from repro.service.worker import (
-    WorkerHandle,
     WorkerOutcome,
     _kill,
     build_payload,
     reap_worker,
     start_worker,
 )
+from repro.utils import faults
 from repro.utils.errors import InputError
 
 #: Batch process exit codes (``repro batch`` contract).
@@ -151,6 +158,7 @@ class TaskRecord:
     rung: str = ""
     kinds: List[str] = field(default_factory=list)
     resumed: bool = False
+    cached: bool = False
     message: str = ""
     metrics: Optional[Dict[str, object]] = None
     notes: List[str] = field(default_factory=list)
@@ -177,6 +185,20 @@ class TaskRecord:
         self.message = str(prior.get("message", ""))
         metrics = prior.get("metrics")
         self.metrics = metrics if isinstance(metrics, dict) else None
+
+    def adopt_cached(self, result: Dict[str, object]) -> None:
+        """Finalize straight from a compile-cache hit: no worker was
+        dispatched, so attempts stay 0 and no pid is recorded.  Only
+        clean successes enter the cache, so *result* is an ``ok``."""
+        self.cached = True
+        self.status = str(result.get("status", "ok"))
+        exit_code = result.get("exit_code", 0)
+        self.exit_code = exit_code if isinstance(exit_code, int) else 0
+        self.rung = "cache"
+        metrics = result.get("metrics")
+        self.metrics = metrics if isinstance(metrics, dict) else None
+        self.message = "compile cache hit"
+        self.notes.append("result served from the compile cache")
 
     def finalize(
         self,
@@ -211,6 +233,7 @@ class TaskRecord:
             "rung": self.rung,
             "kinds": list(self.kinds),
             "resumed": self.resumed,
+            "cached": self.cached,
             "duration_s": round(self.duration_s, 6),
             "message": self.message,
             "metrics": self.metrics,
@@ -239,12 +262,14 @@ class BatchSummary:
         counts = {
             "total": len(self.records),
             "ok": 0, "degraded": 0, "failed": 0, "pending": 0,
-            "resumed": 0, "compiled": 0,
+            "resumed": 0, "cached": 0, "compiled": 0,
         }
         for rec in self.records:
             counts[rec.status] = counts.get(rec.status, 0) + 1
             if rec.resumed:
                 counts["resumed"] += 1
+            elif rec.cached:
+                counts["cached"] += 1
             elif rec.terminal:
                 counts["compiled"] += 1
         return counts
@@ -306,6 +331,19 @@ class BatchRunner:
             policy): a clean strict run upgrades the task to ``ok``,
             anything else keeps the degraded result.
         kill_grace: SIGTERM→SIGKILL grace for overdue workers, seconds.
+        use_pool: Dispatch attempts to a persistent
+            :class:`~repro.service.pool.WorkerPool` instead of forking
+            one process per attempt.  Containment, retry, circuit, and
+            ledger semantics are identical — only the transport (and
+            the per-task overhead) changes.  The CLI defaults this on;
+            the library default stays off so embedders opt in.
+        max_tasks_per_worker: Pool recycling bound (pool mode only).
+        worker_idle_timeout: Pool idle recycle, seconds (pool mode
+            only; None disables).
+        cache: Optional :class:`~repro.cache.CompileCache` consulted
+            before dispatch and populated from clean primary-rung
+            successes.  Tasks (or batches) with armed faults bypass it
+            entirely, in both directions.
     """
 
     def __init__(
@@ -322,6 +360,10 @@ class BatchRunner:
         recheck_degraded: bool = False,
         retry_failed: bool = False,
         kill_grace: float = 0.5,
+        use_pool: bool = False,
+        max_tasks_per_worker: Optional[int] = DEFAULT_MAX_TASKS_PER_WORKER,
+        worker_idle_timeout: Optional[float] = DEFAULT_IDLE_TIMEOUT,
+        cache: Optional[CompileCache] = None,
     ) -> None:
         if machine not in ALL_PRESETS:
             raise InputError(
@@ -351,6 +393,11 @@ class BatchRunner:
         self.recheck_degraded = recheck_degraded
         self.retry_failed = retry_failed
         self.kill_grace = kill_grace
+        self.use_pool = use_pool
+        self.max_tasks_per_worker = max_tasks_per_worker
+        self.worker_idle_timeout = worker_idle_timeout
+        self.cache = cache
+        self._pool: Optional[WorkerPool] = None
         self._stop = False
         self._wall_base = 0.0
         self._mono_base = 0.0
@@ -393,6 +440,32 @@ class BatchRunner:
         return key
 
     # ------------------------------------------------------------------
+    # Compile cache
+    # ------------------------------------------------------------------
+
+    def _cache_key(self, task: CompileTask):
+        return compile_cache_key(
+            name=task.name,
+            text=task.text,
+            is_ir=task.is_ir,
+            machine=self.machine,
+            registers=self.registers,
+            config=self.config,
+        )
+
+    def _cache_lookup(
+        self, task: CompileTask
+    ) -> Optional[Dict[str, object]]:
+        """The cached result for *task*, or None.  Fault-armed runs
+        (per-task specs or parent-armed globals) bypass the cache —
+        a fault's whole purpose is to exercise the real transport."""
+        if self.cache is None:
+            return None
+        if task.faults or faults.active_specs():
+            return None
+        return self.cache.get(self._cache_key(task))
+
+    # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
 
@@ -425,6 +498,7 @@ class BatchRunner:
         resume_entries = (
             RunLedger.load(self.resume_path) if self.resume_path else {}
         )
+        ledger = RunLedger(self.ledger_path) if self.ledger_path else None
         records: Dict[str, TaskRecord] = {}
         pending: Deque[_Attempt] = deque()
         for task in tasks:
@@ -475,12 +549,24 @@ class BatchRunner:
                         reason=reason,
                     )
                     get_metrics().counter("batch.resume_retries").inc()
+                cached = self._cache_lookup(task)
+                if cached is not None:
+                    rec.adopt_cached(cached)
+                    get_metrics().counter("batch.tasks.cache_hits").inc()
+                    self._settle(rec, ledger, progress)
+                    continue
                 pending.append(_Attempt(task=task, number=1))
 
-        ledger = RunLedger(self.ledger_path) if self.ledger_path else None
-        in_flight: List[WorkerHandle] = []
+        in_flight: List[object] = []
         delayed: List[Tuple[float, _Attempt]] = []
         self._stop = False
+        if self.use_pool:
+            self._pool = WorkerPool(
+                size=self.max_workers,
+                kill_grace=self.kill_grace,
+                max_tasks_per_worker=self.max_tasks_per_worker,
+                idle_timeout=self.worker_idle_timeout,
+            )
         try:
             with self._signal_guard(install_signal_handlers), \
                     tracer.span("batch.run", tasks=len(tasks)):
@@ -493,6 +579,8 @@ class BatchRunner:
                         delayed = []
                         if not in_flight:
                             break
+                    if self._pool is not None:
+                        self._pool.maintain(now)
                     due = [a for t, a in delayed if t <= now]
                     delayed = [(t, a) for t, a in delayed if t > now]
                     pending.extend(due)
@@ -508,33 +596,33 @@ class BatchRunner:
                     horizon = min(handle.deadline for handle in in_flight)
                     timeout = max(0.01, min(0.2, horizon - time.monotonic()))
                     _mp_wait(
-                        [handle.sentinel for handle in in_flight],
+                        [self._waitable(handle) for handle in in_flight],
                         timeout=timeout,
                     )
                     now = time.monotonic()
                     done = [
                         handle for handle in in_flight
-                        if not handle.process.is_alive()
-                        or now >= handle.deadline
+                        if self._handle_done(handle, now)
                     ]
                     for handle in done:
                         in_flight.remove(handle)
-                        outcome = reap_worker(
-                            handle,
-                            timed_out=handle.process.is_alive(),
-                            kill_grace=self.kill_grace,
-                        )
+                        outcome = self._collect(handle)
                         self._absorb(
                             handle, outcome, records, delayed, ledger,
                             progress,
                         )
         finally:
             for handle in in_flight:  # exception safety net
+                if isinstance(handle, PoolHandle):
+                    continue  # pool shutdown below reaps these workers
                 try:
                     _kill(handle.process, 0.1)
                     handle.conn.close()
                 except OSError:  # pragma: no cover
                     pass
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
             if ledger is not None:
                 ledger.close()
 
@@ -553,6 +641,34 @@ class BatchRunner:
         return summary
 
     # ------------------------------------------------------------------
+    # Transport adapters (fork-per-task vs pool)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _waitable(handle):
+        """What ``multiprocessing.connection.wait`` should block on:
+        the process sentinel (fork transport — readable at exit) or the
+        result pipe (pool — readable at result arrival *or* EOF)."""
+        if isinstance(handle, PoolHandle):
+            return handle.waitable
+        return handle.sentinel
+
+    @staticmethod
+    def _handle_done(handle, now: float) -> bool:
+        if isinstance(handle, PoolHandle):
+            return handle.is_done(now)
+        return not handle.process.is_alive() or now >= handle.deadline
+
+    def _collect(self, handle) -> WorkerOutcome:
+        if isinstance(handle, PoolHandle):
+            return self._pool.collect(handle)
+        return reap_worker(
+            handle,
+            timed_out=handle.process.is_alive(),
+            kill_grace=self.kill_grace,
+        )
+
+    # ------------------------------------------------------------------
     # Dispatch / outcome handling
     # ------------------------------------------------------------------
 
@@ -560,7 +676,7 @@ class BatchRunner:
         self,
         attempt: _Attempt,
         records: Dict[str, TaskRecord],
-        in_flight: List[WorkerHandle],
+        in_flight: List[object],
     ) -> None:
         rec = records[attempt.task.task_id]
         if (
@@ -578,13 +694,22 @@ class BatchRunner:
         payload = build_payload(
             attempt.task, self.machine, self.registers, config
         )
-        handle = start_worker(
-            attempt.task,
-            payload,
-            self.task_timeout,
-            attempt=attempt.number,
-            rung=attempt.rung,
-        )
+        if self._pool is not None:
+            handle = self._pool.dispatch(
+                attempt.task,
+                payload,
+                self.task_timeout,
+                attempt=attempt.number,
+                rung=attempt.rung,
+            )
+        else:
+            handle = start_worker(
+                attempt.task,
+                payload,
+                self.task_timeout,
+                attempt=attempt.number,
+                rung=attempt.rung,
+            )
         rec.attempts += 1
         rec.pids.append(handle.pid)
         rec.rung = self._breaker_key(attempt.rung)
@@ -626,7 +751,7 @@ class BatchRunner:
 
     def _absorb(
         self,
-        handle: WorkerHandle,
+        handle,
         outcome: WorkerOutcome,
         records: Dict[str, TaskRecord],
         delayed: List[Tuple[float, _Attempt]],
@@ -669,6 +794,15 @@ class BatchRunner:
             completed_ok = result["exit_code"] == 0
             if completed_ok:
                 self.breaker.record_success(key)
+                if (
+                    self.cache is not None
+                    and result["status"] == "ok"
+                    and handle.rung == PRIMARY_RUNG
+                    and not handle.payload.get("faults")
+                ):
+                    # Only a clean primary-rung success is replayable;
+                    # degraded results and fault-armed runs never enter.
+                    self.cache.put(self._cache_key(handle.task), result)
             elif result.get("failure_kind") == "internal":
                 # Input failures are the task's own defect and say
                 # nothing about the rung's health.

@@ -23,12 +23,12 @@ changed since it was journaled.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.utils.digest import input_digest
 from repro.utils.errors import InputError
 from repro.workloads.source_fuzz import SourceFuzzConfig, random_source
 
@@ -61,9 +61,10 @@ class CompileTask:
 
     def digest(self) -> str:
         """Content hash identifying this task's *input* (not its id):
-        resumability keys on it so edited sources recompile."""
-        payload = "{}\x00{}\x00{}".format(int(self.is_ir), self.name, self.text)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        resumability and the compile cache both key on it (see
+        :func:`repro.utils.digest.input_digest`) so edited sources
+        recompile."""
+        return input_digest(self.name, self.text, self.is_ir)
 
     def with_faults(
         self, faults: Sequence[Dict[str, object]]

@@ -61,10 +61,31 @@ POISON_PAYLOAD = "<<poisoned-result>>"
 DEFAULT_KILL_GRACE = 0.5
 
 
+#: Environment variable forcing a multiprocessing start method
+#: (``fork``, ``spawn``, or ``forkserver``) for every worker the
+#: service starts — both fork-per-task and pool workers.  The payload
+#: protocol is primitive-only precisely so that all of them behave
+#: identically; the forced-``spawn`` regression test pins that down.
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+
 def _mp_context():
     """``fork`` where available (fast, shares the warm interpreter),
-    the platform default elsewhere.  The payload protocol keeps both
-    correct."""
+    the platform default elsewhere; ``$REPRO_START_METHOD`` overrides
+    both.  The payload protocol keeps every method correct."""
+    override = os.environ.get(START_METHOD_ENV)
+    if override:
+        try:
+            return multiprocessing.get_context(override)
+        except ValueError:
+            from repro.utils.errors import InputError
+
+            raise InputError(
+                "unknown start method {!r} in ${} (choose from: {})".format(
+                    override, START_METHOD_ENV,
+                    ", ".join(multiprocessing.get_all_start_methods()),
+                )
+            ) from None
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -98,14 +119,23 @@ def build_payload(
     }
 
 
-def worker_main(payload: Dict[str, object], conn) -> None:
-    """Child-process entry: compile one task, send one result, exit.
+def detach_worker_process() -> None:
+    """One-time child-process setup shared by fork-per-task workers
+    and pool workers.
 
-    Runs with default/ignored signal dispositions of its own (the
-    parent's drain handler must not leak in under ``fork``): SIGTERM
-    kills (the parent's timeout escalation relies on it), SIGINT is
-    ignored so an interactive Ctrl-C drains the batch gracefully —
-    in-flight compiles finish and reach the ledger.
+    Installs the worker's own signal dispositions (the parent's drain
+    handler must not leak in under ``fork``): SIGTERM kills (the
+    parent's timeout escalation relies on it), SIGINT is ignored so an
+    interactive Ctrl-C drains the batch gracefully — in-flight
+    compiles finish and reach the ledger.
+
+    Also detaches the inherited observability globals: under ``fork``
+    the child holds the parent's installed tracer (and its open
+    descriptor) and metrics registry.  The trace is the *parent's*
+    journal — a worker writing to it would interleave colliding span
+    ids from every child — so both are reset; worker phase timings
+    travel home inside the result's ``report.phase_seconds`` and the
+    parent folds them into the trace as complete spans.
     """
     try:  # pragma: no cover - exercised in subprocesses
         signal.signal(signal.SIGTERM, signal.SIG_DFL)
@@ -113,18 +143,24 @@ def worker_main(payload: Dict[str, object], conn) -> None:
     except (ValueError, OSError):  # non-main thread / exotic platform
         pass
 
-    # Under ``fork`` the child inherits the parent's installed tracer
-    # and metrics registry (and the tracer's open descriptor).  The
-    # trace is the *parent's* journal — a worker writing to it would
-    # interleave colliding span ids from every child — so detach both;
-    # worker phase timings travel home inside the result's
-    # ``report.phase_seconds`` and the parent folds them into the
-    # trace as complete spans.
     from repro import obs
 
     obs.set_tracer(None)
     obs.set_metrics(None)
 
+
+def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one compile attempt described by *payload* and return the
+    result dict (primitive-only, schema-checked by the parent via
+    :func:`validate_result`).
+
+    Arms exactly the fault specs the payload carries — previously
+    armed points are cleared first, so a pool worker running many
+    tasks can never leak one task's faults into the next.  Worker-
+    level fault actions fire here: ``crash`` exits the process,
+    ``hang`` sleeps until the parent kills it, ``raise`` becomes a
+    ``worker-exception`` result.
+    """
     faults.clear()
     for spec_dict in payload.get("faults", ()):
         faults.install(faults.FaultSpec.from_dict(spec_dict))
@@ -172,13 +208,24 @@ def worker_main(payload: Dict[str, object], conn) -> None:
             report={"error": "{}: {}".format(type(exc).__name__, exc)},
             metrics=None,
         )
+    return result
 
+
+def wire_result(result: Dict[str, object]) -> object:
+    """What actually goes on the pipe for *result*: the result itself,
+    or the poison object when a ``poison-result`` fault is armed."""
     poison = faults.spec_at("service.worker")
+    if poison is not None and poison.action == "poison-result":
+        return POISON_PAYLOAD
+    return result
+
+
+def worker_main(payload: Dict[str, object], conn) -> None:
+    """Child-process entry: compile one task, send one result, exit."""
+    detach_worker_process()
+    result = execute_payload(payload)
     try:
-        if poison is not None and poison.action == "poison-result":
-            conn.send(POISON_PAYLOAD)
-        else:
-            conn.send(result)
+        conn.send(wire_result(result))
     except (BrokenPipeError, OSError):  # parent already gone
         pass
     finally:

@@ -2,6 +2,7 @@
 deterministic fault injection."""
 
 from repro.utils.bits import bits_above, iter_bits, mask_of, popcount, select
+from repro.utils.digest import input_digest
 from repro.utils.errors import (
     AllocationError,
     BudgetExceededError,
@@ -36,6 +37,7 @@ __all__ = [
     "bits_above",
     "clear_faults",
     "inject",
+    "input_digest",
     "install_from_env",
     "iter_bits",
     "mask_of",

@@ -1,0 +1,34 @@
+"""Canonical content digests shared by checkpoint/resume and the
+compile cache.
+
+One input — one digest.  The run ledger (:mod:`repro.service.
+checkpoint`) keys resumability on it, and the compile cache
+(:mod:`repro.cache`) folds it into its content-addressed key; both
+must agree byte-for-byte or a resume could skip a task the cache would
+recompile (or vice versa), so the computation lives here exactly once.
+
+The digest covers everything that changes what the driver would parse:
+the program text, the function name handed to the frontend, and
+whether the text is frontend source or textual IR.  It deliberately
+excludes per-run knobs (machine, registers, DriverConfig) — those
+belong to the *cache key*, not the input identity, and the ledger's
+resume semantics predate them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Separator between the digest's fields; NUL can appear in none of
+#: them, so the encoding is injective.
+_SEP = "\x00"
+
+
+def input_digest(name: str, text: str, is_ir: bool = False) -> str:
+    """sha256 hex digest identifying one compile input.
+
+    Stable across processes and releases: the run ledgers written by
+    earlier versions resume correctly against it.
+    """
+    payload = "{}{}{}{}{}".format(int(is_ir), _SEP, name, _SEP, text)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

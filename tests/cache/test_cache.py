@@ -1,0 +1,347 @@
+"""Tests for the content-addressed compile cache (repro.cache).
+
+Correctness is refusal: anything that could change a compile result —
+source text, machine, register count, driver knobs, repro version —
+must change the key; anything that is not a clean success must never
+enter; anything defective on disk must degrade to a miss.  The
+equivalence class proves the payoff: a cache-served result is
+byte-identical to a fresh compile over a sample of the PR-1
+equivalence corpus (3 machine presets x fuzzed source programs).
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+import repro
+from repro.cache import (
+    CACHE_VERSION,
+    CacheKey,
+    CompileCache,
+    compile_cache_key,
+    machine_fingerprint,
+)
+from repro.pipeline.driver import DriverConfig
+from repro.service.batch import BatchRunner
+from repro.service.manifest import CompileTask
+from repro.utils.digest import input_digest
+from repro.utils.errors import InputError
+from repro.workloads import SourceFuzzConfig, random_source
+
+SOURCE = "input a, b; x = a * b + 3; output x;"
+
+
+def key_for(text=SOURCE, **overrides):
+    kwargs = dict(
+        name="t", text=text, is_ir=False,
+        machine="two-unit-superscalar", registers=None,
+        config=DriverConfig(),
+    )
+    kwargs.update(overrides)
+    return compile_cache_key(**kwargs)
+
+
+def ok_result(**overrides):
+    result = {
+        "v": 1, "task_id": "t0", "status": "ok", "pid": 123,
+        "exit_code": 0, "report": {"phases": ["lower"]},
+        "metrics": {"cycles": 9},
+    }
+    result.update(overrides)
+    return result
+
+
+class TestInputDigest:
+    def test_is_sha256_of_the_documented_payload(self):
+        expected = hashlib.sha256(
+            "0\x00t\x00{}".format(SOURCE).encode("utf-8")
+        ).hexdigest()
+        assert input_digest("t", SOURCE) == expected
+
+    def test_matches_compile_task_digest(self):
+        # The ledger resume path and the cache key share one digest —
+        # extracting the helper must not have changed old ledgers.
+        task = CompileTask(task_id="x", name="t", text=SOURCE)
+        assert task.digest() == input_digest("t", SOURCE)
+
+    @pytest.mark.parametrize("a, b", [
+        (("t", SOURCE, False), ("t", SOURCE + " ", False)),
+        (("t", SOURCE, False), ("u", SOURCE, False)),
+        (("t", SOURCE, False), ("t", SOURCE, True)),
+    ])
+    def test_every_component_matters(self, a, b):
+        assert input_digest(*a) != input_digest(*b)
+
+
+class TestCacheKey:
+    def test_digest_is_deterministic(self):
+        assert key_for().digest() == key_for().digest()
+
+    def test_source_changes_key(self):
+        assert key_for().digest() != \
+            key_for(text=SOURCE.replace("3", "4")).digest()
+
+    def test_machine_changes_key(self):
+        assert key_for().digest() != \
+            key_for(machine="single-issue").digest()
+
+    def test_register_override_changes_key(self):
+        assert key_for().digest() != key_for(registers=4).digest()
+        assert machine_fingerprint("m", None) == "m/r=default"
+        assert machine_fingerprint("m", 4) == "m/r=4"
+
+    def test_any_config_knob_changes_key(self):
+        for config in (
+            DriverConfig(strict=True),
+            DriverConfig(paranoid=True),
+            DriverConfig(optimize=True),
+            DriverConfig(engine="reference"),
+            DriverConfig(max_instrs=100),
+            DriverConfig(time_budget=1.0),
+        ):
+            assert key_for().digest() != key_for(config=config).digest()
+
+    def test_version_changes_key(self, monkeypatch):
+        before = key_for().digest()
+        monkeypatch.setattr(repro, "__version__", "0.0.0-other")
+        assert key_for().digest() != before
+
+    def test_strategy_changes_key(self):
+        assert key_for().digest() != key_for(strategy="ips").digest()
+
+
+class TestMemoryTier:
+    def test_round_trip_and_isolation(self):
+        cache = CompileCache()
+        key = key_for()
+        assert cache.get(key) is None
+        assert cache.put(key, ok_result())
+        got = cache.get(key)
+        assert got["metrics"] == {"cycles": 9}
+        got["metrics"]["cycles"] = -1  # caller mutation must not stick
+        assert cache.get(key)["metrics"] == {"cycles": 9}
+
+    def test_key_mismatch_misses(self):
+        cache = CompileCache()
+        cache.put(key_for(), ok_result())
+        assert cache.get(key_for(text=SOURCE + ";")) is None
+        assert cache.get(key_for(config=DriverConfig(strict=True))) is None
+
+    @pytest.mark.parametrize("bad", [
+        ok_result(status="failed", exit_code=2),
+        ok_result(status="degraded"),
+        ok_result(status="worker-exception", exit_code=1),
+        ok_result(exit_code=1),
+        ok_result(report=None),
+        "<<poisoned-result>>",
+        None,
+    ])
+    def test_non_successes_never_enter(self, bad):
+        cache = CompileCache()
+        key = key_for()
+        assert not cache.put(key, bad)
+        assert cache.get(key) is None
+        assert cache.stats["rejected"] == 1
+
+    def test_lru_eviction(self):
+        cache = CompileCache(capacity=2)
+        keys = [key_for(text="{} x{};".format(SOURCE, i)) for i in range(3)]
+        cache.put(keys[0], ok_result())
+        cache.put(keys[1], ok_result())
+        cache.get(keys[0])  # refresh 0: now 1 is least recent
+        cache.put(keys[2], ok_result())
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[2]) is not None
+        assert cache.stats["evictions"] == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(InputError):
+            CompileCache(capacity=0)
+
+
+class TestDiskTier:
+    def test_round_trip_across_instances(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        key = key_for()
+        CompileCache(directory=directory).put(key, ok_result())
+        fresh = CompileCache(directory=directory)
+        got = fresh.get(key)
+        assert got is not None and got["status"] == "ok"
+        assert fresh.stats["hits_disk"] == 1
+        # The hit was promoted: the next get is a memory hit.
+        fresh.get(key)
+        assert fresh.stats["hits_memory"] == 1
+
+    def _entry_paths(self, directory):
+        return [
+            os.path.join(root, name)
+            for root, _, names in os.walk(directory)
+            for name in names if name.endswith(".json")
+        ]
+
+    def test_truncated_entry_degrades_to_miss(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        key = key_for()
+        CompileCache(directory=directory).put(key, ok_result())
+        (path,) = self._entry_paths(directory)
+        with open(path, "w") as handle:
+            handle.write('{"v": 1, "key":')  # torn write
+        fresh = CompileCache(directory=directory)
+        assert fresh.get(key) is None
+        assert fresh.stats["corrupt"] == 1
+        assert not os.path.exists(path)  # quarantined
+
+    def test_tampered_key_degrades_to_miss(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        key = key_for()
+        CompileCache(directory=directory).put(key, ok_result())
+        (path,) = self._entry_paths(directory)
+        with open(path) as handle:
+            document = json.load(handle)
+        document["key"]["config"] = "someone-elses-fingerprint"
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        fresh = CompileCache(directory=directory)
+        assert fresh.get(key) is None
+        assert fresh.stats["corrupt"] == 1
+
+    def test_schema_version_bump_degrades_to_miss(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        key = key_for()
+        CompileCache(directory=directory).put(key, ok_result())
+        (path,) = self._entry_paths(directory)
+        with open(path) as handle:
+            document = json.load(handle)
+        document["v"] = CACHE_VERSION + 1
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        assert CompileCache(directory=directory).get(key) is None
+
+    def test_poisoned_disk_result_degrades_to_miss(self, tmp_path):
+        # Even a well-formed file whose embedded result is not a clean
+        # success (planted by hand, never by put) must not replay.
+        directory = str(tmp_path / "cache")
+        key = key_for()
+        cache = CompileCache(directory=directory)
+        cache.put(key, ok_result())
+        (path,) = self._entry_paths(directory)
+        with open(path) as handle:
+            document = json.load(handle)
+        document["result"]["status"] = "failed"
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        assert CompileCache(directory=directory).get(key) is None
+
+    def test_snapshot_shape(self, tmp_path):
+        cache = CompileCache(directory=str(tmp_path / "cache"))
+        cache.put(key_for(), ok_result())
+        cache.get(key_for())
+        snap = cache.snapshot()
+        assert snap["stores"] == 1
+        assert snap["hits"] == 1
+        assert snap["memory_entries"] == 1
+
+
+class TestBatchIntegration:
+    def _tasks(self, n=4, seed=11):
+        return [
+            CompileTask(
+                task_id="t{}".format(i), name="f{}".format(i),
+                text=random_source(SourceFuzzConfig(seed=seed + i)),
+            )
+            for i in range(n)
+        ]
+
+    def test_second_run_is_served_from_cache(self):
+        cache = CompileCache()
+        tasks = self._tasks()
+        first = BatchRunner(max_workers=2, cache=cache).run(tasks)
+        assert first.counts["compiled"] == len(tasks)
+        second = BatchRunner(max_workers=2, cache=cache).run(tasks)
+        assert second.counts["cached"] == len(tasks)
+        assert second.counts["compiled"] == 0
+        for rec in second.records:
+            assert rec.rung == "cache"
+            assert rec.attempts == 0
+            assert rec.pids == []
+
+    def test_cached_result_equals_fresh_compile(self):
+        """Equivalence-corpus sample: for 3 presets x fuzzed sources,
+        the cache-served verdict and metrics are byte-identical to an
+        independent fresh compile of the same task."""
+        presets = ["single-issue", "two-unit-superscalar", "wide-issue"]
+        for preset in presets:
+            tasks = self._tasks(n=3, seed=29)
+            cache = CompileCache()
+            warmup = BatchRunner(machine=preset, cache=cache).run(tasks)
+            cached = BatchRunner(machine=preset, cache=cache).run(tasks)
+            fresh = BatchRunner(machine=preset).run(tasks)
+            hits = 0
+            for w, c, f in zip(
+                warmup.records, cached.records, fresh.records
+            ):
+                if w.status == "ok":
+                    assert c.cached
+                    hits += 1
+                else:
+                    # Degraded results never cache: recompiled fresh.
+                    assert not c.cached
+                assert c.status == f.status == w.status
+                assert json.dumps(c.metrics, sort_keys=True) == \
+                    json.dumps(f.metrics, sort_keys=True)
+            assert hits >= 1  # the sample exercises the replay path
+
+    def test_fault_armed_tasks_bypass_the_cache(self):
+        cache = CompileCache()
+        plain = self._tasks(n=1)[0]
+        BatchRunner(cache=cache).run([plain])
+        assert cache.stats["stores"] == 1
+        armed = plain.with_faults(
+            ({"point": "service.worker", "action": "stall",
+              "seconds": 0.0},)
+        )
+        summary = BatchRunner(cache=cache).run([armed])
+        # Neither consulted nor populated: stats unchanged, recompiled.
+        assert summary.counts["cached"] == 0
+        assert summary.counts["compiled"] == 1
+        assert cache.stats["stores"] == 1
+        assert cache.stats["hits_memory"] + cache.stats["hits_disk"] == 0
+
+    def test_failed_tasks_are_never_cached(self):
+        cache = CompileCache()
+        bad = CompileTask(
+            task_id="bad", name="bad", text="this is ( not a program"
+        )
+        summary = BatchRunner(cache=cache).run([bad])
+        assert summary.counts["failed"] == 1
+        assert len(cache) == 0
+        # And the retry sees a miss, not a stale failure.
+        assert cache.stats["stores"] == 0
+
+    def test_ledger_resume_wins_before_cache(self, tmp_path):
+        ledger = str(tmp_path / "run.jsonl")
+        cache = CompileCache()
+        tasks = self._tasks(n=2)
+        BatchRunner(cache=cache, ledger_path=ledger).run(tasks)
+        summary = BatchRunner(cache=cache, resume_path=ledger).run(tasks)
+        assert summary.counts["resumed"] == 2
+        assert summary.counts["cached"] == 0
+
+    def test_cache_hits_journal_to_the_ledger(self, tmp_path):
+        from repro.service.checkpoint import RunLedger
+
+        cache = CompileCache()
+        tasks = self._tasks(n=2)
+        BatchRunner(cache=cache).run(tasks)
+        ledger = str(tmp_path / "cached.jsonl")
+        BatchRunner(cache=cache, ledger_path=ledger).run(tasks)
+        entries = RunLedger.load(ledger)
+        assert len(entries) == 2
+        assert all(e["cached"] and e["rung"] == "cache"
+                   for e in entries.values())
+        # A third run may resume straight off the cache-hit ledger.
+        summary = BatchRunner(resume_path=ledger).run(tasks)
+        assert summary.counts["resumed"] == 2

@@ -7,6 +7,7 @@ result, in-worker exception — is driven deterministically through the
 """
 
 import os
+import time
 
 import pytest
 
@@ -141,6 +142,49 @@ class TestPayload:
 
         payload = build_payload(task(), "rs6000", 4, DriverConfig())
         assert json.loads(json.dumps(payload)) == payload
+
+
+class TestStartMethodOverride:
+    """$REPRO_START_METHOD forces the multiprocessing start method —
+    the regression net for platforms where fork is unavailable or
+    unsafe (macOS, Windows, threaded embedders)."""
+
+    def test_spawn_round_trip(self, monkeypatch):
+        from repro.service.worker import START_METHOD_ENV
+
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        outcome = run_one(task(), timeout=60.0)
+        assert outcome.kind == "result"
+        assert outcome.result["status"] == "ok"
+        assert outcome.result["exit_code"] == 0
+
+    def test_unknown_method_is_input_error(self, monkeypatch):
+        from repro.service.worker import START_METHOD_ENV, _mp_context
+        from repro.utils.errors import InputError
+
+        monkeypatch.setenv(START_METHOD_ENV, "bogus")
+        with pytest.raises(InputError, match="bogus"):
+            _mp_context()
+
+    def test_pool_round_trip_under_spawn(self, monkeypatch):
+        from repro.service.pool import WorkerPool
+        from repro.service.worker import START_METHOD_ENV
+
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        with WorkerPool(size=1) as pool:
+            t = task()
+            payload = build_payload(
+                t, "two-unit-superscalar", None, DriverConfig()
+            )
+            handle = pool.dispatch(t, payload, timeout=60.0)
+            deadline = time.monotonic() + 60.0
+            while not handle.is_done(time.monotonic()):
+                if time.monotonic() > deadline:
+                    raise AssertionError("spawned pool worker never answered")
+                time.sleep(0.01)
+            outcome = pool.collect(handle)
+        assert outcome.kind == "result"
+        assert outcome.result["status"] == "ok"
 
 
 class TestValidateResult:

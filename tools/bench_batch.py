@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Benchmark batch transports: fork-per-task vs warm pool vs cache.
+
+Runs the same deterministic fuzz batch through three configurations of
+:class:`repro.service.BatchRunner` and reports tasks/second:
+
+* ``fork_cold`` — the PR-4 transport: one forked worker process per
+  attempt (interpreter + import cost paid 200 times);
+* ``pool_cold`` — the persistent warm pool: N workers import the
+  pipeline once and serve every task over pipes (the cache is being
+  *populated* but never hits);
+* ``pool_warm_cache`` — the same batch again against the now-warm
+  compile cache: every task is served without dispatching a worker.
+
+Rows are bench_compare-compatible ``{workload, phase, wall_s, ...}``
+objects; the committed baseline is ``BENCH_pr5.json``.  ``--check``
+enforces the PR-5 floors in-process (pool >= 2x fork-per-task, warm
+cache >= 10x cold pool); CI applies the same floors to the emitted
+rows via ``bench_compare.py --ratio-max``, which keeps the guard
+machine-independent.
+
+Run:  PYTHONPATH=src python tools/bench_batch.py -o BENCH_pr5.json
+      PYTHONPATH=src python tools/bench_batch.py --check
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.cache import CompileCache
+from repro.service import BatchRunner, fuzz_tasks
+
+#: PR-5 acceptance floors (speedup factors).
+POOL_OVER_FORK_MIN = 2.0
+WARM_OVER_COLD_MIN = 10.0
+
+
+def run_config(tasks, workers, label, **runner_kwargs):
+    runner = BatchRunner(max_workers=workers, **runner_kwargs)
+    started = time.perf_counter()
+    summary = runner.run(tasks)
+    wall = time.perf_counter() - started
+    counts = summary.counts
+    if counts["failed"] or counts["pending"]:
+        raise SystemExit(
+            "bench_batch: {} run did not complete cleanly: {}".format(
+                label, counts
+            )
+        )
+    return wall, counts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tasks", type=int, default=200, metavar="N",
+        help="fuzz batch size (default 200)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, metavar="K",
+        help="worker processes per run (default 4)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="fuzz stream seed"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail unless pool >= {:.0f}x fork and warm cache >= "
+        "{:.0f}x cold pool".format(POOL_OVER_FORK_MIN, WARM_OVER_COLD_MIN),
+    )
+    parser.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write bench_compare-compatible JSON rows to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    tasks = fuzz_tasks(args.tasks, seed=args.seed)
+    workload = "batch-fuzz-{}".format(args.tasks)
+    cache = CompileCache(capacity=max(args.tasks, 1))
+
+    configs = [
+        ("fork_cold", {"use_pool": False, "cache": None}),
+        ("pool_cold", {"use_pool": True, "cache": cache}),
+        ("pool_warm_cache", {"use_pool": True, "cache": cache}),
+    ]
+    rows = []
+    walls = {}
+    for phase, kwargs in configs:
+        wall, counts = run_config(tasks, args.workers, phase, **kwargs)
+        walls[phase] = wall
+        rows.append({
+            "workload": workload,
+            "phase": phase,
+            "wall_s": round(wall, 6),
+            "tasks": args.tasks,
+            "workers": args.workers,
+            "tasks_per_s": round(args.tasks / wall, 3) if wall else None,
+        })
+        print("{:<16} {:>9.3f}s  {:>9.1f} tasks/s  ({} compiled, "
+              "{} cached)".format(
+                  phase, wall, args.tasks / wall if wall else 0.0,
+                  counts["compiled"], counts["cached"]))
+
+    if walls["pool_cold"]:
+        print("pool speedup over fork: {:.2f}x".format(
+            walls["fork_cold"] / walls["pool_cold"]))
+    if walls["pool_warm_cache"]:
+        print("warm-cache speedup over cold pool: {:.2f}x".format(
+            walls["pool_cold"] / walls["pool_warm_cache"]))
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(rows, handle, indent=2)
+            handle.write("\n")
+        print("wrote {}".format(args.output))
+
+    if args.check:
+        problems = []
+        if walls["pool_cold"] * POOL_OVER_FORK_MIN > walls["fork_cold"]:
+            problems.append(
+                "pool_cold {:.3f}s is not {:.0f}x faster than "
+                "fork_cold {:.3f}s".format(
+                    walls["pool_cold"], POOL_OVER_FORK_MIN,
+                    walls["fork_cold"],
+                )
+            )
+        if walls["pool_warm_cache"] * WARM_OVER_COLD_MIN \
+                > walls["pool_cold"]:
+            problems.append(
+                "pool_warm_cache {:.3f}s is not {:.0f}x faster than "
+                "pool_cold {:.3f}s".format(
+                    walls["pool_warm_cache"], WARM_OVER_COLD_MIN,
+                    walls["pool_cold"],
+                )
+            )
+        if problems:
+            for problem in problems:
+                print("FAIL: {}".format(problem))
+            return 1
+        print("throughput floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

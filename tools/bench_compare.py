@@ -6,12 +6,31 @@ wall_s exceeds the baseline's by more than the threshold (default
 20%).  Tiny rows (baseline under --min-wall seconds) are ignored —
 sub-millisecond phases are all timer noise.
 
+The baseline may be the literal ``auto``: the newest committed
+``BENCH_pr*.json`` (highest PR number) whose rows overlap the current
+file's (workload, phase) keys is used, so one Makefile line keeps
+working as new per-PR baselines land.  The literal ``none`` skips the
+baseline comparison entirely — useful when only ``--ratio-max`` guards
+matter.
+
+``--ratio-max WORKLOAD:PHASE_A/PHASE_B=LIMIT`` (repeatable) asserts
+``wall_s(PHASE_A) / wall_s(PHASE_B) <= LIMIT`` *within the current
+file*.  Ratios compare two phases of the same run on the same machine,
+so they express machine-independent speedup floors (e.g. the warm
+compile cache must stay >= 10x faster than a cold pool run:
+``batch-fuzz-200:pool_warm_cache/pool_cold=0.1``).
+
 Run:  python tools/bench_compare.py BASELINE.json CURRENT.json
+      python tools/bench_compare.py auto CURRENT.json
+      python tools/bench_compare.py none CURRENT.json --ratio-max ...
 Exit: 0 when no regression, 1 otherwise (for make bench-check / CI).
 """
 
 import argparse
+import glob
 import json
+import os
+import re
 import sys
 
 
@@ -21,9 +40,99 @@ def load_rows(path):
     return {(r["workload"], r["phase"]): r for r in rows}
 
 
+def resolve_auto_baseline(current_path, current_rows):
+    """The newest committed BENCH_pr*.json sharing row keys with the
+    current file (searched next to the current file, then in the cwd).
+
+    'Newest' is the highest PR number, not mtime — a fresh checkout
+    gives every file the same mtime.
+    """
+    roots = []
+    current_dir = os.path.dirname(os.path.abspath(current_path))
+    roots.append(current_dir)
+    if os.path.abspath(os.getcwd()) != current_dir:
+        roots.append(os.getcwd())
+    candidates = []
+    for root in roots:
+        for path in glob.glob(os.path.join(root, "BENCH_pr*.json")):
+            match = re.search(r"BENCH_pr(\d+)\.json$", path)
+            if match and os.path.abspath(path) != \
+                    os.path.abspath(current_path):
+                candidates.append((int(match.group(1)), path))
+    for _, path in sorted(candidates, reverse=True):
+        try:
+            rows = load_rows(path)
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+        if set(rows) & set(current_rows):
+            return path, rows
+    raise SystemExit(
+        "bench_compare: no committed BENCH_pr*.json shares rows with "
+        "{!r} (searched {})".format(current_path, ", ".join(roots))
+    )
+
+
+def parse_ratio_spec(text):
+    """'WORKLOAD:PHASE_A/PHASE_B=LIMIT' -> (workload, a, b, limit)."""
+    match = re.match(r"^([^:]+):([^/]+)/([^=]+)=(.+)$", text)
+    if not match:
+        raise SystemExit(
+            "bench_compare: bad --ratio-max {!r} (want "
+            "WORKLOAD:PHASE_A/PHASE_B=LIMIT)".format(text)
+        )
+    workload, phase_a, phase_b, limit_text = match.groups()
+    try:
+        limit = float(limit_text)
+    except ValueError:
+        raise SystemExit(
+            "bench_compare: --ratio-max limit {!r} is not a "
+            "number".format(limit_text)
+        )
+    if limit <= 0:
+        raise SystemExit(
+            "bench_compare: --ratio-max limit must be positive, "
+            "got {}".format(limit)
+        )
+    return workload, phase_a, phase_b, limit
+
+
+def check_ratios(current, specs):
+    """Apply --ratio-max guards to the current rows; returns the list
+    of failed spec strings (missing rows count as failures)."""
+    failures = []
+    for spec in specs:
+        workload, phase_a, phase_b, limit = parse_ratio_spec(spec)
+        row_a = current.get((workload, phase_a))
+        row_b = current.get((workload, phase_b))
+        if row_a is None or row_b is None:
+            missing = phase_a if row_a is None else phase_b
+            print("MISSING  {}/{} for --ratio-max {}".format(
+                workload, missing, spec))
+            failures.append(spec)
+            continue
+        wall_a, wall_b = row_a["wall_s"], row_b["wall_s"]
+        ratio = wall_a / wall_b if wall_b else float("inf")
+        status = "ok"
+        if ratio > limit:
+            status = "VIOLATED"
+            failures.append(spec)
+        print(
+            "{:<9} {:<10} {}/{} = {:.6f}s/{:.6f}s = {:.4f} "
+            "(limit {:g})".format(
+                status, workload, phase_a, phase_b, wall_a, wall_b,
+                ratio, limit,
+            )
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument(
+        "baseline",
+        help="committed BENCH_*.json, 'auto' (newest committed "
+        "BENCH_pr*.json with overlapping rows), or 'none'",
+    )
     parser.add_argument("current", help="freshly generated BENCH_*.json")
     parser.add_argument(
         "--threshold", type=float, default=0.20,
@@ -33,12 +142,27 @@ def main(argv=None) -> int:
         "--min-wall", type=float, default=0.001,
         help="ignore rows whose baseline wall_s is below this (seconds)",
     )
+    parser.add_argument(
+        "--ratio-max", action="append", default=[], metavar="SPEC",
+        help="assert wall_s(PHASE_A)/wall_s(PHASE_B) <= LIMIT within "
+        "the current file; SPEC is WORKLOAD:PHASE_A/PHASE_B=LIMIT "
+        "(repeatable)",
+    )
     args = parser.parse_args(argv)
 
-    baseline = load_rows(args.baseline)
     current = load_rows(args.current)
-
     regressions = []
+
+    if args.baseline == "none":
+        baseline = {}
+    elif args.baseline == "auto":
+        baseline_path, baseline = resolve_auto_baseline(
+            args.current, current
+        )
+        print("auto baseline: {}".format(baseline_path))
+    else:
+        baseline = load_rows(args.baseline)
+
     for key, base_row in sorted(baseline.items()):
         cur_row = current.get(key)
         if cur_row is None:
@@ -59,10 +183,14 @@ def main(argv=None) -> int:
             )
         )
 
-    if regressions:
+    ratio_failures = check_ratios(current, args.ratio_max)
+
+    if regressions or ratio_failures:
         print(
-            "\n{} row(s) regressed beyond {:.0f}%".format(
-                len(regressions), args.threshold * 100
+            "\n{} row(s) regressed beyond {:.0f}%, {} ratio guard(s) "
+            "violated".format(
+                len(regressions), args.threshold * 100,
+                len(ratio_failures),
             )
         )
         return 1

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Warm-pool + compile-cache smoke: the `make pool-smoke` entry point.
+
+Pushes a 200-task fuzz batch through `repro batch` on the persistent
+worker pool with a small recycling bound (so max-tasks recycling
+actually fires) and a disk cache, then proves the two reuse paths:
+
+1. **cold** — 200 tasks compile on the pool, exit 0; recycling spawned
+   more workers than ``--max-workers`` and reaped every one of them;
+2. **resume** — the same batch against its own ledger recompiles
+   nothing (the ledger wins before the cache is even consulted);
+3. **warm cache** — a fresh ledger against the same ``--cache-dir``
+   serves (almost) everything from the cache without dispatching a
+   worker; only non-cacheable outcomes (degraded tasks) recompile.
+
+Run:  PYTHONPATH=src python tools/pool_smoke.py
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+
+N_TASKS = 200
+WORKERS = 4
+MAX_TASKS_PER_WORKER = 30  # forces >= 7 recycles across 200 tasks
+
+
+def run_batch(*args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "batch", "--json-summary",
+         "--metrics", "--fuzz", str(N_TASKS),
+         "--max-workers", str(WORKERS),
+         "--max-tasks-per-worker", str(MAX_TASKS_PER_WORKER)]
+        + list(args),
+        env=env, cwd=cwd, capture_output=True, text=True,
+    )
+    summary = None
+    if proc.stdout.strip().startswith("{"):
+        summary = json.loads(proc.stdout)
+    return proc.returncode, summary, proc.stderr
+
+
+def expect(condition, what):
+    if not condition:
+        raise SystemExit("pool-smoke FAILED: {}".format(what))
+    print("  ok: {}".format(what))
+
+
+def pid_is_live(pid):
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="pool-smoke-")
+    try:
+        ledger = os.path.join(workdir, "run.jsonl")
+        cache_dir = os.path.join(workdir, "cache")
+
+        print("[1/3] cold batch on the pool (with recycling)")
+        code, summary, stderr = run_batch(
+            "--ledger", ledger, "--cache-dir", cache_dir, cwd=workdir
+        )
+        expect(code == 0, "cold batch exits 0 (stderr: %r)" % stderr[-200:])
+        counts = summary["counts"]
+        expect(counts["compiled"] == N_TASKS,
+               "all {} tasks compiled".format(N_TASKS))
+        expect(counts["cached"] == 0, "nothing served from a cold cache")
+        expect(summary["cache"]["stores"] > 0, "the cache was populated")
+        spawned = summary["metrics"]["counters"].get("pool.spawned", 0)
+        expect(spawned > WORKERS,
+               "max-tasks recycling spawned replacements "
+               "({} workers for a pool of {})".format(int(spawned), WORKERS))
+        pids = [p for t in summary["tasks"] for p in t["pids"]]
+        expect(pids and not any(pid_is_live(p) for p in pids),
+               "no orphan pool workers ({} pids reaped)".format(len(pids)))
+
+        print("[2/3] resume recompiles nothing")
+        code, summary, _ = run_batch(
+            "--resume", ledger, "--cache-dir", cache_dir, cwd=workdir
+        )
+        expect(code == 0, "resumed batch exits 0")
+        counts = summary["counts"]
+        expect(counts["resumed"] == N_TASKS, "every task resumed")
+        expect(counts["compiled"] == 0 and counts["cached"] == 0,
+               "the ledger wins before the cache is consulted")
+
+        print("[3/3] warm cache serves a fresh ledger")
+        code, summary, _ = run_batch(
+            "--ledger", os.path.join(workdir, "run2.jsonl"),
+            "--cache-dir", cache_dir, cwd=workdir,
+        )
+        expect(code == 0, "warm batch exits 0")
+        counts = summary["counts"]
+        expect(counts["cached"] + counts["compiled"] == N_TASKS,
+               "every task settled")
+        expect(counts["cached"] >= N_TASKS - 10,
+               "cache served {} of {} (only non-cacheable outcomes "
+               "recompile)".format(counts["cached"], N_TASKS))
+        expect(summary["cache"]["hits_disk"] == counts["cached"],
+               "hits came from the disk tier")
+
+        print("pool-smoke PASSED")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()
