@@ -172,12 +172,16 @@ def cmd_compile(args: argparse.Namespace) -> int:
         raise InputError("--time-budget must be positive seconds")
     _install_cli_faults(args)
 
+    if args.pig_shards < 0:
+        raise InputError("--pig-shards must be >= 0")
     config = DriverConfig(
         strict=args.strict,
         paranoid=args.paranoid,
         max_instrs=args.max_instrs,
         time_budget=args.time_budget,
         optimize=args.optimize,
+        engine=args.pig_engine,
+        pig_shards=args.pig_shards,
     )
     driver = CompilationDriver(machine, num_registers=registers, config=config)
 
@@ -305,13 +309,20 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
         cache = CompileCache(directory=args.cache_dir)
 
+    engine = args.engine
+    if engine == "auto":
+        # Resolve here so the circuit breaker keys and worker payloads
+        # all see the concrete rung name.
+        from repro.deps.vector import HAVE_NUMPY
+
+        engine = "vector" if HAVE_NUMPY else "bitset"
     config = DriverConfig(
         strict=args.strict,
         paranoid=args.paranoid,
         max_instrs=args.max_instrs,
         time_budget=args.time_budget,
         optimize=args.optimize,
-        engine=args.engine,
+        engine=engine,
     )
     runner = BatchRunner(
         machine=args.machine,
@@ -570,6 +581,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(exit 1 when exhausted)",
     )
     p_compile.add_argument(
+        "--pig-engine",
+        choices=("auto", "vector", "bitset", "reference"),
+        default="bitset",
+        help="primary dependence engine for PIG construction: 'vector' "
+        "is the packed-uint64 kernel (degrades vector->bitset->"
+        "reference), 'auto' picks vector when numpy is importable",
+    )
+    p_compile.add_argument(
+        "--pig-shards", type=int, default=0, metavar="N",
+        help="with N >= 2, build the PIG region-sharded across N warm "
+        "pool workers (vector/bitset engines only)",
+    )
+    p_compile.add_argument(
         "--json-diagnostics", action="store_true",
         help="emit one JSON document (reports + metrics) on stdout "
         "instead of the text format",
@@ -671,8 +695,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the batch summary as one JSON document on stdout",
     )
     p_batch.add_argument(
-        "--engine", choices=("bitset", "reference"), default="bitset",
-        help="primary dependence engine rung",
+        "--engine",
+        choices=("auto", "vector", "bitset", "reference"),
+        default="bitset",
+        help="primary dependence engine rung ('auto' resolves to "
+        "vector when numpy is importable)",
     )
     p_batch.add_argument(
         "--recheck-degraded", action="store_true",

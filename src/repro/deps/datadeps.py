@@ -122,20 +122,26 @@ def memory_dependences(
     calls.
     """
     deps: List[Dependence] = []
-    memory_ops: List[Instruction] = []
+    # (instr, writes, is_call, symbols) — opcode predicates are enum
+    # properties, so hoist them out of the O(n^2) pair loop.
+    memory_ops: List[tuple] = []
     for instr in instructions:
-        if not (instr.is_memory_access or instr.opcode.is_call):
+        info = instr.opcode.value
+        is_call = info.is_call
+        if not (instr.is_memory_access or is_call):
             continue
-        writes = instr.opcode.is_store or instr.opcode.is_call
-        for earlier in memory_ops:
-            earlier_writes = earlier.opcode.is_store or earlier.opcode.is_call
+        writes = info.is_store or is_call
+        symbols = frozenset(instr.memory_symbols())
+        for earlier, earlier_writes, earlier_call, earlier_symbols \
+                in memory_ops:
             if not (writes or earlier_writes):
                 continue  # load-load: no ordering needed
-            if instr.opcode.is_call or earlier.opcode.is_call or _may_alias(
-                earlier, instr
-            ):
+            # _may_alias semantics, inlined: a symbol-free access goes
+            # through an arbitrary register address and aliases all.
+            if (is_call or earlier_call or not symbols
+                    or not earlier_symbols or (symbols & earlier_symbols)):
                 deps.append(Dependence(earlier, instr, DependenceKind.MEMORY))
-        memory_ops.append(instr)
+        memory_ops.append((instr, writes, is_call, symbols))
     return deps
 
 

@@ -13,7 +13,8 @@ deadline), records :class:`Diagnostic` entries into a
 ==============  ============================  ===========================
 phase           primary                       fallback
 ==============  ============================  ===========================
-``pig``         bitset dependence kernel      reference (set-based) engine
+``pig``         vector/bitset dep. kernel     next ladder rung (bitset,
+                                              then reference engine)
 ``color``       combined Pinter coloring      Chaitin with spilling
 ``schedule``    augmented (E_f-driven)        plain list scheduler
 ``opt``         optimization pipeline         unoptimized program
@@ -21,8 +22,8 @@ phase           primary                       fallback
 ==============  ============================  ===========================
 
 In ``--paranoid`` mode the ``pig`` phase additionally *cross-checks*
-the bitset engine against the reference engine and degrades to the
-reference result on divergence.  In ``--strict`` mode the ladder is
+each fast engine rung against the reference engine and degrades one
+rung on divergence.  In ``--strict`` mode the ladder is
 disabled: the first phase error fails the compile.
 
 Outcomes map to documented exit codes:
@@ -72,6 +73,15 @@ from repro.utils.errors import (
 )
 
 T = TypeVar("T")
+
+#: Degradation ladder per primary engine: each rung's failure (or, in
+#: paranoid mode, divergence from the reference cross-check) falls
+#: through to the next; the last rung is non-recoverable.
+_ENGINE_LADDER: Dict[str, Tuple[str, ...]] = {
+    "vector": ("vector", "bitset", "reference"),
+    "bitset": ("bitset", "reference"),
+    "reference": ("reference",),
+}
 
 #: Documented process exit codes.
 EXIT_OK = 0
@@ -219,7 +229,8 @@ class CompileReport:
 
 @dataclass
 class DriverConfig:
-    """Knobs of the hardened driver (CLI flags map 1:1).
+    """Knobs of the hardened driver (CLI flags map 1:1; ``engine``
+    is ``--pig-engine`` and ``pig_shards`` is ``--pig-shards``).
 
     Attributes:
         strict: Disable every fallback rung — the first phase error
@@ -236,8 +247,17 @@ class DriverConfig:
         use_regions: Build false-dependence graphs over scheduling
             regions (the global form).
         max_spill_rounds: Bound on spill-and-repeat iterations.
-        engine: Primary dependence engine (``"bitset"`` or
-            ``"reference"``; the ladder only applies to ``"bitset"``).
+        engine: Primary dependence engine.  ``"bitset"`` (default)
+            degrades to ``"reference"``; ``"vector"`` (the packed
+            uint64 kernel, :mod:`repro.deps.vector`) degrades through
+            ``"bitset"`` to ``"reference"``; ``"reference"`` has no
+            rung below it.  ``"auto"`` resolves at driver construction
+            to ``"vector"`` when numpy is importable, else
+            ``"bitset"`` (the resolved name is what the fingerprint —
+            and therefore the compile cache — sees).
+        pig_shards: When >= 2, PIG construction is sharded by
+            scheduling region across that many warm pool workers
+            (:mod:`repro.service.shard`); 0 or 1 builds in-process.
     """
 
     strict: bool = False
@@ -248,6 +268,7 @@ class DriverConfig:
     use_regions: bool = True
     max_spill_rounds: int = 12
     engine: str = "bitset"
+    pig_shards: int = 0
 
     def fingerprint(self) -> str:
         """sha256 over the canonical JSON of every knob.
@@ -489,9 +510,17 @@ class CompilationDriver:
             if not hasattr(cfg, key):
                 raise InputError("unknown driver option {!r}".format(key))
             setattr(cfg, key, value)
-        if cfg.engine not in ("bitset", "reference"):
+        if cfg.engine == "auto":
+            from repro.deps.vector import HAVE_NUMPY
+
+            cfg.engine = "vector" if HAVE_NUMPY else "bitset"
+        if cfg.engine not in _ENGINE_LADDER:
             raise InputError(
                 "unknown dependence engine {!r}".format(cfg.engine)
+            )
+        if cfg.pig_shards < 0:
+            raise InputError(
+                "pig_shards must be >= 0, got {}".format(cfg.pig_shards)
             )
         if self.num_registers < 1:
             raise InputError("need at least one register")
@@ -729,41 +758,58 @@ class CompilationDriver:
     ) -> Tuple[ParallelInterferenceGraph, str]:
         """One PIG build with the engine ladder.
 
-        ``bitset`` engine failures (and, in paranoid mode,
-        bitset/reference divergence) degrade to the reference engine;
-        in strict mode any failure aborts.  Returns the graph plus the
-        engine that actually produced it, so the degradation sticks
-        for the rest of the compile.
+        The rung sequence comes from :data:`_ENGINE_LADDER`:
+        ``vector`` degrades through ``bitset`` to ``reference``,
+        ``bitset`` straight to ``reference``.  A rung fails on any
+        phase error or — in paranoid mode — on divergence from the
+        reference cross-check; in strict mode the first failure
+        aborts.  Returns the graph plus the engine that actually
+        produced it, so the degradation sticks for the rest of the
+        compile.  With ``pig_shards >= 2`` the fast rungs build
+        region-sharded across the warm worker pool.
         """
         cfg = self.config
         mid_phase = guard.mid_phase_checker()
 
         def build(target: str) -> ParallelInterferenceGraph:
+            if cfg.pig_shards >= 2 and target in ("vector", "bitset"):
+                from repro.service.shard import build_sharded_pig
+
+                return build_sharded_pig(
+                    work, self.machine,
+                    use_regions=cfg.use_regions, engine=target,
+                    shards=cfg.pig_shards, check_deadline=mid_phase,
+                )
             return build_parallel_interference_graph(
                 work, self.machine,
                 use_regions=cfg.use_regions, engine=target,
                 check_deadline=mid_phase,
             )
 
-        if engine == "reference":
-            return guard.run("pig", lambda: build("reference")), "reference"
+        ladder = _ENGINE_LADDER[engine]
+        for pos, target in enumerate(ladder):
+            last = pos == len(ladder) - 1
+            if last:
+                return guard.run("pig", lambda: build(target)), target
 
-        def primary() -> ParallelInterferenceGraph:
-            fast = build("bitset")
-            if cfg.paranoid:
-                slow = build("reference")
-                if _pig_signature(fast) != _pig_signature(slow):
-                    raise DivergenceError(
-                        "bitset and reference engines disagree on "
-                        "{!r} (paranoid cross-check)".format(work.name)
-                    )
-            return fast
+            def rung(target: str = target) -> ParallelInterferenceGraph:
+                fast = build(target)
+                if cfg.paranoid:
+                    slow = build("reference")
+                    if _pig_signature(fast) != _pig_signature(slow):
+                        raise DivergenceError(
+                            "{} and reference engines disagree on "
+                            "{!r} (paranoid cross-check)".format(
+                                target, work.name
+                            )
+                        )
+                return fast
 
-        try:
-            return guard.run("pig", primary, recoverable=True), "bitset"
-        except _PhaseError:
-            report.note_recovery("reference engine")
-            return guard.run("pig", lambda: build("reference")), "reference"
+            try:
+                return guard.run("pig", rung, recoverable=True), target
+            except _PhaseError:
+                report.note_recovery("{} engine".format(ladder[pos + 1]))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- color ---------------------------------------------------------
 
@@ -903,7 +949,8 @@ class CompilationDriver:
                     fdg = reference_false_dependence_graph(sg, self.machine)
                 else:
                     fdg = false_dependence_graph(
-                        sg, self.machine, check_deadline=mid_phase
+                        sg, self.machine, check_deadline=mid_phase,
+                        engine=engine,
                     )
                 schedule = augmented_schedule(sg, fdg, self.machine)
                 total += schedule.makespan

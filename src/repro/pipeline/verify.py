@@ -91,7 +91,9 @@ def find_false_dependences(
             otherwise per block.
         include_anti: Also report introduced anti edges landing in E_f.
         engine: ``"bitset"`` (default) derives E_f via the word-parallel
-            kernel; ``"reference"`` uses the retained set-based pipeline
+            kernel; ``"vector"`` uses the packed-uint64 kernel
+            (:mod:`repro.deps.vector`); ``"reference"`` uses the
+            retained set-based pipeline
             — the hardened driver passes the engine its PIG phase
             settled on so a degraded compile stays off the failed
             kernel.
@@ -99,7 +101,7 @@ def find_false_dependences(
     Raises:
         IRError: when the two functions' instructions do not correspond.
     """
-    if engine not in ("bitset", "reference"):
+    if engine not in ("vector", "bitset", "reference"):
         raise IRError("unknown dependence engine {!r}".format(engine))
     allocated_by_uid: Dict[int, Instruction] = {
         instr.uid: instr for instr in allocated.instructions()
@@ -134,7 +136,7 @@ def find_false_dependences(
 
             fdg = reference_false_dependence_graph(sg, machine)
         else:
-            fdg = false_dependence_graph(sg, machine)
+            fdg = false_dependence_graph(sg, machine, engine=engine)
 
         allocated_instrs = [allocated_by_uid[i.uid] for i in symbolic_instrs]
         real_pairs = _symbolic_dependence_pairs(symbolic_instrs)

@@ -15,6 +15,7 @@ representing all the live intervals of the definitions v_i".
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -172,25 +173,29 @@ def build_interference_graph(
                 continue  # dead live-in with no reaching def web
             owned.append((interval, web))
             intervals_of[web].append(interval)
-        # Encode each interval as two bitmasks (positions offset by +1
-        # so live-in start=-1 fits): def_bit marks the definition
-        # statement, amask adds every statement where a definition
-        # executing there would conflict (LiveInterval.covers_definition_at).
-        # The pairwise overlap test then collapses to two AND ops.
-        encoded: List[Tuple[int, int, Web]] = []
+        # Two intervals conflict exactly when one's definition
+        # statement falls inside the other's conflict span
+        # [start, hi] (LiveInterval.covers_definition_at, with the
+        # degenerate hi<=start span collapsing to the def statement
+        # itself).  That is an interval-stabbing query: sort the def
+        # positions once, then each interval finds its conflicting
+        # partners as one binary search plus a contiguous slice —
+        # O(k log k + hits) per block instead of the all-pairs O(k^2)
+        # scan, which dominated PIG construction on large blocks.
+        spans: List[Tuple[int, int, Web]] = []
         for interval, web in owned:
-            def_bit = 1 << (interval.start + 1)
             hi = interval.end if closed_end else interval.end - 1
-            if hi > interval.start:
-                cover = (1 << (hi + 2)) - (1 << (interval.start + 2))
-            else:
-                cover = 0
-            encoded.append((cover | def_bit, def_bit, web))
-        for i, (am_a, db_a, web_a) in enumerate(encoded):
-            for am_b, db_b, web_b in encoded[i + 1:]:
-                if web_a is web_b:
+            spans.append((interval.start, max(hi, interval.start), web))
+        order = sorted(range(len(spans)), key=lambda k: spans[k][0])
+        def_positions = [spans[k][0] for k in order]
+        for i, (start, hi, web_a) in enumerate(spans):
+            for k in range(bisect_left(def_positions, start),
+                           bisect_right(def_positions, hi)):
+                j = order[k]
+                if j == i:
                     continue
-                if (am_a & db_b) or (am_b & db_a):
+                web_b = spans[j][2]
+                if web_a is not web_b:
                     graph.add_edge(web_a, web_b)
 
     return InterferenceGraph(

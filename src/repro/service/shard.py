@@ -1,0 +1,478 @@
+"""Region-sharded PIG construction over the warm worker pool.
+
+:func:`repro.core.parallel_interference.build_parallel_interference_graph`
+is a strict loop over scheduling regions: each region's schedule graph
+feeds a dependence kernel whose rows are projected onto webs.  The
+regions are independent until the splice (instructions of different
+regions are never co-issued, so no cross-region false edges exist —
+the module docstring of :mod:`repro.core.parallel_interference`), which
+makes the kernel builds embarrassingly parallel.  This module dispatches
+them across the persistent :class:`~repro.service.pool.WorkerPool`:
+
+1. The parent builds the interference graph, webs, and every region's
+   schedule graph locally (downstream consumers —
+   ``SchedulingValueModel``, the augmented scheduler — walk
+   ``fdg.schedule_graph``, so those objects must live in the parent).
+2. Each non-empty region becomes one ``pig_region`` payload: the
+   function's IR text, the region's block names, the machine
+   description in wire form, and the engine name.  Payloads are
+   primitive-only JSON, like every pool frame.
+3. A worker parses the function, rebuilds the region's schedule graph
+   (deterministic, so dense kernel positions match the parent's), runs
+   the requested kernel, and ships all four row families back as hex
+   strings (:func:`repro.deps.vector.rows_to_hex`).
+4. The parent reconstructs a kernel per region from the wire rows and
+   splices exactly as the in-process build would — same shared-dict
+   insertion, same :class:`EdgeOrigin` algebra, bit-identical output.
+
+Failure containment mirrors the batch service: a crashed, overdue, or
+frame-poisoned worker costs only its region — the parent rebuilds that
+region's kernel locally (``pig.shard.fallback_local``) and the stitched
+graph is still exact.  A ``check_deadline`` that fires mid-build shuts
+the pool down (a busy worker's unread frame would desync the stream)
+and re-raises, preserving the driver's ``--time-budget`` semantics.
+"""
+
+from __future__ import annotations
+
+import atexit
+import time
+import uuid
+from multiprocessing.connection import wait as _wait_connections
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.analysis.regions import Region, schedule_regions
+from repro.analysis.webs import web_of_definition
+from repro.core.parallel_interference import (
+    EdgeOrigin,
+    ParallelInterferenceGraph,
+    _insert_edges_fast,
+    _splice_false_edges,
+    _splice_false_edges_vector,
+)
+from repro.deps.bitset import DependenceBitKernel, InstructionIndex
+from repro.deps.false_dependence import (
+    FalseDependenceGraph,
+    false_dependence_graph,
+)
+from repro.deps.schedule_graph import ScheduleGraph, region_schedule_graph
+from repro.deps.vector import (
+    VectorDependenceKernel,
+    rows_from_hex,
+    rows_to_hex,
+)
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode, UnitKind
+from repro.ir.parser import parse_function
+from repro.ir.printer import format_function
+from repro.machine.model import MachineDescription
+from repro.obs import get_metrics, get_tracer
+from repro.regalloc.interference import build_interference_graph
+from repro.service.manifest import CompileTask
+from repro.service.pool import PoolHandle, WorkerPool
+from repro.service.worker import RESULT_VERSION, WorkerOutcome
+from repro.utils import faults
+from repro.utils.errors import InputError
+
+#: Payload discriminator routed by ``execute_payload``.
+PIG_REGION_KIND = "pig_region"
+
+#: Default wall-clock budget per region task, seconds.
+DEFAULT_TASK_TIMEOUT = 60.0
+
+#: Engines a shard worker may be asked to run (reference stays
+#: in-process: sharding exists to parallelize the fast kernels).
+SHARDABLE_ENGINES = ("vector", "bitset")
+
+
+# ----------------------------------------------------------------------
+# Machine wire form
+# ----------------------------------------------------------------------
+
+
+def machine_to_wire(machine: MachineDescription) -> Dict[str, object]:
+    """A :class:`MachineDescription` as JSON-safe primitives (enum
+    members travel by name)."""
+    return {
+        "name": machine.name,
+        "units": {kind.name: count for kind, count in machine.units.items()},
+        "issue_width": machine.issue_width,
+        "num_registers": machine.num_registers,
+        "latencies": {
+            op.name: lat for op, lat in machine.latencies.items()
+        },
+        "unit_overrides": {
+            op.name: kind.name
+            for op, kind in machine.unit_overrides.items()
+        },
+        "pipelined": machine.pipelined,
+    }
+
+
+def machine_from_wire(wire: Dict[str, object]) -> MachineDescription:
+    """Inverse of :func:`machine_to_wire`."""
+    return MachineDescription(
+        name=str(wire["name"]),
+        units={
+            UnitKind[name]: int(count)
+            for name, count in dict(wire["units"]).items()
+        },
+        issue_width=int(wire["issue_width"]),
+        num_registers=int(wire["num_registers"]),
+        latencies={
+            Opcode[name]: int(lat)
+            for name, lat in dict(wire["latencies"]).items()
+        },
+        unit_overrides={
+            Opcode[name]: UnitKind[kind]
+            for name, kind in dict(wire["unit_overrides"]).items()
+        },
+        pipelined=bool(wire["pipelined"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def build_region_payload(
+    fn_text: str,
+    fn_name: str,
+    machine: MachineDescription,
+    region: Region,
+    engine: str,
+    task_id: str,
+) -> Dict[str, object]:
+    """One primitive-only ``pig_region`` attempt description.  Armed
+    parent-process faults ride along, exactly like compile payloads."""
+    return {
+        "v": RESULT_VERSION,
+        "kind": PIG_REGION_KIND,
+        "task_id": task_id,
+        "name": fn_name,
+        "text": fn_text,
+        "machine": machine_to_wire(machine),
+        "region_blocks": list(region.blocks),
+        "engine": engine,
+        "faults": [spec.as_dict() for spec in faults.active_specs()],
+    }
+
+
+def execute_pig_region(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker-side body of one region build (called from
+    :func:`repro.service.worker.execute_payload` after fault arming).
+
+    Parses the function, rebuilds the region's schedule graph — the
+    parse and the region walk are deterministic, so the kernel's dense
+    positions match the parent's — runs the requested kernel, and
+    returns the result fields with every row family in hex wire form.
+    """
+    engine = payload["engine"]
+    if engine not in SHARDABLE_ENGINES:
+        raise InputError("unshardable PIG engine {!r}".format(engine))
+    fn = parse_function(payload["text"])
+    machine = machine_from_wire(payload["machine"])
+    sg = region_schedule_graph(
+        fn, tuple(payload["region_blocks"]), machine=machine
+    )
+    if engine == "vector":
+        kernel = VectorDependenceKernel.build(sg, machine)
+    else:
+        kernel = DependenceBitKernel.build(sg, machine)
+    n = len(kernel.index)
+    return {
+        "status": "ok",
+        "exit_code": 0,
+        "failure_kind": None,
+        "metrics": None,
+        "report": {
+            "kind": PIG_REGION_KIND,
+            "engine": engine,
+            "n": n,
+            "reach": rows_to_hex(kernel.reach_rows),
+            "contention": rows_to_hex(kernel.contention_rows),
+            "et": rows_to_hex(kernel.et_rows),
+            "ef": rows_to_hex(kernel.ef_rows),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Parent side: reconstruction and stitching
+# ----------------------------------------------------------------------
+
+
+def _kernel_from_report(
+    report: Dict[str, object], sg: ScheduleGraph, engine: str
+):
+    """Rebuild a kernel from wire rows over the parent's own schedule
+    graph, or ``None`` when the report does not type-check (a poisoned
+    worker may ship anything — trust nothing unvalidated)."""
+    if not isinstance(report, dict) or report.get("kind") != PIG_REGION_KIND:
+        return None
+    n = len(sg.instructions)
+    if report.get("n") != n:
+        return None
+    rows: Dict[str, List[int]] = {}
+    for key in ("reach", "contention", "et", "ef"):
+        texts = report.get(key)
+        if not isinstance(texts, list) or len(texts) != n:
+            return None
+        try:
+            rows[key] = rows_from_hex(texts)
+        except (TypeError, ValueError):
+            return None
+    index = InstructionIndex(sg.instructions)
+    if engine == "vector":
+        return VectorDependenceKernel(
+            index=index,
+            reach_rows=rows["reach"],
+            contention_rows=rows["contention"],
+            et_rows=rows["et"],
+            ef_rows=rows["ef"],
+            packed_ef=None,  # packed lazily by packed_ef_matrix()
+            backend="wire",
+        )
+    return DependenceBitKernel(
+        index=index,
+        reach_rows=rows["reach"],
+        contention_rows=rows["contention"],
+        et_rows=rows["et"],
+        ef_rows=rows["ef"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared pool (one per process, grown on demand)
+# ----------------------------------------------------------------------
+
+_POOL: Optional[WorkerPool] = None
+
+
+def _pool_for(shards: int) -> WorkerPool:
+    """The process-wide shard pool, recreated larger when needed.  The
+    warm workers persist across driver compiles — that amortization is
+    the point of pooling."""
+    global _POOL
+    if _POOL is None or _POOL.size < shards:
+        if _POOL is not None:
+            _POOL.shutdown()
+        _POOL = WorkerPool(size=shards)
+    return _POOL
+
+
+def shutdown_shared_pool() -> None:
+    """Retire the process-wide shard pool (idempotent)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+atexit.register(shutdown_shared_pool)
+
+
+# ----------------------------------------------------------------------
+# The sharded build
+# ----------------------------------------------------------------------
+
+
+def _collect_done(
+    pool: WorkerPool,
+    inflight: Dict[str, Tuple[int, PoolHandle]],
+    outcomes: Dict[int, WorkerOutcome],
+    check_deadline: Optional[Callable[[], None]],
+) -> None:
+    """Block until at least one in-flight region resolves, then collect
+    every resolved handle.  Polls *check_deadline* between waits; a
+    deadline raise propagates with busy workers still attached — the
+    caller shuts the pool down."""
+    while True:
+        now = time.monotonic()
+        done = [
+            task_id
+            for task_id, (_, handle) in inflight.items()
+            if handle.is_done(now)
+        ]
+        if done:
+            for task_id in done:
+                region_index, handle = inflight.pop(task_id)
+                outcomes[region_index] = pool.collect(handle)
+            return
+        if check_deadline is not None:
+            check_deadline()
+        timeouts = [h.deadline - now for _, h in inflight.values()]
+        _wait_connections(
+            [h.waitable for _, h in inflight.values()],
+            timeout=max(0.0, min(min(timeouts), 0.05)),
+        )
+
+
+def build_sharded_pig(
+    fn: Function,
+    machine: MachineDescription,
+    use_regions: bool = True,
+    engine: str = "vector",
+    shards: int = 2,
+    check_deadline: Optional[Callable[[], None]] = None,
+    pool: Optional[WorkerPool] = None,
+    task_timeout: float = DEFAULT_TASK_TIMEOUT,
+) -> ParallelInterferenceGraph:
+    """Build G for *fn* with per-region kernels fanned out over a
+    worker pool.  Output is bit-identical to
+    :func:`build_parallel_interference_graph` with the same *engine*.
+
+    Args:
+        fn / machine / use_regions / engine / check_deadline: As in the
+            in-process builder; *engine* must be one of
+            :data:`SHARDABLE_ENGINES`.
+        shards: Worker-pool size (>= 2; the driver routes smaller
+            settings to the in-process build).
+        pool: An externally owned pool to dispatch on; when None the
+            process-shared pool is used (and left warm for the next
+            compile).
+        task_timeout: Per-region wall-clock budget; an overdue region
+            is killed and rebuilt locally.
+    """
+    if engine not in SHARDABLE_ENGINES:
+        raise InputError(
+            "sharded PIG build needs one of {}, got {!r}".format(
+                "/".join(SHARDABLE_ENGINES), engine
+            )
+        )
+    if shards < 2:
+        raise InputError("shards must be >= 2, got {}".format(shards))
+
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span(
+        "pig.shard.build",
+        function=fn.name,
+        engine=engine,
+        shards=shards,
+    ):
+        interference = build_interference_graph(fn)
+        def_to_web = web_of_definition(interference.webs)
+        if use_regions:
+            regions = schedule_regions(fn)
+        else:
+            regions = [
+                Region(blocks=(name,), index=i)
+                for i, name in enumerate(fn.block_names())
+            ]
+
+        graph = nx.Graph()
+        graph.add_nodes_from(interference.webs)
+        _insert_edges_fast(
+            graph, list(interference.graph.edges()), EdgeOrigin.INTERFERENCE
+        )
+
+        # Parent-side schedule graphs, built up front: downstream
+        # consumers walk fdg.schedule_graph, and the kernel wire rows
+        # are positional against exactly these instruction sequences.
+        region_sgs: List[Tuple[Region, ScheduleGraph]] = []
+        for region in regions:
+            if check_deadline is not None:
+                check_deadline()
+            sg = region_schedule_graph(fn, region.blocks, machine=machine)
+            if sg.instructions:
+                region_sgs.append((region, sg))
+
+        fn_text = format_function(fn)
+        owned_pool = pool is None
+        active_pool = _pool_for(shards) if owned_pool else pool
+        run_id = uuid.uuid4().hex[:8]
+
+        outcomes: Dict[int, WorkerOutcome] = {}
+        inflight: Dict[str, Tuple[int, PoolHandle]] = {}
+        try:
+            for slot, (region, sg) in enumerate(region_sgs):
+                while len(inflight) >= active_pool.size:
+                    _collect_done(
+                        active_pool, inflight, outcomes, check_deadline
+                    )
+                if check_deadline is not None:
+                    check_deadline()
+                task_id = "pig-{}-r{}".format(run_id, region.index)
+                payload = build_region_payload(
+                    fn_text, fn.name, machine, region, engine, task_id
+                )
+                handle = active_pool.dispatch(
+                    CompileTask(
+                        task_id=task_id, name=fn.name, text=fn_text
+                    ),
+                    payload,
+                    timeout=task_timeout,
+                )
+                inflight[task_id] = (slot, handle)
+                metrics.counter("pig.shard.dispatched").inc()
+            while inflight:
+                _collect_done(
+                    active_pool, inflight, outcomes, check_deadline
+                )
+        except BaseException:
+            # A mid-build abort (deadline, Ctrl-C) may leave busy
+            # workers with unread frames; a reused pool would desync,
+            # so retire them all.  The pool respawns lazily.
+            active_pool.shutdown()
+            raise
+
+        false_graphs: List[FalseDependenceGraph] = []
+        fallbacks = 0
+        for slot, (region, sg) in enumerate(region_sgs):
+            outcome = outcomes.get(slot)
+            kernel = None
+            if outcome is not None and outcome.kind == "result":
+                kernel = _kernel_from_report(
+                    (outcome.result or {}).get("report"), sg, engine
+                )
+            if kernel is None:
+                # Crash / timeout / malformed rows: this region costs
+                # one local rebuild, the batch is unharmed.
+                fallbacks += 1
+                tracer.event(
+                    "pig.shard.fallback",
+                    region=region.index,
+                    kind=outcome.kind if outcome else "missing",
+                )
+                metrics.counter("pig.shard.fallback_local").inc()
+                fdg = false_dependence_graph(
+                    sg, machine, check_deadline=check_deadline,
+                    engine=engine,
+                )
+            else:
+                metrics.counter("pig.shard.completed").inc()
+                fdg = FalseDependenceGraph(
+                    instructions=list(sg.instructions),
+                    schedule_graph=sg,
+                    kernel=kernel,
+                )
+            false_graphs.append(fdg)
+            if engine == "vector":
+                _splice_false_edges_vector(
+                    fdg.kernel, def_to_web, graph,
+                    check_deadline=check_deadline,
+                    inter_graph=interference.graph,
+                )
+            else:
+                _splice_false_edges(fdg.kernel, def_to_web, graph)
+
+        tracer.event(
+            "pig.shard.done",
+            function=fn.name,
+            regions=len(region_sgs),
+            fallbacks=fallbacks,
+            workers=active_pool.live_workers(),
+        )
+        metrics.counter("pig.shard.builds").inc()
+        return ParallelInterferenceGraph(
+            graph=graph,
+            interference=interference,
+            false_graphs=false_graphs,
+            regions=regions,
+            function=fn,
+            machine=machine,
+        )

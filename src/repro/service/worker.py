@@ -175,6 +175,12 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
         # crash exits the process here, hang sleeps until killed.
         faults.trip("service.worker")
 
+        if payload.get("kind") == "pig_region":
+            from repro.service.shard import execute_pig_region
+
+            result.update(execute_pig_region(payload))
+            return result
+
         from repro.machine.presets import ALL_PRESETS
         from repro.pipeline.driver import CompilationDriver, DriverConfig
         from repro.utils.errors import InputError

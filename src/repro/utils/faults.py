@@ -22,6 +22,7 @@ point                     location
 ``ir.parse``              :func:`repro.ir.parser.parse_function`
 ``ir.verify``             :func:`repro.ir.verifier.verify_function`
 ``deps.bitset``           :meth:`repro.deps.bitset.DependenceBitKernel.build`
+``deps.vector``           :meth:`repro.deps.vector.VectorDependenceKernel.build`
 ``core.pinter_color``     :func:`repro.core.coloring.pinter_color`
 ``regalloc.chaitin``      :func:`repro.regalloc.chaitin.chaitin_color`
 ``sched.augmented``       :func:`repro.sched.augmented.augmented_schedule`
@@ -110,6 +111,7 @@ LIBRARY_POINTS = frozenset({
     "ir.parse",
     "ir.verify",
     "deps.bitset",
+    "deps.vector",
     "core.pinter_color",
     "regalloc.chaitin",
     "sched.augmented",

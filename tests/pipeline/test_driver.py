@@ -132,6 +132,90 @@ class TestBitsetRung:
         assert "reference engine" in recoveries(outcome.report)
 
 
+class TestVectorRung:
+    """The top rung: vector kernel failure degrades to bitset, then
+    reference — one rung at a time, each producing the identical PIG."""
+
+    def test_vector_engine_compiles_clean(self, machine):
+        driver = CompilationDriver(
+            machine, config=DriverConfig(engine="vector")
+        )
+        outcome = driver.compile_function(example1())
+        assert outcome.ok
+        assert outcome.report.status == "ok"
+
+    def test_auto_resolves_to_a_concrete_engine(self, machine):
+        from repro.deps.vector import HAVE_NUMPY
+
+        driver = CompilationDriver(machine, config=DriverConfig(engine="auto"))
+        expected = "vector" if HAVE_NUMPY else "bitset"
+        assert driver.config.engine == expected
+
+    def test_fault_degrades_to_bitset_engine(self, machine):
+        driver = CompilationDriver(
+            machine, config=DriverConfig(engine="vector")
+        )
+        clean = driver.compile_function(example1())
+        with faults.inject("deps.vector"):
+            degraded = driver.compile_function(example1())
+        assert degraded.ok
+        assert degraded.report.status == "degraded"
+        assert "bitset engine" in recoveries(degraded.report)
+        assert "reference engine" not in recoveries(degraded.report)
+        assert degraded.result.registers_used == clean.result.registers_used
+        assert degraded.result.cycles == clean.result.cycles
+
+    def test_double_fault_reaches_reference(self, machine):
+        driver = CompilationDriver(
+            machine, config=DriverConfig(engine="vector")
+        )
+        with faults.inject("deps.vector"), faults.inject("deps.bitset"):
+            outcome = driver.compile_function(example1())
+        assert outcome.ok
+        got = recoveries(outcome.report)
+        assert "bitset engine" in got
+        assert "reference engine" in got
+
+    def test_paranoid_vector_cross_check_passes(self, machine):
+        driver = CompilationDriver(
+            machine, config=DriverConfig(engine="vector", paranoid=True)
+        )
+        outcome = driver.compile_function(example2())
+        assert outcome.ok
+        assert outcome.report.status == "ok"
+
+    def test_unknown_engine_rejected(self, machine):
+        from repro.utils.errors import InputError
+
+        with pytest.raises(InputError):
+            CompilationDriver(machine, config=DriverConfig(engine="simd"))
+
+    def test_negative_shards_rejected(self, machine):
+        from repro.utils.errors import InputError
+
+        with pytest.raises(InputError):
+            CompilationDriver(machine, config=DriverConfig(pig_shards=-1))
+
+    def test_sharded_vector_compile_matches_inprocess(self, machine):
+        from repro.service.shard import shutdown_shared_pool
+
+        try:
+            sharded = CompilationDriver(
+                machine,
+                config=DriverConfig(engine="vector", pig_shards=2),
+            ).compile_function(example1())
+            assert sharded.ok
+            inproc = CompilationDriver(
+                machine, config=DriverConfig(engine="vector")
+            ).compile_function(example1())
+            assert sharded.result.registers_used == (
+                inproc.result.registers_used
+            )
+            assert sharded.result.cycles == inproc.result.cycles
+        finally:
+            shutdown_shared_pool()
+
+
 class TestColorRung:
     def test_fault_degrades_to_chaitin(self, driver):
         with faults.inject("core.pinter_color"):

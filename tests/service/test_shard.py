@@ -1,0 +1,167 @@
+"""Tests for region-sharded PIG construction (repro.service.shard).
+
+The sharded build is a transport, not a policy: whatever the worker
+pool does — compute, crash, time out, return garbage — the stitched
+whole-function graph must be bit-identical to the in-process build.
+These tests pin the wire protocol (machine round-trip, row hex
+round-trip, payload validation), the equivalence over multi-region /
+single-region / degenerate functions, and the per-region local
+fallback under injected worker faults.
+"""
+
+import pytest
+
+from repro.core.parallel_interference import build_parallel_interference_graph
+from repro.machine.presets import single_issue, two_unit_superscalar
+from repro.pipeline.driver import _pig_signature
+from repro.service.pool import WorkerPool
+from repro.service.shard import (
+    PIG_REGION_KIND,
+    build_region_payload,
+    build_sharded_pig,
+    execute_pig_region,
+    machine_from_wire,
+    machine_to_wire,
+)
+from repro.utils import faults
+from repro.utils.errors import InputError
+from repro.workloads import RandomBlockConfig, example1, random_block
+from repro.workloads.generator import diamond_chain
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with WorkerPool(size=2) as shared:
+        yield shared
+
+
+def _local(fn, machine, engine="vector"):
+    return build_parallel_interference_graph(fn, machine, engine=engine)
+
+
+class TestWire:
+    def test_machine_roundtrip(self):
+        for preset in (single_issue, two_unit_superscalar):
+            machine = preset()
+            clone = machine_from_wire(machine_to_wire(machine))
+            assert clone.name == machine.name
+            assert clone.num_registers == machine.num_registers
+            assert clone.units == clone.units
+
+    def test_execute_pig_region_inline(self):
+        """The worker-side entry point runs in-process too — same
+        report either way."""
+        from repro.analysis.regions import schedule_regions
+        from repro.ir.printer import format_function
+
+        machine = two_unit_superscalar()
+        fn = example1()
+        region = schedule_regions(fn)[0]
+        payload = build_region_payload(
+            format_function(fn), fn.name, machine, region,
+            engine="vector", task_id="t-r0",
+        )
+        result = execute_pig_region(payload)
+        assert result["status"] == "ok"
+        report = result["report"]
+        assert report["kind"] == PIG_REGION_KIND
+        assert report["engine"] == "vector"
+        assert report["n"] > 0
+        for family in ("reach", "contention", "et", "ef"):
+            assert len(report[family]) == report["n"]
+
+    def test_execute_rejects_unknown_engine(self):
+        from repro.analysis.regions import schedule_regions
+        from repro.ir.printer import format_function
+
+        machine = two_unit_superscalar()
+        fn = example1()
+        region = schedule_regions(fn)[0]
+        payload = build_region_payload(
+            format_function(fn), fn.name, machine, region,
+            engine="vector", task_id="t",
+        )
+        payload["engine"] = "quantum"
+        with pytest.raises(InputError):
+            execute_pig_region(payload)
+
+
+class TestValidation:
+    def test_rejects_bad_shards(self):
+        machine = two_unit_superscalar()
+        with pytest.raises(InputError):
+            build_sharded_pig(example1(), machine, shards=1)
+
+    def test_rejects_bad_engine(self):
+        machine = two_unit_superscalar()
+        with pytest.raises(InputError):
+            build_sharded_pig(example1(), machine, engine="reference",
+                              shards=2)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("engine", ["vector", "bitset"])
+    def test_multi_region_matches_local(self, pool, engine):
+        machine = two_unit_superscalar()
+        fn = diamond_chain(num_diamonds=4, block_size=10, seed=3)
+        sharded = build_sharded_pig(
+            fn, machine, engine=engine, shards=2, pool=pool
+        )
+        assert _pig_signature(sharded) == _pig_signature(
+            _local(fn, machine, engine)
+        )
+
+    def test_single_region_matches_local(self, pool):
+        machine = two_unit_superscalar()
+        fn = random_block(RandomBlockConfig(size=40, window=6, seed=4))
+        sharded = build_sharded_pig(
+            fn, machine, engine="vector", shards=2, pool=pool
+        )
+        assert _pig_signature(sharded) == _pig_signature(_local(fn, machine))
+
+    def test_cross_region_webs_survive_stitching(self, pool):
+        """Diamond-chain webs span regions; E_r edges and BOTH-origin
+        overlaps must come out identical to the reference engine."""
+        machine = two_unit_superscalar()
+        fn = diamond_chain(num_diamonds=3, block_size=8, seed=9)
+        sharded = build_sharded_pig(
+            fn, machine, engine="vector", shards=2, pool=pool
+        )
+        assert _pig_signature(sharded) == _pig_signature(
+            _local(fn, machine, "reference")
+        )
+
+
+class TestFallback:
+    def test_worker_fault_falls_back_locally(self, pool):
+        """A worker-side crash on every region still yields the exact
+        graph — each region is rebuilt in-process."""
+        from repro.obs import get_metrics
+
+        machine = two_unit_superscalar()
+        fn = diamond_chain(num_diamonds=3, block_size=8, seed=9)
+        expected = _pig_signature(_local(fn, machine))
+        with faults.inject("service.worker"):
+            sharded = build_sharded_pig(
+                fn, machine, engine="vector", shards=2, pool=pool
+            )
+        assert _pig_signature(sharded) == expected
+
+    def test_pool_survives_for_later_builds(self, pool):
+        """After a faulted build the shared pool still serves clean
+        sharded builds (no frame desync)."""
+        machine = two_unit_superscalar()
+        fn = diamond_chain(num_diamonds=2, block_size=8, seed=1)
+        with faults.inject("service.worker"):
+            build_sharded_pig(fn, machine, engine="vector", shards=2,
+                              pool=pool)
+        clean = build_sharded_pig(fn, machine, engine="vector", shards=2,
+                                  pool=pool)
+        assert _pig_signature(clean) == _pig_signature(_local(fn, machine))

@@ -116,14 +116,32 @@ class TestAutoBaseline:
         assert result.returncode == 0, result.stdout + result.stderr
         assert "BENCH_pr1.json" in result.stdout
 
-    def test_no_overlapping_baseline_fails(self, tmp_path):
+    def test_no_overlapping_baseline_skips_comparison(self, tmp_path):
+        # A current file made entirely of freshly introduced keys (a
+        # new benchmark tool's first run) proceeds with ratio guards
+        # only instead of failing — new workloads must be landable
+        # before their first baseline is committed.
         _write(str(tmp_path / "BENCH_pr1.json"),
                [_row("pig_construction", 0.010)])
         cur = str(tmp_path / "cur.json")
         _write(cur, [_row("some_new_phase", 0.011, workload="elsewhere")])
         result = _compare("auto", cur, cwd=str(tmp_path))
-        assert result.returncode != 0
-        assert "no committed BENCH_pr*.json" in result.stderr
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "baseline comparison skipped" in result.stdout
+
+    def test_auto_mode_tolerates_baseline_only_keys(self, tmp_path):
+        # Overlapping keys are compared; keys only the baseline has
+        # (retired or not-yet-generated workloads) are skipped, not
+        # reported as regressions.
+        _write(str(tmp_path / "BENCH_pr1.json"),
+               [_row("pig_construction", 0.010),
+                _row("pool_cold", 4.0, workload="batch-fuzz-200")])
+        cur = str(tmp_path / "cur.json")
+        _write(cur, [_row("pig_construction", 0.010)])
+        result = _compare("auto", cur, cwd=str(tmp_path))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "skipped" in result.stdout
+        assert "batch-fuzz-200" in result.stdout
 
     def test_committed_pr5_baseline_holds_the_floors(self):
         repo = os.path.dirname(TOOLS)

@@ -9,9 +9,14 @@ sub-millisecond phases are all timer noise.
 The baseline may be the literal ``auto``: the newest committed
 ``BENCH_pr*.json`` (highest PR number) whose rows overlap the current
 file's (workload, phase) keys is used, so one Makefile line keeps
-working as new per-PR baselines land.  The literal ``none`` skips the
-baseline comparison entirely — useful when only ``--ratio-max`` guards
-matter.
+working as new per-PR baselines land.  Auto mode compares only the
+keys the two files share — newly introduced workloads/phases (and
+retired ones) are reported as skipped, never as regressions — and when
+*no* committed baseline overlaps at all (a brand-new benchmark tool's
+first run) it proceeds with ratio guards only.  An explicitly named
+baseline stays strict: every baseline key must be present.  The
+literal ``none`` skips the baseline comparison entirely — useful when
+only ``--ratio-max`` guards matter.
 
 ``--ratio-max WORKLOAD:PHASE_A/PHASE_B=LIMIT`` (repeatable) asserts
 ``wall_s(PHASE_A) / wall_s(PHASE_B) <= LIMIT`` *within the current
@@ -66,10 +71,15 @@ def resolve_auto_baseline(current_path, current_rows):
             continue
         if set(rows) & set(current_rows):
             return path, rows
-    raise SystemExit(
-        "bench_compare: no committed BENCH_pr*.json shares rows with "
-        "{!r} (searched {})".format(current_path, ", ".join(roots))
+    # A current file made entirely of freshly introduced keys (a new
+    # benchmark tool's first run) has no meaningful baseline yet;
+    # auto mode proceeds with ratio guards only instead of failing.
+    print(
+        "auto baseline: none found — no committed BENCH_pr*.json "
+        "shares rows with {!r} (searched {}); baseline comparison "
+        "skipped".format(current_path, ", ".join(roots))
     )
+    return None, {}
 
 
 def parse_ratio_spec(text):
@@ -152,20 +162,29 @@ def main(argv=None) -> int:
 
     current = load_rows(args.current)
     regressions = []
+    auto_mode = args.baseline == "auto"
 
     if args.baseline == "none":
         baseline = {}
-    elif args.baseline == "auto":
+    elif auto_mode:
         baseline_path, baseline = resolve_auto_baseline(
             args.current, current
         )
-        print("auto baseline: {}".format(baseline_path))
+        if baseline_path is not None:
+            print("auto baseline: {}".format(baseline_path))
     else:
         baseline = load_rows(args.baseline)
 
     for key, base_row in sorted(baseline.items()):
         cur_row = current.get(key)
         if cur_row is None:
+            if auto_mode:
+                # Auto mode matches whatever keys the two files share;
+                # a baseline-only key just means the key sets drifted
+                # between PRs (new workloads/phases), not a regression.
+                print("skipped  {}/{} not in {}".format(
+                    key[0], key[1], args.current))
+                continue
             print("MISSING  {}/{} not in {}".format(key[0], key[1], args.current))
             regressions.append(key)
             continue
