@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test bench bench-check bench-batch bench-batch-check bench-pig bench-pig-check bench-pytest batch-smoke pool-smoke trace-smoke obs-overhead figures examples ci all clean
+.PHONY: install test bench bench-check bench-batch bench-batch-check bench-pig bench-pig-check bench-serve bench-pytest batch-smoke pool-smoke trace-smoke serve-smoke obs-overhead figures examples ci all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -46,6 +46,13 @@ bench-pig-check:
 	PYTHONPATH=src python tools/bench_compare.py none BENCH_pig_current.json \
 		--ratio-max pig-n2048:pig_vector/pig_bitset=0.3334
 
+# Load-generate the HTTP compilation service (latency, coalescing,
+# typed sheds, zero-loss SIGTERM drain) and enforce the robustness
+# assertions.  The committed baseline is BENCH_pr7.json.
+bench-serve:
+	PYTHONPATH=src python tools/bench_serve.py --check \
+		-o BENCH_serve_current.json
+
 # The pytest-benchmark microbenchmarks (the old `make bench`).
 bench-pytest:
 	python -m pytest benchmarks/ --benchmark-only
@@ -67,6 +74,13 @@ pool-smoke:
 # aggregation carries non-empty per-phase and per-rung rows.
 trace-smoke:
 	PYTHONPATH=src python tools/trace_smoke.py
+
+# End-to-end smoke of the HTTP compilation service: concurrent burst
+# with one injected worker crash (contained, typed failure), a typed
+# 429 shed past the per-client bound, and a graceful drain with exit
+# code 0, zero orphan workers, and a complete run ledger.
+serve-smoke:
+	PYTHONPATH=src python tools/serve_smoke.py
 
 # Guard the near-zero-overhead claim: the same bench run with the
 # metrics registry installed must stay within 5% of the run without.
@@ -105,6 +119,7 @@ ci:
 	PYTHONPATH=src python tools/batch_smoke.py
 	PYTHONPATH=src python tools/pool_smoke.py
 	PYTHONPATH=src python tools/trace_smoke.py
+	PYTHONPATH=src python tools/serve_smoke.py
 	$(MAKE) obs-overhead
 	$(MAKE) bench-batch-check
 	$(MAKE) bench-pig-check
@@ -116,3 +131,4 @@ clean:
 	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info
 	rm -f BENCH_current.json BENCH_obs_off.json BENCH_obs_on.json
 	rm -f BENCH_batch_current.json BENCH_pig_current.json
+	rm -f BENCH_serve_current.json

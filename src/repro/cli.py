@@ -13,6 +13,8 @@
     python -m repro batch --fuzz 50 --trace run-trace.jsonl --metrics
     python -m repro batch --fuzz 50 --cache-dir .repro-cache --ledger r.jsonl
     python -m repro batch manifest.txt --no-pool --no-cache
+    python -m repro serve --port 8437 --pool-size 4 --cache
+    python -m repro serve --port 0 --ledger serve.jsonl --max-queue-depth 32
     python -m repro stats run-trace.jsonl --check
 
 ``compile`` accepts either frontend source (default) or textual IR
@@ -35,7 +37,10 @@ Exit codes (all commands):
 
 ``batch`` (see :mod:`repro.service.batch`) additionally uses ``3``
 (batch completed but some tasks failed after retries) and ``130``
-(interrupted; resume with the ledger).
+(interrupted; resume with the ledger).  ``serve`` (see
+:mod:`repro.service.server`) exits ``0`` on a graceful drain
+(SIGTERM/SIGINT or ``POST /drain``) and ``2`` on bad arguments; a
+per-job failure is a job status on the wire, never a process exit.
 
 ``compile``, ``batch``, and ``bench`` all accept ``--trace FILE``
 (append a structured JSONL trace, :mod:`repro.obs`) and ``--metrics``
@@ -390,6 +395,62 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return summary.exit_code
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.pipeline.driver import DriverConfig
+    from repro.service.server import CompileServer
+
+    if args.max_instrs is not None and args.max_instrs < 1:
+        raise InputError("--max-instrs must be positive")
+    if args.time_budget is not None and args.time_budget <= 0:
+        raise InputError("--time-budget must be positive seconds")
+    _install_cli_faults(args)
+
+    cache = None
+    if args.cache or (args.cache is None and args.cache_dir):
+        from repro.cache import CompileCache
+
+        cache = CompileCache(directory=args.cache_dir)
+
+    engine = args.engine
+    if engine == "auto":
+        from repro.deps.vector import HAVE_NUMPY
+
+        engine = "vector" if HAVE_NUMPY else "bitset"
+    config = DriverConfig(
+        strict=args.strict,
+        paranoid=args.paranoid,
+        max_instrs=args.max_instrs,
+        time_budget=args.time_budget,
+        optimize=args.optimize,
+        engine=engine,
+    )
+    server = CompileServer(
+        host=args.host,
+        port=args.port,
+        machine=args.machine,
+        registers=args.registers,
+        driver_config=config,
+        pool_size=args.pool_size,
+        task_timeout=args.task_timeout,
+        max_queue_depth=args.max_queue_depth,
+        per_client_depth=args.per_client_depth,
+        retries=args.retries,
+        backoff=args.backoff,
+        cache=cache,
+        ledger_path=args.ledger,
+        allow_request_faults=args.allow_request_faults,
+        drain_timeout=args.drain_timeout,
+    )
+
+    from repro import obs
+
+    with obs.tracing(args.trace), \
+            obs.collecting_metrics(args.metrics) as registry:
+        code = server.run(install_signal_handlers=True)
+    _metrics_to_stderr(registry)
+    return code
+
+
 def cmd_graph(args: argparse.Namespace) -> int:
     fn = _load_function(args.file, args.ir)
     machine = _machine(args.machine, None)
@@ -721,6 +782,104 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(p_batch)
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a long-lived async compilation service over HTTP/JSON "
+        "with admission control, request coalescing, and graceful drain",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8437,
+        help="TCP port; 0 picks a free port and prints it",
+    )
+    p_serve.add_argument(
+        "--machine", default="two-unit-superscalar",
+        help="machine preset ({})".format(", ".join(sorted(ALL_PRESETS))),
+    )
+    p_serve.add_argument("-r", "--registers", type=int, default=None)
+    p_serve.add_argument(
+        "--pool-size", type=int, default=4, metavar="K",
+        help="warm worker count (= max in-flight compiles)",
+    )
+    p_serve.add_argument(
+        "--task-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="hard wall-clock limit per attempt; overdue workers are "
+        "killed (SIGTERM then SIGKILL)",
+    )
+    p_serve.add_argument(
+        "--max-queue-depth", type=int, default=64, metavar="N",
+        help="global bound on admitted-but-unsettled jobs; past it "
+        "submits are shed with a typed 503",
+    )
+    p_serve.add_argument(
+        "--per-client-depth", type=int, default=8, metavar="N",
+        help="admission tokens per client identity; a client at its "
+        "bound is shed with a typed 429",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=1, metavar="R",
+        help="extra attempts for worker-level failures (timeout, "
+        "crash, worker exception)",
+    )
+    p_serve.add_argument(
+        "--backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base retry backoff (doubles per retry, with jitter)",
+    )
+    p_serve.add_argument(
+        "--cache", dest="cache", action="store_true", default=None,
+        help="serve identical (source, machine, config, version) "
+        "compiles from the compile cache; in-memory unless --cache-dir",
+    )
+    p_serve.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="never consult or populate the compile cache",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist the compile cache here (implies --cache)",
+    )
+    p_serve.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="append every settled job to this JSONL run ledger; "
+        "drain journals queued jobs as resumable 'interrupted' rows",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="ceiling on waiting for in-flight work during drain",
+    )
+    p_serve.add_argument(
+        "--allow-request-faults", action="store_true",
+        help="permit per-request 'faults' specs in /submit bodies "
+        "(drill mode; off by default)",
+    )
+    p_serve.add_argument(
+        "--engine",
+        choices=("auto", "vector", "bitset", "reference"),
+        default="bitset",
+        help="primary dependence engine rung ('auto' resolves to "
+        "vector when numpy is importable)",
+    )
+    p_serve.add_argument("--strict", action="store_true")
+    p_serve.add_argument("--paranoid", action="store_true")
+    p_serve.add_argument("--optimize", action="store_true")
+    p_serve.add_argument("--max-instrs", type=int, default=None, metavar="N")
+    p_serve.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="cooperative in-worker budget; per-request deadline_s "
+        "tightens it further",
+    )
+    p_serve.add_argument(
+        "--inject-fault", action="append", default=None, metavar="SPEC",
+        help="arm a fault point, e.g. 'service.server:crash' (the "
+        "request handler) or 'service.worker:hang' (every worker); "
+        "also honors $REPRO_FAULTS",
+    )
+    _add_obs_flags(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_graph = sub.add_parser("graph", help="emit a DOT graph")
     p_graph.add_argument("file")

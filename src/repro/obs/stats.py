@@ -8,6 +8,10 @@ schema (:func:`~repro.obs.trace.validate_event`), and aggregates:
   ``phase.<name>`` contributes its ``duration_s`` to that phase's
   count/total/mean/min/max row (live driver spans and worker phase
   timings folded in by the batch parent land in the same table);
+* **spans** — every other span name (``serve.job``,
+  ``pig.shard.build``, ...) gets the same count/total/mean/min/max
+  treatment in its own table, so service- and transport-level
+  latencies show up without claiming to be compile phases;
 * **per-rung** — every ``task.done`` event groups by its ``rung``
   attribute into task counts per status plus total task seconds;
 * **counters** are summed, **gauges** keep their last value, and
@@ -111,6 +115,7 @@ def aggregate(events: List[Dict[str, object]]) -> Dict[str, object]:
 
         {"events": N,
          "phases": {name: {count, total_s, mean_s, min_s, max_s}},
+         "spans": {name: {count, total_s, mean_s, min_s, max_s}},
          "rungs": {rung: {tasks, ok, degraded, failed, other,
                           total_s}},
          "counters": {name: total},
@@ -118,6 +123,7 @@ def aggregate(events: List[Dict[str, object]]) -> Dict[str, object]:
          "span_problems": [...]}
     """
     phases: Dict[str, Dict[str, float]] = {}
+    spans: Dict[str, Dict[str, float]] = {}
     rungs: Dict[str, Dict[str, float]] = {}
     counters: Dict[str, float] = {}
     gauges: Dict[str, float] = {}
@@ -127,16 +133,21 @@ def aggregate(events: List[Dict[str, object]]) -> Dict[str, object]:
         if kind in ("span_end", "span"):
             phase = _phase_of(event)
             if phase is not None:
-                duration = float(event.get("duration_s", 0.0))
-                row = phases.setdefault(
-                    phase,
-                    {"count": 0, "total_s": 0.0,
-                     "min_s": float("inf"), "max_s": 0.0},
-                )
-                row["count"] += 1
-                row["total_s"] += duration
-                row["min_s"] = min(row["min_s"], duration)
-                row["max_s"] = max(row["max_s"], duration)
+                table, key = phases, phase
+            else:
+                # Non-phase spans (serve.job, pig.shard.build, ...)
+                # keep their full name in their own table.
+                table, key = spans, str(event.get("name", "?"))
+            duration = float(event.get("duration_s", 0.0))
+            row = table.setdefault(
+                key,
+                {"count": 0, "total_s": 0.0,
+                 "min_s": float("inf"), "max_s": 0.0},
+            )
+            row["count"] += 1
+            row["total_s"] += duration
+            row["min_s"] = min(row["min_s"], duration)
+            row["max_s"] = max(row["max_s"], duration)
         elif kind == "counter":
             name = str(event["name"])
             counters[name] = counters.get(name, 0.0) + float(
@@ -162,7 +173,7 @@ def aggregate(events: List[Dict[str, object]]) -> Dict[str, object]:
             except (TypeError, ValueError):
                 pass
 
-    for row in phases.values():
+    for row in list(phases.values()) + list(spans.values()):
         row["mean_s"] = row["total_s"] / row["count"] if row["count"] else 0.0
         if row["min_s"] == float("inf"):
             row["min_s"] = 0.0
@@ -174,6 +185,7 @@ def aggregate(events: List[Dict[str, object]]) -> Dict[str, object]:
     return {
         "events": len(events),
         "phases": {name: phases[name] for name in sorted(phases)},
+        "spans": {name: spans[name] for name in sorted(spans)},
         "rungs": {name: rungs[name] for name in sorted(rungs)},
         "counters": {name: counters[name] for name in sorted(counters)},
         "gauges": {name: gauges[name] for name in sorted(gauges)},
@@ -205,6 +217,24 @@ def format_stats(stats: Dict[str, object]) -> str:
             )
     else:
         lines.append("  (no phase spans)")
+
+    spans = stats.get("spans") or {}
+    if spans:
+        lines.append("")
+        lines.append("spans:")
+        lines.append(
+            "  {:<24} {:>7} {:>12} {:>12} {:>12} {:>12}".format(
+                "span", "count", "total_s", "mean_s", "min_s", "max_s"
+            )
+        )
+        for name, row in spans.items():  # type: ignore[union-attr]
+            lines.append(
+                "  {:<24} {:>7} {:>12.6f} {:>12.6f} {:>12.6f} "
+                "{:>12.6f}".format(
+                    name, int(row["count"]), row["total_s"],
+                    row["mean_s"], row["min_s"], row["max_s"],
+                )
+            )
 
     rungs = stats.get("rungs") or {}
     lines.append("")

@@ -6,7 +6,11 @@ workers with retry/circuit/checkpoint policy (:class:`BatchRunner`) —
 per-attempt fork workers or a persistent :class:`WorkerPool` — or run
 a single isolated attempt (:func:`run_one`).  Region-sharded PIG
 construction (:func:`build_sharded_pig`) reuses the same pool to fan
-per-region graph builds across workers.
+per-region graph builds across workers.  The long-running HTTP/JSON
+front end (:class:`CompileServer`, ``repro serve``) drives the same
+machinery as a service: token-style admission
+(:class:`SessionTable`), request coalescing and deadline-aware
+dispatch (:class:`JobDispatcher`), and graceful SIGTERM drain.
 """
 
 from repro.service.batch import (
@@ -21,6 +25,15 @@ from repro.service.batch import (
 )
 from repro.service.checkpoint import RunLedger, TERMINAL_STATUSES
 from repro.service.circuit import CircuitBreaker
+from repro.service.jobs import (
+    JOB_DONE,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    STATUS_DEADLINE,
+    STATUS_INTERRUPTED,
+    Job,
+    JobDispatcher,
+)
 from repro.service.manifest import CompileTask, fuzz_tasks, load_manifest
 from repro.service.pool import (
     DEFAULT_IDLE_TIMEOUT,
@@ -38,13 +51,38 @@ from repro.service.shard import (
     machine_to_wire,
     shutdown_shared_pool,
 )
+from repro.service.server import (
+    EXIT_SERVE_OK,
+    CompileServer,
+)
+from repro.service.session import (
+    SHED_CLIENT_QUEUE,
+    SHED_DRAINING,
+    SHED_QUEUE_FULL,
+    SessionTable,
+    ShedDecision,
+)
 from repro.service.worker import WorkerOutcome, run_one
 
 __all__ = [
     "BatchRunner",
     "BatchSummary",
     "CircuitBreaker",
+    "CompileServer",
     "CompileTask",
+    "EXIT_SERVE_OK",
+    "JOB_DONE",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "Job",
+    "JobDispatcher",
+    "SHED_CLIENT_QUEUE",
+    "SHED_DRAINING",
+    "SHED_QUEUE_FULL",
+    "STATUS_DEADLINE",
+    "STATUS_INTERRUPTED",
+    "SessionTable",
+    "ShedDecision",
     "DEFAULT_IDLE_TIMEOUT",
     "DEFAULT_MAX_TASKS_PER_WORKER",
     "EXIT_BATCH_FAILURES",

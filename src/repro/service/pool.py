@@ -444,6 +444,11 @@ class WorkerPool:
     def live_workers(self) -> int:
         return sum(1 for w in self._workers if w.alive)
 
+    def worker_pids(self) -> List[int]:
+        """Pids of currently live workers — the set a clean shutdown
+        must leave empty (orphan audits key on this)."""
+        return [w.pid for w in self._workers if w.alive and w.pid]
+
     def shutdown(self) -> None:
         """Retire every worker (graceful exit frame, then force).
         Idempotent; the pool is reusable after — fresh workers spawn

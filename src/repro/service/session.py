@@ -1,0 +1,181 @@
+"""Admission control for the compilation service.
+
+A long-running server cannot let demand queue without bound: every
+queued request holds memory, and a deep queue turns into latency no
+deadline can survive.  :class:`SessionTable` applies **token-style
+admission** at two scopes before a request may become a job:
+
+* **per-client tokens** — each client identity holds
+  ``per_client_depth`` tokens; a submit takes one, settling the job
+  returns it.  A client that floods faster than it drains runs out of
+  tokens and is shed with :data:`SHED_CLIENT_QUEUE` (HTTP 429) while
+  other clients keep compiling — one greedy client cannot starve the
+  fleet.
+* **global depth** — at most ``max_queue_depth`` admitted-but-
+  unsettled jobs in total; past it every client is shed with
+  :data:`SHED_QUEUE_FULL` (HTTP 503, the server itself is the
+  bottleneck).
+* **drain** — once the server begins graceful drain, all admission is
+  refused with :data:`SHED_DRAINING` (HTTP 503 plus ``Retry-After``
+  semantics: the client should go elsewhere).
+
+Every decision is a typed :class:`ShedDecision` so the HTTP layer can
+map it 1:1 onto status codes and machine-readable error bodies, and
+the counters ``serve.shed.<reason>`` make shed storms visible in
+``repro stats``.
+
+The table is thread-safe: admission runs on the asyncio loop thread
+while settlement (token release) runs on the dispatcher thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.utils.errors import InputError
+
+#: Typed shed reasons (wire values of the ``error`` field).
+SHED_CLIENT_QUEUE = "client-queue-full"
+SHED_QUEUE_FULL = "server-queue-full"
+SHED_DRAINING = "draining"
+
+#: Shed reason → HTTP status code the front end answers with.
+SHED_HTTP_STATUS = {
+    SHED_CLIENT_QUEUE: 429,
+    SHED_QUEUE_FULL: 503,
+    SHED_DRAINING: 503,
+}
+
+
+@dataclass(frozen=True)
+class ShedDecision:
+    """One refused admission: the typed reason plus a human message."""
+
+    reason: str
+    message: str
+
+    @property
+    def http_status(self) -> int:
+        return SHED_HTTP_STATUS[self.reason]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "error": self.reason,
+            "message": self.message,
+            "shed": True,
+        }
+
+
+class SessionTable:
+    """Token-bucket admission over client identities.
+
+    Args:
+        max_queue_depth: Global bound on admitted-but-unsettled jobs
+            (queued + in flight).
+        per_client_depth: Token count per client identity.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int = 64,
+        per_client_depth: int = 8,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise InputError(
+                "max_queue_depth must be >= 1, got {}".format(
+                    max_queue_depth
+                )
+            )
+        if per_client_depth < 1:
+            raise InputError(
+                "per_client_depth must be >= 1, got {}".format(
+                    per_client_depth
+                )
+            )
+        self.max_queue_depth = max_queue_depth
+        self.per_client_depth = per_client_depth
+        self._lock = threading.Lock()
+        self._held: Dict[str, int] = {}
+        self._total = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def admit(self, client: str) -> Optional[ShedDecision]:
+        """Take one token for *client*; None means admitted.
+
+        Refusals never consume a token, so a shed storm cannot wedge
+        the table."""
+        with self._lock:
+            if self._draining:
+                return ShedDecision(
+                    reason=SHED_DRAINING,
+                    message="server is draining; no new work accepted",
+                )
+            # Per-client before global: "you are over YOUR bound" is
+            # actionable (back off), while a generic 503 only says the
+            # server is busy — answer with the most specific refusal.
+            held = self._held.get(client, 0)
+            if held >= self.per_client_depth:
+                return ShedDecision(
+                    reason=SHED_CLIENT_QUEUE,
+                    message="client {!r} already holds {} in-flight "
+                    "request(s)".format(client, held),
+                )
+            if self._total >= self.max_queue_depth:
+                return ShedDecision(
+                    reason=SHED_QUEUE_FULL,
+                    message="server queue depth {} reached".format(
+                        self.max_queue_depth
+                    ),
+                )
+            self._held[client] = held + 1
+            self._total += 1
+            return None
+
+    def release(self, client: str) -> None:
+        """Return *client*'s token when its job settles (any outcome).
+        Releasing an unknown client is a no-op, never an error — the
+        dispatcher must be free to settle defensively."""
+        with self._lock:
+            held = self._held.get(client, 0)
+            if held <= 1:
+                self._held.pop(client, None)
+            else:
+                self._held[client] = held - 1
+            if held > 0:
+                self._total -= 1
+
+    # ------------------------------------------------------------------
+    # Drain / introspection
+    # ------------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Refuse all further admission (idempotent)."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    @property
+    def depth(self) -> int:
+        """Currently admitted-but-unsettled jobs."""
+        with self._lock:
+            return self._total
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "depth": self._total,
+                "max_queue_depth": self.max_queue_depth,
+                "per_client_depth": self.per_client_depth,
+                "clients": {c: n for c, n in sorted(self._held.items())},
+                "draining": self._draining,
+            }

@@ -28,6 +28,11 @@ point                     location
 ``sched.augmented``       :func:`repro.sched.augmented.augmented_schedule`
 ``service.worker``        :mod:`repro.service.worker` child entry (batch
                           service; supports the worker-level actions)
+``service.server``        :mod:`repro.service.server` per-request handler
+                          (``raise`` = 500 response, ``stall``/``hang`` =
+                          slow/wedged handler, ``crash`` = server dies
+                          mid-request, ``poison-result`` = garbage
+                          response body)
 ``phase.<name>``          start of each driver phase (see
                           :attr:`repro.pipeline.driver.CompilationDriver.PHASES`)
 ========================  ====================================================
@@ -116,6 +121,7 @@ LIBRARY_POINTS = frozenset({
     "regalloc.chaitin",
     "sched.augmented",
     "service.worker",
+    "service.server",
 })
 
 #: Driver phases with a ``phase.<name>`` point (kept in sync with

@@ -1,0 +1,460 @@
+#!/usr/bin/env python
+"""Load-generate ``repro serve`` and measure its robustness envelope.
+
+Each phase starts a real ``repro serve`` subprocess (the CLI path, not
+an in-process shortcut) and drives it with concurrent HTTP clients:
+
+* ``latency`` — N clients (>= 8) each stream unique-source wait-mode
+  compiles; reports p50/p99 request latency and tasks/sec.
+* ``coalesce`` — the pool is pinned by one slow job, then N clients
+  concurrently submit byte-identical sources: the duplicates must
+  coalesce onto **one** worker compile (coalesce counter == N-1).
+* ``shed`` — a server with tiny admission bounds is flooded; every
+  refusal must be a *typed* 429/503 shed response, never a hang or an
+  unbounded queue.
+* ``drain`` — SIGTERM mid-burst: the server must exit 0, leave zero
+  orphan worker pids, and journal every accepted task to the ledger
+  (settled, or ``interrupted`` = resumable).
+
+Rows are bench_compare-compatible ``{workload, phase, ...}`` objects;
+the committed snapshot is ``BENCH_pr7.json``.  ``--check`` enforces
+the correctness assertions (coalesce-exactly-once, typed sheds,
+zero-loss drain) in-process — latency itself is machine-dependent and
+carries no floor.
+
+Run:  PYTHONPATH=src python tools/bench_serve.py -o BENCH_pr7.json
+      PYTHONPATH=src python tools/bench_serve.py --check
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+SOURCE = "input a, b;\nx = a * b + 3;\noutput x;\n"
+
+
+def unique_source(index):
+    return "input a, b;\nv = a * {} + b;\nw = v ^ {};\noutput w;\n".format(
+        index + 2, index + 3
+    )
+
+
+class ServeProc:
+    """One ``repro serve`` subprocess plus HTTP client helpers."""
+
+    def __init__(self, *flags):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        env["PYTHONUNBUFFERED"] = "1"
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"]
+            + list(flags),
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            env=env, text=True,
+        )
+        banner = self.proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", banner)
+        if not match:
+            self.proc.kill()
+            raise SystemExit(
+                "bench_serve: no listening banner, got {!r}".format(banner)
+            )
+        self.base = "http://127.0.0.1:{}".format(match.group(1))
+
+    def post(self, path, doc, timeout=60.0):
+        req = urllib.request.Request(
+            self.base + path, data=json.dumps(doc).encode("utf-8"),
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def get(self, path, timeout=30.0):
+        with urllib.request.urlopen(
+            self.base + path, timeout=timeout
+        ) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def healthz(self):
+        return self.get("/healthz")[1]
+
+    def drain(self):
+        self.post("/drain", {})
+        return self.wait()
+
+    def sigterm(self):
+        self.proc.send_signal(signal.SIGTERM)
+        return self.wait()
+
+    def wait(self, timeout=60.0):
+        out, _ = self.proc.communicate(timeout=timeout)
+        return self.proc.returncode, out
+
+    def kill_if_alive(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+
+
+def pid_is_live(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover
+        return True
+    return True
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return None
+    index = min(
+        len(sorted_values) - 1,
+        max(0, int(round(fraction * (len(sorted_values) - 1)))),
+    )
+    return sorted_values[index]
+
+
+# ----------------------------------------------------------------------
+# Phases
+# ----------------------------------------------------------------------
+
+def phase_latency(clients, per_client, pool_size):
+    server = ServeProc("--pool-size", str(pool_size),
+                       "--max-queue-depth", str(clients * per_client + 8))
+    latencies = []
+    failures = []
+    lock = threading.Lock()
+
+    def client_main(client_index):
+        for task_index in range(per_client):
+            source = unique_source(client_index * per_client + task_index)
+            started = time.perf_counter()
+            status, doc = server.post("/submit", {
+                "name": "c{}t{}".format(client_index, task_index),
+                "text": source,
+                "client": "client-{}".format(client_index),
+                "wait": True,
+            })
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+                if status != 200 or doc.get("status") != "ok":
+                    failures.append((status, doc.get("status")))
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=client_main, args=(i,))
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    code, _ = server.drain()
+    total = clients * per_client
+    ordered = sorted(latencies)
+    row = {
+        "workload": "serve-burst",
+        "phase": "latency",
+        "wall_s": round(wall, 6),
+        "tasks": total,
+        "clients": clients,
+        "pool_size": pool_size,
+        "tasks_per_s": round(total / wall, 3) if wall else None,
+        "p50_ms": round(1000 * percentile(ordered, 0.50), 3),
+        "p99_ms": round(1000 * percentile(ordered, 0.99), 3),
+        "failures": len(failures),
+        "exit_code": code,
+    }
+    problems = []
+    if failures:
+        problems.append(
+            "latency: {} of {} requests failed: {}".format(
+                len(failures), total, failures[:3]
+            )
+        )
+    if code != 0:
+        problems.append("latency: drain exited {}".format(code))
+    return row, problems
+
+
+def phase_coalesce(duplicates):
+    server = ServeProc("--pool-size", "1", "--allow-request-faults",
+                       "--no-cache")
+    # Pin the single worker so the duplicates overlap while queued.
+    server.post("/submit", {
+        "name": "pin", "text": SOURCE,
+        "faults": "service.worker:stall=2.0",
+    })
+    time.sleep(0.3)
+    results = []
+    lock = threading.Lock()
+    dup_source = "input a;\ny = a + 7;\noutput y;\n"
+
+    def submit_one(index):
+        status, doc = server.post("/submit", {
+            "name": "dup", "text": dup_source,
+            "client": "client-{}".format(index),
+        })
+        with lock:
+            results.append((status, doc))
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=submit_one, args=(i,))
+        for i in range(duplicates)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    deadline = time.monotonic() + 30.0
+    health = server.healthz()
+    while time.monotonic() < deadline:
+        health = server.healthz()
+        if health["dispatcher"]["stats"]["completed"] >= duplicates + 1:
+            break
+        time.sleep(0.1)
+    wall = time.perf_counter() - started
+    stats = health["dispatcher"]["stats"]
+    coalesced = stats["coalesced"]
+    dispatched = stats["dispatched"]
+    code, _ = server.drain()
+    row = {
+        "workload": "serve-coalesce",
+        "phase": "coalesce",
+        "wall_s": round(wall, 6),
+        "duplicates": duplicates,
+        "coalesced": coalesced,
+        "dispatched": dispatched,
+        "exit_code": code,
+    }
+    problems = []
+    if coalesced != duplicates - 1:
+        problems.append(
+            "coalesce: expected {} coalesced submissions, saw {}".format(
+                duplicates - 1, coalesced
+            )
+        )
+    if dispatched != 2:  # the pin job + exactly one duplicate compile
+        problems.append(
+            "coalesce: expected exactly 2 dispatches (pin + one "
+            "compile), saw {}".format(dispatched)
+        )
+    if any(status != 202 for status, _ in results):
+        problems.append("coalesce: a duplicate submission was refused")
+    return row, problems
+
+
+def phase_shed(clients):
+    # One token per client and a global bound below the client count:
+    # with the pool pinned, first submits are admitted until the
+    # global bound (typed 503 for the rest), and every second submit
+    # from an admitted client trips its per-client bound (typed 429) —
+    # both shed kinds are exercised deterministically.
+    server = ServeProc("--pool-size", "1",
+                       "--max-queue-depth", str(max(2, clients - 2)),
+                       "--per-client-depth", "1",
+                       "--allow-request-faults")
+    # Pin the worker so nothing settles while the flood runs.
+    server.post("/submit", {
+        "name": "pin", "text": SOURCE, "client": "pin",
+        "faults": "service.worker:stall=3.0",
+    })
+    time.sleep(0.2)
+    outcomes = []
+    lock = threading.Lock()
+
+    def flood(index):
+        # two submissions per client: the second must trip the
+        # per-client bound even when the global queue has room
+        for attempt in range(2):
+            status, doc = server.post("/submit", {
+                "name": "f{}a{}".format(index, attempt), "text": SOURCE,
+                "client": "client-{}".format(index),
+            })
+            with lock:
+                outcomes.append((status, doc.get("error")))
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=flood, args=(i,)) for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    code, _ = server.drain()
+    accepted = sum(1 for status, _ in outcomes if status == 202)
+    shed_429 = sum(1 for status, _ in outcomes if status == 429)
+    shed_503 = sum(1 for status, _ in outcomes if status == 503)
+    untyped = [
+        (status, error) for status, error in outcomes
+        if status not in (202, 429, 503)
+        or (status in (429, 503) and not error)
+    ]
+    row = {
+        "workload": "serve-shed",
+        "phase": "shed",
+        "wall_s": round(wall, 6),
+        "requests": len(outcomes),
+        "accepted": accepted,
+        "shed_429": shed_429,
+        "shed_503": shed_503,
+        "exit_code": code,
+    }
+    problems = []
+    if shed_429 == 0 or shed_503 == 0:
+        problems.append(
+            "shed: want both shed kinds, saw {} x 429 and "
+            "{} x 503".format(shed_429, shed_503)
+        )
+    if untyped:
+        problems.append(
+            "shed: untyped responses: {}".format(untyped[:3])
+        )
+    return row, problems
+
+
+def phase_drain(queued, ledger_path):
+    server = ServeProc("--pool-size", "2", "--ledger", ledger_path,
+                       "--allow-request-faults")
+    accepted = []
+    for index in range(2):
+        status, doc = server.post("/submit", {
+            "name": "slow{}".format(index), "text": SOURCE,
+            "client": "drain", "faults": "service.worker:stall=3.0",
+        })
+        if status == 202:
+            accepted.append(doc["job_id"])
+    for index in range(queued):
+        status, doc = server.post("/submit", {
+            "name": "q{}".format(index),
+            "text": unique_source(index),
+            "client": "drain-{}".format(index),
+        })
+        if status == 202:
+            accepted.append(doc["job_id"])
+    worker_pids = server.healthz()["dispatcher"]["worker_pids"]
+    started = time.perf_counter()
+    code, _ = server.sigterm()
+    wall = time.perf_counter() - started
+    orphans = [pid for pid in worker_pids if pid_is_live(pid)]
+    records = {}
+    with open(ledger_path) as handle:
+        for line in handle:
+            if line.strip():
+                record = json.loads(line)
+                records[record["task_id"]] = record["status"]
+    lost = [job_id for job_id in accepted if job_id not in records]
+    row = {
+        "workload": "serve-drain",
+        "phase": "drain",
+        "wall_s": round(wall, 6),
+        "accepted": len(accepted),
+        "ledgered": len([j for j in accepted if j in records]),
+        "interrupted": sum(
+            1 for j in accepted if records.get(j) == "interrupted"
+        ),
+        "orphans": len(orphans),
+        "exit_code": code,
+    }
+    problems = []
+    if code != 0:
+        problems.append("drain: SIGTERM exited {}, want 0".format(code))
+    if orphans:
+        problems.append("drain: orphan worker pids {}".format(orphans))
+    if lost:
+        problems.append("drain: accepted tasks lost: {}".format(lost))
+    return row, problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--clients", type=int, default=8, metavar="N",
+        help="concurrent clients for the latency/shed phases "
+        "(default 8; the acceptance floor)",
+    )
+    parser.add_argument(
+        "--per-client", type=int, default=4, metavar="M",
+        help="wait-mode compiles per client in the latency phase",
+    )
+    parser.add_argument(
+        "--pool-size", type=int, default=4, metavar="K",
+        help="server worker pool for the latency phase",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail on any correctness problem (coalesce-exactly-once, "
+        "typed sheds, zero-loss zero-orphan drain)",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write bench_compare-compatible JSON rows to FILE",
+    )
+    args = parser.parse_args(argv)
+    if args.clients < 8:
+        raise SystemExit("bench_serve: --clients must be >= 8")
+
+    rows = []
+    problems = []
+    ledger_path = "/tmp/bench_serve_drain_{}.jsonl".format(os.getpid())
+    if os.path.exists(ledger_path):
+        os.unlink(ledger_path)
+    phases = [
+        ("latency", lambda: phase_latency(
+            args.clients, args.per_client, args.pool_size)),
+        ("coalesce", lambda: phase_coalesce(args.clients)),
+        ("shed", lambda: phase_shed(args.clients)),
+        ("drain", lambda: phase_drain(6, ledger_path)),
+    ]
+    try:
+        for name, runner in phases:
+            row, phase_problems = runner()
+            rows.append(row)
+            problems.extend(phase_problems)
+            detail = {
+                k: v for k, v in row.items()
+                if k not in ("workload", "phase")
+            }
+            print("{:<10} {}".format(name, json.dumps(detail)))
+    finally:
+        if os.path.exists(ledger_path):
+            os.unlink(ledger_path)
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(rows, handle, indent=2)
+            handle.write("\n")
+        print("wrote {}".format(args.output))
+
+    if problems:
+        for problem in problems:
+            print("FAIL: {}".format(problem))
+        if args.check:
+            return 1
+    elif args.check:
+        print("serve robustness assertions hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

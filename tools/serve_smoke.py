@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""End-to-end smoke of ``repro serve``: the CI gate for the service.
+
+One real ``repro serve`` subprocess is driven through the full
+robustness story in a few seconds:
+
+1. **start** — the server comes up on an ephemeral port and answers
+   ``/healthz``.
+2. **burst** — 8 concurrent clients submit wait-mode compiles; one of
+   them carries a ``service.worker:crash`` fault, so its worker dies
+   mid-request (exit 70).  The crashed job must settle as a typed
+   ``failed`` result after the retry budget — never a hang — while
+   every clean job still compiles ``ok`` on the respawned pool.
+3. **shed** — a burst past the per-client token bound must answer
+   with a typed 429, and the refusal must not leak a token.
+4. **drain** — ``POST /drain`` with the pool warm: the server must
+   exit 0, leave zero orphan worker pids, and journal every accepted
+   job to the run ledger.
+
+Any violated expectation prints ``FAIL: ...`` and exits 1, so this
+script doubles as a CI gate (``make serve-smoke``).
+
+Run:  PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+import threading
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_serve import ServeProc, pid_is_live, unique_source  # noqa: E402
+
+CLIENTS = 8
+CRASH_CLIENT = 3  # the one burst client whose worker is killed
+
+
+def main():
+    problems = []
+    ledger_path = os.path.join(
+        tempfile.mkdtemp(prefix="repro-serve-smoke-"), "serve.jsonl"
+    )
+    server = ServeProc(
+        "--pool-size", "2",
+        "--retries", "1",
+        "--per-client-depth", "1",
+        "--allow-request-faults",
+        "--no-cache",
+        "--ledger", ledger_path,
+    )
+    try:
+        # -- 1. start ---------------------------------------------------
+        health = server.healthz()
+        print("healthz:", json.dumps({
+            "status": health.get("status"),
+            "draining": health.get("dispatcher", {}).get("draining"),
+        }))
+        if health.get("status") != "ok":
+            problems.append("healthz status {!r}".format(health.get("status")))
+        live_before = list(
+            health.get("dispatcher", {}).get("worker_pids", [])
+        )
+
+        # -- 2. concurrent burst with one injected worker crash ---------
+        results = [None] * CLIENTS
+
+        def one_client(index):
+            doc = {
+                "name": "smoke-{}".format(index),
+                "text": unique_source(index),
+                "client": "client-{}".format(index),
+                "wait": True,
+            }
+            if index == CRASH_CLIENT:
+                doc["faults"] = "service.worker:crash"
+            results[index] = server.post("/submit", doc, timeout=60.0)
+
+        threads = [
+            threading.Thread(target=one_client, args=(i,))
+            for i in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        ok = crashed = 0
+        accepted_ids = set()
+        for index, entry in enumerate(results):
+            if entry is None:
+                problems.append("client {} got no response".format(index))
+                continue
+            status_code, body = entry
+            if status_code != 200:
+                problems.append(
+                    "client {} got HTTP {}: {}".format(
+                        index, status_code, body
+                    )
+                )
+                continue
+            accepted_ids.add(body.get("job_id"))
+            if index == CRASH_CLIENT:
+                if body.get("status") == "failed" and \
+                        "crash" in body.get("kinds", []):
+                    crashed += 1
+                else:
+                    problems.append(
+                        "crash job settled {!r} (kinds {})".format(
+                            body.get("status"), body.get("kinds")
+                        )
+                    )
+            elif body.get("status") == "ok":
+                ok += 1
+            else:
+                problems.append(
+                    "clean job {} settled {!r}: {}".format(
+                        index, body.get("status"), body.get("message")
+                    )
+                )
+        print("burst:", json.dumps({
+            "clients": CLIENTS, "ok": ok, "crash_contained": crashed,
+        }))
+
+        # The crash must have been contained: the pool replaced the
+        # dead worker and still answers.
+        health = server.healthz()
+        live_after = list(
+            health.get("dispatcher", {}).get("worker_pids", [])
+        )
+        if health.get("status") != "ok":
+            problems.append("pool unhealthy after worker crash")
+        dead_still_listed = [
+            pid for pid in live_after if not pid_is_live(pid)
+        ]
+        if dead_still_listed:
+            problems.append(
+                "healthz lists dead worker pids {}".format(dead_still_listed)
+            )
+
+        # -- 3. typed shed past the per-client bound --------------------
+        slow = {
+            "name": "smoke-slow",
+            "text": unique_source(100),
+            "client": "greedy",
+            "faults": "service.worker:stall=2.0",
+        }
+        status_code, body = server.post("/submit", slow, timeout=10.0)
+        if status_code != 202:
+            problems.append(
+                "slow submit got HTTP {} (want 202)".format(status_code)
+            )
+        else:
+            accepted_ids.add(body.get("job_id"))
+        status_code, body = server.post("/submit", dict(slow), timeout=10.0)
+        if status_code != 429 or body.get("error") != "client-queue-full":
+            problems.append(
+                "over-bound submit got HTTP {} / {!r} "
+                "(want typed 429)".format(status_code, body.get("error"))
+            )
+        print("shed:", json.dumps({
+            "status": status_code, "error": body.get("error"),
+        }))
+
+        # -- 4. graceful drain: exit 0, no orphans, full ledger ---------
+        exit_code, tail = server.drain()
+        print("drain:", json.dumps({"exit_code": exit_code}))
+        if exit_code != 0:
+            problems.append(
+                "drain exit code {} (want 0); tail: {}".format(
+                    exit_code, tail.strip().splitlines()[-3:]
+                )
+            )
+        orphans = [
+            pid for pid in set(live_before + live_after)
+            if pid_is_live(pid)
+        ]
+        if orphans:
+            problems.append("orphan worker pids after drain: {}".format(
+                orphans
+            ))
+        with open(ledger_path) as handle:
+            ledgered = {
+                json.loads(line)["task_id"]
+                for line in handle if line.strip()
+            }
+        missing = accepted_ids - ledgered
+        if missing:
+            problems.append("accepted jobs missing from ledger: {}".format(
+                sorted(missing)
+            ))
+        print("ledger:", json.dumps({
+            "accepted": len(accepted_ids),
+            "ledgered": len(ledgered & accepted_ids),
+        }))
+    finally:
+        server.kill_if_alive()
+
+    if problems:
+        for problem in problems:
+            print("FAIL:", problem)
+        return 1
+    print("serve smoke passed: crash contained, typed shed, clean drain")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
