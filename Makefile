@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test bench bench-check bench-batch bench-batch-check bench-pig bench-pig-check bench-serve bench-pytest batch-smoke pool-smoke trace-smoke serve-smoke obs-overhead figures examples ci all clean
+.PHONY: install test bench bench-check bench-batch bench-batch-check bench-pig bench-pig-check bench-serve bench-pytest batch-smoke pool-smoke trace-smoke serve-smoke chaos-smoke ledger-check obs-overhead figures examples ci all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,11 +24,15 @@ bench-batch:
 	PYTHONPATH=src python tools/bench_batch.py -o BENCH_batch_current.json
 
 # Machine-independent throughput floors on a fresh run: the warm pool
-# must stay >= 2x fork-per-task and the warm cache >= 10x a cold pool.
+# must stay >= 2x fork-per-task, the warm cache >= 10x a cold pool,
+# and pure sharded-disk hits (fresh instance, empty memory tier)
+# >= 5x a cold pool — i.e. PR 8's sharded store does not regress the
+# PR 5 warm-cache floor.
 bench-batch-check: bench-batch
 	PYTHONPATH=src python tools/bench_compare.py none BENCH_batch_current.json \
 		--ratio-max batch-fuzz-200:pool_cold/fork_cold=0.5 \
-		--ratio-max batch-fuzz-200:pool_warm_cache/pool_cold=0.1
+		--ratio-max batch-fuzz-200:pool_warm_cache/pool_cold=0.1 \
+		--ratio-max batch-fuzz-200:disk_warm/pool_cold=0.2
 
 # Time large-region PIG construction (vector vs bitset engine) and
 # the region-sharded build's worker-count scaling.  The committed
@@ -82,6 +86,24 @@ trace-smoke:
 serve-smoke:
 	PYTHONPATH=src python tools/serve_smoke.py
 
+# Fixed-seed chaos smoke (~60s): one quick campaign over the full
+# drill matrix — every fs fault action, worker crash/hang/poison, a
+# SIGKILLed supervised server, poison quarantine, and the cache-vs-
+# fresh honesty check — asserting zero orphans, clean ledger audits,
+# exactly-once settlement, and cache honesty.
+chaos-smoke:
+	PYTHONPATH=src python -m repro chaos --quick --seed 1108 --tasks 6
+
+# End-to-end run-ledger audit: a journaled fuzz batch followed by
+# `repro ledger check` (read-only crash-consistency audit, exit 1 on
+# torn mid-file records, duplicate settlements, or missing terminals).
+ledger-check:
+	rm -rf .ledger-check && mkdir -p .ledger-check
+	PYTHONPATH=src python -m repro batch --fuzz 8 --fuzz-seed 1108 \
+		--ledger .ledger-check/run.jsonl --json-summary > /dev/null
+	PYTHONPATH=src python -m repro ledger check .ledger-check/run.jsonl
+	rm -rf .ledger-check
+
 # Guard the near-zero-overhead claim: the same bench run with the
 # metrics registry installed must stay within 5% of the run without.
 obs-overhead:
@@ -120,6 +142,8 @@ ci:
 	PYTHONPATH=src python tools/pool_smoke.py
 	PYTHONPATH=src python tools/trace_smoke.py
 	PYTHONPATH=src python tools/serve_smoke.py
+	$(MAKE) chaos-smoke
+	$(MAKE) ledger-check
 	$(MAKE) obs-overhead
 	$(MAKE) bench-batch-check
 	$(MAKE) bench-pig-check
@@ -132,3 +156,4 @@ clean:
 	rm -f BENCH_current.json BENCH_obs_off.json BENCH_obs_on.json
 	rm -f BENCH_batch_current.json BENCH_pig_current.json
 	rm -f BENCH_serve_current.json
+	rm -rf .ledger-check

@@ -1,4 +1,4 @@
-"""The compile cache: in-memory LRU in front of an on-disk store.
+"""The compile cache: in-memory LRU in front of a sharded disk store.
 
 :class:`CompileCache` maps a :class:`~repro.cache.keys.CacheKey` to
 the worker-result dict of a *successful* compile (the same validated
@@ -11,11 +11,24 @@ Two tiers:
   ``OrderedDict`` in recency order); hits are free, eviction is
   strictly least-recently-used.
 * **disk** (optional) — one JSON file per entry under
-  ``directory/<aa>/<digest>.json`` where ``aa`` is the first byte of
-  the key digest (keeps directories small).  Writes are atomic
-  (``os.replace`` of a same-directory temp file), so a crash mid-write
-  leaves either the old entry or none.  Disk hits are promoted into
-  the memory tier.
+  ``directory/<aa>/<bb>/<digest>.json`` where ``aa``/``bb`` are the
+  first two bytes of the key digest: a two-level digest-prefix shard
+  keeps every directory small even at millions of entries.  The disk
+  tier is **size-bounded**: ``max_disk_entries`` / ``max_disk_bytes``
+  evict least-recently-used entries (disk hits refresh recency), so a
+  long-running service can never grow the store without bound.  Disk
+  hits are promoted into the memory tier.
+
+Crash consistency — every disk operation goes through the filesystem
+fault shim (:mod:`repro.utils.fsfaults`, scope ``cache``), and the
+write path is write-temp → fsync(file) → rename → fsync(directory),
+so a crash at any byte leaves either the old entry, the new entry, or
+an orphan temp file — never a half-entry under the live name.  A
+**startup recovery sweep** walks the store when a cache is attached to
+an existing directory: orphan ``*.tmp`` files and truncated entries
+are moved aside into ``directory/.quarantine/`` (counted as
+``cache.quarantined``) instead of being re-parsed on every miss, and
+the surviving entries seed the disk-LRU accounting.
 
 Poisoning resistance — the cache **refuses** at both ends:
 
@@ -27,8 +40,8 @@ Poisoning resistance — the cache **refuses** at both ends:
 * :meth:`~CompileCache.get` re-validates everything it reads: a
   truncated/corrupt file, a schema mismatch, or embedded key
   components that do not match the requested key (collision or
-  tampering) all degrade to a **miss** — the entry is deleted
-  best-effort and the task simply recompiles.
+  tampering) all degrade to a **miss** — the entry is quarantined and
+  the task simply recompiles.
 
 Every lookup/store emits ``cache.*`` counters via :mod:`repro.obs`.
 """
@@ -40,17 +53,25 @@ import json
 import os
 import tempfile
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cache.keys import CacheKey
 from repro.obs import get_metrics, get_tracer
+from repro.utils import fsfaults
 from repro.utils.errors import InputError
 
-#: On-disk entry schema version (a mismatch is a miss).
-CACHE_VERSION = 1
+#: On-disk entry schema version (a mismatch is a miss).  2 = the
+#: two-level sharded layout.
+CACHE_VERSION = 2
 
 #: Default memory-tier capacity (entries).
 DEFAULT_CAPACITY = 512
+
+#: Corrupt/orphan files are moved here, inside the store directory.
+QUARANTINE_DIR = ".quarantine"
+
+#: Fault-shim scope for every disk operation of this module.
+_SCOPE = "cache"
 
 
 def _is_cacheable(result: Dict[str, object]) -> bool:
@@ -65,27 +86,50 @@ def _is_cacheable(result: Dict[str, object]) -> bool:
 
 
 class CompileCache:
-    """Content-addressed compile-result cache (memory LRU + disk).
+    """Content-addressed compile-result cache (memory LRU + sharded
+    disk store with size-bounded eviction).
 
     Args:
         capacity: Memory-tier LRU bound (>= 1).
         directory: On-disk store root; None keeps the cache purely
             in-memory (still useful for duplicate inputs inside one
-            batch).  Created on first use.
+            batch).  Created on first use; an existing directory is
+            swept for orphan temp files and truncated entries at
+            construction time.
+        max_disk_entries: Disk-tier entry bound (None = unbounded).
+        max_disk_bytes: Disk-tier payload-byte bound (None =
+            unbounded).  Both bounds evict least-recently-used.
     """
 
     def __init__(
         self,
         capacity: int = DEFAULT_CAPACITY,
         directory: Optional[str] = None,
+        max_disk_entries: Optional[int] = None,
+        max_disk_bytes: Optional[int] = None,
     ) -> None:
         if capacity < 1:
             raise InputError(
                 "cache capacity must be >= 1, got {}".format(capacity)
             )
+        if max_disk_entries is not None and max_disk_entries < 1:
+            raise InputError(
+                "max_disk_entries must be >= 1, got {}".format(
+                    max_disk_entries
+                )
+            )
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise InputError(
+                "max_disk_bytes must be >= 1, got {}".format(max_disk_bytes)
+            )
         self.capacity = capacity
         self.directory = directory
+        self.max_disk_entries = max_disk_entries
+        self.max_disk_bytes = max_disk_bytes
         self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        #: digest → entry bytes, recency-ordered (oldest first).
+        self._disk_lru: "OrderedDict[str, int]" = OrderedDict()
+        self._disk_bytes = 0
         self.stats: Dict[str, int] = {
             "hits_memory": 0,
             "hits_disk": 0,
@@ -94,7 +138,12 @@ class CompileCache:
             "rejected": 0,
             "evictions": 0,
             "corrupt": 0,
+            "quarantined": 0,
+            "disk_evictions": 0,
+            "disk_errors": 0,
         }
+        if directory is not None and os.path.isdir(directory):
+            self._recover()
 
     # ------------------------------------------------------------------
     # Lookup
@@ -162,7 +211,50 @@ class CompileCache:
     # ------------------------------------------------------------------
 
     def _entry_path(self, digest: str) -> str:
-        return os.path.join(self.directory, digest[:2], digest + ".json")
+        return os.path.join(
+            self.directory, digest[:2], digest[2:4], digest + ".json"
+        )
+
+    def _recover(self) -> None:
+        """Startup sweep: quarantine orphan temp files and truncated
+        entries; seed the disk-LRU accounting (oldest-mtime first)
+        from what survives."""
+        survivors: List[Tuple[float, str, int]] = []
+        for dirpath, dirnames, filenames in os.walk(self.directory):
+            dirnames[:] = [d for d in dirnames if d != QUARANTINE_DIR]
+            for name in filenames:
+                path = os.path.join(dirpath, name)
+                if name.endswith(".tmp"):
+                    # A crash in the write-temp/rename window left
+                    # this orphan; it was never the live entry.
+                    self._quarantine_file(path, reason="orphan-temp")
+                    continue
+                if not name.endswith(".json"):
+                    continue
+                try:
+                    size = os.path.getsize(path)
+                    intact = size > 0
+                    if intact:
+                        with open(path, "rb") as handle:
+                            handle.seek(-1, os.SEEK_END)
+                            intact = handle.read(1) == b"}"
+                    mtime = os.path.getmtime(path)
+                except OSError:
+                    continue
+                if not intact:
+                    # Torn write that made it under the live name
+                    # (power loss after rename, before data reached
+                    # the platter).
+                    self.stats["corrupt"] += 1
+                    get_metrics().counter("cache.corrupt_entries").inc()
+                    self._quarantine_file(path, reason="truncated")
+                    continue
+                survivors.append((mtime, name[: -len(".json")], size))
+        survivors.sort()
+        for _, digest, size in survivors:
+            self._disk_lru[digest] = size
+            self._disk_bytes += size
+        self._evict_disk()
 
     def _disk_get(
         self, digest: str, key: CacheKey
@@ -171,38 +263,49 @@ class CompileCache:
             return None
         path = self._entry_path(digest)
         try:
-            with open(path, encoding="utf-8") as handle:
+            with fsfaults.open(path, encoding="utf-8", scope=_SCOPE) as handle:
                 document = json.load(handle)
         except OSError:
             return None
         except ValueError:
-            self._quarantine(path)
+            self._quarantine_corrupt(digest, path)
             return None
         if not isinstance(document, dict) \
                 or document.get("v") != CACHE_VERSION \
                 or document.get("key") != key.as_dict() \
                 or not _is_cacheable(document.get("result")):
-            self._quarantine(path)
+            self._quarantine_corrupt(digest, path)
             return None
+        if digest in self._disk_lru:
+            self._disk_lru.move_to_end(digest)
         return document["result"]
 
     def _disk_put(
         self, digest: str, key: CacheKey, entry: Dict[str, object]
     ) -> None:
-        """Atomic same-directory write; I/O trouble (full disk,
-        permissions) silently skips persistence — the memory tier
-        still has the entry and correctness never depends on disk."""
+        """Write-temp → fsync → rename → fsync(dir); I/O trouble (full
+        disk, permissions, injected faults) skips persistence — the
+        memory tier still has the entry and correctness never depends
+        on disk."""
         path = self._entry_path(digest)
+        directory = os.path.dirname(path)
         document = {"v": CACHE_VERSION, "key": key.as_dict(), "result": entry}
+        data = json.dumps(document, sort_keys=True)
         try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
+            os.makedirs(directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
-                dir=os.path.dirname(path), suffix=".tmp"
+                dir=directory, suffix=".tmp"
             )
             try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(document, handle, sort_keys=True)
-                os.replace(tmp, path)
+                handle = fsfaults.wrap(
+                    os.fdopen(fd, "w", encoding="utf-8"), _SCOPE
+                )
+                with handle:
+                    handle.write(data)
+                    handle.flush()
+                    fsfaults.fsync(handle, _SCOPE)
+                fsfaults.replace(tmp, path, _SCOPE)
+                fsfaults.sync_directory(directory, _SCOPE)
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -210,17 +313,70 @@ class CompileCache:
                     pass
                 raise
         except OSError:
+            self.stats["disk_errors"] += 1
             get_metrics().counter("cache.disk_errors").inc()
+            return
+        self._disk_remember(digest, len(data))
 
-    def _quarantine(self, path: str) -> None:
-        """A corrupt or mismatched entry degrades to a miss; remove it
-        best-effort so it cannot waste another parse."""
+    def _disk_remember(self, digest: str, size: int) -> None:
+        if digest in self._disk_lru:
+            self._disk_bytes -= self._disk_lru.pop(digest)
+        self._disk_lru[digest] = size
+        self._disk_bytes += size
+        self._evict_disk()
+
+    def _over_disk_budget(self) -> bool:
+        if self.max_disk_entries is not None and \
+                len(self._disk_lru) > self.max_disk_entries:
+            return True
+        if self.max_disk_bytes is not None and \
+                self._disk_bytes > self.max_disk_bytes:
+            return True
+        return False
+
+    def _evict_disk(self) -> None:
+        while self._disk_lru and self._over_disk_budget():
+            digest, size = self._disk_lru.popitem(last=False)
+            self._disk_bytes -= size
+            try:
+                fsfaults.unlink(self._entry_path(digest), _SCOPE)
+            except OSError:
+                self.stats["disk_errors"] += 1
+                get_metrics().counter("cache.disk_errors").inc()
+            self.stats["disk_evictions"] += 1
+            get_metrics().counter("cache.disk_evictions").inc()
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+
+    def _quarantine_corrupt(self, digest: str, path: str) -> None:
+        """A corrupt or mismatched entry degrades to a miss; move it
+        aside so it cannot waste another parse on the next miss."""
         self.stats["corrupt"] += 1
         get_metrics().counter("cache.corrupt_entries").inc()
+        if digest in self._disk_lru:
+            self._disk_bytes -= self._disk_lru.pop(digest)
+        self._quarantine_file(path, reason="corrupt")
+
+    def _quarantine_file(self, path: str, reason: str) -> None:
+        """Move *path* into ``.quarantine/`` (raw os ops — quarantine
+        is the recovery path and must not recurse into the fault
+        shim); deletion is the fallback when even that fails."""
+        target_dir = os.path.join(self.directory, QUARANTINE_DIR)
         try:
-            os.unlink(path)
-        except OSError:  # pragma: no cover
-            pass
+            os.makedirs(target_dir, exist_ok=True)
+            os.replace(
+                path, os.path.join(target_dir, os.path.basename(path))
+            )
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover
+                pass
+        self.stats["quarantined"] += 1
+        get_metrics().counter("cache.quarantined").inc()
+        get_tracer().counter("cache.quarantined", 1, reason=reason)
 
     # ------------------------------------------------------------------
     # Observability
@@ -245,5 +401,7 @@ class CompileCache:
         """Counters plus tier occupancy, for summaries and tests."""
         data = dict(self.stats)
         data["memory_entries"] = len(self._memory)
+        data["disk_entries"] = len(self._disk_lru)
+        data["disk_bytes"] = self._disk_bytes
         data["hits"] = self.stats["hits_memory"] + self.stats["hits_disk"]
         return data

@@ -1,0 +1,759 @@
+"""Seeded chaos campaigns over the batch and serve surfaces.
+
+``repro chaos`` (and the long-soak wrapper ``tools/chaos_soak.py``)
+runs real workloads — fuzz batches in subprocesses, a supervised
+durable serve — while arming the process faults (worker crash/hang/
+poison) and the filesystem faults (torn-write, short-write, ENOSPC,
+EIO, crash-between-write-and-rename) this codebase claims to survive,
+then asserts four **global invariants** after every round:
+
+1. **zero orphan pids** — no worker or server process journaled
+   during the round outlives it;
+2. **ledger integrity** — :func:`repro.service.checkpoint.
+   audit_ledger` passes (no malformed mid-file records);
+3. **exactly-once settlement** — every task the campaign submitted
+   reaches exactly one terminal state, across crashes and restarts
+   (no lost work, no double settlement);
+4. **cache honesty** — a warm-cache run returns results identical to
+   a fresh no-cache compile of the same inputs (a corrupted or
+   poisoned cache is how this fails).
+
+Everything is driven by one ``random.Random(seed)``: the same seed
+replays the same campaign (same fault points, same workloads), which
+is what makes a red CI run debuggable.  Crash-flavored faults run in
+**subprocesses** (the batch CLI, the supervised server child), so the
+harness itself survives every ``os._exit`` it provokes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Dict, List, Optional, Tuple
+
+import repro
+from repro.service.checkpoint import (
+    RunLedger,
+    TERMINAL_STATUSES,
+    audit_ledger,
+)
+from repro.service.manifest import fuzz_tasks
+from repro.service.supervisor import Supervisor, audit_exactly_once
+from repro.utils import faults
+
+#: ``repro chaos`` exit code when any invariant went red.
+EXIT_CHAOS_FAILED = 1
+
+__all__ = [
+    "ChaosCampaign",
+    "EXIT_CHAOS_FAILED",
+    "FS_DRILLS",
+    "WORKER_DRILLS",
+    "run_campaign",
+    "wait_for_orphans",
+]
+
+#: The fs fault actions a full campaign must arm at least once, and
+#: the (point, arg) each is drilled at.  ``crash-after-write-before-
+#: rename`` runs against the cache store: its rename fires on the
+#: first disk put, killing the batch parent mid-swap.
+FS_DRILLS: List[Tuple[str, str]] = [
+    ("torn-write", "fs.cache.write:torn-write=16"),
+    ("torn-write-ledger", "fs.ledger.write:torn-write=24"),
+    ("short-write", "fs.ledger.write:short-write=8"),
+    ("enospc", "fs.cache.write:enospc"),
+    ("eio", "fs.ledger.fsync:eio"),
+    ("crash-rename", "fs.cache.rename:crash-after-write-before-rename"),
+]
+
+#: Worker-process fault drills (armed in every worker of the round).
+WORKER_DRILLS: List[Tuple[str, str]] = [
+    ("worker-crash", "service.worker:crash"),
+    ("worker-hang", "service.worker:hang=30"),
+    ("worker-poison", "service.worker:poison-result"),
+]
+
+#: Result keys that legitimately differ between two runs of the same
+#: compile (timings); everything else must match bit-for-bit for the
+#: cache-honesty invariant.
+_VOLATILE_KEYS = ("duration_s", "wall_s", "elapsed_s", "finished_at")
+
+
+def _scrub(metrics: Optional[Dict[str, object]]) -> Dict[str, object]:
+    if not isinstance(metrics, dict):
+        return {}
+    return {
+        key: value
+        for key, value in metrics.items()
+        if key not in _VOLATILE_KEYS and not key.endswith("_seconds")
+    }
+
+
+def _pids_alive(pids: List[int]) -> List[int]:
+    alive = []
+    for pid in pids:
+        try:
+            os.kill(pid, 0)
+        except (ProcessLookupError, PermissionError):
+            continue
+        except OSError:
+            continue
+        alive.append(pid)
+    return alive
+
+
+def _ledger_pids(path: str) -> List[int]:
+    pids: List[int] = []
+    for record in RunLedger.load(path).values():
+        for pid in record.get("pids") or []:
+            if isinstance(pid, int):
+                pids.append(pid)
+    return sorted(set(pids))
+
+
+def wait_for_orphans(
+    pids: List[int], grace: float = 15.0
+) -> List[int]:
+    """Wait up to *grace* for *pids* to die; returns survivors.
+
+    Pool workers notice a dead parent through pipe EOF, not
+    instantly — the grace keeps the invariant about orphans, not
+    about scheduler latency.  A real orphan lives forever, so a
+    generous grace only removes load-induced false positives (a
+    worker mid-teardown on a saturated CI box)."""
+    deadline = time.monotonic() + grace
+    alive = _pids_alive(pids)
+    while alive and time.monotonic() < deadline:
+        time.sleep(0.1)
+        alive = _pids_alive(alive)
+    return alive
+
+
+# ----------------------------------------------------------------------
+# HTTP helpers (stdlib only; retried across server restarts)
+# ----------------------------------------------------------------------
+
+def _http_json(
+    url: str,
+    payload: Optional[Dict[str, object]] = None,
+    timeout: float = 5.0,
+) -> Tuple[int, Dict[str, object]]:
+    data = None
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data,
+        headers={"Content-Type": "application/json"},
+        method="POST" if payload is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(
+                response.read().decode("utf-8")
+            )
+    except urllib.error.HTTPError as exc:
+        try:
+            return exc.code, json.loads(exc.read().decode("utf-8"))
+        except (ValueError, OSError):
+            return exc.code, {}
+
+
+def _submit_until_accepted(
+    base: str,
+    payload: Dict[str, object],
+    deadline: float,
+) -> Optional[Dict[str, object]]:
+    """Submit, riding out restart windows (connection refused) and
+    shed responses.  None once *deadline* passes."""
+    while time.monotonic() < deadline:
+        try:
+            status, doc = _http_json(base + "/submit", payload)
+        except (urllib.error.URLError, OSError, ValueError):
+            time.sleep(0.1)
+            continue
+        if status in (200, 202):
+            return doc
+        if status == 403:
+            doc["_refused"] = True
+            return doc
+        time.sleep(0.1)  # 429/503 shed: back off and retry
+    return None
+
+
+# ----------------------------------------------------------------------
+# The campaign
+# ----------------------------------------------------------------------
+
+class ChaosCampaign:
+    """One seeded campaign: fs/worker/batch drills, a supervised
+    serve burst with a SIGKILL, a poison drill, and the cache-honesty
+    comparison, each followed by the four invariants.
+
+    Args:
+        seed: Campaign seed (same seed = same campaign).
+        workdir: Scratch directory (created; removed unless ``keep``).
+        quick: CI-smoke sizing (~1 minute) instead of the full soak.
+        tasks_per_round: Fuzz tasks per batch drill.
+        keep: Leave the workdir behind for post-mortems.
+        progress: Line sink (None silences narration).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        workdir: Optional[str] = None,
+        quick: bool = False,
+        tasks_per_round: int = 8,
+        keep: bool = False,
+        progress: Optional[Callable[[str], None]] = print,
+    ) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.quick = quick
+        self.tasks_per_round = max(
+            2, tasks_per_round // 2 if quick else tasks_per_round
+        )
+        self.keep = keep
+        self._progress = progress
+        self._own_workdir = workdir is None
+        self.workdir = workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+        os.makedirs(self.workdir, exist_ok=True)
+        self.rounds: List[Dict[str, object]] = []
+        self._env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(repro.__file__))
+        existing = self._env.get("PYTHONPATH")
+        self._env["PYTHONPATH"] = package_root + (
+            os.pathsep + existing if existing else ""
+        )
+        # Never inherit ambient fault arming into drill subprocesses:
+        # the campaign states its faults explicitly per round.
+        self._env.pop("REPRO_FAULTS", None)
+
+    def say(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress("chaos[{}]: {}".format(self.seed, message))
+
+    # ------------------------------------------------------------------
+    # Batch drills (subprocesses)
+    # ------------------------------------------------------------------
+
+    def _batch_argv(
+        self,
+        count: int,
+        fuzz_seed: int,
+        ledger: str,
+        cache_dir: Optional[str],
+        fault: Optional[str],
+        resume: bool = False,
+        no_cache: bool = False,
+        task_timeout: float = 8.0,
+    ) -> List[str]:
+        argv = [
+            sys.executable, "-m", "repro", "batch",
+            "--fuzz", str(count), "--fuzz-seed", str(fuzz_seed),
+            "--ledger", ledger,
+            "--max-workers", "2",
+            "--task-timeout", str(task_timeout),
+            "--retries", "2",
+            "--backoff", "0.05",
+            "--engine", "bitset",
+            "--json-summary",
+        ]
+        if resume:
+            argv += ["--resume", ledger]
+        if no_cache:
+            argv += ["--no-cache"]
+        elif cache_dir:
+            argv += ["--cache-dir", cache_dir]
+        if fault:
+            argv += ["--inject-fault", fault]
+        return argv
+
+    def _run_batch(self, argv: List[str], timeout: float = 120.0) -> int:
+        completed = subprocess.run(
+            argv, env=self._env, timeout=timeout,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        return completed.returncode
+
+    def _batch_drill(
+        self,
+        name: str,
+        fault: Optional[str],
+        fuzz_seed: int,
+        cache_dir: Optional[str],
+        task_timeout: float = 8.0,
+    ) -> Dict[str, object]:
+        """One drill: armed run (may legitimately crash), then a
+        clean ``--resume`` recovery pass, then the invariants."""
+        count = self.tasks_per_round
+        ledger = os.path.join(self.workdir, "{}.jsonl".format(name))
+        code = self._run_batch(self._batch_argv(
+            count, fuzz_seed, ledger, cache_dir, fault,
+            task_timeout=task_timeout,
+        ))
+        crashed = code == faults.CRASH_EXIT_CODE
+        # Whatever the armed run left behind — a crash, retried-out
+        # failures, or a contained ledger write (row intentionally at
+        # risk) — one clean resume against a healthy filesystem must
+        # finish the workload.  On an already-complete ledger this is
+        # a cheap no-op pass.
+        recovery_code = self._run_batch(self._batch_argv(
+            count, fuzz_seed, ledger, cache_dir, None,
+            resume=True, task_timeout=task_timeout,
+        ))
+        problems: List[str] = []
+        audit = audit_ledger(ledger)
+        if not audit["ok"]:
+            problems.append("ledger audit failed: {}".format(
+                audit["problems"]
+            ))
+        entries = RunLedger.load(ledger)
+        expected = [task.task_id for task in fuzz_tasks(count, fuzz_seed)]
+        lost = [
+            task_id for task_id in expected
+            if entries.get(task_id, {}).get("status")
+            not in TERMINAL_STATUSES
+        ]
+        if lost:
+            problems.append("lost task(s): {}".format(lost))
+        if recovery_code not in (None, 0):
+            problems.append(
+                "recovery pass exited {}".format(recovery_code)
+            )
+        orphans = wait_for_orphans(_ledger_pids(ledger))
+        if orphans:
+            problems.append("orphan pid(s): {}".format(orphans))
+        result = {
+            "round": name,
+            "kind": "batch",
+            "fault": fault,
+            "tasks": count,
+            "armed_exit": code,
+            "crashed": crashed,
+            "recovery_exit": recovery_code,
+            "ledger_audit_ok": audit["ok"],
+            "settled": len(expected) - len(lost),
+            "lost": lost,
+            "orphans": orphans,
+            "problems": problems,
+            "ok": not problems,
+        }
+        self.say("round {}: {} (exit {}{})".format(
+            name, "OK" if result["ok"] else "FAILED", code,
+            ", recovered" if recovery_code == 0 else "",
+        ))
+        return result
+
+    # ------------------------------------------------------------------
+    # Supervised serve drills
+    # ------------------------------------------------------------------
+
+    def _start_supervisor(
+        self, ledger: str, child_args: List[str]
+    ) -> Tuple[Supervisor, threading.Thread]:
+        supervisor = Supervisor(
+            ledger_path=ledger,
+            child_args=child_args,
+            restart_budget=8,
+            backoff=0.2,
+            backoff_cap=1.0,
+            health_interval=0.1,
+            hang_timeout=5.0,
+            startup_timeout=30.0,
+            poison_threshold=2,
+            drain_timeout=20.0,
+            quiet=True,
+        )
+        thread = threading.Thread(
+            target=supervisor.run,
+            kwargs={"install_signal_handlers": False},
+            daemon=True,
+        )
+        thread.start()
+        supervisor.ready.wait(30.0)
+        return supervisor, thread
+
+    def _serve_burst_drill(self, fuzz_seed: int) -> Dict[str, object]:
+        """SIGKILL the server mid-burst; every submitted job must
+        still settle exactly once after the supervised restart."""
+        name = "serve-sigkill"
+        ledger = os.path.join(self.workdir, "serve.jsonl")
+        supervisor, thread = self._start_supervisor(ledger, [
+            "--pool-size", "2",
+            "--task-timeout", "6",
+            "--per-client-depth", "32",
+            "--max-queue-depth", "64",
+            "--engine", "bitset",
+            "--allow-request-faults",
+            "--quiet",
+        ])
+        base = "http://{}:{}".format(supervisor.host, supervisor.port)
+        problems: List[str] = []
+        killed_pids: List[int] = []
+        job_ids: List[str] = []
+        burst = max(6, self.tasks_per_round)
+        tasks = fuzz_tasks(burst, fuzz_seed)
+        kill_at = burst // 3
+        deadline = time.monotonic() + 60.0
+        for index, task in enumerate(tasks):
+            if index == kill_at and supervisor.child is not None:
+                # Mid-burst murder: jobs are queued (the stall fault
+                # keeps the pool busy) when the server dies.
+                killed_pids.append(supervisor.child.pid)
+                try:
+                    os.kill(supervisor.child.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    # Already dead (startup crash): still a RED round
+                    # unless the supervisor revives it in time below.
+                    pass
+                self.say("round {}: SIGKILL server pid {}".format(
+                    name, killed_pids[-1]
+                ))
+            doc = _submit_until_accepted(base, {
+                "name": task.name,
+                "text": task.text,
+                "is_ir": task.is_ir,
+                "client": "chaos-{}".format(index % 4),
+                # Slow the compile down so the kill lands on a busy
+                # queue instead of an already-drained one.
+                "faults": "service.worker:stall=0.4",
+            }, deadline)
+            if doc is None or "job_id" not in doc:
+                problems.append(
+                    "submit {} never accepted: {!r}".format(index, doc)
+                )
+                continue
+            job_ids.append(str(doc["job_id"]))
+        # Every accepted job must settle (poll across restarts).
+        unsettled = set(job_ids)
+        while unsettled and time.monotonic() < deadline:
+            for job_id in sorted(unsettled):
+                try:
+                    status, doc = _http_json(
+                        "{}/result?job={}".format(base, job_id),
+                        timeout=2.0,
+                    )
+                except (urllib.error.URLError, OSError, ValueError):
+                    break  # restart window; try again
+                if status == 200 and doc.get("state") == "done":
+                    unsettled.discard(job_id)
+                elif status == 404:
+                    # Settled + evicted, or lost: the ledger audit
+                    # below is the arbiter.
+                    unsettled.discard(job_id)
+            else:
+                continue
+            time.sleep(0.2)
+        if unsettled:
+            problems.append(
+                "job(s) never settled over HTTP: {}".format(
+                    sorted(unsettled)
+                )
+            )
+        supervisor.request_shutdown()
+        thread.join(30.0)
+        exactly_once = audit_exactly_once(ledger)
+        if not exactly_once["ok"]:
+            problems.append(
+                "exactly-once audit: lost={} duplicated={}".format(
+                    exactly_once["lost"], exactly_once["duplicated"]
+                )
+            )
+        audit = audit_ledger(ledger)
+        if not audit["ok"]:
+            problems.append(
+                "ledger audit failed: {}".format(audit["problems"])
+            )
+        orphans = wait_for_orphans(
+            _ledger_pids(ledger) + killed_pids
+        )
+        if orphans:
+            problems.append("orphan pid(s): {}".format(orphans))
+        result = {
+            "round": name,
+            "kind": "serve",
+            "submitted": len(job_ids),
+            "killed_pids": killed_pids,
+            "restarts": supervisor.restarts,
+            "exactly_once": exactly_once,
+            "ledger_audit_ok": audit["ok"],
+            "orphans": orphans,
+            "problems": problems,
+            "ok": not problems,
+        }
+        self.say("round {}: {} ({} jobs, {} restart(s))".format(
+            name, "OK" if result["ok"] else "FAILED",
+            len(job_ids), supervisor.restarts,
+        ))
+        return result
+
+    def _poison_drill(self, fuzz_seed: int) -> Dict[str, object]:
+        """Kill the server twice with the same input in flight; the
+        third submission must be refused 403 ``poisoned-input``
+        instead of burning another restart."""
+        name = "poison-quarantine"
+        ledger = os.path.join(self.workdir, "poison.jsonl")
+        supervisor, thread = self._start_supervisor(ledger, [
+            "--pool-size", "1",
+            "--task-timeout", "30",
+            "--engine", "bitset",
+            "--allow-request-faults",
+            "--quiet",
+        ])
+        base = "http://{}:{}".format(supervisor.host, supervisor.port)
+        problems: List[str] = []
+        task = fuzz_tasks(1, fuzz_seed)[0]
+        deadline = time.monotonic() + 60.0
+        for round_number in (1, 2):
+            doc = _submit_until_accepted(base, {
+                "name": task.name,
+                "text": task.text,
+                "client": "poison-drill",
+                # The hang keeps the job's last ledger row at
+                # "dispatched" while we murder the server around it.
+                "faults": "service.worker:hang=30",
+            }, deadline)
+            if doc is None:
+                problems.append(
+                    "poison submit {} not accepted".format(round_number)
+                )
+                break
+            dispatched = self._await_dispatched(ledger, deadline)
+            if not dispatched:
+                problems.append(
+                    "job never reached 'dispatched' (round {})".format(
+                        round_number
+                    )
+                )
+                break
+            pid = supervisor.child.pid if supervisor.child else None
+            if pid is not None:
+                os.kill(pid, signal.SIGKILL)
+            # Wait for the replacement incarnation to come up.
+            if not self._await_healthy(supervisor, deadline):
+                problems.append(
+                    "server not healthy after kill {}".format(
+                        round_number
+                    )
+                )
+                break
+        refused = None
+        if not problems:
+            refused = _submit_until_accepted(base, {
+                "name": task.name,
+                "text": task.text,
+                "client": "poison-drill",
+            }, time.monotonic() + 10.0)
+            if not (refused and refused.get("_refused")):
+                problems.append(
+                    "quarantined input was accepted again: {!r}".format(
+                        refused
+                    )
+                )
+        supervisor.request_shutdown()
+        thread.join(30.0)
+        exactly_once = audit_exactly_once(ledger)
+        if not exactly_once["ok"]:
+            problems.append(
+                "exactly-once audit: lost={} duplicated={}".format(
+                    exactly_once["lost"], exactly_once["duplicated"]
+                )
+            )
+        orphans = wait_for_orphans(_ledger_pids(ledger))
+        if orphans:
+            problems.append("orphan pid(s): {}".format(orphans))
+        result = {
+            "round": name,
+            "kind": "serve",
+            "quarantined": list(supervisor.quarantined),
+            "refused": bool(refused and refused.get("_refused")),
+            "exactly_once": exactly_once,
+            "orphans": orphans,
+            "problems": problems,
+            "ok": not problems,
+        }
+        self.say("round {}: {} (quarantined {})".format(
+            name, "OK" if result["ok"] else "FAILED",
+            [d[:12] for d in supervisor.quarantined],
+        ))
+        return result
+
+    @staticmethod
+    def _await_dispatched(ledger: str, deadline: float) -> bool:
+        while time.monotonic() < deadline:
+            for record in RunLedger.load(ledger).values():
+                if record.get("status") == "dispatched":
+                    return True
+            time.sleep(0.1)
+        return False
+
+    @staticmethod
+    def _await_healthy(
+        supervisor: Supervisor, deadline: float
+    ) -> bool:
+        while time.monotonic() < deadline:
+            child = supervisor.child
+            if (
+                child is not None
+                and child.poll() is None
+                and supervisor.healthz() is not None
+            ):
+                return True
+            time.sleep(0.1)
+        return False
+
+    # ------------------------------------------------------------------
+    # Cache honesty
+    # ------------------------------------------------------------------
+
+    def _cache_honesty_round(
+        self, fuzz_seed: int, cache_dir: str
+    ) -> Dict[str, object]:
+        """A warm-cache run over inputs the fs drills populated must
+        match a fresh no-cache compile, row for row."""
+        name = "cache-vs-fresh"
+        count = self.tasks_per_round
+        warm_ledger = os.path.join(self.workdir, "honesty-warm.jsonl")
+        fresh_ledger = os.path.join(self.workdir, "honesty-fresh.jsonl")
+        problems: List[str] = []
+        for ledger, no_cache in (
+            (warm_ledger, False), (fresh_ledger, True),
+        ):
+            code = self._run_batch(self._batch_argv(
+                count, fuzz_seed, ledger,
+                cache_dir, None, no_cache=no_cache,
+            ))
+            if code != 0:
+                problems.append(
+                    "{} run exited {}".format(
+                        "fresh" if no_cache else "warm", code
+                    )
+                )
+        warm = RunLedger.load(warm_ledger)
+        fresh = RunLedger.load(fresh_ledger)
+        mismatches: List[str] = []
+        cache_hits = 0
+        for task in fuzz_tasks(count, fuzz_seed):
+            warm_row = warm.get(task.task_id) or {}
+            fresh_row = fresh.get(task.task_id) or {}
+            if warm_row.get("rung") == "cache" or warm_row.get("cached"):
+                cache_hits += 1
+            if (
+                warm_row.get("status") != fresh_row.get("status")
+                or warm_row.get("exit_code") != fresh_row.get("exit_code")
+                or _scrub(warm_row.get("metrics"))
+                != _scrub(fresh_row.get("metrics"))
+            ):
+                mismatches.append(task.task_id)
+        if mismatches:
+            problems.append(
+                "cached result differs from fresh compile for: "
+                "{}".format(mismatches)
+            )
+        result = {
+            "round": name,
+            "kind": "cache",
+            "tasks": count,
+            "cache_hits": cache_hits,
+            "mismatches": mismatches,
+            "problems": problems,
+            "ok": not problems,
+        }
+        self.say("round {}: {} ({} warm hits)".format(
+            name, "OK" if result["ok"] else "FAILED", cache_hits,
+        ))
+        return result
+
+    # ------------------------------------------------------------------
+    # Campaign driver
+    # ------------------------------------------------------------------
+
+    def run(self) -> Dict[str, object]:
+        started = time.monotonic()
+        cache_dir = os.path.join(self.workdir, "cache")
+        base_seed = self.rng.randrange(1, 1 << 16)
+        try:
+            for name, fault in FS_DRILLS:
+                self.rounds.append(self._batch_drill(
+                    "fs-{}".format(name), fault,
+                    fuzz_seed=base_seed, cache_dir=cache_dir,
+                ))
+            for index, (name, fault) in enumerate(WORKER_DRILLS):
+                # Hang drills need a short timeout so the pool's
+                # SIGTERM→SIGKILL path fires within the round.
+                timeout = 1.5 if "hang" in fault else 8.0
+                self.rounds.append(self._batch_drill(
+                    name, fault,
+                    fuzz_seed=base_seed + 100 + index,
+                    cache_dir=None, task_timeout=timeout,
+                ))
+            self.rounds.append(
+                self._serve_burst_drill(base_seed + 200)
+            )
+            self.rounds.append(self._poison_drill(base_seed + 300))
+            self.rounds.append(
+                self._cache_honesty_round(base_seed, cache_dir)
+            )
+        finally:
+            if not self.keep and self._own_workdir:
+                shutil.rmtree(self.workdir, ignore_errors=True)
+        summary = {
+            "seed": self.seed,
+            "quick": self.quick,
+            "rounds": self.rounds,
+            "invariants": {
+                "zero_orphans": all(
+                    not round_.get("orphans") for round_ in self.rounds
+                ),
+                "ledger_audits_ok": all(
+                    round_.get("ledger_audit_ok", True)
+                    for round_ in self.rounds
+                ),
+                "exactly_once": all(
+                    round_.get("exactly_once", {}).get("ok", True)
+                    and not round_.get("lost")
+                    for round_ in self.rounds
+                ),
+                "cache_honest": all(
+                    not round_.get("mismatches")
+                    for round_ in self.rounds
+                ),
+            },
+            "duration_s": round(time.monotonic() - started, 3),
+            "ok": all(round_["ok"] for round_ in self.rounds),
+        }
+        self.say("campaign {} in {:.1f}s ({} rounds)".format(
+            "GREEN" if summary["ok"] else "RED",
+            summary["duration_s"], len(self.rounds),
+        ))
+        return summary
+
+
+def run_campaign(
+    seed: int = 0,
+    workdir: Optional[str] = None,
+    quick: bool = False,
+    tasks_per_round: int = 8,
+    keep: bool = False,
+    progress: Optional[Callable[[str], None]] = print,
+) -> Dict[str, object]:
+    """Convenience wrapper: build and run one :class:`ChaosCampaign`."""
+    return ChaosCampaign(
+        seed=seed,
+        workdir=workdir,
+        quick=quick,
+        tasks_per_round=tasks_per_round,
+        keep=keep,
+        progress=progress,
+    ).run()

@@ -395,6 +395,45 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return summary.exit_code
 
 
+def _supervised_child_args(args: argparse.Namespace) -> List[str]:
+    """Rebuild the ``repro serve`` argv the supervisor's child needs
+    (everything except host/port/ledger/durable/poison-list, which
+    the supervisor owns)."""
+    child: List[str] = [
+        "--machine", args.machine,
+        "--pool-size", str(args.pool_size),
+        "--task-timeout", str(args.task_timeout),
+        "--max-queue-depth", str(args.max_queue_depth),
+        "--per-client-depth", str(args.per_client_depth),
+        "--retries", str(args.retries),
+        "--backoff", str(args.backoff),
+        "--drain-timeout", str(args.drain_timeout),
+        "--engine", args.engine,
+    ]
+    if args.registers is not None:
+        child += ["--registers", str(args.registers)]
+    if args.cache:
+        child += ["--cache"]
+    elif args.cache is False:
+        child += ["--no-cache"]
+    if args.cache_dir:
+        child += ["--cache-dir", args.cache_dir]
+    if args.max_segment_bytes is not None:
+        child += ["--max-segment-bytes", str(args.max_segment_bytes)]
+    if args.allow_request_faults:
+        child += ["--allow-request-faults"]
+    for flag in ("strict", "paranoid", "optimize", "quiet"):
+        if getattr(args, flag):
+            child += ["--" + flag]
+    if args.max_instrs is not None:
+        child += ["--max-instrs", str(args.max_instrs)]
+    if args.time_budget is not None:
+        child += ["--time-budget", str(args.time_budget)]
+    for spec in args.inject_fault or []:
+        child += ["--inject-fault", spec]
+    return child
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.pipeline.driver import DriverConfig
     from repro.service.server import CompileServer
@@ -403,6 +442,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise InputError("--max-instrs must be positive")
     if args.time_budget is not None and args.time_budget <= 0:
         raise InputError("--time-budget must be positive seconds")
+
+    if args.supervised:
+        from repro.service.supervisor import Supervisor
+
+        if not args.ledger:
+            raise InputError(
+                "--supervised requires --ledger (resume and poison "
+                "detection live in the durable queue)"
+            )
+        supervisor = Supervisor(
+            ledger_path=args.ledger,
+            child_args=_supervised_child_args(args),
+            host=args.host,
+            port=args.port,
+            restart_budget=args.restart_budget,
+            backoff=args.restart_backoff,
+            hang_timeout=args.hang_timeout,
+            health_interval=args.health_interval,
+            poison_threshold=args.poison_threshold,
+            drain_timeout=args.drain_timeout,
+            quiet=args.quiet,
+        )
+        return supervisor.run(install_signal_handlers=True)
+
     _install_cli_faults(args)
 
     cache = None
@@ -438,8 +501,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         backoff=args.backoff,
         cache=cache,
         ledger_path=args.ledger,
+        durable=args.durable,
+        poison_path=args.poison_list,
+        max_segment_bytes=args.max_segment_bytes,
         allow_request_faults=args.allow_request_faults,
         drain_timeout=args.drain_timeout,
+        quiet=args.quiet,
     )
 
     from repro import obs
@@ -580,6 +647,83 @@ def cmd_stats(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def cmd_ledger_check(args: argparse.Namespace) -> int:
+    """``repro ledger check`` — audit a run ledger read-only."""
+    import json
+
+    from repro.service.checkpoint import audit_ledger
+
+    report = audit_ledger(args.path)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            "ledger {}: {} record(s) across {} segment(s), {} task(s) "
+            "({} terminal, {} open), {} duplicate id(s)".format(
+                args.path, report["records"],
+                len(report["segments"]), report["tasks"],
+                report["terminal"], report["non_terminal"],
+                report["duplicate_task_ids"],
+            )
+        )
+        if report["torn_tail"]:
+            print(
+                "  torn tail detected (crash debris; healed on next "
+                "open)"
+            )
+        if report["non_terminal_task_ids"]:
+            print("  open task(s): {}".format(
+                ", ".join(report["non_terminal_task_ids"])
+            ))
+        for problem in report["problems"]:
+            print("  PROBLEM: {}".format(problem))
+        print("ledger check: {}".format(
+            "ok" if report["ok"] else "FAILED"
+        ))
+    return 0 if report["ok"] else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos`` — run one seeded chaos campaign."""
+    import json
+
+    from repro.chaos import run_campaign
+
+    if args.tasks < 2:
+        raise InputError("--tasks must be >= 2")
+    summary = run_campaign(
+        seed=args.seed,
+        workdir=args.workdir,
+        quick=args.quick,
+        tasks_per_round=args.tasks,
+        keep=args.keep,
+        progress=None if args.json_summary else print,
+    )
+    if args.json_summary:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        invariants = summary["invariants"]
+        print(
+            "chaos campaign seed={}: {} round(s) in {:.1f}s — "
+            "orphans={} ledgers={} exactly-once={} cache={} -> "
+            "{}".format(
+                summary["seed"], len(summary["rounds"]),
+                summary["duration_s"],
+                "0" if invariants["zero_orphans"] else "FOUND",
+                "ok" if invariants["ledger_audits_ok"] else "FAILED",
+                "ok" if invariants["exactly_once"] else "FAILED",
+                "honest" if invariants["cache_honest"] else "FAILED",
+                "GREEN" if summary["ok"] else "RED",
+            )
+        )
+        for round_ in summary["rounds"]:
+            if not round_["ok"]:
+                print("  round {} FAILED: {}".format(
+                    round_["round"], "; ".join(round_["problems"])
+                ))
+    return 0 if summary["ok"] else 1
 
 
 def cmd_kernels(_args: argparse.Namespace) -> int:
@@ -848,6 +992,55 @@ def build_parser() -> argparse.ArgumentParser:
         "drain journals queued jobs as resumable 'interrupted' rows",
     )
     p_serve.add_argument(
+        "--durable", action="store_true",
+        help="journal accepted/dispatched rows to the ledger and "
+        "resume unsettled jobs on startup (requires --ledger)",
+    )
+    p_serve.add_argument(
+        "--poison-list", default=None, metavar="PATH",
+        help="poison-task list (maintained by the supervisor); "
+        "quarantined input digests are refused with HTTP 403",
+    )
+    p_serve.add_argument(
+        "--max-segment-bytes", type=int, default=None, metavar="N",
+        help="auto-compact the ledger once its active segment grows "
+        "past N bytes (crash-safe swap)",
+    )
+    p_serve.add_argument(
+        "--supervised", action="store_true",
+        help="run the server as a supervised child: /healthz watched, "
+        "crashes/hangs restarted with backoff and a restart budget, "
+        "queued work resumed from the durable ledger (requires "
+        "--ledger; implies --durable in the child)",
+    )
+    p_serve.add_argument(
+        "--restart-budget", type=int, default=5, metavar="N",
+        help="supervised: unexplained restarts allowed before giving "
+        "up (poison-quarantining restarts are free)",
+    )
+    p_serve.add_argument(
+        "--restart-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="supervised: base restart delay (doubles per restart)",
+    )
+    p_serve.add_argument(
+        "--hang-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="supervised: /healthz silence after which a live server "
+        "counts as hung and is killed",
+    )
+    p_serve.add_argument(
+        "--health-interval", type=float, default=0.25, metavar="SECONDS",
+        help="supervised: seconds between liveness probes",
+    )
+    p_serve.add_argument(
+        "--poison-threshold", type=int, default=2, metavar="N",
+        help="supervised: crashes-in-flight before an input digest is "
+        "quarantined",
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress startup/drain banner lines",
+    )
+    p_serve.add_argument(
         "--drain-timeout", type=float, default=60.0, metavar="SECONDS",
         help="ceiling on waiting for in-flight work during drain",
     )
@@ -880,6 +1073,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_ledger = sub.add_parser(
+        "ledger",
+        help="inspect a run ledger (crash-consistency audit)",
+    )
+    ledger_sub = p_ledger.add_subparsers(dest="ledger_command",
+                                         required=True)
+    p_ledger_check = ledger_sub.add_parser(
+        "check",
+        help="read-only audit: classify torn tails, malformed "
+        "records, duplicate task ids, and non-terminal rows; exits "
+        "nonzero on integrity problems",
+    )
+    p_ledger_check.add_argument("path", help="ledger JSONL path")
+    p_ledger_check.add_argument(
+        "--json", action="store_true",
+        help="emit the audit report as one JSON document",
+    )
+    p_ledger_check.set_defaults(func=cmd_ledger_check)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos campaign: batch + supervised-serve "
+        "workloads under injected process and filesystem faults, "
+        "then assert the four durability invariants",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed (same seed replays the same campaign)",
+    )
+    p_chaos.add_argument(
+        "--quick", action="store_true",
+        help="CI-smoke sizing (~1 minute) instead of the full soak",
+    )
+    p_chaos.add_argument(
+        "--tasks", type=int, default=8, metavar="N",
+        help="fuzz tasks per drill round",
+    )
+    p_chaos.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="scratch directory (default: a fresh temp dir)",
+    )
+    p_chaos.add_argument(
+        "--keep", action="store_true",
+        help="keep the scratch directory for post-mortems",
+    )
+    p_chaos.add_argument(
+        "--json-summary", action="store_true",
+        help="emit the campaign summary as one JSON document",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_graph = sub.add_parser("graph", help="emit a DOT graph")
     p_graph.add_argument("file")

@@ -11,6 +11,10 @@ front end (:class:`CompileServer`, ``repro serve``) drives the same
 machinery as a service: token-style admission
 (:class:`SessionTable`), request coalescing and deadline-aware
 dispatch (:class:`JobDispatcher`), and graceful SIGTERM drain.
+A self-healing parent (:class:`Supervisor`, ``repro serve
+--supervised``) restarts the server on crash/hang with backoff,
+a restart budget, and poison-input quarantine, resuming journaled
+jobs from the run ledger.
 """
 
 from repro.service.batch import (
@@ -55,6 +59,12 @@ from repro.service.server import (
     EXIT_SERVE_OK,
     CompileServer,
 )
+from repro.service.supervisor import (
+    EXIT_SUPERVISOR_GAVE_UP,
+    Supervisor,
+    audit_exactly_once,
+    crash_suspects,
+)
 from repro.service.session import (
     SHED_CLIENT_QUEUE,
     SHED_DRAINING,
@@ -71,6 +81,7 @@ __all__ = [
     "CompileServer",
     "CompileTask",
     "EXIT_SERVE_OK",
+    "EXIT_SUPERVISOR_GAVE_UP",
     "JOB_DONE",
     "JOB_QUEUED",
     "JOB_RUNNING",
@@ -83,6 +94,7 @@ __all__ = [
     "STATUS_INTERRUPTED",
     "SessionTable",
     "ShedDecision",
+    "Supervisor",
     "DEFAULT_IDLE_TIMEOUT",
     "DEFAULT_MAX_TASKS_PER_WORKER",
     "EXIT_BATCH_FAILURES",
@@ -98,6 +110,8 @@ __all__ = [
     "TaskRecord",
     "WorkerOutcome",
     "WorkerPool",
+    "audit_exactly_once",
+    "crash_suspects",
     "build_region_payload",
     "build_sharded_pig",
     "execute_pig_region",

@@ -1,11 +1,11 @@
 """The run ledger: an append-only JSONL journal for checkpoint/resume.
 
-Every *terminal* task outcome of a batch is journaled as one JSON line
-the moment it is known — flushed and fsynced, so a SIGKILL'd parent
-loses at most the in-flight tasks.  A later run started with
-``--resume`` loads the ledger, and skips every task whose journaled
-record is terminal *and* carries the same input digest; edited sources
-recompile.
+Every task outcome of a batch (and, in durable serve mode, every
+accepted/dispatched job) is journaled as one JSON line the moment it
+is known — flushed and fsynced, so a SIGKILL'd parent loses at most
+the in-flight tasks.  A later run started with ``--resume`` loads the
+ledger, and skips every task whose journaled record is terminal *and*
+carries the same input digest; edited sources recompile.
 
 Ledger records are self-contained primitives::
 
@@ -24,6 +24,30 @@ within a run.  Loading tolerates a truncated final line (the crash
 case fsync cannot rule out) and keeps the **last** record per task id,
 so re-runs that re-journal a task stay consistent.
 
+Crash consistency — all I/O goes through the filesystem fault shim
+(:mod:`repro.utils.fsfaults`, scope ``ledger``) and the append side
+defends itself at three levels:
+
+* **write verification** — :meth:`RunLedger.record` checks the file
+  offset after every fsync; a short persist (torn write) is truncated
+  away and retried once, and an I/O error (ENOSPC, EIO) is contained:
+  the torn tail is rewound and ``record`` returns False instead of
+  corrupting the journal or killing the batch.
+* **tail healing** — opening a ledger truncates a torn final line
+  (the bytes a crash left behind) back to the last complete record.
+* **segment compaction** — when the active segment exceeds
+  ``max_segment_bytes`` (or on an explicit :meth:`~RunLedger.compact`)
+  the ledger rotates the segment aside (``<path>.compacting``),
+  rewrites the last record per task into a temp file, and atomically
+  swaps it in, fsyncing the parent directory after each rename; an
+  interrupted compaction is detected and rolled forward or back on
+  the next open, and :meth:`~RunLedger.load` reads the rotated
+  segment first so no reader ever misses records mid-compaction.
+
+:func:`audit_ledger` (the ``repro ledger check`` subcommand) reads a
+ledger without touching it and classifies torn tails, malformed
+mid-file lines, duplicate task ids, and non-terminal rows.
+
 On resume, ``failed`` records are only reused when the failure was
 *deterministic* (the driver reported it): a record whose ``kinds``
 carry a worker-level failure (timeout, crash, worker exception) may
@@ -35,8 +59,10 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, IO, Mapping, Optional
+from typing import Dict, IO, List, Mapping, Optional, Union
 
+from repro.obs import get_metrics
+from repro.utils import fsfaults
 from repro.utils.errors import InputError
 
 #: Ledger record schema version.
@@ -51,44 +77,149 @@ TERMINAL_STATUSES = ("ok", "degraded", "failed")
 #: transient — a resumed run recompiles it instead of reusing it.
 WORKER_FAILURE_KINDS = ("timeout", "crash", "worker-exception")
 
+#: Suffix of the rotated-aside segment during compaction.
+COMPACTING_SUFFIX = ".compacting"
+
+#: Suffix of the half-written compacted replacement.
+TMP_SUFFIX = ".tmp"
+
+#: Fault-shim scope for every ledger disk operation.
+_SCOPE = "ledger"
+
+
+def _heal_tail(path: str) -> int:
+    """Truncate a torn final line off *path*; returns bytes trimmed.
+
+    Records are fsynced one line at a time, so at most the final line
+    can be incomplete — anything after the last newline is the debris
+    of a crash mid-append and parses as garbage forever if left in
+    place (the next append would fuse with it).
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return 0
+    if size == 0:
+        return 0
+    try:
+        with open(path, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return 0
+            # Scan backwards in chunks for the last newline.
+            keep = 0
+            position = size
+            while position > 0:
+                step = min(4096, position)
+                position -= step
+                handle.seek(position)
+                chunk = handle.read(step)
+                cut = chunk.rfind(b"\n")
+                if cut != -1:
+                    keep = position + cut + 1
+                    break
+            handle.truncate(keep)
+    except OSError:  # pragma: no cover - unwritable ledger
+        return 0
+    return size - keep
+
+
+def _recover_segments(path: str) -> None:
+    """Roll an interrupted compaction forward or back (raw os ops —
+    this *is* the recovery path and must not recurse into the shim).
+
+    States a crash can leave: an orphan ``.tmp`` (always discard: it
+    is an incomplete rewrite), and a ``.compacting`` segment either
+    alongside the live file (swap completed — discard the rotated
+    original) or alone (swap never happened — restore it as the live
+    file, aborting the compaction losslessly).
+    """
+    tmp = path + TMP_SUFFIX
+    working = path + COMPACTING_SUFFIX
+    if os.path.exists(tmp):
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover
+            pass
+    if os.path.exists(working):
+        try:
+            if os.path.exists(path):
+                os.unlink(working)
+            else:
+                os.replace(working, path)
+        except OSError:  # pragma: no cover
+            pass
+
 
 class RunLedger:
     """Append-side handle on a JSONL run ledger.
 
     Usable as a context manager; :meth:`record` is durable (flush +
-    fsync) so completed work survives an abrupt parent death.
+    fsync + offset verification) so completed work survives an abrupt
+    parent death.
+
+    Args:
+        path: Journal path; created (and healed/recovered) on open.
+        max_segment_bytes: Auto-compact when the active segment grows
+            past this many bytes (None disables auto-compaction).
     """
 
-    def __init__(self, path: str) -> None:
-        self.path = path
-        try:
-            self._fh: Optional[IO[str]] = open(path, "a", encoding="utf-8")
-        except OSError as exc:
+    def __init__(
+        self, path: str, max_segment_bytes: Optional[int] = None
+    ) -> None:
+        if max_segment_bytes is not None and max_segment_bytes < 1:
             raise InputError(
-                "cannot open ledger {!r} for append: {}".format(path, exc)
-            ) from None
+                "max_segment_bytes must be >= 1, got {}".format(
+                    max_segment_bytes
+                )
+            )
+        self.path = path
+        self.max_segment_bytes = max_segment_bytes
+        self.stats: Dict[str, int] = {
+            "records": 0,
+            "record_errors": 0,
+            "torn_writes_healed": 0,
+            "healed_tail_bytes": 0,
+            "compactions": 0,
+            "compaction_errors": 0,
+        }
+        _recover_segments(path)
+        self.stats["healed_tail_bytes"] = _heal_tail(path)
+        self._fh: Optional[Union[IO[bytes], fsfaults.GuardedFile]] = None
+        self._tail = 0
+        self._open_segment()
         # fsyncing the file makes *records* durable, but the file's
         # very existence lives in the directory entry: without one
         # directory fsync after creation, a crash shortly after open
         # can lose the whole journal on some filesystems.
         self._sync_directory()
 
+    def _open_segment(self) -> None:
+        try:
+            self._fh = fsfaults.open(self.path, "ab", scope=_SCOPE)
+        except OSError as exc:
+            raise InputError(
+                "cannot open ledger {!r} for append: {}".format(
+                    self.path, exc
+                )
+            ) from None
+        self._tail = self._fh.tell()
+
     def _sync_directory(self) -> None:
         directory = os.path.dirname(os.path.abspath(self.path))
-        flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
         try:
-            fd = os.open(directory, flags)
-        except OSError:  # pragma: no cover - exotic platforms
-            return
-        try:
-            os.fsync(fd)
-        except OSError:  # pragma: no cover - fs without dir fsync
+            fsfaults.sync_directory(directory, _SCOPE)
+        except OSError:
             pass
-        finally:
-            os.close(fd)
 
-    def record(self, entry: Mapping[str, object]) -> None:
-        """Append one task record durably.
+    def record(self, entry: Mapping[str, object]) -> bool:
+        """Append one task record durably; True when it verifiably hit
+        the journal.
+
+        A torn write (short persist) is rewound and retried once; an
+        I/O error is rewound and **contained** — the method returns
+        False, the journal stays parseable, and the batch lives on
+        with one record at risk instead of dying mid-run.
 
         Raises:
             ValueError: when called on a closed ledger (a programming
@@ -98,9 +229,96 @@ class RunLedger:
             raise ValueError("ledger {!r} is closed".format(self.path))
         payload = dict(entry)
         payload.setdefault("v", LEDGER_VERSION)
-        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        line = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        start = self._tail
+        for attempt in (1, 2):
+            try:
+                self._fh.write(line)
+                self._fh.flush()
+                fsfaults.fsync(self._fh, _SCOPE)
+                end = self._fh.tell()
+            except OSError:
+                self._rewind(start)
+                self.stats["record_errors"] += 1
+                get_metrics().counter("ledger.record_errors").inc()
+                return False
+            if end == start + len(line):
+                self._tail = end
+                self.stats["records"] += 1
+                if self.max_segment_bytes is not None and \
+                        self._tail > self.max_segment_bytes:
+                    self.compact()
+                return True
+            # Fewer bytes landed than we wrote: a torn write.  Cut the
+            # debris and (once) try again on what is now a clean tail.
+            self._rewind(start)
+            self.stats["torn_writes_healed"] += 1
+            get_metrics().counter("ledger.torn_writes_healed").inc()
+        self.stats["record_errors"] += 1
+        get_metrics().counter("ledger.record_errors").inc()
+        return False
+
+    def _rewind(self, offset: int) -> None:
+        """Truncate the journal back to *offset*, discarding whatever
+        a failed append left behind."""
+        if self._fh is None:  # pragma: no cover - defensive
+            return
+        try:
+            self._fh.flush()
+        except OSError:
+            pass
+        try:
+            self._fh.truncate(offset)
+        except OSError:  # pragma: no cover - unwritable ledger
+            pass
+        self._tail = offset
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def compact(self) -> bool:
+        """Rewrite the journal down to the last record per task id.
+
+        Crash-safe swap: rotate the live segment to ``.compacting``,
+        write the compacted replacement to ``.tmp``, atomically
+        replace, fsync the parent directory, then drop the rotated
+        segment.  A crash at any point is repaired by the next open
+        (:func:`_recover_segments`), and a contained I/O error rolls
+        the rotation back and keeps appending to the original.
+        """
+        if self._fh is None:
+            raise ValueError("ledger {!r} is closed".format(self.path))
+        self._fh.close()
+        self._fh = None
+        working = self.path + COMPACTING_SUFFIX
+        tmp = self.path + TMP_SUFFIX
+        try:
+            fsfaults.replace(self.path, working, _SCOPE)
+            entries = self.load(working)
+            with fsfaults.open(tmp, "wb", scope=_SCOPE) as out:
+                for record in entries.values():
+                    out.write(
+                        (json.dumps(record, sort_keys=True) + "\n").encode(
+                            "utf-8"
+                        )
+                    )
+                out.flush()
+                fsfaults.fsync(out, _SCOPE)
+            fsfaults.replace(tmp, self.path, _SCOPE)
+            self._sync_directory()
+            fsfaults.unlink(working, _SCOPE)
+            self._sync_directory()
+        except OSError:
+            _recover_segments(self.path)
+            self.stats["compaction_errors"] += 1
+            get_metrics().counter("ledger.compaction_errors").inc()
+            self._open_segment()
+            return False
+        self.stats["compactions"] += 1
+        get_metrics().counter("ledger.compactions").inc()
+        self._open_segment()
+        return True
 
     def close(self) -> None:
         if self._fh is not None:
@@ -124,27 +342,33 @@ class RunLedger:
         A missing file is an empty ledger (first run with ``--resume``
         pointing at the path it will create).  Unparseable lines — the
         torn final write of a killed process — are skipped, never
-        fatal: losing one record only means recompiling one task.
+        fatal: losing one record only means recompiling one task.  A
+        rotated ``.compacting`` segment left by an interrupted
+        compaction is read first (it holds the older records), so
+        mid-compaction crashes never lose journal history.
         """
         entries: Dict[str, Dict[str, object]] = {}
-        try:
-            handle = open(path, encoding="utf-8")
-        except OSError:
-            return entries
-        with handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    continue
-                if not isinstance(record, dict):
-                    continue
-                task_id = record.get("task_id")
-                if isinstance(task_id, str):
-                    entries[task_id] = record
+        segments = [path + COMPACTING_SUFFIX, path] \
+            if not path.endswith(COMPACTING_SUFFIX) else [path]
+        for segment in segments:
+            try:
+                handle = fsfaults.open(segment, "rb", scope=_SCOPE)
+            except OSError:
+                continue
+            with handle:
+                for raw in handle:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    try:
+                        record = json.loads(raw.decode("utf-8"))
+                    except (ValueError, UnicodeDecodeError):
+                        continue
+                    if not isinstance(record, dict):
+                        continue
+                    task_id = record.get("task_id")
+                    if isinstance(task_id, str):
+                        entries[task_id] = record
         return entries
 
     @staticmethod
@@ -178,3 +402,106 @@ class RunLedger:
             ):
                 return False
         return True
+
+
+# ----------------------------------------------------------------------
+# Audit (``repro ledger check``)
+# ----------------------------------------------------------------------
+
+def audit_ledger(path: str) -> Dict[str, object]:
+    """Read-only health classification of a ledger.
+
+    Walks every segment (a rotated ``.compacting`` file first, then
+    the live journal) and classifies each line:
+
+    * ``torn_tail`` — an unparseable, newline-less final line: the
+      expected debris of a crash mid-append.  Tolerated (``ok`` stays
+      True): openers heal it, loaders skip it.
+    * ``malformed`` — an unparseable or shapeless line anywhere else.
+      This should never happen under the write-verified append path,
+      so it fails the audit.
+    * ``duplicate_task_ids`` — task ids with more than one record.
+      Normal (retries, accepted→terminal transitions; last wins) and
+      reported for visibility, not failure.
+    * ``non_terminal`` — tasks whose last record is not terminal:
+      resumable rows a restart will pick up.  Reported, not failure.
+    """
+    live_exists = os.path.exists(path)
+    segments: List[str] = []
+    for candidate in (path + COMPACTING_SUFFIX, path):
+        if os.path.exists(candidate):
+            segments.append(candidate)
+    report: Dict[str, object] = {
+        "path": path,
+        "exists": live_exists or bool(segments),
+        "segments": [os.path.basename(s) for s in segments],
+        "lines": 0,
+        "records": 0,
+        "malformed": 0,
+        "torn_tail": False,
+        "tasks": 0,
+        "terminal": 0,
+        "non_terminal": 0,
+        "non_terminal_task_ids": [],
+        "duplicate_task_ids": 0,
+        "problems": [],
+        "ok": True,
+    }
+    problems: List[str] = report["problems"]  # type: ignore[assignment]
+    last: Dict[str, Dict[str, object]] = {}
+    counts: Dict[str, int] = {}
+    for segment in segments:
+        try:
+            with open(segment, "rb") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            problems.append(
+                "unreadable segment {!r}: {}".format(segment, exc)
+            )
+            report["ok"] = False
+            continue
+        ends_clean = raw.endswith(b"\n")
+        lines = raw.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            report["lines"] += 1
+            record = None
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                record = None
+            shapely = isinstance(record, dict) and isinstance(
+                record.get("task_id"), str
+            )
+            if not shapely:
+                final = index == len(lines) - 1
+                if final and not ends_clean and record is None:
+                    report["torn_tail"] = True
+                else:
+                    report["malformed"] += 1
+                continue
+            report["records"] += 1
+            task_id = record["task_id"]
+            counts[task_id] = counts.get(task_id, 0) + 1
+            last[task_id] = record
+    report["tasks"] = len(last)
+    report["duplicate_task_ids"] = sum(
+        1 for n in counts.values() if n > 1
+    )
+    non_terminal = sorted(
+        task_id
+        for task_id, record in last.items()
+        if record.get("status") not in TERMINAL_STATUSES
+    )
+    report["terminal"] = len(last) - len(non_terminal)
+    report["non_terminal"] = len(non_terminal)
+    report["non_terminal_task_ids"] = non_terminal[:20]
+    if report["malformed"]:
+        problems.append(
+            "{} malformed mid-file record(s)".format(report["malformed"])
+        )
+        report["ok"] = False
+    return report

@@ -135,6 +135,26 @@ class Job:
             "digest": self.task.digest(),
         }
 
+    def queue_entry(self, status: str, recorded_at: float) -> Dict[str, object]:
+        """A durable-queue journal row (``accepted``/``dispatched``).
+
+        Carries the full task payload (name/text/is_ir/client) so a
+        restarted server can rebuild the job and resubmit it under its
+        original id; both statuses are non-terminal, so resume and the
+        ledger audit treat them as open work.
+        """
+        return {
+            "task_id": self.job_id,
+            "digest": self.task.digest(),
+            "status": status,
+            "client": self.client,
+            "name": self.task.name,
+            "text": self.task.text,
+            "is_ir": self.task.is_ir,
+            "attempts": self.attempts,
+            "recorded_at": recorded_at,
+        }
+
     def ledger_entry(self, finished_at: float) -> Dict[str, object]:
         """The run-ledger row: same shape the batch writes, so one
         ledger can journal both surfaces."""
@@ -186,6 +206,11 @@ class JobDispatcher:
         kill_grace: SIGTERM→SIGKILL grace for overdue workers.
         max_tasks_per_worker: Pool recycling bound.
         worker_idle_timeout: Pool idle recycle, seconds.
+        durable: Journal ``accepted``/``dispatched`` rows (with task
+            payloads) so a restarted server resubmits queued work —
+            requires ``ledger_path``.
+        max_segment_bytes: Auto-compact the ledger past this size
+            (see :class:`~repro.service.checkpoint.RunLedger`).
     """
 
     def __init__(
@@ -203,6 +228,8 @@ class JobDispatcher:
         kill_grace: float = 0.5,
         max_tasks_per_worker: Optional[int] = 256,
         worker_idle_timeout: Optional[float] = 300.0,
+        durable: bool = False,
+        max_segment_bytes: Optional[int] = None,
     ) -> None:
         if machine not in ALL_PRESETS:
             raise InputError(
@@ -230,8 +257,15 @@ class JobDispatcher:
         self.cache = cache
         self.settle_listener = settle_listener
         self.kill_grace = kill_grace
+        if durable and not ledger_path:
+            raise InputError(
+                "durable mode needs a ledger (pass ledger_path)"
+            )
+        self.durable = durable
 
-        self._ledger = RunLedger(ledger_path) if ledger_path else None
+        self._ledger = RunLedger(
+            ledger_path, max_segment_bytes=max_segment_bytes
+        ) if ledger_path else None
         self._pool = WorkerPool(
             size=pool_size,
             kill_grace=kill_grace,
@@ -306,6 +340,13 @@ class JobDispatcher:
                 )
                 return False
             self.stats["submitted"] += 1
+            if self.durable and self._ledger is not None:
+                # Durable queue: journal acceptance (with the task
+                # payload) before anything can happen to the job, so a
+                # crashed server resubmits it on restart.
+                self._ledger.record(
+                    job.queue_entry("accepted", self._stamp())
+                )
             leader = self._coalesce.get(job.key)
             if (
                 leader is not None
@@ -329,6 +370,12 @@ class JobDispatcher:
         get_metrics().gauge("serve.queue_depth").set(len(self._queue))
         self._wake()
         return False
+
+    def settle_failed(self, job: Job, message: str) -> None:
+        """Settle *job* terminally failed without ever dispatching it
+        (quarantined poison input, refused recovery row)."""
+        with self._lock:
+            self._settle_locked(job, "failed", exit_code=1, message=message)
 
     def begin_drain(self) -> None:
         """Stop dispatching; settle the backlog as interrupted; let
@@ -365,6 +412,12 @@ class JobDispatcher:
             "breaker": self.breaker.snapshot(),
             "cache": self.cache.snapshot() if self.cache else None,
         }
+
+    def close_in_workers(self, fds) -> None:
+        """Descriptors every future pool worker must close at entry
+        (the serve front end registers its listening sockets so a
+        SIGKILL'd server's workers never keep the port bound)."""
+        self._pool.close_in_children(list(fds))
 
     def _wake(self) -> None:
         try:
@@ -556,6 +609,14 @@ class JobDispatcher:
             job.rung = self._breaker_key(rung)
             self._inflight.append((handle, job))
             self.stats["dispatched"] += 1
+            if self.durable and self._ledger is not None:
+                # The "dispatched" marker is the poison-detection
+                # breadcrumb: a job whose *last* row is still
+                # "dispatched" when the server dies was in flight at
+                # the crash — the supervisor counts repeats per digest.
+                self._ledger.record(
+                    job.queue_entry("dispatched", self._stamp())
+                )
         get_metrics().counter("serve.dispatches").inc()
         get_tracer().event(
             "serve.dispatch",

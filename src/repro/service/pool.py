@@ -43,6 +43,7 @@ per task drops to one frame round-trip.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -98,7 +99,35 @@ def _prewarm() -> None:
     from repro.pipeline import driver  # noqa: F401
 
 
-def pool_worker_main(conn) -> None:
+def _shed_inherited_fds(close_fds) -> None:
+    """Close the listed inherited descriptors (child side of fork).
+
+    A forked worker starts with a copy of the parent's descriptor
+    table, and three of those copies are liveness bugs, not mere
+    leaks:
+
+    * the serve front end's **listening socket** — a SIGKILL'd server
+      whose workers survive it keeps the port bound, so the
+      supervisor's restarted child dies with ``EADDRINUSE`` forever;
+    * the parent ends of **sibling workers' pipes** — a sibling
+      holding a copy of this worker's write end means parent death
+      never reads as EOF and the whole cohort lingers;
+    * the parent end of the worker's **own pipe**, which would keep
+      its read side open against itself.
+
+    The parent enumerates exactly these at spawn time (plus whatever
+    the server registered via :meth:`WorkerPool.close_in_children`);
+    closing only known descriptors leaves multiprocessing's own
+    sentinel/bookkeeping fds intact.
+    """
+    for fd in close_fds:
+        try:
+            os.close(int(fd))
+        except (OSError, TypeError, ValueError):
+            pass
+
+
+def pool_worker_main(conn, close_fds=()) -> None:
     """Child-process entry: serve task frames until told to exit.
 
     Each ``task`` frame runs one compile attempt via the same
@@ -106,8 +135,13 @@ def pool_worker_main(conn) -> None:
     fork-per-task worker (fault arming included, cleared between
     tasks), and answers with exactly one result frame.  An ``exit``
     frame, a closed pipe, or an unparseable frame ends the loop — the
-    parent owns all retry policy.
+    parent owns all retry policy.  Worker lifetime therefore depends
+    only on its own pipe: :func:`_shed_inherited_fds` drops every
+    other descriptor forked in from the parent, so the death of the
+    parent (even by SIGKILL) reads as EOF here and the worker exits
+    instead of squatting on the parent's sockets.
     """
+    _shed_inherited_fds(close_fds)
     detach_worker_process()
     try:  # pragma: no cover - exercised in subprocesses
         _prewarm()
@@ -232,6 +266,7 @@ class WorkerPool:
         self.max_tasks_per_worker = max_tasks_per_worker
         self.idle_timeout = idle_timeout
         self._workers: List[_PoolWorker] = []
+        self._child_close_fds: List[int] = []
         self.stats: Dict[str, int] = {
             "spawned": 0,
             "dispatched": 0,
@@ -245,12 +280,32 @@ class WorkerPool:
     # Worker lifecycle
     # ------------------------------------------------------------------
 
+    def close_in_children(self, fds: List[int]) -> None:
+        """Register descriptors every *future* worker must close at
+        entry — the serve front end passes its listening sockets here
+        so a dead server's port is never kept bound by its surviving
+        workers."""
+        for fd in fds:
+            if fd not in self._child_close_fds:
+                self._child_close_fds.append(int(fd))
+
     def _spawn(self) -> _PoolWorker:
         ctx = _mp_context()
         parent_conn, child_conn = ctx.Pipe(duplex=True)
+        # Everything the child must NOT keep: registered server fds,
+        # the parent ends of every sibling's pipe, and the parent end
+        # of its own pipe (holding that one open would stop parent
+        # death from ever reading as EOF on the child's side).
+        close_fds = list(self._child_close_fds)
+        for sibling in self._workers:
+            try:
+                close_fds.append(sibling.conn.fileno())
+            except OSError:  # pragma: no cover - already closed
+                pass
+        close_fds.append(parent_conn.fileno())
         process = ctx.Process(
             target=pool_worker_main,
-            args=(child_conn,),
+            args=(child_conn, tuple(close_fds)),
             daemon=True,
             name="repro-pool-worker",
         )

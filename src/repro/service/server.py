@@ -56,6 +56,7 @@ import asyncio
 import itertools
 import json
 import os
+import re
 import signal
 import socket
 import threading
@@ -119,6 +120,12 @@ class CompileServer:
         retries: Extra attempts for worker-level failures.
         cache: Optional :class:`~repro.cache.CompileCache`.
         ledger_path: JSONL run ledger (every settled job journals).
+        durable: Journal accepted/dispatched rows and resume them on
+            startup (requires ``ledger_path``) — the supervised-serve
+            exactly-once path.
+        poison_path: Poison-task list maintained by the supervisor;
+            quarantined input digests are refused with HTTP 403.
+        max_segment_bytes: Auto-compact the ledger past this size.
         allow_request_faults: Permit per-request ``faults`` specs
             (drill mode; off by default — a client must not be able to
             crash the fleet unless the operator opted in).
@@ -142,6 +149,9 @@ class CompileServer:
         backoff: float = 0.05,
         cache=None,
         ledger_path: Optional[str] = None,
+        durable: bool = False,
+        poison_path: Optional[str] = None,
+        max_segment_bytes: Optional[int] = None,
         allow_request_faults: bool = False,
         drain_timeout: float = 60.0,
         result_retention: int = DEFAULT_RESULT_RETENTION,
@@ -174,6 +184,17 @@ class CompileServer:
         )
         self.cache = cache
         self.ledger_path = ledger_path
+        if durable and not ledger_path:
+            raise InputError("--durable requires --ledger")
+        self.durable = durable
+        self.poison_path = poison_path
+        self.max_segment_bytes = max_segment_bytes
+        self._poison: set = set()
+        if poison_path:
+            from repro.service.supervisor import load_poison
+
+            self._poison = set(load_poison(poison_path)["quarantined"])
+        self.recovered = 0
         self.allow_request_faults = allow_request_faults
         self.drain_timeout = drain_timeout
         self.result_retention = result_retention
@@ -257,12 +278,23 @@ class CompileServer:
             cache=self.cache,
             ledger_path=self.ledger_path,
             settle_listener=self._on_settled_dispatcher_thread,
+            durable=self.durable,
+            max_segment_bytes=self.max_segment_bytes,
         )
+        if self.ledger_path:
+            self._recover_jobs()
         server = await asyncio.start_server(
             self._handle_client, self.host, self.port,
             family=socket.AF_INET,
         )
         self.bound_port = server.sockets[0].getsockname()[1]
+        # Workers fork with a copy of this listening socket; unless
+        # they close it at entry, killing the server (SIGKILL — no
+        # cleanup) leaves the port bound by its orphaned workers and
+        # a supervised restart dies with EADDRINUSE.
+        self.dispatcher.close_in_workers(
+            [sock.fileno() for sock in server.sockets]
+        )
         installed_signals: List[int] = []
         if install_signal_handlers:
             for signum in (signal.SIGTERM, signal.SIGINT):
@@ -332,6 +364,71 @@ class CompileServer:
                 flush=True,
             )
         return EXIT_SERVE_OK
+
+    def _recover_jobs(self) -> None:
+        """Resume the durable queue from the ledger.
+
+        Always bumps the job-id counter past every journaled id (so a
+        restart can never mint a task id the ledger already used); in
+        durable mode additionally resubmits every ``accepted``/
+        ``dispatched`` row — the jobs a dead server took in but never
+        settled — under their original ids, settling quarantined
+        poison inputs ``failed`` instead of re-dispatching them.
+        """
+        from repro.service.checkpoint import RunLedger
+
+        entries = RunLedger.load(self.ledger_path)
+        highest = 0
+        for task_id in entries:
+            match = re.match(r"job-(\d+)$", task_id)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        if highest:
+            self._job_ids = itertools.count(highest + 1)
+        if not self.durable:
+            return
+        for task_id in sorted(entries):
+            record = entries[task_id]
+            if record.get("status") not in ("accepted", "dispatched"):
+                continue
+            name = record.get("name")
+            text = record.get("text")
+            if not isinstance(name, str) or not isinstance(text, str):
+                continue
+            task = CompileTask(
+                task_id=task_id, name=name, text=text,
+                is_ir=bool(record.get("is_ir", False)),
+            )
+            client = record.get("client")
+            job = Job(
+                job_id=task_id,
+                client=client if isinstance(client, str) and client
+                else "recovered",
+                task=task,
+                key=self.dispatcher.job_key(task),
+            )
+            self._jobs[task_id] = job
+            self.recovered += 1
+            if task.digest() in self._poison:
+                job.notes.append(
+                    "input digest quarantined by the supervisor"
+                )
+                self.dispatcher.settle_failed(
+                    job,
+                    "input quarantined as poison after repeated "
+                    "crashes in flight",
+                )
+            else:
+                self.dispatcher.submit(job)
+        if self.recovered:
+            get_metrics().counter("serve.recovered").inc(self.recovered)
+            get_tracer().event("serve.recover", jobs=self.recovered)
+            if not self.quiet:
+                print(
+                    "repro serve: recovered {} unsettled job(s) from "
+                    "{}".format(self.recovered, self.ledger_path),
+                    flush=True,
+                )
 
     def _begin_drain(self, reason: str = "drain") -> None:
         """Loop-thread drain entry (signal handler / endpoint)."""
@@ -558,6 +655,23 @@ class CompileServer:
         )
         if request["faults"]:
             task = task.with_faults(request["faults"])
+        if self._poison and task.digest() in self._poison:
+            # The supervisor quarantined this input after repeated
+            # crashes-in-flight; refuse it instead of wounding the
+            # server again.  The admission token goes back: refused
+            # work holds no queue slot.
+            self.session.release(client)
+            get_metrics().counter("serve.shed.poisoned-input").inc()
+            get_tracer().event(
+                "serve.poison_refused", digest=task.digest()[:12]
+            )
+            return 403, {
+                "error": "poisoned-input",
+                "message": "input digest {} is quarantined (it was in "
+                "flight across repeated server crashes); fix the input "
+                "or clear the poison list".format(task.digest()[:12]),
+                "shed": True,
+            }
         deadline = None
         if request["deadline_s"] is not None:
             deadline = time.monotonic() + request["deadline_s"]
@@ -697,6 +811,9 @@ class CompileServer:
             "jobs_held": len(self._jobs),
             "machine": self.machine,
             "engine": self.config.engine,
+            "durable": self.durable,
+            "recovered": self.recovered,
+            "poisoned_inputs": len(self._poison),
         }
 
     def _endpoint_drain(self) -> Tuple[int, Dict[str, object]]:

@@ -33,6 +33,14 @@ point                     location
                           slow/wedged handler, ``crash`` = server dies
                           mid-request, ``poison-result`` = garbage
                           response body)
+``fs.<scope>.<op>``       the filesystem fault shim
+                          (:mod:`repro.utils.fsfaults`): *scope* is
+                          ``cache`` (the compile-cache disk tier) or
+                          ``ledger`` (the run-ledger journal), *op* is
+                          one of ``open``/``write``/``fsync``/
+                          ``rename``/``unlink``.  Only the fs actions
+                          below fire here, and they fire **once**
+                          (one-shot), so recovery paths stay testable.
 ``phase.<name>``          start of each driver phase (see
                           :attr:`repro.pipeline.driver.CompilationDriver.PHASES`)
 ========================  ====================================================
@@ -51,6 +59,22 @@ Actions:
 * ``poison-result`` — no-op at the trip point; consulted by the batch
   worker, which then streams a malformed result object back to the
   parent so result validation and the retry path are exercised.
+
+Filesystem actions (only valid on ``fs.*`` points; consulted by
+:mod:`repro.utils.fsfaults`, never by :func:`trip`, and disarmed after
+firing once):
+
+* ``torn-write`` (``=k``) — the write *silently* persists only the
+  first *k* bytes (default: half the payload) and reports success:
+  what a crash between write and durability leaves on disk;
+* ``short-write`` (``=k``) — persists the first *k* bytes, then raises
+  ``OSError(EIO)`` so the caller knows the write was cut short;
+* ``enospc`` — raise ``OSError(ENOSPC)`` before touching the file;
+* ``eio`` — raise ``OSError(EIO)`` before touching the file;
+* ``crash-after-write-before-rename`` — at a ``rename`` point:
+  ``os._exit`` with :data:`CRASH_EXIT_CODE` *before* performing the
+  rename, leaving a fully-written temp file orphaned next to the old
+  entry — the classic atomic-replace crash window.
 
 Text specs named in ``$REPRO_FAULTS`` / ``--inject-fault`` are
 validated **at arm time**: an unknown trip-point name or a malformed
@@ -91,11 +115,24 @@ from repro.utils.errors import FaultInjectedError, InputError, ReproError
 #: Environment variable scanned by :func:`install_from_env`.
 ENV_VAR = "REPRO_FAULTS"
 
+#: Filesystem fault actions (fire only at ``fs.*`` points, via the
+#: :mod:`repro.utils.fsfaults` shim, one-shot).
+FS_ACTIONS = (
+    "torn-write",
+    "short-write",
+    "enospc",
+    "eio",
+    "crash-after-write-before-rename",
+)
+
 #: Valid fault actions.
-ACTIONS = ("raise", "stall", "hang", "crash", "poison-result")
+ACTIONS = ("raise", "stall", "hang", "crash", "poison-result") + FS_ACTIONS
 
 #: Actions accepting an ``=seconds`` argument in text specs.
 _TIMED_ACTIONS = ("stall", "hang")
+
+#: Fs actions accepting an ``=bytes`` argument in text specs.
+_SIZED_ACTIONS = ("torn-write", "short-write")
 
 #: Default stall duration in seconds when a spec says ``stall`` with no
 #: explicit duration.
@@ -133,16 +170,34 @@ _PHASE_NAMES = frozenset({
     "assign", "schedule", "theorem1", "strategy",
 })
 
+#: Subsystems guarded by the filesystem fault shim
+#: (:mod:`repro.utils.fsfaults`).
+FS_SCOPES = ("cache", "ledger")
+
+#: Filesystem operations the shim interposes on.
+FS_OPS = ("open", "write", "fsync", "rename", "unlink")
+
+#: ``fs.<scope>.<op>`` points, fully expanded.
+FS_POINTS = frozenset(
+    "fs.{}.{}".format(scope, op) for scope in FS_SCOPES for op in FS_OPS
+)
+
+
+def is_fs_point(point: str) -> bool:
+    return point in FS_POINTS
+
 
 def known_points() -> Tuple[str, ...]:
     """Every documented trip-point name, sorted (``phase.*`` expanded)."""
     return tuple(sorted(
-        LIBRARY_POINTS | {"phase." + name for name in _PHASE_NAMES}
+        LIBRARY_POINTS
+        | FS_POINTS
+        | {"phase." + name for name in _PHASE_NAMES}
     ))
 
 
 def is_known_point(point: str) -> bool:
-    if point in LIBRARY_POINTS:
+    if point in LIBRARY_POINTS or point in FS_POINTS:
         return True
     prefix, _, rest = point.partition(".")
     return prefix == "phase" and rest in _PHASE_NAMES
@@ -159,6 +214,8 @@ class FaultSpec:
         error: Exception class for ``"raise"``; must derive from
             :class:`ReproError` so guards can catch it.
         message: Override for the raised message.
+        nbytes: Byte count for ``"torn-write"`` / ``"short-write"``
+            (None = half the payload being written).
     """
 
     point: str
@@ -166,6 +223,7 @@ class FaultSpec:
     seconds: float = DEFAULT_STALL_SECONDS
     error: Type[ReproError] = FaultInjectedError
     message: Optional[str] = None
+    nbytes: Optional[int] = None
 
     def as_dict(self) -> Dict[str, object]:
         """Primitive form, picklable across process boundaries (the
@@ -176,6 +234,7 @@ class FaultSpec:
             "seconds": self.seconds,
             "error": self.error.__name__,
             "message": self.message,
+            "nbytes": self.nbytes,
         }
 
     @classmethod
@@ -187,12 +246,14 @@ class FaultSpec:
         if not (isinstance(error, type) and issubclass(error, ReproError)):
             error = FaultInjectedError
         message = data.get("message")
+        nbytes = data.get("nbytes")
         return cls(
             point=str(data["point"]),
             action=str(data.get("action", "raise")),
             seconds=float(data.get("seconds", DEFAULT_STALL_SECONDS)),
             error=error,
             message=None if message is None else str(message),
+            nbytes=None if nbytes is None else int(nbytes),
         )
 
 
@@ -219,6 +280,11 @@ def install(spec: FaultSpec) -> None:
             "fault error class must derive from ReproError, got {!r}".format(
                 spec.error
             )
+        )
+    if spec.action in FS_ACTIONS and not spec.point.startswith("fs."):
+        raise InputError(
+            "fs fault action {!r} only fires at fs.* points, "
+            "not {!r}".format(spec.action, spec.point)
         )
     _active[spec.point] = spec
 
@@ -268,7 +334,9 @@ def trip(point: str) -> None:
         return
     if spec.action == "crash":
         os._exit(CRASH_EXIT_CODE)
-    if spec.action == "poison-result":
+    if spec.action == "poison-result" or spec.action in FS_ACTIONS:
+        # poison-result acts at result-serialization time; fs actions
+        # act inside the fsfaults shim.  Neither fires at trip points.
         return
     raise spec.error(
         spec.message or "injected fault at {!r}".format(point)
@@ -282,15 +350,18 @@ def inject(
     seconds: float = DEFAULT_STALL_SECONDS,
     error: Type[ReproError] = FaultInjectedError,
     message: Optional[str] = None,
+    nbytes: Optional[int] = None,
 ) -> Iterator[FaultSpec]:
     """Arm a fault for the duration of the ``with`` block.
 
     Nests correctly: arming a point that is already armed shadows the
-    outer spec and restores it on exit.
+    outer spec and restores it on exit.  (One-shot fs faults may have
+    already disarmed themselves by the time the block exits — the
+    restore tolerates that.)
     """
     spec = FaultSpec(
         point=point, action=action, seconds=seconds, error=error,
-        message=message,
+        message=message, nbytes=nbytes,
     )
     previous = _active.get(point)
     install(spec)
@@ -313,6 +384,10 @@ def parse_fault_specs(text: str, known_only: bool = True) -> List[FaultSpec]:
         "core.pinter_color:raise,phase.opt"    -> two raise faults
         "sched.augmented:stall=0.25"           -> stall 250 ms
         "service.worker:crash"                 -> os._exit in the worker
+        "fs.cache.write:torn-write=16"         -> 16-byte torn cache write
+        "fs.ledger.fsync:enospc"               -> ledger fsync ENOSPC
+        "fs.cache.rename:crash-after-write-before-rename"
+                                               -> die in the swap window
 
     Entries are validated here — at arm time — so a typo can never arm
     a point that no :func:`trip` call will ever fire.
@@ -336,27 +411,49 @@ def parse_fault_specs(text: str, known_only: bool = True) -> List[FaultSpec]:
         point = point.strip()
         if not point:
             raise InputError("fault spec {!r} has an empty point".format(chunk))
-        action_text = action_text.strip() or "raise"
-        action, _, seconds_text = action_text.partition("=")
+        # A bare fs point defaults to the generic I/O error; every
+        # other bare point defaults to raising its guard error.
+        default_action = "eio" if point.startswith("fs.") else "raise"
+        action_text = action_text.strip() or default_action
+        action, _, arg_text = action_text.partition("=")
         seconds = (
             DEFAULT_HANG_SECONDS if action == "hang" else DEFAULT_STALL_SECONDS
         )
-        if seconds_text:
-            if action not in _TIMED_ACTIONS:
+        nbytes: Optional[int] = None
+        if arg_text:
+            if action in _TIMED_ACTIONS:
+                try:
+                    seconds = float(arg_text)
+                except ValueError:
+                    raise InputError(
+                        "bad {} duration {!r} in fault spec {!r}".format(
+                            action, arg_text, chunk
+                        )
+                    ) from None
+                if seconds < 0:
+                    raise InputError(
+                        "{} duration must be >= 0, got {}".format(
+                            action, seconds
+                        )
+                    )
+            elif action in _SIZED_ACTIONS:
+                try:
+                    nbytes = int(arg_text)
+                except ValueError:
+                    raise InputError(
+                        "bad {} byte count {!r} in fault spec {!r}".format(
+                            action, arg_text, chunk
+                        )
+                    ) from None
+                if nbytes < 0:
+                    raise InputError(
+                        "{} byte count must be >= 0, got {}".format(
+                            action, nbytes
+                        )
+                    )
+            else:
                 raise InputError(
                     "fault action {!r} takes no '=' argument".format(action)
-                )
-            try:
-                seconds = float(seconds_text)
-            except ValueError:
-                raise InputError(
-                    "bad {} duration {!r} in fault spec {!r}".format(
-                        action, seconds_text, chunk
-                    )
-                ) from None
-            if seconds < 0:
-                raise InputError(
-                    "{} duration must be >= 0, got {}".format(action, seconds)
                 )
         if action not in ACTIONS:
             raise InputError(
@@ -369,7 +466,32 @@ def parse_fault_specs(text: str, known_only: bool = True) -> List[FaultSpec]:
                 "unknown fault point {!r} in spec {!r}; known points: "
                 "{}".format(point, chunk, ", ".join(known_points()))
             )
-        specs.append(FaultSpec(point=point, action=action, seconds=seconds))
+        if point.startswith("fs.") and action not in FS_ACTIONS:
+            raise InputError(
+                "fs point {!r} in spec {!r} only takes the fs actions: "
+                "{}".format(point, chunk, ", ".join(FS_ACTIONS))
+            )
+        if action in FS_ACTIONS:
+            if not point.startswith("fs."):
+                raise InputError(
+                    "fs fault action {!r} in spec {!r} only fires at "
+                    "fs.* points".format(action, chunk)
+                )
+            op = point.rsplit(".", 1)[-1]
+            if action in _SIZED_ACTIONS and op != "write":
+                raise InputError(
+                    "fault action {!r} in spec {!r} only applies to "
+                    "fs.*.write points".format(action, chunk)
+                )
+            if action == "crash-after-write-before-rename" and \
+                    op != "rename":
+                raise InputError(
+                    "fault action {!r} in spec {!r} only applies to "
+                    "fs.*.rename points".format(action, chunk)
+                )
+        specs.append(FaultSpec(
+            point=point, action=action, seconds=seconds, nbytes=nbytes,
+        ))
     return specs
 
 

@@ -1,0 +1,235 @@
+"""Filesystem fault-injection shim for the durable state stores.
+
+The compile cache's disk tier (:mod:`repro.cache.store`) and the run
+ledger (:mod:`repro.service.checkpoint`) promise crash consistency:
+torn writes quarantine instead of poisoning, a crash in the
+write-temp/rename window leaves either the old entry or the new one,
+and a full or failing disk degrades service instead of corrupting
+state.  Promises like that rot unless they are exercised, so both
+stores route **every** open/write/fsync/rename/unlink through this
+module, which consults the process-wide fault registry
+(:mod:`repro.utils.faults`) at ``fs.<scope>.<op>`` points before
+touching the real filesystem:
+
+========  ============================================================
+scope     store
+========  ============================================================
+cache     the compile cache disk tier (``repro.cache.store``)
+ledger    the run-ledger journal (``repro.service.checkpoint``)
+========  ============================================================
+
+with *op* one of ``open``, ``write``, ``fsync``, ``rename``,
+``unlink``.  The armable actions (see :data:`repro.utils.faults.
+FS_ACTIONS`) model the failures real filesystems produce:
+
+* ``torn-write=k`` — persist only the first *k* bytes and **report
+  success** (what power loss between write and durability leaves);
+* ``short-write=k`` — persist *k* bytes, then raise ``OSError(EIO)``;
+* ``enospc`` / ``eio`` — raise the matching ``OSError`` untouched;
+* ``crash-after-write-before-rename`` — ``os._exit`` in the atomic-
+  replace window: temp file fully written, destination not yet
+  swapped.
+
+Every fs fault is **one-shot**: it disarms itself when it fires, so
+the very next retry/recovery attempt sees a healthy filesystem — which
+is exactly the scenario the recovery sweeps must survive.  Arm via the
+usual channels (``--inject-fault fs.cache.write:torn-write=16``,
+``$REPRO_FAULTS``, or :func:`repro.utils.faults.inject` in tests).
+
+When nothing is armed every shim call costs one dict lookup on the
+(usually empty) fault registry before delegating to the real
+``os``/``open`` call.
+"""
+
+from __future__ import annotations
+
+import builtins
+import errno
+import os
+from typing import IO, Optional, Union
+
+from repro.utils import faults
+
+#: Re-exported for callers that want to enumerate the surface.
+SCOPES = faults.FS_SCOPES
+OPS = faults.FS_OPS
+
+__all__ = [
+    "GuardedFile",
+    "OPS",
+    "SCOPES",
+    "consume",
+    "fsync",
+    "open",
+    "point_name",
+    "replace",
+    "sync_directory",
+    "unlink",
+    "wrap",
+]
+
+
+def point_name(scope: str, op: str) -> str:
+    """The fault-point name the shim consults for (*scope*, *op*)."""
+    return "fs.{}.{}".format(scope, op)
+
+
+def consume(scope: str, op: str) -> Optional[faults.FaultSpec]:
+    """Pop the fs fault armed at ``fs.<scope>.<op>``, if any.
+
+    Fs faults are one-shot: consuming disarms.  Non-fs actions armed
+    at an fs point (possible only via programmatic :func:`faults.
+    install`) are ignored rather than fired here — the shim's contract
+    is the fs action set only.
+    """
+    point = point_name(scope, op)
+    spec = faults.spec_at(point)
+    if spec is None or spec.action not in faults.FS_ACTIONS:
+        return None
+    faults.clear(point)
+    return spec
+
+
+def _raise_errno(spec: faults.FaultSpec, path: object) -> None:
+    if spec.action == "enospc":
+        raise OSError(
+            errno.ENOSPC,
+            "injected ENOSPC at {!r}".format(spec.point),
+            str(path),
+        )
+    raise OSError(
+        errno.EIO, "injected EIO at {!r}".format(spec.point), str(path)
+    )
+
+
+def _torn_length(spec: faults.FaultSpec, total: int) -> int:
+    if spec.nbytes is None:
+        return total // 2
+    return max(0, min(spec.nbytes, total))
+
+
+class GuardedFile:
+    """A file-object proxy whose :meth:`write` consults the
+    ``fs.<scope>.write`` fault point.
+
+    Everything else (flush, close, fileno, context management,
+    iteration) delegates to the wrapped handle untouched.
+    """
+
+    def __init__(self, handle: IO, scope: str) -> None:
+        self._fh = handle
+        self._scope = scope
+
+    def write(self, data):
+        spec = consume(self._scope, "write")
+        if spec is None:
+            return self._fh.write(data)
+        if spec.action == "torn-write":
+            # The crash-shaped lie: part of the payload lands, the
+            # caller is told everything did.  Flush so the torn bytes
+            # really reach the OS before whatever happens next.
+            self._fh.write(data[:_torn_length(spec, len(data))])
+            self._fh.flush()
+            return len(data)
+        if spec.action == "short-write":
+            self._fh.write(data[:_torn_length(spec, len(data))])
+            self._fh.flush()
+            raise OSError(
+                errno.EIO,
+                "injected short write at {!r}".format(spec.point),
+            )
+        _raise_errno(spec, getattr(self._fh, "name", "<file>"))
+
+    # -- transparent delegation ----------------------------------------
+
+    def __getattr__(self, name):
+        return getattr(self._fh, name)
+
+    def __iter__(self):
+        return iter(self._fh)
+
+    def __enter__(self) -> "GuardedFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._fh.close()
+
+
+def wrap(handle: IO, scope: str) -> GuardedFile:
+    """Interpose on writes through an already-open *handle* (e.g. one
+    obtained from ``os.fdopen`` after ``tempfile.mkstemp``)."""
+    return GuardedFile(handle, scope)
+
+
+def open(  # noqa: A001 - deliberate os.open-style shadowing
+    path: str, mode: str = "r", scope: str = "cache", **kwargs
+) -> Union[IO, GuardedFile]:
+    """``builtins.open`` behind the ``fs.<scope>.open`` point.
+
+    Handles opened for writing/appending come back wrapped in
+    :class:`GuardedFile` so their writes hit the ``write`` point too.
+    """
+    spec = consume(scope, "open")
+    if spec is not None:
+        _raise_errno(spec, path)
+    handle = builtins.open(path, mode, **kwargs)
+    if any(flag in mode for flag in ("w", "a", "+", "x")):
+        return GuardedFile(handle, scope)
+    return handle
+
+
+def fsync(target: Union[int, IO, GuardedFile], scope: str) -> None:
+    """``os.fsync`` behind the ``fs.<scope>.fsync`` point.  *target*
+    is a file descriptor or an object with ``fileno()``."""
+    spec = consume(scope, "fsync")
+    if spec is not None:
+        _raise_errno(spec, getattr(target, "name", target))
+    fd = target if isinstance(target, int) else target.fileno()
+    os.fsync(fd)
+
+
+def replace(src: str, dst: str, scope: str) -> None:
+    """``os.replace`` behind the ``fs.<scope>.rename`` point.
+
+    ``crash-after-write-before-rename`` fires here: the process dies
+    with the temp file fully written and the destination untouched —
+    the recovery sweep must classify that orphan.
+    """
+    spec = consume(scope, "rename")
+    if spec is not None:
+        if spec.action == "crash-after-write-before-rename":
+            os._exit(faults.CRASH_EXIT_CODE)
+        _raise_errno(spec, src)
+    os.replace(src, dst)
+
+
+def unlink(path: str, scope: str) -> None:
+    """``os.unlink`` behind the ``fs.<scope>.unlink`` point."""
+    spec = consume(scope, "unlink")
+    if spec is not None:
+        _raise_errno(spec, path)
+    os.unlink(path)
+
+
+def sync_directory(path: str, scope: str) -> None:
+    """Fsync the directory entry at *path* (making renames/creations
+    durable), behind the same ``fs.<scope>.fsync`` point.
+
+    Injected faults propagate; *real* platform refusals (filesystems
+    without directory fsync) are swallowed, matching the stores'
+    best-effort stance on exotic hosts.
+    """
+    spec = consume(scope, "fsync")
+    if spec is not None:
+        _raise_errno(spec, path)
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path, flags)
+    except OSError:  # pragma: no cover - exotic platforms
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)

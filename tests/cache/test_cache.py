@@ -345,3 +345,227 @@ class TestBatchIntegration:
         # A third run may resume straight off the cache-hit ledger.
         summary = BatchRunner(resume_path=ledger).run(tasks)
         assert summary.counts["resumed"] == 2
+
+
+# ----------------------------------------------------------------------
+# Crash consistency (PR 8): sharded layout, quarantine, disk LRU,
+# recovery sweep, fault containment.
+# ----------------------------------------------------------------------
+
+from repro.cache.store import QUARANTINE_DIR
+from repro.utils import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_registry():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def keys_for(n, seed=100):
+    return [
+        key_for(text=random_source(SourceFuzzConfig(seed=seed + i)))
+        for i in range(n)
+    ]
+
+
+class TestShardedLayout:
+    def test_entries_land_under_digest_prefix_shards(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        key = key_for()
+        CompileCache(directory=directory).put(key, ok_result())
+        digest = key.digest()
+        expected = os.path.join(
+            directory, digest[:2], digest[2:4], digest + ".json"
+        )
+        assert os.path.isfile(expected)
+
+    def test_many_entries_spread_across_shards(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = CompileCache(directory=directory)
+        for key in keys_for(16):
+            cache.put(key, ok_result())
+        shards = {
+            name for name in os.listdir(directory)
+            if name != QUARANTINE_DIR
+        }
+        assert len(shards) > 1  # 16 random digests: not all one prefix
+
+
+class TestQuarantine:
+    def test_corrupt_entry_moves_into_quarantine_dir(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        key = key_for()
+        CompileCache(directory=directory).put(key, ok_result())
+        digest = key.digest()
+        live = os.path.join(
+            directory, digest[:2], digest[2:4], digest + ".json"
+        )
+        with open(live, "w") as handle:
+            handle.write("not json")
+        cache = CompileCache(directory=directory)
+        assert cache.get(key) is None
+        assert not os.path.exists(live)
+        quarantined = os.listdir(os.path.join(directory, QUARANTINE_DIR))
+        assert digest + ".json" in quarantined
+        assert cache.stats["quarantined"] == 1
+
+    def test_sweep_quarantines_orphan_temps(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        CompileCache(directory=directory).put(key_for(), ok_result())
+        shard = os.path.join(directory, "ab", "cd")
+        os.makedirs(shard, exist_ok=True)
+        orphan = os.path.join(shard, "tmpXYZ.tmp")
+        with open(orphan, "w") as handle:
+            handle.write("half-written entry")
+        cache = CompileCache(directory=directory)
+        assert cache.stats["quarantined"] == 1
+        assert not os.path.exists(orphan)
+        assert os.path.isfile(
+            os.path.join(directory, QUARANTINE_DIR, "tmpXYZ.tmp")
+        )
+
+    def test_sweep_quarantines_truncated_entries(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        key = key_for()
+        CompileCache(directory=directory).put(key, ok_result())
+        digest = key.digest()
+        live = os.path.join(
+            directory, digest[:2], digest[2:4], digest + ".json"
+        )
+        with open(live, "r+b") as handle:
+            handle.truncate(os.path.getsize(live) // 2)
+        cache = CompileCache(directory=directory)
+        assert cache.stats["quarantined"] == 1
+        assert cache.stats["corrupt"] == 1
+        assert not os.path.exists(live)
+        assert cache.get(key) is None  # clean miss, no re-parse
+
+    def test_sweep_never_descends_into_quarantine(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        CompileCache(directory=directory).put(key_for(), ok_result())
+        qdir = os.path.join(directory, QUARANTINE_DIR)
+        os.makedirs(qdir, exist_ok=True)
+        with open(os.path.join(qdir, "old.tmp"), "w") as handle:
+            handle.write("previously quarantined")
+        cache = CompileCache(directory=directory)
+        assert cache.stats["quarantined"] == 0  # not re-counted
+
+
+class TestDiskLRU:
+    def test_entry_bound_evicts_least_recently_used(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = CompileCache(directory=directory, max_disk_entries=3)
+        keys = keys_for(5)
+        for key in keys:
+            cache.put(key, ok_result())
+        snap = cache.snapshot()
+        assert snap["disk_entries"] == 3
+        assert snap["disk_evictions"] == 2
+        # The survivors are the 3 most recent.
+        fresh = CompileCache(directory=directory)
+        for key in keys[:2]:
+            assert fresh.get(key) is None
+        for key in keys[2:]:
+            assert fresh.get(key) is not None
+
+    def test_byte_bound_holds(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = CompileCache(directory=directory, max_disk_bytes=600)
+        for key in keys_for(8):
+            cache.put(key, ok_result())
+        assert cache.snapshot()["disk_bytes"] <= 600
+        assert cache.stats["disk_evictions"] >= 1
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = CompileCache(
+            capacity=1, directory=directory, max_disk_entries=2,
+        )
+        a, b, c = keys_for(3)
+        cache.put(a, ok_result())
+        cache.put(b, ok_result())
+        # Touch a (capacity-1 memory keeps it out of the memory tier,
+        # so this is a disk hit) — then c's arrival must evict b.
+        assert cache.get(a) is not None
+        cache.put(c, ok_result())
+        fresh = CompileCache(directory=directory)
+        assert fresh.get(a) is not None
+        assert fresh.get(b) is None
+
+    def test_recovery_sweep_seeds_lru_and_enforces_bounds(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        writer = CompileCache(directory=directory)
+        for key in keys_for(6):
+            writer.put(key, ok_result())
+        bounded = CompileCache(directory=directory, max_disk_entries=2)
+        snap = bounded.snapshot()
+        assert snap["disk_entries"] == 2
+        assert snap["disk_evictions"] == 4
+
+    def test_bounds_validated(self, tmp_path):
+        with pytest.raises(InputError, match="max_disk_entries"):
+            CompileCache(directory=str(tmp_path), max_disk_entries=0)
+        with pytest.raises(InputError, match="max_disk_bytes"):
+            CompileCache(directory=str(tmp_path), max_disk_bytes=0)
+
+
+class TestFaultContainment:
+    def test_write_fault_skips_persistence_not_the_batch(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = CompileCache(directory=directory)
+        key = key_for()
+        with faults.inject("fs.cache.write", action="enospc"):
+            assert cache.put(key, ok_result()) is True  # memory tier ok
+        assert cache.stats["disk_errors"] == 1
+        assert cache.get(key) is not None  # memory hit
+        assert CompileCache(directory=directory).get(key) is None  # not on disk
+
+    def test_open_fault_degrades_to_miss(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        key = key_for()
+        CompileCache(directory=directory).put(key, ok_result())
+        fresh = CompileCache(directory=directory)
+        with faults.inject("fs.cache.open", action="eio"):
+            assert fresh.get(key) is None
+        assert fresh.get(key) is not None  # one-shot: next read works
+
+    def test_torn_write_quarantines_on_next_open(self, tmp_path):
+        """A torn write that survives the rename window (fsync lied)
+        lands under the live name; the next reader must quarantine it
+        and miss, never replay garbage."""
+        directory = str(tmp_path / "cache")
+        key = key_for()
+        cache = CompileCache(directory=directory)
+        with faults.inject(
+            "fs.cache.write", action="torn-write", nbytes=40
+        ):
+            cache.put(key, ok_result())
+        fresh = CompileCache(directory=directory)
+        # The sweep already caught it (no closing brace)...
+        assert fresh.stats["quarantined"] == 1
+        # ...so the read misses cleanly.
+        assert fresh.get(key) is None
+
+    def test_rename_fault_leaves_no_live_entry(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        key = key_for()
+        cache = CompileCache(directory=directory)
+        with faults.inject("fs.cache.rename", action="eio"):
+            cache.put(key, ok_result())
+        assert cache.stats["disk_errors"] == 1
+        fresh = CompileCache(directory=directory)
+        assert fresh.get(key) is None
+        assert fresh.stats["corrupt"] == 0  # nothing half-written
+
+    def test_unlink_fault_during_eviction_is_contained(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = CompileCache(directory=directory, max_disk_entries=1)
+        a, b = keys_for(2)
+        cache.put(a, ok_result())
+        with faults.inject("fs.cache.unlink", action="eio"):
+            cache.put(b, ok_result())  # evicts a; unlink fails
+        assert cache.stats["disk_evictions"] == 1
+        assert cache.stats["disk_errors"] == 1
+        assert cache.get(b) is not None

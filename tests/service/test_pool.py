@@ -314,3 +314,56 @@ class TestBatchOnPool:
         pids = {p for rec in summary.records for p in rec.pids}
         assert len(pids) == 3  # ceil(5 / 2) workers served the batch
         assert not any(pid_is_live(p) for p in pids)
+
+
+class TestInheritedFdHygiene:
+    """Forked workers must shed the parent's descriptors (PR 8): a
+    SIGKILL'd server whose workers keep its listening socket bound
+    blocks every supervised restart with EADDRINUSE."""
+
+    def _worker_fd_targets(self, pid):
+        fd_dir = "/proc/{}/fd".format(pid)
+        targets = []
+        for name in os.listdir(fd_dir):
+            try:
+                targets.append(os.readlink(os.path.join(fd_dir, name)))
+            except OSError:
+                continue
+        return targets
+
+    def test_registered_fds_are_closed_in_workers(self):
+        import socket
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            inode = "socket:[{}]".format(os.fstat(listener.fileno()).st_ino)
+            with WorkerPool(size=1) as pool:
+                pool.close_in_children([listener.fileno()])
+                t = task()
+                handle = pool.dispatch(t, payload_for(t), timeout=30.0)
+                pid = handle.pid
+                # The result frame proves the child is past its entry
+                # hook, so the fd table is in its steady state.
+                assert settle(pool, handle).kind == "result"
+                assert inode not in self._worker_fd_targets(pid)
+        finally:
+            listener.close()
+
+    def test_sibling_pipe_ends_are_closed_in_workers(self):
+        """The second worker must not hold a copy of the first
+        worker's parent-side pipe — that copy is what keeps a dead
+        parent's cohort alive forever."""
+        with WorkerPool(size=2) as pool:
+            t0 = task(task_id="a", faults=worker_fault("stall", seconds=0.3))
+            h0 = pool.dispatch(t0, payload_for(t0), timeout=30.0)
+            first_conn_inode = "socket:[{}]".format(
+                os.fstat(h0.worker.conn.fileno()).st_ino
+            )
+            t1 = task(task_id="b")
+            h1 = pool.dispatch(t1, payload_for(t1), timeout=30.0)
+            assert settle(pool, h1).kind == "result"
+            assert first_conn_inode not in \
+                self._worker_fd_targets(h1.pid)
+            assert settle(pool, h0).kind == "result"

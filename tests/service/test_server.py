@@ -506,3 +506,201 @@ class TestServerFaults:
         # handler healthy again once disarmed
         status, _ = get(base, "/healthz")
         assert status == 200
+
+
+# ----------------------------------------------------------------------
+# Durable serve: recovery, poison refusal, supervised SIGKILL (PR 8)
+# ----------------------------------------------------------------------
+
+import threading
+
+from repro.service.checkpoint import LEDGER_VERSION
+from repro.service.manifest import CompileTask
+from repro.service.supervisor import (
+    Supervisor,
+    audit_exactly_once,
+    save_poison,
+)
+
+
+def queue_row(task_id, status, name, text, client="c0"):
+    task = CompileTask(task_id=task_id, name=name, text=text)
+    return {
+        "v": LEDGER_VERSION, "task_id": task_id, "digest": task.digest(),
+        "status": status, "client": client, "name": name, "text": text,
+        "is_ir": False, "attempts": 0, "recorded_at": 0.0,
+    }
+
+
+class TestDurableServe:
+    def test_recovery_resubmits_unsettled_queue_rows(
+        self, server, tmp_path
+    ):
+        """A durable server attached to a ledger holding accepted/
+        dispatched rows (a dead predecessor's queue) resubmits them
+        under their original ids and settles each exactly once."""
+        ledger = str(tmp_path / "serve.jsonl")
+        with RunLedger(ledger) as handle:
+            handle.record(queue_row(
+                "job-000001", "accepted", "r1", SOURCE,
+            ))
+            handle.record(queue_row(
+                "job-000002", "dispatched",
+                "r2", "input a;\ny = a + 7;\noutput y;\n",
+            ))
+            handle.record({
+                "task_id": "job-000003", "status": "ok", "digest": "d",
+            })
+        srv, base = server(ledger_path=ledger, durable=True)
+        assert srv.recovered == 2
+        deadline = time.monotonic() + 30.0
+        unsettled = {"job-000001", "job-000002"}
+        while unsettled and time.monotonic() < deadline:
+            for job_id in sorted(unsettled):
+                status, doc = get(base, "/result?job=" + job_id)
+                if status == 200:
+                    assert doc["status"] == "ok"
+                    unsettled.discard(job_id)
+            time.sleep(0.05)
+        assert unsettled == set()
+        srv.request_drain("test")
+        srv.join(30.0)
+        report = audit_exactly_once(ledger)
+        assert report["ok"], report
+        # New job ids never collide with journaled ones.
+        records = RunLedger.load(ledger)
+        assert all(
+            not job_id.startswith("job-00000")
+            or job_id in ("job-000001", "job-000002", "job-000003")
+            for job_id in records
+        )
+
+    def test_recovered_poisoned_input_settles_failed(
+        self, server, tmp_path
+    ):
+        ledger = str(tmp_path / "serve.jsonl")
+        poison = str(tmp_path / "poison.json")
+        task = CompileTask(task_id="job-000001", name="bad", text=SOURCE)
+        with RunLedger(ledger) as handle:
+            handle.record(queue_row("job-000001", "dispatched", "bad", SOURCE))
+        save_poison(poison, {
+            "suspects": {task.digest(): 2},
+            "quarantined": [task.digest()],
+        })
+        srv, base = server(
+            ledger_path=ledger, durable=True, poison_path=poison,
+        )
+        deadline = time.monotonic() + 15.0
+        status, doc = 0, {}
+        while time.monotonic() < deadline:
+            status, doc = get(base, "/result?job=job-000001")
+            if status == 200:
+                break
+            time.sleep(0.05)
+        assert status == 200
+        assert doc["status"] == "failed"
+        assert "quarantined" in doc.get("message", "")
+
+    def test_poisoned_submit_is_refused_403(self, server, tmp_path):
+        poison = str(tmp_path / "poison.json")
+        digest = CompileTask(task_id="x", name="bad", text=SOURCE).digest()
+        save_poison(poison, {
+            "suspects": {digest: 2}, "quarantined": [digest],
+        })
+        srv, base = server(poison_path=poison)
+        status, doc = post(base, "/submit", {"name": "bad", "text": SOURCE})
+        assert status == 403
+        assert doc["error"] == "poisoned-input"
+        assert doc["shed"] is True
+        # The refusal released the admission slot: a clean input from
+        # the same client still compiles.
+        status, doc = post(base, "/submit", {
+            "name": "fine", "text": "input a;\ny = a + 1;\noutput y;\n",
+            "wait": True,
+        })
+        assert status == 200 and doc["status"] == "ok"
+
+    def test_durable_requires_ledger(self):
+        with pytest.raises(InputError, match="durable"):
+            CompileServer(durable=True)
+
+
+class TestSupervisedSigkill:
+    def test_sigkill_mid_burst_settles_every_job_exactly_once(
+        self, tmp_path
+    ):
+        """Satellite: SIGKILL the serve child mid-burst under the
+        supervisor; the restarted incarnation resumes the journaled
+        queue and every accepted job settles exactly once."""
+        ledger = str(tmp_path / "serve.jsonl")
+        supervisor = Supervisor(
+            ledger,
+            child_args=[
+                "--pool-size", "2", "--task-timeout", "10",
+                "--engine", "bitset", "--allow-request-faults",
+                "--quiet",
+            ],
+            restart_budget=5,
+            backoff=0.2,
+            health_interval=0.1,
+            hang_timeout=5.0,
+        )
+        thread = threading.Thread(
+            target=lambda: supervisor.run(install_signal_handlers=False),
+            daemon=True,
+        )
+        thread.start()
+        assert supervisor.ready.wait(30.0), "server never became healthy"
+        base = "http://{}:{}".format(supervisor.host, supervisor.port)
+        accepted = []
+        deadline = time.monotonic() + 90.0
+        try:
+            for index in range(6):
+                if index == 2 and supervisor.child is not None:
+                    os.kill(supervisor.child.pid, signal.SIGKILL)
+                doc = None
+                while time.monotonic() < deadline:
+                    try:
+                        status, doc = post(base, "/submit", {
+                            "name": "t{}".format(index),
+                            "text": SOURCE,
+                            "client": "burst",
+                            # Keep the queue busy so the kill lands on
+                            # in-flight work, not a drained pool.
+                            "faults": "service.worker:stall=0.3",
+                        }, timeout=2.0)
+                    except (urllib.error.URLError, OSError):
+                        time.sleep(0.1)
+                        continue
+                    if status == 202:
+                        break
+                    time.sleep(0.1)
+                assert doc and "job_id" in doc, \
+                    "submit {} never accepted".format(index)
+                accepted.append(doc["job_id"])
+            # Every accepted job settles (poll across the restart).
+            unsettled = set(accepted)
+            while unsettled and time.monotonic() < deadline:
+                for job_id in sorted(unsettled):
+                    try:
+                        status, _ = get(
+                            base, "/result?job=" + job_id, timeout=2.0
+                        )
+                    except (urllib.error.URLError, OSError):
+                        break
+                    if status in (200, 404):
+                        unsettled.discard(job_id)
+                time.sleep(0.1)
+            assert unsettled == set(), \
+                "jobs never settled: {}".format(sorted(unsettled))
+        finally:
+            supervisor.request_shutdown()
+            thread.join(30.0)
+            if supervisor.child is not None and \
+                    supervisor.child.poll() is None:
+                supervisor.child.kill()
+        report = audit_exactly_once(ledger)
+        assert report["ok"], report
+        missing = [j for j in accepted if j in report["lost"]]
+        assert missing == []
+        assert supervisor.restarts + len(supervisor.quarantined) >= 1

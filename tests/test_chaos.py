@@ -1,0 +1,101 @@
+"""Tests for the chaos-soak harness helpers (repro.chaos).
+
+The full campaign runs in CI via ``make chaos-smoke``; here we pin
+the helper contracts the invariants rest on — volatile-key scrubbing
+for the cache-honesty comparison, orphan detection, drill coverage of
+the documented fault surface — plus one end-to-end batch drill.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import chaos
+from repro.service.checkpoint import RunLedger
+from repro.utils import faults
+
+
+class TestScrub:
+    def test_drops_volatile_keys(self):
+        metrics = {
+            "strategy": "pinter", "duration_s": 0.5, "wall_s": 1.0,
+            "sched_seconds": 0.01, "registers": 4,
+        }
+        assert chaos._scrub(metrics) == {
+            "strategy": "pinter", "registers": 4,
+        }
+
+    def test_non_dict_is_empty(self):
+        assert chaos._scrub(None) == {}
+        assert chaos._scrub("nope") == {}
+
+
+class TestDrillCoverage:
+    def test_every_fs_action_is_drilled(self):
+        drilled = set()
+        for _, spec_text in chaos.FS_DRILLS:
+            for spec in faults.parse_fault_specs(spec_text):
+                drilled.add(spec.action)
+        assert drilled == set(faults.FS_ACTIONS)
+
+    def test_worker_drills_cover_crash_hang_poison(self):
+        actions = set()
+        for _, spec_text in chaos.WORKER_DRILLS:
+            for spec in faults.parse_fault_specs(spec_text):
+                actions.add(spec.action)
+        assert actions == {"crash", "hang", "poison-result"}
+
+    def test_drill_specs_parse_to_known_points(self):
+        for _, spec_text in chaos.FS_DRILLS + chaos.WORKER_DRILLS:
+            for spec in faults.parse_fault_specs(spec_text):
+                assert faults.is_known_point(spec.point), spec.point
+
+
+class TestOrphans:
+    def test_dead_pids_are_not_orphans(self):
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        assert chaos.wait_for_orphans([proc.pid], grace=1.0) == []
+
+    def test_live_pid_is_reported(self):
+        proc = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(30)"]
+        )
+        try:
+            assert chaos.wait_for_orphans([proc.pid], grace=0.3) == \
+                [proc.pid]
+        finally:
+            proc.kill()
+            proc.wait()
+
+    def test_ledger_pids_collects_journaled_workers(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunLedger(path) as ledger:
+            ledger.record({
+                "task_id": "a", "status": "ok", "pids": [11, 12],
+            })
+            ledger.record({
+                "task_id": "b", "status": "ok", "pids": [12, "x"],
+            })
+        assert chaos._ledger_pids(path) == [11, 12]
+
+
+class TestBatchDrill:
+    def test_single_fs_drill_recovers_clean(self, tmp_path):
+        """One armed fs drill end to end: the armed batch may die or
+        degrade, the resumed batch must settle every task and leave a
+        ledger that passes audit."""
+        campaign = chaos.ChaosCampaign(
+            seed=7, workdir=str(tmp_path), quick=True,
+            tasks_per_round=2, progress=None,
+        )
+        result = campaign._batch_drill(
+            "torn-write", "fs.cache.write:torn-write=16", fuzz_seed=7,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        assert result["ok"], result["problems"]
+        assert result["ledger_audit_ok"]
+        assert result["orphans"] == []

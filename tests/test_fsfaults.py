@@ -1,0 +1,212 @@
+"""Tests for the filesystem fault-injection shim (repro.utils.fsfaults)."""
+
+import errno
+import os
+
+import pytest
+
+from repro.utils import faults, fsfaults
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestConsume:
+    def test_dormant_point_returns_none(self):
+        assert fsfaults.consume("cache", "write") is None
+
+    def test_consume_disarms(self):
+        faults.install(faults.FaultSpec(
+            point="fs.cache.write", action="torn-write", nbytes=4,
+        ))
+        spec = fsfaults.consume("cache", "write")
+        assert spec is not None and spec.action == "torn-write"
+        assert fsfaults.consume("cache", "write") is None
+
+    def test_non_fs_action_at_fs_point_is_ignored(self):
+        # Programmatic install can park a non-fs action at an fs point;
+        # the shim must neither fire nor consume it.
+        faults.install(faults.FaultSpec(point="fs.ledger.open", action="raise"))
+        assert fsfaults.consume("ledger", "open") is None
+        assert faults.spec_at("fs.ledger.open") is not None
+
+    def test_scopes_are_independent(self):
+        faults.install(faults.FaultSpec(
+            point="fs.ledger.write", action="eio",
+        ))
+        assert fsfaults.consume("cache", "write") is None
+        assert fsfaults.consume("ledger", "write") is not None
+
+
+class TestOpen:
+    def test_plain_open_roundtrip(self, tmp_path):
+        path = str(tmp_path / "plain.txt")
+        with fsfaults.open(path, "w", scope="cache") as handle:
+            handle.write("hello")
+        with fsfaults.open(path, scope="cache") as handle:
+            assert handle.read() == "hello"
+
+    def test_write_modes_come_back_guarded(self, tmp_path):
+        path = str(tmp_path / "guarded.txt")
+        handle = fsfaults.open(path, "w", scope="cache")
+        assert isinstance(handle, fsfaults.GuardedFile)
+        handle.close()
+        reader = fsfaults.open(path, scope="cache")
+        assert not isinstance(reader, fsfaults.GuardedFile)
+        reader.close()
+
+    def test_armed_open_raises_eio(self, tmp_path):
+        faults.install(faults.FaultSpec(point="fs.cache.open", action="eio"))
+        with pytest.raises(OSError) as excinfo:
+            fsfaults.open(str(tmp_path / "x"), "w", scope="cache")
+        assert excinfo.value.errno == errno.EIO
+        # One-shot: the retry succeeds.
+        fsfaults.open(str(tmp_path / "x"), "w", scope="cache").close()
+
+    def test_enospc_maps_to_enospc(self, tmp_path):
+        faults.install(faults.FaultSpec(
+            point="fs.ledger.open", action="enospc",
+        ))
+        with pytest.raises(OSError) as excinfo:
+            fsfaults.open(str(tmp_path / "x"), "a", scope="ledger")
+        assert excinfo.value.errno == errno.ENOSPC
+
+
+class TestGuardedWrite:
+    def test_torn_write_persists_prefix_and_reports_success(self, tmp_path):
+        path = str(tmp_path / "torn.bin")
+        faults.install(faults.FaultSpec(
+            point="fs.cache.write", action="torn-write", nbytes=4,
+        ))
+        with fsfaults.open(path, "wb", scope="cache") as handle:
+            assert handle.write(b"abcdefgh") == 8  # the lie
+        assert os.path.getsize(path) == 4
+        with open(path, "rb") as handle:
+            assert handle.read() == b"abcd"
+
+    def test_torn_write_default_is_half(self, tmp_path):
+        path = str(tmp_path / "half.bin")
+        faults.install(faults.FaultSpec(
+            point="fs.cache.write", action="torn-write",
+        ))
+        with fsfaults.open(path, "wb", scope="cache") as handle:
+            handle.write(b"abcdefgh")
+        assert os.path.getsize(path) == 4
+
+    def test_short_write_persists_prefix_then_raises(self, tmp_path):
+        path = str(tmp_path / "short.bin")
+        faults.install(faults.FaultSpec(
+            point="fs.ledger.write", action="short-write", nbytes=3,
+        ))
+        with fsfaults.open(path, "wb", scope="ledger") as handle:
+            with pytest.raises(OSError) as excinfo:
+                handle.write(b"abcdefgh")
+        assert excinfo.value.errno == errno.EIO
+        assert os.path.getsize(path) == 3
+
+    def test_one_shot_write_fault_spares_the_next_write(self, tmp_path):
+        path = str(tmp_path / "oneshot.bin")
+        faults.install(faults.FaultSpec(
+            point="fs.cache.write", action="torn-write", nbytes=0,
+        ))
+        with fsfaults.open(path, "wb", scope="cache") as handle:
+            handle.write(b"lost")
+            handle.write(b"kept")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"kept"
+
+    def test_delegation_preserves_file_api(self, tmp_path):
+        path = str(tmp_path / "delegate.txt")
+        with fsfaults.open(path, "w", scope="cache") as handle:
+            handle.write("line\n")
+            handle.flush()
+            assert handle.tell() == 5
+            assert not handle.closed
+        assert handle.closed
+
+
+class TestFsyncReplaceUnlink:
+    def test_fsync_accepts_handles_and_descriptors(self, tmp_path):
+        path = str(tmp_path / "sync.txt")
+        with fsfaults.open(path, "w", scope="cache") as handle:
+            handle.write("x")
+            fsfaults.fsync(handle, "cache")
+            fsfaults.fsync(handle.fileno(), "cache")
+
+    def test_armed_fsync_raises(self, tmp_path):
+        path = str(tmp_path / "sync.txt")
+        faults.install(faults.FaultSpec(point="fs.cache.fsync", action="eio"))
+        with fsfaults.open(path, "w", scope="cache") as handle:
+            handle.write("x")
+            with pytest.raises(OSError):
+                fsfaults.fsync(handle, "cache")
+
+    def test_replace_swaps_atomically_when_dormant(self, tmp_path):
+        src, dst = str(tmp_path / "src"), str(tmp_path / "dst")
+        with open(src, "w") as handle:
+            handle.write("new")
+        with open(dst, "w") as handle:
+            handle.write("old")
+        fsfaults.replace(src, dst, "cache")
+        with open(dst) as handle:
+            assert handle.read() == "new"
+        assert not os.path.exists(src)
+
+    def test_armed_replace_raises_and_leaves_both_files(self, tmp_path):
+        src, dst = str(tmp_path / "src"), str(tmp_path / "dst")
+        for path, text in ((src, "new"), (dst, "old")):
+            with open(path, "w") as handle:
+                handle.write(text)
+        faults.install(faults.FaultSpec(point="fs.cache.rename", action="eio"))
+        with pytest.raises(OSError):
+            fsfaults.replace(src, dst, "cache")
+        with open(dst) as handle:
+            assert handle.read() == "old"
+        assert os.path.exists(src)
+
+    def test_unlink_behind_point(self, tmp_path):
+        path = str(tmp_path / "victim")
+        with open(path, "w") as handle:
+            handle.write("x")
+        faults.install(faults.FaultSpec(point="fs.cache.unlink", action="eio"))
+        with pytest.raises(OSError):
+            fsfaults.unlink(path, "cache")
+        assert os.path.exists(path)
+        fsfaults.unlink(path, "cache")
+        assert not os.path.exists(path)
+
+    def test_sync_directory_dormant_is_noop(self, tmp_path):
+        fsfaults.sync_directory(str(tmp_path), "ledger")
+
+    def test_sync_directory_propagates_injected_fault(self, tmp_path):
+        faults.install(faults.FaultSpec(
+            point="fs.ledger.fsync", action="enospc",
+        ))
+        with pytest.raises(OSError) as excinfo:
+            fsfaults.sync_directory(str(tmp_path), "ledger")
+        assert excinfo.value.errno == errno.ENOSPC
+
+
+class TestCrashAction:
+    def test_crash_before_rename_exits_child(self, tmp_path):
+        # os._exit would kill pytest, so stage the fault in a fork.
+        src, dst = str(tmp_path / "src"), str(tmp_path / "dst")
+        with open(src, "w") as handle:
+            handle.write("payload")
+        pid = os.fork()
+        if pid == 0:  # child
+            faults.install(faults.FaultSpec(
+                point="fs.cache.rename",
+                action="crash-after-write-before-rename",
+            ))
+            fsfaults.replace(src, dst, "cache")
+            os._exit(99)  # unreachable
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == faults.CRASH_EXIT_CODE
+        # The crash window: temp fully written, destination absent.
+        assert os.path.exists(src)
+        assert not os.path.exists(dst)

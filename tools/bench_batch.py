@@ -10,22 +10,28 @@ Runs the same deterministic fuzz batch through three configurations of
   pipeline once and serve every task over pipes (the cache is being
   *populated* but never hits);
 * ``pool_warm_cache`` — the same batch again against the now-warm
-  compile cache: every task is served without dispatching a worker.
+  compile cache: every task is served without dispatching a worker;
+* ``disk_warm`` — the same batch against a *fresh* cache instance
+  pointed at the populated on-disk store: the memory tier is empty,
+  so every hit walks the digest-prefix-sharded disk layout (PR 8).
 
 Rows are bench_compare-compatible ``{workload, phase, wall_s, ...}``
-objects; the committed baseline is ``BENCH_pr5.json``.  ``--check``
-enforces the PR-5 floors in-process (pool >= 2x fork-per-task, warm
-cache >= 10x cold pool); CI applies the same floors to the emitted
-rows via ``bench_compare.py --ratio-max``, which keeps the guard
-machine-independent.
+objects; the committed baselines are ``BENCH_pr5.json`` (first three
+phases) and ``BENCH_pr8.json`` (adds ``disk_warm``).  ``--check``
+enforces the floors in-process (pool >= 2x fork-per-task, warm cache
+>= 10x cold pool, sharded disk hits >= 5x cold pool); CI applies the
+same floors to the emitted rows via ``bench_compare.py --ratio-max``,
+which keeps the guard machine-independent.
 
-Run:  PYTHONPATH=src python tools/bench_batch.py -o BENCH_pr5.json
+Run:  PYTHONPATH=src python tools/bench_batch.py -o BENCH_pr8.json
       PYTHONPATH=src python tools/bench_batch.py --check
 """
 
 import argparse
 import json
+import shutil
 import sys
+import tempfile
 import time
 
 from repro.cache import CompileCache
@@ -34,6 +40,9 @@ from repro.service import BatchRunner, fuzz_tasks
 #: PR-5 acceptance floors (speedup factors).
 POOL_OVER_FORK_MIN = 2.0
 WARM_OVER_COLD_MIN = 10.0
+#: PR-8 floor: pure sharded-disk hits (no memory tier, no worker
+#: dispatch) must still beat the cold pool by this factor.
+DISK_OVER_COLD_MIN = 5.0
 
 
 def run_config(tasks, workers, label, **runner_kwargs):
@@ -77,30 +86,40 @@ def main(argv=None) -> int:
 
     tasks = fuzz_tasks(args.tasks, seed=args.seed)
     workload = "batch-fuzz-{}".format(args.tasks)
-    cache = CompileCache(capacity=max(args.tasks, 1))
+    store_dir = tempfile.mkdtemp(prefix="bench-batch-store-")
+    cache = CompileCache(capacity=max(args.tasks, 1), directory=store_dir)
+    # A fresh instance over the same sharded store: its memory tier
+    # starts empty, so every lookup is a pure disk hit.
+    disk_cache = CompileCache(
+        capacity=max(args.tasks, 1), directory=store_dir
+    )
 
     configs = [
         ("fork_cold", {"use_pool": False, "cache": None}),
         ("pool_cold", {"use_pool": True, "cache": cache}),
         ("pool_warm_cache", {"use_pool": True, "cache": cache}),
+        ("disk_warm", {"use_pool": True, "cache": disk_cache}),
     ]
     rows = []
     walls = {}
-    for phase, kwargs in configs:
-        wall, counts = run_config(tasks, args.workers, phase, **kwargs)
-        walls[phase] = wall
-        rows.append({
-            "workload": workload,
-            "phase": phase,
-            "wall_s": round(wall, 6),
-            "tasks": args.tasks,
-            "workers": args.workers,
-            "tasks_per_s": round(args.tasks / wall, 3) if wall else None,
-        })
-        print("{:<16} {:>9.3f}s  {:>9.1f} tasks/s  ({} compiled, "
-              "{} cached)".format(
-                  phase, wall, args.tasks / wall if wall else 0.0,
-                  counts["compiled"], counts["cached"]))
+    try:
+        for phase, kwargs in configs:
+            wall, counts = run_config(tasks, args.workers, phase, **kwargs)
+            walls[phase] = wall
+            rows.append({
+                "workload": workload,
+                "phase": phase,
+                "wall_s": round(wall, 6),
+                "tasks": args.tasks,
+                "workers": args.workers,
+                "tasks_per_s": round(args.tasks / wall, 3) if wall else None,
+            })
+            print("{:<16} {:>9.3f}s  {:>9.1f} tasks/s  ({} compiled, "
+                  "{} cached)".format(
+                      phase, wall, args.tasks / wall if wall else 0.0,
+                      counts["compiled"], counts["cached"]))
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
 
     if walls["pool_cold"]:
         print("pool speedup over fork: {:.2f}x".format(
@@ -108,6 +127,9 @@ def main(argv=None) -> int:
     if walls["pool_warm_cache"]:
         print("warm-cache speedup over cold pool: {:.2f}x".format(
             walls["pool_cold"] / walls["pool_warm_cache"]))
+    if walls["disk_warm"]:
+        print("sharded-disk speedup over cold pool: {:.2f}x".format(
+            walls["pool_cold"] / walls["disk_warm"]))
 
     if args.output:
         with open(args.output, "w") as handle:
@@ -131,6 +153,14 @@ def main(argv=None) -> int:
                 "pool_warm_cache {:.3f}s is not {:.0f}x faster than "
                 "pool_cold {:.3f}s".format(
                     walls["pool_warm_cache"], WARM_OVER_COLD_MIN,
+                    walls["pool_cold"],
+                )
+            )
+        if walls["disk_warm"] * DISK_OVER_COLD_MIN > walls["pool_cold"]:
+            problems.append(
+                "disk_warm {:.3f}s is not {:.0f}x faster than "
+                "pool_cold {:.3f}s".format(
+                    walls["disk_warm"], DISK_OVER_COLD_MIN,
                     walls["pool_cold"],
                 )
             )

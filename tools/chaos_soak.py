@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Long-running chaos soak: many seeded campaigns back to back.
+
+``repro chaos`` runs ONE seeded campaign (the fixed-seed quick
+variant is the CI gate, ``make chaos-smoke``).  This wrapper is the
+overnight/soak companion: it derives a stream of campaign seeds from
+a base seed and keeps running full campaigns until the requested
+count or time budget is exhausted, aggregating the per-campaign
+invariants into one soak report.
+
+Every campaign asserts the same four global invariants after its
+drills (see ``repro.chaos``):
+
+1. zero orphan pids — no worker or server process outlives its round;
+2. every ledger passes ``repro ledger check``;
+3. exactly-once settlement — no lost and no duplicated task;
+4. cache honesty — a cached result never differs from a fresh compile.
+
+A single RED campaign makes the soak RED.  By default the soak stops
+at the first RED (the failing campaign's workdir is kept for autopsy
+with ``--keep-failed``); ``--keep-going`` runs the remaining
+campaigns anyway so one flake doesn't hide a second, different
+failure mode.
+
+Run:  PYTHONPATH=src python tools/chaos_soak.py --campaigns 10
+      PYTHONPATH=src python tools/chaos_soak.py --minutes 30 --seed 7
+"""
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+# The campaigns spawn `python -m repro ...` subprocesses, so src/
+# must be on PYTHONPATH for the children too, not just this process.
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+sys.path.insert(0, _SRC)
+if _SRC not in os.environ.get("PYTHONPATH", "").split(os.pathsep):
+    os.environ["PYTHONPATH"] = (
+        _SRC + os.pathsep + os.environ["PYTHONPATH"]
+        if os.environ.get("PYTHONPATH") else _SRC
+    )
+
+from repro.chaos import run_campaign  # noqa: E402
+
+EXIT_SOAK_FAILED = 1
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="run many seeded chaos campaigns back to back",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="SEED",
+        help="base seed; campaign k runs with an rng(SEED) stream "
+        "so the whole soak is reproducible (default 0)",
+    )
+    parser.add_argument(
+        "--campaigns", type=int, default=5, metavar="N",
+        help="number of campaigns to run (default 5)",
+    )
+    parser.add_argument(
+        "--minutes", type=float, default=None, metavar="M",
+        help="time budget: stop starting new campaigns after M "
+        "minutes (overrides --campaigns as the stop condition)",
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=8, metavar="N",
+        help="tasks per drill round inside each campaign (default 8)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run the reduced quick drill matrix per campaign",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="run every scheduled campaign even after a RED one",
+    )
+    parser.add_argument(
+        "--keep-failed", action="store_true",
+        help="keep the workdir of any RED campaign for autopsy",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="write the aggregated soak report as JSON to PATH",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    if args.campaigns < 1:
+        print("chaos-soak: --campaigns must be >= 1", file=sys.stderr)
+        return 2
+    rng = random.Random(args.seed)
+    started = time.monotonic()
+    deadline = (
+        started + args.minutes * 60.0
+        if args.minutes is not None else None
+    )
+    campaigns = []
+    index = 0
+    while True:
+        if deadline is None and index >= args.campaigns:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        campaign_seed = rng.randrange(1 << 30)
+        print("soak: campaign {} (seed {})".format(index, campaign_seed))
+        summary = run_campaign(
+            seed=campaign_seed,
+            quick=args.quick,
+            tasks_per_round=args.tasks,
+            keep=args.keep_failed,
+            progress=lambda line: print("  " + line),
+        )
+        campaigns.append(summary)
+        if not summary["ok"]:
+            print("soak: campaign {} (seed {}) RED".format(
+                index, campaign_seed))
+            if not args.keep_going:
+                break
+        index += 1
+
+    report = {
+        "base_seed": args.seed,
+        "campaigns": len(campaigns),
+        "green": sum(1 for c in campaigns if c["ok"]),
+        "red_seeds": [c["seed"] for c in campaigns if not c["ok"]],
+        "rounds": sum(len(c["rounds"]) for c in campaigns),
+        "duration_s": round(time.monotonic() - started, 3),
+        "ok": bool(campaigns) and all(c["ok"] for c in campaigns),
+        "results": campaigns,
+    }
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print("soak: report written to {}".format(args.output))
+    print(
+        "soak: {}/{} campaign(s) green, {} round(s) in {:.1f}s -> "
+        "{}".format(
+            report["green"], report["campaigns"], report["rounds"],
+            report["duration_s"],
+            "GREEN" if report["ok"] else
+            "RED (seeds {})".format(report["red_seeds"]),
+        )
+    )
+    return 0 if report["ok"] else EXIT_SOAK_FAILED
+
+
+if __name__ == "__main__":
+    sys.exit(main())
