@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test bench bench-check bench-batch bench-batch-check bench-pig bench-pig-check bench-serve bench-pytest batch-smoke pool-smoke trace-smoke serve-smoke chaos-smoke ledger-check obs-overhead figures examples ci all clean
+.PHONY: install test bench bench-check bench-batch bench-batch-check bench-pig bench-pig-check bench-incr bench-incr-check bench-serve bench-pytest batch-smoke pool-smoke trace-smoke serve-smoke chaos-smoke ledger-check obs-overhead figures examples ci all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -49,6 +49,20 @@ bench-pig-check:
 		-o BENCH_pig_current.json
 	PYTHONPATH=src python tools/bench_compare.py none BENCH_pig_current.json \
 		--ratio-max pig-n2048:pig_vector/pig_bitset=0.3334
+
+# The PR-9 edit-recompile loop: region kernels must replay from the
+# cache, so a one-region edit recompiles the region path >= 3x faster
+# than a cold sweep (and the end-to-end recompile >= 1.4x — global
+# phases bound it lower).  The committed baseline is BENCH_pr9.json.
+bench-incr:
+	PYTHONPATH=src python tools/bench_incr.py -o BENCH_incr_current.json
+
+bench-incr-check:
+	PYTHONPATH=src python tools/bench_incr.py --check \
+		-o BENCH_incr_current.json
+	PYTHONPATH=src python tools/bench_compare.py none BENCH_incr_current.json \
+		--ratio-max incr-diamond-5x48:kernel_incr/kernel_cold=0.3334 \
+		--ratio-max incr-diamond-5x48:incr/cold=0.72
 
 # Load-generate the HTTP compilation service (latency, coalescing,
 # typed sheds, zero-loss SIGTERM drain) and enforce the robustness
@@ -147,6 +161,7 @@ ci:
 	$(MAKE) obs-overhead
 	$(MAKE) bench-batch-check
 	$(MAKE) bench-pig-check
+	$(MAKE) bench-incr-check
 
 all: test bench-check examples
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List
 
@@ -81,4 +82,26 @@ def def_use_chains(fn: Function) -> DefUseChains:
             chains.defs_of[marker] = frozenset(reaching)
             for point in sorted(reaching, key=lambda p: p.instruction.uid):
                 chains.uses_of.setdefault(point, []).append(marker)
+    return chains
+
+
+#: Memoized chains, keyed by function identity.
+_CHAINS_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def shared_def_use_chains(fn: Function) -> DefUseChains:
+    """:func:`def_use_chains` memoized on function identity.
+
+    Several analyses of one compile walk the same function's chains
+    (the whole-function dependence graph, web construction, and the
+    interference build all start here), and every pipeline rewrite
+    constructs a fresh :class:`~repro.ir.function.Function`, so
+    identity is a sound memo key there.  Callers that mutate a
+    function in place (the optimizer's DCE loop) must call
+    :func:`def_use_chains` directly.
+    """
+    chains = _CHAINS_MEMO.get(fn)
+    if chains is None:
+        chains = def_use_chains(fn)
+        _CHAINS_MEMO[fn] = chains
     return chains

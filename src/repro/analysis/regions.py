@@ -84,9 +84,19 @@ def schedule_regions(fn: Function) -> List[Region]:
     for name in fn.block_names():  # layout order keeps regions ordered
         groups.setdefault(find(name), []).append(name)
 
+    # Region order is canonical: by layout position of each region's
+    # first block.  The dict above already inserts in that order, but
+    # the sort states the invariant rather than inheriting it — region
+    # indices feed serialized artifacts (the region cache keys tasks
+    # by digest), so the same CFG must number regions identically in
+    # every process.
+    layout_pos = {name: i for i, name in enumerate(fn.block_names())}
+    ordered = sorted(
+        groups.values(), key=lambda members: layout_pos[members[0]]
+    )
     return [
         Region(blocks=tuple(members), index=i)
-        for i, members in enumerate(groups.values())
+        for i, members in enumerate(ordered)
     ]
 
 

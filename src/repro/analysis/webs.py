@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
-from repro.analysis.defuse import DefUseChains, def_use_chains
+from repro.analysis.defuse import DefUseChains, shared_def_use_chains
 from repro.analysis.reaching import DefPoint, UseSite
 from repro.ir.function import Function
 from repro.ir.operands import Register
@@ -91,7 +91,7 @@ def build_webs(fn: Function, chains: DefUseChains = None) -> List[Web]:
         Webs in deterministic order (by first defining instruction uid).
     """
     if chains is None:
-        chains = def_use_chains(fn)
+        chains = shared_def_use_chains(fn)
 
     uf = _UnionFind()
     for use_site, defs in chains.defs_of.items():
@@ -105,9 +105,14 @@ def build_webs(fn: Function, chains: DefUseChains = None) -> List[Web]:
 
     web_list: List[Tuple[int, Register, List[DefPoint]]] = []
     for members in groups.values():
-        members.sort(key=lambda d: d.instruction.uid)
+        members.sort(key=lambda d: (d.instruction.uid, str(d.register)))
         web_list.append((members[0].instruction.uid, members[0].register, members))
-    web_list.sort()
+    # Canonical web order: first-def uid, register name as the tie
+    # break — an instruction defining two registers starts two webs at
+    # the same uid, and falling through to object comparison there
+    # would order them arbitrarily (web indices must be reproducible;
+    # the region cache digests IR that mentions them).
+    web_list.sort(key=lambda item: (item[0], str(item[1])))
 
     webs: List[Web] = []
     for index, (_, register, members) in enumerate(web_list):

@@ -1,14 +1,26 @@
 """Content-addressed compile cache.
 
 Public surface of the ``repro.cache`` package: build keys
-(:func:`compile_cache_key`, :class:`CacheKey`) and hold results
-(:class:`CompileCache` — in-memory LRU plus optional on-disk store).
-The batch runner consults it before dispatching a worker and populates
-it from clean successes, so warm reruns skip compilation entirely;
-``repro batch --cache/--cache-dir`` wires it up at the CLI.
+(:func:`compile_cache_key`, :class:`CacheKey` — or, at region grain,
+:func:`region_cache_key`, :class:`RegionCacheKey`) and hold results
+(:class:`CompileCache` — in-memory LRU plus optional on-disk store,
+optionally namespaced per grain).  The batch runner consults it before
+dispatching a worker and populates it from clean successes, so warm
+reruns skip compilation entirely; ``repro batch --cache/--cache-dir``
+wires it up at the CLI, and ``--region-cache`` does the same for the
+region-kernel grain inside the driver.
 """
 
-from repro.cache.keys import CacheKey, compile_cache_key, machine_fingerprint
+from repro.cache.keys import (
+    CacheKey,
+    RegionCacheKey,
+    compile_cache_key,
+    machine_fingerprint,
+    region_cache_key,
+    region_cache_key_from_digest,
+    region_digest,
+    region_digest_parts,
+)
 from repro.cache.store import CACHE_VERSION, CompileCache, DEFAULT_CAPACITY
 
 __all__ = [
@@ -16,6 +28,11 @@ __all__ = [
     "CacheKey",
     "CompileCache",
     "DEFAULT_CAPACITY",
+    "RegionCacheKey",
     "compile_cache_key",
     "machine_fingerprint",
+    "region_cache_key",
+    "region_cache_key_from_digest",
+    "region_digest",
+    "region_digest_parts",
 ]

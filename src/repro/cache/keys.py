@@ -7,9 +7,13 @@ components:
 * ``input_digest`` — sha256 of (is_ir, name, text), the same digest
   the run ledger keys resume on (:func:`repro.utils.digest.
   input_digest`);
-* ``machine`` — the machine-preset fingerprint: preset name plus the
-  effective register-count override (presets are code, so code changes
-  are covered by ``version``);
+* ``machine`` — the machine fingerprint (:func:`machine_fingerprint`):
+  for preset names, the preset plus the effective register-count
+  override (presets are code, so code changes are covered by
+  ``version``); for a concrete :class:`~repro.machine.model.
+  MachineDescription`, a digest of its full canonical wire form —
+  units, issue width, register count, latencies, overrides — so two
+  custom machines can never collide to one key;
 * ``strategy`` — the phase-ordering strategy that would run;
 * ``config`` — the :meth:`DriverConfig fingerprint <repro.pipeline.
   driver.DriverConfig.fingerprint>`: any knob change (strict,
@@ -22,6 +26,12 @@ over the canonical JSON of the components.  The on-disk store embeds
 the components next to each entry and verifies them on load, so even
 a (vanishingly unlikely) digest collision or a mangled store degrades
 to a cache miss, never to a wrong compile.
+
+:class:`RegionCacheKey` is the region-grain analogue: the input
+component is :func:`region_digest` — a canonical, iteration-order-
+stable serialization of one scheduling region's schedule graph — so a
+one-region edit invalidates exactly that region's entries while every
+other region of the function keeps hitting.
 """
 
 from __future__ import annotations
@@ -29,9 +39,10 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import repro
+from repro.machine.model import MachineDescription, machine_to_wire
 from repro.utils.digest import input_digest
 
 
@@ -55,19 +66,36 @@ class CacheKey:
         return asdict(self)
 
 
-def machine_fingerprint(machine: str, registers: Optional[int]) -> str:
-    """Preset name plus the effective register override — the two
-    inputs a worker uses to rebuild its machine model."""
-    return "{}/r={}".format(
-        machine, "default" if registers is None else registers
-    )
+def machine_fingerprint(
+    machine: Union[str, MachineDescription],
+    registers: Optional[int] = None,
+) -> str:
+    """The machine component of a cache key.
+
+    Given a preset *name* (str), the fast path applies: name plus the
+    effective register override identify the machine, because presets
+    are code and code changes are covered by the key's ``version``.
+
+    Given a concrete :class:`MachineDescription`, the fingerprint
+    digests the full canonical wire form (:func:`repro.machine.model.
+    machine_to_wire` — units, issue_width, num_registers, latencies,
+    unit_overrides, pipelined).  Hashing only the display name would
+    let two custom machines differing in, say, latencies collide and
+    replay each other's compiles.
+    """
+    reg_part = "default" if registers is None else registers
+    if isinstance(machine, str):
+        return "{}/r={}".format(machine, reg_part)
+    canonical = json.dumps(machine_to_wire(machine), sort_keys=True)
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return "{}/r={}/m={}".format(machine.name, reg_part, digest)
 
 
 def compile_cache_key(
     name: str,
     text: str,
     is_ir: bool,
-    machine: str,
+    machine: Union[str, MachineDescription],
     registers: Optional[int],
     config,
     strategy: str = "pinter",
@@ -75,12 +103,151 @@ def compile_cache_key(
     """Build the :class:`CacheKey` for one compile attempt.
 
     *config* is a :class:`~repro.pipeline.driver.DriverConfig` (or
-    anything with a compatible ``fingerprint()``).
+    anything with a compatible ``fingerprint()``).  *machine* may be a
+    preset name or a concrete :class:`MachineDescription`.
     """
     return CacheKey(
         input_digest=input_digest(name, text, is_ir),
         machine=machine_fingerprint(machine, registers),
         strategy=strategy,
         config=config.fingerprint(),
+        version=repro.__version__,
+    )
+
+
+# ----------------------------------------------------------------------
+# Region-grain keys
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegionCacheKey:
+    """The identity of one cached region dependence kernel.
+
+    Mirrors :class:`CacheKey` with the whole-source ``input_digest``
+    replaced by :func:`region_digest` plus an explicit ``engine``
+    component (the kernel rows are engine-equivalent by construction,
+    but replaying across engines would couple cache correctness to
+    that equivalence instead of merely testing it).
+    """
+
+    region_digest: str
+    machine: str
+    strategy: str
+    engine: str
+    config: str
+    version: str
+
+    def digest(self) -> str:
+        canonical = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def as_dict(self) -> Dict[str, str]:
+        return asdict(self)
+
+    # CompileCache._note reads .input_digest for its trace events; the
+    # region digest is the analogous "what input was this" component.
+    @property
+    def input_digest(self) -> str:
+        return self.region_digest
+
+
+def region_digest_parts(texts, boundaries, transit_positions) -> str:
+    """Canonical digest of one region from its layout parts.
+
+    The canonical schedule-graph recipe derives every edge from the
+    instruction sequence itself (data dependences, branch-last
+    ordering, the terminator skeleton) except the cross-region transit
+    edges, so ``(instruction texts, block start offsets, sorted
+    transit position pairs)`` pins the graph down completely — and is
+    computable straight from the IR, *without* building the graph.
+    That is what makes a cache hit cheap: the incremental build
+    digests the region's blocks and skips the O(n²) dependence scan
+    entirely when the kernel replays.
+    """
+    payload = json.dumps(
+        {
+            "fmt": "parts",
+            "instructions": list(texts),
+            "blocks": list(boundaries),
+            "transit": [list(pair) for pair in sorted(transit_positions)],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def region_digest(sg) -> str:
+    """Canonical digest of one region schedule graph.
+
+    The dependence kernel is a pure function of (schedule graph,
+    machine), so the cacheable identity of a region is exactly its
+    schedule graph.  Graphs built by the canonical constructors carry
+    their layout parts (``boundaries``/``transit_positions``) and
+    digest via :func:`region_digest_parts` — the same bytes the
+    IR-level fast path produces, so kernels stored by any phase replay
+    in every other.  Hand-assembled graphs (extra precedence edges,
+    ``keep_control_edges``) fall back to serializing the positional
+    edge set, sorted so that set iteration order never leaks into a
+    content address; the two forms are tagged (``fmt``) and can never
+    collide.
+    """
+    from repro.ir.printer import format_instruction
+
+    texts = [format_instruction(instr) for instr in sg.instructions]
+    if sg.boundaries is not None and sg.transit_positions is not None:
+        return region_digest_parts(
+            texts, sg.boundaries, sg.transit_positions
+        )
+    position = {
+        instr: idx for idx, instr in enumerate(sg.instructions)
+    }
+    edges = sorted(
+        (position[u], position[v], data["kind"].name, int(data["delay"]))
+        for u, v, data in sg.graph.edges(data=True)
+    )
+    payload = json.dumps(
+        {"fmt": "edges", "instructions": texts, "edges": edges},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def region_cache_key(
+    sg,
+    machine: MachineDescription,
+    engine: str,
+    config_fingerprint: str,
+    strategy: str = "pinter",
+) -> RegionCacheKey:
+    """Build the :class:`RegionCacheKey` for one region kernel build.
+
+    *sg* is the region's :class:`~repro.deps.schedule_graph.
+    ScheduleGraph`; *config_fingerprint* is ``DriverConfig.
+    fingerprint()`` (pass ``""`` outside a driver compile).
+    """
+    return region_cache_key_from_digest(
+        region_digest(sg), machine, engine, config_fingerprint, strategy
+    )
+
+
+def region_cache_key_from_digest(
+    digest: str,
+    machine: MachineDescription,
+    engine: str,
+    config_fingerprint: str,
+    strategy: str = "pinter",
+) -> RegionCacheKey:
+    """:func:`region_cache_key` for a precomputed :func:`region_digest`
+    (or :func:`region_digest_parts`) — the IR-level fast path that
+    never builds the schedule graph."""
+    return RegionCacheKey(
+        region_digest=digest,
+        machine=machine_fingerprint(machine),
+        strategy=strategy,
+        engine=engine,
+        config=config_fingerprint,
         version=repro.__version__,
     )

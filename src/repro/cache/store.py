@@ -13,7 +13,11 @@ Two tiers:
 * **disk** (optional) — one JSON file per entry under
   ``directory/<aa>/<bb>/<digest>.json`` where ``aa``/``bb`` are the
   first two bytes of the key digest: a two-level digest-prefix shard
-  keeps every directory small even at millions of entries.  The disk
+  keeps every directory small even at millions of entries.  A cache
+  opened with a ``namespace`` (the region-kernel cache uses
+  ``"region"``) roots its shards, quarantine, and LRU accounting
+  under ``directory/<namespace>/`` instead, so several grains can
+  share one ``--cache-dir`` without interfering.  The disk
   tier is **size-bounded**: ``max_disk_entries`` / ``max_disk_bytes``
   evict least-recently-used entries (disk hits refresh recency), so a
   long-running service can never grow the store without bound.  Disk
@@ -51,6 +55,7 @@ from __future__ import annotations
 import copy
 import json
 import os
+import re
 import tempfile
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
@@ -61,8 +66,15 @@ from repro.utils import fsfaults
 from repro.utils.errors import InputError
 
 #: On-disk entry schema version (a mismatch is a miss).  2 = the
-#: two-level sharded layout.
-CACHE_VERSION = 2
+#: two-level sharded layout; 3 = full machine fingerprints in keys
+#: (pre-3 entries keyed by preset name alone could collide across
+#: distinct custom machines, so they must miss cleanly).
+CACHE_VERSION = 3
+
+#: Top-level shard directories are the first digest byte in hex; a
+#: namespace must never look like one or its entries would be swept by
+#: a sibling namespace's recovery walk.
+_SHARD_DIR = re.compile(r"^[0-9a-f]{2}$")
 
 #: Default memory-tier capacity (entries).
 DEFAULT_CAPACITY = 512
@@ -99,6 +111,13 @@ class CompileCache:
         max_disk_entries: Disk-tier entry bound (None = unbounded).
         max_disk_bytes: Disk-tier payload-byte bound (None =
             unbounded).  Both bounds evict least-recently-used.
+        namespace: Optional sub-store name.  Namespaced caches (e.g.
+            the ``"region"`` kernel cache) live under
+            ``directory/<namespace>/`` with their own shards,
+            quarantine, and LRU accounting, so grains can share one
+            ``--cache-dir`` without ever sweeping or evicting each
+            other's entries.  A namespace may not look like a shard
+            directory (two lowercase hex chars).
     """
 
     def __init__(
@@ -107,6 +126,7 @@ class CompileCache:
         directory: Optional[str] = None,
         max_disk_entries: Optional[int] = None,
         max_disk_bytes: Optional[int] = None,
+        namespace: Optional[str] = None,
     ) -> None:
         if capacity < 1:
             raise InputError(
@@ -122,8 +142,30 @@ class CompileCache:
             raise InputError(
                 "max_disk_bytes must be >= 1, got {}".format(max_disk_bytes)
             )
+        if namespace is not None:
+            if (
+                not namespace
+                or namespace != os.path.basename(namespace)
+                or namespace.startswith(".")
+                or _SHARD_DIR.match(namespace)
+            ):
+                raise InputError(
+                    "invalid cache namespace {!r} (must be a plain "
+                    "directory name, not hidden, not two hex "
+                    "chars)".format(namespace)
+                )
         self.capacity = capacity
         self.directory = directory
+        self.namespace = namespace
+        #: Root of this cache's own shards/quarantine: the directory
+        #: itself for the default namespace, a subdirectory otherwise.
+        self._root = (
+            None
+            if directory is None
+            else directory
+            if namespace is None
+            else os.path.join(directory, namespace)
+        )
         self.max_disk_entries = max_disk_entries
         self.max_disk_bytes = max_disk_bytes
         self._memory: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
@@ -142,7 +184,7 @@ class CompileCache:
             "disk_evictions": 0,
             "disk_errors": 0,
         }
-        if directory is not None and os.path.isdir(directory):
+        if self._root is not None and os.path.isdir(self._root):
             self._recover()
 
     # ------------------------------------------------------------------
@@ -212,15 +254,45 @@ class CompileCache:
 
     def _entry_path(self, digest: str) -> str:
         return os.path.join(
-            self.directory, digest[:2], digest[2:4], digest + ".json"
+            self._root, digest[:2], digest[2:4], digest + ".json"
         )
 
     def _recover(self) -> None:
         """Startup sweep: quarantine orphan temp files and truncated
         entries; seed the disk-LRU accounting (oldest-mtime first)
-        from what survives."""
+        from what survives.
+
+        The walk covers only this namespace's own shard directories
+        (two hex chars at the root) — sibling namespaces under the
+        same ``--cache-dir`` are someone else's store, and sweeping or
+        LRU-accounting their entries would let one namespace evict
+        another's files.
+        """
+        try:
+            top = sorted(os.listdir(self._root))
+        except OSError:
+            return
+        roots = [
+            os.path.join(self._root, name)
+            for name in top
+            if _SHARD_DIR.match(name)
+            and os.path.isdir(os.path.join(self._root, name))
+        ]
         survivors: List[Tuple[float, str, int]] = []
-        for dirpath, dirnames, filenames in os.walk(self.directory):
+        for shard_root in roots:
+            self._recover_shard(shard_root, survivors)
+        survivors.sort()
+        for _, digest, size in survivors:
+            self._disk_lru[digest] = size
+            self._disk_bytes += size
+        self._evict_disk()
+
+    def _recover_shard(
+        self,
+        shard_root: str,
+        survivors: List[Tuple[float, str, int]],
+    ) -> None:
+        for dirpath, dirnames, filenames in os.walk(shard_root):
             dirnames[:] = [d for d in dirnames if d != QUARANTINE_DIR]
             for name in filenames:
                 path = os.path.join(dirpath, name)
@@ -250,11 +322,6 @@ class CompileCache:
                     self._quarantine_file(path, reason="truncated")
                     continue
                 survivors.append((mtime, name[: -len(".json")], size))
-        survivors.sort()
-        for _, digest, size in survivors:
-            self._disk_lru[digest] = size
-            self._disk_bytes += size
-        self._evict_disk()
 
     def _disk_get(
         self, digest: str, key: CacheKey
@@ -363,7 +430,7 @@ class CompileCache:
         """Move *path* into ``.quarantine/`` (raw os ops — quarantine
         is the recovery path and must not recurse into the fault
         shim); deletion is the fallback when even that fails."""
-        target_dir = os.path.join(self.directory, QUARANTINE_DIR)
+        target_dir = os.path.join(self._root, QUARANTINE_DIR)
         try:
             os.makedirs(target_dir, exist_ok=True)
             os.replace(

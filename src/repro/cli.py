@@ -138,6 +138,27 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_region_cache_flags(parser: argparse.ArgumentParser) -> None:
+    """``--region-cache`` family, shared by compile, batch, serve."""
+    parser.add_argument(
+        "--region-cache", dest="region_cache", action="store_true",
+        default=None,
+        help="serve per-region dependence kernels from the region "
+        "cache, so an edit-recompile loop pays only the edited "
+        "regions; in-memory unless --region-cache-dir",
+    )
+    parser.add_argument(
+        "--no-region-cache", dest="region_cache", action="store_false",
+        help="never consult or populate the region cache",
+    )
+    parser.add_argument(
+        "--region-cache-dir", default=None, metavar="DIR",
+        help="persist region kernels here (implies --region-cache); "
+        "may share a directory with --cache-dir (the region grain "
+        "keeps its own 'region/' namespace)",
+    )
+
+
 def _metrics_to_stderr(registry) -> None:
     import json
 
@@ -159,6 +180,16 @@ def _emit_diagnostics(report, json_mode: bool) -> None:
             print("; {}".format(diag.message))
         else:
             print("; {}".format(diag), file=sys.stderr)
+
+
+def _region_cache_enabled(args: argparse.Namespace) -> bool:
+    """Three-state ``--region-cache`` resolution, mirroring
+    ``--cache``: explicit on, explicit off, or implied on by
+    ``--region-cache-dir``."""
+    return bool(
+        args.region_cache
+        or (args.region_cache is None and args.region_cache_dir)
+    )
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -187,6 +218,8 @@ def cmd_compile(args: argparse.Namespace) -> int:
         optimize=args.optimize,
         engine=args.pig_engine,
         pig_shards=args.pig_shards,
+        region_cache=_region_cache_enabled(args),
+        region_cache_dir=args.region_cache_dir,
     )
     driver = CompilationDriver(machine, num_registers=registers, config=config)
 
@@ -328,6 +361,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
         time_budget=args.time_budget,
         optimize=args.optimize,
         engine=engine,
+        region_cache=_region_cache_enabled(args),
+        region_cache_dir=args.region_cache_dir,
     )
     runner = BatchRunner(
         machine=args.machine,
@@ -418,6 +453,12 @@ def _supervised_child_args(args: argparse.Namespace) -> List[str]:
         child += ["--no-cache"]
     if args.cache_dir:
         child += ["--cache-dir", args.cache_dir]
+    if args.region_cache:
+        child += ["--region-cache"]
+    elif args.region_cache is False:
+        child += ["--no-region-cache"]
+    if args.region_cache_dir:
+        child += ["--region-cache-dir", args.region_cache_dir]
     if args.max_segment_bytes is not None:
         child += ["--max-segment-bytes", str(args.max_segment_bytes)]
     if args.allow_request_faults:
@@ -486,6 +527,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         time_budget=args.time_budget,
         optimize=args.optimize,
         engine=engine,
+        region_cache=_region_cache_enabled(args),
+        region_cache_dir=args.region_cache_dir,
     )
     server = CompileServer(
         host=args.host,
@@ -798,6 +841,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with N >= 2, build the PIG region-sharded across N warm "
         "pool workers (vector/bitset engines only)",
     )
+    _add_region_cache_flags(p_compile)
     p_compile.add_argument(
         "--json-diagnostics", action="store_true",
         help="emit one JSON document (reports + metrics) on stdout "
@@ -870,6 +914,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist the compile cache here (implies --cache); warm "
         "re-runs skip compilation entirely",
     )
+    _add_region_cache_flags(p_batch)
     p_batch.add_argument(
         "--retries", type=int, default=2, metavar="R",
         help="extra attempts for retryable failures (timeout, crash, "
@@ -982,6 +1027,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", dest="cache", action="store_false",
         help="never consult or populate the compile cache",
     )
+    _add_region_cache_flags(p_serve)
     p_serve.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persist the compile cache here (implies --cache)",

@@ -28,6 +28,29 @@ from repro.deps.transitive import earliest_start_times, ordered_pair
 from repro.ir.instructions import Instruction
 
 
+def region_value_rows(sg) -> Tuple[List[int], List[float]]:
+    """Positional ``(ep, height)`` rows of one region schedule graph.
+
+    A pure function of (schedule graph, machine) — exactly like the
+    dependence kernel — which is why the region cache stores these
+    rows alongside the kernel: a hit prices false edges without
+    rebuilding G_s.
+    """
+    start = earliest_start_times(sg)
+    local_height: Dict[Instruction, float] = {}
+    for instr in reversed(sg.topological_order()):
+        best = float(
+            sg.machine.latency_of(instr) if sg.machine else instr.latency
+        )
+        for succ in sg.graph.successors(instr):
+            best = max(best, sg.delay(instr, succ) + local_height[succ])
+        local_height[instr] = best
+    return (
+        [start[instr] for instr in sg.instructions],
+        [local_height[instr] for instr in sg.instructions],
+    )
+
+
 @dataclass
 class SchedulingValueModel:
     """Precomputed EP numbers and critical heights for every region."""
@@ -43,19 +66,13 @@ class SchedulingValueModel:
         height: Dict[int, float] = {}
         fdg_of: Dict[int, FalseDependenceGraph] = {}
         for fdg in pig.false_graphs:
-            sg = fdg.schedule_graph
-            start = earliest_start_times(sg)
-            local_height: Dict[Instruction, float] = {}
-            for instr in reversed(sg.topological_order()):
-                best = float(
-                    sg.machine.latency_of(instr) if sg.machine else instr.latency
-                )
-                for succ in sg.graph.successors(instr):
-                    best = max(best, sg.delay(instr, succ) + local_height[succ])
-                local_height[instr] = best
-            for instr in sg.instructions:
-                ep[instr.uid] = start[instr]
-                height[instr.uid] = local_height[instr]
+            rows = fdg.value_rows
+            if rows is None:
+                rows = region_value_rows(fdg.schedule_graph)
+            ep_row, height_row = rows
+            for idx, instr in enumerate(fdg.instructions):
+                ep[instr.uid] = ep_row[idx]
+                height[instr.uid] = height_row[idx]
                 fdg_of[instr.uid] = fdg
         return cls(pig=pig, _ep=ep, _height=height, _fdg_of=fdg_of)
 

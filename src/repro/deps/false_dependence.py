@@ -25,7 +25,7 @@ for API compatibility.  The retained set-based construction is in
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.deps.bitset import DependenceBitKernel
 from repro.deps.schedule_graph import ScheduleGraph, build_schedule_graph
@@ -47,7 +47,13 @@ class FalseDependenceGraph:
         et_pairs: The constraint set E_t (undirected, uid-normalized).
         ef_pairs: The false-dependence edge set E_f (the complement).
         schedule_graph: The symbolic-register G_s the closure came from.
+            May be *lazy*: a region-cache hit replays the kernel rows
+            without ever building G_s, and supplies a factory instead;
+            the first access builds and memoizes it.
         kernel: The bitset kernel, or ``None`` on the reference path.
+        value_rows: Optional positional ``(ep, height)`` rows replayed
+            from the region cache, so ``SchedulingValueModel`` does not
+            have to force the lazy graph just to price false edges.
     """
 
     def __init__(
@@ -57,6 +63,10 @@ class FalseDependenceGraph:
         ef_pairs: Optional[Set[Pair]] = None,
         schedule_graph: Optional[ScheduleGraph] = None,
         kernel: Optional[DependenceBitKernel] = None,
+        schedule_graph_factory: Optional[
+            Callable[[], ScheduleGraph]
+        ] = None,
+        value_rows: Optional[Tuple[List[int], List[float]]] = None,
     ) -> None:
         if kernel is None and (et_pairs is None or ef_pairs is None):
             raise ValueError(
@@ -64,11 +74,26 @@ class FalseDependenceGraph:
                 "et_pairs/ef_pairs sets"
             )
         self.instructions = list(instructions)
-        self.schedule_graph = schedule_graph
+        self._schedule_graph = schedule_graph
+        self._schedule_graph_factory = schedule_graph_factory
+        self.value_rows = value_rows
         self.kernel = kernel
         self._et_pairs = et_pairs
         self._ef_pairs = ef_pairs
         self._adjacency: Optional[Dict[int, List[Instruction]]] = None
+
+    @property
+    def schedule_graph(self) -> Optional[ScheduleGraph]:
+        if (
+            self._schedule_graph is None
+            and self._schedule_graph_factory is not None
+        ):
+            self._schedule_graph = self._schedule_graph_factory()
+        return self._schedule_graph
+
+    @schedule_graph.setter
+    def schedule_graph(self, sg: Optional[ScheduleGraph]) -> None:
+        self._schedule_graph = sg
 
     # ------------------------------------------------------------------
     # Pair-set views (lazy when kernel-backed)

@@ -24,11 +24,12 @@ exactly the edges a region schedule graph must add to stay sound.
 
 from __future__ import annotations
 
+import weakref
 from typing import List, Sequence, Tuple
 
 import networkx as nx
 
-from repro.analysis.defuse import def_use_chains
+from repro.analysis.defuse import shared_def_use_chains
 from repro.deps.datadeps import all_dependences, _may_alias
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction
@@ -50,7 +51,7 @@ def function_dependence_graph(fn: Function) -> nx.DiGraph:
                 graph.add_edge(instr, terminator)
 
     # Cross-block register flow: def -> use for every reaching def.
-    chains = def_use_chains(fn)
+    chains = shared_def_use_chains(fn)
     in_graph = set(graph.nodes())
     for (instr, _reg), defs in chains.defs_of.items():
         if instr not in in_graph:
@@ -80,6 +81,69 @@ def function_dependence_graph(fn: Function) -> nx.DiGraph:
     return graph
 
 
+#: Memoized whole-function graphs, keyed by function identity.
+_FDEP_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def shared_function_dependence_graph(fn: Function) -> nx.DiGraph:
+    """:func:`function_dependence_graph` memoized on function identity.
+
+    The driver consults the graph from several phases of one compile
+    (the PIG build and the theorem-1 check walk the *same* symbolic
+    function), and every pipeline rewrite — optimize, preschedule,
+    spill insertion, assignment — constructs a fresh
+    :class:`~repro.ir.function.Function` rather than mutating one, so
+    identity is a sound memo key there.  Callers that mutate a
+    function in place must call :func:`function_dependence_graph`
+    directly.
+    """
+    graph = _FDEP_MEMO.get(fn)
+    if graph is None:
+        graph = function_dependence_graph(fn)
+        _FDEP_MEMO[fn] = graph
+    return graph
+
+
+def _ancestor_masks(graph: nx.DiGraph):
+    """Per-node reachability as big-int ancestor masks, cached on the
+    graph.
+
+    One SCC condensation plus one topological pass computes, for every
+    node, the bitmask (over a private dense index) of all nodes that
+    can reach it — nodes sharing an SCC reach each other.  A region's
+    transit pass then reduces to ``mask & region_mask`` per member,
+    instead of one ``nx.descendants`` BFS per instruction; cached on
+    ``graph.graph`` so the memoized function graph answers every
+    region of every phase from one closure.
+    """
+    cached = graph.graph.get("_transit_ancestors")
+    if cached is not None:
+        return cached
+    index = {node: i for i, node in enumerate(graph.nodes())}
+    condensation = nx.condensation(graph)
+    scc_bits = {}
+    for comp in condensation.nodes():
+        bits = 0
+        for node in condensation.nodes[comp]["members"]:
+            bits |= 1 << index[node]
+        scc_bits[comp] = bits
+    above = {}
+    for comp in nx.topological_sort(condensation):
+        mask = 0
+        for pred in condensation.predecessors(comp):
+            mask |= above[pred] | scc_bits[pred]
+        above[comp] = mask
+    masks = {}
+    for comp in condensation.nodes():
+        bits = scc_bits[comp]
+        base = above[comp]
+        for node in condensation.nodes[comp]["members"]:
+            masks[node] = base | (bits & ~(1 << index[node]))
+    cached = (index, masks)
+    graph.graph["_transit_ancestors"] = cached
+    return cached
+
+
 def transit_dependence_pairs(
     fn: Function,
     instructions: Sequence[Instruction],
@@ -90,18 +154,34 @@ def transit_dependence_pairs(
 
     Only forward (order-respecting) pairs are returned, so adding them
     as edges keeps the region schedule graph acyclic even when the
-    global graph has loop-carried cycles.
+    global graph has loop-carried cycles.  Pairs come back sorted by
+    position pair: reachability is answered from the cached
+    :func:`_ancestor_masks` bit rows, and anything downstream that
+    serializes the schedule graph (the region cache digests it) needs
+    the same IR to produce the same bytes in every process.
     """
     if dependence_graph is None:
         dependence_graph = function_dependence_graph(fn)
+    index, masks = _ancestor_masks(dependence_graph)
     position = {instr: idx for idx, instr in enumerate(instructions)}
-    members = set(instructions)
+    region_mask = 0
+    by_bit: dict = {}
+    for instr in instructions:
+        bit = index.get(instr)
+        if bit is not None:
+            region_mask |= 1 << bit
+            by_bit[bit] = instr
     pairs: List[Tuple[Instruction, Instruction]] = []
-    for u in instructions:
-        if u not in dependence_graph:
+    for v in instructions:
+        if v not in masks:
             continue
-        reachable = nx.descendants(dependence_graph, u)
-        for v in reachable:
-            if v in members and position[u] < position[v]:
+        row = masks[v] & region_mask
+        pos_v = position[v]
+        while row:
+            low = row & -row
+            row ^= low
+            u = by_bit[low.bit_length() - 1]
+            if position[u] < pos_v:
                 pairs.append((u, v))
+    pairs.sort(key=lambda pair: (position[pair[0]], position[pair[1]]))
     return pairs

@@ -45,11 +45,24 @@ class ScheduleGraph:
             ``delay`` (int cycles) attributes.
         machine: The machine whose latencies parameterize the delays,
             or ``None`` for a latency-agnostic graph (all delays 1).
+        boundaries: Start offsets of the underlying blocks within
+            ``instructions`` when the graph was built by one of the
+            canonical constructors, else ``None``.  Together with
+            ``transit_positions`` this pins down the edge set without
+            serializing it: every other edge is a deterministic
+            function of the instruction texts and the block layout
+            (see :func:`repro.cache.keys.region_digest`).
+        transit_positions: Sorted ``(pos_u, pos_v)`` pairs of the
+            cross-region transit edges (deps.global_deps), or ``None``
+            when the graph carries edges the canonical recipe does not
+            (``extra_precedence``, ``keep_control_edges``).
     """
 
     instructions: List[Instruction]
     graph: nx.DiGraph = field(default_factory=nx.DiGraph)
     machine: Optional[MachineDescription] = None
+    boundaries: Optional[Tuple[int, ...]] = None
+    transit_positions: Optional[Tuple[Tuple[int, int], ...]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -185,8 +198,14 @@ def build_schedule_graph(
         terminator = instructions[-1]
         for instr in instructions[:-1]:
             sg.add_edge(instr, terminator, DependenceKind.CONTROL, delay=1)
-    for source, target in extra_precedence:
+    extra = list(extra_precedence)
+    for source, target in extra:
         sg.add_edge(source, target, DependenceKind.MACHINE, delay=1)
+    if not extra:
+        # Pure single-sequence recipe: the edge set is a function of
+        # the instruction texts alone.
+        sg.boundaries = (0,)
+        sg.transit_positions = ()
     return sg
 
 
@@ -202,6 +221,10 @@ def region_schedule_graph(
     block_names: Sequence[str],
     machine: Optional[MachineDescription] = None,
     keep_control_edges: bool = False,
+    dependence_graph: Optional[nx.DiGraph] = None,
+    transit_pairs: Optional[
+        Sequence[Tuple[Instruction, Instruction]]
+    ] = None,
 ) -> ScheduleGraph:
     """G_s of a multi-block region.
 
@@ -216,28 +239,48 @@ def region_schedule_graph(
     ``keep_control_edges=True`` to order every earlier-block
     instruction before every later-block instruction instead (no
     cross-block motion).
+
+    *dependence_graph* lets a caller that builds many regions of the
+    same function share one :func:`~repro.deps.global_deps.
+    function_dependence_graph`; *transit_pairs* goes one step further
+    and supplies the region's precomputed transit pairs outright (the
+    incremental build computes them for its cache digest and must not
+    pay for them twice).
     """
     blocks = [fn.block(name) for name in block_names]
     instructions: List[Instruction] = []
+    boundaries: List[int] = []
     for block in blocks:
+        boundaries.append(len(instructions))
         instructions.extend(block.instructions)
     sg = build_schedule_graph(instructions, machine=machine)
 
-    if len(blocks) > 1:
+    if transit_pairs is None and len(blocks) > 1:
         # Dependences between region instructions may transit blocks
         # OUTSIDE the region (a value defined before an if, copied in
         # an arm, consumed after the join).  The concatenated-sequence
         # pass above cannot see those; add them from the whole-function
         # dependence graph so the region's E_t — hence E_f — stays
         # sound (see deps.global_deps).
-        from repro.deps.global_deps import transit_dependence_pairs
+        from repro.deps.global_deps import transit_dependence_pairs as _tdp
 
-        for u, v in transit_dependence_pairs(fn, instructions):
-            sg.add_edge(u, v, DependenceKind.CONTROL, delay=1)
+        transit_pairs = _tdp(fn, instructions, dependence_graph)
+    transit_pairs = list(transit_pairs or ())
+    for u, v in transit_pairs:
+        sg.add_edge(u, v, DependenceKind.CONTROL, delay=1)
+    position = {instr: idx for idx, instr in enumerate(instructions)}
+    sg.boundaries = tuple(boundaries)
+    sg.transit_positions = tuple(
+        sorted((position[u], position[v]) for u, v in transit_pairs)
+    )
 
-    boundaries: List[List[Instruction]] = [list(b.instructions) for b in blocks]
+    sequences: List[List[Instruction]] = [list(b.instructions) for b in blocks]
     if keep_control_edges:
-        for earlier, later in zip(boundaries, boundaries[1:]):
+        # The extra ordering edges are not part of the canonical
+        # recipe, so the layout fields no longer pin down the edge set.
+        sg.boundaries = None
+        sg.transit_positions = None
+        for earlier, later in zip(sequences, sequences[1:]):
             for u in earlier:
                 for v in later:
                     sg.add_edge(u, v, DependenceKind.CONTROL, delay=1)
@@ -245,7 +288,7 @@ def region_schedule_graph(
         # Keep each block's terminator before the next block's
         # terminator, and before nothing else: instructions may migrate
         # across the (plausible) block boundary.
-        for earlier, later in zip(boundaries, boundaries[1:]):
+        for earlier, later in zip(sequences, sequences[1:]):
             if not earlier or not later:
                 continue
             if earlier[-1].opcode.is_branch and later[-1].opcode.is_branch:

@@ -1,7 +1,11 @@
 """Superscalar machine models and resource bookkeeping."""
 
 from repro.machine import presets
-from repro.machine.model import MachineDescription
+from repro.machine.model import (
+    MachineDescription,
+    machine_from_wire,
+    machine_to_wire,
+)
 from repro.machine.resources import (
     ReservationTable,
     contention_pairs,
@@ -10,6 +14,8 @@ from repro.machine.resources import (
 
 __all__ = [
     "MachineDescription",
+    "machine_from_wire",
+    "machine_to_wire",
     "ReservationTable",
     "contention_pairs",
     "contention_rows",

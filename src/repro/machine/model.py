@@ -22,7 +22,7 @@ type".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Dict, Mapping
 
 from repro.ir.instructions import Instruction
 from repro.ir.opcodes import Opcode, UnitKind
@@ -155,3 +155,57 @@ class MachineDescription:
 
     def __str__(self) -> str:
         return self.name
+
+
+# ----------------------------------------------------------------------
+# Wire form
+# ----------------------------------------------------------------------
+
+
+def machine_to_wire(machine: MachineDescription) -> Dict[str, object]:
+    """A :class:`MachineDescription` as JSON-safe primitives (enum
+    members travel by name).
+
+    This is both the pool-worker wire format (a worker rebuilds its
+    machine with :func:`machine_from_wire`) and the *canonical* form
+    the cache fingerprints: every field that can change a compile —
+    unit mix, issue width, register count, latencies, overrides,
+    pipelining — appears here, so two machines with equal wire forms
+    are interchangeable for compilation.
+    """
+    return {
+        "name": machine.name,
+        "units": {kind.name: count for kind, count in machine.units.items()},
+        "issue_width": machine.issue_width,
+        "num_registers": machine.num_registers,
+        "latencies": {
+            op.name: lat for op, lat in machine.latencies.items()
+        },
+        "unit_overrides": {
+            op.name: kind.name
+            for op, kind in machine.unit_overrides.items()
+        },
+        "pipelined": machine.pipelined,
+    }
+
+
+def machine_from_wire(wire: Dict[str, object]) -> MachineDescription:
+    """Inverse of :func:`machine_to_wire`."""
+    return MachineDescription(
+        name=str(wire["name"]),
+        units={
+            UnitKind[name]: int(count)
+            for name, count in dict(wire["units"]).items()
+        },
+        issue_width=int(wire["issue_width"]),
+        num_registers=int(wire["num_registers"]),
+        latencies={
+            Opcode[name]: int(lat)
+            for name, lat in dict(wire["latencies"]).items()
+        },
+        unit_overrides={
+            Opcode[name]: UnitKind[kind]
+            for name, kind in dict(wire["unit_overrides"]).items()
+        },
+        pipelined=bool(wire["pipelined"]),
+    )

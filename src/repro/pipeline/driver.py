@@ -258,6 +258,15 @@ class DriverConfig:
         pig_shards: When >= 2, PIG construction is sharded by
             scheduling region across that many warm pool workers
             (:mod:`repro.service.shard`); 0 or 1 builds in-process.
+        region_cache: Serve per-region dependence kernels from the
+            region-grain cache (:mod:`repro.pipeline.incremental`), so
+            an edit-recompile loop pays only the edited regions.  Only
+            the primary engine rung consults it; degraded rungs and
+            fault-armed compiles always rebuild.
+        region_cache_dir: On-disk root for the region cache (its
+            ``region/`` namespace inside a shared ``--cache-dir`` is
+            handled by the store); None keeps region kernels
+            memory-only, which still de-duplicates within a process.
     """
 
     strict: bool = False
@@ -269,6 +278,8 @@ class DriverConfig:
     max_spill_rounds: int = 12
     engine: str = "bitset"
     pig_shards: int = 0
+    region_cache: bool = False
+    region_cache_dir: Optional[str] = None
 
     def fingerprint(self) -> str:
         """sha256 over the canonical JSON of every knob.
@@ -700,6 +711,8 @@ class CompilationDriver:
                 prepared, allocated, self.machine,
                 use_regions=self.config.use_regions,
                 engine=meta.engine,
+                region_cache=self._region_cache(meta.engine),
+                config_fingerprint=self.config.fingerprint(),
             ),
         )
         self._judge_theorem1(report, meta, len(violations))
@@ -747,6 +760,35 @@ class CompilationDriver:
             report.note_recovery("input order retained")
             return work.copy()
 
+    # -- region cache gating -------------------------------------------
+
+    def _region_cache(self, engine: str):
+        """The region-kernel cache for a build with *engine*, or None
+        when any honesty gate trips.
+
+        The gates mirror the whole-compile cache's "only clean
+        primary-rung successes" rule at region grain: the cache is
+        consulted only for the config's **primary** engine (a ladder
+        fallback rung is a degraded result that must not be stored or
+        replayed), only for engines with a wire-row kernel, and never
+        while fault injection is armed.
+        """
+        cfg = self.config
+        if (
+            not cfg.region_cache
+            or engine != cfg.engine
+            or faults.active_specs()
+        ):
+            return None
+        from repro.pipeline.incremental import (
+            SHARDABLE_ENGINES,
+            region_cache_for,
+        )
+
+        if engine not in SHARDABLE_ENGINES:
+            return None
+        return region_cache_for(cfg.region_cache_dir)
+
     # -- pig -----------------------------------------------------------
 
     def _build_pig(
@@ -772,6 +814,16 @@ class CompilationDriver:
         mid_phase = guard.mid_phase_checker()
 
         def build(target: str) -> ParallelInterferenceGraph:
+            cache = self._region_cache(target)
+            if cache is not None:
+                from repro.pipeline.incremental import build_incremental_pig
+
+                return build_incremental_pig(
+                    work, self.machine, cache,
+                    use_regions=cfg.use_regions, engine=target,
+                    config_fingerprint=cfg.fingerprint(),
+                    shards=cfg.pig_shards, check_deadline=mid_phase,
+                )
             if cfg.pig_shards >= 2 and target in ("vector", "bitset"):
                 from repro.service.shard import build_sharded_pig
 
@@ -934,9 +986,11 @@ class CompilationDriver:
         scheduling first, plain list scheduling on failure."""
 
         mid_phase = guard.mid_phase_checker()
+        cache = self._region_cache(engine)
 
         def augmented() -> int:
             total = 0
+            config_fp = self.config.fingerprint() if cache is not None else ""
             for block in allocated.blocks():
                 if not block.instructions:
                     continue
@@ -947,6 +1001,14 @@ class CompilationDriver:
                     )
 
                     fdg = reference_false_dependence_graph(sg, self.machine)
+                elif cache is not None:
+                    from repro.pipeline.incremental import cached_region_fdg
+
+                    fdg = cached_region_fdg(
+                        sg, self.machine, engine, cache,
+                        config_fingerprint=config_fp,
+                        check_deadline=mid_phase,
+                    )
                 else:
                     fdg = false_dependence_graph(
                         sg, self.machine, check_deadline=mid_phase,

@@ -69,6 +69,8 @@ def find_false_dependences(
     use_regions: bool = True,
     include_anti: bool = False,
     engine: str = "bitset",
+    region_cache=None,
+    config_fingerprint: str = "",
 ) -> List[FalseDependenceViolation]:
     """All false dependences the allocation introduced.
 
@@ -97,6 +99,15 @@ def find_false_dependences(
             — the hardened driver passes the engine its PIG phase
             settled on so a degraded compile stays off the failed
             kernel.
+        region_cache: Optional region-kernel
+            :class:`~repro.cache.store.CompileCache`.  The check runs
+            the same per-region kernels the PIG phase does over the
+            same symbolic function, so a cache the driver already
+            populated serves every region here for free.  The caller
+            owns the honesty gates (primary engine only, no armed
+            faults) — pass None otherwise.
+        config_fingerprint: ``DriverConfig.fingerprint()`` component
+            of the region keys (only read when *region_cache* is set).
 
     Raises:
         IRError: when the two functions' instructions do not correspond.
@@ -123,6 +134,19 @@ def find_false_dependences(
             for i, name in enumerate(original.block_names())
         ]
 
+    # One whole-function dependence graph serves every multi-block
+    # region's transit pass (lazy: all-single-block splits skip it).
+    fdep: List[object] = [None]
+
+    def _dependence_graph():
+        if fdep[0] is None:
+            from repro.deps.global_deps import (
+                shared_function_dependence_graph,
+            )
+
+            fdep[0] = shared_function_dependence_graph(original)
+        return fdep[0]
+
     violations: List[FalseDependenceViolation] = []
     for region in regions:
         symbolic_instrs: List[Instruction] = []
@@ -130,13 +154,28 @@ def find_false_dependences(
             symbolic_instrs.extend(original.block(name).instructions)
         if not symbolic_instrs:
             continue
-        sg = region_schedule_graph(original, region.blocks, machine=machine)
         if engine == "reference":
             from repro.deps.reference import reference_false_dependence_graph
 
+            sg = region_schedule_graph(
+                original, region.blocks, machine=machine,
+                dependence_graph=(
+                    _dependence_graph() if len(region.blocks) > 1 else None
+                ),
+            )
             fdg = reference_false_dependence_graph(sg, machine)
         else:
-            fdg = false_dependence_graph(sg, machine, engine=engine)
+            # The IR-keyed path: a warm region cache replays the
+            # kernel without rebuilding the schedule graph; with no
+            # cache it degrades to a plain build that still shares
+            # the function dependence graph.
+            from repro.pipeline.incremental import cached_region_fdg_ir
+
+            fdg = cached_region_fdg_ir(
+                original, region, machine, engine, region_cache,
+                config_fingerprint=config_fingerprint,
+                dependence_graph=_dependence_graph,
+            )
 
         allocated_instrs = [allocated_by_uid[i.uid] for i in symbolic_instrs]
         real_pairs = _symbolic_dependence_pairs(symbolic_instrs)

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
-from repro.analysis.defuse import DefUseChains, def_use_chains
+from repro.analysis.defuse import DefUseChains, shared_def_use_chains
 from repro.analysis.liveness import (
     LiveInterval,
     LivenessInfo,
@@ -141,7 +141,7 @@ def build_interference_graph(
             open convention.
     """
     liveness: LivenessInfo = live_variables(fn)
-    chains = def_use_chains(fn)
+    chains = shared_def_use_chains(fn)
     webs = build_webs(fn, chains)
     def_to_web = web_of_definition(webs)
 

@@ -424,11 +424,19 @@ class BatchRunner:
     # ------------------------------------------------------------------
 
     def _config_for(self, rung: str) -> DriverConfig:
+        # Degraded rungs run with the region cache off outright: a
+        # rung exists because the primary path misbehaved, and the PR 5
+        # "only clean primary-rung successes" rule applies at region
+        # grain too (the driver's own gates also refuse the reference
+        # engine, but the rung config should not rely on that).
         if rung == CIRCUIT_RUNG:
-            return replace(self.config, engine="reference")
+            return replace(
+                self.config, engine="reference", region_cache=False
+            )
         if rung == RECHECK_RUNG:
             return replace(
-                self.config, engine="reference", strict=True, paranoid=False
+                self.config, engine="reference", strict=True,
+                paranoid=False, region_cache=False,
             )
         return self.config
 

@@ -437,7 +437,9 @@ class JobDispatcher:
     def _config_for(self, rung: str, remaining: Optional[float]):
         config = self.config
         if rung == CIRCUIT_RUNG:
-            config = replace(config, engine="reference")
+            # Degraded rung: reference engine, region cache off — the
+            # "only clean primary-rung successes" rule at region grain.
+            config = replace(config, engine="reference", region_cache=False)
         if remaining is not None:
             budget = config.time_budget
             budget = remaining if budget is None else min(budget, remaining)

@@ -64,10 +64,14 @@ from repro.deps.vector import (
     rows_to_hex,
 )
 from repro.ir.function import Function
-from repro.ir.opcodes import Opcode, UnitKind
+from repro.ir.instructions import Instruction
 from repro.ir.parser import parse_function
 from repro.ir.printer import format_function
-from repro.machine.model import MachineDescription
+from repro.machine.model import (
+    MachineDescription,
+    machine_from_wire,
+    machine_to_wire,
+)
 from repro.obs import get_metrics, get_tracer
 from repro.regalloc.interference import build_interference_graph
 from repro.service.manifest import CompileTask
@@ -87,55 +91,29 @@ DEFAULT_TASK_TIMEOUT = 60.0
 SHARDABLE_ENGINES = ("vector", "bitset")
 
 
-# ----------------------------------------------------------------------
-# Machine wire form
-# ----------------------------------------------------------------------
-
-
-def machine_to_wire(machine: MachineDescription) -> Dict[str, object]:
-    """A :class:`MachineDescription` as JSON-safe primitives (enum
-    members travel by name)."""
-    return {
-        "name": machine.name,
-        "units": {kind.name: count for kind, count in machine.units.items()},
-        "issue_width": machine.issue_width,
-        "num_registers": machine.num_registers,
-        "latencies": {
-            op.name: lat for op, lat in machine.latencies.items()
-        },
-        "unit_overrides": {
-            op.name: kind.name
-            for op, kind in machine.unit_overrides.items()
-        },
-        "pipelined": machine.pipelined,
-    }
-
-
-def machine_from_wire(wire: Dict[str, object]) -> MachineDescription:
-    """Inverse of :func:`machine_to_wire`."""
-    return MachineDescription(
-        name=str(wire["name"]),
-        units={
-            UnitKind[name]: int(count)
-            for name, count in dict(wire["units"]).items()
-        },
-        issue_width=int(wire["issue_width"]),
-        num_registers=int(wire["num_registers"]),
-        latencies={
-            Opcode[name]: int(lat)
-            for name, lat in dict(wire["latencies"]).items()
-        },
-        unit_overrides={
-            Opcode[name]: UnitKind[kind]
-            for name, kind in dict(wire["unit_overrides"]).items()
-        },
-        pipelined=bool(wire["pipelined"]),
-    )
+# The wire form lives with the machine model now (the cache
+# fingerprints it too); re-exported here for existing importers.
+__all__ = ["machine_to_wire", "machine_from_wire"]
 
 
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
+
+
+def kernel_to_report(kernel, engine: str) -> Dict[str, object]:
+    """One kernel's four row families as the ``pig_region`` report
+    payload — hex wire rows, JSON-safe.  This is both what a shard
+    worker ships back and what the region cache stores."""
+    return {
+        "kind": PIG_REGION_KIND,
+        "engine": engine,
+        "n": len(kernel.index),
+        "reach": rows_to_hex(kernel.reach_rows),
+        "contention": rows_to_hex(kernel.contention_rows),
+        "et": rows_to_hex(kernel.et_rows),
+        "ef": rows_to_hex(kernel.ef_rows),
+    }
 
 
 def build_region_payload(
@@ -182,21 +160,12 @@ def execute_pig_region(payload: Dict[str, object]) -> Dict[str, object]:
         kernel = VectorDependenceKernel.build(sg, machine)
     else:
         kernel = DependenceBitKernel.build(sg, machine)
-    n = len(kernel.index)
     return {
         "status": "ok",
         "exit_code": 0,
         "failure_kind": None,
         "metrics": None,
-        "report": {
-            "kind": PIG_REGION_KIND,
-            "engine": engine,
-            "n": n,
-            "reach": rows_to_hex(kernel.reach_rows),
-            "contention": rows_to_hex(kernel.contention_rows),
-            "et": rows_to_hex(kernel.et_rows),
-            "ef": rows_to_hex(kernel.ef_rows),
-        },
+        "report": kernel_to_report(kernel, engine),
     }
 
 
@@ -206,14 +175,15 @@ def execute_pig_region(payload: Dict[str, object]) -> Dict[str, object]:
 
 
 def _kernel_from_report(
-    report: Dict[str, object], sg: ScheduleGraph, engine: str
+    report: Dict[str, object], instructions: List[Instruction], engine: str
 ):
-    """Rebuild a kernel from wire rows over the parent's own schedule
-    graph, or ``None`` when the report does not type-check (a poisoned
-    worker may ship anything — trust nothing unvalidated)."""
+    """Rebuild a kernel from wire rows over the parent's own
+    instruction sequence, or ``None`` when the report does not
+    type-check (a poisoned worker may ship anything — trust nothing
+    unvalidated)."""
     if not isinstance(report, dict) or report.get("kind") != PIG_REGION_KIND:
         return None
-    n = len(sg.instructions)
+    n = len(instructions)
     if report.get("n") != n:
         return None
     rows: Dict[str, List[int]] = {}
@@ -225,7 +195,7 @@ def _kernel_from_report(
             rows[key] = rows_from_hex(texts)
         except (TypeError, ValueError):
             return None
-    index = InstructionIndex(sg.instructions)
+    index = InstructionIndex(list(instructions))
     if engine == "vector":
         return VectorDependenceKernel(
             index=index,
@@ -427,7 +397,8 @@ def build_sharded_pig(
             kernel = None
             if outcome is not None and outcome.kind == "result":
                 kernel = _kernel_from_report(
-                    (outcome.result or {}).get("report"), sg, engine
+                    (outcome.result or {}).get("report"), sg.instructions,
+                    engine,
                 )
             if kernel is None:
                 # Crash / timeout / malformed rows: this region costs
