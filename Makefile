@@ -1,6 +1,6 @@
 # Convenience targets for the repro toolchain.
 
-.PHONY: install test bench bench-check bench-batch bench-batch-check bench-pig bench-pig-check bench-incr bench-incr-check bench-serve bench-pytest batch-smoke pool-smoke trace-smoke serve-smoke chaos-smoke ledger-check obs-overhead figures examples ci all clean
+.PHONY: install test bench bench-check bench-batch bench-batch-check bench-pig bench-pig-check bench-incr bench-incr-check bench-backend bench-backend-check bench-serve bench-pytest batch-smoke pool-smoke trace-smoke serve-smoke chaos-smoke ledger-check obs-overhead figures examples ci all clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -63,6 +63,24 @@ bench-incr-check:
 	PYTHONPATH=src python tools/bench_compare.py none BENCH_incr_current.json \
 		--ratio-max incr-diamond-5x48:kernel_incr/kernel_cold=0.3334 \
 		--ratio-max incr-diamond-5x48:incr/cold=0.72
+
+# Time the compact back-end kernels (bitrow interference, worklist
+# coloring, array scheduling) against their reference twins.  The
+# committed baseline is BENCH_pr10.json.
+bench-backend:
+	PYTHONPATH=src python tools/bench_backend.py -o BENCH_backend_current.json
+
+# The PR-10 machine-independent floor on a fresh run: compact must
+# stay >= 3x faster than reference on the interference and coloring
+# phases of the n=2048 block (same run, interleaved timing).
+# --skip-cfg keeps CI off the liveness scaling rows, which carry no
+# floor.
+bench-backend-check:
+	PYTHONPATH=src python tools/bench_backend.py --skip-cfg --check \
+		-o BENCH_backend_current.json
+	PYTHONPATH=src python tools/bench_compare.py none BENCH_backend_current.json \
+		--ratio-max backend-n2048:interference_compact/interference_reference=0.3334 \
+		--ratio-max backend-n2048:color_compact/color_reference=0.3334
 
 # Load-generate the HTTP compilation service (latency, coalescing,
 # typed sheds, zero-loss SIGTERM drain) and enforce the robustness
@@ -147,6 +165,9 @@ ci:
 	PYTHONPATH=src python -m repro compile examples/smoke.src --pig-engine vector --inject-fault deps.vector
 	PYTHONPATH=src python -m repro compile examples/smoke.src --inject-fault core.pinter_color
 	PYTHONPATH=src python -m repro compile examples/smoke.src --inject-fault sched.augmented
+	PYTHONPATH=src python -m repro compile examples/smoke.src --backend reference
+	PYTHONPATH=src python -m repro compile examples/smoke.src --backend compact --inject-fault sched.compact
+	PYTHONPATH=src python -m repro compile examples/smoke.src --inject-fault core.pinter_color --inject-fault regalloc.compact
 	PYTHONPATH=src python -m repro compile examples/smoke.src --json-diagnostics > /dev/null
 	PYTHONPATH=src python -m repro compile examples/smoke.src --strategy bogus; test $$? -eq 2
 	PYTHONPATH=src python -m repro compile examples/smoke.src --max-instrs 1; test $$? -eq 1
@@ -162,6 +183,7 @@ ci:
 	$(MAKE) bench-batch-check
 	$(MAKE) bench-pig-check
 	$(MAKE) bench-incr-check
+	$(MAKE) bench-backend-check
 
 all: test bench-check examples
 

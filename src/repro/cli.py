@@ -220,6 +220,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
         pig_shards=args.pig_shards,
         region_cache=_region_cache_enabled(args),
         region_cache_dir=args.region_cache_dir,
+        backend=args.backend,
     )
     driver = CompilationDriver(machine, num_registers=registers, config=config)
 
@@ -363,6 +364,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         engine=engine,
         region_cache=_region_cache_enabled(args),
         region_cache_dir=args.region_cache_dir,
+        backend="compact" if args.backend == "auto" else args.backend,
     )
     runner = BatchRunner(
         machine=args.machine,
@@ -444,6 +446,7 @@ def _supervised_child_args(args: argparse.Namespace) -> List[str]:
         "--backoff", str(args.backoff),
         "--drain-timeout", str(args.drain_timeout),
         "--engine", args.engine,
+        "--backend", args.backend,
     ]
     if args.registers is not None:
         child += ["--registers", str(args.registers)]
@@ -529,6 +532,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         engine=engine,
         region_cache=_region_cache_enabled(args),
         region_cache_dir=args.region_cache_dir,
+        backend="compact" if args.backend == "auto" else args.backend,
     )
     server = CompileServer(
         host=args.host,
@@ -681,6 +685,17 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(obs.format_stats(summary))
         for error in errors:
             print("; invalid {}".format(error), file=sys.stderr)
+
+    if args.expect_top_phase is not None:
+        top = summary.get("top_phase")
+        if top != args.expect_top_phase:
+            print(
+                "repro stats: top phase is {!r}, expected {!r}".format(
+                    top, args.expect_top_phase
+                ),
+                file=sys.stderr,
+            )
+            return 1
 
     if args.check and (errors or problems):
         print(
@@ -841,6 +856,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="with N >= 2, build the PIG region-sharded across N warm "
         "pool workers (vector/bitset engines only)",
     )
+    p_compile.add_argument(
+        "--backend",
+        choices=("auto", "compact", "reference"),
+        default="auto",
+        help="allocator/scheduler kernel implementation: 'compact' runs "
+        "the bitrow interference + worklist coloring + array scheduler "
+        "fast paths and degrades to 'reference' on any failure "
+        "('auto' resolves to compact)",
+    )
     _add_region_cache_flags(p_compile)
     p_compile.add_argument(
         "--json-diagnostics", action="store_true",
@@ -950,6 +974,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="bitset",
         help="primary dependence engine rung ('auto' resolves to "
         "vector when numpy is importable)",
+    )
+    p_batch.add_argument(
+        "--backend",
+        choices=("auto", "compact", "reference"),
+        default="auto",
+        help="allocator/scheduler kernel implementation ('auto' "
+        "resolves to compact; degrades to reference on failure)",
     )
     p_batch.add_argument(
         "--recheck-degraded", action="store_true",
@@ -1102,6 +1133,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="primary dependence engine rung ('auto' resolves to "
         "vector when numpy is importable)",
     )
+    p_serve.add_argument(
+        "--backend",
+        choices=("auto", "compact", "reference"),
+        default="auto",
+        help="allocator/scheduler kernel implementation ('auto' "
+        "resolves to compact; degrades to reference on failure)",
+    )
     p_serve.add_argument("--strict", action="store_true")
     p_serve.add_argument("--paranoid", action="store_true")
     p_serve.add_argument("--optimize", action="store_true")
@@ -1221,6 +1259,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="exit 1 when any line is invalid or any span is "
         "unbalanced (CI mode)",
+    )
+    p_stats.add_argument(
+        "--expect-top-phase", default=None, metavar="PHASE",
+        help="exit 1 unless PHASE holds the largest share of summed "
+        "phase wall time (CI guard against perf-profile drift)",
     )
     p_stats.set_defaults(func=cmd_stats)
 

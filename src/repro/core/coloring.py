@@ -176,12 +176,20 @@ def pinter_color(
         del ideg[node]
         del fdeg[node]
 
+    # Sorted once: nodes are only ever removed, so every index-ordered
+    # scan below walks this list and skips dead entries (``node in
+    # ideg`` — the counters double as the alive set) instead of
+    # re-sorting the survivors on every pass.
+    ordered_nodes = sorted(work.nodes(), key=lambda w: w.index)
+
     def simplify() -> None:
         nonlocal simplified
         progress = True
         while progress:
             progress = False
-            for node in sorted(work.nodes(), key=lambda w: w.index):
+            for node in ordered_nodes:
+                if node not in ideg:
+                    continue
                 if ideg[node] + fdeg[node] < num_registers:
                     stack.append(node)
                     remove_node(node)
@@ -193,8 +201,9 @@ def pinter_color(
         but total degree >= r."""
         return [
             node
-            for node in sorted(work.nodes(), key=lambda w: w.index)
-            if ideg[node] < num_registers <= ideg[node] + fdeg[node]
+            for node in ordered_nodes
+            if node in ideg
+            and ideg[node] < num_registers <= ideg[node] + fdeg[node]
         ]
 
     def remove_one_false_edge() -> bool:
@@ -261,8 +270,8 @@ def pinter_color(
         # re-spilling a one-statement range cannot reduce pressure.
         candidates = [
             node
-            for node in sorted(work.nodes(), key=lambda w: w.index)
-            if metric(node) != float("inf")
+            for node in ordered_nodes
+            if node in ideg and metric(node) != float("inf")
         ]
         if not candidates:
             raise AllocationError(

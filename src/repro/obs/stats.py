@@ -114,13 +114,21 @@ def aggregate(events: List[Dict[str, object]]) -> Dict[str, object]:
     Returns a primitive dict::
 
         {"events": N,
-         "phases": {name: {count, total_s, mean_s, min_s, max_s}},
+         "phases": {name: {count, total_s, mean_s, min_s, max_s,
+                           share}},
          "spans": {name: {count, total_s, mean_s, min_s, max_s}},
          "rungs": {rung: {tasks, ok, degraded, failed, other,
                           total_s}},
          "counters": {name: total},
          "gauges": {name: last_value},
+         "top_phase": name-or-None,
          "span_problems": [...]}
+
+    ``share`` is the phase's fraction of the summed phase wall time
+    (``total_s / sum of all phase total_s``) and ``top_phase`` names
+    the largest share — the line ``repro stats --expect-top-phase``
+    asserts on, so a perf regression that shifts where a run spends
+    its time fails CI rather than drifting silently.
     """
     phases: Dict[str, Dict[str, float]] = {}
     spans: Dict[str, Dict[str, float]] = {}
@@ -182,8 +190,21 @@ def aggregate(events: List[Dict[str, object]]) -> Dict[str, object]:
     for row in rungs.values():
         row["total_s"] = round(row["total_s"], 6)
 
+    phase_wall = sum(row["total_s"] for row in phases.values())
+    top_phase: Optional[str] = None
+    top_total = -1.0
+    for name in sorted(phases):
+        row = phases[name]
+        row["share"] = round(
+            row["total_s"] / phase_wall if phase_wall else 0.0, 6
+        )
+        if row["total_s"] > top_total:
+            top_phase = name
+            top_total = row["total_s"]
+
     return {
         "events": len(events),
+        "top_phase": top_phase,
         "phases": {name: phases[name] for name in sorted(phases)},
         "spans": {name: spans[name] for name in sorted(spans)},
         "rungs": {name: rungs[name] for name in sorted(rungs)},
@@ -203,16 +224,25 @@ def format_stats(stats: Dict[str, object]) -> str:
     lines.append("per-phase:")
     if phases:
         lines.append(
-            "  {:<14} {:>7} {:>12} {:>12} {:>12} {:>12}".format(
-                "phase", "count", "total_s", "mean_s", "min_s", "max_s"
+            "  {:<14} {:>7} {:>12} {:>12} {:>12} {:>12} {:>8}".format(
+                "phase", "count", "total_s", "mean_s", "min_s", "max_s",
+                "share",
             )
         )
         for name, row in phases.items():  # type: ignore[union-attr]
             lines.append(
                 "  {:<14} {:>7} {:>12.6f} {:>12.6f} {:>12.6f} "
-                "{:>12.6f}".format(
+                "{:>12.6f} {:>7.1%}".format(
                     name, int(row["count"]), row["total_s"],
                     row["mean_s"], row["min_s"], row["max_s"],
+                    float(row.get("share", 0.0)),
+                )
+            )
+        top = stats.get("top_phase")
+        if top is not None:
+            lines.append(
+                "  top phase: {} ({:.1%} of phase wall)".format(
+                    top, float(phases[top].get("share", 0.0))
                 )
             )
     else:

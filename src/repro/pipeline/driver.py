@@ -83,6 +83,13 @@ _ENGINE_LADDER: Dict[str, Tuple[str, ...]] = {
     "reference": ("reference",),
 }
 
+#: Back-end (allocator/scheduler kernel) ladder: the compact rung
+#: degrades to the reference implementations, which have no rung below.
+_BACKEND_LADDER: Dict[str, Tuple[str, ...]] = {
+    "compact": ("compact", "reference"),
+    "reference": ("reference",),
+}
+
 #: Documented process exit codes.
 EXIT_OK = 0
 EXIT_INTERNAL = 1
@@ -267,6 +274,14 @@ class DriverConfig:
             ``region/`` namespace inside a shared ``--cache-dir`` is
             handled by the store); None keeps region kernels
             memory-only, which still de-duplicates within a process.
+        backend: Allocator/scheduler kernel implementation.
+            ``"compact"`` runs the index-based fast paths
+            (:mod:`repro.regalloc.compact`, the compact schedulers) and
+            degrades to ``"reference"`` on any failure — or, in
+            paranoid mode, on divergence from the reference
+            cross-check.  ``"auto"`` (default) resolves to
+            ``"compact"`` at driver construction.  Orthogonal to
+            ``engine``, which picks the *dependence* kernel.
     """
 
     strict: bool = False
@@ -280,6 +295,7 @@ class DriverConfig:
     pig_shards: int = 0
     region_cache: bool = False
     region_cache_dir: Optional[str] = None
+    backend: str = "auto"
 
     def fingerprint(self) -> str:
         """sha256 over the canonical JSON of every knob.
@@ -528,6 +544,12 @@ class CompilationDriver:
         if cfg.engine not in _ENGINE_LADDER:
             raise InputError(
                 "unknown dependence engine {!r}".format(cfg.engine)
+            )
+        if cfg.backend == "auto":
+            cfg.backend = "compact"
+        if cfg.backend not in _BACKEND_LADDER:
+            raise InputError(
+                "unknown compiler backend {!r}".format(cfg.backend)
             )
         if cfg.pig_shards < 0:
             raise InputError(
@@ -813,7 +835,10 @@ class CompilationDriver:
         cfg = self.config
         mid_phase = guard.mid_phase_checker()
 
-        def build(target: str) -> ParallelInterferenceGraph:
+        def build(
+            target: str, backend: Optional[str] = None
+        ) -> ParallelInterferenceGraph:
+            backend = cfg.backend if backend is None else backend
             cache = self._region_cache(target)
             if cache is not None:
                 from repro.pipeline.incremental import build_incremental_pig
@@ -823,6 +848,7 @@ class CompilationDriver:
                     use_regions=cfg.use_regions, engine=target,
                     config_fingerprint=cfg.fingerprint(),
                     shards=cfg.pig_shards, check_deadline=mid_phase,
+                    backend=backend,
                 )
             if cfg.pig_shards >= 2 and target in ("vector", "bitset"):
                 from repro.service.shard import build_sharded_pig
@@ -831,11 +857,12 @@ class CompilationDriver:
                     work, self.machine,
                     use_regions=cfg.use_regions, engine=target,
                     shards=cfg.pig_shards, check_deadline=mid_phase,
+                    backend=backend,
                 )
             return build_parallel_interference_graph(
                 work, self.machine,
                 use_regions=cfg.use_regions, engine=target,
-                check_deadline=mid_phase,
+                check_deadline=mid_phase, backend=backend,
             )
 
         ladder = _ENGINE_LADDER[engine]
@@ -847,7 +874,10 @@ class CompilationDriver:
             def rung(target: str = target) -> ParallelInterferenceGraph:
                 fast = build(target)
                 if cfg.paranoid:
-                    slow = build("reference")
+                    # The cross-check rebuilds with the reference
+                    # *backend* too, so a compact-interference
+                    # divergence is caught alongside engine bugs.
+                    slow = build("reference", backend="reference")
                     if _pig_signature(fast) != _pig_signature(slow):
                         raise DivergenceError(
                             "{} and reference engines disagree on "
@@ -930,13 +960,41 @@ class CompilationDriver:
         """Ladder rung: classic Chaitin coloring on the interference
         graph alone, spilling until colorable.  Gives up the spill-free
         Theorem 1 guarantee in exchange for always terminating with a
-        correct program."""
+        correct program.
+
+        With the compact backend the loop runs on bitrows first
+        (:func:`repro.regalloc.compact.compact_chaitin_allocate`,
+        cross-checked per round in paranoid mode) and degrades to the
+        reference loop on any failure or divergence."""
+        cfg = self.config
+
+        if cfg.backend == "compact":
+
+            def compact_attempt():
+                from repro.regalloc.compact import compact_chaitin_allocate
+
+                return compact_chaitin_allocate(
+                    work.copy(),
+                    self.num_registers,
+                    max_rounds=cfg.max_spill_rounds,
+                    paranoid=cfg.paranoid,
+                )
+
+            try:
+                prepared, assignment, spill_ops = guard.run(
+                    "color", compact_attempt, recoverable=True
+                )
+                return prepared, assignment, _AllocMeta(
+                    mode="chaitin", spill_operations=spill_ops, engine=engine
+                )
+            except _PhaseError:
+                report.note_recovery("reference backend")
 
         def attempt():
             return _chaitin_allocate(
                 work.copy(),
                 self.num_registers,
-                max_rounds=self.config.max_spill_rounds,
+                max_rounds=cfg.max_spill_rounds,
             )
 
         prepared, assignment, spill_ops = guard.run("color", attempt)
@@ -982,15 +1040,24 @@ class CompilationDriver:
         report: CompileReport,
         engine: str = "bitset",
     ) -> int:
-        """Cycle count of the allocated program: augmented (E_f-driven)
-        scheduling first, plain list scheduling on failure."""
+        """Cycle count of the allocated program, through the back-end
+        ladder: compact augmented scheduling (array worklists; with
+        ``pig_shards >= 2`` the blocks are scheduled region-sharded
+        across the warm worker pool) degrades to the reference
+        augmented scheduler, which degrades to the plain list
+        scheduler.  In paranoid mode the compact rung cross-checks
+        every block schedule against the reference scheduler and
+        degrades on divergence."""
 
         mid_phase = guard.mid_phase_checker()
         cache = self._region_cache(engine)
+        cfg = self.config
 
-        def augmented() -> int:
+        def augmented(backend: str) -> int:
+            from repro.sched.augmented import compact_augmented_schedule
+
             total = 0
-            config_fp = self.config.fingerprint() if cache is not None else ""
+            config_fp = cfg.fingerprint() if cache is not None else ""
             for block in allocated.blocks():
                 if not block.instructions:
                     continue
@@ -1014,15 +1081,60 @@ class CompilationDriver:
                         sg, self.machine, check_deadline=mid_phase,
                         engine=engine,
                     )
-                schedule = augmented_schedule(sg, fdg, self.machine)
+                if backend == "compact":
+                    schedule = compact_augmented_schedule(
+                        sg, fdg, self.machine
+                    )
+                    if cfg.paranoid:
+                        slow = augmented_schedule(sg, fdg, self.machine)
+                        if slow.cycle_of != schedule.cycle_of:
+                            raise DivergenceError(
+                                "compact and reference schedulers disagree "
+                                "on {!r} (paranoid cross-check)".format(
+                                    block.name
+                                )
+                            )
+                else:
+                    schedule = augmented_schedule(sg, fdg, self.machine)
                 total += schedule.makespan
             return total
+
+        def sharded(backend: str) -> int:
+            from repro.service.shard import schedule_sharded
+
+            return schedule_sharded(
+                allocated, self.machine, engine=engine, backend=backend,
+                shards=cfg.pig_shards, use_regions=cfg.use_regions,
+                check_deadline=mid_phase,
+            )
 
         def plain() -> int:
             return simulate_function(allocated, self.machine).total_cycles
 
-        try:
-            return guard.run("schedule", augmented, recoverable=True)
-        except _PhaseError:
-            report.note_recovery("list scheduler")
-            return guard.run("schedule", plain)
+        # The sharded path serves the primary rung only: cached,
+        # paranoid, and fault-armed compiles schedule in-process (the
+        # cross-check and the fault points belong in this process).
+        use_shards = (
+            cfg.pig_shards >= 2
+            and cache is None
+            and not cfg.paranoid
+            and engine in ("vector", "bitset")
+            and not faults.active_specs()
+        )
+        ladder = _BACKEND_LADDER[cfg.backend]
+        for pos, backend in enumerate(ladder):
+            if use_shards and pos == 0:
+                def attempt(b: str = backend) -> int:
+                    return sharded(b)
+            else:
+                def attempt(b: str = backend) -> int:
+                    return augmented(b)
+            try:
+                return guard.run("schedule", attempt, recoverable=True)
+            except _PhaseError:
+                report.note_recovery(
+                    "reference backend"
+                    if pos + 1 < len(ladder)
+                    else "list scheduler"
+                )
+        return guard.run("schedule", plain)

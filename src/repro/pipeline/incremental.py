@@ -65,6 +65,7 @@ from repro.core.parallel_interference import (
     _insert_edges_fast,
     _splice_false_edges,
     _splice_false_edges_vector,
+    interference_for_backend,
 )
 from repro.core.scheduling_value import region_value_rows
 from repro.deps.false_dependence import (
@@ -392,6 +393,7 @@ def build_incremental_pig(
     check_deadline: Optional[Callable[[], None]] = None,
     pool: Optional[WorkerPool] = None,
     task_timeout: float = DEFAULT_TASK_TIMEOUT,
+    backend: str = "reference",
 ) -> ParallelInterferenceGraph:
     """Build G for *fn* compiling only the regions the cache misses.
 
@@ -425,7 +427,7 @@ def build_incremental_pig(
         engine=engine,
         shards=shards,
     ):
-        interference = build_interference_graph(fn)
+        interference = interference_for_backend(fn, backend)
         def_to_web = web_of_definition(interference.webs)
         if use_regions:
             regions = schedule_regions(fn)

@@ -21,6 +21,17 @@ from repro.regalloc.classes import (
     web_register_class,
 )
 from repro.regalloc.briggs import briggs_color
+from repro.regalloc.compact import (
+    CompactColoring,
+    CompactGraph,
+    CompactInterference,
+    build_compact_interference,
+    compact_chaitin_allocate,
+    compact_chaitin_color,
+    compact_classic_h,
+    compact_graph_from_nx,
+    region_interference_rows,
+)
 from repro.regalloc.chaitin import (
     ColoringResult,
     chaitin_color,
@@ -43,13 +54,22 @@ from repro.regalloc.spill import (
 __all__ = [
     "BankedBudget",
     "ColoringResult",
+    "CompactColoring",
+    "CompactGraph",
+    "CompactInterference",
     "InterferenceGraph",
     "RegisterAssignment",
     "SpillReport",
     "apply_assignment",
     "briggs_color",
+    "build_compact_interference",
     "build_interference_graph",
     "chaitin_color",
+    "compact_chaitin_allocate",
+    "compact_chaitin_color",
+    "compact_classic_h",
+    "compact_graph_from_nx",
+    "region_interference_rows",
     "classic_h",
     "exact_chromatic_number",
     "greedy_chromatic_upper_bound",

@@ -19,6 +19,7 @@ from repro.regalloc.chaitin import (
     ColoringResult,
     Node,
     _node_sort_key,
+    _simplify_worklist,
     classic_h,
     uniform_cost,
 )
@@ -42,28 +43,25 @@ def briggs_color(
     stack: List[Node] = []
 
     while work.number_of_nodes():
-        simplified = True
-        while simplified:
-            simplified = False
-            for node in sorted(work.nodes(), key=_node_sort_key):
-                if work.degree(node) < num_colors:
-                    stack.append(node)
-                    work.remove_node(node)
-                    simplified = True
+        _simplify_worklist(work, num_colors, stack)
         if not work.number_of_nodes():
             break
-        # Optimism: push the would-be spill candidate anyway.
-        candidates = [
-            node
-            for node in sorted(work.nodes(), key=_node_sort_key)
-            if metric(node) != float("inf")
-        ]
-        if not candidates:
+        # Optimism: push the would-be spill candidate anyway (same
+        # (metric, sort key) victim choice as the Chaitin engine).
+        victim = None
+        best = None
+        for node in work.nodes():
+            value = metric(node)
+            if value == float("inf"):
+                continue
+            if victim is None or (value, _node_sort_key(node)) < best:
+                victim = node
+                best = (value, _node_sort_key(node))
+        if victim is None:
             raise AllocationError(
                 "irreducible register pressure: {} unspillable values "
                 "exceed {} colors".format(work.number_of_nodes(), num_colors)
             )
-        victim = min(candidates, key=metric)
         stack.append(victim)
         work.remove_node(victim)
 

@@ -52,6 +52,39 @@ def _node_sort_key(node: Node):
     return (1, str(node))
 
 
+def _simplify_worklist(work: nx.Graph, num_colors: int, stack: List[Node]) -> None:
+    """Drain every simplifiable node of *work* onto *stack*.
+
+    Heap-backed worklist over the sort key: the node with the lowest
+    key among those of degree < r is removed first, and a removal that
+    drops a neighbor below r pushes that neighbor — O((n + e) log n)
+    per drain, replacing the old full re-sort of ``work.nodes()`` on
+    every pass (O(n² log n) on large graphs).  The removal *set* it
+    produces is the same as the pass-based scan's (eligibility is
+    monotone under removals), so spill decisions are unchanged.
+    """
+    import heapq
+
+    seq = 0  # heap tiebreak: nodes themselves may not be comparable
+    heap = []
+    for node in work.nodes():
+        if work.degree(node) < num_colors:
+            heap.append((_node_sort_key(node), seq, node))
+            seq += 1
+    heapq.heapify(heap)
+    while heap:
+        _, _, node = heapq.heappop(heap)
+        if not work.has_node(node):
+            continue
+        neighbors = list(work.neighbors(node))
+        stack.append(node)
+        work.remove_node(node)
+        for nbr in neighbors:
+            if work.degree(nbr) == num_colors - 1:
+                heapq.heappush(heap, (_node_sort_key(nbr), seq, nbr))
+                seq += 1
+
+
 @dataclass
 class ColoringResult:
     """Outcome of one coloring round.
@@ -139,20 +172,15 @@ def chaitin_color(
     spilled: List[Node] = []
 
     while work.number_of_nodes():
-        # Simplify: remove any node with degree < r.
-        simplified = True
-        while simplified:
-            simplified = False
-            for node in sorted(work.nodes(), key=_node_sort_key):
-                if work.degree(node) < num_colors:
-                    stack.append(node)
-                    work.remove_node(node)
-                    simplified = True
+        # Simplify: remove any node with degree < r (worklist drain —
+        # lowest sort key first, O(1) eligibility updates).
+        _simplify_worklist(work, num_colors, stack)
         if not work.number_of_nodes():
             break
         # Blocked: every remaining node has degree >= r.  Spill the
         # node minimizing the metric; infinite-metric nodes (spill
-        # temporaries) are never victims.
+        # temporaries) are never victims.  Ties break on the sort key,
+        # as the old sorted-candidates scan did.
         if not allow_spill:
             raise AllocationError(
                 "graph needs more than {} colors and spilling is "
@@ -160,17 +188,20 @@ def chaitin_color(
                     num_colors, work.number_of_nodes()
                 )
             )
-        candidates = [
-            node
-            for node in sorted(work.nodes(), key=_node_sort_key)
-            if metric(node) != float("inf")
-        ]
-        if not candidates:
+        victim = None
+        best = None
+        for node in work.nodes():
+            value = metric(node)
+            if value == float("inf"):
+                continue
+            if victim is None or (value, _node_sort_key(node)) < best:
+                victim = node
+                best = (value, _node_sort_key(node))
+        if victim is None:
             raise AllocationError(
                 "irreducible register pressure: {} unspillable values "
                 "exceed {} colors".format(work.number_of_nodes(), num_colors)
             )
-        victim = min(candidates, key=metric)
         spilled.append(victim)
         work.remove_node(victim)
 

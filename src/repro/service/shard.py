@@ -80,8 +80,13 @@ from repro.service.worker import RESULT_VERSION, WorkerOutcome
 from repro.utils import faults
 from repro.utils.errors import InputError
 
-#: Payload discriminator routed by ``execute_payload``.
+#: Payload discriminators routed by ``execute_payload``.
 PIG_REGION_KIND = "pig_region"
+INTERFERENCE_REGION_KIND = "interference_region"
+SCHED_REGION_KIND = "sched_region"
+
+#: Every region-task kind a pool worker understands.
+REGION_KINDS = (PIG_REGION_KIND, INTERFERENCE_REGION_KIND, SCHED_REGION_KIND)
 
 #: Default wall-clock budget per region task, seconds.
 DEFAULT_TASK_TIMEOUT = 60.0
@@ -167,6 +172,168 @@ def execute_pig_region(payload: Dict[str, object]) -> Dict[str, object]:
         "metrics": None,
         "report": kernel_to_report(kernel, engine),
     }
+
+
+def _uid_map(fn: Function) -> Dict[str, List[int]]:
+    """Per-block instruction uids, in layout order.  Spill rounds
+    insert instructions with *later* uids mid-block, so a re-parse
+    (which numbers textually) would order webs differently; shipping
+    the parent's uids keeps every uid-sorted structure — webs,
+    def-use chains, priority tie-breaks — identical across the wire."""
+    return {
+        block.name: [instr.uid for instr in block.instructions]
+        for block in fn.blocks()
+    }
+
+
+def _apply_uids(fn: Function, uids: object) -> None:
+    """Reassign the parsed function's uids from the parent's wire map
+    (immediately after parse, before anything hashes an instruction)."""
+    if not isinstance(uids, dict):
+        raise InputError("malformed uid map")
+    for block in fn.blocks():
+        wired = uids.get(block.name)
+        if not isinstance(wired, list) or len(wired) != len(
+            block.instructions
+        ):
+            raise InputError(
+                "uid map does not match parsed block {!r}".format(block.name)
+            )
+        for instr, uid in zip(block.instructions, wired):
+            instr.uid = int(uid)
+
+
+def build_interference_payload(
+    fn: Function,
+    fn_text: str,
+    region: Region,
+    task_id: str,
+) -> Dict[str, object]:
+    """One ``interference_region`` attempt: ship the function text and
+    the region's block names; the worker returns the region's global
+    interference contribution as adjacency bitrows."""
+    return {
+        "v": RESULT_VERSION,
+        "kind": INTERFERENCE_REGION_KIND,
+        "task_id": task_id,
+        "name": fn.name,
+        "text": fn_text,
+        "region_blocks": list(region.blocks),
+        "uids": _uid_map(fn),
+        "faults": [spec.as_dict() for spec in faults.active_specs()],
+    }
+
+
+def execute_interference_region(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker-side body of one interference region: rebuild the
+    (global, deterministic) webs and liveness from the parsed function,
+    stab only this region's blocks, and ship the adjacency bitrows over
+    global web indices back in hex wire form."""
+    from repro.regalloc.compact import region_interference_rows
+
+    fn = parse_function(payload["text"])
+    _apply_uids(fn, payload["uids"])
+    rows, _intervals = region_interference_rows(
+        fn, tuple(payload["region_blocks"])
+    )
+    return {
+        "status": "ok",
+        "exit_code": 0,
+        "failure_kind": None,
+        "metrics": None,
+        "report": {
+            "kind": INTERFERENCE_REGION_KIND,
+            "n": len(rows),
+            "rows": rows_to_hex(rows),
+        },
+    }
+
+
+def build_sched_payload(
+    fn: Function,
+    fn_text: str,
+    machine: MachineDescription,
+    region: Region,
+    engine: str,
+    backend: str,
+    task_id: str,
+) -> Dict[str, object]:
+    """One ``sched_region`` attempt: the *allocated* function's text
+    plus the region's block names; the worker schedules each block and
+    returns the region's total makespan."""
+    return {
+        "v": RESULT_VERSION,
+        "kind": SCHED_REGION_KIND,
+        "task_id": task_id,
+        "name": fn.name,
+        "text": fn_text,
+        "machine": machine_to_wire(machine),
+        "region_blocks": list(region.blocks),
+        "engine": engine,
+        "backend": backend,
+        "uids": _uid_map(fn),
+        "faults": [spec.as_dict() for spec in faults.active_specs()],
+    }
+
+
+def execute_sched_region(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker-side body of one scheduling region: per block, rebuild
+    the schedule graph and false-dependence graph, run the augmented
+    scheduler (compact or reference per the backend knob), and return
+    the sum of block makespans.  Block schedules are independent, so
+    the parent's stitched total is exactly the in-process loop's."""
+    from repro.deps.schedule_graph import block_schedule_graph
+    from repro.sched.augmented import (
+        augmented_schedule,
+        compact_augmented_schedule,
+    )
+
+    engine = payload["engine"]
+    if engine not in SHARDABLE_ENGINES:
+        raise InputError("unshardable scheduling engine {!r}".format(engine))
+    fn = parse_function(payload["text"])
+    _apply_uids(fn, payload["uids"])
+    machine = machine_from_wire(payload["machine"])
+    wanted = set(payload["region_blocks"])
+    run = (
+        compact_augmented_schedule
+        if payload.get("backend") == "compact"
+        else augmented_schedule
+    )
+    total = 0
+    blocks = 0
+    for block in fn.blocks():
+        if block.name not in wanted or not block.instructions:
+            continue
+        sg = block_schedule_graph(block, machine=machine)
+        fdg = false_dependence_graph(sg, machine, engine=engine)
+        total += run(sg, fdg, machine).makespan
+        blocks += 1
+    return {
+        "status": "ok",
+        "exit_code": 0,
+        "failure_kind": None,
+        "metrics": None,
+        "report": {
+            "kind": SCHED_REGION_KIND,
+            "makespan": total,
+            "blocks": blocks,
+        },
+    }
+
+
+def execute_region_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Route one region payload to its executor (the single entry
+    :func:`repro.service.worker.execute_payload` calls for every kind
+    in :data:`REGION_KINDS`)."""
+    kind = payload.get("kind")
+    if kind == PIG_REGION_KIND:
+        return execute_pig_region(payload)
+    if kind == INTERFERENCE_REGION_KIND:
+        return execute_interference_region(payload)
+    if kind == SCHED_REGION_KIND:
+        return execute_sched_region(payload)
+    raise InputError("unknown region payload kind {!r}".format(kind))
 
 
 # ----------------------------------------------------------------------
@@ -281,6 +448,287 @@ def _collect_done(
         )
 
 
+def _run_region_tasks(
+    pool: WorkerPool,
+    payloads: List[Dict[str, object]],
+    fn_name: str,
+    fn_text: str,
+    check_deadline: Optional[Callable[[], None]],
+    task_timeout: float,
+    dispatch_counter: str,
+) -> Dict[int, WorkerOutcome]:
+    """Fan *payloads* out over *pool* (bounded by pool size) and
+    collect one outcome per payload slot.  On a mid-fan-out abort
+    (deadline, Ctrl-C) the pool is shut down — a busy worker's unread
+    frame would desync a reused stream."""
+    metrics = get_metrics()
+    outcomes: Dict[int, WorkerOutcome] = {}
+    inflight: Dict[str, Tuple[int, PoolHandle]] = {}
+    try:
+        for slot, payload in enumerate(payloads):
+            while len(inflight) >= pool.size:
+                _collect_done(pool, inflight, outcomes, check_deadline)
+            if check_deadline is not None:
+                check_deadline()
+            task_id = payload["task_id"]
+            handle = pool.dispatch(
+                CompileTask(task_id=task_id, name=fn_name, text=fn_text),
+                payload,
+                timeout=task_timeout,
+            )
+            inflight[task_id] = (slot, handle)
+            metrics.counter(dispatch_counter).inc()
+        while inflight:
+            _collect_done(pool, inflight, outcomes, check_deadline)
+    except BaseException:
+        pool.shutdown()
+        raise
+    return outcomes
+
+
+def _interference_rows_from_report(
+    report: Dict[str, object], n: int
+) -> Optional[List[int]]:
+    """Adjacency bitrows from one ``interference_region`` report, or
+    None when the report does not type-check."""
+    if not isinstance(report, dict):
+        return None
+    if report.get("kind") != INTERFERENCE_REGION_KIND or report.get("n") != n:
+        return None
+    texts = report.get("rows")
+    if not isinstance(texts, list) or len(texts) != n:
+        return None
+    try:
+        return rows_from_hex(texts)
+    except (TypeError, ValueError):
+        return None
+
+
+def build_sharded_interference(
+    fn: Function,
+    shards: int = 2,
+    use_regions: bool = True,
+    pool: Optional[WorkerPool] = None,
+    check_deadline: Optional[Callable[[], None]] = None,
+    task_timeout: float = DEFAULT_TASK_TIMEOUT,
+):
+    """Build the classic interference graph G_r with the quadratic
+    interval-stabbing work fanned out per region.
+
+    The parent builds the cheap skeleton — liveness rows, def-use
+    chains, webs, and every live interval, all linear passes — while
+    each worker stabs only its region's blocks and ships the resulting
+    adjacency bitrows (over global web indices) back as hex.  OR-ing
+    the region rows reproduces exactly the whole-function edge set,
+    because a conflict edge is witnessed inside a single block and the
+    regions partition the blocks.  A failed region is re-stabbed
+    locally (``interference.shard.fallback_local``).
+
+    Returns the reference :class:`InterferenceGraph`, bit-identical to
+    :func:`repro.regalloc.interference.build_interference_graph`.
+    """
+    from repro.regalloc.compact import (
+        CompactGraph,
+        CompactInterference,
+        build_compact_interference,
+        region_interference_rows,
+    )
+
+    if shards < 2:
+        raise InputError("shards must be >= 2, got {}".format(shards))
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span(
+        "interference.shard.build", function=fn.name, shards=shards
+    ):
+        skeleton = build_compact_interference(fn, collect_edges=False)
+        n = len(skeleton.webs)
+        if use_regions:
+            regions = schedule_regions(fn)
+        else:
+            regions = [
+                Region(blocks=(name,), index=i)
+                for i, name in enumerate(fn.block_names())
+            ]
+        fn_text = format_function(fn)
+        active_pool = _pool_for(shards) if pool is None else pool
+        run_id = uuid.uuid4().hex[:8]
+        payloads = [
+            build_interference_payload(
+                fn, fn_text, region,
+                "inter-{}-r{}".format(run_id, region.index),
+            )
+            for region in regions
+        ]
+        outcomes = _run_region_tasks(
+            active_pool, payloads, fn.name, fn_text,
+            check_deadline, task_timeout, "interference.shard.dispatched",
+        )
+
+        adj = [0] * n
+        fallbacks = 0
+        for slot, region in enumerate(regions):
+            outcome = outcomes.get(slot)
+            rows = None
+            if outcome is not None and outcome.kind == "result":
+                rows = _interference_rows_from_report(
+                    (outcome.result or {}).get("report"), n
+                )
+            if rows is None:
+                fallbacks += 1
+                tracer.event(
+                    "interference.shard.fallback",
+                    region=region.index,
+                    kind=outcome.kind if outcome else "missing",
+                )
+                metrics.counter("interference.shard.fallback_local").inc()
+                rows, _ = region_interference_rows(fn, region.blocks)
+            for i, row in enumerate(rows):
+                if row:
+                    adj[i] |= row
+
+        tracer.event(
+            "interference.shard.done",
+            function=fn.name,
+            regions=len(regions),
+            fallbacks=fallbacks,
+        )
+        metrics.counter("interference.shard.builds").inc()
+        return CompactInterference(
+            graph=CompactGraph.from_rows(adj),
+            webs=skeleton.webs,
+            rows=skeleton.rows,
+            intervals_of=skeleton.intervals_of,
+            chains=skeleton.chains,
+            function=fn,
+        ).to_reference()
+
+
+def schedule_sharded(
+    fn: Function,
+    machine: MachineDescription,
+    engine: str = "vector",
+    backend: str = "compact",
+    shards: int = 2,
+    use_regions: bool = True,
+    pool: Optional[WorkerPool] = None,
+    check_deadline: Optional[Callable[[], None]] = None,
+    task_timeout: float = DEFAULT_TASK_TIMEOUT,
+) -> int:
+    """Total cycle count of the *allocated* function with per-region
+    scheduling fanned out over the pool.
+
+    Block schedules are independent (the driver's in-process loop sums
+    per-block makespans), so each worker schedules its region's blocks
+    and the parent sums region totals — identical to the in-process
+    result.  A failed region is rescheduled locally
+    (``sched.shard.fallback_local``).
+    """
+    if engine not in SHARDABLE_ENGINES:
+        raise InputError(
+            "sharded scheduling needs one of {}, got {!r}".format(
+                "/".join(SHARDABLE_ENGINES), engine
+            )
+        )
+    if shards < 2:
+        raise InputError("shards must be >= 2, got {}".format(shards))
+
+    from repro.deps.schedule_graph import block_schedule_graph
+    from repro.sched.augmented import (
+        augmented_schedule,
+        compact_augmented_schedule,
+    )
+
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span(
+        "sched.shard.build",
+        function=fn.name,
+        engine=engine,
+        backend=backend,
+        shards=shards,
+    ):
+        if use_regions:
+            regions = schedule_regions(fn)
+        else:
+            regions = [
+                Region(blocks=(name,), index=i)
+                for i, name in enumerate(fn.block_names())
+            ]
+        blocks_by_name = {block.name: block for block in fn.blocks()}
+        work_regions = [
+            region
+            for region in regions
+            if any(
+                blocks_by_name[name].instructions for name in region.blocks
+            )
+        ]
+        fn_text = format_function(fn)
+        active_pool = _pool_for(shards) if pool is None else pool
+        run_id = uuid.uuid4().hex[:8]
+        payloads = [
+            build_sched_payload(
+                fn, fn_text, machine, region, engine, backend,
+                "sched-{}-r{}".format(run_id, region.index),
+            )
+            for region in work_regions
+        ]
+        outcomes = _run_region_tasks(
+            active_pool, payloads, fn.name, fn_text,
+            check_deadline, task_timeout, "sched.shard.dispatched",
+        )
+
+        run = (
+            compact_augmented_schedule
+            if backend == "compact"
+            else augmented_schedule
+        )
+        total = 0
+        fallbacks = 0
+        for slot, region in enumerate(work_regions):
+            outcome = outcomes.get(slot)
+            makespan = None
+            if outcome is not None and outcome.kind == "result":
+                report = (outcome.result or {}).get("report")
+                if (
+                    isinstance(report, dict)
+                    and report.get("kind") == SCHED_REGION_KIND
+                    and isinstance(report.get("makespan"), int)
+                    and report["makespan"] >= 0
+                ):
+                    makespan = report["makespan"]
+            if makespan is None:
+                fallbacks += 1
+                tracer.event(
+                    "sched.shard.fallback",
+                    region=region.index,
+                    kind=outcome.kind if outcome else "missing",
+                )
+                metrics.counter("sched.shard.fallback_local").inc()
+                makespan = 0
+                for name in region.blocks:
+                    block = blocks_by_name[name]
+                    if not block.instructions:
+                        continue
+                    sg = block_schedule_graph(block, machine=machine)
+                    fdg = false_dependence_graph(
+                        sg, machine, check_deadline=check_deadline,
+                        engine=engine,
+                    )
+                    makespan += run(sg, fdg, machine).makespan
+            total += makespan
+
+        tracer.event(
+            "sched.shard.done",
+            function=fn.name,
+            regions=len(work_regions),
+            fallbacks=fallbacks,
+            cycles=total,
+        )
+        metrics.counter("sched.shard.builds").inc()
+        return total
+
+
 def build_sharded_pig(
     fn: Function,
     machine: MachineDescription,
@@ -290,6 +738,7 @@ def build_sharded_pig(
     check_deadline: Optional[Callable[[], None]] = None,
     pool: Optional[WorkerPool] = None,
     task_timeout: float = DEFAULT_TASK_TIMEOUT,
+    backend: str = "reference",
 ) -> ParallelInterferenceGraph:
     """Build G for *fn* with per-region kernels fanned out over a
     worker pool.  Output is bit-identical to
@@ -306,6 +755,11 @@ def build_sharded_pig(
             compile).
         task_timeout: Per-region wall-clock budget; an overdue region
             is killed and rebuilt locally.
+        backend: With ``"compact"`` the embedded interference graph is
+            *also* sharded — workers stab each region's intervals and
+            the parent ORs the returned bitrows — making the whole back
+            half region-parallel; ``"reference"`` builds it serially
+            in-process.
     """
     if engine not in SHARDABLE_ENGINES:
         raise InputError(
@@ -324,7 +778,16 @@ def build_sharded_pig(
         engine=engine,
         shards=shards,
     ):
-        interference = build_interference_graph(fn)
+        owned_pool = pool is None
+        active_pool = _pool_for(shards) if owned_pool else pool
+        if backend == "compact":
+            interference = build_sharded_interference(
+                fn, shards=shards, use_regions=use_regions,
+                pool=active_pool, check_deadline=check_deadline,
+                task_timeout=task_timeout,
+            )
+        else:
+            interference = build_interference_graph(fn)
         def_to_web = web_of_definition(interference.webs)
         if use_regions:
             regions = schedule_regions(fn)
@@ -352,43 +815,18 @@ def build_sharded_pig(
                 region_sgs.append((region, sg))
 
         fn_text = format_function(fn)
-        owned_pool = pool is None
-        active_pool = _pool_for(shards) if owned_pool else pool
         run_id = uuid.uuid4().hex[:8]
-
-        outcomes: Dict[int, WorkerOutcome] = {}
-        inflight: Dict[str, Tuple[int, PoolHandle]] = {}
-        try:
-            for slot, (region, sg) in enumerate(region_sgs):
-                while len(inflight) >= active_pool.size:
-                    _collect_done(
-                        active_pool, inflight, outcomes, check_deadline
-                    )
-                if check_deadline is not None:
-                    check_deadline()
-                task_id = "pig-{}-r{}".format(run_id, region.index)
-                payload = build_region_payload(
-                    fn_text, fn.name, machine, region, engine, task_id
-                )
-                handle = active_pool.dispatch(
-                    CompileTask(
-                        task_id=task_id, name=fn.name, text=fn_text
-                    ),
-                    payload,
-                    timeout=task_timeout,
-                )
-                inflight[task_id] = (slot, handle)
-                metrics.counter("pig.shard.dispatched").inc()
-            while inflight:
-                _collect_done(
-                    active_pool, inflight, outcomes, check_deadline
-                )
-        except BaseException:
-            # A mid-build abort (deadline, Ctrl-C) may leave busy
-            # workers with unread frames; a reused pool would desync,
-            # so retire them all.  The pool respawns lazily.
-            active_pool.shutdown()
-            raise
+        payloads = [
+            build_region_payload(
+                fn_text, fn.name, machine, region, engine,
+                "pig-{}-r{}".format(run_id, region.index),
+            )
+            for region, _sg in region_sgs
+        ]
+        outcomes = _run_region_tasks(
+            active_pool, payloads, fn.name, fn_text,
+            check_deadline, task_timeout, "pig.shard.dispatched",
+        )
 
         false_graphs: List[FalseDependenceGraph] = []
         fallbacks = 0

@@ -25,7 +25,11 @@ point                     location
 ``deps.vector``           :meth:`repro.deps.vector.VectorDependenceKernel.build`
 ``core.pinter_color``     :func:`repro.core.coloring.pinter_color`
 ``regalloc.chaitin``      :func:`repro.regalloc.chaitin.chaitin_color`
+``regalloc.compact``      :func:`repro.regalloc.compact.compact_chaitin_allocate`
 ``sched.augmented``       :func:`repro.sched.augmented.augmented_schedule`
+                          (also fired by the compact scheduler, so the
+                          point degrades both back-end rungs)
+``sched.compact``         :func:`repro.sched.augmented.compact_augmented_schedule`
 ``service.worker``        :mod:`repro.service.worker` child entry (batch
                           service; supports the worker-level actions)
 ``service.server``        :mod:`repro.service.server` per-request handler
@@ -156,7 +160,9 @@ LIBRARY_POINTS = frozenset({
     "deps.vector",
     "core.pinter_color",
     "regalloc.chaitin",
+    "regalloc.compact",
     "sched.augmented",
+    "sched.compact",
     "service.worker",
     "service.server",
 })

@@ -1,0 +1,86 @@
+"""Share-of-wall accounting in ``repro stats``: the per-phase ``share``
+column, the ``top_phase`` summary key, and the ``--expect-top-phase``
+CI assertion.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import aggregate, format_stats
+
+
+def _span(name, duration, span_id, ts):
+    return {
+        "v": 1, "ts": ts, "kind": "span", "name": name,
+        "duration_s": duration, "attrs": {},
+    }
+
+
+def make_events():
+    return [
+        _span("phase.pig", 0.6, 1, 0.1),
+        _span("phase.schedule", 0.3, 2, 0.2),
+        _span("phase.color", 0.1, 3, 0.3),
+        _span("serve.job", 5.0, 4, 0.4),  # non-phase: excluded from wall
+    ]
+
+
+class TestShare:
+    def test_shares_sum_to_one_and_use_phase_wall_only(self):
+        stats = aggregate(make_events())
+        phases = stats["phases"]
+        assert phases["pig"]["share"] == 0.6
+        assert phases["schedule"]["share"] == 0.3
+        assert phases["color"]["share"] == 0.1
+        assert sum(row["share"] for row in phases.values()) == pytest.approx(
+            1.0
+        )
+        # The 5-second serve.job span must not dilute phase shares.
+        assert "serve.job" in stats["spans"]
+
+    def test_top_phase_is_largest_total(self):
+        stats = aggregate(make_events())
+        assert stats["top_phase"] == "pig"
+
+    def test_top_phase_none_without_phases(self):
+        stats = aggregate([_span("serve.job", 1.0, 1, 0.0)])
+        assert stats["top_phase"] is None
+        assert stats["phases"] == {}
+
+    def test_top_phase_tie_breaks_on_name(self):
+        events = [
+            _span("phase.b_phase", 0.5, 1, 0.0),
+            _span("phase.a_phase", 0.5, 2, 0.1),
+        ]
+        assert aggregate(events)["top_phase"] == "a_phase"
+
+    def test_format_shows_share_column_and_top_line(self):
+        text = format_stats(aggregate(make_events()))
+        assert "share" in text
+        assert "60.0%" in text
+        assert "top phase: pig (60.0% of phase wall)" in text
+
+
+class TestExpectTopPhaseCLI:
+    def _write(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w") as handle:
+            for event in make_events():
+                handle.write(json.dumps(event) + "\n")
+        return path
+
+    def test_matching_expectation_passes(self, tmp_path, capsys):
+        path = self._write(tmp_path)
+        assert main(["stats", path, "--expect-top-phase", "pig"]) == 0
+
+    def test_mismatch_fails(self, tmp_path, capsys):
+        path = self._write(tmp_path)
+        assert main(["stats", path, "--expect-top-phase", "schedule"]) == 1
+        err = capsys.readouterr()
+        assert "top phase" in (err.err + err.out)
+
+    def test_plain_stats_still_passes(self, tmp_path):
+        path = self._write(tmp_path)
+        assert main(["stats", path]) == 0

@@ -1,0 +1,221 @@
+"""Whole-pipeline region sharding (interference + scheduling shards).
+
+Same doctrine as the PIG shard tests: sharding is a transport.  The
+stitched interference graph must be bit-identical to the in-process
+build, the stitched makespan total must equal the in-process per-block
+loop, and the end-to-end driver result must not depend on whether
+shards were used — including under injected worker faults (per-region
+local fallback) and across spill rounds (the uid wire map).
+"""
+
+import pytest
+
+from repro.deps.false_dependence import block_false_dependence_graph
+from repro.deps.schedule_graph import block_schedule_graph
+from repro.ir.printer import format_function
+from repro.machine.presets import two_unit_superscalar
+from repro.regalloc.compact import region_interference_rows
+from repro.regalloc.interference import build_interference_graph
+from repro.sched.augmented import compact_augmented_schedule
+from repro.service.pool import WorkerPool
+from repro.service.shard import (
+    INTERFERENCE_REGION_KIND,
+    SCHED_REGION_KIND,
+    _apply_uids,
+    _uid_map,
+    build_interference_payload,
+    build_sched_payload,
+    build_sharded_interference,
+    execute_region_payload,
+    schedule_sharded,
+)
+from repro.utils import faults
+from repro.utils.errors import InputError
+from repro.workloads import RandomBlockConfig, example2, random_block
+from repro.workloads.generator import diamond_chain
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with WorkerPool(size=2) as shared:
+        yield shared
+
+
+def _edge_index_set(graph):
+    return {
+        tuple(sorted((a.index, b.index))) for a, b in graph.edge_list()
+    }
+
+
+class TestUidWire:
+    def test_uid_map_round_trip(self):
+        from repro.ir.parser import parse_function
+
+        fn = example2()
+        # Simulate a spill round: bump a mid-block uid past the rest.
+        victim = fn.entry.instructions[1]
+        victim.uid = max(
+            instr.uid for block in fn.blocks()
+            for instr in block.instructions
+        ) + 10
+        uids = _uid_map(fn)
+        parsed = parse_function(format_function(fn))
+        _apply_uids(parsed, uids)
+        assert _uid_map(parsed) == uids
+
+    def test_apply_uids_rejects_length_mismatch(self):
+        fn = example2()
+        uids = _uid_map(fn)
+        first = next(iter(uids))
+        uids[first] = uids[first][:-1]
+        with pytest.raises(InputError):
+            _apply_uids(fn, uids)
+
+    def test_apply_uids_rejects_non_dict(self):
+        with pytest.raises(InputError):
+            _apply_uids(example2(), [1, 2, 3])
+
+
+class TestRegionExecutors:
+    def test_interference_region_inline(self):
+        from repro.analysis.regions import schedule_regions
+
+        fn = diamond_chain(num_diamonds=2, block_size=6, seed=5)
+        region = schedule_regions(fn)[0]
+        payload = build_interference_payload(
+            fn, format_function(fn), region, "t-i0"
+        )
+        result = execute_region_payload(payload)
+        assert result["status"] == "ok"
+        report = result["report"]
+        assert report["kind"] == INTERFERENCE_REGION_KIND
+        want_rows, _ = region_interference_rows(
+            fn, tuple(region.blocks)
+        )
+        from repro.deps.vector import rows_from_hex
+
+        assert rows_from_hex(report["rows"]) == want_rows
+
+    def test_sched_region_inline(self):
+        from repro.analysis.regions import schedule_regions
+
+        machine = two_unit_superscalar()
+        fn = diamond_chain(num_diamonds=2, block_size=6, seed=5)
+        region = schedule_regions(fn)[0]
+        payload = build_sched_payload(
+            fn, format_function(fn), machine, region,
+            engine="vector", backend="compact", task_id="t-s0",
+        )
+        result = execute_region_payload(payload)
+        assert result["status"] == "ok"
+        report = result["report"]
+        assert report["kind"] == SCHED_REGION_KIND
+        want = 0
+        names = set(region.blocks)
+        for block in fn.blocks():
+            if block.name not in names or not block.instructions:
+                continue
+            sg = block_schedule_graph(block, machine=machine)
+            fdg = block_false_dependence_graph(block, machine)
+            want += compact_augmented_schedule(sg, fdg, machine).makespan
+        assert report["makespan"] == want
+
+    def test_sched_region_rejects_unknown_engine(self):
+        from repro.analysis.regions import schedule_regions
+
+        machine = two_unit_superscalar()
+        fn = example2()
+        region = schedule_regions(fn)[0]
+        payload = build_sched_payload(
+            fn, format_function(fn), machine, region,
+            engine="vector", backend="compact", task_id="t",
+        )
+        payload["engine"] = "quantum"
+        with pytest.raises(InputError):
+            execute_region_payload(payload)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InputError):
+            execute_region_payload({"kind": "mystery_region"})
+
+
+class TestShardedInterference:
+    def test_matches_reference_graph(self, pool):
+        for fn in (
+            diamond_chain(num_diamonds=4, block_size=8, seed=21),
+            random_block(RandomBlockConfig(size=50, window=8, seed=22)),
+        ):
+            sharded = build_sharded_interference(fn, shards=2, pool=pool)
+            reference = build_interference_graph(fn)
+            assert _edge_index_set(sharded) == _edge_index_set(reference)
+            assert len(sharded.webs) == len(reference.webs)
+
+    def test_worker_fault_falls_back_locally(self, pool):
+        fn = diamond_chain(num_diamonds=3, block_size=8, seed=23)
+        expected = _edge_index_set(build_interference_graph(fn))
+        with faults.inject("service.worker"):
+            sharded = build_sharded_interference(fn, shards=2, pool=pool)
+        assert _edge_index_set(sharded) == expected
+
+
+class TestShardedScheduling:
+    def _in_process_total(self, fn, machine):
+        total = 0
+        for block in fn.blocks():
+            if not block.instructions:
+                continue
+            sg = block_schedule_graph(block, machine=machine)
+            fdg = block_false_dependence_graph(block, machine)
+            total += compact_augmented_schedule(sg, fdg, machine).makespan
+        return total
+
+    def test_matches_in_process_total(self, pool):
+        machine = two_unit_superscalar()
+        fn = diamond_chain(num_diamonds=4, block_size=8, seed=31)
+        total = schedule_sharded(
+            fn, machine, engine="vector", backend="compact",
+            shards=2, pool=pool,
+        )
+        assert total == self._in_process_total(fn, machine)
+
+    def test_worker_fault_falls_back_locally(self, pool):
+        machine = two_unit_superscalar()
+        fn = diamond_chain(num_diamonds=3, block_size=8, seed=32)
+        with faults.inject("service.worker"):
+            total = schedule_sharded(
+                fn, machine, engine="vector", backend="compact",
+                shards=2, pool=pool,
+            )
+        assert total == self._in_process_total(fn, machine)
+
+
+class TestWholePipeline:
+    def test_sharded_driver_matches_in_process(self):
+        """End to end with spill pressure: pig_shards=2 + compact
+        backend must reproduce the in-process result exactly."""
+        from repro.pipeline.driver import CompilationDriver, DriverConfig
+
+        machine = two_unit_superscalar()
+        fn = diamond_chain(num_diamonds=3, block_size=10, seed=41)
+        text = format_function(fn)
+        outcomes = {}
+        for shards in (0, 2):
+            driver = CompilationDriver(
+                machine, num_registers=4,
+                config=DriverConfig(pig_shards=shards, backend="compact"),
+            )
+            outcome = driver.compile_text(text, is_ir=True, name=fn.name)
+            assert outcome.ok
+            outcomes[shards] = (
+                outcome.result.cycles,
+                outcome.result.registers_used,
+                outcome.result.spill_operations,
+            )
+        assert outcomes[0] == outcomes[2]

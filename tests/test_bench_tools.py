@@ -216,3 +216,20 @@ class TestRatioMax:
             "--ratio-max", "batch-fuzz-200:pool_warm_cache/pool_cold=0.1",
         )
         assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestCommittedBackendBaseline:
+    def test_committed_pr10_baseline_holds_the_floors(self):
+        repo = os.path.dirname(TOOLS)
+        path = os.path.join(repo, "BENCH_pr10.json")
+        with open(path) as handle:
+            rows = json.load(handle)
+        by_phase = {
+            r["phase"]: r for r in rows if r["workload"] == "backend-n2048"
+        }
+        # The PR-10 acceptance floors, recorded not re-measured:
+        # compact interference and coloring >= 3x their reference twins.
+        for kernel in ("interference", "color"):
+            compact = by_phase["{}_compact".format(kernel)]["wall_s"]
+            reference = by_phase["{}_reference".format(kernel)]["wall_s"]
+            assert reference / compact >= 3.0, kernel
